@@ -1,0 +1,382 @@
+//! # lazyeye-authns — the delay-injecting authoritative name server
+//!
+//! Reimplementation of the paper's custom authoritative server (§4.1(ii)):
+//! it serves static zones *and* dynamic test domains whose query names
+//! encode the test parameters — the delay, the record type to delay, and a
+//! nonce that defeats caching. One server deployment thus supports every
+//! Resolution-Delay test configuration, exactly as in the paper.
+//!
+//! ```
+//! use lazyeye_sim::{Sim, spawn};
+//! use lazyeye_net::Network;
+//! use lazyeye_dns::{Message, Name, RrType};
+//! use lazyeye_authns::{serve, AuthConfig, AuthServer, TestDomain, TestParams, DelayTarget};
+//!
+//! let mut sim = Sim::new(1);
+//! let net = Network::new();
+//! let ns = net.host("ns").v4("192.0.2.53").v6("2001:db8::53").build();
+//! let client = net.host("client").v4("192.0.2.100").v6("2001:db8::100").build();
+//!
+//! let server = AuthServer::new(AuthConfig {
+//!     test_domains: vec![TestDomain {
+//!         apex: Name::parse("he-test.example").unwrap(),
+//!         v4: vec!["192.0.2.80".parse().unwrap()],
+//!         v6: vec!["2001:db8::80".parse().unwrap()],
+//!         ttl: 60,
+//!     }],
+//!     ..AuthConfig::default()
+//! });
+//!
+//! let elapsed_ms = sim.block_on({
+//!     let server = server.clone();
+//!     async move {
+//!         spawn(serve(ns.udp_bind_any(53).unwrap(), server));
+//!         // AAAA delayed by 200 ms, per the name's encoded parameters:
+//!         let label = TestParams::delay(200, DelayTarget::Aaaa, "x1").to_label();
+//!         let qname = Name::parse(&format!("{label}.he-test.example")).unwrap();
+//!         let sock = client.udp_bind_any(0).unwrap();
+//!         let q = Message::query(1, qname, RrType::Aaaa);
+//!         let t0 = lazyeye_sim::now();
+//!         sock.send_to(q.encode().into(), "192.0.2.53:53".parse().unwrap()).unwrap();
+//!         let (resp, _) = sock.recv_from().await.unwrap();
+//!         assert!(!Message::decode(&resp).unwrap().answers.is_empty());
+//!         (lazyeye_sim::now() - t0).as_millis()
+//!     }
+//! });
+//! assert!(elapsed_ms >= 200);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod params;
+mod server;
+
+pub use params::{parse_test_label, DelayTarget, TestParams};
+pub use server::{serve, AuthConfig, AuthServer, QueryLogEntry, TestDomain};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use lazyeye_dns::{Message, Name, RData, Rcode, Record, RrType, Zone, ZoneSet};
+    use lazyeye_net::Network;
+    use lazyeye_sim::{spawn, Sim};
+    use std::net::SocketAddr;
+    use std::time::Duration;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn sa(ip: &str, port: u16) -> SocketAddr {
+        SocketAddr::new(ip.parse().unwrap(), port)
+    }
+
+    fn testbed() -> (Sim, Network, lazyeye_net::Host, lazyeye_net::Host) {
+        let sim = Sim::new(1);
+        let net = Network::new();
+        let ns = net.host("ns").v4("192.0.2.53").v6("2001:db8::53").build();
+        let client = net
+            .host("client")
+            .v4("192.0.2.100")
+            .v6("2001:db8::100")
+            .build();
+        (sim, net, ns, client)
+    }
+
+    fn static_config() -> AuthConfig {
+        let mut zone = Zone::new(n("example.com"));
+        zone.a(&n("www.example.com"), "192.0.2.80".parse().unwrap(), 300);
+        zone.aaaa(&n("www.example.com"), "2001:db8::80".parse().unwrap(), 300);
+        let mut zones = ZoneSet::new();
+        zones.add(zone);
+        AuthConfig {
+            zones,
+            ..AuthConfig::default()
+        }
+    }
+
+    async fn ask(
+        client: &lazyeye_net::Host,
+        server: SocketAddr,
+        qname: &Name,
+        qtype: RrType,
+    ) -> Message {
+        let sock = client.udp_bind_any(0).unwrap();
+        let q = Message::query(42, qname.clone(), qtype);
+        sock.send_to(Bytes::from(q.encode()), server).unwrap();
+        let (payload, _) = sock.recv_from().await.unwrap();
+        Message::decode(&payload).unwrap()
+    }
+
+    #[test]
+    fn answers_static_zone() {
+        let (mut sim, _net, ns, client) = testbed();
+        let server = AuthServer::new(static_config());
+        let resp = sim.block_on(async move {
+            spawn(serve(ns.udp_bind_any(53).unwrap(), server));
+            ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::A).await
+        });
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert!(resp.header.aa);
+        assert_eq!(
+            resp.answers[0].rdata,
+            RData::A("192.0.2.80".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn nxdomain_carries_soa() {
+        let (mut sim, _net, ns, client) = testbed();
+        let server = AuthServer::new(static_config());
+        let resp = sim.block_on(async move {
+            spawn(serve(ns.udp_bind_any(53).unwrap(), server));
+            ask(&client, sa("192.0.2.53", 53), &n("gone.example.com"), RrType::A).await
+        });
+        assert_eq!(resp.header.rcode, Rcode::NxDomain);
+        assert_eq!(resp.authorities.len(), 1);
+        assert_eq!(resp.authorities[0].rtype(), RrType::Soa);
+    }
+
+    #[test]
+    fn out_of_zone_refused() {
+        let (mut sim, _net, ns, client) = testbed();
+        let server = AuthServer::new(static_config());
+        let resp = sim.block_on(async move {
+            spawn(serve(ns.udp_bind_any(53).unwrap(), server));
+            ask(&client, sa("192.0.2.53", 53), &n("other.org"), RrType::A).await
+        });
+        assert_eq!(resp.header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn qtype_delay_applies_only_to_that_type() {
+        let (mut sim, _net, ns, client) = testbed();
+        let mut cfg = static_config();
+        cfg.qtype_delays = vec![(RrType::Aaaa, Duration::from_millis(300))];
+        let server = AuthServer::new(cfg);
+        let (a_ms, aaaa_ms) = sim.block_on(async move {
+            spawn(serve(ns.udp_bind_any(53).unwrap(), server));
+            let t0 = lazyeye_sim::now();
+            ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::A).await;
+            let a_ms = (lazyeye_sim::now() - t0).as_millis();
+            let t1 = lazyeye_sim::now();
+            ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::Aaaa).await;
+            (a_ms, (lazyeye_sim::now() - t1).as_millis())
+        });
+        assert!(a_ms < 5, "A took {a_ms} ms");
+        assert!((300..320).contains(&aaaa_ms), "AAAA took {aaaa_ms} ms");
+    }
+
+    #[test]
+    fn test_domain_delays_encoded_type() {
+        let (mut sim, _net, ns, client) = testbed();
+        let server = AuthServer::new(AuthConfig {
+            test_domains: vec![TestDomain {
+                apex: n("rd.test"),
+                v4: vec!["192.0.2.80".parse().unwrap()],
+                v6: vec!["2001:db8::80".parse().unwrap()],
+                ttl: 60,
+            }],
+            ..AuthConfig::default()
+        });
+        let qname = n(&format!(
+            "{}.rd.test",
+            TestParams::delay(150, DelayTarget::Aaaa, "t1").to_label()
+        ));
+        let (aaaa_ms, a_ms, resp_has_answers) = sim.block_on(async move {
+            spawn(serve(ns.udp_bind_any(53).unwrap(), server));
+            let t0 = lazyeye_sim::now();
+            let resp = ask(&client, sa("192.0.2.53", 53), &qname, RrType::Aaaa).await;
+            let aaaa_ms = (lazyeye_sim::now() - t0).as_millis();
+            let t1 = lazyeye_sim::now();
+            ask(&client, sa("192.0.2.53", 53), &qname, RrType::A).await;
+            (aaaa_ms, (lazyeye_sim::now() - t1).as_millis(), !resp.answers.is_empty())
+        });
+        assert!(resp_has_answers);
+        assert!((150..170).contains(&aaaa_ms), "AAAA took {aaaa_ms} ms");
+        assert!(a_ms < 5, "A took {a_ms} ms");
+    }
+
+    #[test]
+    fn exclusion_gives_nodata() {
+        let (mut sim, _net, ns, client) = testbed();
+        let server = AuthServer::new(AuthConfig {
+            test_domains: vec![TestDomain {
+                apex: n("rd.test"),
+                v4: vec!["192.0.2.80".parse().unwrap()],
+                v6: vec!["2001:db8::80".parse().unwrap()],
+                ttl: 60,
+            }],
+            ..AuthConfig::default()
+        });
+        let p = TestParams {
+            delay: Duration::ZERO,
+            target: DelayTarget::None,
+            exclude: Some(DelayTarget::Aaaa),
+            count: None,
+            nonce: "e1".into(),
+        };
+        let qname = n(&format!("{}.rd.test", p.to_label()));
+        let (a, aaaa) = sim.block_on(async move {
+            spawn(serve(ns.udp_bind_any(53).unwrap(), server));
+            let a = ask(&client, sa("192.0.2.53", 53), &qname, RrType::A).await;
+            let aaaa = ask(&client, sa("192.0.2.53", 53), &qname, RrType::Aaaa).await;
+            (a, aaaa)
+        });
+        assert_eq!(a.answers.len(), 1);
+        assert!(aaaa.answers.is_empty(), "AAAA must be NODATA");
+        assert_eq!(aaaa.header.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn count_caps_addresses() {
+        let (mut sim, _net, ns, client) = testbed();
+        let v4: Vec<std::net::Ipv4Addr> =
+            (1..=10).map(|i| format!("203.0.113.{i}").parse().unwrap()).collect();
+        let server = AuthServer::new(AuthConfig {
+            test_domains: vec![TestDomain {
+                apex: n("sel.test"),
+                v4,
+                v6: Vec::new(),
+                ttl: 60,
+            }],
+            ..AuthConfig::default()
+        });
+        let p = TestParams {
+            delay: Duration::ZERO,
+            target: DelayTarget::None,
+            exclude: None,
+            count: Some(3),
+            nonce: "c".into(),
+        };
+        let qname = n(&format!("{}.sel.test", p.to_label()));
+        let resp = sim.block_on(async move {
+            spawn(serve(ns.udp_bind_any(53).unwrap(), server));
+            ask(&client, sa("192.0.2.53", 53), &qname, RrType::A).await
+        });
+        assert_eq!(resp.answers.len(), 3);
+    }
+
+    #[test]
+    fn delayed_queries_do_not_block_others() {
+        let (mut sim, _net, ns, client) = testbed();
+        let server = AuthServer::new(AuthConfig {
+            test_domains: vec![TestDomain {
+                apex: n("rd.test"),
+                v4: vec!["192.0.2.80".parse().unwrap()],
+                v6: vec!["2001:db8::80".parse().unwrap()],
+                ttl: 60,
+            }],
+            ..AuthConfig::default()
+        });
+        let slow = n(&format!(
+            "{}.rd.test",
+            TestParams::delay(1000, DelayTarget::Both, "s").to_label()
+        ));
+        let fast = n(&format!(
+            "{}.rd.test",
+            TestParams::delay(0, DelayTarget::None, "f").to_label()
+        ));
+        let fast_ms = sim.block_on(async move {
+            spawn(serve(ns.udp_bind_any(53).unwrap(), server));
+            // Fire the slow query, then immediately the fast one.
+            let slow_sock = client.udp_bind_any(0).unwrap();
+            slow_sock
+                .send_to(
+                    Bytes::from(Message::query(1, slow, RrType::A).encode()),
+                    sa("192.0.2.53", 53),
+                )
+                .unwrap();
+            let t0 = lazyeye_sim::now();
+            ask(&client, sa("192.0.2.53", 53), &fast, RrType::A).await;
+            (lazyeye_sim::now() - t0).as_millis()
+        });
+        assert!(fast_ms < 10, "fast query stalled {fast_ms} ms behind slow one");
+    }
+
+    #[test]
+    fn query_log_records_order_and_delay() {
+        let (mut sim, _net, ns, client) = testbed();
+        let server = AuthServer::new(static_config());
+        let log = sim.block_on({
+            let server = server.clone();
+            async move {
+                spawn(serve(ns.udp_bind_any(53).unwrap(), server.clone()));
+                ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::Aaaa).await;
+                ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::A).await;
+                server.query_log()
+            }
+        });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].qtype, RrType::Aaaa);
+        assert_eq!(log[1].qtype, RrType::A);
+        assert!(log[0].time <= log[1].time);
+    }
+
+    #[test]
+    fn answer_direct_unit() {
+        let server = AuthServer::new(static_config());
+        let q = Message::query(9, n("www.example.com"), RrType::Aaaa);
+        let (resp, delay) = server.answer(&q);
+        assert_eq!(delay, Duration::ZERO);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(
+            resp.answers[0].rdata,
+            RData::Aaaa("2001:db8::80".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn delegation_referral_from_static_zone() {
+        let mut zone = Zone::new(n("example.com"));
+        zone.ns(&n("child.example.com"), &n("ns1.child.example.com"), 3600);
+        zone.aaaa(
+            &n("ns1.child.example.com"),
+            "2001:db8::5".parse().unwrap(),
+            3600,
+        );
+        let mut zones = ZoneSet::new();
+        zones.add(zone);
+        let server = AuthServer::new(AuthConfig {
+            zones,
+            ..AuthConfig::default()
+        });
+        let q = Message::query(1, n("www.child.example.com"), RrType::A);
+        let (resp, _) = server.answer(&q);
+        assert!(!resp.header.aa);
+        assert_eq!(resp.authorities.len(), 1);
+        assert_eq!(resp.additionals.len(), 1, "AAAA glue");
+    }
+
+    #[test]
+    fn global_delay_applies_to_everything() {
+        let mut cfg = static_config();
+        cfg.global_delay = Duration::from_millis(42);
+        let server = AuthServer::new(cfg);
+        let q = Message::query(1, n("www.example.com"), RrType::A);
+        let (_, delay) = server.answer(&q);
+        assert_eq!(delay, Duration::from_millis(42));
+    }
+
+    #[test]
+    fn bad_packet_ignored_server_keeps_running() {
+        let (mut sim, _net, ns, client) = testbed();
+        let server = AuthServer::new(static_config());
+        let resp = sim.block_on(async move {
+            spawn(serve(ns.udp_bind_any(53).unwrap(), server));
+            let sock = client.udp_bind_any(0).unwrap();
+            sock.send_to(Bytes::from_static(b"not dns"), sa("192.0.2.53", 53))
+                .unwrap();
+            ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::A).await
+        });
+        assert_eq!(resp.answers.len(), 1);
+    }
+
+    // Record::new used in doctest; silence unused warnings in this module.
+    #[allow(dead_code)]
+    fn _keep(r: Record) -> Record {
+        r
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion: DNS wire-format encode/decode throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lazyeye_dns::{Message, Name, RData, Rcode, Record, RrType, SvcParam, SvcParams};
+
+fn n(s: &str) -> Name {
+    Name::parse(s).unwrap()
+}
+
+fn small_query() -> Message {
+    Message::query(0x4242, n("www.example.com"), RrType::Aaaa)
+}
+
+fn large_response() -> Message {
+    let q = Message::query(7, n("www.example.com"), RrType::Aaaa);
+    let mut m = Message::response_to(&q, Rcode::NoError, true);
+    for i in 0..10u16 {
+        m.answers.push(Record::new(
+            n("www.example.com"),
+            300,
+            RData::Aaaa(format!("2001:db8::{i}").parse().unwrap()),
+        ));
+        m.answers.push(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A(format!("192.0.2.{i}").parse().unwrap()),
+        ));
+    }
+    m.answers.push(Record::new(
+        n("www.example.com"),
+        300,
+        RData::Https(
+            SvcParams::service(1, Name::root())
+                .with(SvcParam::Alpn(vec![b"h2".to_vec(), b"h3".to_vec()]))
+                .with(SvcParam::Ech(vec![0xAB; 64]))
+                .with(SvcParam::Ipv6Hint(vec!["2001:db8::1".parse().unwrap()])),
+        ),
+    ));
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("dns_encode_small_query", |b| {
+        let msg = small_query();
+        b.iter(|| std::hint::black_box(msg.encode()))
+    });
+    c.bench_function("dns_encode_large_response", |b| {
+        let msg = large_response();
+        b.iter(|| std::hint::black_box(msg.encode()))
+    });
+    c.bench_function("dns_decode_small_query", |b| {
+        let wire = small_query().encode();
+        b.iter(|| std::hint::black_box(Message::decode(&wire).unwrap()))
+    });
+    c.bench_function("dns_decode_large_response", |b| {
+        let wire = large_response().encode();
+        b.iter(|| std::hint::black_box(Message::decode(&wire).unwrap()))
+    });
+    c.bench_function("dns_roundtrip_large", |b| {
+        let msg = large_response();
+        b.iter_batched(
+            || msg.clone(),
+            |m| std::hint::black_box(Message::decode(&m.encode()).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion: the Happy Eyeballs engine end-to-end (DNS + racing), and
+//! its cost under failure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazyeye_clients::{figure2_clients, Client};
+use lazyeye_dns::Name;
+use lazyeye_net::{Family, Netem, NetemRule};
+use lazyeye_testbed::topology::{default_local_topology, resolver_addr, www};
+
+fn chrome() -> lazyeye_clients::ClientProfile {
+    figure2_clients()
+        .into_iter()
+        .find(|c| c.name == "Chrome" && c.version == "130.0")
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("he_connect_healthy", |b| {
+        b.iter(|| {
+            let mut topo = default_local_topology(1);
+            let client = Client::new(chrome(), topo.client.clone(), vec![resolver_addr()]);
+            let res = topo
+                .sim
+                .block_on(async move { client.connect_only(&www(), 80).await });
+            std::hint::black_box(res.connection.is_ok())
+        })
+    });
+
+    c.bench_function("he_connect_v6_broken_fallback", |b| {
+        b.iter(|| {
+            let mut topo = default_local_topology(1);
+            topo.server
+                .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(5000)));
+            let client = Client::new(chrome(), topo.client.clone(), vec![resolver_addr()]);
+            let res = topo
+                .sim
+                .block_on(async move { client.connect_only(&www(), 80).await });
+            std::hint::black_box(res.log.observed_cad())
+        })
+    });
+
+    c.bench_function("he_full_cad_sweep_9pts", |b| {
+        use lazyeye_testbed::{run_cad_case, CadCaseConfig, SweepSpec};
+        b.iter(|| {
+            let cfg = CadCaseConfig {
+                sweep: SweepSpec::new(0, 400, 50),
+                repetitions: 1,
+            };
+            std::hint::black_box(run_cad_case(&chrome(), &cfg, 7).len())
+        })
+    });
+
+    c.bench_function("he_fetch_with_http", |b| {
+        b.iter(|| {
+            let mut topo = default_local_topology(2);
+            // Swap the hold-connections web server for a real one.
+            let http_host = topo.server.clone();
+            topo.sim.enter(|| {
+                let listener = http_host.tcp_listen_any(8080).unwrap();
+                let handler: lazyeye_clients::http::Handler =
+                    std::rc::Rc::new(|_req, peer| {
+                        lazyeye_clients::http::HttpResponse::ok(format!("{}", peer.ip()))
+                    });
+                lazyeye_sim::spawn(lazyeye_clients::http::serve_http(listener, handler));
+            });
+            let client = Client::new(chrome(), topo.client.clone(), vec![resolver_addr()]);
+            let body = topo.sim.block_on(async move {
+                client
+                    .fetch(&Name::parse("www.hetest").unwrap(), 8080, "/ip")
+                    .await
+                    .response
+                    .map(|r| r.text())
+            });
+            std::hint::black_box(body)
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

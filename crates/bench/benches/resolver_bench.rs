@@ -1,0 +1,54 @@
+//! Criterion: full iterative resolution through the resolver testbed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazyeye_resolver::{bind9, unbound, RecursiveConfig, RecursiveResolver};
+use lazyeye_testbed::topology::resolver_topology;
+
+fn bench(c: &mut Criterion) {
+    for (label, profile) in [("bind9", bind9()), ("unbound", unbound())] {
+        c.bench_function(&format!("resolve_delegation_{label}"), |b| {
+            b.iter(|| {
+                let mut topo = resolver_topology(3, "bench");
+                let mut cfg = RecursiveConfig::new(topo.roots.clone());
+                cfg.policy = profile.policy.clone();
+                let resolver = RecursiveResolver::new(topo.resolver_host.clone(), cfg);
+                let qname = topo.qname.clone();
+                let out = topo.sim.block_on(async move {
+                    resolver.resolve(&qname, lazyeye_dns::RrType::A).await
+                });
+                std::hint::black_box(out.is_ok())
+            })
+        });
+    }
+
+    c.bench_function("resolve_cached_1k", |b| {
+        b.iter(|| {
+            let mut topo = resolver_topology(4, "bench2");
+            let cfg = RecursiveConfig::new(topo.roots.clone());
+            let resolver = RecursiveResolver::new(topo.resolver_host.clone(), cfg);
+            let qname = topo.qname.clone();
+            let hits = topo.sim.block_on(async move {
+                let _ = resolver.resolve(&qname, lazyeye_dns::RrType::A).await;
+                for _ in 0..1000 {
+                    let _ = resolver.resolve(&qname, lazyeye_dns::RrType::A).await;
+                }
+                resolver.cache_stats().0
+            });
+            std::hint::black_box(hits)
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

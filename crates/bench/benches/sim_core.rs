@@ -1,0 +1,106 @@
+//! Criterion: simulator core throughput — how fast virtual time runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazyeye_sim::{sleep, spawn, Sim};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("sim_10k_timers", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            sim.block_on(async {
+                let handles: Vec<_> = (0..10_000u64)
+                    .map(|i| spawn(async move { sleep(Duration::from_millis(i % 977)).await }))
+                    .collect();
+                for h in handles {
+                    let _ = h.await;
+                }
+            });
+            std::hint::black_box(sim.now())
+        })
+    });
+
+    c.bench_function("sim_channel_pingpong_1k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            sim.block_on(async {
+                let (tx_a, mut rx_a) = lazyeye_sim::sync::mpsc::unbounded::<u32>();
+                let (tx_b, mut rx_b) = lazyeye_sim::sync::mpsc::unbounded::<u32>();
+                spawn(async move {
+                    while let Some(v) = rx_a.recv().await {
+                        if tx_b.send(v + 1).is_err() {
+                            break;
+                        }
+                    }
+                });
+                let mut v = 0;
+                for _ in 0..1000 {
+                    tx_a.send(v).unwrap();
+                    v = rx_b.recv().await.unwrap();
+                }
+                v
+            })
+        })
+    });
+
+    c.bench_function("net_udp_1k_roundtrips", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let net = lazyeye_net::Network::new();
+            let a = net.host("a").v4("192.0.2.1").build();
+            let z = net.host("z").v4("192.0.2.2").build();
+            sim.block_on(async move {
+                let sa = a.udp_bind_any(7).unwrap();
+                spawn(async move {
+                    while let Ok((p, src)) = sa.recv_from().await {
+                        let _ = sa.send_to(p, src);
+                    }
+                });
+                let sz = z.udp_bind_any(0).unwrap();
+                let dst = std::net::SocketAddr::new("192.0.2.1".parse().unwrap(), 7);
+                for _ in 0..1000 {
+                    sz.send_to(bytes::Bytes::from_static(b"ping"), dst).unwrap();
+                    let _ = sz.recv_from().await.unwrap();
+                }
+            });
+            std::hint::black_box(sim.now())
+        })
+    });
+
+    c.bench_function("net_tcp_100_connects", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let net = lazyeye_net::Network::new();
+            let server = net.host("s").v4("192.0.2.1").build();
+            let client = net.host("c").v4("192.0.2.9").build();
+            sim.block_on(async move {
+                let l = server.tcp_listen_any(80).unwrap();
+                spawn(async move {
+                    loop {
+                        let Ok((s, _)) = l.accept().await else { break };
+                        std::mem::forget(s);
+                    }
+                });
+                let dst = std::net::SocketAddr::new("192.0.2.1".parse().unwrap(), 80);
+                for _ in 0..100 {
+                    let _ = client.tcp_connect(dst).await.unwrap();
+                }
+            });
+            std::hint::black_box(sim.poll_count())
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

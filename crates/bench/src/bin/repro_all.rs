@@ -1,0 +1,40 @@
+//! Runs every reproduction binary in sequence (the paper's full
+//! evaluation), leaving outputs in `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "repro_table1",
+        "repro_fig2",
+        "repro_table2",
+        "repro_table3",
+        "repro_table4",
+        "repro_fig4",
+        "repro_fig5",
+        "repro_table5",
+        "repro_icpr",
+        "repro_stall",
+        "repro_negcache",
+    ];
+    let self_exe = std::env::current_exe().expect("own path");
+    let dir = self_exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let path = dir.join(bin);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo when running via `cargo run`.
+            Command::new("cargo")
+                .args(["run", "-q", "-p", "lazyeye-bench", "--bin", bin])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to run {bin}: {e}"),
+        }
+    }
+    println!("\nAll reproductions complete; outputs in results/.");
+}

@@ -1,0 +1,152 @@
+//! Reproduces the **iCloud Private Relay findings** (§5.1/§5.2):
+//! measurements through iCPR show the egress operator's Happy Eyeballs,
+//! not Safari's — Akamai with a 150 ms CAD and 400 ms DNS timeout,
+//! Cloudflare with 200 ms and 1.75 s.
+
+use std::net::SocketAddr;
+use std::rc::Rc;
+
+use lazyeye_authns::{serve as serve_dns, AuthConfig, AuthServer};
+use lazyeye_bench::{emit, fresh};
+use lazyeye_clients::http::{serve_http, Handler, HttpRequest, HttpResponse};
+use lazyeye_clients::icpr;
+use lazyeye_dns::{Name, RrType, Zone, ZoneSet};
+use lazyeye_net::{Family, Netem, NetemRule, Network};
+use lazyeye_sim::{spawn, Sim};
+use lazyeye_testbed::Table;
+
+fn sa(ip: &str, port: u16) -> SocketAddr {
+    SocketAddr::new(ip.parse().unwrap(), port)
+}
+
+/// Runs one iCPR measurement: target IPv6 delayed by `v6_delay_ms` (CAD
+/// test) or AAAA delayed by `dns_delay_ms` (RD test); returns the family
+/// the egress ended up using.
+fn via_egress(
+    profile: icpr::EgressProfile,
+    v6_delay_ms: u64,
+    dns_delay_ms: u64,
+    seed: u64,
+) -> Option<Family> {
+    let mut sim = Sim::new(seed);
+    let net = Network::new();
+    let web = net.host("web").v4("192.0.2.1").v6("2001:db8::1").build();
+    let egress = net
+        .host("egress")
+        .v4("198.51.100.9")
+        .v6("2001:db8:e9::9")
+        .build();
+    let user = net.host("user").v4("192.0.2.200").build();
+
+    if v6_delay_ms > 0 {
+        web.add_egress(NetemRule::family(Family::V6, Netem::delay_ms(v6_delay_ms)));
+    }
+    let mut zone = Zone::new(Name::parse("hetest").unwrap());
+    zone.a(
+        &Name::parse("www.hetest").unwrap(),
+        "192.0.2.1".parse().unwrap(),
+        300,
+    );
+    zone.aaaa(
+        &Name::parse("www.hetest").unwrap(),
+        "2001:db8::1".parse().unwrap(),
+        300,
+    );
+    let mut zones = ZoneSet::new();
+    zones.add(zone);
+    let auth = AuthServer::new(AuthConfig {
+        zones,
+        qtype_delays: if dns_delay_ms > 0 {
+            vec![(RrType::Aaaa, std::time::Duration::from_millis(dns_delay_ms))]
+        } else {
+            Vec::new()
+        },
+        ..AuthConfig::default()
+    });
+    sim.enter(|| {
+        spawn(serve_dns(web.udp_bind_any(53).unwrap(), auth));
+        let listener = web.tcp_listen_any(80).unwrap();
+        let handler: Handler = Rc::new(|_req: &HttpRequest, peer: SocketAddr| {
+            HttpResponse::ok(format!("{}", peer.ip()))
+        });
+        spawn(serve_http(listener, handler));
+        icpr::spawn_egress(&egress, 4433, profile, vec![sa("192.0.2.1", 53)]).unwrap();
+    });
+    let reply = sim.block_on(async move {
+        icpr::visit_via_egress(
+            &user,
+            sa("198.51.100.9", 4433),
+            &Name::parse("www.hetest").unwrap(),
+            80,
+            "/ip",
+        )
+        .await
+        .unwrap()
+    });
+    reply
+        .text()
+        .parse::<std::net::IpAddr>()
+        .ok()
+        .map(Family::of)
+}
+
+fn main() {
+    fresh("icpr");
+    let mut cad_table = Table::new(
+        "iCPR egress CAD (IPv6 transport delayed)",
+        vec!["Operator", "delay where v6 still used", "first delay using v4"],
+    );
+    let mut rd_table = Table::new(
+        "iCPR egress DNS timeout (AAAA answer delayed)",
+        vec!["Operator", "delay where v6 still used", "first delay using v4"],
+    );
+
+    for (op, make) in [
+        ("Akamai", icpr::akamai as fn() -> icpr::EgressProfile),
+        ("Cloudflare", icpr::cloudflare as fn() -> icpr::EgressProfile),
+    ] {
+        // CAD sweep.
+        let delays = [0u64, 100, 150, 200, 250, 400];
+        let mut last_v6 = None;
+        let mut first_v4 = None;
+        for (i, &d) in delays.iter().enumerate() {
+            match via_egress(make(), d, 0, 900 + i as u64) {
+                Some(Family::V6) => last_v6 = Some(d),
+                Some(Family::V4) if first_v4.is_none() => first_v4 = Some(d),
+                _ => {}
+            }
+        }
+        cad_table.row(vec![
+            op.into(),
+            last_v6.map(|d| format!("{d} ms")).unwrap_or_else(|| "-".into()),
+            first_v4.map(|d| format!("{d} ms")).unwrap_or_else(|| "-".into()),
+        ]);
+
+        // DNS (RD-equivalent) sweep.
+        let dns_delays = [0u64, 200, 400, 800, 1200, 1750, 2500];
+        let mut last_v6 = None;
+        let mut first_v4 = None;
+        for (i, &d) in dns_delays.iter().enumerate() {
+            match via_egress(make(), 0, d, 950 + i as u64) {
+                Some(Family::V6) => last_v6 = Some(d),
+                Some(Family::V4) if first_v4.is_none() => first_v4 = Some(d),
+                _ => {}
+            }
+        }
+        rd_table.row(vec![
+            op.into(),
+            last_v6.map(|d| format!("{d} ms")).unwrap_or_else(|| "-".into()),
+            first_v4.map(|d| format!("{d} ms")).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+
+    emit("icpr", &cad_table.render());
+    emit("icpr", &rd_table.render());
+    emit(
+        "icpr",
+        "Paper check: Akamai egress uses a 150 ms CAD and a 400 ms DNS\n\
+         timeout; Cloudflare 200 ms and 1.75 s (it keeps using IPv6 up to a\n\
+         1.75 s AAAA delay). Through iCPR, Safari's own RD and address\n\
+         selection are invisible — the egress stack decides, matching §5.1/§5.2.",
+    );
+}

@@ -1,0 +1,89 @@
+//! Reproduces **Table 3**: resolver IPv6 usage as observed on the
+//! authoritative name server — AAAA query ordering, IPv6 share, the
+//! maximum IPv6 delay tolerated, and IPv6 packet counts.
+
+use lazyeye_bench::{emit, fast_mode, fresh};
+use lazyeye_resolver::{open_resolver_profiles, software_profiles};
+use lazyeye_testbed::{run_resolver_case, summarize_resolver, ResolverCaseConfig, SweepSpec, Table};
+
+fn main() {
+    fresh("table3");
+    let mut t = Table::new(
+        "Table 3 — resolver IPv6 usage at the authoritative name server",
+        vec![
+            "Service",
+            "AAAA Query",
+            "IPv6 Share",
+            "Max IPv6 Delay",
+            "Obs. CAD",
+            "# IPv6 Packets",
+            "Expected (paper)",
+        ],
+    );
+
+    let share_reps = if fast_mode() { 20 } else { 60 };
+    let mut profiles = software_profiles();
+    profiles.extend(
+        open_resolver_profiles()
+            .into_iter()
+            .filter(|p| p.ipv6_only_capable),
+    );
+
+    for (i, profile) in profiles.iter().enumerate() {
+        // Preference share at zero delay (many repetitions).
+        let share_cfg = ResolverCaseConfig {
+            sweep: SweepSpec::new(0, 0, 1),
+            repetitions: share_reps,
+        };
+        let share_stats = summarize_resolver(&run_resolver_case(profile, &share_cfg, 4000 + i as u64));
+
+        // Timeout/CAD via a delay sweep around the profile's timeout.
+        let t_ms = profile.policy.server_timeout.as_millis() as u64;
+        let sweep_cfg = ResolverCaseConfig {
+            sweep: SweepSpec::new(0, t_ms + 400, (t_ms / 4).max(50)),
+            repetitions: if fast_mode() { 2 } else { 4 },
+        };
+        let sweep_stats = summarize_resolver(&run_resolver_case(profile, &sweep_cfg, 5000 + i as u64));
+
+        let expected = profile
+            .expected
+            .map(|(share, delay, pkts)| {
+                format!(
+                    "{share:.1} % / {} / {pkts}",
+                    delay.map(|d| format!("{d} ms")).unwrap_or_else(|| "-".into())
+                )
+            })
+            .unwrap_or_else(|| "-".into());
+
+        t.row(vec![
+            profile.name.to_string(),
+            profile.aaaa_marker().symbol().to_string(),
+            format!("{:.1} %", share_stats.v6_share_pct),
+            sweep_stats
+                .max_v6_delay_ms
+                .map(|d| format!("{d} ms"))
+                .unwrap_or_else(|| "-".into()),
+            sweep_stats
+                .observed_cad_ms
+                .map(|d| format!("{d:.0} ms"))
+                .unwrap_or_else(|| "-".into()),
+            sweep_stats
+                .max_v6_packets
+                .max(share_stats.max_v6_packets)
+                .to_string(),
+            expected,
+        ]);
+    }
+    emit("table3", &t.render());
+    emit(
+        "table3",
+        "Paper check: BIND always prefers IPv6 with an 800 ms timeout and one\n\
+         IPv6 packet; Unbound sits near 50 % with same-address backoff\n\
+         (376 -> 1128 ms, 2 packets); Knot near 25 %; OpenDNS is the only\n\
+         open service doing HE-style always-IPv6 with a 50 ms fallback;\n\
+         Google and DNS.sb never use the IPv6 name-server address; Yandex\n\
+         sends up to 6 IPv6 packets without interleaving — matching §5.3.\n\
+         (Shares are stochastic: sampled preferences approximate the paper's\n\
+         long-run percentages.)",
+    );
+}

@@ -1,0 +1,303 @@
+//! A minimal HTTP/1.1 implementation over the simulated TCP streams —
+//! the NGINX stand-in for the testbed and the web tool.
+
+use std::net::SocketAddr;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use lazyeye_net::{NetError, TcpListener, TcpStream};
+use lazyeye_sim::spawn;
+
+/// A parsed HTTP request (enough for GET-based measurement endpoints).
+#[derive(Clone, Debug)]
+pub struct HttpRequest {
+    /// Method ("GET").
+    pub method: String,
+    /// Request target ("/ip").
+    pub path: String,
+    /// Headers as (lowercased-name, value) pairs.
+    pub headers: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Headers.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Bytes,
+}
+
+impl HttpResponse {
+    /// 200 OK with a text body.
+    pub fn ok(body: impl Into<Bytes>) -> HttpResponse {
+        let body = body.into();
+        HttpResponse {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![("content-type".into(), "text/plain".into())],
+            body,
+        }
+    }
+
+    /// 404 Not Found.
+    pub fn not_found() -> HttpResponse {
+        HttpResponse {
+            status: 404,
+            reason: "Not Found".into(),
+            headers: Vec::new(),
+            body: Bytes::from_static(b"not found"),
+        }
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).to_string()
+    }
+
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).into_bytes();
+        for (n, v) in &self.headers {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("content-length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// HTTP-layer errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Transport failed.
+    Net(NetError),
+    /// The peer sent something unparsable.
+    Malformed,
+}
+
+impl From<NetError> for HttpError {
+    fn from(e: NetError) -> Self {
+        HttpError::Net(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Net(e) => write!(f, "transport error: {e}"),
+            HttpError::Malformed => write!(f, "malformed HTTP message"),
+        }
+    }
+}
+impl std::error::Error for HttpError {}
+
+/// Sends a GET and reads the full response.
+pub async fn http_get(
+    stream: &TcpStream,
+    host: &str,
+    path: &str,
+    user_agent: &str,
+) -> Result<HttpResponse, HttpError> {
+    let req = format!(
+        "GET {path} HTTP/1.1\r\nhost: {host}\r\nuser-agent: {user_agent}\r\nconnection: close\r\n\r\n"
+    );
+    stream.write(req.as_bytes())?;
+    read_response(stream).await
+}
+
+/// Reads one response from the stream.
+pub async fn read_response(stream: &TcpStream) -> Result<HttpResponse, HttpError> {
+    // read_until returns everything read so far, which can include body
+    // bytes that rode along in the same segment — split at the delimiter
+    // *before* parsing headers.
+    let raw = stream.read_until(b"\r\n\r\n").await?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(HttpError::Malformed)?;
+    let head_str = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    let mut lines = head_str.split("\r\n");
+    let status_line = lines.next().ok_or(HttpError::Malformed)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let _version = parts.next().ok_or(HttpError::Malformed)?;
+    let status: u16 = parts
+        .next()
+        .ok_or(HttpError::Malformed)?
+        .parse()
+        .map_err(|_| HttpError::Malformed)?;
+    let reason = parts.next().unwrap_or("").to_string();
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (n, v) = line.split_once(':').ok_or(HttpError::Malformed)?;
+        let name = n.trim().to_ascii_lowercase();
+        let value = v.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| HttpError::Malformed)?;
+        }
+        headers.push((name, value));
+    }
+    let mut body = raw[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        body.extend_from_slice(&stream.read_exact(content_length - body.len()).await?);
+    }
+    body.truncate(content_length);
+    Ok(HttpResponse {
+        status,
+        reason,
+        headers,
+        body: Bytes::from(body),
+    })
+}
+
+/// Reads one request from the stream (server side).
+pub async fn read_request(stream: &TcpStream) -> Result<HttpRequest, HttpError> {
+    let raw = stream.read_until(b"\r\n\r\n").await?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(HttpError::Malformed)?;
+    let head_str = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or(HttpError::Malformed)?.to_string();
+    let path = parts.next().ok_or(HttpError::Malformed)?.to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((n, v)) = line.split_once(':') {
+            headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    Ok(HttpRequest {
+        method,
+        path,
+        headers,
+    })
+}
+
+/// The handler type for [`serve_http`]: request + client source address →
+/// response. The source address is what the web tool's endpoints echo back
+/// ("Our web server returns the client's source address in its response").
+pub type Handler = Rc<dyn Fn(&HttpRequest, SocketAddr) -> HttpResponse>;
+
+/// Serves HTTP on the listener until it is closed. One task per
+/// connection; connection-close semantics (the measurement tool never needs
+/// keep-alive).
+pub async fn serve_http(listener: TcpListener, handler: Handler) {
+    loop {
+        let Ok((stream, peer)) = listener.accept().await else {
+            return;
+        };
+        let handler = Rc::clone(&handler);
+        spawn(async move {
+            if let Ok(req) = read_request(&stream).await {
+                let resp = handler(&req, peer);
+                let _ = stream.write(&resp.serialize());
+            }
+            stream.close();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyeye_net::Network;
+    use lazyeye_sim::Sim;
+
+    fn sa(ip: &str, port: u16) -> SocketAddr {
+        SocketAddr::new(ip.parse().unwrap(), port)
+    }
+
+    #[test]
+    fn get_roundtrip_echoes_source_address() {
+        let mut sim = Sim::new(1);
+        let net = Network::new();
+        let server = net.host("web").v4("192.0.2.1").v6("2001:db8::1").build();
+        let client = net
+            .host("client")
+            .v4("192.0.2.100")
+            .v6("2001:db8::100")
+            .build();
+        let resp = sim.block_on(async move {
+            let listener = server.tcp_listen_any(80).unwrap();
+            let handler: Handler = Rc::new(|req: &HttpRequest, peer: SocketAddr| {
+                assert_eq!(req.method, "GET");
+                HttpResponse::ok(format!("ip={}", peer.ip()))
+            });
+            spawn(serve_http(listener, handler));
+            let stream = client.tcp_connect(sa("2001:db8::1", 80)).await.unwrap();
+            http_get(&stream, "www.test", "/ip", "test-agent/1.0")
+                .await
+                .unwrap()
+        });
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "ip=2001:db8::100");
+    }
+
+    #[test]
+    fn request_headers_parsed() {
+        let mut sim = Sim::new(1);
+        let net = Network::new();
+        let server = net.host("web").v4("192.0.2.1").build();
+        let client = net.host("client").v4("192.0.2.100").build();
+        let ua = sim.block_on(async move {
+            let listener = server.tcp_listen_any(80).unwrap();
+            let handler: Handler = Rc::new(|req: &HttpRequest, _| {
+                HttpResponse::ok(req.header("user-agent").unwrap_or("?").to_string())
+            });
+            spawn(serve_http(listener, handler));
+            let stream = client.tcp_connect(sa("192.0.2.1", 80)).await.unwrap();
+            http_get(&stream, "h", "/", "Wget/1.21.3").await.unwrap().text()
+        });
+        assert_eq!(ua, "Wget/1.21.3");
+    }
+
+    #[test]
+    fn not_found_and_body_lengths() {
+        let mut sim = Sim::new(1);
+        let net = Network::new();
+        let server = net.host("web").v4("192.0.2.1").build();
+        let client = net.host("client").v4("192.0.2.100").build();
+        let (status, len) = sim.block_on(async move {
+            let listener = server.tcp_listen_any(80).unwrap();
+            let handler: Handler = Rc::new(|req: &HttpRequest, _| {
+                if req.path == "/big" {
+                    HttpResponse::ok(vec![0x61u8; 100_000])
+                } else {
+                    HttpResponse::not_found()
+                }
+            });
+            spawn(serve_http(listener, handler));
+            let s1 = client.tcp_connect(sa("192.0.2.1", 80)).await.unwrap();
+            let r1 = http_get(&s1, "h", "/nope", "t").await.unwrap();
+            let s2 = client.tcp_connect(sa("192.0.2.1", 80)).await.unwrap();
+            let r2 = http_get(&s2, "h", "/big", "t").await.unwrap();
+            (r1.status, r2.body.len())
+        });
+        assert_eq!(status, 404);
+        assert_eq!(len, 100_000, "multi-segment body reassembled");
+    }
+}

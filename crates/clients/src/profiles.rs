@@ -1,0 +1,548 @@
+//! Client behaviour profiles: every browser/tool version the paper
+//! measured, expressed as a Happy Eyeballs engine configuration plus stub
+//! behaviour.
+//!
+//! The parameters come from the paper's findings (§5.1–§5.2, Table 2,
+//! Figure 2): Chromium-based browsers use a 300 ms CAD (hard-coded in
+//! `transport_connect_job.h`), curl 200 ms, Firefox the RFC's 250 ms,
+//! Safari a dynamic CAD with Resolution Delay and real address selection —
+//! and everything except Safari stalls until the A lookup completes.
+
+use std::time::Duration;
+
+use lazyeye_core::{CadMode, HeConfig, HeVersion, InterlaceStrategy, Quirks};
+use lazyeye_net::Family;
+use lazyeye_resolver::QueryOrder;
+
+/// Browser engine family (drives shared behaviour and UA strings).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// Chrome, Chromium, Edge, Opera, Samsung Internet, Chrome Mobile.
+    Chromium,
+    /// Firefox (desktop + mobile).
+    Gecko,
+    /// Safari and Mobile Safari (and the network stack under them).
+    WebKit,
+    /// curl.
+    Curl,
+    /// GNU wget.
+    Wget,
+}
+
+/// One measured client: name, version, release, platform and behaviour.
+#[derive(Clone, Debug)]
+pub struct ClientProfile {
+    /// Product name as in the paper ("Chrome", "curl", ...).
+    pub name: &'static str,
+    /// Version string ("130.0").
+    pub version: &'static str,
+    /// Release month as in Figure 2 ("10-2024").
+    pub released: &'static str,
+    /// Engine family.
+    pub engine: Engine,
+    /// OS name used for web-tool user agents.
+    pub os: &'static str,
+    /// OS version for user agents (may be empty — Linux UAs carry none).
+    pub os_version: &'static str,
+    /// Mobile device flag.
+    pub mobile: bool,
+    /// Happy Eyeballs engine configuration reproducing the measurements.
+    pub he: HeConfig,
+    /// Stub query scheduling (Table 2's "AAAA first" column).
+    pub stub_order: QueryOrder,
+}
+
+impl ClientProfile {
+    /// Row label used in Figure 2: `Chrome (130.0 10-2024)`.
+    pub fn figure2_label(&self) -> String {
+        format!("{} ({} {})", self.name, self.version, self.released)
+    }
+
+    /// Short id: `chrome-130.0`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}-{}",
+            self.name.to_lowercase().replace(' ', "-"),
+            self.version
+        )
+    }
+
+    /// The configured CAD as a duration, when fixed (for table rendering).
+    pub fn fixed_cad(&self) -> Option<Duration> {
+        match self.he.cad {
+            CadMode::Fixed(d) => Some(d),
+            CadMode::Dynamic { .. } => None,
+        }
+    }
+
+    /// The user-agent string this client sends (see [`crate::ua`]).
+    pub fn user_agent(&self) -> String {
+        crate::ua::build_user_agent(self)
+    }
+}
+
+/// Chromium network stack: 300 ms CAD (hard-coded), no Resolution Delay,
+/// waits for both address lookups before connecting, HEv1-style single
+/// fallback. Applies to Chrome, Chromium, Edge, Opera, Samsung Internet.
+fn chromium_he() -> HeConfig {
+    HeConfig {
+        version: HeVersion::V1,
+        cad: CadMode::Fixed(Duration::from_millis(300)),
+        resolution_delay: None,
+        interlace: InterlaceStrategy::Hev1SingleFallback,
+        prefer: Family::V6,
+        attempt_timeout: Duration::from_secs(10),
+        overall_deadline: Duration::from_secs(30),
+        cache_ttl: Duration::from_secs(600),
+        use_quic: false,
+        quirks: Quirks {
+            wait_for_all_answers: true,
+            stop_after_first_pair: true,
+        },
+    }
+}
+
+/// Chromium with the `EnableHappyEyeballsV3` feature flag (April 2024+):
+/// adds the Resolution Delay and drops the wait-for-A stall.
+fn chromium_hev3_he() -> HeConfig {
+    HeConfig {
+        version: HeVersion::V3,
+        resolution_delay: Some(Duration::from_millis(50)),
+        quirks: Quirks {
+            wait_for_all_answers: false,
+            stop_after_first_pair: true,
+        },
+        ..chromium_he()
+    }
+}
+
+/// Firefox: RFC-recommended 250 ms CAD, otherwise the same limited HEv1
+/// behaviour (and the A-before-AAAA stub ordering the paper observed).
+fn firefox_he() -> HeConfig {
+    HeConfig {
+        cad: CadMode::Fixed(Duration::from_millis(250)),
+        ..chromium_he()
+    }
+}
+
+/// Safari / the Apple network stack: dynamic CAD from connection history
+/// (2 s with a fresh state — the local-testbed observation; up to 5 s seen
+/// in the wild), 50 ms Resolution Delay, Safari-style interlacing over all
+/// addresses with FAFC = 2.
+fn safari_he(mobile: bool) -> HeConfig {
+    HeConfig {
+        version: HeVersion::V2,
+        cad: CadMode::Dynamic {
+            min: Duration::from_millis(10),
+            no_history: if mobile {
+                // iOS devices never exceeded 1 s in the paper's data.
+                Duration::from_millis(1000)
+            } else {
+                Duration::from_millis(2000)
+            },
+            max: if mobile {
+                Duration::from_millis(1000)
+            } else {
+                Duration::from_millis(5000)
+            },
+            // With history, the observed web CAD ranged 50 ms – 5 s and
+            // flipped between repetitions; a log-uniform spread of ±e^1.6
+            // reproduces that unpredictability.
+            spread: 1.6,
+        },
+        resolution_delay: Some(Duration::from_millis(50)),
+        interlace: InterlaceStrategy::SafariStyle,
+        prefer: Family::V6,
+        attempt_timeout: Duration::from_secs(10),
+        overall_deadline: Duration::from_secs(75),
+        cache_ttl: Duration::from_secs(600),
+        use_quic: false,
+        quirks: Quirks::default(),
+    }
+}
+
+/// curl: the smallest observed CAD (200 ms, `--happy-eyeballs-timeout-ms`
+/// default), getaddrinfo-style blocking resolution.
+fn curl_he() -> HeConfig {
+    HeConfig {
+        cad: CadMode::Fixed(Duration::from_millis(200)),
+        ..chromium_he()
+    }
+}
+
+/// wget: no Happy Eyeballs at all — first family only, fails without ever
+/// touching the IPv4 addresses. Table 2 shows exactly one IPv6 address
+/// used (its long per-connect timeout keeps it stuck on the first).
+fn wget_he() -> HeConfig {
+    HeConfig {
+        version: HeVersion::V1,
+        cad: CadMode::Fixed(Duration::from_millis(0)),
+        resolution_delay: None,
+        interlace: InterlaceStrategy::NoFallback,
+        prefer: Family::V6,
+        attempt_timeout: Duration::from_secs(20),
+        overall_deadline: Duration::from_secs(120),
+        cache_ttl: Duration::from_secs(600),
+        use_quic: false,
+        quirks: Quirks {
+            wait_for_all_answers: true,
+            stop_after_first_pair: true,
+        },
+    }
+}
+
+fn chromium_family(
+    name: &'static str,
+    version: &'static str,
+    released: &'static str,
+    os: &'static str,
+    os_version: &'static str,
+    mobile: bool,
+) -> ClientProfile {
+    ClientProfile {
+        name,
+        version,
+        released,
+        engine: Engine::Chromium,
+        os,
+        os_version,
+        mobile,
+        he: chromium_he(),
+        stub_order: QueryOrder::AaaaThenA,
+    }
+}
+
+fn firefox(
+    version: &'static str,
+    released: &'static str,
+    os: &'static str,
+    os_version: &'static str,
+    mobile: bool,
+) -> ClientProfile {
+    ClientProfile {
+        name: if mobile { "Firefox Mobile" } else { "Firefox" },
+        version,
+        released,
+        engine: Engine::Gecko,
+        os,
+        os_version,
+        mobile,
+        he: firefox_he(),
+        // Table 2: Firefox does not send AAAA first (stub-order dependent).
+        stub_order: QueryOrder::AThenAaaa,
+    }
+}
+
+fn safari(
+    version: &'static str,
+    released: &'static str,
+    os: &'static str,
+    os_version: &'static str,
+    mobile: bool,
+) -> ClientProfile {
+    ClientProfile {
+        name: if mobile { "Mobile Safari" } else { "Safari" },
+        version,
+        released,
+        engine: Engine::WebKit,
+        os,
+        os_version,
+        mobile,
+        he: safari_he(mobile),
+        stub_order: QueryOrder::AaaaThenA,
+    }
+}
+
+/// The clients of the local testbed evaluation (Figure 2's rows, bottom to
+/// top in the paper's order plus Safari which Figure 2 omits for scale).
+pub fn figure2_clients() -> Vec<ClientProfile> {
+    vec![
+        ClientProfile {
+            name: "wget",
+            version: "1.21.3",
+            released: "02-2022",
+            engine: Engine::Wget,
+            os: "Linux",
+            os_version: "",
+            mobile: false,
+            he: wget_he(),
+            stub_order: QueryOrder::AThenAaaa,
+        },
+        ClientProfile {
+            name: "curl",
+            version: "7.88.1",
+            released: "02-2023",
+            engine: Engine::Curl,
+            os: "Linux",
+            os_version: "",
+            mobile: false,
+            he: curl_he(),
+            stub_order: QueryOrder::AaaaThenA,
+        },
+        firefox("96.0", "01-2022", "Linux", "", false),
+        firefox("109.0", "01-2023", "Linux", "", false),
+        firefox("122.0", "01-2024", "Linux", "", false),
+        firefox("132.0", "10-2024", "Linux", "", false),
+        chromium_family("Edge", "90.0", "04-2021", "Windows", "10", false),
+        chromium_family("Edge", "96.0", "11-2021", "Windows", "10", false),
+        chromium_family("Edge", "108.0", "12-2022", "Windows", "10", false),
+        chromium_family("Edge", "120.0", "12-2023", "Windows", "10", false),
+        chromium_family("Edge", "130.0", "10-2024", "Windows", "10", false),
+        chromium_family("Chromium", "130.0", "10-2024", "Linux", "", false),
+        chromium_family("Chrome", "88.0", "01-2021", "Linux", "", false),
+        chromium_family("Chrome", "96.0", "11-2021", "Linux", "", false),
+        chromium_family("Chrome", "108.0", "11-2022", "Linux", "", false),
+        chromium_family("Chrome", "120.0", "11-2023", "Linux", "", false),
+        chromium_family("Chrome", "130.0", "10-2024", "Linux", "", false),
+    ]
+}
+
+/// Safari profiles (separate because Figure 2 omits them for scale).
+pub fn safari_clients() -> Vec<ClientProfile> {
+    vec![
+        safari("17.5", "05-2024", "Mac OS X", "10.15.7", false),
+        safari("17.6", "07-2024", "Mac OS X", "10.15.7", false),
+        safari("18.0.1", "10-2024", "Mac OS X", "10.15.7", false),
+        safari("17.5", "05-2024", "iOS", "17.5.1", true),
+        safari("17.6", "07-2024", "iOS", "17.6", true),
+        safari("18.1", "10-2024", "iOS", "18.1", true),
+    ]
+}
+
+/// The Table 2 client set (one row per product).
+pub fn table2_clients() -> Vec<ClientProfile> {
+    vec![
+        chromium_family("Chrome", "130.0", "10-2024", "Linux", "", false),
+        chromium_family("Chromium", "130.0", "10-2024", "Linux", "", false),
+        chromium_family("Edge", "130.0", "10-2024", "Windows", "10", false),
+        firefox("132.0", "10-2024", "Linux", "", false),
+        safari("17.6", "07-2024", "Mac OS X", "10.15.7", false),
+        safari("17.6", "07-2024", "iOS", "17.6", true),
+        chromium_family("Chrome Mobile", "130.0.0", "10-2024", "Android", "10", true),
+        ClientProfile {
+            name: "curl",
+            version: "7.88.1",
+            released: "02-2023",
+            engine: Engine::Curl,
+            os: "Linux",
+            os_version: "",
+            mobile: false,
+            he: curl_he(),
+            stub_order: QueryOrder::AaaaThenA,
+        },
+        ClientProfile {
+            name: "wget",
+            version: "1.21.3",
+            released: "02-2022",
+            engine: Engine::Wget,
+            os: "Linux",
+            os_version: "",
+            mobile: false,
+            he: wget_he(),
+            stub_order: QueryOrder::AThenAaaa,
+        },
+    ]
+}
+
+/// Chromium with the HEv3 feature flag enabled — the §5.2 fix the paper
+/// points to (`EnableHappyEyeballsV3`).
+pub fn chromium_hev3_flag() -> ClientProfile {
+    ClientProfile {
+        name: "Chromium (HEv3 flag)",
+        version: "130.0",
+        released: "10-2024",
+        engine: Engine::Chromium,
+        os: "Linux",
+        os_version: "",
+        mobile: false,
+        he: chromium_hev3_he(),
+        stub_order: QueryOrder::AaaaThenA,
+    }
+}
+
+/// The browser/OS population of the web-based campaign (Table 5: 33
+/// combinations across nine browsers and seven OSes).
+pub fn table5_population() -> Vec<ClientProfile> {
+    let mut v = vec![
+        chromium_family("Chrome Mobile", "127.0.0", "07-2024", "Android", "10", true),
+        chromium_family("Chrome Mobile", "130.0.0", "10-2024", "Android", "10", true),
+        firefox("131.0", "10-2024", "Android", "10", true),
+        ClientProfile {
+            name: "Samsung Internet",
+            version: "26.0",
+            released: "07-2024",
+            engine: Engine::Chromium,
+            os: "Android",
+            os_version: "10",
+            mobile: true,
+            he: chromium_he(),
+            stub_order: QueryOrder::AaaaThenA,
+        },
+        firefox("125.0", "04-2024", "Android", "14", true),
+        firefox("128.0", "07-2024", "Android", "14", true),
+        firefox("131.0", "10-2024", "Android", "14", true),
+        chromium_family("Chrome", "129.0.0", "09-2024", "Chrome OS", "14541.0.0", false),
+        chromium_family("Chrome", "130.0.0", "10-2024", "Linux", "", false),
+        firefox("128.0", "07-2024", "Linux", "", false),
+        firefox("130.0", "09-2024", "Linux", "", false),
+        firefox("131.0", "10-2024", "Linux", "", false),
+        firefox("132.0", "10-2024", "Linux", "", false),
+        firefox("128.0", "07-2024", "Mac OS X", "10.15", false),
+        firefox("131.0", "10-2024", "Mac OS X", "10.15", false),
+        firefox("132.0", "10-2024", "Mac OS X", "10.15", false),
+        chromium_family("Chrome", "127.0.0", "07-2024", "Mac OS X", "10.15.7", false),
+        chromium_family("Chrome", "129.0.0", "09-2024", "Mac OS X", "10.15.7", false),
+        chromium_family("Chrome", "130.0.0", "10-2024", "Mac OS X", "10.15.7", false),
+        ClientProfile {
+            name: "Opera",
+            version: "114.0.0",
+            released: "10-2024",
+            engine: Engine::Chromium,
+            os: "Mac OS X",
+            os_version: "10.15.7",
+            mobile: false,
+            he: chromium_he(),
+            stub_order: QueryOrder::AaaaThenA,
+        },
+        safari("17.4.1", "03-2024", "Mac OS X", "10.15.7", false),
+        safari("17.5", "05-2024", "Mac OS X", "10.15.7", false),
+        safari("17.6", "07-2024", "Mac OS X", "10.15.7", false),
+        safari("18.0.1", "10-2024", "Mac OS X", "10.15.7", false),
+        firefox("128.0", "07-2024", "Ubuntu", "", false),
+        firefox("131.0", "10-2024", "Ubuntu", "", false),
+        chromium_family("Chrome", "127.0.0", "07-2024", "Windows", "10", false),
+        chromium_family("Edge", "130.0.0", "10-2024", "Windows", "10", false),
+        firefox("130.0", "09-2024", "Windows", "10", false),
+        safari("17.5", "05-2024", "iOS", "17.5.1", true),
+        safari("17.6", "07-2024", "iOS", "17.6", true),
+        safari("17.6", "07-2024", "iOS", "17.6.1", true),
+        safari("18.1", "10-2024", "iOS", "18.1", true),
+    ];
+    // Chrome OS entry counts as a distinct OS; assert the shape in tests.
+    v.shrink_to_fit();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_has_17_rows() {
+        assert_eq!(figure2_clients().len(), 17);
+    }
+
+    #[test]
+    fn chromium_cad_is_300ms_across_versions() {
+        for c in figure2_clients() {
+            if c.engine == Engine::Chromium {
+                assert_eq!(
+                    c.fixed_cad(),
+                    Some(Duration::from_millis(300)),
+                    "{} {}",
+                    c.name,
+                    c.version
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn firefox_cad_is_250ms() {
+        for c in figure2_clients() {
+            if c.engine == Engine::Gecko {
+                assert_eq!(c.fixed_cad(), Some(Duration::from_millis(250)));
+                assert_eq!(c.stub_order, QueryOrder::AThenAaaa, "AAAA-first: no");
+            }
+        }
+    }
+
+    #[test]
+    fn curl_has_smallest_cad() {
+        let curl = figure2_clients()
+            .into_iter()
+            .find(|c| c.name == "curl")
+            .unwrap();
+        assert_eq!(curl.fixed_cad(), Some(Duration::from_millis(200)));
+        let smallest = figure2_clients()
+            .into_iter()
+            .filter_map(|c| c.fixed_cad())
+            .filter(|d| !d.is_zero())
+            .min()
+            .unwrap();
+        assert_eq!(smallest, Duration::from_millis(200));
+    }
+
+    #[test]
+    fn wget_has_no_fallback() {
+        let wget = figure2_clients()
+            .into_iter()
+            .find(|c| c.name == "wget")
+            .unwrap();
+        assert_eq!(wget.he.interlace, InterlaceStrategy::NoFallback);
+    }
+
+    #[test]
+    fn safari_is_the_only_full_hev2_client() {
+        for c in table2_clients() {
+            let has_rd = c.he.resolution_delay.is_some();
+            let has_selection = matches!(c.he.interlace, InterlaceStrategy::SafariStyle);
+            if c.engine == Engine::WebKit {
+                assert!(has_rd && has_selection, "{}", c.name);
+                assert!(matches!(c.he.cad, CadMode::Dynamic { .. }));
+            } else {
+                assert!(!has_rd, "{} must not implement RD", c.name);
+                assert!(!has_selection);
+            }
+        }
+    }
+
+    #[test]
+    fn safari_fresh_state_cad_is_2s_desktop_1s_mobile() {
+        let desktop = safari_clients()
+            .into_iter()
+            .find(|c| !c.mobile)
+            .unwrap();
+        if let CadMode::Dynamic { no_history, .. } = desktop.he.cad {
+            assert_eq!(no_history, Duration::from_millis(2000));
+        } else {
+            panic!("Safari CAD must be dynamic");
+        }
+        let mobile = safari_clients().into_iter().find(|c| c.mobile).unwrap();
+        if let CadMode::Dynamic { no_history, max, .. } = mobile.he.cad {
+            assert_eq!(no_history, Duration::from_millis(1000));
+            assert_eq!(max, Duration::from_millis(1000), "iOS never exceeded 1 s");
+        }
+    }
+
+    #[test]
+    fn all_clients_stall_on_a_except_safari_and_hev3_flag() {
+        for c in table2_clients() {
+            if c.engine == Engine::WebKit {
+                assert!(!c.he.quirks.wait_for_all_answers);
+            } else {
+                assert!(c.he.quirks.wait_for_all_answers, "{}", c.name);
+            }
+        }
+        assert!(!chromium_hev3_flag().he.quirks.wait_for_all_answers);
+        assert!(chromium_hev3_flag().he.resolution_delay.is_some());
+    }
+
+    #[test]
+    fn table5_population_shape() {
+        let pop = table5_population();
+        assert_eq!(pop.len(), 33, "33 browser+OS combinations");
+        let browsers: std::collections::HashSet<&str> =
+            pop.iter().map(|c| c.name).collect();
+        assert_eq!(browsers.len(), 9, "nine distinct browsers: {browsers:?}");
+        let oses: std::collections::HashSet<&str> = pop.iter().map(|c| c.os).collect();
+        assert_eq!(oses.len(), 7, "seven OSes: {oses:?}");
+    }
+
+    #[test]
+    fn ids_and_labels() {
+        let c = chromium_family("Chrome", "130.0", "10-2024", "Linux", "", false);
+        assert_eq!(c.figure2_label(), "Chrome (130.0 10-2024)");
+        assert_eq!(c.id(), "chrome-130.0");
+    }
+}

@@ -1,0 +1,312 @@
+//! User-agent strings: generation (what simulated clients send) and
+//! parsing (how the web tool attributes results — paper App. E, Table 5:
+//! "This information was extracted from the user agent").
+
+use crate::profiles::{ClientProfile, Engine};
+
+/// Builds the user-agent string a client profile sends.
+pub fn build_user_agent(c: &ClientProfile) -> String {
+    let platform = platform_token(c);
+    match c.engine {
+        Engine::Chromium => {
+            let product = match c.name {
+                "Edge" => format!(
+                    "Chrome/{v} Safari/537.36 Edg/{v}",
+                    v = pad_chrome_version(c.version)
+                ),
+                "Opera" => format!(
+                    "Chrome/{v} Safari/537.36 OPR/{o}",
+                    v = pad_chrome_version("130.0.0.0"),
+                    o = c.version
+                ),
+                "Samsung Internet" => format!(
+                    "SamsungBrowser/{} Chrome/{} Mobile Safari/537.36",
+                    c.version,
+                    pad_chrome_version("115.0.0.0")
+                ),
+                "Chrome Mobile" => format!(
+                    "Chrome/{} Mobile Safari/537.36",
+                    pad_chrome_version(c.version)
+                ),
+                _ => format!("Chrome/{} Safari/537.36", pad_chrome_version(c.version)),
+            };
+            format!("Mozilla/5.0 ({platform}) AppleWebKit/537.36 (KHTML, like Gecko) {product}")
+        }
+        Engine::Gecko => format!(
+            "Mozilla/5.0 ({platform}; rv:{v}) Gecko/20100101 Firefox/{v}",
+            v = c.version
+        ),
+        Engine::WebKit => {
+            if c.mobile {
+                format!(
+                    "Mozilla/5.0 ({platform}) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/{} Mobile/15E148 Safari/604.1",
+                    c.version
+                )
+            } else {
+                format!(
+                    "Mozilla/5.0 ({platform}) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/{} Safari/605.1.15",
+                    c.version
+                )
+            }
+        }
+        Engine::Curl => format!("curl/{}", c.version),
+        Engine::Wget => format!("Wget/{}", c.version),
+    }
+}
+
+fn pad_chrome_version(v: &str) -> String {
+    // "130.0" -> "130.0.0.0"
+    let dots = v.matches('.').count();
+    let mut s = v.to_string();
+    for _ in dots..3 {
+        s.push_str(".0");
+    }
+    s
+}
+
+fn platform_token(c: &ClientProfile) -> String {
+    match c.os {
+        "Windows" => format!("Windows NT {}.0; Win64; x64", c.os_version),
+        "Mac OS X" => format!(
+            "Macintosh; Intel Mac OS X {}",
+            c.os_version.replace('.', "_")
+        ),
+        "Linux" => "X11; Linux x86_64".to_string(),
+        "Ubuntu" => "X11; Ubuntu; Linux x86_64".to_string(),
+        "Chrome OS" => format!("X11; CrOS x86_64 {}", c.os_version),
+        "Android" => format!("Linux; Android {}", c.os_version),
+        "iOS" => format!(
+            "iPhone; CPU iPhone OS {} like Mac OS X",
+            c.os_version.replace('.', "_")
+        ),
+        other => other.to_string(),
+    }
+}
+
+/// What the web tool extracts from a user agent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedUa {
+    /// OS name ("Windows 10" style split into name + version).
+    pub os_name: String,
+    /// OS version; empty when the UA does not carry one (Linux/Ubuntu).
+    pub os_version: String,
+    /// Browser name.
+    pub browser: String,
+    /// Browser version.
+    pub browser_version: String,
+}
+
+/// Parses a user-agent string. Precedence follows real-world sniffing
+/// rules: Edge and Opera identify as Chrome, Samsung Internet as both, and
+/// every WebKit UA contains "Safari".
+pub fn parse_user_agent(ua: &str) -> ParsedUa {
+    let (os_name, os_version) = parse_os(ua);
+    let (browser, browser_version) = parse_browser(ua);
+    ParsedUa {
+        os_name,
+        os_version,
+        browser,
+        browser_version,
+    }
+}
+
+fn token_version(ua: &str, token: &str) -> Option<String> {
+    let start = ua.find(token)? + token.len();
+    let rest = &ua[start..];
+    let end = rest
+        .find(|ch: char| !(ch.is_ascii_digit() || ch == '.'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(rest[..end].trim_end_matches('.').to_string())
+    }
+}
+
+fn parse_browser(ua: &str) -> (String, String) {
+    if let Some(v) = token_version(ua, "curl/") {
+        return ("curl".into(), v);
+    }
+    if let Some(v) = token_version(ua, "Wget/") {
+        return ("wget".into(), v);
+    }
+    if let Some(v) = token_version(ua, "Edg/") {
+        return ("Edge".into(), shorten(&v));
+    }
+    if let Some(v) = token_version(ua, "OPR/") {
+        return ("Opera".into(), shorten(&v));
+    }
+    if let Some(v) = token_version(ua, "SamsungBrowser/") {
+        return ("Samsung Internet".into(), shorten(&v));
+    }
+    if let Some(v) = token_version(ua, "Firefox/") {
+        let name = if ua.contains("Android") {
+            "Firefox Mobile"
+        } else {
+            "Firefox"
+        };
+        return (name.into(), v);
+    }
+    if let Some(v) = token_version(ua, "Chrome/") {
+        let name = if ua.contains("Mobile") {
+            "Chrome Mobile"
+        } else {
+            "Chrome"
+        };
+        return (name.into(), shorten(&v));
+    }
+    if ua.contains("Safari") {
+        if let Some(v) = token_version(ua, "Version/") {
+            let name = if ua.contains("iPhone") || ua.contains("Mobile/") {
+                "Mobile Safari"
+            } else {
+                "Safari"
+            };
+            return (name.into(), v);
+        }
+    }
+    ("Unknown".into(), String::new())
+}
+
+/// Table 5 reports Chromium versions as "127.0.0": keep three components.
+fn shorten(v: &str) -> String {
+    let parts: Vec<&str> = v.split('.').collect();
+    parts
+        .iter()
+        .take(3)
+        .copied()
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn parse_os(ua: &str) -> (String, String) {
+    if let Some(v) = token_version(ua, "Windows NT ") {
+        let marketing = match v.as_str() {
+            "10" | "10.0" => "10",
+            other => other,
+        };
+        return ("Windows".into(), marketing.into());
+    }
+    if let Some(start) = ua.find("iPhone OS ") {
+        let rest = &ua[start + "iPhone OS ".len()..];
+        let end = rest
+            .find(|ch: char| !(ch.is_ascii_digit() || ch == '_' || ch == '.'))
+            .unwrap_or(rest.len());
+        if end > 0 {
+            return ("iOS".into(), rest[..end].replace('_', "."));
+        }
+    }
+    if ua.contains("Intel Mac OS X ") {
+        if let Some(start) = ua.find("Intel Mac OS X ") {
+            let rest = &ua[start + "Intel Mac OS X ".len()..];
+            let end = rest
+                .find(|ch: char| !(ch.is_ascii_digit() || ch == '_' || ch == '.'))
+                .unwrap_or(rest.len());
+            return ("Mac OS X".into(), rest[..end].replace('_', "."));
+        }
+    }
+    if let Some(v) = token_version(ua, "Android ") {
+        return ("Android".into(), v);
+    }
+    if let Some(v) = token_version(ua, "CrOS x86_64 ") {
+        return ("Chrome OS".into(), v);
+    }
+    if ua.contains("Ubuntu") {
+        return ("Ubuntu".into(), String::new());
+    }
+    if ua.contains("Linux") {
+        return ("Linux".into(), String::new());
+    }
+    ("Unknown".into(), String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{figure2_clients, safari_clients, table5_population};
+
+    #[test]
+    fn generated_uas_parse_back_to_the_profile() {
+        for c in table5_population() {
+            let ua = build_user_agent(&c);
+            let parsed = parse_user_agent(&ua);
+            assert_eq!(parsed.browser, c.name, "ua: {ua}");
+            assert_eq!(parsed.os_name, c.os, "ua: {ua}");
+            assert!(
+                parsed.browser_version.starts_with(
+                    c.version.trim_end_matches(".0").split('.').next().unwrap()
+                ),
+                "version {} vs {} in {ua}",
+                parsed.browser_version,
+                c.version
+            );
+        }
+    }
+
+    #[test]
+    fn chrome_linux_ua_shape() {
+        let c = figure2_clients()
+            .into_iter()
+            .find(|c| c.name == "Chrome" && c.version == "130.0")
+            .unwrap();
+        let ua = build_user_agent(&c);
+        assert!(ua.starts_with("Mozilla/5.0 (X11; Linux x86_64)"), "{ua}");
+        assert!(ua.contains("Chrome/130.0.0.0"), "{ua}");
+        let p = parse_user_agent(&ua);
+        assert_eq!(p.browser, "Chrome");
+        assert_eq!(p.browser_version, "130.0.0");
+        assert_eq!(p.os_name, "Linux");
+        assert_eq!(p.os_version, "");
+    }
+
+    #[test]
+    fn edge_wins_over_chrome_token() {
+        let ua = "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 \
+                  (KHTML, like Gecko) Chrome/130.0.0.0 Safari/537.36 Edg/130.0.0.0";
+        let p = parse_user_agent(ua);
+        assert_eq!(p.browser, "Edge");
+        assert_eq!(p.os_name, "Windows");
+        assert_eq!(p.os_version, "10");
+    }
+
+    #[test]
+    fn mobile_safari_detected() {
+        let c = safari_clients().into_iter().find(|c| c.mobile).unwrap();
+        let ua = build_user_agent(&c);
+        let p = parse_user_agent(&ua);
+        assert_eq!(p.browser, "Mobile Safari");
+        assert_eq!(p.os_name, "iOS");
+        assert!(!p.os_version.is_empty());
+    }
+
+    #[test]
+    fn cli_tools() {
+        assert_eq!(
+            parse_user_agent("curl/7.88.1"),
+            ParsedUa {
+                os_name: "Unknown".into(),
+                os_version: String::new(),
+                browser: "curl".into(),
+                browser_version: "7.88.1".into(),
+            }
+        );
+        let p = parse_user_agent("Wget/1.21.3");
+        assert_eq!(p.browser, "wget");
+    }
+
+    #[test]
+    fn unknown_ua_does_not_panic() {
+        let p = parse_user_agent("");
+        assert_eq!(p.browser, "Unknown");
+        let p2 = parse_user_agent("TotallyCustomBot/0.1 (+https://example.net)");
+        assert_eq!(p2.browser, "Unknown");
+    }
+
+    #[test]
+    fn ubuntu_vs_linux() {
+        let ua = "Mozilla/5.0 (X11; Ubuntu; Linux x86_64; rv:131.0) Gecko/20100101 Firefox/131.0";
+        let p = parse_user_agent(ua);
+        assert_eq!(p.os_name, "Ubuntu");
+        assert_eq!(p.browser, "Firefox");
+    }
+}

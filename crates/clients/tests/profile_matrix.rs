@@ -1,0 +1,108 @@
+//! Consistency of the whole client matrix: for every profile with a
+//! fixed CAD, the black-box measurement must recover exactly the
+//! configured value — the validation loop that ties profiles to the
+//! paper's observations.
+
+use lazyeye_authns::{serve as serve_dns, AuthConfig, AuthServer};
+use lazyeye_clients::{figure2_clients, table5_population, Client};
+use lazyeye_dns::{Name, Zone, ZoneSet};
+use lazyeye_net::{Family, Host, Netem, NetemRule, Network};
+use lazyeye_sim::{spawn, Sim};
+use std::net::SocketAddr;
+
+fn n(s: &str) -> Name {
+    Name::parse(s).unwrap()
+}
+
+fn bed(seed: u64) -> (Sim, Host, Host) {
+    let sim = Sim::new(seed);
+    let net = Network::new();
+    let server = net.host("server").v4("192.0.2.1").v6("2001:db8::1").build();
+    let client = net
+        .host("client")
+        .v4("192.0.2.100")
+        .v6("2001:db8::100")
+        .build();
+    let mut zone = Zone::new(n("hetest"));
+    zone.a(&n("www.hetest"), "192.0.2.1".parse().unwrap(), 300);
+    zone.aaaa(&n("www.hetest"), "2001:db8::1".parse().unwrap(), 300);
+    let mut zones = ZoneSet::new();
+    zones.add(zone);
+    sim.enter(|| {
+        spawn(serve_dns(
+            server.udp_bind_any(53).unwrap(),
+            AuthServer::new(AuthConfig {
+                zones,
+                ..AuthConfig::default()
+            }),
+        ));
+        let listener = server.tcp_listen_any(80).unwrap();
+        spawn(async move {
+            loop {
+                let Ok((s, _)) = listener.accept().await else { break };
+                std::mem::forget(s);
+            }
+        });
+    });
+    (sim, server, client)
+}
+
+#[test]
+fn every_fixed_cad_profile_measures_its_configured_cad() {
+    for profile in figure2_clients() {
+        let Some(cad) = profile.fixed_cad() else {
+            continue;
+        };
+        if cad.is_zero() {
+            continue; // wget: no CAD semantics
+        }
+        let (mut sim, server, client_host) = bed(31);
+        // IPv6 delayed far beyond any CAD: fallback at exactly the CAD.
+        server.add_egress(NetemRule::family(Family::V6, Netem::delay_ms(30_000)));
+        let label = profile.figure2_label();
+        let client = Client::new(
+            profile,
+            client_host.clone(),
+            vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 53)],
+        );
+        let res = sim.block_on(async move { client.connect_only(&n("www.hetest"), 80).await });
+        assert_eq!(
+            res.connection.unwrap().family(),
+            Family::V4,
+            "{label} must fall back"
+        );
+        assert_eq!(
+            res.log.observed_cad().unwrap(),
+            cad,
+            "{label}: measured CAD equals configured CAD"
+        );
+    }
+}
+
+#[test]
+fn web_population_profiles_all_fetch_successfully() {
+    for (i, profile) in table5_population().into_iter().enumerate() {
+        let (mut sim, _server, client_host) = bed(100 + i as u64);
+        let label = profile.figure2_label();
+        let client = Client::new(
+            profile,
+            client_host,
+            vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 53)],
+        );
+        let res = sim.block_on(async move { client.connect_only(&n("www.hetest"), 80).await });
+        assert!(
+            res.connection.is_ok(),
+            "{label} must connect on a healthy bed"
+        );
+        assert_eq!(res.connection.unwrap().family(), Family::V6);
+    }
+}
+
+#[test]
+fn user_agent_strings_are_distinct_across_population() {
+    let uas: std::collections::HashSet<String> = table5_population()
+        .iter()
+        .map(|c| c.user_agent())
+        .collect();
+    assert_eq!(uas.len(), table5_population().len(), "33 distinct UAs");
+}

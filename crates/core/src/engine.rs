@@ -1,0 +1,634 @@
+//! The Happy Eyeballs engine: resolution phase (with Resolution Delay),
+//! address selection, and staggered connection racing with the Connection
+//! Attempt Delay.
+//!
+//! The engine is configuration-driven ([`crate::HeConfig`]): the same code
+//! runs RFC-faithful HEv1/v2/v3 *and* reproduces every client deviation
+//! the paper observed (via [`crate::Quirks`]), which is what lets the
+//! testbed re-measure published client behaviour.
+
+use std::cell::RefCell;
+use std::net::{IpAddr, SocketAddr};
+use std::rc::Rc;
+use std::time::Duration;
+
+use lazyeye_dns::{Name, RData};
+use lazyeye_net::{quic_connect, Family, Host, NetError, QuicConnectOpts, TcpStream};
+use lazyeye_resolver::{AnswerOutcome, DnsAnswer, StubResolver};
+use lazyeye_sim::sync::mpsc;
+use lazyeye_sim::{now, race, sleep_until, spawn, timeout_at, Either, JoinHandle, SimTime};
+
+use crate::event::{HeEventKind, HeLog};
+use crate::history::HistoryStore;
+use crate::params::HeConfig;
+use crate::select::{expand_protocols, interlace, Candidate, CandidateProto};
+
+/// Why a Happy Eyeballs connect failed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HeError {
+    /// DNS produced no usable addresses.
+    NoAddresses,
+    /// Every connection attempt failed.
+    AllAttemptsFailed,
+    /// The overall deadline expired.
+    Deadline,
+}
+
+impl std::fmt::Display for HeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HeError::NoAddresses => "name resolution yielded no addresses",
+            HeError::AllAttemptsFailed => "all connection attempts failed",
+            HeError::Deadline => "overall deadline exceeded",
+        };
+        f.write_str(s)
+    }
+}
+impl std::error::Error for HeError {}
+
+/// An established connection, whichever transport won the race.
+pub enum HeConnection {
+    /// TCP won.
+    Tcp(TcpStream),
+    /// QUIC won (HEv3).
+    Quic(lazyeye_net::QuicConnection),
+}
+
+impl HeConnection {
+    /// Remote endpoint.
+    pub fn remote(&self) -> SocketAddr {
+        match self {
+            HeConnection::Tcp(s) => s.peer_addr(),
+            HeConnection::Quic(q) => q.remote,
+        }
+    }
+
+    /// Winning address family.
+    pub fn family(&self) -> Family {
+        Family::of(self.remote().ip())
+    }
+
+    /// Winning transport.
+    pub fn proto(&self) -> CandidateProto {
+        match self {
+            HeConnection::Tcp(_) => CandidateProto::Tcp,
+            HeConnection::Quic(_) => CandidateProto::Quic,
+        }
+    }
+
+    /// The TCP stream, if TCP won (HTTP layers use this).
+    pub fn tcp(&self) -> Option<&TcpStream> {
+        match self {
+            HeConnection::Tcp(s) => Some(s),
+            HeConnection::Quic(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for HeConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HeConnection({:?} via {:?})", self.remote(), self.proto())
+    }
+}
+
+/// Result of one HE run: the connection (or error) plus the full event log.
+pub struct HeResult {
+    /// The outcome.
+    pub connection: Result<HeConnection, HeError>,
+    /// Everything that happened, timestamped.
+    pub log: HeLog,
+}
+
+/// The engine, bound to a host, a stub resolver and a history store.
+pub struct HappyEyeballs {
+    cfg: HeConfig,
+    host: Host,
+    stub: Rc<StubResolver>,
+    history: Rc<HistoryStore>,
+}
+
+#[derive(Default)]
+struct Gathered {
+    v6: Vec<IpAddr>,
+    v4: Vec<IpAddr>,
+    h3: bool,
+    ech: bool,
+    pending: usize,
+}
+
+impl Gathered {
+    fn ingest(&mut self, ans: &DnsAnswer, log: &mut HeLog) {
+        self.pending = self.pending.saturating_sub(1);
+        let outcome = match ans.outcome {
+            AnswerOutcome::Ok => "ok",
+            AnswerOutcome::NxDomain => "nxdomain",
+            AnswerOutcome::ServFail => "servfail",
+            AnswerOutcome::Timeout => "timeout",
+        };
+        log.push(
+            ans.at,
+            HeEventKind::DnsAnswer {
+                qtype: ans.qtype,
+                records: ans.records.len(),
+                outcome,
+            },
+        );
+        for r in &ans.records {
+            match &r.rdata {
+                RData::Aaaa(a) => self.v6.push(IpAddr::V6(*a)),
+                RData::A(a) => self.v4.push(IpAddr::V4(*a)),
+                RData::Https(p) | RData::Svcb(p) => {
+                    self.h3 |= p.supports_h3();
+                    self.ech |= p.has_ech();
+                    for a in p.ipv6_hints() {
+                        self.v6.push(IpAddr::V6(a));
+                    }
+                    for a in p.ipv4_hints() {
+                        self.v4.push(IpAddr::V4(a));
+                    }
+                }
+                _ => {}
+            }
+        }
+        dedup_preserving_order(&mut self.v6);
+        dedup_preserving_order(&mut self.v4);
+    }
+
+    fn has_any(&self) -> bool {
+        !self.v6.is_empty() || !self.v4.is_empty()
+    }
+
+    fn has_family(&self, f: Family) -> bool {
+        match f {
+            Family::V6 => !self.v6.is_empty(),
+            Family::V4 => !self.v4.is_empty(),
+        }
+    }
+}
+
+fn dedup_preserving_order(v: &mut Vec<IpAddr>) {
+    let mut seen = std::collections::HashSet::new();
+    v.retain(|a| seen.insert(*a));
+}
+
+impl HappyEyeballs {
+    /// Creates an engine.
+    pub fn new(
+        cfg: HeConfig,
+        host: Host,
+        stub: Rc<StubResolver>,
+        history: Rc<HistoryStore>,
+    ) -> HappyEyeballs {
+        HappyEyeballs {
+            cfg,
+            host,
+            stub,
+            history,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HeConfig {
+        &self.cfg
+    }
+
+    /// Resolves `name` and races connections to `port` per the configured
+    /// Happy Eyeballs semantics. Always returns the event log.
+    pub async fn connect(&self, name: &Name, port: u16) -> HeResult {
+        let log = Rc::new(RefCell::new(HeLog::default()));
+        let attempts: Rc<RefCell<Vec<JoinHandle<()>>>> = Rc::new(RefCell::new(Vec::new()));
+        let deadline = now() + self.cfg.overall_deadline;
+
+        let inner = self.run(name, port, Rc::clone(&log), Rc::clone(&attempts), deadline);
+        let connection = match timeout_at(deadline, inner).await {
+            Ok(result) => result,
+            Err(lazyeye_sim::Elapsed) => {
+                log.borrow_mut()
+                    .push(now(), HeEventKind::Failed { reason: "deadline" });
+                Err(HeError::Deadline)
+            }
+        };
+        // Cancel any attempt still in flight.
+        for h in attempts.borrow().iter() {
+            h.abort();
+        }
+        let log = Rc::try_unwrap(log)
+            .map(RefCell::into_inner)
+            .unwrap_or_else(|rc| rc.borrow().clone());
+        HeResult { connection, log }
+    }
+
+    async fn run(
+        &self,
+        name: &Name,
+        port: u16,
+        log: Rc<RefCell<HeLog>>,
+        attempts: Rc<RefCell<Vec<JoinHandle<()>>>>,
+        deadline: SimTime,
+    ) -> Result<HeConnection, HeError> {
+        // RFC 6555 §4.2: remember the winner for ~10 minutes and go
+        // straight to it.
+        if let Some(addr) = self.history.cached_outcome(now(), name) {
+            log.borrow_mut()
+                .push(now(), HeEventKind::UsedCachedOutcome { addr });
+            if let Ok(conn) = self.direct_attempt(addr, port).await {
+                log.borrow_mut().push(
+                    now(),
+                    HeEventKind::Established {
+                        addr,
+                        family: Family::of(addr),
+                        proto: CandidateProto::Tcp,
+                    },
+                );
+                return Ok(HeConnection::Tcp(conn));
+            }
+            self.history.invalidate_outcome(name);
+        }
+
+        // --- Resolution phase -------------------------------------------
+        let mut rx = self.stub.resolve_streaming(name);
+        let qtypes = self.stub.config().qtypes.clone();
+        {
+            let mut l = log.borrow_mut();
+            for qt in &qtypes {
+                l.push(now(), HeEventKind::DnsQuerySent { qtype: *qt });
+            }
+        }
+        let mut gathered = Gathered {
+            pending: qtypes.len(),
+            ..Gathered::default()
+        };
+
+        if self.cfg.quirks.wait_for_all_answers {
+            // Chrome/Firefox: nothing connects until every lookup is
+            // terminal — the §5.2 stall.
+            while gathered.pending > 0 {
+                match rx.recv().await {
+                    Some(ans) => gathered.ingest(&ans, &mut log.borrow_mut()),
+                    None => break,
+                }
+            }
+        } else {
+            self.resolution_wait(&mut rx, &mut gathered, &log).await;
+        }
+
+        if !gathered.has_any() {
+            log.borrow_mut().push(
+                now(),
+                HeEventKind::Failed {
+                    reason: "no-addresses",
+                },
+            );
+            return Err(HeError::NoAddresses);
+        }
+
+        // --- Address selection -------------------------------------------
+        let mut candidates = self.build_candidates(&gathered);
+        log.borrow_mut().push(
+            now(),
+            HeEventKind::CandidatesBuilt {
+                families: candidates.iter().map(Candidate::family).collect(),
+            },
+        );
+
+        // --- Staggered connection racing ---------------------------------
+        let (res_tx, mut res_rx) = mpsc::unbounded::<(usize, Candidate, Result<Won, &'static str>)>();
+        let mut next = 0usize;
+        let mut failures = 0usize;
+        let mut dns_done = false;
+
+        self.start_attempt(&candidates, next, port, &res_tx, &log, &attempts);
+        next += 1;
+        let mut last_attempt_at = now();
+
+        /// What woke the racing loop.
+        enum Wake {
+            Result(Option<(usize, Candidate, Result<Won, &'static str>)>),
+            StartNext,
+            Dns(Option<DnsAnswer>),
+        }
+
+        loop {
+            let cad = self
+                .history
+                .cad_for(self.cfg.cad, candidates.get(next.saturating_sub(1)).map(|c| c.addr));
+            // The CAD stagger is anchored on the *previous attempt start*,
+            // so intermediate wakeups (late DNS answers) never stretch it.
+            let next_start = last_attempt_at + cad;
+
+            let wake = match (next < candidates.len(), dns_done) {
+                (true, false) => {
+                    // Results vs CAD timer vs late DNS answers (RFC 8305
+                    // §7: new addresses join the race).
+                    match race(res_rx.recv(), race(sleep_until(next_start), rx.recv())).await {
+                        Either::Left(r) => Wake::Result(r),
+                        Either::Right(Either::Left(())) => Wake::StartNext,
+                        Either::Right(Either::Right(ans)) => Wake::Dns(ans),
+                    }
+                }
+                (true, true) => match race(res_rx.recv(), sleep_until(next_start)).await {
+                    Either::Left(r) => Wake::Result(r),
+                    Either::Right(()) => Wake::StartNext,
+                },
+                (false, false) => {
+                    match race(timeout_at(deadline, res_rx.recv()), rx.recv()).await {
+                        Either::Left(Ok(r)) => Wake::Result(r),
+                        Either::Left(Err(lazyeye_sim::Elapsed)) => {
+                            log.borrow_mut()
+                                .push(now(), HeEventKind::Failed { reason: "deadline" });
+                            return Err(HeError::Deadline);
+                        }
+                        Either::Right(ans) => Wake::Dns(ans),
+                    }
+                }
+                (false, true) => match timeout_at(deadline, res_rx.recv()).await {
+                    Ok(r) => Wake::Result(r),
+                    Err(lazyeye_sim::Elapsed) => {
+                        log.borrow_mut()
+                            .push(now(), HeEventKind::Failed { reason: "deadline" });
+                        return Err(HeError::Deadline);
+                    }
+                },
+            };
+
+            let got = match wake {
+                Wake::StartNext => {
+                    self.start_attempt(&candidates, next, port, &res_tx, &log, &attempts);
+                    next += 1;
+                    last_attempt_at = now();
+                    continue;
+                }
+                Wake::Dns(Some(ans)) => {
+                    gathered.ingest(&ans, &mut log.borrow_mut());
+                    merge_candidates(&mut candidates, next, self.build_candidates(&gathered));
+                    continue;
+                }
+                Wake::Dns(None) => {
+                    dns_done = true;
+                    continue;
+                }
+                Wake::Result(r) => r,
+            };
+
+            let Some((idx, cand, result)) = got else {
+                return Err(HeError::AllAttemptsFailed);
+            };
+            match result {
+                Ok(won) => {
+                    log.borrow_mut().push(
+                        now(),
+                        HeEventKind::AttemptSucceeded {
+                            index: idx,
+                            addr: cand.addr,
+                        },
+                    );
+                    // Cancel losers.
+                    for h in attempts.borrow().iter() {
+                        h.abort();
+                    }
+                    self.history.record_rtt(cand.addr, won.rtt);
+                    self.history.record_outcome(
+                        now(),
+                        name.clone(),
+                        cand.addr,
+                        self.cfg.cache_ttl,
+                    );
+                    log.borrow_mut().push(
+                        now(),
+                        HeEventKind::Established {
+                            addr: cand.addr,
+                            family: cand.family(),
+                            proto: cand.proto,
+                        },
+                    );
+                    return Ok(won.conn);
+                }
+                Err(error) => {
+                    failures += 1;
+                    log.borrow_mut().push(
+                        now(),
+                        HeEventKind::AttemptFailed {
+                            index: idx,
+                            addr: cand.addr,
+                            error,
+                        },
+                    );
+                    if next < candidates.len() {
+                        // RFC 8305 §5: a failure starts the next attempt
+                        // immediately, without waiting for the CAD.
+                        self.start_attempt(&candidates, next, port, &res_tx, &log, &attempts);
+                        next += 1;
+                        last_attempt_at = now();
+                    } else if failures >= candidates.len() {
+                        log.borrow_mut().push(
+                            now(),
+                            HeEventKind::Failed {
+                                reason: "all-attempts-failed",
+                            },
+                        );
+                        return Err(HeError::AllAttemptsFailed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// RFC 8305 §3 resolution handling: connect as soon as the preferred
+    /// family answers; if the other family answers first, arm the
+    /// Resolution Delay.
+    async fn resolution_wait(
+        &self,
+        rx: &mut mpsc::Receiver<DnsAnswer>,
+        gathered: &mut Gathered,
+        log: &Rc<RefCell<HeLog>>,
+    ) {
+        loop {
+            if gathered.has_family(self.cfg.prefer) {
+                return;
+            }
+            if gathered.has_family(self.cfg.prefer.other()) {
+                // Other family arrived first.
+                match self.cfg.resolution_delay {
+                    Some(rd) if gathered.pending > 0 => {
+                        log.borrow_mut()
+                            .push(now(), HeEventKind::ResolutionDelayStarted { delay: rd });
+                        let rd_deadline = now() + rd;
+                        loop {
+                            match race(sleep_until(rd_deadline), rx.recv()).await {
+                                Either::Left(()) => {
+                                    log.borrow_mut()
+                                        .push(now(), HeEventKind::ResolutionDelayExpired);
+                                    return;
+                                }
+                                Either::Right(Some(ans)) => {
+                                    gathered.ingest(&ans, &mut log.borrow_mut());
+                                    if gathered.has_family(self.cfg.prefer) {
+                                        return;
+                                    }
+                                    if gathered.pending == 0 {
+                                        return;
+                                    }
+                                }
+                                Either::Right(None) => return,
+                            }
+                        }
+                    }
+                    _ => return,
+                }
+            }
+            if gathered.pending == 0 {
+                return;
+            }
+            match rx.recv().await {
+                Some(ans) => gathered.ingest(&ans, &mut log.borrow_mut()),
+                None => return,
+            }
+        }
+    }
+
+    fn start_attempt(
+        &self,
+        candidates: &[Candidate],
+        idx: usize,
+        port: u16,
+        res_tx: &mpsc::Sender<(usize, Candidate, Result<Won, &'static str>)>,
+        log: &Rc<RefCell<HeLog>>,
+        attempts: &Rc<RefCell<Vec<JoinHandle<()>>>>,
+    ) {
+        let Some(cand) = candidates.get(idx).copied() else {
+            return;
+        };
+        log.borrow_mut().push(
+            now(),
+            HeEventKind::AttemptStarted {
+                index: idx,
+                addr: cand.addr,
+                proto: cand.proto,
+            },
+        );
+        let host = self.host.clone();
+        let tx = res_tx.clone();
+        let attempt_timeout = self.cfg.attempt_timeout;
+        let handle = spawn(async move {
+            let started = now();
+            let dst = SocketAddr::new(cand.addr, port);
+            let result: Result<Won, &'static str> = match cand.proto {
+                CandidateProto::Tcp => {
+                    match lazyeye_sim::timeout(attempt_timeout, host.tcp_connect(dst)).await {
+                        Ok(Ok(stream)) => Ok(Won {
+                            conn: HeConnection::Tcp(stream),
+                            rtt: now() - started,
+                        }),
+                        Ok(Err(e)) => Err(net_err_label(e)),
+                        Err(lazyeye_sim::Elapsed) => Err("timeout"),
+                    }
+                }
+                CandidateProto::Quic => {
+                    match lazyeye_sim::timeout(
+                        attempt_timeout,
+                        quic_connect(&host, dst, QuicConnectOpts::default()),
+                    )
+                    .await
+                    {
+                        Ok(Ok(q)) => Ok(Won {
+                            conn: HeConnection::Quic(q),
+                            rtt: now() - started,
+                        }),
+                        Ok(Err(e)) => Err(net_err_label(e)),
+                        Err(lazyeye_sim::Elapsed) => Err("timeout"),
+                    }
+                }
+            };
+            let _ = tx.send((idx, cand, result));
+        });
+        attempts.borrow_mut().push(handle);
+    }
+
+    /// Builds the interlaced, protocol-expanded candidate list from the
+    /// currently gathered answers.
+    fn build_candidates(&self, gathered: &Gathered) -> Vec<Candidate> {
+        let mut order = interlace(
+            &gathered.v6,
+            &gathered.v4,
+            self.cfg.prefer,
+            self.cfg.interlace,
+        );
+        if self.cfg.quirks.stop_after_first_pair {
+            truncate_to_first_pair(&mut order);
+        }
+        expand_protocols(&order, gathered.h3, gathered.ech, self.cfg.use_quic)
+    }
+
+    /// One direct TCP attempt (cached-outcome path), bounded by the
+    /// attempt timeout.
+    async fn direct_attempt(&self, addr: IpAddr, port: u16) -> Result<TcpStream, ()> {
+        let dst = SocketAddr::new(addr, port);
+        match lazyeye_sim::timeout(self.cfg.attempt_timeout, self.host.tcp_connect(dst)).await {
+            Ok(Ok(s)) => Ok(s),
+            _ => Err(()),
+        }
+    }
+}
+
+struct Won {
+    conn: HeConnection,
+    rtt: Duration,
+}
+
+fn net_err_label(e: NetError) -> &'static str {
+    e.label()
+}
+
+/// Replaces the un-attempted tail of `candidates` with the freshly rebuilt
+/// order, keeping already-started attempts (indices `< started`) in place
+/// and never re-adding a candidate that already ran.
+fn merge_candidates(candidates: &mut Vec<Candidate>, started: usize, rebuilt: Vec<Candidate>) {
+    let started_set: Vec<Candidate> = candidates[..started.min(candidates.len())].to_vec();
+    candidates.truncate(started.min(candidates.len()));
+    for c in rebuilt {
+        if !started_set.contains(&c) {
+            candidates.push(c);
+        }
+    }
+}
+
+fn truncate_to_first_pair(order: &mut Vec<IpAddr>) {
+    let mut kept_v6 = false;
+    let mut kept_v4 = false;
+    order.retain(|a| match Family::of(*a) {
+        Family::V6 if !kept_v6 => {
+            kept_v6 = true;
+            true
+        }
+        Family::V4 if !kept_v4 => {
+            kept_v4 = true;
+            true
+        }
+        _ => false,
+    });
+}
+
+#[cfg(test)]
+mod truncate_tests {
+    use super::*;
+    use lazyeye_net::addr::{v4, v6};
+
+    #[test]
+    fn keeps_first_of_each_family() {
+        let mut order = vec![
+            v6("2001:db8::1"),
+            v4("192.0.2.1"),
+            v6("2001:db8::2"),
+            v4("192.0.2.2"),
+        ];
+        truncate_to_first_pair(&mut order);
+        assert_eq!(order, vec![v6("2001:db8::1"), v4("192.0.2.1")]);
+    }
+
+    #[test]
+    fn single_family_keeps_one() {
+        let mut order = vec![v6("2001:db8::1"), v6("2001:db8::2")];
+        truncate_to_first_pair(&mut order);
+        assert_eq!(order, vec![v6("2001:db8::1")]);
+    }
+}

@@ -1,0 +1,292 @@
+//! The structured event log a Happy Eyeballs run produces — the
+//! client-side observable every analyzer and the web tool consume.
+
+use std::net::IpAddr;
+use std::time::Duration;
+
+use lazyeye_dns::RrType;
+use lazyeye_net::Family;
+use lazyeye_sim::SimTime;
+
+use crate::select::CandidateProto;
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HeEventKind {
+    /// A DNS query hit the wire.
+    DnsQuerySent {
+        /// Record type queried.
+        qtype: RrType,
+    },
+    /// A DNS answer arrived (or terminally failed).
+    DnsAnswer {
+        /// Record type answered.
+        qtype: RrType,
+        /// How many usable records it carried.
+        records: usize,
+        /// Stub-level outcome label ("ok", "nxdomain", "timeout", ...).
+        outcome: &'static str,
+    },
+    /// The Resolution Delay timer was armed (A arrived before AAAA).
+    ResolutionDelayStarted {
+        /// Configured RD.
+        delay: Duration,
+    },
+    /// The RD expired without a AAAA answer; proceeding with IPv4.
+    ResolutionDelayExpired,
+    /// The candidate list was (re)built.
+    CandidatesBuilt {
+        /// Interlaced order, as families (the Figure 5 observable).
+        families: Vec<Family>,
+    },
+    /// A connection attempt started.
+    AttemptStarted {
+        /// Attempt index in the candidate order.
+        index: usize,
+        /// Destination address.
+        addr: IpAddr,
+        /// Transport.
+        proto: CandidateProto,
+    },
+    /// An attempt completed the handshake.
+    AttemptSucceeded {
+        /// Attempt index.
+        index: usize,
+        /// Destination address.
+        addr: IpAddr,
+    },
+    /// An attempt failed (refused/timeout/unreachable).
+    AttemptFailed {
+        /// Attempt index.
+        index: usize,
+        /// Destination address.
+        addr: IpAddr,
+        /// Error label.
+        error: &'static str,
+    },
+    /// A still-pending attempt was cancelled because another won.
+    AttemptCancelled {
+        /// Attempt index.
+        index: usize,
+        /// Destination address.
+        addr: IpAddr,
+    },
+    /// The winning connection was established.
+    Established {
+        /// Winning address.
+        addr: IpAddr,
+        /// Its family — the headline Happy Eyeballs outcome.
+        family: Family,
+        /// Transport that won.
+        proto: CandidateProto,
+    },
+    /// A cached outcome short-circuited the procedure (RFC 6555 §4.2).
+    UsedCachedOutcome {
+        /// The remembered address.
+        addr: IpAddr,
+    },
+    /// The whole procedure failed.
+    Failed {
+        /// Reason label.
+        reason: &'static str,
+    },
+}
+
+/// A timestamped event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeEvent {
+    /// When it happened (virtual time).
+    pub at: SimTime,
+    /// What happened.
+    pub kind: HeEventKind,
+}
+
+/// The full log of one `connect` run, with query helpers.
+#[derive(Clone, Debug, Default)]
+pub struct HeLog {
+    /// Events in chronological order.
+    pub events: Vec<HeEvent>,
+}
+
+impl HeLog {
+    /// Appends an event stamped `at`.
+    pub fn push(&mut self, at: SimTime, kind: HeEventKind) {
+        self.events.push(HeEvent { at, kind });
+    }
+
+    /// Time of the first attempt towards the given family.
+    pub fn first_attempt(&self, family: Family) -> Option<SimTime> {
+        self.events.iter().find_map(|e| match &e.kind {
+            HeEventKind::AttemptStarted { addr, .. } if Family::of(*addr) == family => Some(e.at),
+            _ => None,
+        })
+    }
+
+    /// The client-visible CAD: first IPv4 attempt − first IPv6 attempt.
+    pub fn observed_cad(&self) -> Option<Duration> {
+        let v6 = self.first_attempt(Family::V6)?;
+        let v4 = self.first_attempt(Family::V4)?;
+        v4.checked_duration_since(v6)
+    }
+
+    /// Family sequence of distinct attempted addresses (Figure 5 row).
+    pub fn attempt_families(&self) -> Vec<Family> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            if let HeEventKind::AttemptStarted { addr, .. } = &e.kind {
+                if seen.insert(*addr) {
+                    out.push(Family::of(*addr));
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct addresses attempted, per family (Table 2's "Addrs. Used").
+    pub fn addrs_used(&self, family: Family) -> usize {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                HeEventKind::AttemptStarted { addr, .. } if Family::of(*addr) == family => {
+                    Some(*addr)
+                }
+                _ => None,
+            })
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+
+    /// The established family, if any.
+    pub fn established_family(&self) -> Option<Family> {
+        self.events.iter().find_map(|e| match &e.kind {
+            HeEventKind::Established { family, .. } => Some(*family),
+            _ => None,
+        })
+    }
+
+    /// Whether a Resolution Delay was armed during this run.
+    pub fn used_resolution_delay(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, HeEventKind::ResolutionDelayStarted { .. }))
+    }
+
+    /// Time from start to establishment.
+    pub fn time_to_connect(&self) -> Option<Duration> {
+        let start = self.events.first()?.at;
+        self.events.iter().find_map(|e| match &e.kind {
+            HeEventKind::Established { .. } => Some(e.at - start),
+            _ => None,
+        })
+    }
+
+    /// Pretty one-line-per-event rendering for debugging.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for e in &self.events {
+            let _ = writeln!(s, "{:>14}  {:?}", e.at.to_string(), e.kind);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyeye_net::addr::{v4, v6};
+
+    fn log_with_attempts() -> HeLog {
+        let mut log = HeLog::default();
+        log.push(
+            SimTime::ZERO,
+            HeEventKind::DnsQuerySent {
+                qtype: RrType::Aaaa,
+            },
+        );
+        log.push(
+            SimTime::from_millis(1),
+            HeEventKind::AttemptStarted {
+                index: 0,
+                addr: v6("2001:db8::1"),
+                proto: CandidateProto::Tcp,
+            },
+        );
+        log.push(
+            SimTime::from_millis(301),
+            HeEventKind::AttemptStarted {
+                index: 1,
+                addr: v4("192.0.2.1"),
+                proto: CandidateProto::Tcp,
+            },
+        );
+        log.push(
+            SimTime::from_millis(302),
+            HeEventKind::Established {
+                addr: v4("192.0.2.1"),
+                family: Family::V4,
+                proto: CandidateProto::Tcp,
+            },
+        );
+        log
+    }
+
+    #[test]
+    fn observed_cad() {
+        let log = log_with_attempts();
+        assert_eq!(log.observed_cad(), Some(Duration::from_millis(300)));
+    }
+
+    #[test]
+    fn attempt_families_dedup() {
+        let mut log = log_with_attempts();
+        // Re-attempting the same v6 address must not add a row.
+        log.push(
+            SimTime::from_millis(400),
+            HeEventKind::AttemptStarted {
+                index: 2,
+                addr: v6("2001:db8::1"),
+                proto: CandidateProto::Tcp,
+            },
+        );
+        assert_eq!(log.attempt_families(), vec![Family::V6, Family::V4]);
+        assert_eq!(log.addrs_used(Family::V6), 1);
+        assert_eq!(log.addrs_used(Family::V4), 1);
+    }
+
+    #[test]
+    fn established_family_and_ttc() {
+        let log = log_with_attempts();
+        assert_eq!(log.established_family(), Some(Family::V4));
+        assert_eq!(log.time_to_connect(), Some(Duration::from_millis(302)));
+    }
+
+    #[test]
+    fn no_cad_without_v4_attempt() {
+        let mut log = HeLog::default();
+        log.push(
+            SimTime::ZERO,
+            HeEventKind::AttemptStarted {
+                index: 0,
+                addr: v6("2001:db8::1"),
+                proto: CandidateProto::Tcp,
+            },
+        );
+        assert_eq!(log.observed_cad(), None);
+        assert_eq!(log.established_family(), None);
+    }
+
+    #[test]
+    fn rd_flag() {
+        let mut log = HeLog::default();
+        assert!(!log.used_resolution_delay());
+        log.push(
+            SimTime::ZERO,
+            HeEventKind::ResolutionDelayStarted {
+                delay: Duration::from_millis(50),
+            },
+        );
+        assert!(log.used_resolution_delay());
+    }
+}

@@ -1,0 +1,260 @@
+//! Connection history: RTT estimates for dynamic CAD, and the RFC 6555
+//! outcome cache ("the order of 10 minutes").
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::time::Duration;
+
+use lazyeye_dns::Name;
+use lazyeye_net::Family;
+use lazyeye_sim::SimTime;
+
+use crate::params::CadMode;
+
+/// Smoothed-RTT store keyed by destination address, with an aggregate
+/// estimate for the dynamic Connection Attempt Delay (RFC 8305 §5 allows
+/// CAD to be based on "historical RTT data").
+#[derive(Default)]
+pub struct HistoryStore {
+    srtt: RefCell<HashMap<IpAddr, Duration>>,
+    outcomes: RefCell<HashMap<Name, OutcomeEntry>>,
+}
+
+#[derive(Clone)]
+struct OutcomeEntry {
+    addr: IpAddr,
+    expires: SimTime,
+}
+
+impl HistoryStore {
+    /// Empty history (a freshly reset client).
+    pub fn new() -> HistoryStore {
+        HistoryStore::default()
+    }
+
+    /// Records an RTT sample (EWMA with α = 1/8, the TCP classic).
+    pub fn record_rtt(&self, addr: IpAddr, sample: Duration) {
+        let mut map = self.srtt.borrow_mut();
+        let entry = map.entry(addr).or_insert(sample);
+        let old = entry.as_nanos() as f64;
+        let new = sample.as_nanos() as f64;
+        *entry = Duration::from_nanos((old * 0.875 + new * 0.125) as u64);
+    }
+
+    /// Smoothed RTT towards `addr`, if known.
+    pub fn srtt(&self, addr: IpAddr) -> Option<Duration> {
+        self.srtt.borrow().get(&addr).copied()
+    }
+
+    /// Aggregate RTT estimate: the mean of all samples (a stand-in for
+    /// per-network history when the exact address is new).
+    pub fn aggregate_rtt(&self) -> Option<Duration> {
+        let map = self.srtt.borrow();
+        if map.is_empty() {
+            return None;
+        }
+        let total: u128 = map.values().map(|d| d.as_nanos()).sum();
+        Some(Duration::from_nanos((total / map.len() as u128) as u64))
+    }
+
+    /// Computes the CAD for a destination per the configured mode.
+    pub fn cad_for(&self, mode: CadMode, dst: Option<IpAddr>) -> Duration {
+        match mode {
+            CadMode::Fixed(d) => d,
+            CadMode::Dynamic {
+                min,
+                no_history,
+                max,
+                spread,
+            } => {
+                let est = dst
+                    .and_then(|a| self.srtt(a))
+                    .or_else(|| self.aggregate_rtt());
+                match est {
+                    Some(rtt) => {
+                        let mut cad = rtt * 2;
+                        if spread > 0.0 && lazyeye_sim::has_current() {
+                            let factor = lazyeye_sim::with_rng(|r| {
+                                use rand::Rng;
+                                (r.gen_range(-spread..=spread)).exp()
+                            });
+                            cad = Duration::from_nanos(
+                                (cad.as_nanos() as f64 * factor) as u64,
+                            );
+                        }
+                        cad.clamp(min, max)
+                    }
+                    None => no_history,
+                }
+            }
+        }
+    }
+
+    /// Caches the winning address for a name.
+    pub fn record_outcome(&self, now: SimTime, name: Name, addr: IpAddr, ttl: Duration) {
+        self.outcomes.borrow_mut().insert(
+            name,
+            OutcomeEntry {
+                addr,
+                expires: now + ttl,
+            },
+        );
+    }
+
+    /// Returns the cached winner if still fresh.
+    pub fn cached_outcome(&self, now: SimTime, name: &Name) -> Option<IpAddr> {
+        let mut map = self.outcomes.borrow_mut();
+        match map.get(name) {
+            Some(e) if e.expires > now => Some(e.addr),
+            Some(_) => {
+                map.remove(name);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Drops a cached outcome (after it failed to connect).
+    pub fn invalidate_outcome(&self, name: &Name) {
+        self.outcomes.borrow_mut().remove(name);
+    }
+
+    /// Share of cached outcomes that favour the given family (diagnostic).
+    pub fn outcome_family_share(&self, family: Family) -> f64 {
+        let map = self.outcomes.borrow();
+        if map.is_empty() {
+            return 0.0;
+        }
+        let n = map
+            .values()
+            .filter(|e| Family::of(e.addr) == family)
+            .count();
+        n as f64 / map.len() as f64
+    }
+
+    /// Clears everything (container reset between runs, as in the paper).
+    pub fn clear(&self) {
+        self.srtt.borrow_mut().clear();
+        self.outcomes.borrow_mut().clear();
+    }
+
+    /// Clears only the outcome cache, keeping RTT history — a fresh page
+    /// visit in the same browser session (the web tool's repetition unit).
+    pub fn clear_outcomes(&self) {
+        self.outcomes.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyeye_net::addr::{v4, v6};
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn ewma_converges_toward_samples() {
+        let h = HistoryStore::new();
+        let a = v6("2001:db8::1");
+        h.record_rtt(a, ms(100));
+        assert_eq!(h.srtt(a), Some(ms(100)), "first sample initialises");
+        for _ in 0..50 {
+            h.record_rtt(a, ms(20));
+        }
+        let s = h.srtt(a).unwrap();
+        assert!(s < ms(30), "srtt {s:?} should approach 20 ms");
+    }
+
+    #[test]
+    fn fixed_cad_ignores_history() {
+        let h = HistoryStore::new();
+        h.record_rtt(v4("192.0.2.1"), ms(500));
+        assert_eq!(h.cad_for(CadMode::Fixed(ms(250)), None), ms(250));
+    }
+
+    #[test]
+    fn dynamic_cad_without_history_uses_default() {
+        let h = HistoryStore::new();
+        let mode = CadMode::Dynamic {
+            min: ms(10),
+            no_history: ms(2000),
+            max: ms(5000),
+            spread: 0.0,
+        };
+        // Safari on a fresh container: no history → 2 s, the paper's
+        // local-testbed observation.
+        assert_eq!(h.cad_for(mode, Some(v6("2001:db8::9"))), ms(2000));
+    }
+
+    #[test]
+    fn dynamic_cad_is_2x_srtt_clamped() {
+        let h = HistoryStore::new();
+        let a = v6("2001:db8::1");
+        let mode = CadMode::Dynamic {
+            min: ms(10),
+            no_history: ms(100),
+            max: ms(2000),
+            spread: 0.0,
+        };
+        h.record_rtt(a, ms(40));
+        assert_eq!(h.cad_for(mode, Some(a)), ms(80), "2x srtt");
+        let h2 = HistoryStore::new();
+        h2.record_rtt(a, ms(2));
+        assert_eq!(h2.cad_for(mode, Some(a)), ms(10), "clamped to min");
+        let h3 = HistoryStore::new();
+        h3.record_rtt(a, ms(30_000));
+        assert_eq!(h3.cad_for(mode, Some(a)), ms(2000), "clamped to max");
+    }
+
+    #[test]
+    fn dynamic_cad_falls_back_to_aggregate() {
+        let h = HistoryStore::new();
+        h.record_rtt(v4("192.0.2.1"), ms(50));
+        h.record_rtt(v4("192.0.2.2"), ms(150));
+        let mode = CadMode::rfc_dynamic();
+        // Unknown destination: aggregate (100 ms) × 2 = 200 ms.
+        assert_eq!(h.cad_for(mode, Some(v6("2001:db8::dead"))), ms(200));
+    }
+
+    #[test]
+    fn outcome_cache_expires() {
+        let h = HistoryStore::new();
+        let name = Name::parse("www.example.com").unwrap();
+        h.record_outcome(SimTime::ZERO, name.clone(), v6("2001:db8::1"), ms(600_000));
+        assert_eq!(
+            h.cached_outcome(SimTime::from_secs(599), &name),
+            Some(v6("2001:db8::1"))
+        );
+        assert_eq!(h.cached_outcome(SimTime::from_secs(601), &name), None);
+    }
+
+    #[test]
+    fn outcome_invalidation() {
+        let h = HistoryStore::new();
+        let name = Name::parse("x.example").unwrap();
+        h.record_outcome(SimTime::ZERO, name.clone(), v4("192.0.2.1"), ms(1000));
+        h.invalidate_outcome(&name);
+        assert_eq!(h.cached_outcome(SimTime::ZERO, &name), None);
+    }
+
+    #[test]
+    fn family_share() {
+        let h = HistoryStore::new();
+        h.record_outcome(SimTime::ZERO, Name::parse("a.example").unwrap(), v6("2001:db8::1"), ms(1000));
+        h.record_outcome(SimTime::ZERO, Name::parse("b.example").unwrap(), v4("192.0.2.1"), ms(1000));
+        assert!((h.outcome_family_share(Family::V6) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let h = HistoryStore::new();
+        h.record_rtt(v4("192.0.2.1"), ms(10));
+        h.record_outcome(SimTime::ZERO, Name::parse("a.example").unwrap(), v4("192.0.2.1"), ms(1000));
+        h.clear();
+        assert_eq!(h.srtt(v4("192.0.2.1")), None);
+        assert_eq!(h.aggregate_rtt(), None);
+    }
+}

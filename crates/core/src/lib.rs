@@ -1,0 +1,630 @@
+//! # lazyeye-core — the Happy Eyeballs engine
+//!
+//! A complete, configuration-driven implementation of Happy Eyeballs:
+//!
+//! * **HEv1** (RFC 6555): race one IPv6 against one IPv4 connection with a
+//!   Connection Attempt Delay, remember the winner for ~10 minutes;
+//! * **HEv2** (RFC 8305): AAAA-then-A queries, the 50 ms Resolution Delay,
+//!   address sorting with First-Address-Family-Count and interlacing,
+//!   staggered attempts where a failure immediately starts the next;
+//! * **HEv3** (draft): SVCB/HTTPS processing, ECH > QUIC > TCP protocol
+//!   preference, QUIC racing.
+//!
+//! The same engine reproduces the *deviations* the paper measured via
+//! [`Quirks`] — most importantly `wait_for_all_answers`, the
+//! Chrome/Firefox behaviour where a slow **A** lookup stalls even IPv6
+//! connections (§5.2), and the interlacing differences of Figure 5.
+//!
+//! Every run returns an [`HeLog`]: the timestamped client-side observable
+//! (DNS events, attempt starts, establishment) that the testbed's
+//! analyzers and the web tool evaluate.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod event;
+mod history;
+mod params;
+pub mod select;
+
+pub use engine::{HappyEyeballs, HeConnection, HeError, HeResult};
+pub use event::{HeEvent, HeEventKind, HeLog};
+pub use history::HistoryStore;
+pub use params::{
+    version_params, CadMode, HeConfig, HeVersion, InterlaceStrategy, Quirks, VersionParams,
+};
+pub use select::{Candidate, CandidateProto};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyeye_authns::{serve, AuthConfig, AuthServer, TestDomain};
+    use lazyeye_dns::{Name, RrType, Zone, ZoneSet};
+    use lazyeye_net::{
+        quic_serve, Family, Host, Netem, NetemRule, Network, QuicServerConfig,
+    };
+    use lazyeye_resolver::{QueryOrder, StubConfig, StubResolver};
+    use lazyeye_sim::{spawn, Sim};
+    use std::net::SocketAddr;
+    use std::rc::Rc;
+    use std::time::Duration;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    struct Bed {
+        sim: Sim,
+        server: Host,
+        client: Host,
+        auth: AuthServer,
+    }
+
+    /// Dual-stack server with www.hetest A+AAAA; DNS and HTTP on the same
+    /// server host (like the paper's single server node).
+    fn build_bed(seed: u64) -> Bed {
+        let sim = Sim::new(seed);
+        let net = Network::new();
+        let server = net
+            .host("server")
+            .v4("192.0.2.1")
+            .v6("2001:db8::1")
+            .build();
+        let client = net
+            .host("client")
+            .v4("192.0.2.100")
+            .v6("2001:db8::100")
+            .build();
+        let mut zone = Zone::new(n("hetest"));
+        zone.a(&n("www.hetest"), "192.0.2.1".parse().unwrap(), 300);
+        zone.aaaa(&n("www.hetest"), "2001:db8::1".parse().unwrap(), 300);
+        let mut zones = ZoneSet::new();
+        zones.add(zone);
+        let auth = AuthServer::new(AuthConfig {
+            zones,
+            ..AuthConfig::default()
+        });
+        sim.enter(|| {
+            spawn(serve(server.udp_bind_any(53).unwrap(), auth.clone()));
+            let listener = server.tcp_listen_any(80).unwrap();
+            spawn(async move {
+                loop {
+                    let Ok((s, _)) = listener.accept().await else { break };
+                    // Accept and hold; HE only needs the handshake.
+                    std::mem::forget(s);
+                }
+            });
+        });
+        Bed {
+            sim,
+            server,
+            client,
+            auth,
+        }
+    }
+
+    fn engine_on(bed: &Bed, cfg: HeConfig) -> HappyEyeballs {
+        engine_with_stub(bed, cfg, StubConfig {
+            servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 53)],
+            ..StubConfig::default()
+        })
+    }
+
+    fn engine_with_stub(bed: &Bed, cfg: HeConfig, stub_cfg: StubConfig) -> HappyEyeballs {
+        let stub = Rc::new(StubResolver::new(bed.client.clone(), stub_cfg));
+        HappyEyeballs::new(cfg, bed.client.clone(), stub, Rc::new(HistoryStore::new()))
+    }
+
+    #[test]
+    fn healthy_dual_stack_prefers_ipv6() {
+        let mut bed = build_bed(1);
+        let he = engine_on(&bed, HeConfig::rfc8305());
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        let conn = res.connection.unwrap();
+        assert_eq!(conn.family(), Family::V6);
+        assert_eq!(res.log.established_family(), Some(Family::V6));
+        assert_eq!(res.log.observed_cad(), None, "no IPv4 attempt needed");
+    }
+
+    #[test]
+    fn delayed_v6_falls_back_at_cad() {
+        let mut bed = build_bed(1);
+        bed.server
+            .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(400)));
+        let he = engine_on(&bed, HeConfig::rfc8305());
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        let conn = res.connection.unwrap();
+        assert_eq!(conn.family(), Family::V4);
+        let cad = res.log.observed_cad().unwrap();
+        assert_eq!(cad, Duration::from_millis(250), "RFC CAD of 250 ms");
+    }
+
+    #[test]
+    fn mildly_delayed_v6_still_wins() {
+        let mut bed = build_bed(1);
+        bed.server
+            .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(100)));
+        let he = engine_on(&bed, HeConfig::rfc8305());
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap().family(), Family::V6);
+        assert_eq!(res.log.observed_cad(), None);
+    }
+
+    #[test]
+    fn custom_cad_shifts_the_crossover() {
+        // Chromium's 300 ms CAD: a 280 ms IPv6 delay stays on IPv6; with
+        // the RFC's 250 ms it would have fallen back.
+        let mut bed = build_bed(1);
+        bed.server
+            .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(280)));
+        let mut cfg = HeConfig::rfc8305();
+        cfg.cad = CadMode::Fixed(Duration::from_millis(300));
+        let he = engine_on(&bed, cfg);
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap().family(), Family::V6);
+    }
+
+    #[test]
+    fn rd_waits_50ms_for_aaaa_then_uses_v4() {
+        // AAAA delayed far beyond the RD: after A arrives the engine waits
+        // exactly 50 ms, then connects over IPv4.
+        let mut bed = build_bed(1);
+        let mut cfg_auth = AuthConfig::default();
+        let mut zone = Zone::new(n("hetest"));
+        zone.a(&n("www.hetest"), "192.0.2.1".parse().unwrap(), 300);
+        zone.aaaa(&n("www.hetest"), "2001:db8::1".parse().unwrap(), 300);
+        let mut zones = ZoneSet::new();
+        zones.add(zone);
+        cfg_auth.zones = zones;
+        cfg_auth.qtype_delays = vec![(RrType::Aaaa, Duration::from_millis(1000))];
+        // Spawn a second auth server (with the AAAA delay) on port 5353.
+        let auth = AuthServer::new(cfg_auth);
+        let server = bed.server.clone();
+        bed.sim.enter(|| {
+            spawn(serve(server.udp_bind_any(5353).unwrap(), auth));
+        });
+        let he = engine_with_stub(
+            &bed,
+            HeConfig::rfc8305(),
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 5353)],
+                ..StubConfig::default()
+            },
+        );
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap().family(), Family::V4);
+        assert!(res.log.used_resolution_delay());
+        // First v4 attempt ≈ A arrival + 50 ms RD.
+        let a_at = res
+            .log
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                HeEventKind::DnsAnswer { qtype, .. } if *qtype == RrType::A => Some(e.at),
+                _ => None,
+            })
+            .unwrap();
+        let v4_at = res.log.first_attempt(Family::V4).unwrap();
+        assert_eq!((v4_at - a_at).as_millis(), 50);
+    }
+
+    #[test]
+    fn aaaa_arriving_within_rd_goes_v6_immediately() {
+        let mut bed = build_bed(1);
+        bed.auth.clear_log();
+        // AAAA 20 ms slower than A — inside the 50 ms RD.
+        let auth = AuthServer::new({
+            let mut zone = Zone::new(n("hetest"));
+            zone.a(&n("www.hetest"), "192.0.2.1".parse().unwrap(), 300);
+            zone.aaaa(&n("www.hetest"), "2001:db8::1".parse().unwrap(), 300);
+            let mut zones = ZoneSet::new();
+            zones.add(zone);
+            AuthConfig {
+                zones,
+                qtype_delays: vec![(RrType::Aaaa, Duration::from_millis(20))],
+                ..AuthConfig::default()
+            }
+        });
+        let server = bed.server.clone();
+        bed.sim.enter(|| {
+            spawn(serve(server.udp_bind_any(5353).unwrap(), auth));
+        });
+        let he = engine_with_stub(
+            &bed,
+            HeConfig::rfc8305(),
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 5353)],
+                ..StubConfig::default()
+            },
+        );
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap().family(), Family::V6);
+        assert!(res.log.used_resolution_delay());
+        assert!(
+            !res.log
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, HeEventKind::ResolutionDelayExpired)),
+            "RD must not expire when AAAA arrives in time"
+        );
+    }
+
+    #[test]
+    fn chrome_quirk_slow_a_stalls_ipv6() {
+        // The paper's §5.2 headline: with `wait_for_all_answers`, a slow A
+        // lookup delays the IPv6 connection although AAAA answered
+        // instantly.
+        let mut bed = build_bed(1);
+        let auth = AuthServer::new({
+            let mut zone = Zone::new(n("hetest"));
+            zone.a(&n("www.hetest"), "192.0.2.1".parse().unwrap(), 300);
+            zone.aaaa(&n("www.hetest"), "2001:db8::1".parse().unwrap(), 300);
+            let mut zones = ZoneSet::new();
+            zones.add(zone);
+            AuthConfig {
+                zones,
+                qtype_delays: vec![(RrType::A, Duration::from_millis(800))],
+                ..AuthConfig::default()
+            }
+        });
+        let server = bed.server.clone();
+        bed.sim.enter(|| {
+            spawn(serve(server.udp_bind_any(5353).unwrap(), auth));
+        });
+        let mut cfg = HeConfig::rfc8305();
+        cfg.resolution_delay = None;
+        cfg.quirks.wait_for_all_answers = true;
+        let he = engine_with_stub(
+            &bed,
+            cfg,
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 5353)],
+                ..StubConfig::default()
+            },
+        );
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap().family(), Family::V6, "still prefers v6");
+        let v6_at = res.log.first_attempt(Family::V6).unwrap();
+        assert!(
+            v6_at.as_millis() >= 800,
+            "IPv6 attempt stalled until the A answer ({} ms)",
+            v6_at.as_millis()
+        );
+    }
+
+    #[test]
+    fn rfc_engine_does_not_stall_on_slow_a() {
+        // Same scenario, RFC-conformant config: IPv6 connects immediately.
+        let mut bed = build_bed(1);
+        let auth = AuthServer::new({
+            let mut zone = Zone::new(n("hetest"));
+            zone.a(&n("www.hetest"), "192.0.2.1".parse().unwrap(), 300);
+            zone.aaaa(&n("www.hetest"), "2001:db8::1".parse().unwrap(), 300);
+            let mut zones = ZoneSet::new();
+            zones.add(zone);
+            AuthConfig {
+                zones,
+                qtype_delays: vec![(RrType::A, Duration::from_millis(800))],
+                ..AuthConfig::default()
+            }
+        });
+        let server = bed.server.clone();
+        bed.sim.enter(|| {
+            spawn(serve(server.udp_bind_any(5353).unwrap(), auth));
+        });
+        let he = engine_with_stub(
+            &bed,
+            HeConfig::rfc8305(),
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 5353)],
+                ..StubConfig::default()
+            },
+        );
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap().family(), Family::V6);
+        let v6_at = res.log.first_attempt(Family::V6).unwrap();
+        assert!(v6_at.as_millis() < 50, "v6 attempt at {} ms", v6_at.as_millis());
+    }
+
+    #[test]
+    fn wget_no_fallback_fails_when_v6_dead() {
+        let mut bed = build_bed(1);
+        bed.server.blackhole("2001:db8::1".parse().unwrap());
+        let mut cfg = HeConfig::rfc8305();
+        cfg.interlace = InterlaceStrategy::NoFallback;
+        cfg.quirks.wait_for_all_answers = true;
+        cfg.attempt_timeout = Duration::from_secs(5);
+        cfg.overall_deadline = Duration::from_secs(60);
+        let he = engine_on(&bed, cfg);
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap_err(), HeError::AllAttemptsFailed);
+        assert_eq!(res.log.addrs_used(Family::V4), 0, "wget never touches IPv4");
+        assert_eq!(res.log.addrs_used(Family::V6), 1);
+    }
+
+    fn selection_bed(seed: u64) -> (Sim, Host, HappyEyeballs) {
+        // 10 AAAA + 10 A records, all pointing at unassigned (blackholed)
+        // addresses — the paper's address-selection experiment.
+        let sim = Sim::new(seed);
+        let net = Network::new();
+        let dns = net.host("dns").v4("192.0.2.53").v6("2001:db8::53").build();
+        let client = net
+            .host("client")
+            .v4("192.0.2.100")
+            .v6("2001:db8::100")
+            .build();
+        let td = TestDomain {
+            apex: n("sel.test"),
+            v4: (1..=10)
+                .map(|i| format!("203.0.113.{i}").parse().unwrap())
+                .collect(),
+            v6: (1..=10)
+                .map(|i| format!("2001:db8:dead::{i}").parse().unwrap())
+                .collect(),
+            ttl: 60,
+        };
+        let auth = AuthServer::new(AuthConfig {
+            test_domains: vec![td],
+            ..AuthConfig::default()
+        });
+        sim.enter(|| {
+            spawn(serve(dns.udp_bind_any(53).unwrap(), auth));
+        });
+        let stub = Rc::new(StubResolver::new(
+            client.clone(),
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.53".parse().unwrap(), 53)],
+                ..StubConfig::default()
+            },
+        ));
+        let mut cfg = HeConfig::rfc8305();
+        cfg.interlace = InterlaceStrategy::SafariStyle;
+        cfg.attempt_timeout = Duration::from_secs(3);
+        cfg.overall_deadline = Duration::from_secs(120);
+        let he = HappyEyeballs::new(cfg, client.clone(), stub, Rc::new(HistoryStore::new()));
+        (sim, client, he)
+    }
+
+    #[test]
+    fn safari_selection_uses_all_20_addresses() {
+        let (mut sim, _client, he) = selection_bed(1);
+        let qname = n("d0-tnone-nsel1.sel.test");
+        let res = sim.block_on(async move { he.connect(&qname, 80).await });
+        assert!(res.connection.is_err());
+        let fams = res.log.attempt_families();
+        assert_eq!(fams.len(), 20, "all 10+10 addresses attempted");
+        // Safari pattern: v6 v6 v4, then the paper's remaining order.
+        assert_eq!(fams[0], Family::V6);
+        assert_eq!(fams[1], Family::V6);
+        assert_eq!(fams[2], Family::V4);
+        assert!(fams[3..11].iter().all(|f| *f == Family::V6));
+        assert!(fams[11..].iter().all(|f| *f == Family::V4));
+        assert_eq!(res.log.addrs_used(Family::V6), 10);
+        assert_eq!(res.log.addrs_used(Family::V4), 10);
+    }
+
+    #[test]
+    fn hev1_clients_stop_after_one_of_each() {
+        let (mut sim3, client3, _) = selection_bed(3);
+        let stub = Rc::new(StubResolver::new(
+            client3.clone(),
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.53".parse().unwrap(), 53)],
+                ..StubConfig::default()
+            },
+        ));
+        let mut cfg = HeConfig::rfc6555();
+        cfg.attempt_timeout = Duration::from_secs(3);
+        cfg.overall_deadline = Duration::from_secs(60);
+        let he = HappyEyeballs::new(cfg, client3, stub, Rc::new(HistoryStore::new()));
+        let qname = n("d0-tnone-nsel2.sel.test");
+        let res = sim3.block_on(async move { he.connect(&qname, 80).await });
+        assert!(res.connection.is_err());
+        assert_eq!(res.log.attempt_families(), vec![Family::V6, Family::V4]);
+    }
+
+    #[test]
+    fn outcome_cache_short_circuits_second_connect() {
+        let mut bed = build_bed(1);
+        let stub = Rc::new(StubResolver::new(
+            bed.client.clone(),
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 53)],
+                ..StubConfig::default()
+            },
+        ));
+        let history = Rc::new(HistoryStore::new());
+        let he = Rc::new(HappyEyeballs::new(
+            HeConfig::rfc8305(),
+            bed.client.clone(),
+            stub,
+            history,
+        ));
+        let auth = bed.auth.clone();
+        let (first_family, cached_used, dns_queries_after_first) =
+            bed.sim.block_on(async move {
+                let r1 = he.connect(&n("www.hetest"), 80).await;
+                let f1 = r1.connection.unwrap().family();
+                let queries_after_first = auth.query_log().len();
+                let r2 = he.connect(&n("www.hetest"), 80).await;
+                let cached = r2
+                    .log
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, HeEventKind::UsedCachedOutcome { .. }));
+                assert!(r2.connection.is_ok());
+                (f1, cached, auth.query_log().len() - queries_after_first)
+            });
+        assert_eq!(first_family, Family::V6);
+        assert!(cached_used, "second connect must use the 10-minute cache");
+        assert_eq!(dns_queries_after_first, 0, "no new DNS for cached outcome");
+    }
+
+    #[test]
+    fn dynamic_cad_uses_history() {
+        let mut bed = build_bed(1);
+        bed.server
+            .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(400)));
+        let history = Rc::new(HistoryStore::new());
+        // Teach the history a 30 ms RTT: dynamic CAD = 60 ms.
+        history.record_rtt("2001:db8::1".parse().unwrap(), Duration::from_millis(30));
+        let stub = Rc::new(StubResolver::new(
+            bed.client.clone(),
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 53)],
+                ..StubConfig::default()
+            },
+        ));
+        let mut cfg = HeConfig::rfc8305();
+        cfg.cad = CadMode::rfc_dynamic();
+        let he = HappyEyeballs::new(cfg, bed.client.clone(), stub, history);
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap().family(), Family::V4);
+        let cad = res.log.observed_cad().unwrap();
+        assert_eq!(cad, Duration::from_millis(60), "2 x 30 ms srtt");
+    }
+
+    #[test]
+    fn hev3_races_quic_and_wins() {
+        let mut bed = build_bed(1);
+        // QUIC endpoint on 443 with ECH; HTTPS RR advertises h3.
+        let auth = AuthServer::new({
+            let mut zone = Zone::new(n("hetest"));
+            zone.a(&n("www.hetest"), "192.0.2.1".parse().unwrap(), 300);
+            zone.aaaa(&n("www.hetest"), "2001:db8::1".parse().unwrap(), 300);
+            zone.add(lazyeye_dns::Record::new(
+                n("www.hetest"),
+                300,
+                lazyeye_dns::RData::Https(
+                    lazyeye_dns::SvcParams::service(1, Name::root())
+                        .with(lazyeye_dns::SvcParam::Alpn(vec![b"h3".to_vec(), b"h2".to_vec()]))
+                        .with(lazyeye_dns::SvcParam::Ech(vec![1, 2, 3])),
+                ),
+            ));
+            let mut zones = ZoneSet::new();
+            zones.add(zone);
+            AuthConfig {
+                zones,
+                ..AuthConfig::default()
+            }
+        });
+        let server = bed.server.clone();
+        bed.sim.enter(|| {
+            spawn(serve(server.udp_bind_any(5353).unwrap(), auth));
+            let qsock = server.udp_bind_any(443).unwrap();
+            spawn(quic_serve(
+                qsock,
+                QuicServerConfig {
+                    ech: true,
+                    respond: true,
+                },
+            ));
+        });
+        let stub = Rc::new(StubResolver::new(
+            bed.client.clone(),
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 5353)],
+                qtypes: vec![RrType::Https, RrType::Aaaa, RrType::A],
+                ..StubConfig::default()
+            },
+        ));
+        let he = HappyEyeballs::new(
+            HeConfig::hev3_draft(),
+            bed.client.clone(),
+            stub,
+            Rc::new(HistoryStore::new()),
+        );
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 443).await });
+        let conn = res.connection.unwrap();
+        assert_eq!(conn.proto(), CandidateProto::Quic, "QUIC preferred per HEv3");
+        assert_eq!(conn.family(), Family::V6);
+    }
+
+    #[test]
+    fn refused_connection_starts_next_attempt_immediately() {
+        let mut bed = build_bed(1);
+        // Remove the listener by using a port nobody listens on: the v6
+        // attempt is refused instantly, so v4 must start well before CAD.
+        let he = engine_on(&bed, HeConfig::rfc8305());
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 81).await });
+        // Both refused -> AllAttemptsFailed, but the key observable is the
+        // gap between attempts being ≈ RTT, not the 250 ms CAD.
+        assert_eq!(res.connection.unwrap_err(), HeError::AllAttemptsFailed);
+        let cad = res.log.observed_cad().unwrap();
+        assert!(
+            cad < Duration::from_millis(50),
+            "failure must trigger the next attempt early (got {cad:?})"
+        );
+    }
+
+    #[test]
+    fn legacy_stub_order_still_prefers_v6_family() {
+        // A-then-AAAA stub (Firefox-style ordering) with RFC engine: the
+        // RD still gives IPv6 its chance.
+        let mut bed = build_bed(1);
+        let he = engine_with_stub(
+            &bed,
+            HeConfig::rfc8305(),
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 53)],
+                order: QueryOrder::AThenAaaa,
+                ..StubConfig::default()
+            },
+        );
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap().family(), Family::V6);
+    }
+
+    #[test]
+    fn nxdomain_fails_with_no_addresses() {
+        let mut bed = build_bed(1);
+        let he = engine_on(&bed, HeConfig::rfc8305());
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("missing.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap_err(), HeError::NoAddresses);
+    }
+
+    #[test]
+    fn deadline_bounds_the_whole_run() {
+        let mut bed = build_bed(1);
+        bed.server.blackhole("2001:db8::1".parse().unwrap());
+        bed.server.blackhole("192.0.2.1".parse().unwrap());
+        let mut cfg = HeConfig::rfc8305();
+        cfg.overall_deadline = Duration::from_secs(2);
+        cfg.attempt_timeout = Duration::from_secs(30);
+        let he = engine_on(&bed, cfg);
+        let res = bed
+            .sim
+            .block_on(async move { he.connect(&n("www.hetest"), 80).await });
+        assert_eq!(res.connection.unwrap_err(), HeError::Deadline);
+        assert!(bed.sim.now() <= lazyeye_sim::SimTime::from_millis(2100));
+    }
+}

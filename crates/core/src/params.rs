@@ -1,0 +1,286 @@
+//! Happy Eyeballs versions and their standardized parameters (paper
+//! Table 1), plus the engine configuration type.
+
+use std::time::Duration;
+
+use lazyeye_net::Family;
+
+/// The three Happy Eyeballs generations.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum HeVersion {
+    /// RFC 6555 (2012): connection racing only.
+    V1,
+    /// RFC 8305 (2017): adds DNS (AAAA/A ordering, Resolution Delay) and
+    /// address selection/interlacing.
+    V2,
+    /// draft-ietf-happy-happyeyeballs-v3: adds SVCB/HTTPS processing and
+    /// protocol preference (ECH > QUIC > TCP).
+    V3,
+}
+
+impl std::fmt::Display for HeVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeVersion::V1 => write!(f, "HEv1 (RFC 6555)"),
+            HeVersion::V2 => write!(f, "HEv2 (RFC 8305)"),
+            HeVersion::V3 => write!(f, "HEv3 (draft)"),
+        }
+    }
+}
+
+/// The standardized parameter set of one HE version — one column of the
+/// paper's Table 1.
+#[derive(Clone, Debug)]
+pub struct VersionParams {
+    /// Which version.
+    pub version: HeVersion,
+    /// Protocols the version considers.
+    pub considered_protocols: &'static str,
+    /// DNS record types processed.
+    pub dns_records: &'static str,
+    /// Resolution Delay (waiting for AAAA after A), if defined.
+    pub resolution_delay: Option<Duration>,
+    /// Address selection description.
+    pub address_selection: &'static str,
+    /// Fixed Connection Attempt Delay recommendation (min, max of the
+    /// recommended range; equal when a single value is recommended).
+    pub fixed_cad: (Duration, Duration),
+    /// (absolute minimum, recommended minimum, maximum) for dynamic CAD.
+    pub dynamic_cad: Option<(Duration, Duration, Duration)>,
+}
+
+/// The rows of Table 1: parameters of HEv1, HEv2 and the HEv3 draft.
+pub fn version_params() -> [VersionParams; 3] {
+    [
+        VersionParams {
+            version: HeVersion::V1,
+            considered_protocols: "IPv4, IPv6",
+            dns_records: "-",
+            resolution_delay: None,
+            address_selection: "IPv6 once, then IPv4",
+            fixed_cad: (Duration::from_millis(150), Duration::from_millis(250)),
+            dynamic_cad: None,
+        },
+        VersionParams {
+            version: HeVersion::V2,
+            considered_protocols: "IPv4, IPv6, DNS",
+            dns_records: "AAAA, A",
+            resolution_delay: Some(Duration::from_millis(50)),
+            address_selection: "alternating IP family",
+            fixed_cad: (Duration::from_millis(250), Duration::from_millis(250)),
+            dynamic_cad: Some((
+                Duration::from_millis(10),
+                Duration::from_millis(100),
+                Duration::from_secs(2),
+            )),
+        },
+        VersionParams {
+            version: HeVersion::V3,
+            considered_protocols: "IPv4, IPv6, DNS, QUIC",
+            dns_records: "SVCB, HTTPS, AAAA, A",
+            resolution_delay: Some(Duration::from_millis(50)),
+            address_selection: "alternating IP family and L4 protocol",
+            fixed_cad: (Duration::from_millis(250), Duration::from_millis(250)),
+            dynamic_cad: Some((
+                Duration::from_millis(10),
+                Duration::from_millis(100),
+                Duration::from_secs(2),
+            )),
+        },
+    ]
+}
+
+/// How the Connection Attempt Delay is chosen.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum CadMode {
+    /// Fixed delay between staggered attempts.
+    Fixed(Duration),
+    /// History-based: `2 × smoothed RTT` to the destination, clamped to
+    /// `[min, max]`; `no_history` applies when no RTT sample exists (a
+    /// fresh client state — Safari's local-testbed 2 s).
+    Dynamic {
+        /// Absolute minimum (RFC 8305: 10 ms).
+        min: Duration,
+        /// Value used without history.
+        no_history: Duration,
+        /// Maximum (RFC 8305: 2 s; Safari has been observed beyond it).
+        max: Duration,
+        /// Log-uniform spread on the history estimate: each connect
+        /// multiplies the estimate by `exp(U(-spread, spread))`. Zero for
+        /// a deterministic dynamic CAD. Models the paper's §5.1 Safari
+        /// finding — a "dynamic, unpredictable" web CAD whose variance no
+        /// controlled condition explained.
+        spread: f64,
+    },
+}
+
+impl CadMode {
+    /// RFC 8305 recommended fixed CAD.
+    pub fn rfc_fixed() -> CadMode {
+        CadMode::Fixed(Duration::from_millis(250))
+    }
+
+    /// RFC 8305 dynamic CAD bounds (deterministic).
+    pub fn rfc_dynamic() -> CadMode {
+        CadMode::Dynamic {
+            min: Duration::from_millis(10),
+            no_history: Duration::from_millis(100),
+            max: Duration::from_secs(2),
+            spread: 0.0,
+        }
+    }
+}
+
+/// How the sorted candidate addresses are interlaced.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum InterlaceStrategy {
+    /// RFC 8305 §4: `first_family_count` preferred-family addresses, then
+    /// strictly alternating families.
+    Rfc8305 {
+        /// Number of preferred-family addresses at the head (1 or 2).
+        first_family_count: usize,
+    },
+    /// Safari's observed strategy (paper App. D): two preferred-family
+    /// addresses, one of the other family, then all remaining preferred,
+    /// then all remaining other.
+    SafariStyle,
+    /// HEv1: one address of the preferred family, one of the other, stop.
+    Hev1SingleFallback,
+    /// No fallback at all: preferred family only (wget).
+    NoFallback,
+}
+
+/// Client deviations from the RFCs that the paper observed and this engine
+/// reproduces when asked to.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Quirks {
+    /// Delay *all* connecting until every address query reached a terminal
+    /// state (answer or resolver timeout). This is the Chrome/Firefox
+    /// behaviour behind the paper's §5.2 finding: a slow **A** lookup
+    /// stalls even IPv6 connections.
+    pub wait_for_all_answers: bool,
+    /// The client never consults addresses beyond the first of each family
+    /// in its list (observed for everything but Safari in Figure 5).
+    pub stop_after_first_pair: bool,
+}
+
+/// Complete engine configuration.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct HeConfig {
+    /// Which version's semantics to run.
+    pub version: HeVersion,
+    /// Connection Attempt Delay policy.
+    pub cad: CadMode,
+    /// Resolution Delay (wait for AAAA after A); `None` disables it.
+    pub resolution_delay: Option<Duration>,
+    /// Candidate interlacing.
+    pub interlace: InterlaceStrategy,
+    /// Preferred address family.
+    pub prefer: Family,
+    /// Hard cap on one connection attempt (handshake give-up).
+    pub attempt_timeout: Duration,
+    /// Overall deadline for the whole `connect`.
+    pub overall_deadline: Duration,
+    /// Lifetime of cached outcomes (RFC 6555: "on the order of 10 min").
+    pub cache_ttl: Duration,
+    /// Race QUIC where SVCB/HTTPS advertises h3 (HEv3).
+    pub use_quic: bool,
+    /// Observed deviations to reproduce.
+    pub quirks: Quirks,
+}
+
+impl HeConfig {
+    /// Straight-from-the-RFC HEv2 configuration.
+    pub fn rfc8305() -> HeConfig {
+        HeConfig {
+            version: HeVersion::V2,
+            cad: CadMode::rfc_fixed(),
+            resolution_delay: Some(Duration::from_millis(50)),
+            interlace: InterlaceStrategy::Rfc8305 {
+                first_family_count: 1,
+            },
+            prefer: Family::V6,
+            attempt_timeout: Duration::from_secs(10),
+            overall_deadline: Duration::from_secs(30),
+            cache_ttl: Duration::from_secs(600),
+            use_quic: false,
+            quirks: Quirks::default(),
+        }
+    }
+
+    /// Straight-from-the-RFC HEv1 configuration.
+    pub fn rfc6555() -> HeConfig {
+        HeConfig {
+            version: HeVersion::V1,
+            cad: CadMode::Fixed(Duration::from_millis(250)),
+            resolution_delay: None,
+            interlace: InterlaceStrategy::Hev1SingleFallback,
+            quirks: Quirks {
+                wait_for_all_answers: true, // getaddrinfo() blocks for both
+                stop_after_first_pair: true,
+            },
+            ..HeConfig::rfc8305()
+        }
+    }
+
+    /// HEv3-draft configuration (SVCB/HTTPS + QUIC racing).
+    pub fn hev3_draft() -> HeConfig {
+        HeConfig {
+            version: HeVersion::V3,
+            use_quic: true,
+            ..HeConfig::rfc8305()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let rows = version_params();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].resolution_delay, None, "HEv1 has no RD");
+        assert_eq!(
+            rows[1].resolution_delay,
+            Some(Duration::from_millis(50)),
+            "HEv2 RD = 50 ms"
+        );
+        assert_eq!(rows[2].dns_records, "SVCB, HTTPS, AAAA, A");
+        assert_eq!(
+            rows[0].fixed_cad,
+            (Duration::from_millis(150), Duration::from_millis(250))
+        );
+        let dyn2 = rows[1].dynamic_cad.unwrap();
+        assert_eq!(dyn2.0, Duration::from_millis(10));
+        assert_eq!(dyn2.1, Duration::from_millis(100));
+        assert_eq!(dyn2.2, Duration::from_secs(2));
+        // v3 keeps v2's parameters (per the paper: "currently similar").
+        assert_eq!(rows[1].dynamic_cad, rows[2].dynamic_cad);
+        assert_eq!(rows[1].fixed_cad, rows[2].fixed_cad);
+    }
+
+    #[test]
+    fn rfc_configs() {
+        let v2 = HeConfig::rfc8305();
+        assert_eq!(v2.cad, CadMode::Fixed(Duration::from_millis(250)));
+        assert_eq!(v2.prefer, Family::V6);
+        assert_eq!(v2.cache_ttl, Duration::from_secs(600));
+        let v1 = HeConfig::rfc6555();
+        assert!(v1.quirks.wait_for_all_answers);
+        assert_eq!(v1.interlace, InterlaceStrategy::Hev1SingleFallback);
+        let v3 = HeConfig::hev3_draft();
+        assert!(v3.use_quic);
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = HeConfig::rfc8305();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: HeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cad, cfg.cad);
+        assert_eq!(back.interlace, cfg.interlace);
+        assert_eq!(back.prefer, cfg.prefer);
+    }
+}

@@ -1,0 +1,333 @@
+//! Address selection: sorting and interlacing candidate endpoints
+//! (RFC 8305 §4, plus the observed client strategies).
+
+use std::net::IpAddr;
+
+use lazyeye_net::Family;
+
+use crate::params::InterlaceStrategy;
+
+/// A connection candidate: an address plus the transport to try.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Candidate {
+    /// Destination address.
+    pub addr: IpAddr,
+    /// Transport protocol for the attempt.
+    pub proto: CandidateProto,
+    /// Whether SVCB/HTTPS advertised ECH for this endpoint (HEv3 sorts
+    /// these to the very front).
+    pub ech: bool,
+}
+
+/// Transport of a candidate.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CandidateProto {
+    /// Plain TCP.
+    Tcp,
+    /// QUIC (HEv3, where h3 support is advertised).
+    Quic,
+}
+
+impl Candidate {
+    /// TCP candidate.
+    pub fn tcp(addr: IpAddr) -> Candidate {
+        Candidate {
+            addr,
+            proto: CandidateProto::Tcp,
+            ech: false,
+        }
+    }
+
+    /// QUIC candidate.
+    pub fn quic(addr: IpAddr) -> Candidate {
+        Candidate {
+            addr,
+            proto: CandidateProto::Quic,
+            ech: false,
+        }
+    }
+
+    /// Family of the candidate address.
+    pub fn family(&self) -> Family {
+        Family::of(self.addr)
+    }
+}
+
+/// Interlaces address candidates per the configured strategy. `preferred`
+/// is the family the client favours (IPv6 for every client the paper
+/// measured). Input order within each family is preserved (it encodes the
+/// resolver's ordering, which RFC 8305 §4 says to respect).
+pub fn interlace(
+    v6: &[IpAddr],
+    v4: &[IpAddr],
+    preferred: Family,
+    strategy: InterlaceStrategy,
+) -> Vec<IpAddr> {
+    let (pref, other): (&[IpAddr], &[IpAddr]) = match preferred {
+        Family::V6 => (v6, v4),
+        Family::V4 => (v4, v6),
+    };
+    match strategy {
+        InterlaceStrategy::NoFallback => pref.to_vec(),
+        InterlaceStrategy::Hev1SingleFallback => {
+            let mut out = Vec::with_capacity(2);
+            if let Some(a) = pref.first() {
+                out.push(*a);
+            }
+            if let Some(a) = other.first() {
+                out.push(*a);
+            }
+            out
+        }
+        InterlaceStrategy::Rfc8305 { first_family_count } => {
+            let fafc = first_family_count.max(1);
+            let mut out = Vec::with_capacity(pref.len() + other.len());
+            let mut pi = 0;
+            let mut oi = 0;
+            // Head: up to FAFC preferred addresses.
+            while pi < fafc.min(pref.len()) {
+                out.push(pref[pi]);
+                pi += 1;
+            }
+            // Then strictly alternate, starting with the other family.
+            let mut take_other = true;
+            while pi < pref.len() || oi < other.len() {
+                if take_other {
+                    if oi < other.len() {
+                        out.push(other[oi]);
+                        oi += 1;
+                    } else {
+                        out.push(pref[pi]);
+                        pi += 1;
+                    }
+                } else if pi < pref.len() {
+                    out.push(pref[pi]);
+                    pi += 1;
+                } else {
+                    out.push(other[oi]);
+                    oi += 1;
+                }
+                take_other = !take_other;
+            }
+            out
+        }
+        InterlaceStrategy::SafariStyle => {
+            // Two preferred, one other, remaining preferred, remaining
+            // other (paper App. D: "Safari does use a First Address Family
+            // Count of two ... attempt one IPv4 address after the two IPv6
+            // addresses. Then it continues with all remaining IPv6 ...
+            // and only after, the remaining IPv4").
+            let mut out = Vec::with_capacity(pref.len() + other.len());
+            let head = 2.min(pref.len());
+            out.extend_from_slice(&pref[..head]);
+            if let Some(a) = other.first() {
+                out.push(*a);
+            }
+            out.extend_from_slice(&pref[head..]);
+            if other.len() > 1 {
+                out.extend_from_slice(&other[1..]);
+            }
+            out
+        }
+    }
+}
+
+/// Expands interlaced addresses into protocol candidates for HEv3:
+/// endpoints advertising h3 get a QUIC candidate ahead of their TCP one,
+/// and ECH-capable endpoints sort to the front (draft: favour ECH over
+/// QUIC over TCP).
+pub fn expand_protocols(
+    addrs: &[IpAddr],
+    h3_capable: bool,
+    ech_capable: bool,
+    use_quic: bool,
+) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(addrs.len() * 2);
+    if use_quic && h3_capable {
+        for a in addrs {
+            out.push(Candidate {
+                addr: *a,
+                proto: CandidateProto::Quic,
+                ech: ech_capable,
+            });
+        }
+        for a in addrs {
+            out.push(Candidate::tcp(*a));
+        }
+        // ECH front-sorting is stable: QUIC+ECH candidates already lead.
+    } else {
+        for a in addrs {
+            out.push(Candidate::tcp(*a));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyeye_net::addr::{v4, v6};
+
+    fn v6s(n: usize) -> Vec<IpAddr> {
+        (1..=n).map(|i| v6(&format!("2001:db8::{i}"))).collect()
+    }
+
+    fn v4s(n: usize) -> Vec<IpAddr> {
+        (1..=n).map(|i| v4(&format!("192.0.2.{i}"))).collect()
+    }
+
+    fn fams(addrs: &[IpAddr]) -> Vec<Family> {
+        addrs.iter().map(|a| Family::of(*a)).collect()
+    }
+
+    #[test]
+    fn rfc8305_fafc1_alternates() {
+        let order = interlace(
+            &v6s(3),
+            &v4s(3),
+            Family::V6,
+            InterlaceStrategy::Rfc8305 {
+                first_family_count: 1,
+            },
+        );
+        assert_eq!(
+            fams(&order),
+            [Family::V6, Family::V4, Family::V6, Family::V4, Family::V6, Family::V4]
+        );
+    }
+
+    #[test]
+    fn rfc8305_fafc2_head() {
+        let order = interlace(
+            &v6s(3),
+            &v4s(3),
+            Family::V6,
+            InterlaceStrategy::Rfc8305 {
+                first_family_count: 2,
+            },
+        );
+        assert_eq!(
+            fams(&order),
+            [Family::V6, Family::V6, Family::V4, Family::V6, Family::V4, Family::V4]
+        );
+    }
+
+    #[test]
+    fn rfc8305_exhausted_family_appends_rest() {
+        let order = interlace(
+            &v6s(4),
+            &v4s(1),
+            Family::V6,
+            InterlaceStrategy::Rfc8305 {
+                first_family_count: 1,
+            },
+        );
+        assert_eq!(
+            fams(&order),
+            [Family::V6, Family::V4, Family::V6, Family::V6, Family::V6]
+        );
+    }
+
+    #[test]
+    fn safari_style_pattern_matches_figure5() {
+        // 10 + 10 addresses: v6 v6 v4 then v6×8 then v4×9 — exactly the
+        // paper's Figure 5 row for Safari.
+        let order = interlace(&v6s(10), &v4s(10), Family::V6, InterlaceStrategy::SafariStyle);
+        let f = fams(&order);
+        assert_eq!(f.len(), 20);
+        assert_eq!(f[0], Family::V6);
+        assert_eq!(f[1], Family::V6);
+        assert_eq!(f[2], Family::V4);
+        assert!(f[3..11].iter().all(|x| *x == Family::V6));
+        assert!(f[11..].iter().all(|x| *x == Family::V4));
+    }
+
+    #[test]
+    fn hev1_takes_one_of_each() {
+        let order = interlace(
+            &v6s(10),
+            &v4s(10),
+            Family::V6,
+            InterlaceStrategy::Hev1SingleFallback,
+        );
+        assert_eq!(fams(&order), [Family::V6, Family::V4]);
+    }
+
+    #[test]
+    fn no_fallback_ignores_other_family() {
+        let order = interlace(&v6s(3), &v4s(3), Family::V6, InterlaceStrategy::NoFallback);
+        assert_eq!(fams(&order), [Family::V6, Family::V6, Family::V6]);
+    }
+
+    #[test]
+    fn v4_preference_flips_roles() {
+        let order = interlace(
+            &v6s(2),
+            &v4s(2),
+            Family::V4,
+            InterlaceStrategy::Rfc8305 {
+                first_family_count: 1,
+            },
+        );
+        assert_eq!(
+            fams(&order),
+            [Family::V4, Family::V6, Family::V4, Family::V6]
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        for strat in [
+            InterlaceStrategy::Rfc8305 {
+                first_family_count: 1,
+            },
+            InterlaceStrategy::SafariStyle,
+            InterlaceStrategy::Hev1SingleFallback,
+            InterlaceStrategy::NoFallback,
+        ] {
+            assert!(interlace(&[], &[], Family::V6, strat).is_empty());
+        }
+        let only_v4 = interlace(
+            &[],
+            &v4s(2),
+            Family::V6,
+            InterlaceStrategy::Rfc8305 {
+                first_family_count: 1,
+            },
+        );
+        assert_eq!(fams(&only_v4), [Family::V4, Family::V4]);
+    }
+
+    #[test]
+    fn input_order_preserved_within_family() {
+        let my_v6 = vec![v6("2001:db8::b"), v6("2001:db8::a")];
+        let order = interlace(
+            &my_v6,
+            &[],
+            Family::V6,
+            InterlaceStrategy::Rfc8305 {
+                first_family_count: 1,
+            },
+        );
+        assert_eq!(order, my_v6, "resolver order must be respected");
+    }
+
+    #[test]
+    fn protocol_expansion_quic_first() {
+        let addrs = v6s(2);
+        let cands = expand_protocols(&addrs, true, true, true);
+        assert_eq!(cands.len(), 4);
+        assert_eq!(cands[0].proto, CandidateProto::Quic);
+        assert!(cands[0].ech);
+        assert_eq!(cands[2].proto, CandidateProto::Tcp);
+    }
+
+    #[test]
+    fn protocol_expansion_tcp_only_without_h3() {
+        let addrs = v6s(2);
+        let cands = expand_protocols(&addrs, false, false, true);
+        assert!(cands.iter().all(|c| c.proto == CandidateProto::Tcp));
+        let cands2 = expand_protocols(&addrs, true, false, false);
+        assert!(cands2.iter().all(|c| c.proto == CandidateProto::Tcp));
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for address selection: whatever the inputs, the
+//! interlacing strategies must uphold their invariants.
+
+use std::net::IpAddr;
+
+use lazyeye_core::select::interlace;
+use lazyeye_core::InterlaceStrategy;
+use lazyeye_net::Family;
+use proptest::prelude::*;
+
+fn arb_v6_list() -> impl Strategy<Value = Vec<IpAddr>> {
+    proptest::collection::btree_set(any::<u128>(), 0..12).prop_map(|set| {
+        set.into_iter()
+            .map(|v| IpAddr::V6(std::net::Ipv6Addr::from(v)))
+            .collect()
+    })
+}
+
+fn arb_v4_list() -> impl Strategy<Value = Vec<IpAddr>> {
+    proptest::collection::btree_set(any::<u32>(), 0..12).prop_map(|set| {
+        set.into_iter()
+            .map(|v| IpAddr::V4(std::net::Ipv4Addr::from(v)))
+            .collect()
+    })
+}
+
+fn arb_strategy() -> impl Strategy<Value = InterlaceStrategy> {
+    prop_oneof![
+        (1usize..4).prop_map(|n| InterlaceStrategy::Rfc8305 {
+            first_family_count: n
+        }),
+        Just(InterlaceStrategy::SafariStyle),
+        Just(InterlaceStrategy::Hev1SingleFallback),
+        Just(InterlaceStrategy::NoFallback),
+    ]
+}
+
+fn arb_family() -> impl Strategy<Value = Family> {
+    prop_oneof![Just(Family::V6), Just(Family::V4)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// No strategy ever invents, duplicates, or misattributes addresses.
+    #[test]
+    fn output_is_a_subset_without_duplicates(
+        v6 in arb_v6_list(),
+        v4 in arb_v4_list(),
+        pref in arb_family(),
+        strat in arb_strategy(),
+    ) {
+        let out = interlace(&v6, &v4, pref, strat);
+        let mut seen = std::collections::HashSet::new();
+        for a in &out {
+            prop_assert!(seen.insert(*a), "duplicate {a}");
+            prop_assert!(v6.contains(a) || v4.contains(a), "invented {a}");
+        }
+    }
+
+    /// Full strategies (RFC 8305, Safari) must use *every* address.
+    #[test]
+    fn full_strategies_are_exhaustive(
+        v6 in arb_v6_list(),
+        v4 in arb_v4_list(),
+        pref in arb_family(),
+        fafc in 1usize..4,
+    ) {
+        for strat in [
+            InterlaceStrategy::Rfc8305 { first_family_count: fafc },
+            InterlaceStrategy::SafariStyle,
+        ] {
+            let out = interlace(&v6, &v4, pref, strat);
+            prop_assert_eq!(out.len(), v6.len() + v4.len());
+        }
+    }
+
+    /// The first candidate is always of the preferred family when the
+    /// preferred family has any address at all.
+    #[test]
+    fn preferred_family_goes_first(
+        v6 in arb_v6_list(),
+        v4 in arb_v4_list(),
+        pref in arb_family(),
+        strat in arb_strategy(),
+    ) {
+        let has_pref = match pref {
+            Family::V6 => !v6.is_empty(),
+            Family::V4 => !v4.is_empty(),
+        };
+        prop_assume!(has_pref);
+        let out = interlace(&v6, &v4, pref, strat);
+        prop_assert_eq!(Family::of(out[0]), pref);
+    }
+
+    /// RFC 8305: at most `first_family_count` preferred addresses before
+    /// the first other-family address (when the other family is present).
+    #[test]
+    fn fafc_bounds_the_head(
+        v6 in arb_v6_list(),
+        v4 in arb_v4_list(),
+        fafc in 1usize..4,
+    ) {
+        prop_assume!(!v6.is_empty() && !v4.is_empty());
+        let out = interlace(
+            &v6,
+            &v4,
+            Family::V6,
+            InterlaceStrategy::Rfc8305 { first_family_count: fafc },
+        );
+        let head_v6 = out.iter().take_while(|a| Family::of(**a) == Family::V6).count();
+        prop_assert!(head_v6 <= fafc.max(1));
+    }
+
+    /// RFC 8305 alternation: after the head, no two consecutive candidates
+    /// share a family while both families still have remaining addresses.
+    #[test]
+    fn rfc8305_alternates_while_possible(
+        v6 in arb_v6_list(),
+        v4 in arb_v4_list(),
+    ) {
+        prop_assume!(!v6.is_empty() && !v4.is_empty());
+        let out = interlace(
+            &v6,
+            &v4,
+            Family::V6,
+            InterlaceStrategy::Rfc8305 { first_family_count: 1 },
+        );
+        // Walk the list tracking remaining counts; consecutive same-family
+        // pairs are only allowed once the other family is exhausted.
+        let mut rem_v6 = v6.len();
+        let mut rem_v4 = v4.len();
+        let mut prev: Option<Family> = None;
+        for (i, a) in out.iter().enumerate() {
+            let fam = Family::of(*a);
+            match fam {
+                Family::V6 => rem_v6 -= 1,
+                Family::V4 => rem_v4 -= 1,
+            }
+            if i > 0 && prev == Some(fam) {
+                let other_remaining_before = match fam {
+                    Family::V6 => rem_v4,
+                    Family::V4 => rem_v6,
+                };
+                prop_assert_eq!(
+                    other_remaining_before, 0,
+                    "consecutive {:?} at {} while other family had addresses", fam, i
+                );
+            }
+            prev = Some(fam);
+        }
+    }
+
+    /// HEv1 single fallback never returns more than two candidates, one
+    /// per family.
+    #[test]
+    fn hev1_at_most_one_per_family(
+        v6 in arb_v6_list(),
+        v4 in arb_v4_list(),
+        pref in arb_family(),
+    ) {
+        let out = interlace(&v6, &v4, pref, InterlaceStrategy::Hev1SingleFallback);
+        prop_assert!(out.len() <= 2);
+        let v6_n = out.iter().filter(|a| Family::of(**a) == Family::V6).count();
+        let v4_n = out.iter().filter(|a| Family::of(**a) == Family::V4).count();
+        prop_assert!(v6_n <= 1 && v4_n <= 1);
+    }
+
+    /// NoFallback never touches the other family.
+    #[test]
+    fn nofallback_is_single_family(
+        v6 in arb_v6_list(),
+        v4 in arb_v4_list(),
+        pref in arb_family(),
+    ) {
+        let out = interlace(&v6, &v4, pref, InterlaceStrategy::NoFallback);
+        prop_assert!(out.iter().all(|a| Family::of(*a) == pref));
+    }
+
+    /// Safari style: positions 0-1 preferred (when available), position 2
+    /// other (when available), and the tail is all-preferred then
+    /// all-other.
+    #[test]
+    fn safari_shape(
+        v6 in arb_v6_list(),
+        v4 in arb_v4_list(),
+    ) {
+        prop_assume!(v6.len() >= 3 && v4.len() >= 2);
+        let out = interlace(&v6, &v4, Family::V6, InterlaceStrategy::SafariStyle);
+        prop_assert_eq!(Family::of(out[0]), Family::V6);
+        prop_assert_eq!(Family::of(out[1]), Family::V6);
+        prop_assert_eq!(Family::of(out[2]), Family::V4);
+        // After the first three: v6 block then v4 block.
+        let tail: Vec<Family> = out[3..].iter().map(|a| Family::of(*a)).collect();
+        let first_v4 = tail.iter().position(|f| *f == Family::V4).unwrap_or(tail.len());
+        prop_assert!(tail[..first_v4].iter().all(|f| *f == Family::V6));
+        prop_assert!(tail[first_v4..].iter().all(|f| *f == Family::V4));
+    }
+}

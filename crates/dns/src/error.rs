@@ -1,0 +1,36 @@
+//! Decode/encode failures.
+
+/// Errors raised while encoding or decoding DNS wire data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnsError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer,
+    /// A label exceeded 63 bytes.
+    LabelTooLong,
+    /// An encoded name exceeded 255 bytes.
+    NameTooLong,
+    /// RDATA did not match its declared type/length.
+    BadRdata(&'static str),
+    /// A domain-name string could not be parsed.
+    BadName(String),
+    /// Unknown or unsupported class.
+    BadClass(u16),
+}
+
+impl std::fmt::Display for DnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnsError::Truncated => write!(f, "message truncated"),
+            DnsError::BadPointer => write!(f, "invalid compression pointer"),
+            DnsError::LabelTooLong => write!(f, "label longer than 63 bytes"),
+            DnsError::NameTooLong => write!(f, "name longer than 255 bytes"),
+            DnsError::BadRdata(what) => write!(f, "malformed RDATA: {what}"),
+            DnsError::BadName(s) => write!(f, "malformed domain name: {s:?}"),
+            DnsError::BadClass(c) => write!(f, "unsupported class {c}"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}

@@ -1,0 +1,51 @@
+//! # lazyeye-dns — DNS from scratch
+//!
+//! Wire format, records and zones for the Happy Eyeballs testbed. The paper
+//! runs a *custom authoritative name server* that delays responses per
+//! record type (§4.1(ii)); this crate provides the protocol layer that
+//! server ([`lazyeye-authns`](https://crates.io/crates/lazyeye-authns)), the
+//! stub/recursive resolvers, and the HEv3 SVCB/HTTPS processing are built
+//! on:
+//!
+//! * [`Name`] — labels, case-insensitive comparison, compression-aware
+//!   wire codec;
+//! * [`Record`] / [`RData`] — A, AAAA, NS, CNAME, SOA, PTR, MX, TXT, OPT
+//!   and the RFC 9460 [`SvcParams`] for SVCB/HTTPS (the records HEv3
+//!   consumes for protocol discovery);
+//! * [`Message`] — header/flags/sections, encode with compression, decode
+//!   with pointer-loop protection;
+//! * [`Zone`] / [`ZoneSet`] — authoritative data with referrals, glue,
+//!   NXDOMAIN/NODATA semantics and in-zone CNAME chasing.
+//!
+//! ```
+//! use lazyeye_dns::{Message, Name, RrType, Rcode, Record, RData, Zone, ZoneAnswer};
+//!
+//! let mut zone = Zone::new(Name::parse("example.com").unwrap());
+//! let www = Name::parse("www.example.com").unwrap();
+//! zone.aaaa(&www, "2001:db8::1".parse().unwrap(), 300);
+//!
+//! let q = Message::query(1, www.clone(), RrType::Aaaa);
+//! if let ZoneAnswer::Records(rs) = zone.answer(&www, RrType::Aaaa) {
+//!     let mut resp = Message::response_to(&q, Rcode::NoError, true);
+//!     resp.answers = rs;
+//!     let wire = resp.encode();
+//!     assert_eq!(Message::decode(&wire).unwrap(), resp);
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod message;
+mod name;
+mod rr;
+mod svcb;
+mod zone;
+
+pub use error::DnsError;
+pub use message::{Header, Message, Question, Rcode};
+pub use name::Name;
+pub use rr::{RData, Record, RrClass, RrType, Soa};
+pub use svcb::{SvcParam, SvcParams};
+pub use zone::{Zone, ZoneAnswer, ZoneSet};

@@ -1,0 +1,416 @@
+//! Domain names: labels, comparison, wire encoding with compression.
+
+use std::fmt;
+
+use crate::error::DnsError;
+
+/// A fully qualified domain name as a sequence of labels (without the
+/// trailing root label in storage; the root name has zero labels).
+///
+/// Comparison and hashing are case-insensitive, per RFC 1035 §2.3.3.
+#[derive(Clone, Eq)]
+pub struct Name {
+    labels: Vec<Vec<u8>>,
+}
+
+impl Name {
+    /// The root name `.`.
+    pub fn root() -> Name {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parses a dotted name (`"www.example.com"` / `"www.example.com."`).
+    /// Empty input or `"."` yields the root.
+    pub fn parse(s: &str) -> Result<Name, DnsError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for part in s.split('.') {
+            if part.is_empty() {
+                return Err(DnsError::BadName(s.to_string()));
+            }
+            if part.len() > 63 {
+                return Err(DnsError::LabelTooLong);
+            }
+            labels.push(part.as_bytes().to_vec());
+        }
+        let name = Name { labels };
+        if name.encoded_len() > 255 {
+            return Err(DnsError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// Builds a name from raw labels.
+    pub fn from_labels(labels: Vec<Vec<u8>>) -> Result<Name, DnsError> {
+        for l in &labels {
+            if l.is_empty() {
+                return Err(DnsError::BadName("empty label".into()));
+            }
+            if l.len() > 63 {
+                return Err(DnsError::LabelTooLong);
+            }
+        }
+        let name = Name { labels };
+        if name.encoded_len() > 255 {
+            return Err(DnsError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// The labels, leftmost first.
+    pub fn labels(&self) -> &[Vec<u8>] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Wire length when encoded without compression.
+    pub fn encoded_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// Prepends a label: `Name("example.com").child("www")` →
+    /// `www.example.com`.
+    pub fn child(&self, label: &str) -> Result<Name, DnsError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        if label.is_empty() || label.len() > 63 {
+            return Err(DnsError::BadName(label.to_string()));
+        }
+        labels.push(label.as_bytes().to_vec());
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// The name with the leftmost label removed; `None` at the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// `true` if `self` equals `other` or is underneath it
+    /// (`www.example.com` is a subdomain of `example.com` and of `.`).
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(other.labels.iter())
+            .all(|(a, b)| eq_label(a, b))
+    }
+
+    /// Encodes without compression (used inside SVCB RDATA, where RFC 9460
+    /// forbids compressed targets).
+    pub fn encode_uncompressed(&self, out: &mut Vec<u8>) {
+        for l in &self.labels {
+            out.push(l.len() as u8);
+            out.extend_from_slice(l);
+        }
+        out.push(0);
+    }
+
+    /// Encodes with message compression into `out`, which must be the
+    /// *entire message buffer so far* (offsets are `out.len()`-relative).
+    /// `compress` maps previously written name suffixes (lowercased
+    /// presentation) to their absolute message offsets.
+    pub fn encode_compressed(
+        &self,
+        out: &mut Vec<u8>,
+        compress: &mut std::collections::HashMap<String, u16>,
+    ) {
+        let mut idx = 0;
+        while idx < self.labels.len() {
+            let suffix = self.suffix_key(idx);
+            if let Some(&off) = compress.get(&suffix) {
+                out.push(0xC0 | ((off >> 8) as u8));
+                out.push((off & 0xFF) as u8);
+                return;
+            }
+            let here = out.len();
+            // Only offsets representable in 14 bits are reusable.
+            if here <= 0x3FFF {
+                compress.insert(suffix, here as u16);
+            }
+            let l = &self.labels[idx];
+            out.push(l.len() as u8);
+            out.extend_from_slice(l);
+            idx += 1;
+        }
+        out.push(0);
+    }
+
+    fn suffix_key(&self, from: usize) -> String {
+        let mut s = String::new();
+        for l in &self.labels[from..] {
+            for &b in l {
+                s.push(b.to_ascii_lowercase() as char);
+            }
+            s.push('.');
+        }
+        s
+    }
+
+    /// Decodes a name from `msg` starting at `*pos`, following compression
+    /// pointers. `*pos` advances past the name *in the original stream*
+    /// (pointers do not move it further).
+    pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Name, DnsError> {
+        let mut labels = Vec::new();
+        let mut cursor = *pos;
+        let mut jumped = false;
+        let mut jumps = 0;
+        let mut total_len = 0usize;
+        loop {
+            let len = *msg.get(cursor).ok_or(DnsError::Truncated)? as usize;
+            if len == 0 {
+                if !jumped {
+                    *pos = cursor + 1;
+                }
+                return Ok(Name { labels });
+            }
+            if len & 0xC0 == 0xC0 {
+                let b2 = *msg.get(cursor + 1).ok_or(DnsError::Truncated)? as usize;
+                let target = ((len & 0x3F) << 8) | b2;
+                if target >= cursor {
+                    return Err(DnsError::BadPointer);
+                }
+                jumps += 1;
+                if jumps > 64 {
+                    return Err(DnsError::BadPointer);
+                }
+                if !jumped {
+                    *pos = cursor + 2;
+                    jumped = true;
+                }
+                cursor = target;
+                continue;
+            }
+            if len > 63 {
+                return Err(DnsError::LabelTooLong);
+            }
+            let start = cursor + 1;
+            let end = start + len;
+            if end > msg.len() {
+                return Err(DnsError::Truncated);
+            }
+            total_len += len + 1;
+            if total_len > 255 {
+                return Err(DnsError::NameTooLong);
+            }
+            labels.push(msg[start..end].to_vec());
+            cursor = end;
+        }
+    }
+}
+
+fn eq_label(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(other.labels.iter())
+                .all(|(a, b)| eq_label(a, b))
+    }
+}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for l in &self.labels {
+            for &b in l {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+            state.write_u8(b'.');
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = self.to_string().to_ascii_lowercase();
+        let b = other.to_string().to_ascii_lowercase();
+        a.cmp(&b)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            for &b in l {
+                if b.is_ascii_graphic() && b != b'.' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{b:03}")?;
+                }
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = DnsError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("www.example.com").to_string(), "www.example.com.");
+        assert_eq!(n("www.example.com.").to_string(), "www.example.com.");
+        assert_eq!(Name::root().to_string(), ".");
+        assert_eq!(n("").to_string(), ".");
+    }
+
+    #[test]
+    fn case_insensitive_eq_and_hash() {
+        use std::collections::HashSet;
+        assert_eq!(n("WWW.Example.COM"), n("www.example.com"));
+        let mut set = HashSet::new();
+        set.insert(n("Example.Com"));
+        assert!(set.contains(&n("example.com")));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        assert!(n("www.example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&Name::root()));
+        assert!(!n("example.com").is_subdomain_of(&n("www.example.com")));
+        assert!(!n("anexample.com").is_subdomain_of(&n("example.com")));
+        assert!(n("WWW.EXAMPLE.COM").is_subdomain_of(&n("example.com")));
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let base = n("example.com");
+        assert_eq!(base.child("www").unwrap(), n("www.example.com"));
+        assert_eq!(n("www.example.com").parent().unwrap(), n("example.com"));
+        assert!(Name::root().parent().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(Name::parse("a..b").is_err());
+        let long = "x".repeat(64);
+        assert!(matches!(
+            Name::parse(&format!("{long}.com")),
+            Err(DnsError::LabelTooLong)
+        ));
+    }
+
+    #[test]
+    fn rejects_too_long_name() {
+        let label = "a".repeat(63);
+        let s = format!("{label}.{label}.{label}.{label}.{label}");
+        assert!(matches!(Name::parse(&s), Err(DnsError::NameTooLong)));
+    }
+
+    #[test]
+    fn uncompressed_roundtrip() {
+        let name = n("mail.example.org");
+        let mut buf = Vec::new();
+        name.encode_uncompressed(&mut buf);
+        let mut pos = 0;
+        let back = Name::decode(&buf, &mut pos).unwrap();
+        assert_eq!(back, name);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn compressed_roundtrip_shares_suffix() {
+        let mut buf = Vec::new();
+        let mut table = std::collections::HashMap::new();
+        let a = n("www.example.com");
+        let b = n("mail.example.com");
+        a.encode_compressed(&mut buf, &mut table);
+        b.encode_compressed(&mut buf, &mut table);
+        assert!(
+            buf.len() < a.encoded_len() + b.encoded_len(),
+            "compression must shorten the encoding"
+        );
+        let mut pos = 0;
+        assert_eq!(Name::decode(&buf, &mut pos).unwrap(), a);
+        assert_eq!(Name::decode(&buf, &mut pos).unwrap(), b);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn pointer_loop_detected() {
+        // A pointer pointing at itself.
+        let buf = [0xC0, 0x00];
+        let mut pos = 0;
+        assert_eq!(Name::decode(&buf, &mut pos), Err(DnsError::BadPointer));
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        let buf = [0xC0, 0x04, 0, 0, 0];
+        let mut pos = 0;
+        assert_eq!(Name::decode(&buf, &mut pos), Err(DnsError::BadPointer));
+    }
+
+    #[test]
+    fn truncated_name_rejected() {
+        let buf = [3, b'w', b'w'];
+        let mut pos = 0;
+        assert_eq!(Name::decode(&buf, &mut pos), Err(DnsError::Truncated));
+    }
+
+    #[test]
+    fn ordering_is_case_insensitive() {
+        let mut names = vec![n("b.com"), n("A.com"), n("c.com")];
+        names.sort();
+        assert_eq!(names[0], n("a.com"));
+    }
+}

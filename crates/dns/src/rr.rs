@@ -1,0 +1,488 @@
+//! Resource records: types, classes, RDATA.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::error::DnsError;
+use crate::name::Name;
+use crate::svcb::SvcParams;
+
+/// Record type codes. Covers everything the Happy Eyeballs ecosystem
+/// touches (HEv2: AAAA/A; HEv3: SVCB/HTTPS; resolution: NS/CNAME/SOA/glue).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum RrType {
+    /// IPv4 address (1).
+    A,
+    /// Authoritative name server (2).
+    Ns,
+    /// Canonical name (5).
+    Cname,
+    /// Start of authority (6).
+    Soa,
+    /// Domain name pointer (12).
+    Ptr,
+    /// Mail exchange (15).
+    Mx,
+    /// Text strings (16).
+    Txt,
+    /// IPv6 address (28).
+    Aaaa,
+    /// EDNS(0) pseudo-record (41).
+    Opt,
+    /// General-purpose service binding (64), RFC 9460.
+    Svcb,
+    /// HTTPS-specific service binding (65), RFC 9460.
+    Https,
+    /// Anything else.
+    Unknown(u16),
+}
+
+impl RrType {
+    /// Wire code.
+    pub fn code(self) -> u16 {
+        match self {
+            RrType::A => 1,
+            RrType::Ns => 2,
+            RrType::Cname => 5,
+            RrType::Soa => 6,
+            RrType::Ptr => 12,
+            RrType::Mx => 15,
+            RrType::Txt => 16,
+            RrType::Aaaa => 28,
+            RrType::Opt => 41,
+            RrType::Svcb => 64,
+            RrType::Https => 65,
+            RrType::Unknown(c) => c,
+        }
+    }
+
+    /// From wire code.
+    pub fn from_code(c: u16) -> RrType {
+        match c {
+            1 => RrType::A,
+            2 => RrType::Ns,
+            5 => RrType::Cname,
+            6 => RrType::Soa,
+            12 => RrType::Ptr,
+            15 => RrType::Mx,
+            16 => RrType::Txt,
+            28 => RrType::Aaaa,
+            41 => RrType::Opt,
+            64 => RrType::Svcb,
+            65 => RrType::Https,
+            other => RrType::Unknown(other),
+        }
+    }
+
+    /// Mnemonic string ("A", "AAAA", ...).
+    pub fn mnemonic(self) -> String {
+        match self {
+            RrType::A => "A".into(),
+            RrType::Ns => "NS".into(),
+            RrType::Cname => "CNAME".into(),
+            RrType::Soa => "SOA".into(),
+            RrType::Ptr => "PTR".into(),
+            RrType::Mx => "MX".into(),
+            RrType::Txt => "TXT".into(),
+            RrType::Aaaa => "AAAA".into(),
+            RrType::Opt => "OPT".into(),
+            RrType::Svcb => "SVCB".into(),
+            RrType::Https => "HTTPS".into(),
+            RrType::Unknown(c) => format!("TYPE{c}"),
+        }
+    }
+}
+
+impl std::fmt::Display for RrType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+/// Record class. Only IN matters here; others are carried opaquely.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RrClass {
+    /// Internet.
+    In,
+    /// Anything else (also used by OPT to carry UDP payload size).
+    Other(u16),
+}
+
+impl RrClass {
+    /// Wire code.
+    pub fn code(self) -> u16 {
+        match self {
+            RrClass::In => 1,
+            RrClass::Other(c) => c,
+        }
+    }
+
+    /// From wire code.
+    pub fn from_code(c: u16) -> RrClass {
+        if c == 1 {
+            RrClass::In
+        } else {
+            RrClass::Other(c)
+        }
+    }
+}
+
+/// SOA RDATA fields.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Soa {
+    /// Primary name server.
+    pub mname: Name,
+    /// Responsible mailbox.
+    pub rname: Name,
+    /// Zone serial.
+    pub serial: u32,
+    /// Refresh interval (seconds).
+    pub refresh: u32,
+    /// Retry interval (seconds).
+    pub retry: u32,
+    /// Expire limit (seconds).
+    pub expire: u32,
+    /// Negative-caching TTL (seconds) — the knob behind RFC 2308 negative
+    /// caching, which interacts with HE's empty-AAAA behaviour.
+    pub minimum: u32,
+}
+
+/// Typed RDATA.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Name server.
+    Ns(Name),
+    /// Canonical name.
+    Cname(Name),
+    /// Start of authority.
+    Soa(Soa),
+    /// Pointer.
+    Ptr(Name),
+    /// Mail exchange (preference, exchange).
+    Mx(u16, Name),
+    /// Text strings.
+    Txt(Vec<Vec<u8>>),
+    /// Service binding (SVCB).
+    Svcb(SvcParams),
+    /// HTTPS service binding.
+    Https(SvcParams),
+    /// EDNS(0) options, carried opaquely.
+    Opt(Vec<u8>),
+    /// Unknown type, carried opaquely.
+    Unknown(u16, Vec<u8>),
+}
+
+impl RData {
+    /// The record type this RDATA belongs to.
+    pub fn rtype(&self) -> RrType {
+        match self {
+            RData::A(_) => RrType::A,
+            RData::Aaaa(_) => RrType::Aaaa,
+            RData::Ns(_) => RrType::Ns,
+            RData::Cname(_) => RrType::Cname,
+            RData::Soa(_) => RrType::Soa,
+            RData::Ptr(_) => RrType::Ptr,
+            RData::Mx(_, _) => RrType::Mx,
+            RData::Txt(_) => RrType::Txt,
+            RData::Svcb(_) => RrType::Svcb,
+            RData::Https(_) => RrType::Https,
+            RData::Opt(_) => RrType::Opt,
+            RData::Unknown(c, _) => RrType::Unknown(*c),
+        }
+    }
+
+    /// Encodes RDATA (without the length prefix). Name compression is not
+    /// used inside RDATA — modern practice (and a requirement for SVCB).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RData::A(a) => out.extend_from_slice(&a.octets()),
+            RData::Aaaa(a) => out.extend_from_slice(&a.octets()),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => n.encode_uncompressed(out),
+            RData::Soa(soa) => {
+                soa.mname.encode_uncompressed(out);
+                soa.rname.encode_uncompressed(out);
+                for v in [soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum] {
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+            }
+            RData::Mx(pref, name) => {
+                out.extend_from_slice(&pref.to_be_bytes());
+                name.encode_uncompressed(out);
+            }
+            RData::Txt(strings) => {
+                for s in strings {
+                    out.push(s.len().min(255) as u8);
+                    out.extend_from_slice(&s[..s.len().min(255)]);
+                }
+            }
+            RData::Svcb(p) | RData::Https(p) => p.encode(out),
+            RData::Opt(raw) | RData::Unknown(_, raw) => out.extend_from_slice(raw),
+        }
+    }
+
+    /// Decodes RDATA of the given type from `msg[rd_start..rd_start+rd_len]`.
+    /// The full message is needed because legacy RDATA may contain
+    /// compression pointers.
+    pub fn decode(
+        rtype: RrType,
+        msg: &[u8],
+        rd_start: usize,
+        rd_len: usize,
+    ) -> Result<RData, DnsError> {
+        let end = rd_start + rd_len;
+        if end > msg.len() {
+            return Err(DnsError::Truncated);
+        }
+        let raw = &msg[rd_start..end];
+        match rtype {
+            RrType::A => {
+                if rd_len != 4 {
+                    return Err(DnsError::BadRdata("A length"));
+                }
+                Ok(RData::A(Ipv4Addr::new(raw[0], raw[1], raw[2], raw[3])))
+            }
+            RrType::Aaaa => {
+                if rd_len != 16 {
+                    return Err(DnsError::BadRdata("AAAA length"));
+                }
+                let mut o = [0u8; 16];
+                o.copy_from_slice(raw);
+                Ok(RData::Aaaa(Ipv6Addr::from(o)))
+            }
+            RrType::Ns | RrType::Cname | RrType::Ptr => {
+                let mut pos = rd_start;
+                let name = Name::decode(msg, &mut pos)?;
+                if pos != end {
+                    return Err(DnsError::BadRdata("trailing bytes after name"));
+                }
+                Ok(match rtype {
+                    RrType::Ns => RData::Ns(name),
+                    RrType::Cname => RData::Cname(name),
+                    _ => RData::Ptr(name),
+                })
+            }
+            RrType::Soa => {
+                let mut pos = rd_start;
+                let mname = Name::decode(msg, &mut pos)?;
+                let rname = Name::decode(msg, &mut pos)?;
+                if pos + 20 != end {
+                    return Err(DnsError::BadRdata("SOA length"));
+                }
+                let mut nums = [0u32; 5];
+                for slot in &mut nums {
+                    *slot = u32::from_be_bytes([msg[pos], msg[pos + 1], msg[pos + 2], msg[pos + 3]]);
+                    pos += 4;
+                }
+                Ok(RData::Soa(Soa {
+                    mname,
+                    rname,
+                    serial: nums[0],
+                    refresh: nums[1],
+                    retry: nums[2],
+                    expire: nums[3],
+                    minimum: nums[4],
+                }))
+            }
+            RrType::Mx => {
+                if rd_len < 3 {
+                    return Err(DnsError::BadRdata("MX length"));
+                }
+                let pref = u16::from_be_bytes([raw[0], raw[1]]);
+                let mut pos = rd_start + 2;
+                let name = Name::decode(msg, &mut pos)?;
+                if pos != end {
+                    return Err(DnsError::BadRdata("trailing bytes after MX"));
+                }
+                Ok(RData::Mx(pref, name))
+            }
+            RrType::Txt => {
+                let mut strings = Vec::new();
+                let mut pos = 0;
+                while pos < raw.len() {
+                    let len = raw[pos] as usize;
+                    pos += 1;
+                    if pos + len > raw.len() {
+                        return Err(DnsError::BadRdata("TXT string length"));
+                    }
+                    strings.push(raw[pos..pos + len].to_vec());
+                    pos += len;
+                }
+                Ok(RData::Txt(strings))
+            }
+            RrType::Svcb => Ok(RData::Svcb(SvcParams::decode(raw)?)),
+            RrType::Https => Ok(RData::Https(SvcParams::decode(raw)?)),
+            RrType::Opt => Ok(RData::Opt(raw.to_vec())),
+            RrType::Unknown(c) => Ok(RData::Unknown(c, raw.to_vec())),
+        }
+    }
+}
+
+/// A complete resource record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Class (IN for everything in this testbed).
+    pub class: RrClass,
+    /// Time to live in seconds.
+    pub ttl: u32,
+    /// Typed RDATA (the type is implied).
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor for IN-class records.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Record {
+        Record {
+            name,
+            class: RrClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// The record's type.
+    pub fn rtype(&self) -> RrType {
+        self.rdata.rtype()
+    }
+}
+
+impl std::fmt::Display for Record {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} IN {}", self.name, self.ttl, self.rtype())?;
+        match &self.rdata {
+            RData::A(a) => write!(f, " {a}"),
+            RData::Aaaa(a) => write!(f, " {a}"),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => write!(f, " {n}"),
+            RData::Mx(p, n) => write!(f, " {p} {n}"),
+            RData::Soa(s) => write!(f, " {} {} {}", s.mname, s.rname, s.serial),
+            RData::Txt(t) => write!(f, " ({} strings)", t.len()),
+            RData::Svcb(p) | RData::Https(p) => write!(f, " {} {}", p.priority, p.target),
+            RData::Opt(_) => Ok(()),
+            RData::Unknown(_, b) => write!(f, " \\# {}", b.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn rtype_codes_roundtrip() {
+        for t in [
+            RrType::A,
+            RrType::Ns,
+            RrType::Cname,
+            RrType::Soa,
+            RrType::Ptr,
+            RrType::Mx,
+            RrType::Txt,
+            RrType::Aaaa,
+            RrType::Opt,
+            RrType::Svcb,
+            RrType::Https,
+            RrType::Unknown(4711),
+        ] {
+            assert_eq!(RrType::from_code(t.code()), t);
+        }
+        assert_eq!(RrType::from_code(65).mnemonic(), "HTTPS");
+        assert_eq!(RrType::Unknown(999).mnemonic(), "TYPE999");
+    }
+
+    #[test]
+    fn a_rdata_roundtrip() {
+        let rd = RData::A("192.0.2.7".parse().unwrap());
+        let mut buf = Vec::new();
+        rd.encode(&mut buf);
+        assert_eq!(buf, vec![192, 0, 2, 7]);
+        let back = RData::decode(RrType::A, &buf, 0, buf.len()).unwrap();
+        assert_eq!(back, rd);
+    }
+
+    #[test]
+    fn aaaa_rdata_roundtrip() {
+        let rd = RData::Aaaa("2001:db8::1".parse().unwrap());
+        let mut buf = Vec::new();
+        rd.encode(&mut buf);
+        assert_eq!(buf.len(), 16);
+        assert_eq!(RData::decode(RrType::Aaaa, &buf, 0, 16).unwrap(), rd);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(RData::decode(RrType::A, &[1, 2, 3], 0, 3).is_err());
+        assert!(RData::decode(RrType::Aaaa, &[0; 4], 0, 4).is_err());
+    }
+
+    #[test]
+    fn soa_roundtrip() {
+        let rd = RData::Soa(Soa {
+            mname: n("ns1.example.com"),
+            rname: n("hostmaster.example.com"),
+            serial: 2024112600,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1209600,
+            minimum: 300,
+        });
+        let mut buf = Vec::new();
+        rd.encode(&mut buf);
+        assert_eq!(RData::decode(RrType::Soa, &buf, 0, buf.len()).unwrap(), rd);
+    }
+
+    #[test]
+    fn txt_roundtrip() {
+        let rd = RData::Txt(vec![b"hello".to_vec(), b"world".to_vec()]);
+        let mut buf = Vec::new();
+        rd.encode(&mut buf);
+        assert_eq!(RData::decode(RrType::Txt, &buf, 0, buf.len()).unwrap(), rd);
+    }
+
+    #[test]
+    fn mx_roundtrip() {
+        let rd = RData::Mx(10, n("mail.example.com"));
+        let mut buf = Vec::new();
+        rd.encode(&mut buf);
+        assert_eq!(RData::decode(RrType::Mx, &buf, 0, buf.len()).unwrap(), rd);
+    }
+
+    #[test]
+    fn ns_with_compression_pointer_in_rdata() {
+        // Legacy servers compress names inside NS RDATA; build one manually.
+        let mut msg = Vec::new();
+        n("example.com").encode_uncompressed(&mut msg); // at offset 0
+        let rd_start = msg.len();
+        msg.push(3);
+        msg.extend_from_slice(b"ns1");
+        msg.push(0xC0);
+        msg.push(0x00); // pointer to example.com
+        let rd_len = msg.len() - rd_start;
+        let got = RData::decode(RrType::Ns, &msg, rd_start, rd_len).unwrap();
+        assert_eq!(got, RData::Ns(n("ns1.example.com")));
+    }
+
+    #[test]
+    fn unknown_type_is_opaque() {
+        let rd = RData::Unknown(4711, vec![1, 2, 3]);
+        let mut buf = Vec::new();
+        rd.encode(&mut buf);
+        assert_eq!(
+            RData::decode(RrType::Unknown(4711), &buf, 0, 3).unwrap(),
+            rd
+        );
+    }
+
+    #[test]
+    fn record_display() {
+        let r = Record::new(n("example.com"), 300, RData::A("192.0.2.1".parse().unwrap()));
+        assert_eq!(r.to_string(), "example.com. 300 IN A 192.0.2.1");
+    }
+}

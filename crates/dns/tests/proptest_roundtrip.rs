@@ -1,0 +1,166 @@
+//! Property-based tests: every well-formed message survives an
+//! encode→decode roundtrip, and the decoder never panics on garbage.
+
+use lazyeye_dns::{
+    Message, Name, RData, Rcode, Record, RrType, Soa, SvcParam, SvcParams,
+};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14})").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..5).prop_map(|labels| {
+        let s = labels.join(".");
+        Name::parse(&s).unwrap()
+    })
+}
+
+fn arb_ipv4() -> impl Strategy<Value = std::net::Ipv4Addr> {
+    any::<u32>().prop_map(std::net::Ipv4Addr::from)
+}
+
+fn arb_ipv6() -> impl Strategy<Value = std::net::Ipv6Addr> {
+    any::<u128>().prop_map(std::net::Ipv6Addr::from)
+}
+
+fn arb_svc_params() -> impl Strategy<Value = SvcParams> {
+    (
+        1u16..100,
+        arb_name(),
+        proptest::option::of(proptest::collection::vec(arb_ipv4(), 1..4)),
+        proptest::option::of(proptest::collection::vec(arb_ipv6(), 1..4)),
+        proptest::option::of(any::<u16>()),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(prio, target, v4, v6, port, ech)| {
+            let mut p = SvcParams::service(prio, target);
+            p = p.with(SvcParam::Alpn(vec![b"h2".to_vec(), b"h3".to_vec()]));
+            if let Some(v4) = v4 {
+                p = p.with(SvcParam::Ipv4Hint(v4));
+            }
+            if let Some(v6) = v6 {
+                p = p.with(SvcParam::Ipv6Hint(v6));
+            }
+            if let Some(port) = port {
+                p = p.with(SvcParam::Port(port));
+            }
+            if ech {
+                p = p.with(SvcParam::Ech(vec![0xEC, 0x48]));
+            }
+            p
+        })
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        arb_ipv4().prop_map(RData::A),
+        arb_ipv6().prop_map(RData::Aaaa),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name()).prop_map(|(p, n)| RData::Mx(p, n)),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..3)
+            .prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>()).prop_map(|(m, r, serial)| {
+            RData::Soa(Soa {
+                mname: m,
+                rname: r,
+                serial,
+                refresh: 7200,
+                retry: 3600,
+                expire: 86400,
+                minimum: 300,
+            })
+        }),
+        arb_svc_params().prop_map(RData::Svcb),
+        arb_svc_params().prop_map(RData::Https),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), 0u32..86400, arb_rdata()).prop_map(|(n, ttl, rd)| Record::new(n, ttl, rd))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        proptest::sample::select(vec![RrType::A, RrType::Aaaa, RrType::Https, RrType::Ns]),
+        proptest::collection::vec(arb_record(), 0..6),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::sample::select(vec![Rcode::NoError, Rcode::NxDomain, Rcode::ServFail]),
+    )
+        .prop_map(|(id, qname, qtype, ans, auth, add, rcode)| {
+            let q = Message::query(id, qname, qtype);
+            let mut m = Message::response_to(&q, rcode, true);
+            m.answers = ans;
+            m.authorities = auth;
+            m.additionals = add;
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_roundtrip(msg in arb_message()) {
+        let wire = msg.encode();
+        let back = Message::decode(&wire).expect("decode of own encoding");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_message(
+        msg in arb_message(),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let mut wire = msg.encode();
+        for (pos, val) in flips {
+            if wire.is_empty() { break; }
+            let idx = pos as usize % wire.len();
+            wire[idx] = val;
+        }
+        let _ = Message::decode(&wire);
+    }
+
+    #[test]
+    fn name_roundtrip(name in arb_name()) {
+        let mut buf = Vec::new();
+        name.encode_uncompressed(&mut buf);
+        let mut pos = 0;
+        let back = Name::decode(&buf, &mut pos).unwrap();
+        prop_assert_eq!(back, name);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn compressed_names_decode_identically(names in proptest::collection::vec(arb_name(), 1..8)) {
+        let mut buf = Vec::new();
+        let mut table = std::collections::HashMap::new();
+        for n in &names {
+            n.encode_compressed(&mut buf, &mut table);
+        }
+        let mut pos = 0;
+        for n in &names {
+            let back = Name::decode(&buf, &mut pos).unwrap();
+            prop_assert_eq!(&back, n);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn display_parse_roundtrip(name in arb_name()) {
+        let shown = name.to_string();
+        let back = Name::parse(&shown).unwrap();
+        prop_assert_eq!(back, name);
+    }
+}

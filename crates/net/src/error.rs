@@ -1,0 +1,72 @@
+//! Network error type shared by every socket API in the crate.
+
+/// Errors surfaced by the simulated sockets. The variants map 1:1 onto the
+/// `std::io::ErrorKind`s a real client distinguishes during Happy Eyeballs:
+/// refused vs. timed out vs. unreachable drive different fallback paths.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NetError {
+    /// The peer answered with RST (closed port, `ClosedPortPolicy::Rst`).
+    ConnectionRefused,
+    /// SYN retransmissions exhausted without any answer (blackhole).
+    TimedOut,
+    /// No local address of the destination's family exists (e.g. an
+    /// IPv4-only host asked to reach an IPv6 destination).
+    NoRoute,
+    /// The requested local address/port is already bound.
+    AddrInUse,
+    /// The requested local address is not assigned to this host.
+    AddrNotAvailable,
+    /// The peer reset an established connection.
+    ConnectionReset,
+    /// The socket or stream was closed locally.
+    Closed,
+}
+
+impl NetError {
+    /// Short stable label (used in result tables and event logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetError::ConnectionRefused => "refused",
+            NetError::TimedOut => "timeout",
+            NetError::NoRoute => "no-route",
+            NetError::AddrInUse => "addr-in-use",
+            NetError::AddrNotAvailable => "addr-not-available",
+            NetError::ConnectionReset => "reset",
+            NetError::Closed => "closed",
+        }
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            NetError::ConnectionRefused => "connection refused",
+            NetError::TimedOut => "connection timed out",
+            NetError::NoRoute => "no route to host (no source address of matching family)",
+            NetError::AddrInUse => "address already in use",
+            NetError::AddrNotAvailable => "address not available on this host",
+            NetError::ConnectionReset => "connection reset by peer",
+            NetError::Closed => "socket closed",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(NetError::ConnectionRefused.label(), "refused");
+        assert_eq!(NetError::TimedOut.label(), "timeout");
+        assert_eq!(NetError::NoRoute.label(), "no-route");
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert!(NetError::TimedOut.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Traffic shaping: the simulator's `tc-netem`.
+//!
+//! The paper shapes traffic with `tc-netem` on the server host (delaying
+//! IPv6 packets to provoke the client's Happy Eyeballs fallback, §4.1).
+//! [`NetemRule`]s reproduce that: each host carries ordered lists of egress
+//! and ingress rules; the first matching rule per list applies. Effects from
+//! the sender's egress rule and the receiver's ingress rule combine
+//! (delays add, losses compound).
+
+use std::time::Duration;
+
+use crate::addr::{Family, IpPrefix};
+use crate::packet::{Packet, Proto};
+
+/// The shaping effect applied to matching packets, mirroring the `tc-netem`
+/// knobs the paper uses.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Netem {
+    /// Added one-way delay.
+    pub delay: Duration,
+    /// Uniform jitter: the actual added delay is `delay ± jitter` sampled
+    /// from the simulation RNG.
+    pub jitter: Duration,
+    /// Probability in `[0,1]` of dropping a *handshake* packet (see crate
+    /// docs: stream data is delivered reliably).
+    pub loss: f64,
+    /// Probability in `[0,1]` of duplicating the packet.
+    pub duplicate: f64,
+    /// Probability in `[0,1]` that a packet may overtake earlier packets of
+    /// its flow (escapes the in-order delivery clamp).
+    pub reorder: f64,
+}
+
+impl Netem {
+    /// Pure added delay.
+    pub fn delay(d: Duration) -> Netem {
+        Netem {
+            delay: d,
+            ..Netem::default()
+        }
+    }
+
+    /// Pure added delay in milliseconds (the unit the paper sweeps).
+    pub fn delay_ms(ms: u64) -> Netem {
+        Netem::delay(Duration::from_millis(ms))
+    }
+
+    /// Pure loss probability.
+    pub fn loss(p: f64) -> Netem {
+        Netem {
+            loss: p,
+            ..Netem::default()
+        }
+    }
+
+    /// Adds jitter to this effect.
+    pub fn with_jitter(mut self, j: Duration) -> Netem {
+        self.jitter = j;
+        self
+    }
+
+    /// Adds loss to this effect.
+    pub fn with_loss(mut self, p: f64) -> Netem {
+        self.loss = p;
+        self
+    }
+
+    /// Adds duplication to this effect.
+    pub fn with_duplicate(mut self, p: f64) -> Netem {
+        self.duplicate = p;
+        self
+    }
+
+    /// Adds reordering to this effect.
+    pub fn with_reorder(mut self, p: f64) -> Netem {
+        self.reorder = p;
+        self
+    }
+}
+
+/// A match-and-shape rule, `tc filter` style: all present selectors must
+/// match for the effect to apply.
+#[derive(Clone, Debug)]
+pub struct NetemRule {
+    /// Restrict to one address family (the paper's headline selector).
+    pub family: Option<Family>,
+    /// Restrict to packets whose destination falls in this prefix.
+    pub dst: Option<IpPrefix>,
+    /// Restrict to packets whose source falls in this prefix.
+    pub src: Option<IpPrefix>,
+    /// Restrict to one transport protocol.
+    pub proto: Option<Proto>,
+    /// Restrict to one destination port (e.g. shape only DNS).
+    pub dst_port: Option<u16>,
+    /// The effect applied on match.
+    pub effect: Netem,
+}
+
+impl NetemRule {
+    /// A rule with no selectors (matches everything) and the given effect.
+    pub fn all(effect: Netem) -> NetemRule {
+        NetemRule {
+            family: None,
+            dst: None,
+            src: None,
+            proto: None,
+            dst_port: None,
+            effect,
+        }
+    }
+
+    /// Rule matching one address family — `tc-netem` delaying IPv6, as in
+    /// the paper's CAD experiments.
+    pub fn family(family: Family, effect: Netem) -> NetemRule {
+        NetemRule {
+            family: Some(family),
+            ..NetemRule::all(effect)
+        }
+    }
+
+    /// Restricts the rule to a destination prefix.
+    pub fn with_dst(mut self, p: IpPrefix) -> NetemRule {
+        self.dst = Some(p);
+        self
+    }
+
+    /// Restricts the rule to a source prefix.
+    pub fn with_src(mut self, p: IpPrefix) -> NetemRule {
+        self.src = Some(p);
+        self
+    }
+
+    /// Restricts the rule to one protocol.
+    pub fn with_proto(mut self, proto: Proto) -> NetemRule {
+        self.proto = Some(proto);
+        self
+    }
+
+    /// Restricts the rule to one destination port.
+    pub fn with_dst_port(mut self, port: u16) -> NetemRule {
+        self.dst_port = Some(port);
+        self
+    }
+
+    /// Whether this rule matches the packet.
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        if let Some(fam) = self.family {
+            if pkt.family() != fam {
+                return false;
+            }
+        }
+        if let Some(p) = &self.dst {
+            if !p.contains(pkt.dst.ip()) {
+                return false;
+            }
+        }
+        if let Some(p) = &self.src {
+            if !p.contains(pkt.src.ip()) {
+                return false;
+            }
+        }
+        if let Some(proto) = self.proto {
+            if pkt.proto != proto {
+                return false;
+            }
+        }
+        if let Some(port) = self.dst_port {
+            if pkt.dst.port() != port {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Finds the first matching rule's effect, `tc` style.
+pub fn first_match(rules: &[NetemRule], pkt: &Packet) -> Option<Netem> {
+    rules.iter().find(|r| r.matches(pkt)).map(|r| r.effect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{v4, v6};
+    use crate::packet::PacketKind;
+    use std::net::SocketAddr;
+
+    fn pkt(src: &str, dst: &str, proto: Proto) -> Packet {
+        let s: std::net::IpAddr = src.parse().unwrap();
+        let d: std::net::IpAddr = dst.parse().unwrap();
+        Packet {
+            src: SocketAddr::new(s, 40000),
+            dst: SocketAddr::new(d, 80),
+            proto,
+            kind: PacketKind::Syn,
+        }
+    }
+
+    #[test]
+    fn family_rule_selects_only_that_family() {
+        let rule = NetemRule::family(Family::V6, Netem::delay_ms(250));
+        assert!(rule.matches(&pkt("2001:db8::1", "2001:db8::2", Proto::Tcp)));
+        assert!(!rule.matches(&pkt("192.0.2.1", "192.0.2.2", Proto::Tcp)));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let rules = vec![
+            NetemRule::family(Family::V6, Netem::delay_ms(100)),
+            NetemRule::all(Netem::delay_ms(5)),
+        ];
+        let v6pkt = pkt("2001:db8::1", "2001:db8::2", Proto::Tcp);
+        let v4pkt = pkt("192.0.2.1", "192.0.2.2", Proto::Tcp);
+        assert_eq!(first_match(&rules, &v6pkt), Some(Netem::delay_ms(100)));
+        assert_eq!(first_match(&rules, &v4pkt), Some(Netem::delay_ms(5)));
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let rules = vec![NetemRule::family(Family::V6, Netem::delay_ms(100))];
+        assert_eq!(first_match(&rules, &pkt("10.0.0.1", "10.0.0.2", Proto::Udp)), None);
+    }
+
+    #[test]
+    fn prefix_and_port_selectors() {
+        let rule = NetemRule::all(Netem::delay_ms(50))
+            .with_dst(IpPrefix::new(v4("192.0.2.0"), 24))
+            .with_dst_port(53)
+            .with_proto(Proto::Udp);
+        let mut p = pkt("10.0.0.1", "192.0.2.9", Proto::Udp);
+        p.dst.set_port(53);
+        assert!(rule.matches(&p));
+        p.dst.set_port(80);
+        assert!(!rule.matches(&p));
+    }
+
+    #[test]
+    fn src_selector() {
+        let rule =
+            NetemRule::all(Netem::delay_ms(10)).with_src(IpPrefix::new(v6("2001:db8::"), 64));
+        assert!(rule.matches(&pkt("2001:db8::42", "2001:db8:1::1", Proto::Tcp)));
+        assert!(!rule.matches(&pkt("2001:db9::42", "2001:db8:1::1", Proto::Tcp)));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let n = Netem::delay_ms(100)
+            .with_jitter(Duration::from_millis(5))
+            .with_loss(0.1)
+            .with_duplicate(0.01)
+            .with_reorder(0.02);
+        assert_eq!(n.delay, Duration::from_millis(100));
+        assert_eq!(n.jitter, Duration::from_millis(5));
+        assert!((n.loss - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Packets as the simulator models them, plus capture records.
+
+use std::net::SocketAddr;
+
+use bytes::Bytes;
+use lazyeye_sim::SimTime;
+
+use crate::addr::Family;
+
+/// Transport protocol of a packet.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Proto {
+    /// TCP segments (handshake + stream data).
+    Tcp,
+    /// UDP datagrams (DNS, QUIC-like).
+    Udp,
+}
+
+/// What a packet *is* — the simulator models TCP at the granularity HE
+/// measurements need (handshake + ordered data), not full sequence-number
+/// semantics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// TCP connection request.
+    Syn,
+    /// TCP connection accept.
+    SynAck,
+    /// Final handshake ACK.
+    Ack,
+    /// TCP reset (connection refused / teardown).
+    Rst,
+    /// Ordered stream payload.
+    Data(Bytes),
+    /// End of stream.
+    Fin,
+    /// UDP datagram payload.
+    Datagram(Bytes),
+}
+
+impl PacketKind {
+    /// Short label for debugging and capture dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PacketKind::Syn => "SYN",
+            PacketKind::SynAck => "SYN-ACK",
+            PacketKind::Ack => "ACK",
+            PacketKind::Rst => "RST",
+            PacketKind::Data(_) => "DATA",
+            PacketKind::Fin => "FIN",
+            PacketKind::Datagram(_) => "UDP",
+        }
+    }
+
+    /// Payload length contribution (headers are not modelled).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            PacketKind::Data(b) | PacketKind::Datagram(b) => b.len(),
+            _ => 0,
+        }
+    }
+
+    /// Whether this is a TCP handshake packet (the packets that netem loss
+    /// applies to — see crate docs for the reliability model).
+    pub fn is_handshake(&self) -> bool {
+        matches!(
+            self,
+            PacketKind::Syn | PacketKind::SynAck | PacketKind::Ack | PacketKind::Rst
+        )
+    }
+}
+
+/// A packet in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Source address and port.
+    pub src: SocketAddr,
+    /// Destination address and port.
+    pub dst: SocketAddr,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Packet role / payload.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// Address family (derived from the destination; src/dst always agree).
+    pub fn family(&self) -> Family {
+        Family::of(self.dst.ip())
+    }
+}
+
+/// Direction of a captured packet relative to the capturing host.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Transmitted by the capturing host.
+    Tx,
+    /// Received by the capturing host.
+    Rx,
+}
+
+/// One line of a host's packet capture — the raw material every analyzer in
+/// the testbed works from (the paper's tcpdump equivalent).
+#[derive(Clone, Debug)]
+pub struct PacketRecord {
+    /// Global monotone sequence number (tie-breaker for same-instant events).
+    pub seq: u64,
+    /// Capture timestamp (exact, not jittered).
+    pub time: SimTime,
+    /// Tx or Rx relative to the capturing host.
+    pub dir: Direction,
+    /// Source address and port.
+    pub src: SocketAddr,
+    /// Destination address and port.
+    pub dst: SocketAddr,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Kind label ("SYN", "UDP", ...).
+    pub kind: &'static str,
+    /// Payload bytes for UDP datagrams (lets analyzers parse DNS); empty
+    /// for TCP control packets.
+    pub payload: Bytes,
+}
+
+impl PacketRecord {
+    /// Address family of the packet.
+    pub fn family(&self) -> Family {
+        Family::of(self.dst.ip())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{v4, v6};
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(PacketKind::Syn.label(), "SYN");
+        assert_eq!(PacketKind::Datagram(Bytes::new()).label(), "UDP");
+    }
+
+    #[test]
+    fn handshake_classification() {
+        assert!(PacketKind::Syn.is_handshake());
+        assert!(PacketKind::Rst.is_handshake());
+        assert!(!PacketKind::Data(Bytes::from_static(b"x")).is_handshake());
+        assert!(!PacketKind::Datagram(Bytes::new()).is_handshake());
+    }
+
+    #[test]
+    fn packet_family_follows_dst() {
+        let p = Packet {
+            src: SocketAddr::new(v4("192.0.2.1"), 1000),
+            dst: SocketAddr::new(v4("192.0.2.2"), 80),
+            proto: Proto::Tcp,
+            kind: PacketKind::Syn,
+        };
+        assert_eq!(p.family(), Family::V4);
+        let p6 = Packet {
+            src: SocketAddr::new(v6("2001:db8::1"), 1000),
+            dst: SocketAddr::new(v6("2001:db8::2"), 80),
+            proto: Proto::Udp,
+            kind: PacketKind::Datagram(Bytes::new()),
+        };
+        assert_eq!(p6.family(), Family::V6);
+    }
+
+    #[test]
+    fn payload_len() {
+        assert_eq!(PacketKind::Data(Bytes::from_static(b"abcd")).payload_len(), 4);
+        assert_eq!(PacketKind::Syn.payload_len(), 0);
+    }
+}

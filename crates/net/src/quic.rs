@@ -1,0 +1,138 @@
+//! A QUIC-shaped handshake over UDP — just enough for Happy Eyeballs v3.
+//!
+//! HEv3 races QUIC against TCP and prefers endpoints advertising TLS
+//! Encrypted ClientHello. What the racing logic observes is *handshake
+//! completion time* and the server's capability flags; this module models
+//! exactly that: a 1-RTT Initial/Accept exchange with client-side
+//! retransmission, carrying an ECH-support flag.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use lazyeye_sim::{now, timeout, with_rng};
+use rand::Rng;
+
+use crate::error::NetError;
+use crate::host::Host;
+use crate::udp::UdpSocket;
+
+const INITIAL_MAGIC: &[u8; 2] = b"QI";
+const ACCEPT_MAGIC: &[u8; 2] = b"QA";
+
+/// Server-side behaviour of a QUIC endpoint.
+#[derive(Copy, Clone, Debug)]
+pub struct QuicServerConfig {
+    /// Advertise TLS ECH support in the accept message.
+    pub ech: bool,
+    /// Whether to answer at all (an unresponsive QUIC endpoint lets tests
+    /// exercise the TCP fallback of HEv3).
+    pub respond: bool,
+}
+
+impl Default for QuicServerConfig {
+    fn default() -> Self {
+        QuicServerConfig {
+            ech: false,
+            respond: true,
+        }
+    }
+}
+
+/// Serves QUIC handshakes on the socket forever. Spawn this as a task.
+pub async fn quic_serve(sock: UdpSocket, cfg: QuicServerConfig) {
+    loop {
+        let Ok((payload, src)) = sock.recv_from().await else {
+            return;
+        };
+        if payload.len() == 10 && &payload[..2] == INITIAL_MAGIC {
+            if !cfg.respond {
+                continue;
+            }
+            let mut reply = BytesMut::with_capacity(11);
+            reply.put_slice(ACCEPT_MAGIC);
+            reply.put_slice(&payload[2..10]); // echo nonce
+            reply.put_u8(u8::from(cfg.ech));
+            let _ = sock.send_to(reply.freeze(), src);
+        }
+    }
+}
+
+/// Options for the client handshake.
+#[derive(Copy, Clone, Debug)]
+pub struct QuicConnectOpts {
+    /// Initial retransmission timeout (doubles per retry).
+    pub rto: Duration,
+    /// Retransmissions after the first Initial.
+    pub retries: u32,
+}
+
+impl Default for QuicConnectOpts {
+    fn default() -> Self {
+        QuicConnectOpts {
+            rto: Duration::from_millis(300),
+            retries: 5,
+        }
+    }
+}
+
+/// An established QUIC-like session.
+#[derive(Debug)]
+pub struct QuicConnection {
+    /// Remote endpoint.
+    pub remote: SocketAddr,
+    /// Handshake round-trip time as the client measured it.
+    pub rtt: Duration,
+    /// Whether the server advertised ECH support.
+    pub ech: bool,
+}
+
+/// Performs the 1-RTT handshake from `host` to `remote`.
+pub async fn quic_connect(
+    host: &Host,
+    remote: SocketAddr,
+    opts: QuicConnectOpts,
+) -> Result<QuicConnection, NetError> {
+    let sock = host.udp_bind(SocketAddr::new(
+        match remote.ip() {
+            std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+            std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::UNSPECIFIED),
+        },
+        0,
+    ))?;
+    let nonce: [u8; 8] = with_rng(|r| r.gen());
+    let mut initial = BytesMut::with_capacity(10);
+    initial.put_slice(INITIAL_MAGIC);
+    initial.put_slice(&nonce);
+    let initial: Bytes = initial.freeze();
+
+    let mut rto = opts.rto;
+    let start = now();
+    for _ in 0..=opts.retries {
+        sock.send_to(initial.clone(), remote)?;
+        let wait = async {
+            loop {
+                let (payload, src) = sock.recv_from().await?;
+                if src == remote
+                    && payload.len() == 11
+                    && &payload[..2] == ACCEPT_MAGIC
+                    && payload[2..10] == nonce
+                {
+                    return Ok::<u8, NetError>(payload[10]);
+                }
+            }
+        };
+        match timeout(rto, wait).await {
+            Ok(Ok(flags)) => {
+                return Ok(QuicConnection {
+                    remote,
+                    rtt: now() - start,
+                    ech: flags != 0,
+                })
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(lazyeye_sim::Elapsed) => rto = rto.saturating_mul(2),
+        }
+    }
+    Err(NetError::TimedOut)
+}

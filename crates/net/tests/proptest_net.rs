@@ -1,0 +1,157 @@
+//! Property-based tests of the network simulator's delivery guarantees.
+
+use bytes::Bytes;
+use lazyeye_net::{IpPrefix, Netem, NetemRule, Network};
+use lazyeye_sim::{spawn, Sim};
+use proptest::prelude::*;
+use std::net::{IpAddr, SocketAddr};
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// UDP under arbitrary (bounded) delay+jitter never reorders a flow
+    /// when reordering is disabled, and never loses packets when loss is
+    /// zero.
+    #[test]
+    fn flow_order_is_fifo_under_jitter(
+        delay_ms in 0u64..200,
+        jitter_ms in 0u64..100,
+        n in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(seed);
+        let net = Network::new();
+        let a = net.host("a").v4("192.0.2.1").build();
+        let b = net.host("b").v4("192.0.2.2").build();
+        b.add_ingress(NetemRule::all(
+            Netem::delay_ms(delay_ms).with_jitter(Duration::from_millis(jitter_ms)),
+        ));
+        let got = sim.block_on(async move {
+            let rx_sock = b.udp_bind_any(9).unwrap();
+            let tx_sock = a.udp_bind_any(0).unwrap();
+            let dst = SocketAddr::new("192.0.2.2".parse::<IpAddr>().unwrap(), 9);
+            for i in 0..n {
+                tx_sock.send_to(Bytes::from(vec![i as u8]), dst).unwrap();
+            }
+            let mut got = Vec::new();
+            for _ in 0..n {
+                let (p, _) = rx_sock.recv_from().await.unwrap();
+                got.push(p[0] as usize);
+            }
+            got
+        });
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    /// The one-way delay is always >= the configured netem delay minus
+    /// jitter, and <= delay + jitter + base.
+    #[test]
+    fn delay_bounds_hold(
+        delay_ms in 1u64..500,
+        jitter_ms in 0u64..50,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(jitter_ms < delay_ms);
+        let mut sim = Sim::new(seed);
+        let net = Network::new();
+        let a = net.host("a").v4("192.0.2.1").build();
+        let b = net.host("b").v4("192.0.2.2").build();
+        b.add_ingress(NetemRule::all(
+            Netem::delay_ms(delay_ms).with_jitter(Duration::from_millis(jitter_ms)),
+        ));
+        let elapsed_us = sim.block_on(async move {
+            let rx = b.udp_bind_any(9).unwrap();
+            let tx = a.udp_bind_any(0).unwrap();
+            let t0 = lazyeye_sim::now();
+            tx.send_to(
+                Bytes::from_static(b"x"),
+                SocketAddr::new("192.0.2.2".parse::<IpAddr>().unwrap(), 9),
+            )
+            .unwrap();
+            let _ = rx.recv_from().await.unwrap();
+            (lazyeye_sim::now() - t0).as_micros()
+        });
+        let lo = (delay_ms - jitter_ms) * 1000;
+        let hi = (delay_ms + jitter_ms) * 1000 + 300; // +base delay
+        prop_assert!((lo..=hi).contains(&(elapsed_us as u64)),
+            "elapsed {elapsed_us} us outside [{lo}, {hi}]");
+    }
+
+    /// Prefix matching is consistent: an address always matches its own
+    /// host prefix and the zero prefix of its family.
+    #[test]
+    fn prefix_reflexivity(v4 in any::<u32>(), len in 0u8..=32) {
+        let addr: IpAddr = IpAddr::V4(std::net::Ipv4Addr::from(v4));
+        prop_assert!(IpPrefix::host(addr).contains(addr));
+        prop_assert!(IpPrefix::new(addr, 0).contains(addr));
+        // Any prefix of the address derived from itself matches.
+        prop_assert!(IpPrefix::new(addr, len).contains(addr));
+    }
+
+    /// TCP handshakes succeed under any loss rate < 1 given enough
+    /// retries (reliability through retransmission).
+    #[test]
+    fn tcp_connect_survives_loss(loss_pct in 0u32..70, seed in any::<u64>()) {
+        let mut sim = Sim::new(seed);
+        let net = Network::new();
+        let server = net.host("s").v4("192.0.2.1").build();
+        let client = net.host("c").v4("192.0.2.9").build();
+        server.add_ingress(NetemRule::all(Netem::loss(f64::from(loss_pct) / 100.0)));
+        server.add_egress(NetemRule::all(Netem::loss(f64::from(loss_pct) / 100.0)));
+        let ok = sim.block_on(async move {
+            let l = server.tcp_listen_any(80).unwrap();
+            spawn(async move {
+                loop {
+                    let Ok((s, _)) = l.accept().await else { break };
+                    std::mem::forget(s);
+                }
+            });
+            client
+                .tcp_connect_with(
+                    SocketAddr::new("192.0.2.1".parse::<IpAddr>().unwrap(), 80),
+                    lazyeye_net::ConnectOpts {
+                        syn_rto: Duration::from_millis(100),
+                        syn_retries: 40,
+                    },
+                )
+                .await
+                .is_ok()
+        });
+        prop_assert!(ok, "handshake must eventually succeed at {loss_pct}% loss");
+    }
+
+    /// Stream data arrives intact and in order regardless of write
+    /// chunking (MSS segmentation is invisible to the application).
+    #[test]
+    fn tcp_stream_integrity(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..4000), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(seed);
+        let net = Network::new();
+        let server = net.host("s").v4("192.0.2.1").build();
+        let client = net.host("c").v4("192.0.2.9").build();
+        let expected: Vec<u8> = chunks.concat();
+        let expected2 = expected.clone();
+        let expected_len = expected.len();
+        let got = sim.block_on(async move {
+            let l = server.tcp_listen_any(80).unwrap();
+            spawn(async move {
+                let (s, _) = l.accept().await.unwrap();
+                let data = s.read_exact(expected2.len()).await.unwrap_or_default();
+                s.write(&data).unwrap();
+                s.close();
+            });
+            let s = client
+                .tcp_connect(SocketAddr::new("192.0.2.1".parse::<IpAddr>().unwrap(), 80))
+                .await
+                .unwrap();
+            for c in &chunks {
+                s.write(c).unwrap();
+            }
+            s.read_exact(expected_len).await.unwrap().to_vec()
+        });
+        prop_assert_eq!(got, expected);
+    }
+}

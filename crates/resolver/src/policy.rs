@@ -1,0 +1,295 @@
+//! Server-selection policy: the knobs behind every behaviour Table 3 of
+//! the paper measures for recursive resolvers.
+//!
+//! At each delegation the resolver holds a set of name-server addresses of
+//! both families and must decide (a) which family to try first, (b) how
+//! long to wait before giving up on an address (its "CAD"), and (c) what to
+//! do on a retry — switch family, stick with the family, or retry the very
+//! same address with backoff (Unbound's documented behaviour, which the
+//! paper observed as the CAD growing from 376 ms to 1128 ms).
+
+use std::net::IpAddr;
+use std::time::Duration;
+
+use lazyeye_net::Family;
+
+/// How the resolver asks for the *addresses of name servers* (the paper's
+/// "AAAA query" column in Table 3).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum NsQueryStyle {
+    /// AAAA query sent before the A query (RFC 8305 conformant) — `•`.
+    AaaaBeforeA,
+    /// AAAA sent, but after the A query — `◑` ("Sends AAAA after A").
+    AaaaAfterA,
+    /// AAAA only queried after the resolver already contacted the
+    /// authoritative server over IPv4 — Google Public DNS's behaviour.
+    AaaaAfterAuthQuery,
+    /// Sends either AAAA or A for a name server name, never both —
+    /// Knot Resolver's behaviour.
+    OneOfEither,
+}
+
+/// Which family the resolver prefers when both address families are known
+/// for a name server.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum V6Preference {
+    /// Always try IPv6 first (BIND, OpenDNS).
+    Always,
+    /// Try IPv6 first with this probability (Unbound ≈ 0.5, Knot ≈ 0.25,
+    /// most open services 0.1–0.35 as the paper measured).
+    Probability(f64),
+    /// Never try IPv6 first (Google Public DNS, DNS.sb: 0 % IPv6 share).
+    Never,
+}
+
+/// What a retry after a timeout does.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum RetryStyle {
+    /// Alternate to the other family's next address (classic HE style).
+    SwitchFamily,
+    /// Stay within the initially chosen family until its addresses are
+    /// exhausted (DNS0.EU "sticks to the IP version initially chosen").
+    StickToFamily,
+}
+
+/// The complete selection policy of one resolver implementation.
+#[derive(Clone, Debug)]
+pub struct SelectionPolicy {
+    /// NS-address query pattern.
+    pub ns_query_style: NsQueryStyle,
+    /// Family preference.
+    pub v6_preference: V6Preference,
+    /// Per-address timeout before moving on — the resolver's CAD analogue.
+    pub server_timeout: Duration,
+    /// Probability of retrying the *same* address (with backoff) instead of
+    /// moving to the next candidate (Unbound: ≈ 0.44 observed).
+    pub retry_same_prob: f64,
+    /// Multiplier applied to `server_timeout` on a same-address retry
+    /// (Unbound's exponential backoff: 376 ms → 1128 ms ⇒ factor 3).
+    pub backoff_factor: f64,
+    /// Retry behaviour across candidates.
+    pub retry_style: RetryStyle,
+    /// Total queries the resolver is willing to send per delegation step.
+    pub max_attempts: u32,
+    /// Query the best address of *each* family simultaneously instead of
+    /// sequentially (observed for DNS0.EU — the paper could not determine
+    /// its delay "due to parallel queries on IPv4 and IPv6").
+    pub parallel_families: bool,
+}
+
+impl Default for SelectionPolicy {
+    fn default() -> Self {
+        SelectionPolicy {
+            ns_query_style: NsQueryStyle::AaaaBeforeA,
+            v6_preference: V6Preference::Always,
+            server_timeout: Duration::from_millis(400),
+            retry_same_prob: 0.0,
+            backoff_factor: 2.0,
+            retry_style: RetryStyle::SwitchFamily,
+            max_attempts: 6,
+            parallel_families: false,
+        }
+    }
+}
+
+/// One planned query attempt produced by [`plan_attempts`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attempt {
+    /// Destination address for this attempt.
+    pub addr: IpAddr,
+    /// Timeout for this attempt.
+    pub timeout: Duration,
+}
+
+/// Decides whether IPv6 goes first for this resolution step. `coin` is a
+/// uniform sample in `[0,1)` drawn from the simulation RNG by the caller
+/// (keeping this function pure and unit-testable).
+pub fn prefer_v6(policy: &SelectionPolicy, coin: f64) -> bool {
+    match policy.v6_preference {
+        V6Preference::Always => true,
+        V6Preference::Never => false,
+        V6Preference::Probability(p) => coin < p,
+    }
+}
+
+/// Plans the sequence of attempts against a candidate set, given the
+/// family decision and a sequence of uniform samples for the retry-same
+/// coin flips. Pure function: the recursive resolver feeds it RNG samples.
+///
+/// The plan interleaves (or sticks), inserts same-address backoff retries,
+/// and caps at `max_attempts`.
+pub fn plan_attempts(
+    policy: &SelectionPolicy,
+    candidates: &[IpAddr],
+    v6_first: bool,
+    retry_coins: &[f64],
+) -> Vec<Attempt> {
+    let first_family = if v6_first { Family::V6 } else { Family::V4 };
+    let (pref, other): (Vec<IpAddr>, Vec<IpAddr>) = candidates
+        .iter()
+        .copied()
+        .partition(|a| Family::of(*a) == first_family);
+
+    // Base ordering before backoff expansion.
+    let ordered: Vec<IpAddr> = match policy.retry_style {
+        RetryStyle::SwitchFamily => {
+            // Interleave: pref[0], other[0], pref[1], other[1], ...
+            let mut out = Vec::with_capacity(candidates.len());
+            let mut i = 0;
+            loop {
+                let mut any = false;
+                if let Some(a) = pref.get(i) {
+                    out.push(*a);
+                    any = true;
+                }
+                if let Some(a) = other.get(i) {
+                    out.push(*a);
+                    any = true;
+                }
+                if !any {
+                    break;
+                }
+                i += 1;
+            }
+            out
+        }
+        RetryStyle::StickToFamily => {
+            let mut out = pref.clone();
+            out.extend(other.iter().copied());
+            out
+        }
+    };
+
+    let mut plan = Vec::new();
+    let mut coin_idx = 0;
+    let mut i = 0;
+    while plan.len() < policy.max_attempts as usize && i < ordered.len() {
+        let addr = ordered[i];
+        plan.push(Attempt {
+            addr,
+            timeout: policy.server_timeout,
+        });
+        // Possibly retry the same address with backoff before moving on.
+        let mut factor = policy.backoff_factor;
+        while plan.len() < policy.max_attempts as usize
+            && policy.retry_same_prob > 0.0
+            && retry_coins
+                .get(coin_idx)
+                .map(|c| *c < policy.retry_same_prob)
+                .unwrap_or(false)
+        {
+            coin_idx += 1;
+            plan.push(Attempt {
+                addr,
+                timeout: mul_duration(policy.server_timeout, factor),
+            });
+            factor *= policy.backoff_factor;
+        }
+        if policy.retry_same_prob > 0.0 && coin_idx < retry_coins.len() {
+            // Consume the coin that said "no".
+            coin_idx += 1;
+        }
+        i += 1;
+    }
+    plan
+}
+
+fn mul_duration(d: Duration, f: f64) -> Duration {
+    Duration::from_nanos((d.as_nanos() as f64 * f) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyeye_net::addr::{v4, v6};
+
+    fn candidates() -> Vec<IpAddr> {
+        vec![
+            v6("2001:db8::1"),
+            v6("2001:db8::2"),
+            v4("192.0.2.1"),
+            v4("192.0.2.2"),
+        ]
+    }
+
+    #[test]
+    fn prefer_v6_modes() {
+        let mut p = SelectionPolicy::default();
+        assert!(prefer_v6(&p, 0.99));
+        p.v6_preference = V6Preference::Never;
+        assert!(!prefer_v6(&p, 0.0));
+        p.v6_preference = V6Preference::Probability(0.5);
+        assert!(prefer_v6(&p, 0.4));
+        assert!(!prefer_v6(&p, 0.6));
+    }
+
+    #[test]
+    fn interleave_alternates_families() {
+        let p = SelectionPolicy::default();
+        let plan = plan_attempts(&p, &candidates(), true, &[]);
+        let fams: Vec<Family> = plan.iter().map(|a| Family::of(a.addr)).collect();
+        assert_eq!(
+            fams,
+            vec![Family::V6, Family::V4, Family::V6, Family::V4],
+            "switch-family must interleave"
+        );
+    }
+
+    #[test]
+    fn stick_exhausts_family_first() {
+        let p = SelectionPolicy {
+            retry_style: RetryStyle::StickToFamily,
+            ..SelectionPolicy::default()
+        };
+        let plan = plan_attempts(&p, &candidates(), true, &[]);
+        let fams: Vec<Family> = plan.iter().map(|a| Family::of(a.addr)).collect();
+        assert_eq!(fams, vec![Family::V6, Family::V6, Family::V4, Family::V4]);
+    }
+
+    #[test]
+    fn v4_first_when_not_preferring_v6() {
+        let p = SelectionPolicy::default();
+        let plan = plan_attempts(&p, &candidates(), false, &[]);
+        assert_eq!(Family::of(plan[0].addr), Family::V4);
+    }
+
+    #[test]
+    fn unbound_style_backoff_retries_same_address() {
+        let p = SelectionPolicy {
+            server_timeout: Duration::from_millis(376),
+            retry_same_prob: 0.44,
+            backoff_factor: 3.0,
+            ..SelectionPolicy::default()
+        };
+        // First coin says retry (0.1 < 0.44), second says stop (0.9).
+        let plan = plan_attempts(&p, &candidates(), true, &[0.1, 0.9]);
+        assert_eq!(plan[0].addr, plan[1].addr, "same address retried");
+        assert_eq!(plan[0].timeout, Duration::from_millis(376));
+        assert_eq!(plan[1].timeout, Duration::from_millis(1128), "3x backoff");
+        assert_ne!(plan[2].addr, plan[0].addr);
+    }
+
+    #[test]
+    fn max_attempts_caps_plan() {
+        let p = SelectionPolicy {
+            max_attempts: 2,
+            ..SelectionPolicy::default()
+        };
+        assert_eq!(plan_attempts(&p, &candidates(), true, &[]).len(), 2);
+    }
+
+    #[test]
+    fn single_family_candidates_work() {
+        let p = SelectionPolicy::default();
+        let only_v4 = vec![v4("192.0.2.1"), v4("192.0.2.2")];
+        let plan = plan_attempts(&p, &only_v4, true, &[]);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|a| Family::of(a.addr) == Family::V4));
+    }
+
+    #[test]
+    fn empty_candidates_empty_plan() {
+        let p = SelectionPolicy::default();
+        assert!(plan_attempts(&p, &[], true, &[]).is_empty());
+    }
+}

@@ -1,0 +1,432 @@
+//! Behaviour profiles for the resolver software and open services the
+//! paper measured (Tables 3 and 4).
+//!
+//! Each profile is a [`SelectionPolicy`] parameterisation whose *emergent*
+//! behaviour against delayed authoritative servers reproduces the paper's
+//! observations: IPv6 share, maximum IPv6 delay, packet counts, and the
+//! AAAA/A query ordering markers.
+
+use std::time::Duration;
+
+use crate::policy::{NsQueryStyle, RetryStyle, SelectionPolicy, V6Preference};
+
+/// Whether the profile is local software or a public service.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ProfileKind {
+    /// Locally-run resolver software (BIND, Unbound, Knot).
+    Software,
+    /// Public open resolver service.
+    OpenService,
+}
+
+/// The Table 3 "AAAA Query" marker.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AaaaMarker {
+    /// `•` — sends AAAA before A.
+    BeforeA,
+    /// `◑` — sends AAAA after A.
+    AfterA,
+    /// `◓` — sends AAAA only after querying the IPv4 auth server (Google).
+    AfterAuthQuery,
+    /// `◒` — sends either AAAA or A but never both (Knot).
+    EitherNotBoth,
+}
+
+impl AaaaMarker {
+    /// ASCII rendering for result tables.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AaaaMarker::BeforeA => "before-A",
+            AaaaMarker::AfterA => "after-A",
+            AaaaMarker::AfterAuthQuery => "after-auth",
+            AaaaMarker::EitherNotBoth => "one-of",
+        }
+    }
+}
+
+/// One resolver implementation/service profile.
+#[derive(Clone, Debug)]
+pub struct ResolverProfile {
+    /// Display name (matches the paper's tables).
+    pub name: &'static str,
+    /// Software vs open service.
+    pub kind: ProfileKind,
+    /// The selection policy that generates the measured behaviour.
+    pub policy: SelectionPolicy,
+    /// Number of published IPv4 resolver addresses (Table 4).
+    pub v4_addrs: usize,
+    /// Number of published IPv6 resolver addresses (Table 4).
+    pub v6_addrs: usize,
+    /// Can it resolve zones with IPv6-only authoritative name servers?
+    /// (Hurricane Electric, Lumen, Dyn and G-Core cannot — excluded in §5.3.)
+    pub ipv6_only_capable: bool,
+    /// Expected Table 3 values for validation: (IPv6 share %, max IPv6
+    /// delay ms if known, max IPv6 packets per step).
+    pub expected: Option<(f64, Option<u64>, usize)>,
+    /// Free-form remark carried into reports.
+    pub notes: &'static str,
+}
+
+impl ResolverProfile {
+    /// The Table 3 AAAA-ordering marker implied by the policy.
+    pub fn aaaa_marker(&self) -> AaaaMarker {
+        match self.policy.ns_query_style {
+            NsQueryStyle::AaaaBeforeA => AaaaMarker::BeforeA,
+            NsQueryStyle::AaaaAfterA => AaaaMarker::AfterA,
+            NsQueryStyle::AaaaAfterAuthQuery => AaaaMarker::AfterAuthQuery,
+            NsQueryStyle::OneOfEither => AaaaMarker::EitherNotBoth,
+        }
+    }
+}
+
+fn policy(
+    style: NsQueryStyle,
+    pref: V6Preference,
+    timeout_ms: u64,
+    retry_style: RetryStyle,
+    retry_same_prob: f64,
+    backoff: f64,
+    max_attempts: u32,
+) -> SelectionPolicy {
+    SelectionPolicy {
+        ns_query_style: style,
+        v6_preference: pref,
+        server_timeout: Duration::from_millis(timeout_ms),
+        retry_same_prob,
+        backoff_factor: backoff,
+        retry_style,
+        max_attempts,
+        parallel_families: false,
+    }
+}
+
+/// BIND 9: classic Happy-Eyeballs-style preference — always IPv6 first,
+/// 800 ms timeout, single IPv6 packet, then IPv4 fallback. AAAA for NS
+/// names is queried after A.
+pub fn bind9() -> ResolverProfile {
+    ResolverProfile {
+        name: "BIND",
+        kind: ProfileKind::Software,
+        policy: policy(
+            NsQueryStyle::AaaaAfterA,
+            V6Preference::Always,
+            800,
+            RetryStyle::SwitchFamily,
+            0.0,
+            2.0,
+            6,
+        ),
+        v4_addrs: 0,
+        v6_addrs: 0,
+        ipv6_only_capable: true,
+        expected: Some((100.0, Some(800), 1)),
+        notes: "always prefers IPv6; falls back after 800 ms",
+    }
+}
+
+/// Unbound: AAAA before A; IPv6 chosen ~50 % of the time; 376 ms timeout;
+/// retries the same address 44 % of the time with ~3× exponential backoff
+/// (376 → 1128 ms), i.e. up to 2 IPv6 packets.
+pub fn unbound() -> ResolverProfile {
+    ResolverProfile {
+        name: "Unbound",
+        kind: ProfileKind::Software,
+        policy: policy(
+            NsQueryStyle::AaaaBeforeA,
+            V6Preference::Probability(0.50),
+            376,
+            RetryStyle::SwitchFamily,
+            0.44,
+            3.0,
+            6,
+        ),
+        v4_addrs: 0,
+        v6_addrs: 0,
+        ipv6_only_capable: true,
+        expected: Some((43.8, Some(376), 2)),
+        notes: "exponential backoff raises the retry timeout to 1128 ms",
+    }
+}
+
+/// Knot Resolver: sends either A or AAAA for an NS name (never both);
+/// IPv6 used ~25 % of the time; 400 ms timeout.
+pub fn knot() -> ResolverProfile {
+    ResolverProfile {
+        name: "Knot Resolver",
+        kind: ProfileKind::Software,
+        policy: policy(
+            NsQueryStyle::OneOfEither,
+            V6Preference::Probability(0.28),
+            400,
+            RetryStyle::SwitchFamily,
+            0.35,
+            1.0,
+            6,
+        ),
+        v4_addrs: 0,
+        v6_addrs: 0,
+        ipv6_only_capable: true,
+        expected: Some((27.9, Some(400), 2)),
+        notes: "queries either A or AAAA for NS names, never both",
+    }
+}
+
+/// The three locally-run software profiles.
+pub fn software_profiles() -> Vec<ResolverProfile> {
+    vec![bind9(), unbound(), knot()]
+}
+
+/// All 17 open resolver services the paper probed (Table 4), including the
+/// four that cannot resolve IPv6-only delegations and are therefore
+/// excluded from the Table 3 analysis.
+pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
+    let p = |style, pref, t_ms, rs, rsp, bo, ma| policy(style, pref, t_ms, rs, rsp, bo, ma);
+    use NsQueryStyle::*;
+    use RetryStyle::*;
+    use V6Preference::*;
+    let mut out = vec![
+        ResolverProfile {
+            name: "DNS.sb",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaAfterA, Never, 400, SwitchFamily, 0.0, 2.0, 4),
+            v4_addrs: 2,
+            v6_addrs: 2,
+            ipv6_only_capable: true,
+            expected: Some((0.0, None, 0)),
+            notes: "never uses the IPv6 name-server address",
+        },
+        ResolverProfile {
+            name: "Google P. DNS",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaAfterAuthQuery, Never, 400, SwitchFamily, 0.0, 2.0, 4),
+            v4_addrs: 2,
+            v6_addrs: 2,
+            ipv6_only_capable: true,
+            expected: Some((0.0, None, 0)),
+            notes: "no AAAA query before contacting the auth server over IPv4",
+        },
+        ResolverProfile {
+            name: "DNS0.EU",
+            kind: ProfileKind::OpenService,
+            policy: {
+                let mut pol = p(AaaaBeforeA, Probability(0.095), 700, StickToFamily, 0.6, 1.0, 4);
+                pol.parallel_families = true;
+                pol
+            },
+            v4_addrs: 2,
+            v6_addrs: 2,
+            ipv6_only_capable: true,
+            expected: Some((9.5, None, 2)),
+            notes: "parallel v4/v6 queries; sticks to the initial family on retry",
+        },
+        ResolverProfile {
+            name: "NextDNS",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaBeforeA, Probability(0.089), 200, SwitchFamily, 0.0, 2.0, 4),
+            v4_addrs: 2,
+            v6_addrs: 2,
+            ipv6_only_capable: true,
+            expected: Some((8.9, Some(200), 1)),
+            notes: "",
+        },
+        ResolverProfile {
+            name: "Quad 101",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaBeforeA, Probability(0.10), 400, SwitchFamily, 0.0, 2.0, 4),
+            v4_addrs: 2,
+            v6_addrs: 2,
+            ipv6_only_capable: true,
+            expected: Some((10.0, Some(400), 1)),
+            notes: "only its IPv6 resolver addresses reach IPv6-only zones",
+        },
+        ResolverProfile {
+            name: "114DNS",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaBeforeA, Probability(0.111), 600, SwitchFamily, 0.0, 2.0, 4),
+            v4_addrs: 2,
+            v6_addrs: 0,
+            ipv6_only_capable: true,
+            expected: Some((11.1, Some(600), 1)),
+            notes: "v4-only service addresses, but v6-capable resolution path (forwarder)",
+        },
+        ResolverProfile {
+            name: "Cloudflare",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaBeforeA, Probability(0.111), 500, SwitchFamily, 0.5, 1.0, 4),
+            v4_addrs: 2,
+            v6_addrs: 2,
+            ipv6_only_capable: true,
+            expected: Some((11.1, Some(500), 2)),
+            notes: "",
+        },
+        ResolverProfile {
+            name: "Verisign P. DNS",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaBeforeA, Probability(0.153), 250, SwitchFamily, 0.0, 2.0, 4),
+            v4_addrs: 2,
+            v6_addrs: 2,
+            ipv6_only_capable: true,
+            expected: Some((15.3, Some(250), 1)),
+            notes: "",
+        },
+        ResolverProfile {
+            name: "Yandex",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaBeforeA, Probability(0.174), 300, StickToFamily, 0.85, 1.0, 6),
+            v4_addrs: 2,
+            v6_addrs: 2,
+            ipv6_only_capable: true,
+            expected: Some((17.4, Some(300), 6)),
+            notes: "no interleaving; up to six queries to the IPv6 address",
+        },
+        ResolverProfile {
+            name: "H-MSK-IX",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaBeforeA, Probability(0.205), 600, SwitchFamily, 0.4, 1.0, 4),
+            v4_addrs: 2,
+            v6_addrs: 2,
+            ipv6_only_capable: true,
+            expected: Some((20.5, Some(600), 2)),
+            notes: "",
+        },
+        ResolverProfile {
+            name: "MSK-IX",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaBeforeA, Probability(0.221), 600, SwitchFamily, 0.4, 1.0, 4),
+            v4_addrs: 2,
+            v6_addrs: 2,
+            ipv6_only_capable: true,
+            expected: Some((22.1, Some(600), 2)),
+            notes: "",
+        },
+        ResolverProfile {
+            name: "Quad9 DNS",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaBeforeA, Probability(0.342), 1250, SwitchFamily, 0.4, 1.0, 4),
+            v4_addrs: 6,
+            v6_addrs: 6,
+            ipv6_only_capable: true,
+            expected: Some((34.2, Some(1250), 2)),
+            notes: "",
+        },
+        ResolverProfile {
+            name: "OpenDNS",
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaBeforeA, Always, 50, SwitchFamily, 0.0, 2.0, 4),
+            v4_addrs: 6,
+            v6_addrs: 6,
+            ipv6_only_capable: true,
+            expected: Some((100.0, Some(50), 1)),
+            notes: "HE-style: always IPv6 first, 50 ms fallback",
+        },
+    ];
+    // The four services that cannot resolve IPv6-only delegations.
+    for (name, v4, v6) in [
+        ("Hurricane Electric", 4, 4),
+        ("Lumen (Level3)", 4, 0),
+        ("Dyn", 2, 0),
+        ("G-Core", 2, 2),
+    ] {
+        out.push(ResolverProfile {
+            name,
+            kind: ProfileKind::OpenService,
+            policy: p(AaaaAfterA, Never, 400, SwitchFamily, 0.0, 2.0, 4),
+            v4_addrs: v4,
+            v6_addrs: v6,
+            ipv6_only_capable: false,
+            expected: None,
+            notes: "cannot resolve domains with IPv6-only delegation",
+        });
+    }
+    out
+}
+
+/// Every profile (software + open services).
+pub fn all_profiles() -> Vec<ResolverProfile> {
+    let mut v = software_profiles();
+    v.extend(open_resolver_profiles());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_table4() {
+        let open = open_resolver_profiles();
+        assert_eq!(open.len(), 17, "17 services probed");
+        let excluded: Vec<&str> = open
+            .iter()
+            .filter(|p| !p.ipv6_only_capable)
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(excluded.len(), 4);
+        assert!(excluded.contains(&"Hurricane Electric"));
+        assert!(excluded.contains(&"Lumen (Level3)"));
+        assert!(excluded.contains(&"Dyn"));
+        assert!(excluded.contains(&"G-Core"));
+        // 13 analysable services, as in §5.3.
+        assert_eq!(open.iter().filter(|p| p.ipv6_only_capable).count(), 13);
+    }
+
+    #[test]
+    fn opendns_is_he_style() {
+        let p = open_resolver_profiles()
+            .into_iter()
+            .find(|p| p.name == "OpenDNS")
+            .unwrap();
+        assert_eq!(p.policy.v6_preference, V6Preference::Always);
+        assert_eq!(p.policy.server_timeout, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn markers_match_paper() {
+        let all = all_profiles();
+        let marker = |name: &str| {
+            all.iter()
+                .find(|p| p.name == name)
+                .unwrap()
+                .aaaa_marker()
+        };
+        assert_eq!(marker("BIND"), AaaaMarker::AfterA);
+        assert_eq!(marker("Unbound"), AaaaMarker::BeforeA);
+        assert_eq!(marker("Knot Resolver"), AaaaMarker::EitherNotBoth);
+        assert_eq!(marker("Google P. DNS"), AaaaMarker::AfterAuthQuery);
+        assert_eq!(marker("DNS.sb"), AaaaMarker::AfterA);
+        assert_eq!(marker("OpenDNS"), AaaaMarker::BeforeA);
+    }
+
+    #[test]
+    fn unbound_backoff_parameters() {
+        let u = unbound();
+        assert!((u.policy.retry_same_prob - 0.44).abs() < 1e-9);
+        assert!((u.policy.backoff_factor - 3.0).abs() < 1e-9);
+        // 376 * 3 = 1128 ms, the paper's observed backed-off CAD.
+        let backed_off = u.policy.server_timeout.as_millis() as f64 * u.policy.backoff_factor;
+        assert_eq!(backed_off as u64, 1128);
+    }
+
+    #[test]
+    fn dns0_is_parallel_and_sticky() {
+        let d = open_resolver_profiles()
+            .into_iter()
+            .find(|p| p.name == "DNS0.EU")
+            .unwrap();
+        assert!(d.policy.parallel_families);
+        assert_eq!(d.policy.retry_style, RetryStyle::StickToFamily);
+    }
+
+    #[test]
+    fn openddns_and_quad9_address_counts() {
+        let open = open_resolver_profiles();
+        let find = |n: &str| open.iter().find(|p| p.name == n).unwrap();
+        assert_eq!((find("OpenDNS").v4_addrs, find("OpenDNS").v6_addrs), (6, 6));
+        assert_eq!((find("Quad9 DNS").v4_addrs, find("Quad9 DNS").v6_addrs), (6, 6));
+        assert_eq!((find("114DNS").v4_addrs, find("114DNS").v6_addrs), (2, 0));
+        assert_eq!(
+            (find("Lumen (Level3)").v4_addrs, find("Lumen (Level3)").v6_addrs),
+            (4, 0)
+        );
+    }
+}

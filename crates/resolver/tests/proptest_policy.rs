@@ -1,0 +1,163 @@
+//! Property-based tests of the resolver selection policy: the attempt
+//! planner must uphold its invariants for any candidate set and any RNG
+//! samples.
+
+use lazyeye_resolver::{plan_attempts, prefer_v6, RetryStyle, SelectionPolicy, V6Preference};
+use lazyeye_net::Family;
+use proptest::prelude::*;
+use std::net::IpAddr;
+use std::time::Duration;
+
+fn arb_addrs() -> impl Strategy<Value = Vec<IpAddr>> {
+    (
+        proptest::collection::btree_set(any::<u128>(), 0..6),
+        proptest::collection::btree_set(any::<u32>(), 0..6),
+    )
+        .prop_map(|(v6, v4)| {
+            let mut out: Vec<IpAddr> = v6
+                .into_iter()
+                .map(|v| IpAddr::V6(std::net::Ipv6Addr::from(v)))
+                .collect();
+            out.extend(v4.into_iter().map(|v| IpAddr::V4(std::net::Ipv4Addr::from(v))));
+            out
+        })
+}
+
+fn arb_policy() -> impl Strategy<Value = SelectionPolicy> {
+    (
+        0.0f64..1.0,
+        50u64..2000,
+        0.0f64..1.0,
+        1.0f64..4.0,
+        proptest::bool::ANY,
+        1u32..10,
+    )
+        .prop_map(|(pref, timeout_ms, retry_same, backoff, interleave, max)| {
+            SelectionPolicy {
+                ns_query_style: lazyeye_resolver::NsQueryStyle::AaaaBeforeA,
+                v6_preference: V6Preference::Probability(pref),
+                server_timeout: Duration::from_millis(timeout_ms),
+                retry_same_prob: retry_same,
+                backoff_factor: backoff,
+                retry_style: if interleave {
+                    RetryStyle::SwitchFamily
+                } else {
+                    RetryStyle::StickToFamily
+                },
+                max_attempts: max,
+                parallel_families: false,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The plan never exceeds max_attempts and only uses offered addrs.
+    #[test]
+    fn plan_is_bounded_and_grounded(
+        policy in arb_policy(),
+        addrs in arb_addrs(),
+        v6_first in proptest::bool::ANY,
+        coins in proptest::collection::vec(0.0f64..1.0, 0..16),
+    ) {
+        let plan = plan_attempts(&policy, &addrs, v6_first, &coins);
+        prop_assert!(plan.len() <= policy.max_attempts as usize);
+        for a in &plan {
+            prop_assert!(addrs.contains(&a.addr));
+        }
+    }
+
+    /// Without same-address retries, every planned address is distinct
+    /// and every candidate appears at most once.
+    #[test]
+    fn no_retry_means_distinct_addresses(
+        mut policy in arb_policy(),
+        addrs in arb_addrs(),
+        v6_first in proptest::bool::ANY,
+    ) {
+        policy.retry_same_prob = 0.0;
+        policy.max_attempts = 32;
+        let plan = plan_attempts(&policy, &addrs, v6_first, &[]);
+        let mut seen = std::collections::HashSet::new();
+        for a in &plan {
+            prop_assert!(seen.insert(a.addr), "address {} repeated", a.addr);
+        }
+        prop_assert_eq!(plan.len(), addrs.len(), "all candidates planned");
+    }
+
+    /// Backoff retries strictly increase the timeout for the same address.
+    #[test]
+    fn backoff_is_monotone(
+        addrs in arb_addrs(),
+        timeout_ms in 100u64..1000,
+        backoff in 1.5f64..4.0,
+    ) {
+        prop_assume!(!addrs.is_empty());
+        let policy = SelectionPolicy {
+            server_timeout: Duration::from_millis(timeout_ms),
+            retry_same_prob: 1.0,
+            backoff_factor: backoff,
+            max_attempts: 4,
+            ..SelectionPolicy::default()
+        };
+        // All coins say "retry".
+        let plan = plan_attempts(&policy, &addrs, true, &[0.0, 0.0, 0.0, 0.0]);
+        for pair in plan.windows(2) {
+            if pair[0].addr == pair[1].addr {
+                prop_assert!(pair[1].timeout > pair[0].timeout);
+            }
+        }
+    }
+
+    /// The first attempt's family always follows the v6_first decision
+    /// when that family is present.
+    #[test]
+    fn first_family_follows_decision(
+        policy in arb_policy(),
+        addrs in arb_addrs(),
+        v6_first in proptest::bool::ANY,
+    ) {
+        let want = if v6_first { Family::V6 } else { Family::V4 };
+        let has_want = addrs.iter().any(|a| Family::of(*a) == want);
+        prop_assume!(has_want);
+        let plan = plan_attempts(&policy, &addrs, v6_first, &[]);
+        prop_assert!(!plan.is_empty());
+        prop_assert_eq!(Family::of(plan[0].addr), want);
+    }
+
+    /// prefer_v6 is monotone in the coin: if a coin prefers v6, any
+    /// smaller coin does too.
+    #[test]
+    fn prefer_v6_monotone(p in 0.0f64..1.0, c1 in 0.0f64..1.0, c2 in 0.0f64..1.0) {
+        let policy = SelectionPolicy {
+            v6_preference: V6Preference::Probability(p),
+            ..SelectionPolicy::default()
+        };
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        if prefer_v6(&policy, hi) {
+            prop_assert!(prefer_v6(&policy, lo));
+        }
+    }
+
+    /// StickToFamily exhausts the preferred family before the other.
+    #[test]
+    fn sticky_exhausts_preferred_first(
+        addrs in arb_addrs(),
+        v6_first in proptest::bool::ANY,
+    ) {
+        let policy = SelectionPolicy {
+            retry_style: RetryStyle::StickToFamily,
+            retry_same_prob: 0.0,
+            max_attempts: 32,
+            ..SelectionPolicy::default()
+        };
+        let want = if v6_first { Family::V6 } else { Family::V4 };
+        let plan = plan_attempts(&policy, &addrs, v6_first, &[]);
+        let fams: Vec<Family> = plan.iter().map(|a| Family::of(a.addr)).collect();
+        // Once the other family starts, the preferred one never reappears.
+        if let Some(first_other) = fams.iter().position(|f| *f != want) {
+            prop_assert!(fams[first_other..].iter().all(|f| *f != want));
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! The deterministic single-threaded executor driving virtual time.
+//!
+//! Design (following the async-book executor recipe, adapted to virtual
+//! time): tasks are plain `Pin<Box<dyn Future>>` values stored in a
+//! [`Sim`]-owned slab. Wakers push task ids onto a shared ready queue.
+//! When the ready queue drains, the executor pops the earliest timer from a
+//! binary heap, *jumps* the clock to its deadline and fires it. A run ends
+//! when no tasks are ready and no timers are pending ("quiescent").
+//!
+//! Everything that wakers touch lives behind `Arc<parking_lot::Mutex<..>>`
+//! so the `Waker` contract (thread-safety) is met without `unsafe`; the
+//! futures themselves are `!Send` and never leave the driving thread.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::time::SimTime;
+
+/// Identifier of a spawned task, unique within one [`Sim`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TaskId(u64);
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// A timer waiting in the heap: fires `waker` once the clock reaches `at`.
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The waker-reachable scheduler state. Must be `Send + Sync`-compatible.
+pub(crate) struct SchedInner {
+    now: SimTime,
+    ready: VecDeque<TaskId>,
+    /// Tasks currently sitting in `ready`, to de-duplicate wakes.
+    enqueued: std::collections::HashSet<TaskId>,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    next_task: u64,
+    pub(crate) rng: SmallRng,
+    /// Counters exposed for benchmarking and diagnostics.
+    polls: u64,
+    timers_fired: u64,
+}
+
+impl SchedInner {
+    fn enqueue(&mut self, id: TaskId) {
+        if self.enqueued.insert(id) {
+            self.ready.push_back(id);
+        }
+    }
+}
+
+pub(crate) type Sched = Arc<Mutex<SchedInner>>;
+
+/// Waker implementation: waking re-queues the task on its scheduler.
+struct TaskWaker {
+    id: TaskId,
+    sched: Weak<Mutex<SchedInner>>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        if let Some(sched) = self.sched.upgrade() {
+            sched.lock().enqueue(self.id);
+        }
+    }
+}
+
+struct TaskEntry {
+    fut: BoxFuture,
+    abort: Arc<AtomicBool>,
+}
+
+/// The non-`Send` side of the executor: the futures themselves.
+struct TaskStore {
+    tasks: HashMap<TaskId, TaskEntry>,
+    /// Spawns performed while the executor is polling a task.
+    pending: Vec<(TaskId, TaskEntry)>,
+}
+
+/// Handle that free functions ([`crate::spawn`], [`crate::sleep`], ...) use
+/// to reach the currently running simulation. Install with
+/// [`Sim::block_on`]/[`Sim::run`], or explicitly via [`Sim::enter`].
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) sched: Sched,
+    tasks: std::rc::Rc<RefCell<TaskStore>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<SimHandle>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns the handle of the simulation currently driving this thread.
+///
+/// # Panics
+/// Panics when called outside of a running simulation (i.e. not from within
+/// a task and not inside [`Sim::enter`]).
+pub fn current() -> SimHandle {
+    CURRENT.with(|c| {
+        c.borrow()
+            .last()
+            .cloned()
+            .expect("not inside a Sim context: call from within Sim::run/block_on or Sim::enter")
+    })
+}
+
+/// Returns `true` if a simulation context is installed on this thread.
+pub fn has_current() -> bool {
+    CURRENT.with(|c| !c.borrow().is_empty())
+}
+
+struct EnterGuard;
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+fn enter(handle: SimHandle) -> EnterGuard {
+    CURRENT.with(|c| c.borrow_mut().push(handle));
+    EnterGuard
+}
+
+/// Why a call to [`Sim::run`]/[`Sim::run_until`] returned.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No task is ready and no timer is pending. `pending_tasks` tasks are
+    /// still alive but blocked on events that will never arrive (or on
+    /// wakers owned by dropped objects).
+    Quiescent {
+        /// Number of live, blocked tasks at quiescence.
+        pending_tasks: usize,
+    },
+    /// The requested deadline was reached with work still pending.
+    DeadlineReached,
+    /// A stop condition supplied by the caller (e.g. [`Sim::block_on`]'s
+    /// root future finishing) became true.
+    Interrupted,
+}
+
+/// A deterministic virtual-time simulation: executor + clock + RNG.
+///
+/// ```
+/// use lazyeye_sim::{Sim, sleep, now};
+/// use std::time::Duration;
+///
+/// let mut sim = Sim::new(7);
+/// let out = sim.block_on(async {
+///     sleep(Duration::from_millis(250)).await;
+///     now()
+/// });
+/// assert_eq!(out.as_millis(), 250);
+/// ```
+pub struct Sim {
+    handle: SimHandle,
+}
+
+impl Sim {
+    /// Creates a simulation whose RNG is seeded with `seed`. Two `Sim`s with
+    /// the same seed and the same program produce bit-identical schedules.
+    pub fn new(seed: u64) -> Self {
+        let sched = Arc::new(Mutex::new(SchedInner {
+            now: SimTime::ZERO,
+            ready: VecDeque::new(),
+            enqueued: std::collections::HashSet::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            next_task: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            polls: 0,
+            timers_fired: 0,
+        }));
+        let tasks = std::rc::Rc::new(RefCell::new(TaskStore {
+            tasks: HashMap::new(),
+            pending: Vec::new(),
+        }));
+        Sim {
+            handle: SimHandle { sched, tasks },
+        }
+    }
+
+    /// The handle used by spawned tasks; also usable directly.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// Installs this simulation as the thread's current context for the
+    /// duration of `f`, without running the executor. Useful to build
+    /// simulation objects (hosts, sockets) that need [`current`].
+    pub fn enter<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _g = enter(self.handle.clone());
+        f()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.handle.sched.lock().now
+    }
+
+    /// Spawns a task onto the simulation. See [`crate::spawn`].
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.handle.spawn(fut)
+    }
+
+    /// Runs until quiescence (no ready task, no pending timer).
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_inner(SimTime::MAX, None)
+    }
+
+    /// Runs until quiescence or until the clock reaches `deadline`,
+    /// whichever comes first. The clock is advanced to `deadline` when the
+    /// outcome is [`RunOutcome::DeadlineReached`]... it is *not* advanced
+    /// past the last event on quiescence.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.run_inner(deadline, None)
+    }
+
+    /// Runs for `d` of virtual time from the current instant.
+    pub fn run_for(&mut self, d: Duration) -> RunOutcome {
+        let deadline = self.now() + d;
+        self.run_until(deadline)
+    }
+
+    /// Spawns `fut`, runs the simulation until it completes, and returns its
+    /// output.
+    ///
+    /// # Panics
+    /// Panics if the simulation goes quiescent before `fut` finishes —
+    /// that is a deadlock in simulated code and always a bug worth loud
+    /// failure in a testbed.
+    pub fn block_on<F>(&mut self, fut: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let handle = self.spawn(fut);
+        // Stop the instant the root future finishes so that stale timers
+        // held by cancelled futures (race losers, expired timeouts) do not
+        // drag the clock forward.
+        let outcome = self.run_inner(SimTime::MAX, Some(&|| handle.is_finished()));
+        if let Some(result) = handle.try_take() {
+            return result.expect("block_on future aborted");
+        }
+        match outcome {
+            RunOutcome::Quiescent { pending_tasks } => panic!(
+                "Sim::block_on deadlocked at t={} with {} pending task(s)",
+                self.now(),
+                pending_tasks
+            ),
+            _ => unreachable!("block_on stops only on completion or quiescence"),
+        }
+    }
+
+    /// Number of `Future::poll` calls performed so far (diagnostics).
+    pub fn poll_count(&self) -> u64 {
+        self.handle.sched.lock().polls
+    }
+
+    /// Number of timers fired so far (diagnostics).
+    pub fn timers_fired(&self) -> u64 {
+        self.handle.sched.lock().timers_fired
+    }
+
+    fn run_inner(&mut self, deadline: SimTime, stop_when: Option<&dyn Fn() -> bool>) -> RunOutcome {
+        let _g = enter(self.handle.clone());
+        if let Some(stop) = stop_when {
+            if stop() {
+                return RunOutcome::Interrupted;
+            }
+        }
+        loop {
+            // Drain every task that is ready at the current instant.
+            loop {
+                let next = {
+                    let mut sched = self.handle.sched.lock();
+                    match sched.ready.pop_front() {
+                        Some(id) => {
+                            sched.enqueued.remove(&id);
+                            Some(id)
+                        }
+                        None => None,
+                    }
+                };
+                let Some(id) = next else { break };
+                self.poll_task(id);
+                if let Some(stop) = stop_when {
+                    if stop() {
+                        return RunOutcome::Interrupted;
+                    }
+                }
+            }
+
+            // Nothing ready: advance the clock to the next timer.
+            let mut sched = self.handle.sched.lock();
+            match sched.timers.peek() {
+                Some(Reverse(entry)) if entry.at <= deadline => {
+                    let Reverse(entry) = sched.timers.pop().expect("peeked");
+                    debug_assert!(entry.at >= sched.now, "timer scheduled in the past");
+                    sched.now = sched.now.max(entry.at);
+                    sched.timers_fired += 1;
+                    drop(sched);
+                    entry.waker.wake();
+                }
+                Some(_) => {
+                    // Earliest timer is beyond the deadline.
+                    sched.now = sched.now.max(deadline);
+                    return RunOutcome::DeadlineReached;
+                }
+                None => {
+                    let pending_tasks = self.handle.tasks.borrow().tasks.len();
+                    return RunOutcome::Quiescent { pending_tasks };
+                }
+            }
+        }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Remove the task while polling so re-entrant spawn()/wake() can
+        // borrow the store.
+        let entry = self.handle.tasks.borrow_mut().tasks.remove(&id);
+        let Some(mut entry) = entry else { return };
+        if entry.abort.load(Ordering::Relaxed) {
+            // Dropping the future cancels everything it owns.
+            return;
+        }
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            sched: Arc::downgrade(&self.handle.sched),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        self.handle.sched.lock().polls += 1;
+        let poll = entry.fut.as_mut().poll(&mut cx);
+        let mut store = self.handle.tasks.borrow_mut();
+        if poll.is_pending() {
+            store.tasks.insert(id, entry);
+        }
+        // Adopt tasks spawned during this poll.
+        let pending = std::mem::take(&mut store.pending);
+        for (pid, pentry) in pending {
+            store.tasks.insert(pid, pentry);
+        }
+    }
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.lock().now
+    }
+
+    /// Spawns a future as a new task; see [`crate::spawn`].
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let id = {
+            let mut sched = self.sched.lock();
+            let id = TaskId(sched.next_task);
+            sched.next_task += 1;
+            id
+        };
+        let state = Arc::new(Mutex::new(JoinState {
+            result: None,
+            waker: None,
+            finished: false,
+        }));
+        let abort = Arc::new(AtomicBool::new(false));
+        let state2 = Arc::clone(&state);
+        let wrapped: BoxFuture = Box::pin(async move {
+            let out = fut.await;
+            let mut st = state2.lock();
+            st.result = Some(out);
+            st.finished = true;
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        });
+        let entry = TaskEntry {
+            fut: wrapped,
+            abort: Arc::clone(&abort),
+        };
+        self.tasks.borrow_mut().pending.push((id, entry));
+        // Immediately runnable.
+        self.sched.lock().enqueue(id);
+        // If we are *not* inside poll_task (e.g. spawning before run()),
+        // adopt pending tasks right away.
+        if let Ok(mut store) = self.tasks.try_borrow_mut() {
+            let pending = std::mem::take(&mut store.pending);
+            for (pid, pentry) in pending {
+                store.tasks.insert(pid, pentry);
+            }
+        }
+        JoinHandle { id, state, abort }
+    }
+
+    /// Registers a timer waking `waker` at instant `at`. Returns a
+    /// monotonically increasing sequence number (timers at the same instant
+    /// fire in registration order).
+    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) -> u64 {
+        let mut sched = self.sched.lock();
+        let seq = sched.timer_seq;
+        sched.timer_seq += 1;
+        let at = at.max(sched.now);
+        sched.timers.push(Reverse(TimerEntry { at, seq, waker }));
+        seq
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+/// Error returned when awaiting a [`JoinHandle`] whose task was aborted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Aborted;
+
+impl std::fmt::Display for Aborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task was aborted")
+    }
+}
+impl std::error::Error for Aborted {}
+
+/// Owned handle to a spawned task: await it for the task's output, or
+/// [`JoinHandle::abort`] it to cancel. Dropping the handle detaches the task
+/// (it keeps running).
+pub struct JoinHandle<T> {
+    id: TaskId,
+    state: Arc<Mutex<JoinState<T>>>,
+    abort: Arc<AtomicBool>,
+}
+
+impl<T> JoinHandle<T> {
+    /// The task's id (diagnostics).
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Requests cancellation: the task's future is dropped before its next
+    /// poll, which cancels any I/O it owns. Awaiting the handle afterwards
+    /// yields `Err(Aborted)` unless the task already finished.
+    pub fn abort(&self) {
+        self.abort.store(true, Ordering::Relaxed);
+        if has_current() {
+            // Schedule the task so the executor notices the abort flag and
+            // drops the future promptly.
+            current().sched.lock().enqueue(self.id);
+        }
+    }
+
+    /// `true` once the task has produced its output (not aborted).
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().finished
+    }
+
+    /// Takes the output if the task has finished; `Err(Aborted)` if it was
+    /// aborted before finishing; `None`-like (inner `Option`) semantics are
+    /// folded into `Option<Result<..>>`: `None` means still running.
+    pub fn try_take(&self) -> Option<Result<T, Aborted>> {
+        let mut st = self.state.lock();
+        if let Some(v) = st.result.take() {
+            return Some(Ok(v));
+        }
+        if self.abort.load(Ordering::Relaxed) && !st.finished {
+            return Some(Err(Aborted));
+        }
+        None
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, Aborted>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.state.lock();
+        if let Some(v) = st.result.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if self.abort.load(Ordering::Relaxed) && !st.finished {
+            return Poll::Ready(Err(Aborted));
+        }
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Spawns a future onto the current simulation. Must be called from inside a
+/// task or a [`Sim::enter`] scope.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    current().spawn(fut)
+}
+
+/// Current virtual time of the running simulation.
+pub fn now() -> SimTime {
+    current().now()
+}
+
+/// Runs `f` with mutable access to the simulation's deterministic RNG.
+pub fn with_rng<T>(f: impl FnOnce(&mut SmallRng) -> T) -> T {
+    let handle = current();
+    let mut sched = handle.sched.lock();
+    f(&mut sched.rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timer::sleep;
+
+    #[test]
+    fn block_on_returns_value() {
+        let mut sim = Sim::new(1);
+        assert_eq!(sim.block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn virtual_time_advances_only_by_timers() {
+        let mut sim = Sim::new(1);
+        let t = sim.block_on(async {
+            sleep(Duration::from_secs(3600)).await;
+            now()
+        });
+        assert_eq!(t, SimTime::from_secs(3600));
+    }
+
+    #[test]
+    fn spawned_tasks_interleave_deterministically() {
+        let mut sim = Sim::new(1);
+        let log = std::rc::Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        sim.spawn(async move {
+            sleep(Duration::from_millis(10)).await;
+            l1.borrow_mut().push("a@10");
+            sleep(Duration::from_millis(20)).await;
+            l1.borrow_mut().push("a@30");
+        });
+        sim.spawn(async move {
+            sleep(Duration::from_millis(20)).await;
+            l2.borrow_mut().push("b@20");
+        });
+        let outcome = sim.run();
+        assert_eq!(outcome, RunOutcome::Quiescent { pending_tasks: 0 });
+        assert_eq!(*log.borrow(), vec!["a@10", "b@20", "a@30"]);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn same_instant_timers_fire_in_registration_order() {
+        let mut sim = Sim::new(1);
+        let log = std::rc::Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let l = log.clone();
+            sim.spawn(async move {
+                sleep(Duration::from_millis(100)).await;
+                l.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(1);
+        let handle = sim.spawn(async {
+            sleep(Duration::from_secs(10)).await;
+            7
+        });
+        let outcome = sim.run_until(SimTime::from_secs(5));
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert!(!handle.is_finished());
+        sim.run();
+        assert!(handle.is_finished());
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn join_handle_returns_output() {
+        let mut sim = Sim::new(1);
+        let result = sim.block_on(async {
+            let h = spawn(async {
+                sleep(Duration::from_millis(5)).await;
+                "done"
+            });
+            h.await.unwrap()
+        });
+        assert_eq!(result, "done");
+    }
+
+    #[test]
+    fn abort_cancels_task() {
+        let mut sim = Sim::new(1);
+        let flag = std::rc::Rc::new(RefCell::new(false));
+        let f2 = flag.clone();
+        let result = sim.block_on(async move {
+            let h = spawn(async move {
+                sleep(Duration::from_secs(1)).await;
+                *f2.borrow_mut() = true;
+            });
+            sleep(Duration::from_millis(1)).await;
+            h.abort();
+            h.await
+        });
+        assert_eq!(result, Err(Aborted));
+        sim.run();
+        assert!(!*flag.borrow(), "aborted task must not run to completion");
+    }
+
+    #[test]
+    fn abort_after_finish_returns_value() {
+        let mut sim = Sim::new(1);
+        let result = sim.block_on(async {
+            let h = spawn(async { 5 });
+            sleep(Duration::from_millis(1)).await;
+            h.abort(); // too late, already finished
+            h.await
+        });
+        assert_eq!(result, Ok(5));
+    }
+
+    #[test]
+    fn quiescent_reports_blocked_tasks() {
+        let mut sim = Sim::new(1);
+        sim.spawn(async {
+            // A future that never resolves and holds no timer.
+            std::future::pending::<()>().await;
+        });
+        let outcome = sim.run();
+        assert_eq!(outcome, RunOutcome::Quiescent { pending_tasks: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn block_on_deadlock_panics() {
+        let mut sim = Sim::new(1);
+        sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn identical_seeds_identical_schedules() {
+        fn run(seed: u64) -> (u64, Vec<u64>) {
+            let mut sim = Sim::new(seed);
+            let out = std::rc::Rc::new(RefCell::new(Vec::new()));
+            let o = out.clone();
+            sim.block_on(async move {
+                for _ in 0..10 {
+                    let ms = with_rng(|r| rand::Rng::gen_range(r, 1..50));
+                    sleep(Duration::from_millis(ms)).await;
+                    o.borrow_mut().push(now().as_nanos());
+                }
+            });
+            let events = out.borrow().clone();
+            (sim.now().as_nanos(), events)
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, run(100).0);
+    }
+
+    #[test]
+    fn nested_spawn_inside_task() {
+        let mut sim = Sim::new(1);
+        let total = sim.block_on(async {
+            let mut handles = Vec::new();
+            for i in 0..10u64 {
+                handles.push(spawn(async move {
+                    sleep(Duration::from_millis(i)).await;
+                    i
+                }));
+            }
+            let mut sum = 0;
+            for h in handles {
+                sum += h.await.unwrap();
+            }
+            sum
+        });
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn enter_allows_prebuilding() {
+        let sim = Sim::new(1);
+        sim.enter(|| {
+            assert_eq!(now(), SimTime::ZERO);
+            let _h = spawn(async {});
+        });
+    }
+}

@@ -1,0 +1,207 @@
+//! Virtual time: [`SimTime`] instants on the simulated clock.
+//!
+//! The simulator advances a nanosecond-resolution clock only when there is
+//! nothing left to do at the current instant, so timestamps recorded from a
+//! run are exact rather than jittery. This is what gives the testbed the
+//! sub-millisecond "packet capture accuracy" the paper relies on (§4.3) —
+//! here the accuracy is perfect by construction.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant on the simulated clock, measured in nanoseconds since the
+/// start of the simulation.
+///
+/// `SimTime` is to the simulator what `std::time::Instant` is to a real
+/// program, except that it is serializable, comparable across runs, and
+/// starts at [`SimTime::ZERO`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant (used as an "infinite" deadline).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `n` nanoseconds after simulation start.
+    pub const fn from_nanos(n: u64) -> Self {
+        SimTime(n)
+    }
+
+    /// Creates an instant `us` microseconds after simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant `ms` milliseconds after simulation start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant `s` seconds after simulation start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since simulation start as a float (useful for plotting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `self - earlier`, or `None` if `earlier` is later than `self`.
+    pub fn checked_duration_since(self, earlier: SimTime) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration::from_nanos)
+    }
+
+    /// `self - earlier`, clamped to zero if `earlier` is later than `self`.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(duration_nanos(d)))
+    }
+}
+
+/// Converts a `Duration` to simulator nanoseconds, saturating at `u64::MAX`.
+///
+/// Durations beyond ~584 years are treated as infinite, which is far beyond
+/// any timeout a network client configures.
+pub fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    /// Elapsed time between two instants.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_duration_since`] when order is uncertain.
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.checked_duration_since(rhs)
+            .expect("SimTime subtraction underflow: rhs is later than self")
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(duration_nanos(rhs)))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.0 / 1_000_000_000;
+        let frac = self.0 % 1_000_000_000;
+        if frac == 0 {
+            write!(f, "{secs}s")
+        } else if frac % 1_000_000 == 0 {
+            write!(f, "{secs}.{:03}s", frac / 1_000_000)
+        } else if frac % 1_000 == 0 {
+            write!(f, "{secs}.{:06}s", frac / 1_000)
+        } else {
+            write!(f, "{secs}.{frac:09}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_millis(1), SimTime::from_nanos(1_000_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_millis(250);
+        let u = t + Duration::from_millis(50);
+        assert_eq!(u.as_millis(), 300);
+        assert_eq!(u - t, Duration::from_millis(50));
+        assert_eq!(u - Duration::from_millis(300), SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(Duration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimTime::ZERO.saturating_duration_since(SimTime::from_secs(5)),
+            Duration::ZERO
+        );
+        assert_eq!(SimTime::ZERO - Duration::from_secs(1), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = SimTime::ZERO - SimTime::from_nanos(1);
+    }
+
+    #[test]
+    fn checked_duration_since() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(30);
+        assert_eq!(b.checked_duration_since(a), Some(Duration::from_millis(20)));
+        assert_eq!(a.checked_duration_since(b), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(2).to_string(), "2s");
+        assert_eq!(SimTime::from_millis(1250).to_string(), "1.250s");
+        assert_eq!(SimTime::from_micros(1_000_500).to_string(), "1.000500s");
+        assert_eq!(SimTime::from_nanos(1).to_string(), "0.000000001s");
+    }
+
+    #[test]
+    fn huge_duration_saturates() {
+        assert_eq!(duration_nanos(Duration::from_secs(u64::MAX)), u64::MAX);
+    }
+}

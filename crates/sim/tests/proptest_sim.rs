@@ -1,0 +1,164 @@
+//! Property-based tests of the runtime's scheduling invariants.
+
+use lazyeye_sim::{sleep, spawn, with_rng, Sim, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Timers always fire in deadline order, whatever order they are
+    /// registered in.
+    #[test]
+    fn timers_fire_in_deadline_order(delays in proptest::collection::vec(0u64..10_000, 1..40)) {
+        let mut sim = Sim::new(0);
+        let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &d in &delays {
+            let fired = Rc::clone(&fired);
+            sim.spawn(async move {
+                sleep(Duration::from_millis(d)).await;
+                fired.borrow_mut().push(d);
+            });
+        }
+        sim.run();
+        let got = fired.borrow().clone();
+        prop_assert_eq!(got.len(), delays.len());
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(got, sorted, "fire order must be deadline order");
+    }
+
+    /// The clock ends exactly at the maximum deadline (never beyond).
+    #[test]
+    fn clock_stops_at_last_timer(delays in proptest::collection::vec(1u64..5_000, 1..20)) {
+        let mut sim = Sim::new(0);
+        for &d in &delays {
+            sim.spawn(async move { sleep(Duration::from_millis(d)).await });
+        }
+        sim.run();
+        prop_assert_eq!(sim.now(), SimTime::from_millis(*delays.iter().max().unwrap()));
+    }
+
+    /// Same seed, same program => identical RNG streams and final clock.
+    #[test]
+    fn seeded_runs_are_identical(seed in any::<u64>(), n in 1usize..50) {
+        fn run(seed: u64, n: usize) -> (u64, Vec<u64>) {
+            let mut sim = Sim::new(seed);
+            let out = Rc::new(RefCell::new(Vec::new()));
+            let o = Rc::clone(&out);
+            sim.block_on(async move {
+                for _ in 0..n {
+                    let ms = with_rng(|r| rand::Rng::gen_range(r, 1u64..100));
+                    sleep(Duration::from_millis(ms)).await;
+                    o.borrow_mut().push(ms);
+                }
+            });
+            let v = out.borrow().clone();
+            (sim.now().as_nanos(), v)
+        }
+        prop_assert_eq!(run(seed, n), run(seed, n));
+    }
+
+    /// Nested timeout layers resolve to the smallest deadline.
+    #[test]
+    fn nested_timeouts_resolve_to_min(a in 1u64..1000, b in 1u64..1000) {
+        let mut sim = Sim::new(1);
+        sim.block_on(async move {
+            let _ = lazyeye_sim::timeout(
+                Duration::from_millis(a),
+                lazyeye_sim::timeout(
+                    Duration::from_millis(b),
+                    std::future::pending::<()>(),
+                ),
+            )
+            .await;
+        });
+        prop_assert_eq!(sim.now(), SimTime::from_millis(a.min(b)));
+    }
+
+    /// join_all preserves order and waits for the slowest.
+    #[test]
+    fn join_all_semantics(delays in proptest::collection::vec(0u64..2000, 1..20)) {
+        let mut sim = Sim::new(1);
+        let delays2 = delays.clone();
+        let out = sim.block_on(async move {
+            lazyeye_sim::join_all(delays2.into_iter().map(|d| async move {
+                sleep(Duration::from_millis(d)).await;
+                d
+            }))
+            .await
+        });
+        prop_assert_eq!(&out, &delays);
+        prop_assert_eq!(sim.now(), SimTime::from_millis(*delays.iter().max().unwrap()));
+    }
+
+    /// Aborting any subset of tasks never deadlocks the run and the
+    /// remaining tasks still finish.
+    #[test]
+    fn aborts_never_wedge_the_executor(
+        n in 1usize..30,
+        abort_mask in any::<u32>(),
+    ) {
+        let mut sim = Sim::new(2);
+        let done: Rc<RefCell<usize>> = Rc::new(RefCell::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let done = Rc::clone(&done);
+                sim.spawn(async move {
+                    sleep(Duration::from_millis(10 + i as u64)).await;
+                    *done.borrow_mut() += 1;
+                })
+            })
+            .collect();
+        let mut aborted = 0;
+        for (i, h) in handles.iter().enumerate() {
+            if abort_mask & (1 << (i % 32)) != 0 {
+                h.abort();
+                aborted += 1;
+            }
+        }
+        sim.run();
+        // Aborted before their timers fired (abort happens at t=0).
+        prop_assert_eq!(*done.borrow(), n - aborted);
+    }
+
+    /// mpsc delivers every message exactly once, in send order per sender.
+    #[test]
+    fn mpsc_exactly_once(counts in proptest::collection::vec(1usize..20, 1..5)) {
+        let mut sim = Sim::new(3);
+        let total: usize = counts.iter().sum();
+        let counts2 = counts.clone();
+        let received = sim.block_on(async move {
+            let (tx, mut rx) = lazyeye_sim::sync::mpsc::unbounded::<(usize, usize)>();
+            for (sender, &count) in counts2.iter().enumerate() {
+                let tx = tx.clone();
+                spawn(async move {
+                    for seq in 0..count {
+                        sleep(Duration::from_millis((seq * 7 + sender) as u64)).await;
+                        tx.send((sender, seq)).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<(usize, usize)> = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        prop_assert_eq!(received.len(), total);
+        // Per-sender order is monotone.
+        for sender in 0..counts.len() {
+            let seqs: Vec<usize> = received
+                .iter()
+                .filter(|(s, _)| *s == sender)
+                .map(|(_, q)| *q)
+                .collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(seqs, sorted);
+        }
+    }
+}

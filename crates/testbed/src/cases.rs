@@ -1,0 +1,228 @@
+//! Declarative test-case configuration, mirroring the paper's framework
+//! (App. B, Figure 3): test cases, sweep ranges and repetition counts are
+//! data, not code, so coarse initial runs and fine-grained follow-ups are
+//! plain config edits.
+
+use serde::{Deserialize, Serialize};
+
+/// An inclusive millisecond sweep: `start..=end` stepping by `step`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// First delay value (ms).
+    pub start_ms: u64,
+    /// Last delay value (ms), inclusive.
+    pub end_ms: u64,
+    /// Step (ms); must be non-zero.
+    pub step_ms: u64,
+}
+
+impl SweepSpec {
+    /// A new sweep.
+    pub fn new(start_ms: u64, end_ms: u64, step_ms: u64) -> SweepSpec {
+        assert!(step_ms > 0, "sweep step must be non-zero");
+        SweepSpec {
+            start_ms,
+            end_ms,
+            step_ms,
+        }
+    }
+
+    /// The paper's fine CAD sweep: 0–400 ms in 5 ms steps.
+    pub fn paper_fine() -> SweepSpec {
+        SweepSpec::new(0, 400, 5)
+    }
+
+    /// The paper's coarse initial sweep (wide, cheap).
+    pub fn paper_coarse() -> SweepSpec {
+        SweepSpec::new(0, 2500, 250)
+    }
+
+    /// Materialises the delay values.
+    pub fn values(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut v = self.start_ms;
+        while v <= self.end_ms {
+            out.push(v);
+            match v.checked_add(self.step_ms) {
+                Some(next) => v = next,
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Connection Attempt Delay case: delay IPv6 on the server side, sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CadCaseConfig {
+    /// The sweep of configured IPv6 delays.
+    pub sweep: SweepSpec,
+    /// Repetitions per delay value (paper: ≥ 20 samples per client).
+    pub repetitions: u32,
+}
+
+impl Default for CadCaseConfig {
+    fn default() -> Self {
+        CadCaseConfig {
+            sweep: SweepSpec::paper_fine(),
+            repetitions: 3,
+        }
+    }
+}
+
+/// Which DNS record type a Resolution Delay case delays.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub enum DelayedRecord {
+    /// Delay the AAAA answer (the classic RD test).
+    Aaaa,
+    /// Delay the A answer (the paper's §5.2 stall scenario).
+    A,
+}
+
+/// Resolution Delay case: delay one record type at the DNS server, sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RdCaseConfig {
+    /// Which record type to delay.
+    pub delayed: DelayedRecord,
+    /// The sweep of DNS answer delays.
+    pub sweep: SweepSpec,
+    /// Repetitions per delay value.
+    pub repetitions: u32,
+}
+
+impl Default for RdCaseConfig {
+    fn default() -> Self {
+        RdCaseConfig {
+            delayed: DelayedRecord::Aaaa,
+            sweep: SweepSpec::new(0, 400, 25),
+            repetitions: 3,
+        }
+    }
+}
+
+/// Address-selection case: N unresponsive addresses per family.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SelectionCaseConfig {
+    /// Number of (dead) IPv6 addresses offered.
+    pub v6_addresses: usize,
+    /// Number of (dead) IPv4 addresses offered.
+    pub v4_addresses: usize,
+    /// Per-attempt give-up (keeps runs bounded).
+    pub attempt_timeout_ms: u64,
+}
+
+impl Default for SelectionCaseConfig {
+    fn default() -> Self {
+        // The paper's setup: ten addresses per family, none responding.
+        SelectionCaseConfig {
+            v6_addresses: 10,
+            v4_addresses: 10,
+            attempt_timeout_ms: 3000,
+        }
+    }
+}
+
+/// Resolver case: per-delay dedicated zones, shaping on the authoritative
+/// server's IPv6 path (§4.2).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResolverCaseConfig {
+    /// The sweep of IPv6-path delays towards the authoritative NS.
+    pub sweep: SweepSpec,
+    /// Repetitions per delay value.
+    pub repetitions: u32,
+}
+
+impl Default for ResolverCaseConfig {
+    fn default() -> Self {
+        ResolverCaseConfig {
+            sweep: SweepSpec::new(0, 1400, 100),
+            repetitions: 8,
+        }
+    }
+}
+
+/// A complete testbed configuration (serializable; the framework's single
+/// config file).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TestbedConfig {
+    /// Base RNG seed; run `i` of a case uses `seed + i`.
+    pub seed: u64,
+    /// CAD case, if enabled.
+    pub cad: Option<CadCaseConfig>,
+    /// RD case, if enabled.
+    pub rd: Option<RdCaseConfig>,
+    /// Selection case, if enabled.
+    pub selection: Option<SelectionCaseConfig>,
+    /// Resolver case, if enabled.
+    pub resolver: Option<ResolverCaseConfig>,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            seed: 42,
+            cad: Some(CadCaseConfig::default()),
+            rd: Some(RdCaseConfig::default()),
+            selection: Some(SelectionCaseConfig::default()),
+            resolver: Some(ResolverCaseConfig::default()),
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// Loads a config from JSON.
+    pub fn from_json(s: &str) -> Result<TestbedConfig, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_values_inclusive() {
+        assert_eq!(SweepSpec::new(0, 20, 5).values(), vec![0, 5, 10, 15, 20]);
+        assert_eq!(SweepSpec::new(10, 10, 5).values(), vec![10]);
+        assert_eq!(SweepSpec::new(0, 9, 5).values(), vec![0, 5]);
+    }
+
+    #[test]
+    fn paper_fine_sweep_has_81_points() {
+        // 0..=400 step 5 → 81 configurations, as in §5.1.
+        assert_eq!(SweepSpec::paper_fine().values().len(), 81);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_step_panics() {
+        SweepSpec::new(0, 10, 0);
+    }
+
+    #[test]
+    fn config_json_roundtrip() {
+        let cfg = TestbedConfig::default();
+        let json = cfg.to_json();
+        let back = TestbedConfig::from_json(&json).unwrap();
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.cad.unwrap().sweep, cfg.cad.unwrap().sweep);
+        assert_eq!(back.rd.unwrap().delayed, DelayedRecord::Aaaa);
+    }
+
+    #[test]
+    fn partial_config_parses() {
+        let cfg = TestbedConfig::from_json(
+            r#"{"seed": 7, "cad": {"sweep": {"start_ms":0,"end_ms":100,"step_ms":50}, "repetitions": 2},
+                "rd": null, "selection": null, "resolver": null}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.rd.is_none());
+        assert_eq!(cfg.cad.unwrap().sweep.values(), vec![0, 50, 100]);
+    }
+}

@@ -1,0 +1,458 @@
+//! Test runners: execute one case configuration across delays ×
+//! repetitions with a fresh simulation per run (the paper's container
+//! reset), and analyze captures into samples.
+
+use std::net::IpAddr;
+
+use lazyeye_authns::DelayTarget;
+use lazyeye_clients::{Client, ClientProfile};
+use lazyeye_net::{Family, Netem, NetemRule};
+use lazyeye_resolver::{RecursiveConfig, RecursiveResolver, ResolverProfile};
+use lazyeye_sim::SimTime;
+
+use crate::cases::{
+    CadCaseConfig, DelayedRecord, RdCaseConfig, ResolverCaseConfig, SelectionCaseConfig,
+};
+use crate::topology::{
+    default_local_topology, resolver_addr, resolver_topology, test_domain_topology, www,
+};
+
+// ---------------------------------------------------------------------------
+// CAD case
+// ---------------------------------------------------------------------------
+
+/// One CAD measurement run.
+#[derive(Clone, Debug)]
+pub struct CadSample {
+    /// Configured IPv6 delay (ms).
+    pub configured_delay_ms: u64,
+    /// Repetition index.
+    pub rep: u32,
+    /// Family of the established connection (None = failed).
+    pub family: Option<Family>,
+    /// CAD from the client's packet capture: first IPv4 SYN − first IPv6
+    /// SYN (the paper's §4.3 estimator). None when no fallback happened.
+    pub observed_cad_ms: Option<f64>,
+}
+
+/// Runs the CAD case for one client profile.
+pub fn run_cad_case(profile: &ClientProfile, cfg: &CadCaseConfig, seed: u64) -> Vec<CadSample> {
+    let mut out = Vec::new();
+    for delay_ms in cfg.sweep.values() {
+        for rep in 0..cfg.repetitions {
+            let run_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(delay_ms * 1000 + u64::from(rep));
+            let mut topo = default_local_topology(run_seed);
+            // The paper shapes IPv6 on the server side with tc-netem.
+            topo.server
+                .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(delay_ms)));
+            let client = Client::new(profile.clone(), topo.client.clone(), vec![resolver_addr()]);
+            let res = topo
+                .sim
+                .block_on(async move { client.connect_only(&www(), 80).await });
+            let family = res.connection.as_ref().ok().map(|c| c.family());
+            let observed_cad_ms = topo
+                .client
+                .capture()
+                .connection_attempt_delay()
+                .map(|d| d.as_secs_f64() * 1000.0);
+            out.push(CadSample {
+                configured_delay_ms: delay_ms,
+                rep,
+                family,
+                observed_cad_ms,
+            });
+        }
+    }
+    out
+}
+
+/// Aggregate view of a CAD sweep (one Figure 2 row + the Table 2 columns).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CadSummary {
+    /// Largest configured delay at which IPv6 was still used.
+    pub last_v6_delay_ms: Option<u64>,
+    /// Smallest configured delay at which IPv4 was used.
+    pub first_v4_delay_ms: Option<u64>,
+    /// Median of capture-observed CADs (ms).
+    pub measured_cad_ms: Option<f64>,
+    /// Whether any fallback to IPv4 was observed at all (CAD implemented).
+    pub implements_cad: bool,
+    /// Whether every run established *some* connection.
+    pub always_connected: bool,
+}
+
+/// Summarises CAD samples.
+pub fn summarize_cad(samples: &[CadSample]) -> CadSummary {
+    let last_v6_delay_ms = samples
+        .iter()
+        .filter(|s| s.family == Some(Family::V6))
+        .map(|s| s.configured_delay_ms)
+        .max();
+    let first_v4_delay_ms = samples
+        .iter()
+        .filter(|s| s.family == Some(Family::V4))
+        .map(|s| s.configured_delay_ms)
+        .min();
+    let mut cads: Vec<f64> = samples.iter().filter_map(|s| s.observed_cad_ms).collect();
+    cads.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let measured_cad_ms = if cads.is_empty() {
+        None
+    } else {
+        Some(cads[cads.len() / 2])
+    };
+    CadSummary {
+        last_v6_delay_ms,
+        first_v4_delay_ms,
+        measured_cad_ms,
+        implements_cad: first_v4_delay_ms.is_some(),
+        always_connected: samples.iter().all(|s| s.family.is_some()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RD case
+// ---------------------------------------------------------------------------
+
+/// One Resolution Delay measurement run.
+#[derive(Clone, Debug)]
+pub struct RdSample {
+    /// Configured DNS answer delay (ms).
+    pub configured_delay_ms: u64,
+    /// Repetition index.
+    pub rep: u32,
+    /// Established family.
+    pub family: Option<Family>,
+    /// When the first TCP SYN left the client (ms since run start) —
+    /// the stall observable of §5.2.
+    pub first_attempt_ms: Option<f64>,
+    /// Whether the engine armed a Resolution Delay timer.
+    pub used_rd: bool,
+}
+
+/// Runs the RD case (delaying AAAA or A per config) for one client.
+pub fn run_rd_case(profile: &ClientProfile, cfg: &RdCaseConfig, seed: u64) -> Vec<RdSample> {
+    let mut out = Vec::new();
+    let target = match cfg.delayed {
+        DelayedRecord::Aaaa => DelayTarget::Aaaa,
+        DelayedRecord::A => DelayTarget::A,
+    };
+    for delay_ms in cfg.sweep.values() {
+        for rep in 0..cfg.repetitions {
+            let run_seed = seed
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .wrapping_add(delay_ms * 1000 + u64::from(rep));
+            // Live addresses (the server host's own) — RD tests measure
+            // connection timing, not fallback between dead addresses.
+            let mut topo = test_domain_topology(
+                run_seed,
+                "rd.test",
+                vec!["192.0.2.1".parse().unwrap()],
+                vec!["2001:db8::1".parse().unwrap()],
+            );
+            let params = lazyeye_authns::TestParams::delay(delay_ms, target, format!("r{rep}"));
+            let qname =
+                lazyeye_dns::Name::parse(&format!("{}.rd.test", params.to_label())).unwrap();
+            let client = Client::new(profile.clone(), topo.client.clone(), vec![resolver_addr()]);
+            let res = topo
+                .sim
+                .block_on(async move { client.connect_only(&qname, 80).await });
+            let family = res.connection.as_ref().ok().map(|c| c.family());
+            let first_attempt_ms = topo
+                .client
+                .capture()
+                .first_syn(Family::V6)
+                .into_iter()
+                .chain(topo.client.capture().first_syn(Family::V4))
+                .min()
+                .map(|t: SimTime| t.as_nanos() as f64 / 1e6);
+            out.push(RdSample {
+                configured_delay_ms: delay_ms,
+                rep,
+                family,
+                first_attempt_ms,
+                used_rd: res.log.used_resolution_delay(),
+            });
+        }
+    }
+    out
+}
+
+/// Aggregate view of an RD sweep.
+#[derive(Clone, Debug)]
+pub struct RdSummary {
+    /// Whether any run armed the RD timer (Table 2 "RD Impl.").
+    pub implements_rd: bool,
+    /// Largest delay at which the client still connected via IPv6.
+    pub last_v6_delay_ms: Option<u64>,
+    /// Median first-SYN time at the largest configured delay (ms) — large
+    /// values expose the "waits for the A answer" stall.
+    pub stall_at_max_delay_ms: Option<f64>,
+}
+
+/// Summarises RD samples.
+pub fn summarize_rd(samples: &[RdSample]) -> RdSummary {
+    let implements_rd = samples.iter().any(|s| s.used_rd);
+    let last_v6_delay_ms = samples
+        .iter()
+        .filter(|s| s.family == Some(Family::V6))
+        .map(|s| s.configured_delay_ms)
+        .max();
+    let max_delay = samples.iter().map(|s| s.configured_delay_ms).max();
+    let stall_at_max_delay_ms = max_delay.and_then(|d| {
+        let mut v: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.configured_delay_ms == d)
+            .filter_map(|s| s.first_attempt_ms)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if v.is_empty() {
+            None
+        } else {
+            Some(v[v.len() / 2])
+        }
+    });
+    RdSummary {
+        implements_rd,
+        last_v6_delay_ms,
+        stall_at_max_delay_ms,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Address-selection case
+// ---------------------------------------------------------------------------
+
+/// Result of an address-selection run: the family of each distinct
+/// connection attempt, in order (one Figure 5 row).
+#[derive(Clone, Debug)]
+pub struct SelectionResult {
+    /// Attempt families in order.
+    pub order: Vec<Family>,
+    /// Distinct IPv6 addresses attempted (Table 2 "IPv6 Addrs. Used").
+    pub v6_used: usize,
+    /// Distinct IPv4 addresses attempted (Table 2 "IPv4 Addrs. Used").
+    pub v4_used: usize,
+}
+
+/// Runs the selection case: N dead addresses per family, watch the order.
+pub fn run_selection_case(
+    profile: &ClientProfile,
+    cfg: &SelectionCaseConfig,
+    seed: u64,
+) -> SelectionResult {
+    let dead_v4: Vec<std::net::Ipv4Addr> = (1..=cfg.v4_addresses)
+        .map(|i| format!("203.0.113.{i}").parse().unwrap())
+        .collect();
+    let dead_v6: Vec<std::net::Ipv6Addr> = (1..=cfg.v6_addresses)
+        .map(|i| format!("2001:db8:dead::{i}").parse().unwrap())
+        .collect();
+    let mut topo = test_domain_topology(seed, "sel.test", dead_v4, dead_v6);
+    let mut profile = profile.clone();
+    profile.he.attempt_timeout = std::time::Duration::from_millis(cfg.attempt_timeout_ms);
+    profile.he.overall_deadline = std::time::Duration::from_secs(300);
+    let qname = lazyeye_dns::Name::parse("d0-tnone-nsel.sel.test").unwrap();
+    let client = Client::new(profile, topo.client.clone(), vec![resolver_addr()]);
+    let res = topo
+        .sim
+        .block_on(async move { client.connect_only(&qname, 80).await });
+    SelectionResult {
+        order: res.log.attempt_families(),
+        v6_used: res.log.addrs_used(Family::V6),
+        v4_used: res.log.addrs_used(Family::V4),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resolver case
+// ---------------------------------------------------------------------------
+
+/// One resolver run against a shaped authoritative server.
+#[derive(Clone, Debug)]
+pub struct ResolverSample {
+    /// Configured IPv6-path delay (ms).
+    pub configured_delay_ms: u64,
+    /// Repetition index.
+    pub rep: u32,
+    /// Family of the first query the auth server received.
+    pub first_query_family: Option<Family>,
+    /// Number of IPv6 queries the auth server received.
+    pub v6_packets: usize,
+    /// Observed resolver CAD at the auth server: first v4 query − first v6
+    /// query (ms), when both happened.
+    pub observed_cad_ms: Option<f64>,
+    /// Gap between the first two IPv6 queries (ms) — the per-try timeout
+    /// of retrying resolvers (Unbound's 376 ms, Yandex's 300 ms).
+    pub v6_retry_gap_ms: Option<f64>,
+    /// Whether the resolution ultimately succeeded.
+    pub resolved: bool,
+    /// Whether the *answer used* came over IPv6 (the v6 exchange
+    /// completed before any fallback).
+    pub served_over_v6: bool,
+}
+
+/// Runs the resolver case for one resolver profile.
+pub fn run_resolver_case(
+    rprofile: &ResolverProfile,
+    cfg: &ResolverCaseConfig,
+    seed: u64,
+) -> Vec<ResolverSample> {
+    let mut out = Vec::new();
+    for delay_ms in cfg.sweep.values() {
+        for rep in 0..cfg.repetitions {
+            let run_seed = seed
+                .wrapping_mul(0xDA94_2042_E4DD_58B5)
+                .wrapping_add(delay_ms * 1000 + u64::from(rep));
+            let tag = format!("d{delay_ms}r{rep}");
+            let mut topo = resolver_topology(run_seed, &tag);
+            // Shape the auth NS's IPv6 responses (the paper applies the
+            // shaping to the name server's addresses).
+            topo.auth
+                .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(delay_ms)));
+            let mut rcfg = RecursiveConfig::new(topo.roots.clone());
+            rcfg.policy = rprofile.policy.clone();
+            let resolver = RecursiveResolver::new(topo.resolver_host.clone(), rcfg);
+            let qname = topo.qname.clone();
+            let resolved = topo
+                .sim
+                .block_on(async move {
+                    resolver
+                        .resolve(&qname, lazyeye_dns::RrType::A)
+                        .await
+                        .map(|r| !r.records.is_empty())
+                        .unwrap_or(false)
+                });
+
+            // Server-side observation (the paper's Table 3 vantage point).
+            let cap = topo.auth.capture();
+            let mut v6_queries: Vec<SimTime> = Vec::new();
+            let mut v4_queries: Vec<SimTime> = Vec::new();
+            for r in cap.udp_rx() {
+                match r.family() {
+                    Family::V6 => v6_queries.push(r.time),
+                    Family::V4 => v4_queries.push(r.time),
+                }
+            }
+            // Capture order is arrival order, which breaks same-instant
+            // ties correctly (parallel resolvers send both queries in the
+            // same tick).
+            let first_query_family = cap.udp_rx().next().map(|r| r.family());
+            let observed_cad_ms = match (v6_queries.first(), v4_queries.first()) {
+                (Some(a), Some(b)) if b > a => {
+                    Some(b.saturating_duration_since(*a).as_secs_f64() * 1000.0)
+                }
+                _ => None,
+            };
+            let v6_retry_gap_ms = if v6_queries.len() >= 2 {
+                Some(
+                    v6_queries[1]
+                        .saturating_duration_since(v6_queries[0])
+                        .as_secs_f64()
+                        * 1000.0,
+                )
+            } else {
+                None
+            };
+            let served_over_v6 = resolved
+                && first_query_family == Some(Family::V6)
+                && v4_queries.is_empty();
+            out.push(ResolverSample {
+                configured_delay_ms: delay_ms,
+                rep,
+                first_query_family,
+                v6_packets: v6_queries.len(),
+                observed_cad_ms,
+                v6_retry_gap_ms,
+                resolved,
+                served_over_v6,
+            });
+        }
+    }
+    out
+}
+
+/// Aggregate resolver statistics — one row of the paper's Table 3.
+#[derive(Clone, Debug)]
+pub struct ResolverStats {
+    /// Share of runs whose first auth query used IPv6 (%), measured at
+    /// zero added delay (pure preference).
+    pub v6_share_pct: f64,
+    /// Largest configured delay at which resolution was still served over
+    /// IPv6 (the "Max. IPv6 Delay Used" column).
+    pub max_v6_delay_ms: Option<u64>,
+    /// Median observed per-try timeout (ms): the gap between consecutive
+    /// IPv6 retries when the resolver retries, otherwise first-v4 −
+    /// first-v6 — the paper's per-resolver delay column.
+    pub observed_cad_ms: Option<f64>,
+    /// Maximum number of IPv6 queries in one resolution ("# IPv6 Packets").
+    pub max_v6_packets: usize,
+    /// Share of runs that resolved at all.
+    pub success_pct: f64,
+}
+
+/// Summarises resolver samples.
+pub fn summarize_resolver(samples: &[ResolverSample]) -> ResolverStats {
+    let zero_delay: Vec<&ResolverSample> = samples
+        .iter()
+        .filter(|s| s.configured_delay_ms == 0)
+        .collect();
+    let v6_share_pct = if zero_delay.is_empty() {
+        0.0
+    } else {
+        100.0
+            * zero_delay
+                .iter()
+                .filter(|s| s.first_query_family == Some(Family::V6))
+                .count() as f64
+            / zero_delay.len() as f64
+    };
+    let max_v6_delay_ms = samples
+        .iter()
+        .filter(|s| s.served_over_v6)
+        .map(|s| s.configured_delay_ms)
+        .max();
+    // Per-try timeout: prefer retry gaps (retrying resolvers), fall back
+    // to the v6→v4 switch time.
+    let mut cads: Vec<f64> = samples.iter().filter_map(|s| s.v6_retry_gap_ms).collect();
+    if cads.is_empty() {
+        cads = samples.iter().filter_map(|s| s.observed_cad_ms).collect();
+    }
+    cads.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let observed_cad_ms = if cads.is_empty() {
+        None
+    } else {
+        Some(cads[cads.len() / 2])
+    };
+    ResolverStats {
+        v6_share_pct,
+        max_v6_delay_ms,
+        observed_cad_ms,
+        max_v6_packets: samples.iter().map(|s| s.v6_packets).max().unwrap_or(0),
+        success_pct: 100.0 * samples.iter().filter(|s| s.resolved).count() as f64
+            / samples.len().max(1) as f64,
+    }
+}
+
+/// Formats an optional IPv6 address count/delay for tables.
+pub fn fmt_opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+}
+
+/// Formats an optional float with one decimal.
+pub fn fmt_opt_f64(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".into())
+}
+
+/// Tracks which IP addresses the samples used — exposed for tests.
+pub fn distinct_families(order: &[Family]) -> (usize, usize) {
+    (
+        order.iter().filter(|f| **f == Family::V6).count(),
+        order.iter().filter(|f| **f == Family::V4).count(),
+    )
+}
+
+/// Helper for tests that need an address list.
+pub fn dead_addr(i: usize) -> IpAddr {
+    format!("203.0.113.{i}").parse().unwrap()
+}

@@ -1,0 +1,217 @@
+//! Standard testbed topologies (paper Figure 3): a client node and a
+//! server node on a direct link, plus the resolver testbed used in §5.3.
+
+use std::net::{IpAddr, SocketAddr};
+
+use lazyeye_authns::{serve as serve_dns, AuthConfig, AuthServer, TestDomain};
+use lazyeye_dns::{Name, Zone, ZoneSet};
+use lazyeye_net::{Host, Network};
+use lazyeye_sim::{spawn, Sim};
+
+/// The two-host local testbed: `server` runs DNS (port 53) and a web
+/// server (port 80); `client` runs the client under test.
+pub struct LocalTopology {
+    /// The simulation (owns virtual time).
+    pub sim: Sim,
+    /// The fabric.
+    pub net: Network,
+    /// Server node (dual-stack: 192.0.2.1 / 2001:db8::1).
+    pub server: Host,
+    /// Client node (dual-stack: 192.0.2.100 / 2001:db8::100).
+    pub client: Host,
+    /// Handle to the authoritative DNS instance (query log access).
+    pub auth: AuthServer,
+}
+
+/// The server's well-known addresses.
+pub fn server_v4() -> IpAddr {
+    "192.0.2.1".parse().unwrap()
+}
+
+/// The server's IPv6 address.
+pub fn server_v6() -> IpAddr {
+    "2001:db8::1".parse().unwrap()
+}
+
+/// The DNS resolver address clients use in the local topology.
+pub fn resolver_addr() -> SocketAddr {
+    SocketAddr::new(server_v4(), 53)
+}
+
+/// The standard measurement domain.
+pub fn www() -> Name {
+    Name::parse("www.hetest").unwrap()
+}
+
+/// Builds the dual-stack zone for `www.hetest` pointing at the server.
+pub fn default_zone() -> ZoneSet {
+    let mut zone = Zone::new(Name::parse("hetest").unwrap());
+    zone.a(&www(), "192.0.2.1".parse().unwrap(), 300);
+    zone.aaaa(&www(), "2001:db8::1".parse().unwrap(), 300);
+    let mut zones = ZoneSet::new();
+    zones.add(zone);
+    zones
+}
+
+/// Builds the local testbed with the given authoritative configuration.
+/// The web server accepts (and holds) connections on port 80 — Happy
+/// Eyeballs measurements only need the handshake.
+pub fn local_topology(seed: u64, auth_cfg: AuthConfig) -> LocalTopology {
+    let sim = Sim::new(seed);
+    let net = Network::new();
+    let server = net.host("server").v4("192.0.2.1").v6("2001:db8::1").build();
+    let client = net
+        .host("client")
+        .v4("192.0.2.100")
+        .v6("2001:db8::100")
+        .build();
+    let auth = AuthServer::new(auth_cfg);
+    sim.enter(|| {
+        spawn(serve_dns(server.udp_bind_any(53).unwrap(), auth.clone()));
+        let listener = server.tcp_listen_any(80).unwrap();
+        spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else {
+                    break;
+                };
+                std::mem::forget(stream);
+            }
+        });
+    });
+    LocalTopology {
+        sim,
+        net,
+        server,
+        client,
+        auth,
+    }
+}
+
+/// Local topology with the standard `www.hetest` zone.
+pub fn default_local_topology(seed: u64) -> LocalTopology {
+    local_topology(
+        seed,
+        AuthConfig {
+            zones: default_zone(),
+            ..AuthConfig::default()
+        },
+    )
+}
+
+/// Local topology with a parameter-encoded test domain (RD and selection
+/// cases). Addresses in `dead_v6`/`dead_v4` are returned by DNS but are
+/// not assigned to any host — natural blackholes.
+pub fn test_domain_topology(
+    seed: u64,
+    apex: &str,
+    v4: Vec<std::net::Ipv4Addr>,
+    v6: Vec<std::net::Ipv6Addr>,
+) -> LocalTopology {
+    local_topology(
+        seed,
+        AuthConfig {
+            test_domains: vec![TestDomain {
+                apex: Name::parse(apex).unwrap(),
+                v4,
+                v6,
+                ttl: 60,
+            }],
+            ..AuthConfig::default()
+        },
+    )
+}
+
+/// The resolver testbed of §4.2/§5.3: a root name server, a dual-stack
+/// authoritative name server for a per-run unique zone, and a resolver
+/// node that runs the software/operator profile under test.
+pub struct ResolverTopology {
+    /// The simulation.
+    pub sim: Sim,
+    /// Root name server host.
+    pub root: Host,
+    /// Authoritative name server host (the shaped target).
+    pub auth: Host,
+    /// Host the recursive resolver runs on (dual-stack).
+    pub resolver_host: Host,
+    /// Root hints to configure the resolver with.
+    pub roots: Vec<(Name, Vec<IpAddr>)>,
+    /// The unique zone apex of this run.
+    pub apex: Name,
+    /// The www name inside the zone.
+    pub qname: Name,
+}
+
+/// Builds the resolver testbed for one run. Per the paper, every run uses
+/// a unique zone apex and unique NS names so no caching can interfere.
+pub fn resolver_topology(seed: u64, run_tag: &str) -> ResolverTopology {
+    let sim = Sim::new(seed);
+    let net = Network::new();
+    let root = net
+        .host("root-ns")
+        .v4("198.41.0.4")
+        .v6("2001:503:ba3e::2:30")
+        .build();
+    let auth = net
+        .host("auth-ns")
+        .v4("192.0.2.53")
+        .v6("2001:db8:53::53")
+        .build();
+    let resolver_host = net
+        .host("resolver")
+        .v4("192.0.2.10")
+        .v6("2001:db8::10")
+        .build();
+
+    let apex = Name::parse(&format!("z{run_tag}.test")).unwrap();
+    let ns_name = apex.child("ns1").unwrap();
+    let qname = apex.child("www").unwrap();
+
+    let mut root_zone = Zone::new(Name::root());
+    root_zone.ns(&apex, &ns_name, 3600);
+    root_zone.a(&ns_name, "192.0.2.53".parse().unwrap(), 3600);
+    root_zone.aaaa(&ns_name, "2001:db8:53::53".parse().unwrap(), 3600);
+    let mut root_zones = ZoneSet::new();
+    root_zones.add(root_zone);
+
+    let mut auth_zone = Zone::new(apex.clone());
+    auth_zone.ns(&apex, &ns_name, 3600);
+    auth_zone.a(&qname, "203.0.113.80".parse().unwrap(), 300);
+    auth_zone.aaaa(&qname, "2001:db8:80::80".parse().unwrap(), 300);
+    let mut auth_zones = ZoneSet::new();
+    auth_zones.add(auth_zone);
+
+    sim.enter(|| {
+        spawn(serve_dns(
+            root.udp_bind_any(53).unwrap(),
+            AuthServer::new(AuthConfig {
+                zones: root_zones,
+                ..AuthConfig::default()
+            }),
+        ));
+        spawn(serve_dns(
+            auth.udp_bind_any(53).unwrap(),
+            AuthServer::new(AuthConfig {
+                zones: auth_zones,
+                ..AuthConfig::default()
+            }),
+        ));
+    });
+
+    let roots = vec![(
+        Name::parse("ns.root").unwrap(),
+        vec![
+            "198.41.0.4".parse::<IpAddr>().unwrap(),
+            "2001:503:ba3e::2:30".parse::<IpAddr>().unwrap(),
+        ],
+    )];
+
+    ResolverTopology {
+        sim,
+        root,
+        auth,
+        resolver_host,
+        roots,
+        apex,
+        qname,
+    }
+}

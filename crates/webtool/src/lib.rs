@@ -1,0 +1,168 @@
+//! # lazyeye-webtool — the web-based Happy Eyeballs testing tool
+//!
+//! The paper's second measurement setup (§4.3(ii)), rebuilt on the
+//! simulator: a deployment with 18 fixed delay tiers (0–5 s), dedicated
+//! dual-stack addresses and domains per tier, per-address IPv6 shaping and
+//! HTTP endpoints echoing the client's source address. Measurement
+//! sessions are evaluated purely client-side; client state persists across
+//! fetches within a session (no reset is possible on the public web),
+//! which is exactly what exposes Safari's dynamic, history-driven CAD.
+//!
+//! The CAD can only be bracketed to an interval here — e.g. Safari's
+//! `CAD ∈ (200, 250]` in the paper's App. Figure 4a — which is the
+//! fundamental resolution limit of the web-based method the paper
+//! discusses.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod deploy;
+mod resolver_check;
+mod session;
+
+pub use deploy::{
+    deploy, rd_apex, tier_domain, tier_v4, tier_v6, web_resolver_addr, WebConditions,
+    WebToolDeployment, TIERS_MS,
+};
+pub use resolver_check::{check_resolver, ResolverCheckResult, ResolverStack};
+pub use session::{
+    cad_session, rd_session, Submission, TierObservation, WebSessionResult,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyeye_authns::DelayTarget;
+    use lazyeye_clients::{figure2_clients, safari_clients, table5_population, ua};
+    use lazyeye_net::Family;
+
+    fn chrome() -> lazyeye_clients::ClientProfile {
+        figure2_clients()
+            .into_iter()
+            .find(|c| c.name == "Chrome" && c.version == "130.0")
+            .unwrap()
+    }
+
+    fn safari_desktop() -> lazyeye_clients::ClientProfile {
+        safari_clients().into_iter().find(|c| !c.mobile).unwrap()
+    }
+
+    #[test]
+    fn chromium_web_interval_brackets_300ms() {
+        let mut d = deploy(1, WebConditions::default());
+        let result = d.run_cad_session(&chrome(), 3);
+        let (last_v6, first_v4) = result.cad_interval();
+        // On a real path the handshake pays ~RTT on top of the configured
+        // tier delay, so the tier matching the CAD exactly is a race tie:
+        // the web tool brackets Chromium's 300 ms CAD with neighbouring
+        // tiers — the interval semantics of the paper's App. Figure 4a.
+        let last_v6 = last_v6.unwrap();
+        let first_v4 = first_v4.unwrap();
+        assert!(
+            (250..=300).contains(&last_v6) && (300..=350).contains(&first_v4) && last_v6 < first_v4,
+            "interval ({last_v6}, {first_v4}] must bracket 300 ms; grid:\n{}",
+            result.grid()
+        );
+    }
+
+    #[test]
+    fn safari_web_interval_is_dynamic_and_inconsistent() {
+        let mut d = deploy(2, WebConditions::default());
+        let result = d.run_cad_session(&safari_desktop(), 5);
+        let (last_v6, first_v4) = result.cad_interval();
+        // Fresh state starts at a 2 s CAD, but history from early tiers
+        // drags the dynamic CAD down — the web interval lands well below
+        // the local testbed's 2 s and repetitions disagree (mixed tiers),
+        // the paper's §5.1 Safari finding.
+        assert!(first_v4.is_some(), "grid:\n{}", result.grid());
+        assert!(
+            last_v6.unwrap() < 2000,
+            "dynamic CAD < fresh-state 2 s, got {last_v6:?}; grid:\n{}",
+            result.grid()
+        );
+        assert!(
+            result.mixed_tiers() >= 1,
+            "Safari shows inconsistent tiers; grid:\n{}",
+            result.grid()
+        );
+    }
+
+    #[test]
+    fn chromium_web_results_are_consistent() {
+        let mut d = deploy(3, WebConditions::default());
+        let result = d.run_cad_session(&chrome(), 5);
+        // Fixed-CAD clients show at most a couple of boundary-tier flips.
+        assert!(
+            result.mixed_tiers() <= 2,
+            "Chromium is consistent; grid:\n{}",
+            result.grid()
+        );
+    }
+
+    #[test]
+    fn rd_web_session_shows_safari_rd_and_chromium_stall() {
+        // Delay the AAAA answer: Safari switches to v4 past its 50 ms RD;
+        // Chromium waits for the AAAA answer (stall) and still uses v6.
+        let mut d = deploy(4, WebConditions::default());
+        let safari = d.run_rd_session(&safari_desktop(), 3, DelayTarget::Aaaa);
+        let (s_last_v6, s_first_v4) = safari.cad_interval();
+        assert!(
+            s_first_v4.unwrap() <= 100,
+            "Safari falls to v4 once AAAA misses the 50 ms RD; grid:\n{}",
+            safari.grid()
+        );
+        let _ = s_last_v6;
+
+        let mut d2 = deploy(5, WebConditions::default());
+        let chromium = d2.run_rd_session(&chrome(), 3, DelayTarget::Aaaa);
+        let (c_last_v6, c_first_v4) = chromium.cad_interval();
+        // Chromium has no RD: it waits out the AAAA delay and keeps using
+        // IPv6 — until the delay reaches the stub resolver's 5 s timeout,
+        // at which point (and only then) IPv4 is used. That is the §5.2
+        // "delegation of timeouts to resolvers" in one grid.
+        assert!(
+            c_last_v6.unwrap() >= 4000,
+            "Chromium keeps v6 through multi-second AAAA delays; grid:\n{}",
+            chromium.grid()
+        );
+        assert!(
+            c_first_v4.is_none() || c_first_v4.unwrap() >= 5000,
+            "IPv4 only once the resolver timeout is hit; grid:\n{}",
+            chromium.grid()
+        );
+    }
+
+    #[test]
+    fn campaign_produces_parsable_submissions() {
+        let mut d = deploy(6, WebConditions::default());
+        let population: Vec<_> = table5_population().into_iter().take(4).collect();
+        let subs = d.run_campaign(&population, 1);
+        assert_eq!(subs.len(), 4);
+        for (sub, profile) in subs.iter().zip(&population) {
+            let parsed = ua::parse_user_agent(&sub.user_agent);
+            assert_eq!(parsed.browser, profile.name);
+            assert_eq!(parsed.os_name, profile.os);
+            assert!(!sub.result.tiers.is_empty());
+        }
+    }
+
+    #[test]
+    fn tier_majority_and_mixed() {
+        let t = TierObservation {
+            delay_ms: 100,
+            families: vec![Some(Family::V6), Some(Family::V4), Some(Family::V6)],
+        };
+        assert_eq!(t.majority(), Some(Family::V6));
+        assert!(t.is_mixed());
+        let clean = TierObservation {
+            delay_ms: 100,
+            families: vec![Some(Family::V4); 3],
+        };
+        assert!(!clean.is_mixed());
+        let dead = TierObservation {
+            delay_ms: 100,
+            families: vec![None, None],
+        };
+        assert_eq!(dead.majority(), None);
+    }
+}

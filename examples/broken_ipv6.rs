@@ -1,0 +1,58 @@
+//! The paper's §5.2 headline finding, live: a *slow DNS A answer* stalls
+//! IPv6 connections in Chrome/Firefox-style clients, although the AAAA
+//! answer (and a perfectly healthy IPv6 path!) was available immediately.
+//!
+//! ```sh
+//! cargo run --example broken_ipv6
+//! ```
+
+use lazy_eye_inspection::testbed::{
+    run_rd_case, DelayedRecord, RdCaseConfig, SweepSpec,
+};
+
+fn main() {
+    let chrome = lazy_eye_inspection::clients::figure2_clients()
+        .into_iter()
+        .find(|c| c.name == "Chrome" && c.version == "130.0")
+        .unwrap();
+    let safari = lazy_eye_inspection::clients::safari_clients()
+        .into_iter()
+        .find(|c| !c.mobile)
+        .unwrap();
+    let fixed = lazy_eye_inspection::clients::chromium_hev3_flag();
+
+    println!(
+        "Scenario: IPv6 fully healthy, AAAA answers instantly — but the A\n\
+         record answer is delayed. When does the client actually connect?\n"
+    );
+    println!(
+        "{:<22} {:>10} {:>16} {:>9}",
+        "client", "A delay", "first SYN at", "family"
+    );
+    for (profile, label) in [
+        (&chrome, "Chrome 130.0"),
+        (&safari, "Safari 17.6"),
+        (&fixed, "Chromium+HEv3 flag"),
+    ] {
+        for delay_ms in [0u64, 500, 1500] {
+            let cfg = RdCaseConfig {
+                delayed: DelayedRecord::A,
+                sweep: SweepSpec::new(delay_ms, delay_ms, 1),
+                repetitions: 1,
+            };
+            let s = &run_rd_case(profile, &cfg, 3)[0];
+            println!(
+                "{:<22} {:>8}ms {:>13.1}ms {:>9}",
+                label,
+                delay_ms,
+                s.first_attempt_ms.unwrap_or(f64::NAN),
+                s.family.map(|f| f.label()).unwrap_or("FAILED"),
+            );
+        }
+    }
+    println!(
+        "\nChrome waits for the A answer before connecting at all — the slow\n\
+         IPv4 lookup delays IPv6, 'even if it is not at fault' (§5.2). Safari's\n\
+         Resolution Delay avoids it, and so does Chromium's HEv3 feature flag."
+    );
+}

@@ -1,0 +1,49 @@
+//! A miniature Table 3: run three resolver softwares against a
+//! delegation whose IPv6 path is shaped, and watch their IP version
+//! preference and fallback behaviour emerge at the authoritative server.
+//!
+//! ```sh
+//! cargo run --example resolver_survey
+//! ```
+
+use lazy_eye_inspection::resolver::{bind9, knot, unbound};
+use lazy_eye_inspection::testbed::{
+    run_resolver_case, summarize_resolver, ResolverCaseConfig, SweepSpec,
+};
+
+fn main() {
+    println!(
+        "Resolver survey: per-run unique zones, dual-stack authoritative\n\
+         name server, IPv6 responses delayed per sweep (the paper's §4.2).\n"
+    );
+    println!(
+        "{:<16} {:>11} {:>15} {:>12} {:>13}",
+        "software", "IPv6 share", "max v6 delay", "per-try t/o", "max v6 pkts"
+    );
+    for profile in [bind9(), unbound(), knot()] {
+        let cfg = ResolverCaseConfig {
+            sweep: SweepSpec::new(0, 1000, 200),
+            repetitions: 10,
+        };
+        let stats = summarize_resolver(&run_resolver_case(&profile, &cfg, 17));
+        println!(
+            "{:<16} {:>10.1}% {:>12} ms {:>9} ms {:>13}",
+            profile.name,
+            stats.v6_share_pct,
+            stats
+                .max_v6_delay_ms
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            stats
+                .observed_cad_ms
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            stats.max_v6_packets
+        );
+    }
+    println!(
+        "\nBIND always prefers IPv6 and falls back after 800 ms; Unbound picks\n\
+         IPv6 about half the time and retries the same address with a 3x\n\
+         backoff; Knot sits near 25 % — the §5.3 findings."
+    );
+}

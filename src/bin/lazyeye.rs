@@ -1,0 +1,250 @@
+//! `lazyeye` — the testbed's command-line front end.
+//!
+//! The paper's framework is config-driven (App. B, Figure 3): a single
+//! configuration selects test cases, sweep ranges and clients. This binary
+//! is that interface:
+//!
+//! ```sh
+//! lazyeye clients                       # list client profiles
+//! lazyeye resolvers                     # list resolver profiles
+//! lazyeye cad --client chrome-130.0    # CAD sweep for one client
+//! lazyeye rd  --client safari-17.6 --record a
+//! lazyeye selection --client safari-17.6
+//! lazyeye resolver --profile Unbound
+//! lazyeye config                        # print a default JSON config
+//! lazyeye run --config testbed.json    # run every enabled case
+//! ```
+
+use std::process::ExitCode;
+
+use lazy_eye_inspection::clients::{figure2_clients, safari_clients, ClientProfile};
+use lazy_eye_inspection::net::Family;
+use lazy_eye_inspection::resolver::all_profiles;
+use lazy_eye_inspection::testbed::{
+    run_cad_case, run_rd_case, run_resolver_case, run_selection_case, summarize_cad,
+    summarize_rd, summarize_resolver, CadCaseConfig, DelayedRecord, RdCaseConfig,
+    ResolverCaseConfig, SelectionCaseConfig, SweepSpec, Table, TestbedConfig,
+};
+
+fn all_clients() -> Vec<ClientProfile> {
+    let mut v = figure2_clients();
+    v.extend(safari_clients());
+    v.push(lazy_eye_inspection::clients::chromium_hev3_flag());
+    v
+}
+
+fn find_client(id: &str) -> Option<ClientProfile> {
+    all_clients().into_iter().find(|c| c.id() == id)
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lazyeye <command> [options]\n\
+         commands:\n\
+           clients                         list client profiles (ids)\n\
+           resolvers                       list resolver profiles\n\
+           cad       --client <id> [--from ms --to ms --step ms --reps n]\n\
+           rd        --client <id> [--record aaaa|a] [--delay ms]\n\
+           selection --client <id>\n\
+           resolver  --profile <name> [--reps n]\n\
+           config                          print a default JSON config\n\
+           run       --config <file.json>  run all enabled cases\n"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "clients" => {
+            let mut t = Table::new("Client profiles", vec!["id", "engine", "CAD", "RD"]);
+            for c in all_clients() {
+                t.row(vec![
+                    c.id(),
+                    format!("{:?}", c.engine),
+                    c.fixed_cad()
+                        .map(|d| format!("{} ms", d.as_millis()))
+                        .unwrap_or_else(|| "dynamic".into()),
+                    c.he.resolution_delay
+                        .map(|d| format!("{} ms", d.as_millis()))
+                        .unwrap_or_else(|| "-".into()),
+                ]);
+            }
+            println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        "resolvers" => {
+            let mut t = Table::new(
+                "Resolver profiles",
+                vec!["name", "kind", "timeout", "v6 pref", "notes"],
+            );
+            for p in all_profiles() {
+                t.row(vec![
+                    p.name.into(),
+                    format!("{:?}", p.kind),
+                    format!("{} ms", p.policy.server_timeout.as_millis()),
+                    format!("{:?}", p.policy.v6_preference),
+                    p.notes.into(),
+                ]);
+            }
+            println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        "cad" => {
+            let Some(id) = arg_value(&args, "--client") else {
+                return usage();
+            };
+            let Some(profile) = find_client(&id) else {
+                eprintln!("unknown client {id:?} (try `lazyeye clients`)");
+                return ExitCode::FAILURE;
+            };
+            let from = arg_value(&args, "--from").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let to = arg_value(&args, "--to").and_then(|v| v.parse().ok()).unwrap_or(400);
+            let step = arg_value(&args, "--step").and_then(|v| v.parse().ok()).unwrap_or(25);
+            let reps = arg_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(1);
+            let cfg = CadCaseConfig {
+                sweep: SweepSpec::new(from, to, step),
+                repetitions: reps,
+            };
+            let samples = run_cad_case(&profile, &cfg, 1);
+            let strip: String = samples
+                .iter()
+                .map(|s| match s.family {
+                    Some(Family::V6) => '6',
+                    Some(Family::V4) => '4',
+                    None => 'x',
+                })
+                .collect();
+            println!("{}  {}", profile.figure2_label(), strip);
+            let s = summarize_cad(&samples);
+            println!(
+                "last v6: {:?} ms, first v4: {:?} ms, measured CAD: {:?} ms",
+                s.last_v6_delay_ms, s.first_v4_delay_ms, s.measured_cad_ms
+            );
+            ExitCode::SUCCESS
+        }
+        "rd" => {
+            let Some(id) = arg_value(&args, "--client") else {
+                return usage();
+            };
+            let Some(profile) = find_client(&id) else {
+                eprintln!("unknown client {id:?}");
+                return ExitCode::FAILURE;
+            };
+            let record = match arg_value(&args, "--record").as_deref() {
+                Some("a") => DelayedRecord::A,
+                _ => DelayedRecord::Aaaa,
+            };
+            let delay = arg_value(&args, "--delay").and_then(|v| v.parse().ok()).unwrap_or(400);
+            let cfg = RdCaseConfig {
+                delayed: record,
+                sweep: SweepSpec::new(delay, delay, 1),
+                repetitions: 3,
+            };
+            let samples = run_rd_case(&profile, &cfg, 1);
+            for s in &samples {
+                println!(
+                    "delay {} ms rep {}: family {:?}, first SYN at {:?} ms, RD used: {}",
+                    s.configured_delay_ms, s.rep, s.family, s.first_attempt_ms, s.used_rd
+                );
+            }
+            let sum = summarize_rd(&samples);
+            println!("implements RD: {}", sum.implements_rd);
+            ExitCode::SUCCESS
+        }
+        "selection" => {
+            let Some(id) = arg_value(&args, "--client") else {
+                return usage();
+            };
+            let Some(profile) = find_client(&id) else {
+                eprintln!("unknown client {id:?}");
+                return ExitCode::FAILURE;
+            };
+            let r = run_selection_case(&profile, &SelectionCaseConfig::default(), 1);
+            let order: String = r
+                .order
+                .iter()
+                .map(|f| if *f == Family::V6 { '6' } else { '4' })
+                .collect();
+            println!("attempt order: {order}");
+            println!("addresses used: {} IPv6, {} IPv4", r.v6_used, r.v4_used);
+            ExitCode::SUCCESS
+        }
+        "resolver" => {
+            let Some(name) = arg_value(&args, "--profile") else {
+                return usage();
+            };
+            let Some(profile) = all_profiles().into_iter().find(|p| p.name == name) else {
+                eprintln!("unknown resolver {name:?} (try `lazyeye resolvers`)");
+                return ExitCode::FAILURE;
+            };
+            let reps = arg_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(20);
+            let cfg = ResolverCaseConfig {
+                sweep: SweepSpec::new(0, profile.policy.server_timeout.as_millis() as u64 + 400, 200),
+                repetitions: reps,
+            };
+            let stats = summarize_resolver(&run_resolver_case(&profile, &cfg, 1));
+            println!(
+                "{}: IPv6 share {:.1} %, max v6 delay {:?} ms, per-try timeout {:?} ms, max v6 packets {}",
+                profile.name,
+                stats.v6_share_pct,
+                stats.max_v6_delay_ms,
+                stats.observed_cad_ms,
+                stats.max_v6_packets
+            );
+            ExitCode::SUCCESS
+        }
+        "config" => {
+            println!("{}", TestbedConfig::default().to_json());
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(path) = arg_value(&args, "--config") else {
+                return usage();
+            };
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                eprintln!("cannot read {path}");
+                return ExitCode::FAILURE;
+            };
+            let cfg = match TestbedConfig::from_json(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("bad config: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let chrome = figure2_clients()
+                .into_iter()
+                .find(|c| c.name == "Chrome" && c.version == "130.0")
+                .unwrap();
+            if let Some(c) = &cfg.cad {
+                let s = summarize_cad(&run_cad_case(&chrome, c, cfg.seed));
+                println!("[cad] switchover at {:?} ms", s.first_v4_delay_ms);
+            }
+            if let Some(c) = &cfg.rd {
+                let s = summarize_rd(&run_rd_case(&chrome, c, cfg.seed));
+                println!("[rd] implements RD: {}", s.implements_rd);
+            }
+            if let Some(c) = &cfg.selection {
+                let s = run_selection_case(&chrome, c, cfg.seed);
+                println!("[selection] {} v6 + {} v4 used", s.v6_used, s.v4_used);
+            }
+            if let Some(c) = &cfg.resolver {
+                let p = lazy_eye_inspection::resolver::unbound();
+                let s = summarize_resolver(&run_resolver_case(&p, c, cfg.seed));
+                println!("[resolver] Unbound v6 share {:.1} %", s.v6_share_pct);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,156 @@
+//! The paper's headline findings, each as one executable assertion.
+//! These are the "who wins, by what factor, where are the crossovers"
+//! checks that make the reproduction verifiable end-to-end.
+
+use lazy_eye_inspection::net::Family;
+use lazy_eye_inspection::testbed::{
+    evaluate_client_features, run_cad_case, run_rd_case, run_selection_case, summarize_cad,
+    summarize_rd, CadCaseConfig, DelayedRecord, RdCaseConfig, SelectionCaseConfig, SweepSpec,
+};
+
+fn by_name(name: &str) -> lazy_eye_inspection::clients::ClientProfile {
+    lazy_eye_inspection::clients::figure2_clients()
+        .into_iter()
+        .filter(|c| c.name == name)
+        .next_back()
+        .unwrap()
+}
+
+fn safari() -> lazy_eye_inspection::clients::ClientProfile {
+    lazy_eye_inspection::clients::safari_clients()
+        .into_iter()
+        .find(|c| !c.mobile)
+        .unwrap()
+}
+
+/// §5.1 / Figure 2: the CAD ordering — curl < Firefox < Chromium ≪ Safari.
+#[test]
+fn finding_cad_ordering_across_clients() {
+    let mut measured = Vec::new();
+    for name in ["curl", "Firefox", "Chrome"] {
+        let cfg = CadCaseConfig {
+            sweep: SweepSpec::new(1000, 1000, 1),
+            repetitions: 1,
+        };
+        let s = summarize_cad(&run_cad_case(&by_name(name), &cfg, 21));
+        measured.push((name, s.measured_cad_ms.unwrap()));
+    }
+    assert_eq!(measured[0].1, 200.0, "curl");
+    assert_eq!(measured[1].1, 250.0, "Firefox (RFC value)");
+    assert_eq!(measured[2].1, 300.0, "Chromium family");
+    // Safari fresh state: 2 s — roughly an order of magnitude beyond the
+    // RFC recommendation.
+    let cfg = CadCaseConfig {
+        sweep: SweepSpec::new(4000, 4000, 1),
+        repetitions: 1,
+    };
+    let s = summarize_cad(&run_cad_case(&safari(), &cfg, 22));
+    assert_eq!(s.measured_cad_ms.unwrap(), 2000.0, "Safari local 2 s");
+}
+
+/// §5.1: "all client applications prefer IPv6 if both versions are
+/// offered".
+#[test]
+fn finding_everyone_prefers_ipv6() {
+    for profile in lazy_eye_inspection::clients::table2_clients() {
+        let row = evaluate_client_features(&profile, 23);
+        assert!(row.prefers_v6, "{}", row.client);
+    }
+}
+
+/// §5.2: "only Safari actually implements [the RD]", at the RFC's 50 ms.
+#[test]
+fn finding_only_safari_implements_rd_at_50ms() {
+    let cfg = RdCaseConfig {
+        delayed: DelayedRecord::Aaaa,
+        sweep: SweepSpec::new(30, 80, 10),
+        repetitions: 1,
+    };
+    let s = summarize_rd(&run_rd_case(&safari(), &cfg, 24));
+    assert!(s.implements_rd);
+    // AAAA answers within 50 ms keep IPv6; beyond, IPv4 takes over.
+    assert!(
+        (40..=60).contains(&s.last_v6_delay_ms.unwrap()),
+        "Safari RD boundary at ~50 ms, got {:?}",
+        s.last_v6_delay_ms
+    );
+    for name in ["Chrome", "Firefox", "curl", "wget"] {
+        let s = summarize_rd(&run_rd_case(&by_name(name), &cfg, 24));
+        assert!(!s.implements_rd, "{name}");
+        // No RD: AAAA delays below the resolver timeout never flip to v4.
+        assert!(s.last_v6_delay_ms.unwrap() >= 80, "{name}");
+    }
+}
+
+/// §5.2 + Figure 5: Safari uses all 10+10 addresses with FAFC=2; everyone
+/// else stops after one per family.
+#[test]
+fn finding_address_selection_depth() {
+    let cfg = SelectionCaseConfig::default();
+    let s = run_selection_case(&safari(), &cfg, 25);
+    assert_eq!((s.v6_used, s.v4_used), (10, 10));
+    assert_eq!(&s.order[..3], &[Family::V6, Family::V6, Family::V4]);
+    for name in ["Chrome", "Firefox", "curl"] {
+        let r = run_selection_case(&by_name(name), &cfg, 25);
+        assert_eq!((r.v6_used, r.v4_used), (1, 1), "{name}");
+    }
+    let w = run_selection_case(&by_name("wget"), &cfg, 25);
+    assert_eq!((w.v6_used, w.v4_used), (1, 0), "wget: no IPv4 at all");
+}
+
+/// §5.2: the A-record stall — "slow A queries also slow down IPv6, even
+/// if it is not at fault" — quantified, and its HEv3-flag fix.
+#[test]
+fn finding_a_record_stall_factor() {
+    let cfg = RdCaseConfig {
+        delayed: DelayedRecord::A,
+        sweep: SweepSpec::new(1000, 1000, 1),
+        repetitions: 1,
+    };
+    let chrome = run_rd_case(&by_name("Chrome"), &cfg, 26)[0]
+        .first_attempt_ms
+        .unwrap();
+    let safari_t = run_rd_case(&safari(), &cfg, 26)[0].first_attempt_ms.unwrap();
+    let fixed = run_rd_case(&lazy_eye_inspection::clients::chromium_hev3_flag(), &cfg, 26)[0]
+        .first_attempt_ms
+        .unwrap();
+    assert!(
+        chrome / safari_t > 100.0,
+        "stall factor: Chrome {chrome} ms vs Safari {safari_t} ms"
+    );
+    assert!(fixed < 50.0, "HEv3 flag removes the stall ({fixed} ms)");
+}
+
+/// §5.3: resolver behaviours — BIND always-v6/800 ms, OpenDNS HE-style
+/// 50 ms, Google never-v6.
+#[test]
+fn finding_resolver_extremes() {
+    use lazy_eye_inspection::resolver::open_resolver_profiles;
+    use lazy_eye_inspection::testbed::{run_resolver_case, summarize_resolver, ResolverCaseConfig};
+    let find = |name: &str| {
+        open_resolver_profiles()
+            .into_iter()
+            .find(|p| p.name == name)
+            .unwrap()
+    };
+    let cfg = ResolverCaseConfig {
+        sweep: SweepSpec::new(0, 100, 50),
+        repetitions: 6,
+    };
+    let opendns = summarize_resolver(&run_resolver_case(&find("OpenDNS"), &cfg, 27));
+    assert_eq!(opendns.v6_share_pct, 100.0);
+    let google = summarize_resolver(&run_resolver_case(&find("Google P. DNS"), &cfg, 27));
+    assert_eq!(google.v6_share_pct, 0.0);
+    assert_eq!(google.max_v6_packets, 0);
+
+    let bind = summarize_resolver(&run_resolver_case(
+        &lazy_eye_inspection::resolver::bind9(),
+        &ResolverCaseConfig {
+            sweep: SweepSpec::new(1000, 1000, 1),
+            repetitions: 3,
+        },
+        28,
+    ));
+    let cad = bind.observed_cad_ms.unwrap();
+    assert!((795.0..815.0).contains(&cad), "BIND timeout ≈ 800 ms, got {cad}");
+}
