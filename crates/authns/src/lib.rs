@@ -116,7 +116,13 @@ mod tests {
         let server = AuthServer::new(static_config());
         let resp = sim.block_on(async move {
             spawn(serve(ns.udp_bind_any(53).unwrap(), server));
-            ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::A).await
+            ask(
+                &client,
+                sa("192.0.2.53", 53),
+                &n("www.example.com"),
+                RrType::A,
+            )
+            .await
         });
         assert_eq!(resp.header.rcode, Rcode::NoError);
         assert!(resp.header.aa);
@@ -132,7 +138,13 @@ mod tests {
         let server = AuthServer::new(static_config());
         let resp = sim.block_on(async move {
             spawn(serve(ns.udp_bind_any(53).unwrap(), server));
-            ask(&client, sa("192.0.2.53", 53), &n("gone.example.com"), RrType::A).await
+            ask(
+                &client,
+                sa("192.0.2.53", 53),
+                &n("gone.example.com"),
+                RrType::A,
+            )
+            .await
         });
         assert_eq!(resp.header.rcode, Rcode::NxDomain);
         assert_eq!(resp.authorities.len(), 1);
@@ -159,10 +171,22 @@ mod tests {
         let (a_ms, aaaa_ms) = sim.block_on(async move {
             spawn(serve(ns.udp_bind_any(53).unwrap(), server));
             let t0 = lazyeye_sim::now();
-            ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::A).await;
+            ask(
+                &client,
+                sa("192.0.2.53", 53),
+                &n("www.example.com"),
+                RrType::A,
+            )
+            .await;
             let a_ms = (lazyeye_sim::now() - t0).as_millis();
             let t1 = lazyeye_sim::now();
-            ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::Aaaa).await;
+            ask(
+                &client,
+                sa("192.0.2.53", 53),
+                &n("www.example.com"),
+                RrType::Aaaa,
+            )
+            .await;
             (a_ms, (lazyeye_sim::now() - t1).as_millis())
         });
         assert!(a_ms < 5, "A took {a_ms} ms");
@@ -192,7 +216,11 @@ mod tests {
             let aaaa_ms = (lazyeye_sim::now() - t0).as_millis();
             let t1 = lazyeye_sim::now();
             ask(&client, sa("192.0.2.53", 53), &qname, RrType::A).await;
-            (aaaa_ms, (lazyeye_sim::now() - t1).as_millis(), !resp.answers.is_empty())
+            (
+                aaaa_ms,
+                (lazyeye_sim::now() - t1).as_millis(),
+                !resp.answers.is_empty(),
+            )
         });
         assert!(resp_has_answers);
         assert!((150..170).contains(&aaaa_ms), "AAAA took {aaaa_ms} ms");
@@ -233,8 +261,9 @@ mod tests {
     #[test]
     fn count_caps_addresses() {
         let (mut sim, _net, ns, client) = testbed();
-        let v4: Vec<std::net::Ipv4Addr> =
-            (1..=10).map(|i| format!("203.0.113.{i}").parse().unwrap()).collect();
+        let v4: Vec<std::net::Ipv4Addr> = (1..=10)
+            .map(|i| format!("203.0.113.{i}").parse().unwrap())
+            .collect();
         let server = AuthServer::new(AuthConfig {
             test_domains: vec![TestDomain {
                 apex: n("sel.test"),
@@ -293,7 +322,10 @@ mod tests {
             ask(&client, sa("192.0.2.53", 53), &fast, RrType::A).await;
             (lazyeye_sim::now() - t0).as_millis()
         });
-        assert!(fast_ms < 10, "fast query stalled {fast_ms} ms behind slow one");
+        assert!(
+            fast_ms < 10,
+            "fast query stalled {fast_ms} ms behind slow one"
+        );
     }
 
     #[test]
@@ -304,8 +336,20 @@ mod tests {
             let server = server.clone();
             async move {
                 spawn(serve(ns.udp_bind_any(53).unwrap(), server.clone()));
-                ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::Aaaa).await;
-                ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::A).await;
+                ask(
+                    &client,
+                    sa("192.0.2.53", 53),
+                    &n("www.example.com"),
+                    RrType::Aaaa,
+                )
+                .await;
+                ask(
+                    &client,
+                    sa("192.0.2.53", 53),
+                    &n("www.example.com"),
+                    RrType::A,
+                )
+                .await;
                 server.query_log()
             }
         });
@@ -369,7 +413,13 @@ mod tests {
             let sock = client.udp_bind_any(0).unwrap();
             sock.send_to(Bytes::from_static(b"not dns"), sa("192.0.2.53", 53))
                 .unwrap();
-            ask(&client, sa("192.0.2.53", 53), &n("www.example.com"), RrType::A).await
+            ask(
+                &client,
+                sa("192.0.2.53", 53),
+                &n("www.example.com"),
+                RrType::A,
+            )
+            .await
         });
         assert_eq!(resp.answers.len(), 1);
     }

@@ -112,8 +112,7 @@ impl AuthServer {
                 let label = String::from_utf8_lossy(label_bytes).to_string();
                 // Parameters live in the *first* label of the name.
                 let first = String::from_utf8_lossy(&qname.labels()[0]).to_string();
-                let params = parse_test_label(&first)
-                    .or_else(|| parse_test_label(&label));
+                let params = parse_test_label(&first).or_else(|| parse_test_label(&label));
                 if let Some(p) = params {
                     let (resp, extra) = self.answer_test(query, &qname, qtype, td, &p);
                     return (resp, delay + extra);
@@ -158,9 +157,7 @@ impl AuthServer {
         p: &TestParams,
     ) -> (Message, Duration) {
         let mut resp = Message::response_to(query, Rcode::NoError, true);
-        let excluded = |t: RrType| -> bool {
-            p.exclude.map(|x| x.applies_to(t)).unwrap_or(false)
-        };
+        let excluded = |t: RrType| -> bool { p.exclude.map(|x| x.applies_to(t)).unwrap_or(false) };
         match qtype {
             RrType::A if !excluded(RrType::A) => {
                 let n = p.count.unwrap_or(td.v4.len()).min(td.v4.len());

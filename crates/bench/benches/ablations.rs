@@ -15,9 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use lazyeye_clients::Client;
 use lazyeye_core::{CadMode, InterlaceStrategy};
 use lazyeye_net::Family;
-use lazyeye_testbed::topology::{
-    default_local_topology, resolver_addr, test_domain_topology, www,
-};
+use lazyeye_testbed::topology::{default_local_topology, resolver_addr, test_domain_topology, www};
 use std::time::Duration;
 
 fn chrome() -> lazyeye_clients::ClientProfile {
@@ -42,8 +40,12 @@ fn ttc_with_cad(cad: CadMode, warm_rtt: Option<Duration>) -> Duration {
     profile.he.cad = cad;
     let client = Client::new(profile, topo.client.clone(), vec![resolver_addr()]);
     if let Some(rtt) = warm_rtt {
-        client.history().record_rtt("2001:db8::1".parse().unwrap(), rtt);
-        client.history().record_rtt("192.0.2.1".parse().unwrap(), rtt);
+        client
+            .history()
+            .record_rtt("2001:db8::1".parse().unwrap(), rtt);
+        client
+            .history()
+            .record_rtt("192.0.2.1".parse().unwrap(), rtt);
     }
     let res = topo
         .sim
@@ -100,7 +102,12 @@ fn bench(c: &mut Criterion) {
 
     // --- Ablation 3: interlacing with dead preferred addresses ----------
     for (label, strategy) in [
-        ("rfc8305", InterlaceStrategy::Rfc8305 { first_family_count: 1 }),
+        (
+            "rfc8305",
+            InterlaceStrategy::Rfc8305 {
+                first_family_count: 1,
+            },
+        ),
         ("safari", InterlaceStrategy::SafariStyle),
         ("hev1", InterlaceStrategy::Hev1SingleFallback),
     ] {
@@ -120,8 +127,7 @@ fn bench(c: &mut Criterion) {
                 profile.he.interlace = strategy;
                 profile.he.quirks.stop_after_first_pair = false;
                 profile.he.attempt_timeout = Duration::from_secs(2);
-                let client =
-                    Client::new(profile, topo.client.clone(), vec![resolver_addr()]);
+                let client = Client::new(profile, topo.client.clone(), vec![resolver_addr()]);
                 let qname = lazyeye_dns::Name::parse("d0-tnone-nabl.abl.test").unwrap();
                 let res = topo
                     .sim
@@ -153,7 +159,10 @@ fn bench(c: &mut Criterion) {
                 let resolver = RecursiveResolver::new(topo.resolver_host.clone(), cfg);
                 let qname = topo.qname.clone();
                 let ok = topo.sim.block_on(async move {
-                    resolver.resolve(&qname, lazyeye_dns::RrType::A).await.is_ok()
+                    resolver
+                        .resolve(&qname, lazyeye_dns::RrType::A)
+                        .await
+                        .is_ok()
                 });
                 let v6_rx = topo
                     .auth

@@ -1,0 +1,69 @@
+//! Criterion: campaign orchestrator throughput — end-to-end runs/second
+//! at 1, 4 and 8 workers, tracking scheduler + aggregation overhead
+//! against the single-run baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazyeye_campaign::{run_campaign, CampaignSpec, NetemSpec, SelectionPlan};
+use lazyeye_testbed::{CadCaseConfig, ResolverCaseConfig, SweepSpec};
+
+/// A ~100-run matrix across all four case families: large enough for the
+/// stealing to matter, small enough to iterate in a bench window.
+fn bench_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "bench".into(),
+        seed: 7,
+        clients: vec![
+            "chrome-130.0".into(),
+            "firefox-132.0".into(),
+            "curl-7.88.1".into(),
+        ],
+        resolvers: vec!["BIND".into(), "Unbound".into()],
+        netem: vec![NetemSpec::baseline()],
+        cad: Some(CadCaseConfig {
+            sweep: SweepSpec::new(0, 400, 50),
+            repetitions: 2,
+        }),
+        rd: None,
+        selection: Some(SelectionPlan {
+            repetitions: 2,
+            ..SelectionPlan::default()
+        }),
+        resolver: Some(ResolverCaseConfig {
+            sweep: SweepSpec::new(0, 600, 200),
+            repetitions: 2,
+        }),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for jobs in [1usize, 4, 8] {
+        c.bench_function(&format!("campaign_100runs_jobs{jobs}"), |b| {
+            let spec = bench_spec();
+            b.iter(|| {
+                let report = run_campaign(&spec, jobs, |_, _| {}).unwrap();
+                std::hint::black_box(report.total_runs)
+            })
+        });
+    }
+
+    // Orchestration-only overhead: expansion + aggregation of an already
+    // tiny workload, isolating the non-simulation cost.
+    c.bench_function("campaign_expand_625runs", |b| {
+        let spec = CampaignSpec::default();
+        b.iter(|| std::hint::black_box(lazyeye_campaign::expand(&spec).unwrap().len()))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

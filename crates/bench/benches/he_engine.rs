@@ -57,10 +57,9 @@ fn bench(c: &mut Criterion) {
             let http_host = topo.server.clone();
             topo.sim.enter(|| {
                 let listener = http_host.tcp_listen_any(8080).unwrap();
-                let handler: lazyeye_clients::http::Handler =
-                    std::rc::Rc::new(|_req, peer| {
-                        lazyeye_clients::http::HttpResponse::ok(format!("{}", peer.ip()))
-                    });
+                let handler: lazyeye_clients::http::Handler = std::rc::Rc::new(|_req, peer| {
+                    lazyeye_clients::http::HttpResponse::ok(format!("{}", peer.ip()))
+                });
                 lazyeye_sim::spawn(lazyeye_clients::http::serve_http(listener, handler));
             });
             let client = Client::new(chrome(), topo.client.clone(), vec![resolver_addr()]);

@@ -25,7 +25,12 @@ fn main() {
 
     let mut summary = Table::new(
         "Figure 2 summary — observed switchover per client",
-        vec!["Client", "last IPv6 delay", "first IPv4 delay", "measured CAD"],
+        vec![
+            "Client",
+            "last IPv6 delay",
+            "first IPv4 delay",
+            "measured CAD",
+        ],
     );
 
     let delays = sweep.values();
@@ -37,8 +42,7 @@ fn main() {
 
     for (i, profile) in figure2_clients().into_iter().enumerate() {
         let samples = run_cad_case(&profile, &cfg, 1000 + i as u64);
-        let cells: Vec<Option<lazyeye_net::Family>> =
-            samples.iter().map(|s| s.family).collect();
+        let cells: Vec<Option<lazyeye_net::Family>> = samples.iter().map(|s| s.family).collect();
         emit(
             "fig2",
             &format!("{:>28}  {}", profile.figure2_label(), strip(&cells)),

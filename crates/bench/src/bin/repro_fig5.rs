@@ -20,8 +20,7 @@ fn main() {
         clients.push(
             figure2_clients()
                 .into_iter()
-                .filter(|c| c.name == name)
-                .next_back()
+                .rfind(|c| c.name == name)
                 .unwrap(),
         );
     }
@@ -30,8 +29,7 @@ fn main() {
         clients.push(
             figure2_clients()
                 .into_iter()
-                .filter(|c| c.name == name)
-                .next_back()
+                .rfind(|c| c.name == name)
                 .unwrap(),
         );
     }

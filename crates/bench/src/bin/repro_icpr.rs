@@ -94,16 +94,27 @@ fn main() {
     fresh("icpr");
     let mut cad_table = Table::new(
         "iCPR egress CAD (IPv6 transport delayed)",
-        vec!["Operator", "delay where v6 still used", "first delay using v4"],
+        vec![
+            "Operator",
+            "delay where v6 still used",
+            "first delay using v4",
+        ],
     );
     let mut rd_table = Table::new(
         "iCPR egress DNS timeout (AAAA answer delayed)",
-        vec!["Operator", "delay where v6 still used", "first delay using v4"],
+        vec![
+            "Operator",
+            "delay where v6 still used",
+            "first delay using v4",
+        ],
     );
 
     for (op, make) in [
         ("Akamai", icpr::akamai as fn() -> icpr::EgressProfile),
-        ("Cloudflare", icpr::cloudflare as fn() -> icpr::EgressProfile),
+        (
+            "Cloudflare",
+            icpr::cloudflare as fn() -> icpr::EgressProfile,
+        ),
     ] {
         // CAD sweep.
         let delays = [0u64, 100, 150, 200, 250, 400];
@@ -118,8 +129,12 @@ fn main() {
         }
         cad_table.row(vec![
             op.into(),
-            last_v6.map(|d| format!("{d} ms")).unwrap_or_else(|| "-".into()),
-            first_v4.map(|d| format!("{d} ms")).unwrap_or_else(|| "-".into()),
+            last_v6
+                .map(|d| format!("{d} ms"))
+                .unwrap_or_else(|| "-".into()),
+            first_v4
+                .map(|d| format!("{d} ms"))
+                .unwrap_or_else(|| "-".into()),
         ]);
 
         // DNS (RD-equivalent) sweep.
@@ -135,8 +150,12 @@ fn main() {
         }
         rd_table.row(vec![
             op.into(),
-            last_v6.map(|d| format!("{d} ms")).unwrap_or_else(|| "-".into()),
-            first_v4.map(|d| format!("{d} ms")).unwrap_or_else(|| "-".into()),
+            last_v6
+                .map(|d| format!("{d} ms"))
+                .unwrap_or_else(|| "-".into()),
+            first_v4
+                .map(|d| format!("{d} ms"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
 

@@ -30,8 +30,16 @@ fn n(s: &str) -> Name {
 fn run(neg_ttl: u32, seed: u64) -> (usize, usize) {
     let mut sim = Sim::new(seed);
     let net = Network::new();
-    let root = net.host("root").v4("198.41.0.4").v6("2001:503:ba3e::2:30").build();
-    let auth = net.host("auth").v4("192.0.2.53").v6("2001:db8:53::53").build();
+    let root = net
+        .host("root")
+        .v4("198.41.0.4")
+        .v6("2001:503:ba3e::2:30")
+        .build();
+    let auth = net
+        .host("auth")
+        .v4("192.0.2.53")
+        .v6("2001:db8:53::53")
+        .build();
     let rec = net.host("rec").v4("192.0.2.10").v6("2001:db8::10").build();
     let web = net.host("web").v4("203.0.113.80").build(); // v4-only!
     let browser = net
@@ -43,7 +51,11 @@ fn run(neg_ttl: u32, seed: u64) -> (usize, usize) {
     let mut root_zone = Zone::new(Name::root());
     root_zone.ns(&n("v4only.test"), &n("ns1.v4only.test"), 3600);
     root_zone.a(&n("ns1.v4only.test"), "192.0.2.53".parse().unwrap(), 3600);
-    root_zone.aaaa(&n("ns1.v4only.test"), "2001:db8:53::53".parse().unwrap(), 3600);
+    root_zone.aaaa(
+        &n("ns1.v4only.test"),
+        "2001:db8:53::53".parse().unwrap(),
+        3600,
+    );
     let mut root_zones = ZoneSet::new();
     root_zones.add(root_zone);
 
@@ -83,7 +95,9 @@ fn run(neg_ttl: u32, seed: u64) -> (usize, usize) {
         let listener = web.tcp_listen_any(80).unwrap();
         spawn(async move {
             loop {
-                let Ok((s, _)) = listener.accept().await else { break };
+                let Ok((s, _)) = listener.accept().await else {
+                    break;
+                };
                 std::mem::forget(s);
             }
         });

@@ -22,13 +22,7 @@ fn main() {
 
     let mut t = Table::new(
         "§5.2 — first connection attempt vs delayed A answer (AAAA instant)",
-        vec![
-            "Client",
-            "A delay",
-            "first SYN at",
-            "family",
-            "stalled?",
-        ],
+        vec!["Client", "A delay", "first SYN at", "family", "stalled?"],
     );
 
     for (profile, label) in [
@@ -51,8 +45,14 @@ fn main() {
                 label.into(),
                 format!("{delay_ms} ms"),
                 format!("{first:.1} ms"),
-                s.family.map(|f| f.label().to_string()).unwrap_or_else(|| "FAILED".into()),
-                if stalled { "STALLED".into() } else { "no".to_string() },
+                s.family
+                    .map(|f| f.label().to_string())
+                    .unwrap_or_else(|| "FAILED".into()),
+                if stalled {
+                    "STALLED".into()
+                } else {
+                    "no".to_string()
+                },
             ]);
         }
     }

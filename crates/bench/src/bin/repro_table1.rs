@@ -10,15 +10,11 @@ fn main() {
     let rows = version_params();
     let mut t = Table::new(
         "Table 1 — Happy Eyeballs parameters per version",
-        vec![
-            "Parameter",
-            "HEv1 (2012)",
-            "HEv2 (2017)",
-            "HEv3 (draft)",
-        ],
+        vec!["Parameter", "HEv1 (2012)", "HEv2 (2017)", "HEv3 (draft)"],
     );
     let cell = |i: usize, f: &dyn Fn(&lazyeye_core::VersionParams) -> String| f(&rows[i]);
-    let param_rows: Vec<(&str, Box<dyn Fn(&lazyeye_core::VersionParams) -> String>)> = vec![
+    type RowFn = Box<dyn Fn(&lazyeye_core::VersionParams) -> String>;
+    let param_rows: Vec<(&str, RowFn)> = vec![
         (
             "Considered protocols",
             Box::new(|r| r.considered_protocols.to_string()),

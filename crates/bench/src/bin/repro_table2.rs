@@ -40,10 +40,7 @@ fn main() {
                 (Some(cad), Some(lo), Some(hi)) if lo < cad + 60 && hi + 60 > cad => {
                     "consistent".into()
                 }
-                (None, _, _) => format!(
-                    "inconsistent ({} mixed tiers)",
-                    web.mixed_tiers()
-                ),
+                (None, _, _) => format!("inconsistent ({} mixed tiers)", web.mixed_tiers()),
                 _ => "deviates".into(),
             }
         };

@@ -4,7 +4,9 @@
 
 use lazyeye_bench::{emit, fast_mode, fresh};
 use lazyeye_resolver::{open_resolver_profiles, software_profiles};
-use lazyeye_testbed::{run_resolver_case, summarize_resolver, ResolverCaseConfig, SweepSpec, Table};
+use lazyeye_testbed::{
+    run_resolver_case, summarize_resolver, ResolverCaseConfig, SweepSpec, Table,
+};
 
 fn main() {
     fresh("table3");
@@ -35,7 +37,8 @@ fn main() {
             sweep: SweepSpec::new(0, 0, 1),
             repetitions: share_reps,
         };
-        let share_stats = summarize_resolver(&run_resolver_case(profile, &share_cfg, 4000 + i as u64));
+        let share_stats =
+            summarize_resolver(&run_resolver_case(profile, &share_cfg, 4000 + i as u64));
 
         // Timeout/CAD via a delay sweep around the profile's timeout.
         let t_ms = profile.policy.server_timeout.as_millis() as u64;
@@ -43,14 +46,17 @@ fn main() {
             sweep: SweepSpec::new(0, t_ms + 400, (t_ms / 4).max(50)),
             repetitions: if fast_mode() { 2 } else { 4 },
         };
-        let sweep_stats = summarize_resolver(&run_resolver_case(profile, &sweep_cfg, 5000 + i as u64));
+        let sweep_stats =
+            summarize_resolver(&run_resolver_case(profile, &sweep_cfg, 5000 + i as u64));
 
         let expected = profile
             .expected
             .map(|(share, delay, pkts)| {
                 format!(
                     "{share:.1} % / {} / {pkts}",
-                    delay.map(|d| format!("{d} ms")).unwrap_or_else(|| "-".into())
+                    delay
+                        .map(|d| format!("{d} ms"))
+                        .unwrap_or_else(|| "-".into())
                 )
             })
             .unwrap_or_else(|| "-".into());

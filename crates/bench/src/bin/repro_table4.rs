@@ -24,7 +24,12 @@ fn main() {
             p.name.to_string(),
             p.v4_addrs.to_string(),
             p.v6_addrs.to_string(),
-            if p.ipv6_only_capable { "yes" } else { "NO — excluded" }.to_string(),
+            if p.ipv6_only_capable {
+                "yes"
+            } else {
+                "NO — excluded"
+            }
+            .to_string(),
             p.notes.to_string(),
         ]);
     }

@@ -76,5 +76,7 @@ pub fn strip(cells: &[Option<lazyeye_net::Family>]) -> String {
 /// `fast mode` reduces sweep resolution for quick runs
 /// (`LAZYEYE_FAST=1`).
 pub fn fast_mode() -> bool {
-    std::env::var("LAZYEYE_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("LAZYEYE_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }

@@ -1,0 +1,302 @@
+//! The sharded executor: fans campaign runs out across worker threads.
+//!
+//! Each worker owns fresh `Sim` instances per run — the in-process
+//! equivalent of the paper's container reset — so runs are isolated and
+//! their outputs independent of scheduling. Work distribution is a
+//! work-stealing scheme: runs are striped across per-worker deques up
+//! front; a worker drains its own deque from the front and, when empty,
+//! steals the back half of the longest other deque. Results are keyed by
+//! run index, so the output vector — and everything derived from it — is
+//! byte-identical whatever the worker count.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+use lazyeye_clients::ClientProfile;
+use lazyeye_net::NetemRule;
+use lazyeye_resolver::ResolverProfile;
+use lazyeye_testbed::{
+    run_cad_once, run_rd_once, run_resolver_once, run_selection_case, CadSample, RdSample,
+    ResolverSample, SelectionCaseConfig, SelectionResult,
+};
+
+use crate::plan::{resolve_clients, resolve_resolvers, RunKind, RunSpec, SpecError};
+use crate::spec::CampaignSpec;
+
+/// The measured outcome of one run (a per-run reduction of the raw packet
+/// capture — raw samples never leave the worker).
+#[derive(Clone, Debug)]
+pub enum RunOutput {
+    /// CAD run outcome.
+    Cad(CadSample),
+    /// RD run outcome.
+    Rd(RdSample),
+    /// Selection run outcome.
+    Selection(SelectionResult),
+    /// Resolver run outcome.
+    Resolver(ResolverSample),
+}
+
+/// Pre-resolved lookup tables the workers need: profile objects and netem
+/// rules by name. Shared immutably across all workers.
+pub struct RunContext {
+    clients: HashMap<String, ClientProfile>,
+    resolvers: HashMap<String, ResolverProfile>,
+    netem: HashMap<String, Vec<NetemRule>>,
+    selection: SelectionCaseConfig,
+}
+
+impl RunContext {
+    /// Builds the context for a spec (resolving ids up front so workers
+    /// never fail on lookups).
+    pub fn new(spec: &CampaignSpec) -> Result<RunContext, SpecError> {
+        let clients = resolve_clients(spec)?
+            .into_iter()
+            .map(|c| (c.id(), c))
+            .collect();
+        let resolvers = resolve_resolvers(spec)?
+            .into_iter()
+            .map(|p| (p.name.to_string(), p))
+            .collect();
+        let mut netem: HashMap<String, Vec<NetemRule>> = spec
+            .netem
+            .iter()
+            .map(|n| (n.label.clone(), n.rules()))
+            .collect();
+        netem
+            .entry(crate::spec::NetemSpec::baseline().label)
+            .or_default();
+        let selection = spec
+            .selection
+            .as_ref()
+            .map(|s| SelectionCaseConfig {
+                v6_addresses: s.v6_addresses,
+                v4_addresses: s.v4_addresses,
+                attempt_timeout_ms: s.attempt_timeout_ms,
+            })
+            .unwrap_or_default();
+        Ok(RunContext {
+            clients,
+            resolvers,
+            netem,
+            selection,
+        })
+    }
+
+    fn client(&self, id: &str) -> &ClientProfile {
+        self.clients
+            .get(id)
+            .unwrap_or_else(|| panic!("run references unresolved client {id:?}"))
+    }
+}
+
+/// Executes a single run in a fresh simulation.
+pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
+    match &run.kind {
+        RunKind::Cad {
+            client,
+            netem,
+            delay_ms,
+            rep,
+        } => {
+            let extra = ctx
+                .netem
+                .get(netem)
+                .unwrap_or_else(|| panic!("run references unresolved netem {netem:?}"));
+            RunOutput::Cad(run_cad_once(
+                ctx.client(client),
+                *delay_ms,
+                *rep,
+                run.seed,
+                extra,
+            ))
+        }
+        RunKind::Rd {
+            client,
+            record,
+            delay_ms,
+            rep,
+        } => RunOutput::Rd(run_rd_once(
+            ctx.client(client),
+            *record,
+            *delay_ms,
+            *rep,
+            run.seed,
+        )),
+        RunKind::Selection { client, rep: _ } => RunOutput::Selection(run_selection_case(
+            ctx.client(client),
+            &ctx.selection,
+            run.seed,
+        )),
+        RunKind::Resolver {
+            resolver,
+            delay_ms,
+            rep,
+        } => {
+            let profile = ctx
+                .resolvers
+                .get(resolver)
+                .unwrap_or_else(|| panic!("run references unresolved resolver {resolver:?}"));
+            RunOutput::Resolver(run_resolver_once(profile, *delay_ms, *rep, run.seed))
+        }
+    }
+}
+
+/// Steals the back half of the longest foreign deque into `mine`,
+/// returning one job to run immediately. Returns `None` only once every
+/// foreign deque has been observed empty in a single scan — a victim
+/// drained between the length snapshot and the lock triggers a re-scan,
+/// so a worker never retires while runs are still queued elsewhere.
+fn steal(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    loop {
+        // Pick the victim with the most remaining work (a snapshot;
+        // rechecked under the victim's lock).
+        let (victim, snapshot_len) = queues
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != me)
+            .map(|(i, q)| (i, q.lock().map(|g| g.len()).unwrap_or(0)))
+            .max_by_key(|&(_, len)| len)?;
+        if snapshot_len == 0 {
+            return None;
+        }
+        let mut stolen = {
+            let mut v = queues[victim].lock().ok()?;
+            if v.is_empty() {
+                // Lost the race to the victim's owner; look again.
+                continue;
+            }
+            let keep = v.len() / 2;
+            v.split_off(keep)
+        };
+        let job = stolen.pop_front();
+        if !stolen.is_empty() {
+            if let Ok(mut mine) = queues[me].lock() {
+                mine.extend(stolen);
+            }
+        }
+        return job;
+    }
+}
+
+/// Executes every run, fanning out over `jobs` worker threads, and
+/// returns the outputs **in run-index order**.
+///
+/// `progress` is invoked on the calling thread after every finished run
+/// with `(finished_so_far, total)` — wire it to a progress bar or ETA
+/// display; it has no effect on the results.
+pub fn execute(
+    ctx: &RunContext,
+    runs: &[RunSpec],
+    jobs: usize,
+    mut progress: impl FnMut(usize, usize),
+) -> Vec<RunOutput> {
+    let total = runs.len();
+    let jobs = jobs.max(1).min(total.max(1));
+    if jobs == 1 {
+        return runs
+            .iter()
+            .enumerate()
+            .map(|(done, run)| {
+                let out = run_one(ctx, run);
+                progress(done + 1, total);
+                out
+            })
+            .collect();
+    }
+
+    // Stripe runs across workers so early indices start immediately on
+    // every thread; stealing rebalances the tail.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..total).step_by(jobs).collect()))
+        .collect();
+
+    let mut results: Vec<Option<RunOutput>> = (0..total).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, RunOutput)>();
+    std::thread::scope(|scope| {
+        for me in 0..jobs {
+            let tx = tx.clone();
+            let queues = &queues;
+            scope.spawn(move || loop {
+                let job = {
+                    let popped = queues[me].lock().ok().and_then(|mut q| q.pop_front());
+                    match popped {
+                        Some(j) => j,
+                        None => match steal(queues, me) {
+                            Some(j) => j,
+                            None => break,
+                        },
+                    }
+                };
+                let out = run_one(ctx, &runs[job]);
+                if tx.send((job, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut done = 0;
+        while let Ok((idx, out)) = rx.recv() {
+            results[idx] = Some(out);
+            done += 1;
+            progress(done, total);
+        }
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("run {i} produced no output")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec {
+            clients: vec!["curl-7.88.1".to_string(), "wget-1.21.3".to_string()],
+            cad: Some(lazyeye_testbed::CadCaseConfig {
+                sweep: lazyeye_testbed::SweepSpec::new(0, 300, 150),
+                repetitions: 1,
+            }),
+            rd: None,
+            selection: None,
+            resolver: None,
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential() {
+        let spec = small_spec();
+        let runs = crate::plan::expand(&spec).unwrap();
+        let ctx = RunContext::new(&spec).unwrap();
+        let seq = execute(&ctx, &runs, 1, |_, _| {});
+        let par = execute(&ctx, &runs, 4, |_, _| {});
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            match (a, b) {
+                (RunOutput::Cad(x), RunOutput::Cad(y)) => {
+                    assert_eq!(x.family, y.family);
+                    assert_eq!(x.observed_cad_ms, y.observed_cad_ms);
+                }
+                _ => panic!("unexpected output kind"),
+            }
+        }
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        let spec = small_spec();
+        let runs = crate::plan::expand(&spec).unwrap();
+        let ctx = RunContext::new(&spec).unwrap();
+        let mut last = 0;
+        let _ = execute(&ctx, &runs, 3, |done, total| {
+            assert!(done <= total);
+            last = done;
+        });
+        assert_eq!(last, runs.len());
+    }
+}

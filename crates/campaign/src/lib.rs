@@ -1,0 +1,168 @@
+//! # lazyeye-campaign — sharded, deterministic campaign orchestration
+//!
+//! Turns the testbed from a one-case runner into a campaign engine, the
+//! paper's measurement methodology at matrix scale:
+//!
+//! 1. **[`spec`]** — a declarative [`CampaignSpec`]: {clients × sweeps ×
+//!    netem conditions × resolver profiles × repetitions} as one JSON
+//!    value.
+//! 2. **[`plan`]** — deterministic expansion into concrete [`RunSpec`]s,
+//!    each with a seed derived from the campaign seed ([`derive_seed`]).
+//! 3. **[`executor`]** — a work-stealing thread pool; every run gets a
+//!    fresh simulation (the paper's container reset) and reduces its raw
+//!    capture to a small [`RunOutput`] on the worker.
+//! 4. **[`aggregate`]** — a streaming fold into per-cell summaries
+//!    (exact min/max/mean, P² median/p95, switchover detection, feature
+//!    flags) in run-index order.
+//! 5. **[`report`]** — JSON/CSV/text emitters plus a Table-2 style
+//!    feature-matrix roll-up.
+//!
+//! **Determinism contract:** the report is a pure function of
+//! `(CampaignSpec, seed)`. Worker count, scheduling and steal patterns
+//! never leak into it — `--jobs 1` and `--jobs 8` yield byte-identical
+//! JSON and CSV.
+//!
+//! ```
+//! use lazyeye_campaign::{run_campaign, CampaignSpec};
+//!
+//! let mut spec = CampaignSpec::default();
+//! spec.clients = vec!["curl-7.88.1".into()];
+//! spec.cad = Some(lazyeye_testbed::CadCaseConfig {
+//!     sweep: lazyeye_testbed::SweepSpec::new(150, 250, 50),
+//!     repetitions: 1,
+//! });
+//! spec.rd = None;
+//! spec.selection = None;
+//! spec.resolver = None;
+//! let report = run_campaign(&spec, 2, |_done, _total| {}).unwrap();
+//! assert_eq!(report.total_runs, 3);
+//! assert_eq!(report.cells[0].first_v4_delay_ms, Some(250), "curl CAD = 200 ms");
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod executor;
+pub mod plan;
+pub mod report;
+pub mod spec;
+
+pub use aggregate::{Aggregator, CellReport, FeatureSummary, P2Quantile, StreamStats};
+pub use executor::{execute, run_one, RunContext, RunOutput};
+pub use plan::{derive_seed, expand, RunKind, RunSpec, SpecError};
+pub use report::CampaignReport;
+pub use spec::{CampaignSpec, NetemSpec, RdPlan, SelectionPlan};
+
+/// Expands, executes and aggregates a campaign in one call.
+///
+/// `jobs` is the worker-thread count (clamped to at least 1); `progress`
+/// receives `(finished, total)` after every run, on the calling thread.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    jobs: usize,
+    progress: impl FnMut(usize, usize),
+) -> Result<CampaignReport, SpecError> {
+    let runs = expand(spec)?;
+    let ctx = RunContext::new(spec)?;
+    let outputs = execute(&ctx, &runs, jobs, progress);
+    let mut agg = Aggregator::new();
+    for (run, output) in runs.iter().zip(&outputs) {
+        agg.fold(run, output);
+    }
+    let (cells, features) = agg.finish();
+    Ok(CampaignReport {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        total_runs: runs.len() as u64,
+        cells,
+        features,
+    })
+}
+
+// Send-safety audit: the executor moves run specs into worker threads and
+// their outputs back out. These bounds are load-bearing — a regression
+// (an Rc or raw Sim handle creeping into a spec/output type) must fail to
+// compile here, not deadlock at runtime.
+#[allow(dead_code)]
+fn send_audit() {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<RunSpec>();
+    assert_send::<RunOutput>();
+    assert_send::<CampaignSpec>();
+    assert_send::<CampaignReport>();
+    assert_sync::<RunContext>();
+    assert_send::<lazyeye_clients::ClientProfile>();
+    assert_send::<lazyeye_resolver::ResolverProfile>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_campaign_end_to_end() {
+        let spec = CampaignSpec {
+            name: "tiny".into(),
+            seed: 7,
+            clients: vec!["chrome-130.0".into(), "wget-1.21.3".into()],
+            resolvers: vec!["BIND".into()],
+            netem: vec![NetemSpec::baseline()],
+            cad: Some(lazyeye_testbed::CadCaseConfig {
+                sweep: lazyeye_testbed::SweepSpec::new(280, 320, 20),
+                repetitions: 1,
+            }),
+            rd: Some(RdPlan {
+                records: vec![lazyeye_testbed::DelayedRecord::Aaaa],
+                sweep: lazyeye_testbed::SweepSpec::new(300, 300, 1),
+                repetitions: 1,
+            }),
+            selection: Some(SelectionPlan {
+                repetitions: 1,
+                ..SelectionPlan::default()
+            }),
+            resolver: Some(lazyeye_testbed::ResolverCaseConfig {
+                sweep: lazyeye_testbed::SweepSpec::new(0, 0, 1),
+                repetitions: 2,
+            }),
+        };
+        let report = run_campaign(&spec, 4, |_, _| {}).unwrap();
+        assert_eq!(report.total_runs, 6 + 2 + 2 + 2);
+
+        // Chromium's 300 ms CAD: v6 still wins at 300, v4 at 320.
+        let chrome_cad = report
+            .cells
+            .iter()
+            .find(|c| c.case == "cad" && c.subject == "chrome-130.0")
+            .unwrap();
+        assert_eq!(chrome_cad.last_v6_delay_ms, Some(300));
+        assert_eq!(chrome_cad.first_v4_delay_ms, Some(320));
+        assert_eq!(chrome_cad.implements_cad, Some(true));
+
+        // wget never falls back.
+        let wget_cad = report
+            .cells
+            .iter()
+            .find(|c| c.case == "cad" && c.subject == "wget-1.21.3")
+            .unwrap();
+        assert_eq!(wget_cad.implements_cad, Some(false));
+
+        // Feature roll-up covers both clients.
+        assert_eq!(report.features.len(), 2);
+        let wget = report
+            .features
+            .iter()
+            .find(|f| f.client == "wget-1.21.3")
+            .unwrap();
+        assert!(!wget.cad_impl && !wget.rd_impl && !wget.addr_selection);
+
+        // BIND prefers IPv6 at zero delay.
+        let bind = report
+            .cells
+            .iter()
+            .find(|c| c.case == "resolver" && c.subject == "BIND")
+            .unwrap();
+        assert_eq!(bind.v6_share_pct, Some(100.0));
+    }
+}

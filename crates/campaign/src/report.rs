@@ -1,0 +1,317 @@
+//! Campaign reports: deterministic JSON / CSV / text renderings of the
+//! folded cells plus the Table-2 style feature roll-up.
+
+use lazyeye_json::ToJson;
+use lazyeye_testbed::Table;
+
+use crate::aggregate::{CellReport, FeatureSummary};
+
+/// The complete result of one campaign. Contains nothing dependent on
+/// worker count or wall-clock time, so a `(spec, seed)` pair renders to
+/// byte-identical output at any `--jobs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Total runs executed.
+    pub total_runs: u64,
+    /// Folded per-cell summaries, sorted by (case, subject, condition).
+    pub cells: Vec<CellReport>,
+    /// The Table-2 style feature matrix derived from the cells.
+    pub features: Vec<FeatureSummary>,
+}
+
+lazyeye_json::impl_json_struct!(CampaignReport {
+    name,
+    seed,
+    total_runs,
+    cells,
+    features,
+});
+
+fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// The fixed CSV column set, shared by header and rows.
+const CSV_COLUMNS: [&str; 17] = [
+    "case",
+    "subject",
+    "condition",
+    "runs",
+    "ok_runs",
+    "v6_share_pct",
+    "last_v6_delay_ms",
+    "first_v4_delay_ms",
+    "delay_ms_min",
+    "delay_ms_median",
+    "delay_ms_p95",
+    "implements_cad",
+    "implements_rd",
+    "aaaa_first",
+    "v6_addrs_used",
+    "v4_addrs_used",
+    "max_v6_packets",
+];
+
+impl CampaignReport {
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = ToJson::to_json(self).to_string_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// CSV rendering of the cells (one row per cell; `-` for
+    /// not-applicable columns).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&CSV_COLUMNS.join(","));
+        out.push('\n');
+        for c in &self.cells {
+            let row = [
+                c.case.clone(),
+                c.subject.clone(),
+                c.condition.clone(),
+                c.runs.to_string(),
+                c.ok_runs.to_string(),
+                opt(&c.v6_share_pct),
+                opt(&c.last_v6_delay_ms),
+                opt(&c.first_v4_delay_ms),
+                opt(&c.delay_ms_min),
+                opt(&c.delay_ms_median),
+                opt(&c.delay_ms_p95),
+                opt(&c.implements_cad),
+                opt(&c.implements_rd),
+                opt(&c.aaaa_first),
+                opt(&c.v6_addrs_used),
+                opt(&c.v4_addrs_used),
+                opt(&c.max_v6_packets),
+            ];
+            // Subjects/conditions are ids without commas or quotes, but
+            // quote defensively anyway.
+            let quoted: Vec<String> = row
+                .iter()
+                .map(|cell| {
+                    if cell.contains(',') || cell.contains('"') {
+                        format!("\"{}\"", cell.replace('"', "\"\""))
+                    } else {
+                        cell.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&quoted.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable summary: one table per case family present, plus
+    /// the feature matrix.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "campaign {:?}: seed {}, {} runs, {} cells\n\n",
+            self.name,
+            self.seed,
+            self.total_runs,
+            self.cells.len()
+        );
+        for case in ["cad", "rd", "selection", "resolver"] {
+            let cells: Vec<&CellReport> = self.cells.iter().filter(|c| c.case == case).collect();
+            if cells.is_empty() {
+                continue;
+            }
+            let mut t = match case {
+                "cad" => Table::new(
+                    "CAD (switchover by client × condition)",
+                    vec![
+                        "client",
+                        "condition",
+                        "runs",
+                        "ok",
+                        "last v6",
+                        "first v4",
+                        "CAD med",
+                        "CAD p95",
+                        "AAAA 1st",
+                    ],
+                ),
+                "rd" => Table::new(
+                    "Resolution Delay (by client × delayed record)",
+                    vec![
+                        "client",
+                        "record",
+                        "runs",
+                        "ok",
+                        "RD impl",
+                        "stall med",
+                        "stall p95",
+                    ],
+                ),
+                "selection" => Table::new(
+                    "Address selection (dead addresses by client)",
+                    vec!["client", "runs", "v6 used", "v4 used"],
+                ),
+                _ => Table::new(
+                    "Resolvers (IPv6 usage by profile)",
+                    vec![
+                        "resolver",
+                        "runs",
+                        "ok",
+                        "v6 share %",
+                        "max v6 delay",
+                        "per-try med",
+                        "max v6 pkts",
+                    ],
+                ),
+            };
+            for c in cells {
+                let row = match case {
+                    "cad" => vec![
+                        c.subject.clone(),
+                        c.condition.clone(),
+                        c.runs.to_string(),
+                        c.ok_runs.to_string(),
+                        opt(&c.last_v6_delay_ms),
+                        opt(&c.first_v4_delay_ms),
+                        opt(&c.delay_ms_median),
+                        opt(&c.delay_ms_p95),
+                        opt(&c.aaaa_first),
+                    ],
+                    "rd" => vec![
+                        c.subject.clone(),
+                        c.condition.clone(),
+                        c.runs.to_string(),
+                        c.ok_runs.to_string(),
+                        opt(&c.implements_rd),
+                        opt(&c.delay_ms_median),
+                        opt(&c.delay_ms_p95),
+                    ],
+                    "selection" => vec![
+                        c.subject.clone(),
+                        c.runs.to_string(),
+                        opt(&c.v6_addrs_used),
+                        opt(&c.v4_addrs_used),
+                    ],
+                    _ => vec![
+                        c.subject.clone(),
+                        c.runs.to_string(),
+                        c.ok_runs.to_string(),
+                        opt(&c.v6_share_pct),
+                        opt(&c.last_v6_delay_ms),
+                        opt(&c.delay_ms_median),
+                        opt(&c.max_v6_packets),
+                    ],
+                };
+                t.row(row);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        if !self.features.is_empty() {
+            let mut t = Table::new(
+                "Feature matrix (Table 2 roll-up)",
+                vec![
+                    "client",
+                    "prefers v6",
+                    "CAD",
+                    "AAAA 1st",
+                    "RD",
+                    "v6 addrs",
+                    "v4 addrs",
+                    "selection",
+                ],
+            );
+            for f in &self.features {
+                t.row(vec![
+                    f.client.clone(),
+                    yn(f.prefers_v6),
+                    yn(f.cad_impl),
+                    yn(f.aaaa_first),
+                    yn(f.rd_impl),
+                    f.v6_addrs_used.to_string(),
+                    f.v4_addrs_used.to_string(),
+                    yn(f.addr_selection),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+}
+
+fn yn(v: bool) -> String {
+    if v {
+        "yes".into()
+    } else {
+        "no".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> CampaignReport {
+        CampaignReport {
+            name: "t".into(),
+            seed: 1,
+            total_runs: 1,
+            cells: vec![CellReport {
+                case: "cad".into(),
+                subject: "chrome-130.0".into(),
+                condition: "baseline".into(),
+                runs: 1,
+                ok_runs: 1,
+                v6_share_pct: Some(100.0),
+                last_v6_delay_ms: Some(300),
+                first_v4_delay_ms: Some(320),
+                delay_ms_min: Some(299.5),
+                delay_ms_median: Some(300.0),
+                delay_ms_p95: Some(301.25),
+                implements_cad: Some(true),
+                implements_rd: None,
+                aaaa_first: Some(true),
+                v6_addrs_used: None,
+                v4_addrs_used: None,
+                max_v6_packets: None,
+            }],
+            features: vec![],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = tiny_report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("case,subject,condition,"));
+        assert!(lines[1].contains("chrome-130.0"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header/row column mismatch"
+        );
+    }
+
+    #[test]
+    fn json_parses_back() {
+        let r = tiny_report();
+        let v = lazyeye_json::Json::parse(&r.to_json()).unwrap();
+        assert_eq!(v["name"], "t");
+        assert_eq!(v["cells"][0]["subject"], "chrome-130.0");
+        assert_eq!(v["cells"][0]["first_v4_delay_ms"].as_u64(), Some(320));
+    }
+
+    #[test]
+    fn text_rendering_mentions_cells() {
+        let text = tiny_report().render_text();
+        assert!(text.contains("chrome-130.0"));
+        assert!(text.contains("CAD"));
+    }
+}

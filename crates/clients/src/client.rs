@@ -71,12 +71,8 @@ impl Client {
         }
         let stub = Rc::new(StubResolver::new(host.clone(), stub_cfg));
         let history = Rc::new(HistoryStore::new());
-        let engine = HappyEyeballs::new(
-            profile.he.clone(),
-            host.clone(),
-            stub,
-            Rc::clone(&history),
-        );
+        let engine =
+            HappyEyeballs::new(profile.he.clone(), host.clone(), stub, Rc::clone(&history));
         Client {
             profile,
             host,
@@ -209,9 +205,9 @@ mod tests {
             .find(|c| c.name == "Chrome" && c.version == "130.0")
             .unwrap();
         let client = Client::new(profile, bed.client_host.clone(), vec![resolver_addr()]);
-        let resp = bed.sim.block_on(async move {
-            client.fetch(&n("www.hetest"), 80, "/ip").await
-        });
+        let resp = bed
+            .sim
+            .block_on(async move { client.fetch(&n("www.hetest"), 80, "/ip").await });
         assert_eq!(resp.family(), Some(Family::V6));
         let body = resp.response.unwrap().text();
         assert!(body.starts_with("ip=2001:db8::100"), "{body}");
@@ -226,8 +222,7 @@ mod tests {
                 .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(1000)));
             let profile = figure2_clients()
                 .into_iter()
-                .filter(|c| c.name == name)
-                .next_back()
+                .rfind(|c| c.name == name)
                 .unwrap();
             let client = Client::new(profile, bed.client_host.clone(), vec![resolver_addr()]);
             let res = bed
@@ -277,12 +272,11 @@ mod tests {
             c2.reset();
             let r = c2.connect_only(&n("www.hetest"), 80).await;
             // After reset the run must NOT use the cached outcome.
-            assert!(
-                !r.log
-                    .events
-                    .iter()
-                    .any(|e| matches!(e.kind, lazyeye_core::HeEventKind::UsedCachedOutcome { .. })),
-            );
+            assert!(!r
+                .log
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, lazyeye_core::HeEventKind::UsedCachedOutcome { .. })),);
         });
     }
 }

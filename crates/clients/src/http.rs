@@ -270,7 +270,10 @@ mod tests {
             });
             spawn(serve_http(listener, handler));
             let stream = client.tcp_connect(sa("192.0.2.1", 80)).await.unwrap();
-            http_get(&stream, "h", "/", "Wget/1.21.3").await.unwrap().text()
+            http_get(&stream, "h", "/", "Wget/1.21.3")
+                .await
+                .unwrap()
+                .text()
         });
         assert_eq!(ua, "Wget/1.21.3");
     }

@@ -173,7 +173,12 @@ pub async fn visit_via_egress(
     path: &str,
 ) -> Result<HttpResponse, lazyeye_net::NetError> {
     let stream = client_host.tcp_connect(egress_addr).await?;
-    let line = format!("VISIT {} {} {}\n", name.to_string().trim_end_matches('.'), port, path);
+    let line = format!(
+        "VISIT {} {} {}\n",
+        name.to_string().trim_end_matches('.'),
+        port,
+        path
+    );
     stream.write(line.as_bytes())?;
     let reply = stream.read_to_end().await?;
     // Parse the relay framing back into an HttpResponse-ish shape.

@@ -25,8 +25,8 @@ pub mod ua;
 
 pub use client::{Client, FetchResult};
 pub use profiles::{
-    chromium_hev3_flag, figure2_clients, safari_clients, table2_clients, table5_population,
-    ClientProfile, Engine,
+    all_measured_clients, chromium_hev3_flag, figure2_clients, safari_clients, table2_clients,
+    table5_population, ClientProfile, Engine,
 };
 
 #[cfg(test)]
@@ -64,7 +64,11 @@ mod icpr_tests {
             .v4("198.51.100.9")
             .v6("2001:db8:e9::9")
             .build();
-        let user = net.host("user").v4("192.0.2.200").v6("2001:db8::200").build();
+        let user = net
+            .host("user")
+            .v4("192.0.2.200")
+            .v6("2001:db8::200")
+            .build();
 
         let mut zone = Zone::new(n("hetest"));
         zone.a(&n("www.hetest"), "192.0.2.1".parse().unwrap(), 300);
@@ -117,15 +121,9 @@ mod icpr_tests {
             .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(1000)));
         let user = bed.user.clone();
         let reply = bed.sim.block_on(async move {
-            icpr::visit_via_egress(
-                &user,
-                sa("198.51.100.9", 4433),
-                &n("www.hetest"),
-                80,
-                "/ip",
-            )
-            .await
-            .unwrap()
+            icpr::visit_via_egress(&user, sa("198.51.100.9", 4433), &n("www.hetest"), 80, "/ip")
+                .await
+                .unwrap()
         });
         assert!(reply.reason.starts_with("OK IPv4"), "{}", reply.reason);
         assert_eq!(reply.text(), "src=198.51.100.9", "fell back to egress IPv4");
@@ -168,15 +166,9 @@ mod icpr_tests {
             });
             let mut sim = sim;
             let reply = sim.block_on(async move {
-                icpr::visit_via_egress(
-                    &user,
-                    sa("198.51.100.9", 4433),
-                    &n("www.hetest"),
-                    80,
-                    "/ip",
-                )
-                .await
-                .unwrap()
+                icpr::visit_via_egress(&user, sa("198.51.100.9", 4433), &n("www.hetest"), 80, "/ip")
+                    .await
+                    .unwrap()
             });
             if expect_v6 {
                 assert!(

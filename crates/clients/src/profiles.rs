@@ -344,6 +344,16 @@ pub fn table2_clients() -> Vec<ClientProfile> {
     ]
 }
 
+/// Every locally measurable client profile: the Figure 2 set, the Safari
+/// set, and the Chromium HEv3-flag variant — the id universe that the
+/// `lazyeye` CLI and the campaign engine resolve client ids against.
+pub fn all_measured_clients() -> Vec<ClientProfile> {
+    let mut v = figure2_clients();
+    v.extend(safari_clients());
+    v.push(chromium_hev3_flag());
+    v
+}
+
 /// Chromium with the HEv3 feature flag enabled — the §5.2 fix the paper
 /// points to (`EnableHappyEyeballsV3`).
 pub fn chromium_hev3_flag() -> ClientProfile {
@@ -381,7 +391,14 @@ pub fn table5_population() -> Vec<ClientProfile> {
         firefox("125.0", "04-2024", "Android", "14", true),
         firefox("128.0", "07-2024", "Android", "14", true),
         firefox("131.0", "10-2024", "Android", "14", true),
-        chromium_family("Chrome", "129.0.0", "09-2024", "Chrome OS", "14541.0.0", false),
+        chromium_family(
+            "Chrome",
+            "129.0.0",
+            "09-2024",
+            "Chrome OS",
+            "14541.0.0",
+            false,
+        ),
         chromium_family("Chrome", "130.0.0", "10-2024", "Linux", "", false),
         firefox("128.0", "07-2024", "Linux", "", false),
         firefox("130.0", "09-2024", "Linux", "", false),
@@ -499,17 +516,17 @@ mod tests {
 
     #[test]
     fn safari_fresh_state_cad_is_2s_desktop_1s_mobile() {
-        let desktop = safari_clients()
-            .into_iter()
-            .find(|c| !c.mobile)
-            .unwrap();
+        let desktop = safari_clients().into_iter().find(|c| !c.mobile).unwrap();
         if let CadMode::Dynamic { no_history, .. } = desktop.he.cad {
             assert_eq!(no_history, Duration::from_millis(2000));
         } else {
             panic!("Safari CAD must be dynamic");
         }
         let mobile = safari_clients().into_iter().find(|c| c.mobile).unwrap();
-        if let CadMode::Dynamic { no_history, max, .. } = mobile.he.cad {
+        if let CadMode::Dynamic {
+            no_history, max, ..
+        } = mobile.he.cad
+        {
             assert_eq!(no_history, Duration::from_millis(1000));
             assert_eq!(max, Duration::from_millis(1000), "iOS never exceeded 1 s");
         }
@@ -532,8 +549,7 @@ mod tests {
     fn table5_population_shape() {
         let pop = table5_population();
         assert_eq!(pop.len(), 33, "33 browser+OS combinations");
-        let browsers: std::collections::HashSet<&str> =
-            pop.iter().map(|c| c.name).collect();
+        let browsers: std::collections::HashSet<&str> = pop.iter().map(|c| c.name).collect();
         assert_eq!(browsers.len(), 9, "nine distinct browsers: {browsers:?}");
         let oses: std::collections::HashSet<&str> = pop.iter().map(|c| c.os).collect();
         assert_eq!(oses.len(), 7, "seven OSes: {oses:?}");

@@ -171,12 +171,7 @@ fn parse_browser(ua: &str) -> (String, String) {
 /// Table 5 reports Chromium versions as "127.0.0": keep three components.
 fn shorten(v: &str) -> String {
     let parts: Vec<&str> = v.split('.').collect();
-    parts
-        .iter()
-        .take(3)
-        .copied()
-        .collect::<Vec<_>>()
-        .join(".")
+    parts.iter().take(3).copied().collect::<Vec<_>>().join(".")
 }
 
 fn parse_os(ua: &str) -> (String, String) {
@@ -233,9 +228,9 @@ mod tests {
             assert_eq!(parsed.browser, c.name, "ua: {ua}");
             assert_eq!(parsed.os_name, c.os, "ua: {ua}");
             assert!(
-                parsed.browser_version.starts_with(
-                    c.version.trim_end_matches(".0").split('.').next().unwrap()
-                ),
+                parsed
+                    .browser_version
+                    .starts_with(c.version.trim_end_matches(".0").split('.').next().unwrap()),
                 "version {} vs {} in {ua}",
                 parsed.browser_version,
                 c.version

@@ -39,7 +39,9 @@ fn bed(seed: u64) -> (Sim, Host, Host) {
         let listener = server.tcp_listen_any(80).unwrap();
         spawn(async move {
             loop {
-                let Ok((s, _)) = listener.accept().await else { break };
+                let Ok((s, _)) = listener.accept().await else {
+                    break;
+                };
                 std::mem::forget(s);
             }
         });
@@ -100,9 +102,7 @@ fn web_population_profiles_all_fetch_successfully() {
 
 #[test]
 fn user_agent_strings_are_distinct_across_population() {
-    let uas: std::collections::HashSet<String> = table5_population()
-        .iter()
-        .map(|c| c.user_agent())
-        .collect();
+    let uas: std::collections::HashSet<String> =
+        table5_population().iter().map(|c| c.user_agent()).collect();
     assert_eq!(uas.len(), table5_population().len(), "33 distinct UAs");
 }

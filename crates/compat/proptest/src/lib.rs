@@ -1,0 +1,915 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! miniature property-testing harness that is API-compatible with the
+//! call sites in the workspace's test suites: the [`proptest!`] macro,
+//! the [`Strategy`] trait with `prop_map`/`boxed`, `any::<T>()`, range
+//! strategies, `collection::{vec, btree_set}`, `option::of`,
+//! `sample::select`, `bool::ANY`, a small `string_regex` generator, and
+//! the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case panics with the assertion message;
+//!   inputs are reproducible because each test's RNG is seeded from the
+//!   test's module path (override with `PROPTEST_SEED`).
+//! - **Default case count is 256**, matching upstream (override with
+//!   `PROPTEST_CASES`, or per test via `ProptestConfig::with_cases`).
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng as _, RngCore, SeedableRng, SmallRng};
+
+// ---------------------------------------------------------------------------
+// RNG + config + errors
+// ---------------------------------------------------------------------------
+
+/// Deterministic RNG driving value generation for one test function.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// RNG for a named test: seeded from the name so reruns reproduce the
+    /// same cases. `PROPTEST_SEED` overrides the seed for all tests.
+    pub fn for_test(name: &str) -> TestRng {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.parse::<u64>() {
+                return TestRng {
+                    inner: SmallRng::seed_from_u64(seed),
+                };
+            }
+        }
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Per-test-harness configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// An assertion failed; the test panics.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: String) -> TestCaseError {
+        TestCaseError::Reject(msg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait + combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values passing `f` (regenerates up to a retry cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for std::rc::Rc<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row");
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: std::rc::Rc<dyn DynStrategy<V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: std::rc::Rc::clone(&self.inner),
+        }
+    }
+}
+
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased strategies (the [`prop_oneof!`]
+/// engine).
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Builds a [`OneOf`] from pre-boxed arms.
+pub fn one_of<V>(arms: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf { arms }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_uniform!(u8, u16, u32, u64, u128, usize, bool, f64);
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        rng.gen::<u32>() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.gen::<u64>() as i64
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+// ---------------------------------------------------------------------------
+// Module-shaped strategy factories (collection, option, sample, bool, ...)
+// ---------------------------------------------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// A size specification for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.lo < self.hi, "empty collection size range");
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, size)` — generates vectors.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; duplicates collapse, so the
+    /// generated set may be smaller than the drawn size.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `btree_set(element, size)` — generates ordered sets.
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy for `Option<S::Value>` (`None` with probability 1/4, as in
+    /// real proptest's default weighting).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(strategy)` — generates `Option`s.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Sampling from fixed collections.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// `select(items)` — picks one of `items` per case.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires a non-empty list");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy generating either boolean with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    /// The canonical boolean strategy.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+/// String strategies (a generator for a practical regex subset).
+pub mod string {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Error for unsupported or malformed patterns.
+    #[derive(Clone, Debug)]
+    pub struct Error(pub String);
+
+    #[derive(Clone, Debug)]
+    enum Node {
+        Lit(char),
+        /// Inclusive character ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        Group(Vec<Piece>),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Piece {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    /// Strategy generating strings matching a supported-subset regex:
+    /// literals, `[...]` classes with ranges, `(...)` groups, and the
+    /// `?`, `*`, `+`, `{n}`, `{m,n}` quantifiers (unbounded quantifiers
+    /// are capped at 8 repetitions).
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    /// Compiles `pattern` into a generator strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let pieces = parse_seq(&chars, &mut pos, false)?;
+        if pos != chars.len() {
+            return Err(Error(format!("trailing input at {pos} in {pattern:?}")));
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, in_group: bool) -> Result<Vec<Piece>, Error> {
+        let mut out = Vec::new();
+        while *pos < chars.len() {
+            let c = chars[*pos];
+            let node = match c {
+                ')' if in_group => break,
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos, true)?;
+                    if *pos >= chars.len() || chars[*pos] != ')' {
+                        return Err(Error("unclosed group".into()));
+                    }
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '[' => {
+                    *pos += 1;
+                    Node::Class(parse_class(chars, pos)?)
+                }
+                '\\' => {
+                    *pos += 1;
+                    let esc = *chars
+                        .get(*pos)
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    *pos += 1;
+                    match esc {
+                        'd' => Node::Class(vec![('0', '9')]),
+                        'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                        other => Node::Lit(other),
+                    }
+                }
+                '.' => {
+                    *pos += 1;
+                    Node::Class(vec![(' ', '~')])
+                }
+                '|' | '^' | '$' => {
+                    return Err(Error(format!("unsupported regex feature {c:?}")));
+                }
+                lit => {
+                    *pos += 1;
+                    Node::Lit(lit)
+                }
+            };
+            let (min, max) = parse_quantifier(chars, pos)?;
+            out.push(Piece { node, min, max });
+        }
+        Ok(out)
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Vec<(char, char)>, Error> {
+        let mut ranges = Vec::new();
+        if chars.get(*pos) == Some(&'^') {
+            return Err(Error("negated classes unsupported".into()));
+        }
+        while let Some(&c) = chars.get(*pos) {
+            if c == ']' {
+                *pos += 1;
+                if ranges.is_empty() {
+                    return Err(Error("empty character class".into()));
+                }
+                return Ok(ranges);
+            }
+            let lo = if c == '\\' {
+                *pos += 1;
+                *chars
+                    .get(*pos)
+                    .ok_or_else(|| Error("dangling escape in class".into()))?
+            } else {
+                c
+            };
+            *pos += 1;
+            // `a-z` range (a trailing `-` right before `]` is a literal).
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+                *pos += 1;
+                let hi = chars[*pos];
+                *pos += 1;
+                if hi < lo {
+                    return Err(Error(format!("inverted class range {lo}-{hi}")));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        Err(Error("unclosed character class".into()))
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize) -> Result<(u32, u32), Error> {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                Ok((0, 1))
+            }
+            Some('*') => {
+                *pos += 1;
+                Ok((0, 8))
+            }
+            Some('+') => {
+                *pos += 1;
+                Ok((1, 8))
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min_s = String::new();
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    min_s.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: u32 = min_s.parse().map_err(|_| Error("bad {m,n}".into()))?;
+                let max = match chars.get(*pos) {
+                    Some(',') => {
+                        *pos += 1;
+                        let mut max_s = String::new();
+                        while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                            max_s.push(chars[*pos]);
+                            *pos += 1;
+                        }
+                        max_s.parse().map_err(|_| Error("bad {m,n}".into()))?
+                    }
+                    _ => min,
+                };
+                if chars.get(*pos) != Some(&'}') {
+                    return Err(Error("unclosed quantifier".into()));
+                }
+                *pos += 1;
+                Ok((min, max))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn gen_pieces(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+        for piece in pieces {
+            let reps = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..reps {
+                match &piece.node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                        let span = hi as u32 - lo as u32 + 1;
+                        let c = char::from_u32(lo as u32 + rng.gen_range(0..span))
+                            .expect("class range stays in valid chars");
+                        out.push(c);
+                    }
+                    Node::Group(inner) => gen_pieces(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            gen_pieces(&self.pieces, rng, &mut out);
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $( $(#[$attr:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let __strategy = ($($strat,)*);
+                for __case in 0..__cfg.cases {
+                    let ($($arg,)*) = $crate::Strategy::generate(&__strategy, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} of {}: {}", __case, stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property test; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let strat = crate::string::string_regex("[a-z0-9]([a-z0-9-]{0,14})").unwrap();
+        let mut rng = crate::TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() <= 16, "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            let first = s.chars().next().unwrap();
+            assert!(first != '-', "{s:?} must not start with a dash");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u64..10, b in 0u8..=3) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!(b <= 3);
+        }
+
+        #[test]
+        fn assume_skips(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn collections_and_tuples(
+            v in crate::collection::vec(crate::any::<u8>(), 0..5),
+            (x, y) in (0u16..10, crate::bool::ANY),
+        ) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(x < 10);
+            let _ = y;
+        }
+
+        #[test]
+        fn oneof_and_map(s in prop_oneof![
+            (0u8..10).prop_map(|v| v.to_string()),
+            crate::sample::select(vec!["a".to_string(), "b".to_string()]),
+        ]) {
+            prop_assert!(!s.is_empty());
+        }
+    }
+}

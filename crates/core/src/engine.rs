@@ -87,7 +87,12 @@ impl HeConnection {
 
 impl std::fmt::Debug for HeConnection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "HeConnection({:?} via {:?})", self.remote(), self.proto())
+        write!(
+            f,
+            "HeConnection({:?} via {:?})",
+            self.remote(),
+            self.proto()
+        )
     }
 }
 
@@ -292,7 +297,8 @@ impl HappyEyeballs {
         );
 
         // --- Staggered connection racing ---------------------------------
-        let (res_tx, mut res_rx) = mpsc::unbounded::<(usize, Candidate, Result<Won, &'static str>)>();
+        let (res_tx, mut res_rx) =
+            mpsc::unbounded::<(usize, Candidate, Result<Won, &'static str>)>();
         let mut next = 0usize;
         let mut failures = 0usize;
         let mut dns_done = false;
@@ -309,9 +315,10 @@ impl HappyEyeballs {
         }
 
         loop {
-            let cad = self
-                .history
-                .cad_for(self.cfg.cad, candidates.get(next.saturating_sub(1)).map(|c| c.addr));
+            let cad = self.history.cad_for(
+                self.cfg.cad,
+                candidates.get(next.saturating_sub(1)).map(|c| c.addr),
+            );
             // The CAD stagger is anchored on the *previous attempt start*,
             // so intermediate wakeups (late DNS answers) never stretch it.
             let next_start = last_attempt_at + cad;
@@ -387,12 +394,8 @@ impl HappyEyeballs {
                         h.abort();
                     }
                     self.history.record_rtt(cand.addr, won.rtt);
-                    self.history.record_outcome(
-                        now(),
-                        name.clone(),
-                        cand.addr,
-                        self.cfg.cache_ttl,
-                    );
+                    self.history
+                        .record_outcome(now(), name.clone(), cand.addr, self.cfg.cache_ttl);
                     log.borrow_mut().push(
                         now(),
                         HeEventKind::Established {

@@ -79,9 +79,7 @@ impl HistoryStore {
                                 use rand::Rng;
                                 (r.gen_range(-spread..=spread)).exp()
                             });
-                            cad = Duration::from_nanos(
-                                (cad.as_nanos() as f64 * factor) as u64,
-                            );
+                            cad = Duration::from_nanos((cad.as_nanos() as f64 * factor) as u64);
                         }
                         cad.clamp(min, max)
                     }
@@ -243,8 +241,18 @@ mod tests {
     #[test]
     fn family_share() {
         let h = HistoryStore::new();
-        h.record_outcome(SimTime::ZERO, Name::parse("a.example").unwrap(), v6("2001:db8::1"), ms(1000));
-        h.record_outcome(SimTime::ZERO, Name::parse("b.example").unwrap(), v4("192.0.2.1"), ms(1000));
+        h.record_outcome(
+            SimTime::ZERO,
+            Name::parse("a.example").unwrap(),
+            v6("2001:db8::1"),
+            ms(1000),
+        );
+        h.record_outcome(
+            SimTime::ZERO,
+            Name::parse("b.example").unwrap(),
+            v4("192.0.2.1"),
+            ms(1000),
+        );
         assert!((h.outcome_family_share(Family::V6) - 0.5).abs() < 1e-9);
     }
 
@@ -252,7 +260,12 @@ mod tests {
     fn clear_resets_everything() {
         let h = HistoryStore::new();
         h.record_rtt(v4("192.0.2.1"), ms(10));
-        h.record_outcome(SimTime::ZERO, Name::parse("a.example").unwrap(), v4("192.0.2.1"), ms(1000));
+        h.record_outcome(
+            SimTime::ZERO,
+            Name::parse("a.example").unwrap(),
+            v4("192.0.2.1"),
+            ms(1000),
+        );
         h.clear();
         assert_eq!(h.srtt(v4("192.0.2.1")), None);
         assert_eq!(h.aggregate_rtt(), None);

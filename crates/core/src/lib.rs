@@ -41,9 +41,7 @@ mod tests {
     use super::*;
     use lazyeye_authns::{serve, AuthConfig, AuthServer, TestDomain};
     use lazyeye_dns::{Name, RrType, Zone, ZoneSet};
-    use lazyeye_net::{
-        quic_serve, Family, Host, Netem, NetemRule, Network, QuicServerConfig,
-    };
+    use lazyeye_net::{quic_serve, Family, Host, Netem, NetemRule, Network, QuicServerConfig};
     use lazyeye_resolver::{QueryOrder, StubConfig, StubResolver};
     use lazyeye_sim::{spawn, Sim};
     use std::net::SocketAddr;
@@ -66,11 +64,7 @@ mod tests {
     fn build_bed(seed: u64) -> Bed {
         let sim = Sim::new(seed);
         let net = Network::new();
-        let server = net
-            .host("server")
-            .v4("192.0.2.1")
-            .v6("2001:db8::1")
-            .build();
+        let server = net.host("server").v4("192.0.2.1").v6("2001:db8::1").build();
         let client = net
             .host("client")
             .v4("192.0.2.100")
@@ -90,7 +84,9 @@ mod tests {
             let listener = server.tcp_listen_any(80).unwrap();
             spawn(async move {
                 loop {
-                    let Ok((s, _)) = listener.accept().await else { break };
+                    let Ok((s, _)) = listener.accept().await else {
+                        break;
+                    };
                     // Accept and hold; HE only needs the handshake.
                     std::mem::forget(s);
                 }
@@ -105,10 +101,14 @@ mod tests {
     }
 
     fn engine_on(bed: &Bed, cfg: HeConfig) -> HappyEyeballs {
-        engine_with_stub(bed, cfg, StubConfig {
-            servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 53)],
-            ..StubConfig::default()
-        })
+        engine_with_stub(
+            bed,
+            cfg,
+            StubConfig {
+                servers: vec![SocketAddr::new("192.0.2.1".parse().unwrap(), 53)],
+                ..StubConfig::default()
+            },
+        )
     }
 
     fn engine_with_stub(bed: &Bed, cfg: HeConfig, stub_cfg: StubConfig) -> HappyEyeballs {
@@ -298,7 +298,11 @@ mod tests {
         let res = bed
             .sim
             .block_on(async move { he.connect(&n("www.hetest"), 80).await });
-        assert_eq!(res.connection.unwrap().family(), Family::V6, "still prefers v6");
+        assert_eq!(
+            res.connection.unwrap().family(),
+            Family::V6,
+            "still prefers v6"
+        );
         let v6_at = res.log.first_attempt(Family::V6).unwrap();
         assert!(
             v6_at.as_millis() >= 800,
@@ -340,7 +344,11 @@ mod tests {
             .block_on(async move { he.connect(&n("www.hetest"), 80).await });
         assert_eq!(res.connection.unwrap().family(), Family::V6);
         let v6_at = res.log.first_attempt(Family::V6).unwrap();
-        assert!(v6_at.as_millis() < 50, "v6 attempt at {} ms", v6_at.as_millis());
+        assert!(
+            v6_at.as_millis() < 50,
+            "v6 attempt at {} ms",
+            v6_at.as_millis()
+        );
     }
 
     #[test]
@@ -460,20 +468,19 @@ mod tests {
             history,
         ));
         let auth = bed.auth.clone();
-        let (first_family, cached_used, dns_queries_after_first) =
-            bed.sim.block_on(async move {
-                let r1 = he.connect(&n("www.hetest"), 80).await;
-                let f1 = r1.connection.unwrap().family();
-                let queries_after_first = auth.query_log().len();
-                let r2 = he.connect(&n("www.hetest"), 80).await;
-                let cached = r2
-                    .log
-                    .events
-                    .iter()
-                    .any(|e| matches!(e.kind, HeEventKind::UsedCachedOutcome { .. }));
-                assert!(r2.connection.is_ok());
-                (f1, cached, auth.query_log().len() - queries_after_first)
-            });
+        let (first_family, cached_used, dns_queries_after_first) = bed.sim.block_on(async move {
+            let r1 = he.connect(&n("www.hetest"), 80).await;
+            let f1 = r1.connection.unwrap().family();
+            let queries_after_first = auth.query_log().len();
+            let r2 = he.connect(&n("www.hetest"), 80).await;
+            let cached = r2
+                .log
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, HeEventKind::UsedCachedOutcome { .. }));
+            assert!(r2.connection.is_ok());
+            (f1, cached, auth.query_log().len() - queries_after_first)
+        });
         assert_eq!(first_family, Family::V6);
         assert!(cached_used, "second connect must use the 10-minute cache");
         assert_eq!(dns_queries_after_first, 0, "no new DNS for cached outcome");
@@ -518,7 +525,10 @@ mod tests {
                 300,
                 lazyeye_dns::RData::Https(
                     lazyeye_dns::SvcParams::service(1, Name::root())
-                        .with(lazyeye_dns::SvcParam::Alpn(vec![b"h3".to_vec(), b"h2".to_vec()]))
+                        .with(lazyeye_dns::SvcParam::Alpn(vec![
+                            b"h3".to_vec(),
+                            b"h2".to_vec(),
+                        ]))
                         .with(lazyeye_dns::SvcParam::Ech(vec![1, 2, 3])),
                 ),
             ));
@@ -559,7 +569,11 @@ mod tests {
             .sim
             .block_on(async move { he.connect(&n("www.hetest"), 443).await });
         let conn = res.connection.unwrap();
-        assert_eq!(conn.proto(), CandidateProto::Quic, "QUIC preferred per HEv3");
+        assert_eq!(
+            conn.proto(),
+            CandidateProto::Quic,
+            "QUIC preferred per HEv3"
+        );
         assert_eq!(conn.family(), Family::V6);
     }
 

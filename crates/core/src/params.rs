@@ -6,7 +6,7 @@ use std::time::Duration;
 use lazyeye_net::Family;
 
 /// The three Happy Eyeballs generations.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum HeVersion {
     /// RFC 6555 (2012): connection racing only.
     V1,
@@ -91,7 +91,7 @@ pub fn version_params() -> [VersionParams; 3] {
 }
 
 /// How the Connection Attempt Delay is chosen.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub enum CadMode {
     /// Fixed delay between staggered attempts.
     Fixed(Duration),
@@ -132,7 +132,7 @@ impl CadMode {
 }
 
 /// How the sorted candidate addresses are interlaced.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum InterlaceStrategy {
     /// RFC 8305 §4: `first_family_count` preferred-family addresses, then
     /// strictly alternating families.
@@ -152,7 +152,7 @@ pub enum InterlaceStrategy {
 
 /// Client deviations from the RFCs that the paper observed and this engine
 /// reproduces when asked to.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct Quirks {
     /// Delay *all* connecting until every address query reached a terminal
     /// state (answer or resolver timeout). This is the Chrome/Firefox
@@ -165,7 +165,7 @@ pub struct Quirks {
 }
 
 /// Complete engine configuration.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HeConfig {
     /// Which version's semantics to run.
     pub version: HeVersion,
@@ -187,6 +187,105 @@ pub struct HeConfig {
     pub use_quic: bool,
     /// Observed deviations to reproduce.
     pub quirks: Quirks,
+}
+
+// --- JSON conversions (see the lazyeye-json crate for the macro set). ---
+
+lazyeye_json::impl_json_unit_enum!(HeVersion { V1, V2, V3 });
+lazyeye_json::impl_json_struct!(Quirks {
+    wait_for_all_answers,
+    stop_after_first_pair,
+});
+lazyeye_json::impl_json_struct!(HeConfig {
+    version,
+    cad,
+    resolution_delay,
+    interlace,
+    prefer,
+    attempt_timeout,
+    overall_deadline,
+    cache_ttl,
+    use_quic,
+    quirks,
+});
+
+impl lazyeye_json::ToJson for CadMode {
+    /// Externally tagged, serde style: `{"Fixed": {...}}` /
+    /// `{"Dynamic": {...}}`.
+    fn to_json(&self) -> lazyeye_json::Json {
+        use lazyeye_json::Json;
+        match self {
+            CadMode::Fixed(d) => Json::obj(vec![("Fixed", d.to_json())]),
+            CadMode::Dynamic {
+                min,
+                no_history,
+                max,
+                spread,
+            } => Json::obj(vec![(
+                "Dynamic",
+                Json::obj(vec![
+                    ("min", min.to_json()),
+                    ("no_history", no_history.to_json()),
+                    ("max", max.to_json()),
+                    ("spread", spread.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl lazyeye_json::FromJson for CadMode {
+    fn from_json(v: &lazyeye_json::Json) -> Result<CadMode, lazyeye_json::JsonError> {
+        use lazyeye_json::JsonError;
+        if let Some(d) = v.get("Fixed") {
+            return Ok(CadMode::Fixed(Duration::from_json(d)?));
+        }
+        if let Some(dynamic) = v.get("Dynamic") {
+            return Ok(CadMode::Dynamic {
+                min: Duration::from_json(&dynamic["min"])?,
+                no_history: Duration::from_json(&dynamic["no_history"])?,
+                max: Duration::from_json(&dynamic["max"])?,
+                spread: f64::from_json(&dynamic["spread"])?,
+            });
+        }
+        Err(JsonError::new(format!("expected CadMode, got {v}")))
+    }
+}
+
+impl lazyeye_json::ToJson for InterlaceStrategy {
+    /// Unit variants as strings, `Rfc8305` externally tagged.
+    fn to_json(&self) -> lazyeye_json::Json {
+        use lazyeye_json::Json;
+        match self {
+            InterlaceStrategy::Rfc8305 { first_family_count } => Json::obj(vec![(
+                "Rfc8305",
+                Json::obj(vec![("first_family_count", first_family_count.to_json())]),
+            )]),
+            InterlaceStrategy::SafariStyle => Json::Str("SafariStyle".into()),
+            InterlaceStrategy::Hev1SingleFallback => Json::Str("Hev1SingleFallback".into()),
+            InterlaceStrategy::NoFallback => Json::Str("NoFallback".into()),
+        }
+    }
+}
+
+impl lazyeye_json::FromJson for InterlaceStrategy {
+    fn from_json(v: &lazyeye_json::Json) -> Result<InterlaceStrategy, lazyeye_json::JsonError> {
+        use lazyeye_json::JsonError;
+        match v.as_str() {
+            Some("SafariStyle") => return Ok(InterlaceStrategy::SafariStyle),
+            Some("Hev1SingleFallback") => return Ok(InterlaceStrategy::Hev1SingleFallback),
+            Some("NoFallback") => return Ok(InterlaceStrategy::NoFallback),
+            _ => {}
+        }
+        if let Some(tagged) = v.get("Rfc8305") {
+            return Ok(InterlaceStrategy::Rfc8305 {
+                first_family_count: usize::from_json(&tagged["first_family_count"])?,
+            });
+        }
+        Err(JsonError::new(format!(
+            "expected InterlaceStrategy, got {v}"
+        )))
+    }
 }
 
 impl HeConfig {
@@ -276,11 +375,23 @@ mod tests {
 
     #[test]
     fn config_roundtrips_through_json() {
+        use lazyeye_json::{FromJson, Json, ToJson};
         let cfg = HeConfig::rfc8305();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: HeConfig = serde_json::from_str(&json).unwrap();
+        let json = cfg.to_json().to_string_compact();
+        let back = HeConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.cad, cfg.cad);
         assert_eq!(back.interlace, cfg.interlace);
         assert_eq!(back.prefer, cfg.prefer);
+
+        // The tagged variants roundtrip too.
+        let dynamic = HeConfig {
+            cad: CadMode::rfc_dynamic(),
+            interlace: InterlaceStrategy::SafariStyle,
+            ..cfg
+        };
+        let json = dynamic.to_json().to_string_pretty();
+        let back = HeConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.cad, dynamic.cad);
+        assert_eq!(back.interlace, dynamic.interlace);
     }
 }

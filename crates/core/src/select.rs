@@ -192,7 +192,14 @@ mod tests {
         );
         assert_eq!(
             fams(&order),
-            [Family::V6, Family::V4, Family::V6, Family::V4, Family::V6, Family::V4]
+            [
+                Family::V6,
+                Family::V4,
+                Family::V6,
+                Family::V4,
+                Family::V6,
+                Family::V4
+            ]
         );
     }
 
@@ -208,7 +215,14 @@ mod tests {
         );
         assert_eq!(
             fams(&order),
-            [Family::V6, Family::V6, Family::V4, Family::V6, Family::V4, Family::V4]
+            [
+                Family::V6,
+                Family::V6,
+                Family::V4,
+                Family::V6,
+                Family::V4,
+                Family::V4
+            ]
         );
     }
 
@@ -232,7 +246,12 @@ mod tests {
     fn safari_style_pattern_matches_figure5() {
         // 10 + 10 addresses: v6 v6 v4 then v6×8 then v4×9 — exactly the
         // paper's Figure 5 row for Safari.
-        let order = interlace(&v6s(10), &v4s(10), Family::V6, InterlaceStrategy::SafariStyle);
+        let order = interlace(
+            &v6s(10),
+            &v4s(10),
+            Family::V6,
+            InterlaceStrategy::SafariStyle,
+        );
         let f = fams(&order);
         assert_eq!(f.len(), 20);
         assert_eq!(f[0], Family::V6);

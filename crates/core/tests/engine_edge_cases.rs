@@ -39,7 +39,9 @@ fn bed_with(auth_cfg: AuthConfig, seed: u64) -> Bed {
         let listener = server.tcp_listen_any(80).unwrap();
         spawn(async move {
             loop {
-                let Ok((s, _)) = listener.accept().await else { break };
+                let Ok((s, _)) = listener.accept().await else {
+                    break;
+                };
                 std::mem::forget(s);
             }
         });
@@ -341,9 +343,9 @@ fn selection_with_asymmetric_counts() {
     cfg.attempt_timeout = Duration::from_secs(2);
     cfg.overall_deadline = Duration::from_secs(60);
     let he = engine(&bed, cfg);
-    let res = bed.sim.block_on(async move {
-        he.connect(&n("d0-tnone-nx.asym.test"), 80).await
-    });
+    let res = bed
+        .sim
+        .block_on(async move { he.connect(&n("d0-tnone-nx.asym.test"), 80).await });
     assert_eq!(res.connection.unwrap_err(), HeError::AllAttemptsFailed);
     assert_eq!(
         res.log.attempt_families(),

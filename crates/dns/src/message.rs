@@ -255,7 +255,11 @@ impl Message {
                 qclass,
             });
         }
-        let mut sections = [Vec::with_capacity(an), Vec::with_capacity(ns), Vec::with_capacity(ar)];
+        let mut sections = [
+            Vec::with_capacity(an),
+            Vec::with_capacity(ns),
+            Vec::with_capacity(ar),
+        ];
         for (idx, count) in [an, ns, ar].into_iter().enumerate() {
             for _ in 0..count {
                 let name = Name::decode(msg, &mut pos)?;
@@ -264,7 +268,8 @@ impl Message {
                 }
                 let rtype = RrType::from_code(u16::from_be_bytes([msg[pos], msg[pos + 1]]));
                 let class = RrClass::from_code(u16::from_be_bytes([msg[pos + 2], msg[pos + 3]]));
-                let ttl = u32::from_be_bytes([msg[pos + 4], msg[pos + 5], msg[pos + 6], msg[pos + 7]]);
+                let ttl =
+                    u32::from_be_bytes([msg[pos + 4], msg[pos + 5], msg[pos + 6], msg[pos + 7]]);
                 let rd_len = u16::from_be_bytes([msg[pos + 8], msg[pos + 9]]) as usize;
                 pos += 10;
                 let rdata = RData::decode(rtype, msg, pos, rd_len)?;

@@ -223,7 +223,7 @@ fn eq_label(a: &[u8], b: &[u8]) -> bool {
     a.len() == b.len()
         && a.iter()
             .zip(b.iter())
-            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+            .all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
 impl PartialEq for Name {
@@ -409,7 +409,7 @@ mod tests {
 
     #[test]
     fn ordering_is_case_insensitive() {
-        let mut names = vec![n("b.com"), n("A.com"), n("c.com")];
+        let mut names = [n("b.com"), n("A.com"), n("c.com")];
         names.sort();
         assert_eq!(names[0], n("a.com"));
     }

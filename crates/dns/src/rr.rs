@@ -273,7 +273,8 @@ impl RData {
                 }
                 let mut nums = [0u32; 5];
                 for slot in &mut nums {
-                    *slot = u32::from_be_bytes([msg[pos], msg[pos + 1], msg[pos + 2], msg[pos + 3]]);
+                    *slot =
+                        u32::from_be_bytes([msg[pos], msg[pos + 1], msg[pos + 2], msg[pos + 3]]);
                     pos += 4;
                 }
                 Ok(RData::Soa(Soa {
@@ -482,7 +483,11 @@ mod tests {
 
     #[test]
     fn record_display() {
-        let r = Record::new(n("example.com"), 300, RData::A("192.0.2.1".parse().unwrap()));
+        let r = Record::new(
+            n("example.com"),
+            300,
+            RData::A("192.0.2.1".parse().unwrap()),
+        );
         assert_eq!(r.to_string(), "example.com. 300 IN A 192.0.2.1");
     }
 }

@@ -93,7 +93,7 @@ impl SvcParam {
                 Ok(SvcParam::Port(u16::from_be_bytes([raw[0], raw[1]])))
             }
             4 => {
-                if raw.len() % 4 != 0 || raw.is_empty() {
+                if !raw.len().is_multiple_of(4) || raw.is_empty() {
                     return Err(DnsError::BadRdata("ipv4hint length"));
                 }
                 Ok(SvcParam::Ipv4Hint(
@@ -104,7 +104,7 @@ impl SvcParam {
             }
             5 => Ok(SvcParam::Ech(raw.to_vec())),
             6 => {
-                if raw.len() % 16 != 0 || raw.is_empty() {
+                if !raw.len().is_multiple_of(16) || raw.is_empty() {
                     return Err(DnsError::BadRdata("ipv6hint length"));
                 }
                 Ok(SvcParam::Ipv6Hint(

@@ -158,8 +158,7 @@ impl Zone {
                 .records
                 .iter()
                 .filter(|r| {
-                    matches!(r.rtype(), RrType::A | RrType::Aaaa)
-                        && ns_names.iter().any(|n| *n == &r.name)
+                    matches!(r.rtype(), RrType::A | RrType::Aaaa) && ns_names.contains(&&r.name)
                 })
                 .cloned()
                 .collect();
@@ -185,11 +184,10 @@ impl Zone {
             if qtype != RrType::Cname {
                 let mut chain = vec![(*cname_rec).clone()];
                 if let RData::Cname(target) = &cname_rec.rdata {
-                    match self.answer(target, qtype) {
-                        ZoneAnswer::Records(mut more) => chain.append(&mut more),
-                        // Target outside the zone or empty: return just the
-                        // CNAME; the resolver restarts the query.
-                        _ => {}
+                    // Target outside the zone or empty: return just the
+                    // CNAME; the resolver restarts the query.
+                    if let ZoneAnswer::Records(mut more) = self.answer(target, qtype) {
+                        chain.append(&mut more);
                     }
                 }
                 return ZoneAnswer::Records(chain);
@@ -257,7 +255,11 @@ mod tests {
         z.aaaa(&n("www.example.com"), "2001:db8::1".parse().unwrap(), 300);
         // Delegation of sub.example.com.
         z.ns(&n("sub.example.com"), &n("ns1.sub.example.com"), 3600);
-        z.a(&n("ns1.sub.example.com"), "192.0.2.54".parse().unwrap(), 3600);
+        z.a(
+            &n("ns1.sub.example.com"),
+            "192.0.2.54".parse().unwrap(),
+            3600,
+        );
         z.aaaa(
             &n("ns1.sub.example.com"),
             "2001:db8::54".parse().unwrap(),

@@ -1,9 +1,7 @@
 //! Property-based tests: every well-formed message survives an
 //! encode→decode roundtrip, and the decoder never panics on garbage.
 
-use lazyeye_dns::{
-    Message, Name, RData, Rcode, Record, RrType, Soa, SvcParam, SvcParams,
-};
+use lazyeye_dns::{Message, Name, RData, Rcode, Record, RrType, Soa, SvcParam, SvcParams};
 use proptest::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = String> {

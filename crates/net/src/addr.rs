@@ -3,15 +3,15 @@
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// IP address family — the axis Happy Eyeballs races along.
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum Family {
     /// IPv4.
     V4,
     /// IPv6.
     V6,
 }
+
+lazyeye_json::impl_json_unit_enum!(Family { V4, V6 });
 
 impl Family {
     /// Family of an address.

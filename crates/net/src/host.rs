@@ -178,7 +178,9 @@ impl Host {
 
     /// Removes a blackhole marking.
     pub fn unblackhole(&self, a: IpAddr) {
-        self.world.borrow_mut().hosts[self.idx].blackholes.remove(&a);
+        self.world.borrow_mut().hosts[self.idx]
+            .blackholes
+            .remove(&a);
     }
 
     /// Enables/disables packet capture on this host (on by default).

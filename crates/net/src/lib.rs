@@ -190,7 +190,10 @@ mod tests {
         let _server = net.host("server").v6("2001:db8::1").build();
         let v4_only = net.host("client").v4("192.0.2.100").build();
         let err = sim.block_on(async move {
-            v4_only.tcp_connect(sa("2001:db8::1", 80)).await.unwrap_err()
+            v4_only
+                .tcp_connect(sa("2001:db8::1", 80))
+                .await
+                .unwrap_err()
         });
         assert_eq!(err, NetError::NoRoute);
     }
@@ -245,7 +248,9 @@ mod tests {
             let ssock = server.udp_bind_any(53).unwrap();
             spawn(async move {
                 loop {
-                    let Ok((p, src)) = ssock.recv_from().await else { break };
+                    let Ok((p, src)) = ssock.recv_from().await else {
+                        break;
+                    };
                     ssock.send_to(p, src).unwrap();
                 }
             });
@@ -367,7 +372,9 @@ mod tests {
             let ssock = server.udp_bind_any(7).unwrap();
             spawn(async move {
                 loop {
-                    let Ok((p, src)) = ssock.recv_from().await else { break };
+                    let Ok((p, src)) = ssock.recv_from().await else {
+                        break;
+                    };
                     ssock.send_to(p, src).unwrap();
                 }
             });
@@ -375,7 +382,8 @@ mod tests {
             let mut rtts = Vec::new();
             for _ in 0..20 {
                 let t0 = lazyeye_sim::now();
-                c.send_to(Bytes::from_static(b"p"), sa("192.0.2.1", 7)).unwrap();
+                c.send_to(Bytes::from_static(b"p"), sa("192.0.2.1", 7))
+                    .unwrap();
                 let _ = c.recv_from().await.unwrap();
                 rtts.push((lazyeye_sim::now() - t0).as_millis());
             }
@@ -425,7 +433,8 @@ mod tests {
         let n = sim.block_on(async move {
             let ssock = server.udp_bind_any(9).unwrap();
             let c = client.udp_bind_any(0).unwrap();
-            c.send_to(Bytes::from_static(b"dup"), sa("192.0.2.1", 9)).unwrap();
+            c.send_to(Bytes::from_static(b"dup"), sa("192.0.2.1", 9))
+                .unwrap();
             let mut n = 0;
             while lazyeye_sim::timeout(Duration::from_millis(10), ssock.recv_from())
                 .await

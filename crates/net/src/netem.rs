@@ -218,7 +218,10 @@ mod tests {
     #[test]
     fn no_match_returns_none() {
         let rules = vec![NetemRule::family(Family::V6, Netem::delay_ms(100))];
-        assert_eq!(first_match(&rules, &pkt("10.0.0.1", "10.0.0.2", Proto::Udp)), None);
+        assert_eq!(
+            first_match(&rules, &pkt("10.0.0.1", "10.0.0.2", Proto::Udp)),
+            None
+        );
     }
 
     #[test]

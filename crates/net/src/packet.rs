@@ -167,7 +167,10 @@ mod tests {
 
     #[test]
     fn payload_len() {
-        assert_eq!(PacketKind::Data(Bytes::from_static(b"abcd")).payload_len(), 4);
+        assert_eq!(
+            PacketKind::Data(Bytes::from_static(b"abcd")).payload_len(),
+            4
+        );
         assert_eq!(PacketKind::Syn.payload_len(), 0);
     }
 }

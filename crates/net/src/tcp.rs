@@ -109,7 +109,9 @@ pub(crate) async fn connect(
         let key = (local, remote);
         let mut conn = ConnState::new(Phase::SynSent);
         conn.events = Some(tx);
-        w.hosts[host].tcp_conns.insert(key, Rc::new(std::cell::RefCell::new(conn)));
+        w.hosts[host]
+            .tcp_conns
+            .insert(key, Rc::new(std::cell::RefCell::new(conn)));
         key
     };
 
@@ -385,7 +387,9 @@ pub struct TcpListener {
 
 impl std::fmt::Debug for TcpListener {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpListener").field("addr", &self.addr).finish()
+        f.debug_struct("TcpListener")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -417,7 +421,9 @@ impl Drop for TcpListener {
         self.state.borrow_mut().closed = true;
         let mut w = self.world.borrow_mut();
         if self.addr.ip().is_unspecified() {
-            w.hosts[self.host].tcp_listeners_any.remove(&self.addr.port());
+            w.hosts[self.host]
+                .tcp_listeners_any
+                .remove(&self.addr.port());
         } else {
             w.hosts[self.host]
                 .tcp_listeners
@@ -432,10 +438,7 @@ struct AcceptFut {
 
 impl std::future::Future for AcceptFut {
     type Output = Result<ConnKey, NetError>;
-    fn poll(
-        self: std::pin::Pin<&mut Self>,
-        cx: &mut std::task::Context<'_>,
-    ) -> Poll<Self::Output> {
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> Poll<Self::Output> {
         let mut l = self.state.borrow_mut();
         if let Some(key) = l.queue.pop_front() {
             return Poll::Ready(Ok(key));
@@ -484,7 +487,10 @@ impl TcpStream {
     }
 
     fn conn(&self) -> Option<Rc<std::cell::RefCell<ConnState>>> {
-        self.world.borrow().hosts[self.host].tcp_conns.get(&self.key).cloned()
+        self.world.borrow().hosts[self.host]
+            .tcp_conns
+            .get(&self.key)
+            .cloned()
     }
 
     /// Sends bytes (segmented at MSS); delivery is ordered and reliable.
@@ -584,7 +590,9 @@ impl TcpStream {
 impl Drop for TcpStream {
     fn drop(&mut self) {
         self.close();
-        self.world.borrow_mut().hosts[self.host].tcp_conns.remove(&self.key);
+        self.world.borrow_mut().hosts[self.host]
+            .tcp_conns
+            .remove(&self.key);
     }
 }
 
@@ -595,10 +603,7 @@ struct ReadFut<'a> {
 
 impl std::future::Future for ReadFut<'_> {
     type Output = Result<Option<Bytes>, NetError>;
-    fn poll(
-        self: std::pin::Pin<&mut Self>,
-        cx: &mut std::task::Context<'_>,
-    ) -> Poll<Self::Output> {
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> Poll<Self::Output> {
         let Some(conn) = self.stream.conn() else {
             return Poll::Ready(Ok(None));
         };

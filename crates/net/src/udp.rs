@@ -32,7 +32,9 @@ pub struct UdpSocket {
 
 impl std::fmt::Debug for UdpSocket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("UdpSocket").field("local", &self.local).finish()
+        f.debug_struct("UdpSocket")
+            .field("local", &self.local)
+            .finish()
     }
 }
 
@@ -52,7 +54,9 @@ pub(crate) fn bind(world: &WorldRc, host: usize, addr: SocketAddr) -> Result<Udp
         if w.hosts[host].udp_any.contains_key(&local.port()) {
             return Err(NetError::AddrInUse);
         }
-        w.hosts[host].udp_any.insert(local.port(), Rc::clone(&state));
+        w.hosts[host]
+            .udp_any
+            .insert(local.port(), Rc::clone(&state));
     } else {
         if !w.hosts[host].addrs.contains(&local.ip()) {
             return Err(NetError::AddrNotAvailable);
@@ -162,10 +166,7 @@ struct RecvFut<'a> {
 
 impl std::future::Future for RecvFut<'_> {
     type Output = Result<(Bytes, SocketAddr), NetError>;
-    fn poll(
-        self: std::pin::Pin<&mut Self>,
-        cx: &mut std::task::Context<'_>,
-    ) -> Poll<Self::Output> {
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> Poll<Self::Output> {
         let mut s = self.sock.state.borrow_mut();
         if let Some((src, payload)) = s.queue.pop_front() {
             return Poll::Ready(Ok((payload, src)));

@@ -82,7 +82,7 @@ impl HostState {
 
     pub fn alloc_ephemeral(&mut self) -> u16 {
         let p = self.next_ephemeral;
-        self.next_ephemeral = if p >= 65535 { 49152 } else { p + 1 };
+        self.next_ephemeral = if p == 65535 { 49152 } else { p + 1 };
         p
     }
 }

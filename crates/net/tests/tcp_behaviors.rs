@@ -38,7 +38,9 @@ fn backlog_overflow_drops_syns_until_accepted() {
         lazyeye_sim::sleep(Duration::from_millis(300)).await;
         spawn(async move {
             loop {
-                let Ok((s, _)) = listener.accept().await else { break };
+                let Ok((s, _)) = listener.accept().await else {
+                    break;
+                };
                 std::mem::forget(s);
             }
         });
@@ -75,8 +77,10 @@ fn accept_after_listener_close_errors() {
 fn rst_policy_vs_drop_policy_timing() {
     // The two failure modes HE distinguishes: refusal is instant, a
     // blackhole costs the full retransmission schedule.
-    for (policy, expect_fast) in [(ClosedPortPolicy::Rst, true), (ClosedPortPolicy::Drop, false)]
-    {
+    for (policy, expect_fast) in [
+        (ClosedPortPolicy::Rst, true),
+        (ClosedPortPolicy::Drop, false),
+    ] {
         let mut sim = Sim::new(3);
         let net = Network::new();
         let server = net.host("s").v4("192.0.2.1").build();
@@ -168,7 +172,7 @@ fn capture_sees_both_directions_with_payload_sizes() {
         .filter(|r| r.dir == Direction::Rx && r.kind == "DATA")
         .count();
     assert_eq!(rx_data, 3, "3000 bytes = 1400+1400+200 segments");
-    assert_eq!(cap.count_family(Direction::Tx, Family::V4) > 0, true);
+    assert!(cap.count_family(Direction::Tx, Family::V4) > 0);
     assert!(cap.records().iter().all(|r| r.proto == Proto::Tcp));
 }
 
@@ -182,7 +186,9 @@ fn ephemeral_ports_do_not_collide_across_many_conns() {
         let listener = server.tcp_listen_any(80).unwrap();
         spawn(async move {
             loop {
-                let Ok((s, _)) = listener.accept().await else { break };
+                let Ok((s, _)) = listener.accept().await else {
+                    break;
+                };
                 std::mem::forget(s);
             }
         });

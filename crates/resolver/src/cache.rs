@@ -115,8 +115,12 @@ mod tests {
         let c = DnsCache::new();
         let t0 = SimTime::ZERO;
         c.put(t0, n("a.example"), RrType::A, vec![a_rec("a.example", 60)]);
-        assert!(c.get(SimTime::from_secs(59), &n("a.example"), RrType::A).is_some());
-        assert!(c.get(SimTime::from_secs(60), &n("a.example"), RrType::A).is_none());
+        assert!(c
+            .get(SimTime::from_secs(59), &n("a.example"), RrType::A)
+            .is_some());
+        assert!(c
+            .get(SimTime::from_secs(60), &n("a.example"), RrType::A)
+            .is_none());
     }
 
     #[test]
@@ -125,13 +129,20 @@ mod tests {
         c.put_negative(SimTime::ZERO, n("missing.example"), RrType::Aaaa, 30);
         let got = c.get(SimTime::from_secs(10), &n("missing.example"), RrType::Aaaa);
         assert_eq!(got, Some(Vec::new()));
-        assert!(c.get(SimTime::from_secs(31), &n("missing.example"), RrType::Aaaa).is_none());
+        assert!(c
+            .get(SimTime::from_secs(31), &n("missing.example"), RrType::Aaaa)
+            .is_none());
     }
 
     #[test]
     fn zero_ttl_not_cached() {
         let c = DnsCache::new();
-        c.put(SimTime::ZERO, n("z.example"), RrType::A, vec![a_rec("z.example", 0)]);
+        c.put(
+            SimTime::ZERO,
+            n("z.example"),
+            RrType::A,
+            vec![a_rec("z.example", 0)],
+        );
         assert!(c.get(SimTime::ZERO, &n("z.example"), RrType::A).is_none());
         assert!(c.is_empty());
     }
@@ -145,28 +156,51 @@ mod tests {
             RrType::A,
             vec![a_rec("m.example", 300), a_rec("m.example", 10)],
         );
-        assert!(c.get(SimTime::from_secs(9), &n("m.example"), RrType::A).is_some());
-        assert!(c.get(SimTime::from_secs(11), &n("m.example"), RrType::A).is_none());
+        assert!(c
+            .get(SimTime::from_secs(9), &n("m.example"), RrType::A)
+            .is_some());
+        assert!(c
+            .get(SimTime::from_secs(11), &n("m.example"), RrType::A)
+            .is_none());
     }
 
     #[test]
     fn qtype_is_part_of_key() {
         let c = DnsCache::new();
-        c.put(SimTime::ZERO, n("k.example"), RrType::A, vec![a_rec("k.example", 60)]);
-        assert!(c.get(SimTime::ZERO, &n("k.example"), RrType::Aaaa).is_none());
+        c.put(
+            SimTime::ZERO,
+            n("k.example"),
+            RrType::A,
+            vec![a_rec("k.example", 60)],
+        );
+        assert!(c
+            .get(SimTime::ZERO, &n("k.example"), RrType::Aaaa)
+            .is_none());
     }
 
     #[test]
     fn names_case_insensitive() {
         let c = DnsCache::new();
-        c.put(SimTime::ZERO, n("WWW.Example.COM"), RrType::A, vec![a_rec("www.example.com", 60)]);
-        assert!(c.get(SimTime::ZERO, &n("www.example.com"), RrType::A).is_some());
+        c.put(
+            SimTime::ZERO,
+            n("WWW.Example.COM"),
+            RrType::A,
+            vec![a_rec("www.example.com", 60)],
+        );
+        assert!(c
+            .get(SimTime::ZERO, &n("www.example.com"), RrType::A)
+            .is_some());
     }
 
     #[test]
     fn clear_and_stats() {
         let c = DnsCache::new();
-        c.put(SimTime::ZERO, n("s.example"), RrType::A, vec![a_rec("s.example", 60)]);
+        c.put(
+            SimTime::ZERO,
+            n("s.example"),
+            RrType::A,
+            vec![a_rec("s.example", 60)],
+        );
         let _ = c.get(SimTime::ZERO, &n("s.example"), RrType::A);
         let _ = c.get(SimTime::ZERO, &n("t.example"), RrType::A);
         let (h, m) = c.stats();

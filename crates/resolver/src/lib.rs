@@ -62,8 +62,16 @@ mod tests {
     fn build_bed(seed: u64) -> Bed {
         let sim = Sim::new(seed);
         let net = Network::new();
-        let root = net.host("root-ns").v4("198.41.0.4").v6("2001:503:ba3e::2:30").build();
-        let auth = net.host("auth-ns").v4("192.0.2.53").v6("2001:db8:53::53").build();
+        let root = net
+            .host("root-ns")
+            .v4("198.41.0.4")
+            .v6("2001:503:ba3e::2:30")
+            .build();
+        let auth = net
+            .host("auth-ns")
+            .v4("192.0.2.53")
+            .v6("2001:db8:53::53")
+            .build();
         let resolver_host = net
             .host("resolver")
             .v4("192.0.2.10")
@@ -157,11 +165,7 @@ mod tests {
             assert!(after.0 > before.0, "second resolve must be a cache hit");
         });
         // No second round of packets to the auth server.
-        let auth_queries = bed
-            .auth
-            .capture()
-            .udp_rx()
-            .count();
+        let auth_queries = bed.auth.capture().udp_rx().count();
         assert_eq!(auth_queries, 1, "only one AAAA query reaches the auth NS");
     }
 
@@ -172,9 +176,9 @@ mod tests {
             bed.resolver_host.clone(),
             RecursiveConfig::new(bed.roots.clone()),
         );
-        let res = bed.sim.block_on(async move {
-            resolver.resolve(&n("alias.test"), RrType::A).await.unwrap()
-        });
+        let res = bed
+            .sim
+            .block_on(async move { resolver.resolve(&n("alias.test"), RrType::A).await.unwrap() });
         assert_eq!(res.records.len(), 2, "CNAME + A");
         assert_eq!(res.records[0].rtype(), RrType::Cname);
         assert_eq!(res.records[1].rtype(), RrType::A);
@@ -188,7 +192,10 @@ mod tests {
             RecursiveConfig::new(bed.roots.clone()),
         );
         let res = bed.sim.block_on(async move {
-            resolver.resolve(&n("missing.test"), RrType::A).await.unwrap()
+            resolver
+                .resolve(&n("missing.test"), RrType::A)
+                .await
+                .unwrap()
         });
         assert_eq!(res.rcode, Rcode::NxDomain);
         assert!(res.records.is_empty());
@@ -246,9 +253,9 @@ mod tests {
         let mut cfg = RecursiveConfig::new(bed.roots.clone());
         cfg.policy = bind9().policy; // always v6 first, 800 ms timeout
         let resolver = RecursiveResolver::new(bed.resolver_host.clone(), cfg);
-        let res = bed.sim.block_on(async move {
-            resolver.resolve(&n("www.test"), RrType::A).await.unwrap()
-        });
+        let res = bed
+            .sim
+            .block_on(async move { resolver.resolve(&n("www.test"), RrType::A).await.unwrap() });
         assert_eq!(res.records.len(), 1, "answer still obtained via IPv4");
         // The fallback is visible on the resolver host: a v6 query with no
         // answer, then a v4 query ~800 ms later.
@@ -275,9 +282,9 @@ mod tests {
             let mut cfg = RecursiveConfig::new(bed.roots.clone());
             cfg.policy = unbound().policy;
             let resolver = RecursiveResolver::new(bed.resolver_host.clone(), cfg);
-            let res = bed.sim.block_on(async move {
-                resolver.resolve(&n("www.test"), RrType::A).await
-            });
+            let res = bed
+                .sim
+                .block_on(async move { resolver.resolve(&n("www.test"), RrType::A).await });
             assert!(res.is_ok(), "must still resolve via v4");
             let cap = bed.resolver_host.capture();
             let v6_times: Vec<_> = cap
@@ -390,6 +397,9 @@ mod tests {
             let _ = resolver.resolve(&n("www.test"), RrType::A).await.unwrap();
         });
         let root_rx = bed.root.capture().udp_rx().count();
-        assert_eq!(root_rx, 1, "one query to the root, then the referral is followed");
+        assert_eq!(
+            root_rx, 1,
+            "one query to the root, then the referral is followed"
+        );
     }
 }

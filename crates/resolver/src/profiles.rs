@@ -209,7 +209,15 @@ pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
             name: "DNS0.EU",
             kind: ProfileKind::OpenService,
             policy: {
-                let mut pol = p(AaaaBeforeA, Probability(0.095), 700, StickToFamily, 0.6, 1.0, 4);
+                let mut pol = p(
+                    AaaaBeforeA,
+                    Probability(0.095),
+                    700,
+                    StickToFamily,
+                    0.6,
+                    1.0,
+                    4,
+                );
                 pol.parallel_families = true;
                 pol
             },
@@ -222,7 +230,15 @@ pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
         ResolverProfile {
             name: "NextDNS",
             kind: ProfileKind::OpenService,
-            policy: p(AaaaBeforeA, Probability(0.089), 200, SwitchFamily, 0.0, 2.0, 4),
+            policy: p(
+                AaaaBeforeA,
+                Probability(0.089),
+                200,
+                SwitchFamily,
+                0.0,
+                2.0,
+                4,
+            ),
             v4_addrs: 2,
             v6_addrs: 2,
             ipv6_only_capable: true,
@@ -232,7 +248,15 @@ pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
         ResolverProfile {
             name: "Quad 101",
             kind: ProfileKind::OpenService,
-            policy: p(AaaaBeforeA, Probability(0.10), 400, SwitchFamily, 0.0, 2.0, 4),
+            policy: p(
+                AaaaBeforeA,
+                Probability(0.10),
+                400,
+                SwitchFamily,
+                0.0,
+                2.0,
+                4,
+            ),
             v4_addrs: 2,
             v6_addrs: 2,
             ipv6_only_capable: true,
@@ -242,7 +266,15 @@ pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
         ResolverProfile {
             name: "114DNS",
             kind: ProfileKind::OpenService,
-            policy: p(AaaaBeforeA, Probability(0.111), 600, SwitchFamily, 0.0, 2.0, 4),
+            policy: p(
+                AaaaBeforeA,
+                Probability(0.111),
+                600,
+                SwitchFamily,
+                0.0,
+                2.0,
+                4,
+            ),
             v4_addrs: 2,
             v6_addrs: 0,
             ipv6_only_capable: true,
@@ -252,7 +284,15 @@ pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
         ResolverProfile {
             name: "Cloudflare",
             kind: ProfileKind::OpenService,
-            policy: p(AaaaBeforeA, Probability(0.111), 500, SwitchFamily, 0.5, 1.0, 4),
+            policy: p(
+                AaaaBeforeA,
+                Probability(0.111),
+                500,
+                SwitchFamily,
+                0.5,
+                1.0,
+                4,
+            ),
             v4_addrs: 2,
             v6_addrs: 2,
             ipv6_only_capable: true,
@@ -262,7 +302,15 @@ pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
         ResolverProfile {
             name: "Verisign P. DNS",
             kind: ProfileKind::OpenService,
-            policy: p(AaaaBeforeA, Probability(0.153), 250, SwitchFamily, 0.0, 2.0, 4),
+            policy: p(
+                AaaaBeforeA,
+                Probability(0.153),
+                250,
+                SwitchFamily,
+                0.0,
+                2.0,
+                4,
+            ),
             v4_addrs: 2,
             v6_addrs: 2,
             ipv6_only_capable: true,
@@ -272,7 +320,15 @@ pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
         ResolverProfile {
             name: "Yandex",
             kind: ProfileKind::OpenService,
-            policy: p(AaaaBeforeA, Probability(0.174), 300, StickToFamily, 0.85, 1.0, 6),
+            policy: p(
+                AaaaBeforeA,
+                Probability(0.174),
+                300,
+                StickToFamily,
+                0.85,
+                1.0,
+                6,
+            ),
             v4_addrs: 2,
             v6_addrs: 2,
             ipv6_only_capable: true,
@@ -282,7 +338,15 @@ pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
         ResolverProfile {
             name: "H-MSK-IX",
             kind: ProfileKind::OpenService,
-            policy: p(AaaaBeforeA, Probability(0.205), 600, SwitchFamily, 0.4, 1.0, 4),
+            policy: p(
+                AaaaBeforeA,
+                Probability(0.205),
+                600,
+                SwitchFamily,
+                0.4,
+                1.0,
+                4,
+            ),
             v4_addrs: 2,
             v6_addrs: 2,
             ipv6_only_capable: true,
@@ -292,7 +356,15 @@ pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
         ResolverProfile {
             name: "MSK-IX",
             kind: ProfileKind::OpenService,
-            policy: p(AaaaBeforeA, Probability(0.221), 600, SwitchFamily, 0.4, 1.0, 4),
+            policy: p(
+                AaaaBeforeA,
+                Probability(0.221),
+                600,
+                SwitchFamily,
+                0.4,
+                1.0,
+                4,
+            ),
             v4_addrs: 2,
             v6_addrs: 2,
             ipv6_only_capable: true,
@@ -302,7 +374,15 @@ pub fn open_resolver_profiles() -> Vec<ResolverProfile> {
         ResolverProfile {
             name: "Quad9 DNS",
             kind: ProfileKind::OpenService,
-            policy: p(AaaaBeforeA, Probability(0.342), 1250, SwitchFamily, 0.4, 1.0, 4),
+            policy: p(
+                AaaaBeforeA,
+                Probability(0.342),
+                1250,
+                SwitchFamily,
+                0.4,
+                1.0,
+                4,
+            ),
             v4_addrs: 6,
             v6_addrs: 6,
             ipv6_only_capable: true,
@@ -383,12 +463,7 @@ mod tests {
     #[test]
     fn markers_match_paper() {
         let all = all_profiles();
-        let marker = |name: &str| {
-            all.iter()
-                .find(|p| p.name == name)
-                .unwrap()
-                .aaaa_marker()
-        };
+        let marker = |name: &str| all.iter().find(|p| p.name == name).unwrap().aaaa_marker();
         assert_eq!(marker("BIND"), AaaaMarker::AfterA);
         assert_eq!(marker("Unbound"), AaaaMarker::BeforeA);
         assert_eq!(marker("Knot Resolver"), AaaaMarker::EitherNotBoth);
@@ -422,10 +497,16 @@ mod tests {
         let open = open_resolver_profiles();
         let find = |n: &str| open.iter().find(|p| p.name == n).unwrap();
         assert_eq!((find("OpenDNS").v4_addrs, find("OpenDNS").v6_addrs), (6, 6));
-        assert_eq!((find("Quad9 DNS").v4_addrs, find("Quad9 DNS").v6_addrs), (6, 6));
+        assert_eq!(
+            (find("Quad9 DNS").v4_addrs, find("Quad9 DNS").v6_addrs),
+            (6, 6)
+        );
         assert_eq!((find("114DNS").v4_addrs, find("114DNS").v6_addrs), (2, 0));
         assert_eq!(
-            (find("Lumen (Level3)").v4_addrs, find("Lumen (Level3)").v6_addrs),
+            (
+                find("Lumen (Level3)").v4_addrs,
+                find("Lumen (Level3)").v6_addrs
+            ),
             (4, 0)
         );
     }

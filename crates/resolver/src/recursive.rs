@@ -181,7 +181,8 @@ impl RecursiveResolver {
                     Rcode::NoError => {}
                     Rcode::NxDomain => {
                         let neg_ttl = soa_minimum(&resp).unwrap_or(300);
-                        this.cache.put_negative(now(), current.clone(), qtype, neg_ttl);
+                        this.cache
+                            .put_negative(now(), current.clone(), qtype, neg_ttl);
                         return Ok(ResolveResult {
                             rcode: Rcode::NxDomain,
                             records: collected_cnames,
@@ -272,12 +273,8 @@ impl RecursiveResolver {
                                 .collect();
                             // Cache glue for later steps.
                             for g in resp.additionals.iter().filter(|g| &g.name == nsname) {
-                                this.cache.put(
-                                    now(),
-                                    g.name.clone(),
-                                    g.rtype(),
-                                    vec![g.clone()],
-                                );
+                                this.cache
+                                    .put(now(), g.name.clone(), g.rtype(), vec![g.clone()]);
                             }
                             next.push(NsCandidate {
                                 name: nsname.clone(),
@@ -291,7 +288,8 @@ impl RecursiveResolver {
 
                 // NODATA.
                 let neg_ttl = soa_minimum(&resp).unwrap_or(300);
-                this.cache.put_negative(now(), current.clone(), qtype, neg_ttl);
+                this.cache
+                    .put_negative(now(), current.clone(), qtype, neg_ttl);
                 return Ok(ResolveResult {
                     rcode: Rcode::NoError,
                     records: collected_cnames,
@@ -305,7 +303,7 @@ impl RecursiveResolver {
     /// resolving missing ones according to [`NsQueryStyle`].
     async fn gather_addresses(
         self: &Rc<Self>,
-        servers: &mut Vec<NsCandidate>,
+        servers: &mut [NsCandidate],
         depth: u32,
     ) -> Result<Vec<IpAddr>, ResolveError> {
         let mut addrs: Vec<IpAddr> = servers.iter().flat_map(|s| s.addrs.clone()).collect();

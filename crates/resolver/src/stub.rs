@@ -267,7 +267,9 @@ mod tests {
         let (client, ns, auth) = (bed.client.clone(), bed.ns.clone(), bed.auth.clone());
         let ans = bed.sim.block_on(async move {
             spawn(serve(ns.udp_bind_any(53).unwrap(), auth));
-            stub(&client).query_one(&n("www.example.com"), RrType::A).await
+            stub(&client)
+                .query_one(&n("www.example.com"), RrType::A)
+                .await
         });
         assert_eq!(ans.outcome, AnswerOutcome::Ok);
         assert_eq!(ans.records.len(), 1);
@@ -337,7 +339,9 @@ mod tests {
         let (client, ns, auth) = (bed.client.clone(), bed.ns.clone(), bed.auth.clone());
         let ans = bed.sim.block_on(async move {
             spawn(serve(ns.udp_bind_any(53).unwrap(), auth));
-            stub(&client).query_one(&n("missing.example.com"), RrType::A).await
+            stub(&client)
+                .query_one(&n("missing.example.com"), RrType::A)
+                .await
         });
         assert_eq!(ans.outcome, AnswerOutcome::NxDomain);
         assert!(ans.records.is_empty());

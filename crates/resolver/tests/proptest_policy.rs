@@ -2,8 +2,8 @@
 //! planner must uphold its invariants for any candidate set and any RNG
 //! samples.
 
-use lazyeye_resolver::{plan_attempts, prefer_v6, RetryStyle, SelectionPolicy, V6Preference};
 use lazyeye_net::Family;
+use lazyeye_resolver::{plan_attempts, prefer_v6, RetryStyle, SelectionPolicy, V6Preference};
 use proptest::prelude::*;
 use std::net::IpAddr;
 use std::time::Duration;
@@ -18,7 +18,10 @@ fn arb_addrs() -> impl Strategy<Value = Vec<IpAddr>> {
                 .into_iter()
                 .map(|v| IpAddr::V6(std::net::Ipv6Addr::from(v)))
                 .collect();
-            out.extend(v4.into_iter().map(|v| IpAddr::V4(std::net::Ipv4Addr::from(v))));
+            out.extend(
+                v4.into_iter()
+                    .map(|v| IpAddr::V4(std::net::Ipv4Addr::from(v))),
+            );
             out
         })
 }
@@ -32,8 +35,8 @@ fn arb_policy() -> impl Strategy<Value = SelectionPolicy> {
         proptest::bool::ANY,
         1u32..10,
     )
-        .prop_map(|(pref, timeout_ms, retry_same, backoff, interleave, max)| {
-            SelectionPolicy {
+        .prop_map(
+            |(pref, timeout_ms, retry_same, backoff, interleave, max)| SelectionPolicy {
                 ns_query_style: lazyeye_resolver::NsQueryStyle::AaaaBeforeA,
                 v6_preference: V6Preference::Probability(pref),
                 server_timeout: Duration::from_millis(timeout_ms),
@@ -46,8 +49,8 @@ fn arb_policy() -> impl Strategy<Value = SelectionPolicy> {
                 },
                 max_attempts: max,
                 parallel_families: false,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

@@ -230,7 +230,8 @@ mod tests {
     #[test]
     fn join_all_empty() {
         let mut sim = Sim::new(1);
-        let outs: Vec<u8> = sim.block_on(async { join_all(Vec::<std::future::Ready<u8>>::new()).await });
+        let outs: Vec<u8> =
+            sim.block_on(async { join_all(Vec::<std::future::Ready<u8>>::new()).await });
         assert!(outs.is_empty());
     }
 }

@@ -36,8 +36,8 @@
 mod combinators;
 mod executor;
 pub mod sync;
-mod timer;
 pub mod time;
+mod timer;
 
 pub use combinators::{join2, join_all, race, Either, Join2, JoinAll, Race};
 pub use executor::{

@@ -135,9 +135,9 @@ impl fmt::Display for SimTime {
         let frac = self.0 % 1_000_000_000;
         if frac == 0 {
             write!(f, "{secs}s")
-        } else if frac % 1_000_000 == 0 {
+        } else if frac.is_multiple_of(1_000_000) {
             write!(f, "{secs}.{:03}s", frac / 1_000_000)
-        } else if frac % 1_000 == 0 {
+        } else if frac.is_multiple_of(1_000) {
             write!(f, "{secs}.{:06}s", frac / 1_000)
         } else {
             write!(f, "{secs}.{frac:09}s")

@@ -3,10 +3,10 @@
 //! data, not code, so coarse initial runs and fine-grained follow-ups are
 //! plain config edits.
 
-use serde::{Deserialize, Serialize};
+use lazyeye_json::{FromJson, Json, JsonError, ToJson};
 
 /// An inclusive millisecond sweep: `start..=end` stepping by `step`.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SweepSpec {
     /// First delay value (ms).
     pub start_ms: u64,
@@ -37,8 +37,13 @@ impl SweepSpec {
         SweepSpec::new(0, 2500, 250)
     }
 
-    /// Materialises the delay values.
+    /// Materialises the delay values. A zero step (possible only via
+    /// deserialized configs, [`SweepSpec::new`] rejects it) yields just the
+    /// start value instead of looping forever.
     pub fn values(&self) -> Vec<u64> {
+        if self.step_ms == 0 {
+            return vec![self.start_ms];
+        }
         let mut out = Vec::new();
         let mut v = self.start_ms;
         while v <= self.end_ms {
@@ -53,7 +58,7 @@ impl SweepSpec {
 }
 
 /// Connection Attempt Delay case: delay IPv6 on the server side, sweep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CadCaseConfig {
     /// The sweep of configured IPv6 delays.
     pub sweep: SweepSpec,
@@ -71,7 +76,7 @@ impl Default for CadCaseConfig {
 }
 
 /// Which DNS record type a Resolution Delay case delays.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DelayedRecord {
     /// Delay the AAAA answer (the classic RD test).
     Aaaa,
@@ -80,7 +85,7 @@ pub enum DelayedRecord {
 }
 
 /// Resolution Delay case: delay one record type at the DNS server, sweep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RdCaseConfig {
     /// Which record type to delay.
     pub delayed: DelayedRecord,
@@ -101,7 +106,7 @@ impl Default for RdCaseConfig {
 }
 
 /// Address-selection case: N unresponsive addresses per family.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SelectionCaseConfig {
     /// Number of (dead) IPv6 addresses offered.
     pub v6_addresses: usize,
@@ -124,7 +129,7 @@ impl Default for SelectionCaseConfig {
 
 /// Resolver case: per-delay dedicated zones, shaping on the authoritative
 /// server's IPv6 path (§4.2).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ResolverCaseConfig {
     /// The sweep of IPv6-path delays towards the authoritative NS.
     pub sweep: SweepSpec,
@@ -143,7 +148,7 @@ impl Default for ResolverCaseConfig {
 
 /// A complete testbed configuration (serializable; the framework's single
 /// config file).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TestbedConfig {
     /// Base RNG seed; run `i` of a case uses `seed + i`.
     pub seed: u64,
@@ -169,15 +174,41 @@ impl Default for TestbedConfig {
     }
 }
 
+lazyeye_json::impl_json_struct!(SweepSpec {
+    start_ms,
+    end_ms,
+    step_ms,
+});
+lazyeye_json::impl_json_struct!(CadCaseConfig { sweep, repetitions });
+lazyeye_json::impl_json_unit_enum!(DelayedRecord { Aaaa, A });
+lazyeye_json::impl_json_struct!(RdCaseConfig {
+    delayed,
+    sweep,
+    repetitions,
+});
+lazyeye_json::impl_json_struct!(SelectionCaseConfig {
+    v6_addresses,
+    v4_addresses,
+    attempt_timeout_ms,
+});
+lazyeye_json::impl_json_struct!(ResolverCaseConfig { sweep, repetitions });
+lazyeye_json::impl_json_struct!(TestbedConfig {
+    seed,
+    cad,
+    rd,
+    selection,
+    resolver,
+});
+
 impl TestbedConfig {
     /// Loads a config from JSON.
-    pub fn from_json(s: &str) -> Result<TestbedConfig, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<TestbedConfig, JsonError> {
+        FromJson::from_json(&Json::parse(s)?)
     }
 
     /// Serialises to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        ToJson::to_json(self).to_string_pretty()
     }
 }
 

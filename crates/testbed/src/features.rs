@@ -6,9 +6,7 @@ use lazyeye_dns::RrType;
 use lazyeye_net::Family;
 
 use crate::cases::{CadCaseConfig, DelayedRecord, RdCaseConfig, SelectionCaseConfig, SweepSpec};
-use crate::runner::{
-    run_cad_case, run_rd_case, run_selection_case, summarize_cad, summarize_rd,
-};
+use crate::runner::{run_cad_case, run_rd_case, run_selection_case, summarize_cad, summarize_rd};
 use crate::topology::{default_local_topology, resolver_addr, www};
 
 /// One row of the Table 2 feature matrix.
@@ -48,11 +46,8 @@ impl FeatureRow {
 pub fn evaluate_client_features(profile: &ClientProfile, seed: u64) -> FeatureRow {
     // (1) Prefers IPv6: healthy dual-stack run.
     let mut topo = default_local_topology(seed);
-    let client = lazyeye_clients::Client::new(
-        profile.clone(),
-        topo.client.clone(),
-        vec![resolver_addr()],
-    );
+    let client =
+        lazyeye_clients::Client::new(profile.clone(), topo.client.clone(), vec![resolver_addr()]);
     let auth = topo.auth.clone();
     let healthy = topo
         .sim

@@ -18,14 +18,14 @@ pub mod table;
 pub mod topology;
 
 pub use cases::{
-    CadCaseConfig, DelayedRecord, RdCaseConfig, ResolverCaseConfig, SelectionCaseConfig,
-    SweepSpec, TestbedConfig,
+    CadCaseConfig, DelayedRecord, RdCaseConfig, ResolverCaseConfig, SelectionCaseConfig, SweepSpec,
+    TestbedConfig,
 };
 pub use features::{evaluate_client_features, FeatureRow};
 pub use runner::{
-    run_cad_case, run_rd_case, run_resolver_case, run_selection_case, summarize_cad,
-    summarize_rd, summarize_resolver, CadSample, CadSummary, RdSample, RdSummary, ResolverSample,
-    ResolverStats, SelectionResult,
+    run_cad_case, run_cad_once, run_rd_case, run_rd_once, run_resolver_case, run_resolver_once,
+    run_selection_case, summarize_cad, summarize_rd, summarize_resolver, CadSample, CadSummary,
+    RdSample, RdSummary, ResolverSample, ResolverStats, SelectionResult,
 };
 pub use table::Table;
 
@@ -39,8 +39,7 @@ mod tests {
     fn client(name: &str) -> lazyeye_clients::ClientProfile {
         figure2_clients()
             .into_iter()
-            .filter(|c| c.name == name)
-            .next_back()
+            .rfind(|c| c.name == name)
             .unwrap()
     }
 
@@ -212,7 +211,10 @@ mod tests {
         // 800 ms timeout: still served over v6 at 750, not at 1000.
         assert_eq!(stats.max_v6_delay_ms, Some(750));
         let cad = stats.observed_cad_ms.unwrap();
-        assert!((795.0..810.0).contains(&cad), "BIND CAD ≈ 800 ms, got {cad}");
+        assert!(
+            (795.0..810.0).contains(&cad),
+            "BIND CAD ≈ 800 ms, got {cad}"
+        );
         assert_eq!(stats.max_v6_packets, 1);
         assert!((stats.success_pct - 100.0).abs() < f64::EPSILON);
     }
@@ -230,7 +232,10 @@ mod tests {
         let stats = summarize_resolver(&run_resolver_case(&profile, &cfg, 12));
         assert!((stats.v6_share_pct - 100.0).abs() < f64::EPSILON);
         let cad = stats.observed_cad_ms.unwrap();
-        assert!((49.0..60.0).contains(&cad), "OpenDNS falls back after 50 ms, got {cad}");
+        assert!(
+            (49.0..60.0).contains(&cad),
+            "OpenDNS falls back after 50 ms, got {cad}"
+        );
     }
 
     #[test]

@@ -33,6 +33,58 @@ pub struct CadSample {
     /// CAD from the client's packet capture: first IPv4 SYN − first IPv6
     /// SYN (the paper's §4.3 estimator). None when no fallback happened.
     pub observed_cad_ms: Option<f64>,
+    /// Whether the AAAA query hit the DNS server before the A query
+    /// (Table 2's "AAAA first"); `None` when either query never arrived.
+    pub aaaa_first: Option<bool>,
+}
+
+/// Runs a single CAD measurement: one fresh simulation (the paper's
+/// container reset), one configured IPv6 delay, one connection. Extra
+/// netem rules model additional path conditions (loss, jitter) and apply
+/// to the server egress alongside the configured IPv6 delay.
+///
+/// This is the campaign engine's CAD entry point; [`run_cad_case`] wraps
+/// it for sweeps.
+pub fn run_cad_once(
+    profile: &ClientProfile,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+) -> CadSample {
+    let mut topo = default_local_topology(seed);
+    // The paper shapes IPv6 on the server side with tc-netem.
+    topo.server
+        .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(delay_ms)));
+    for rule in extra_netem {
+        topo.server.add_egress(rule.clone());
+    }
+    let client = Client::new(profile.clone(), topo.client.clone(), vec![resolver_addr()]);
+    let res = topo
+        .sim
+        .block_on(async move { client.connect_only(&www(), 80).await });
+    let family = res.connection.as_ref().ok().map(|c| c.family());
+    let observed_cad_ms = topo
+        .client
+        .capture()
+        .connection_attempt_delay()
+        .map(|d| d.as_secs_f64() * 1000.0);
+    let log = topo.auth.query_log();
+    let first_aaaa = log
+        .iter()
+        .position(|e| e.qtype == lazyeye_dns::RrType::Aaaa);
+    let first_a = log.iter().position(|e| e.qtype == lazyeye_dns::RrType::A);
+    let aaaa_first = match (first_aaaa, first_a) {
+        (Some(x), Some(y)) => Some(x < y),
+        _ => None,
+    };
+    CadSample {
+        configured_delay_ms: delay_ms,
+        rep,
+        family,
+        observed_cad_ms,
+        aaaa_first,
+    }
 }
 
 /// Runs the CAD case for one client profile.
@@ -43,26 +95,7 @@ pub fn run_cad_case(profile: &ClientProfile, cfg: &CadCaseConfig, seed: u64) -> 
             let run_seed = seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(delay_ms * 1000 + u64::from(rep));
-            let mut topo = default_local_topology(run_seed);
-            // The paper shapes IPv6 on the server side with tc-netem.
-            topo.server
-                .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(delay_ms)));
-            let client = Client::new(profile.clone(), topo.client.clone(), vec![resolver_addr()]);
-            let res = topo
-                .sim
-                .block_on(async move { client.connect_only(&www(), 80).await });
-            let family = res.connection.as_ref().ok().map(|c| c.family());
-            let observed_cad_ms = topo
-                .client
-                .capture()
-                .connection_attempt_delay()
-                .map(|d| d.as_secs_f64() * 1000.0);
-            out.push(CadSample {
-                configured_delay_ms: delay_ms,
-                rep,
-                family,
-                observed_cad_ms,
-            });
+            out.push(run_cad_once(profile, delay_ms, rep, run_seed, &[]));
         }
     }
     out
@@ -131,49 +164,63 @@ pub struct RdSample {
     pub used_rd: bool,
 }
 
-/// Runs the RD case (delaying AAAA or A per config) for one client.
-pub fn run_rd_case(profile: &ClientProfile, cfg: &RdCaseConfig, seed: u64) -> Vec<RdSample> {
-    let mut out = Vec::new();
-    let target = match cfg.delayed {
+/// Runs a single Resolution-Delay measurement: one fresh simulation, one
+/// delayed record type, one configured DNS answer delay.
+///
+/// This is the campaign engine's RD entry point; [`run_rd_case`] wraps it
+/// for sweeps.
+pub fn run_rd_once(
+    profile: &ClientProfile,
+    delayed: DelayedRecord,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+) -> RdSample {
+    let target = match delayed {
         DelayedRecord::Aaaa => DelayTarget::Aaaa,
         DelayedRecord::A => DelayTarget::A,
     };
+    // Live addresses (the server host's own) — RD tests measure
+    // connection timing, not fallback between dead addresses.
+    let mut topo = test_domain_topology(
+        seed,
+        "rd.test",
+        vec!["192.0.2.1".parse().unwrap()],
+        vec!["2001:db8::1".parse().unwrap()],
+    );
+    let params = lazyeye_authns::TestParams::delay(delay_ms, target, format!("r{rep}"));
+    let qname = lazyeye_dns::Name::parse(&format!("{}.rd.test", params.to_label())).unwrap();
+    let client = Client::new(profile.clone(), topo.client.clone(), vec![resolver_addr()]);
+    let res = topo
+        .sim
+        .block_on(async move { client.connect_only(&qname, 80).await });
+    let family = res.connection.as_ref().ok().map(|c| c.family());
+    let first_attempt_ms = topo
+        .client
+        .capture()
+        .first_syn(Family::V6)
+        .into_iter()
+        .chain(topo.client.capture().first_syn(Family::V4))
+        .min()
+        .map(|t: SimTime| t.as_nanos() as f64 / 1e6);
+    RdSample {
+        configured_delay_ms: delay_ms,
+        rep,
+        family,
+        first_attempt_ms,
+        used_rd: res.log.used_resolution_delay(),
+    }
+}
+
+/// Runs the RD case (delaying AAAA or A per config) for one client.
+pub fn run_rd_case(profile: &ClientProfile, cfg: &RdCaseConfig, seed: u64) -> Vec<RdSample> {
+    let mut out = Vec::new();
     for delay_ms in cfg.sweep.values() {
         for rep in 0..cfg.repetitions {
             let run_seed = seed
                 .wrapping_mul(0x2545_F491_4F6C_DD1D)
                 .wrapping_add(delay_ms * 1000 + u64::from(rep));
-            // Live addresses (the server host's own) — RD tests measure
-            // connection timing, not fallback between dead addresses.
-            let mut topo = test_domain_topology(
-                run_seed,
-                "rd.test",
-                vec!["192.0.2.1".parse().unwrap()],
-                vec!["2001:db8::1".parse().unwrap()],
-            );
-            let params = lazyeye_authns::TestParams::delay(delay_ms, target, format!("r{rep}"));
-            let qname =
-                lazyeye_dns::Name::parse(&format!("{}.rd.test", params.to_label())).unwrap();
-            let client = Client::new(profile.clone(), topo.client.clone(), vec![resolver_addr()]);
-            let res = topo
-                .sim
-                .block_on(async move { client.connect_only(&qname, 80).await });
-            let family = res.connection.as_ref().ok().map(|c| c.family());
-            let first_attempt_ms = topo
-                .client
-                .capture()
-                .first_syn(Family::V6)
-                .into_iter()
-                .chain(topo.client.capture().first_syn(Family::V4))
-                .min()
-                .map(|t: SimTime| t.as_nanos() as f64 / 1e6);
-            out.push(RdSample {
-                configured_delay_ms: delay_ms,
-                rep,
-                family,
-                first_attempt_ms,
-                used_rd: res.log.used_resolution_delay(),
-            });
+            out.push(run_rd_once(profile, cfg.delayed, delay_ms, rep, run_seed));
         }
     }
     out
@@ -292,6 +339,78 @@ pub struct ResolverSample {
     pub served_over_v6: bool,
 }
 
+/// Runs a single resolver measurement: one fresh simulation with a
+/// per-run unique zone, one configured IPv6-path delay towards the
+/// authoritative NS.
+///
+/// This is the campaign engine's resolver entry point;
+/// [`run_resolver_case`] wraps it for sweeps.
+pub fn run_resolver_once(
+    rprofile: &ResolverProfile,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+) -> ResolverSample {
+    let tag = format!("d{delay_ms}r{rep}");
+    let mut topo = resolver_topology(seed, &tag);
+    // Shape the auth NS's IPv6 responses (the paper applies the
+    // shaping to the name server's addresses).
+    topo.auth
+        .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(delay_ms)));
+    let mut rcfg = RecursiveConfig::new(topo.roots.clone());
+    rcfg.policy = rprofile.policy.clone();
+    let resolver = RecursiveResolver::new(topo.resolver_host.clone(), rcfg);
+    let qname = topo.qname.clone();
+    let resolved = topo.sim.block_on(async move {
+        resolver
+            .resolve(&qname, lazyeye_dns::RrType::A)
+            .await
+            .map(|r| !r.records.is_empty())
+            .unwrap_or(false)
+    });
+
+    // Server-side observation (the paper's Table 3 vantage point).
+    let cap = topo.auth.capture();
+    let mut v6_queries: Vec<SimTime> = Vec::new();
+    let mut v4_queries: Vec<SimTime> = Vec::new();
+    for r in cap.udp_rx() {
+        match r.family() {
+            Family::V6 => v6_queries.push(r.time),
+            Family::V4 => v4_queries.push(r.time),
+        }
+    }
+    // Capture order is arrival order, which breaks same-instant
+    // ties correctly (parallel resolvers send both queries in the
+    // same tick).
+    let first_query_family = cap.udp_rx().next().map(|r| r.family());
+    let observed_cad_ms = match (v6_queries.first(), v4_queries.first()) {
+        (Some(a), Some(b)) if b > a => Some(b.saturating_duration_since(*a).as_secs_f64() * 1000.0),
+        _ => None,
+    };
+    let v6_retry_gap_ms = if v6_queries.len() >= 2 {
+        Some(
+            v6_queries[1]
+                .saturating_duration_since(v6_queries[0])
+                .as_secs_f64()
+                * 1000.0,
+        )
+    } else {
+        None
+    };
+    let served_over_v6 =
+        resolved && first_query_family == Some(Family::V6) && v4_queries.is_empty();
+    ResolverSample {
+        configured_delay_ms: delay_ms,
+        rep,
+        first_query_family,
+        v6_packets: v6_queries.len(),
+        observed_cad_ms,
+        v6_retry_gap_ms,
+        resolved,
+        served_over_v6,
+    }
+}
+
 /// Runs the resolver case for one resolver profile.
 pub fn run_resolver_case(
     rprofile: &ResolverProfile,
@@ -304,69 +423,7 @@ pub fn run_resolver_case(
             let run_seed = seed
                 .wrapping_mul(0xDA94_2042_E4DD_58B5)
                 .wrapping_add(delay_ms * 1000 + u64::from(rep));
-            let tag = format!("d{delay_ms}r{rep}");
-            let mut topo = resolver_topology(run_seed, &tag);
-            // Shape the auth NS's IPv6 responses (the paper applies the
-            // shaping to the name server's addresses).
-            topo.auth
-                .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(delay_ms)));
-            let mut rcfg = RecursiveConfig::new(topo.roots.clone());
-            rcfg.policy = rprofile.policy.clone();
-            let resolver = RecursiveResolver::new(topo.resolver_host.clone(), rcfg);
-            let qname = topo.qname.clone();
-            let resolved = topo
-                .sim
-                .block_on(async move {
-                    resolver
-                        .resolve(&qname, lazyeye_dns::RrType::A)
-                        .await
-                        .map(|r| !r.records.is_empty())
-                        .unwrap_or(false)
-                });
-
-            // Server-side observation (the paper's Table 3 vantage point).
-            let cap = topo.auth.capture();
-            let mut v6_queries: Vec<SimTime> = Vec::new();
-            let mut v4_queries: Vec<SimTime> = Vec::new();
-            for r in cap.udp_rx() {
-                match r.family() {
-                    Family::V6 => v6_queries.push(r.time),
-                    Family::V4 => v4_queries.push(r.time),
-                }
-            }
-            // Capture order is arrival order, which breaks same-instant
-            // ties correctly (parallel resolvers send both queries in the
-            // same tick).
-            let first_query_family = cap.udp_rx().next().map(|r| r.family());
-            let observed_cad_ms = match (v6_queries.first(), v4_queries.first()) {
-                (Some(a), Some(b)) if b > a => {
-                    Some(b.saturating_duration_since(*a).as_secs_f64() * 1000.0)
-                }
-                _ => None,
-            };
-            let v6_retry_gap_ms = if v6_queries.len() >= 2 {
-                Some(
-                    v6_queries[1]
-                        .saturating_duration_since(v6_queries[0])
-                        .as_secs_f64()
-                        * 1000.0,
-                )
-            } else {
-                None
-            };
-            let served_over_v6 = resolved
-                && first_query_family == Some(Family::V6)
-                && v4_queries.is_empty();
-            out.push(ResolverSample {
-                configured_delay_ms: delay_ms,
-                rep,
-                first_query_family,
-                v6_packets: v6_queries.len(),
-                observed_cad_ms,
-                v6_retry_gap_ms,
-                resolved,
-                served_over_v6,
-            });
+            out.push(run_resolver_once(rprofile, delay_ms, rep, run_seed));
         }
     }
     out

@@ -1,9 +1,9 @@
 //! Result tables: aligned text (for the terminal), CSV and JSON exports.
 
-use serde::Serialize;
+use lazyeye_json::ToJson;
 
 /// A rendered result table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table caption.
     pub title: String,
@@ -12,6 +12,12 @@ pub struct Table {
     /// Rows of cells.
     pub rows: Vec<Vec<String>>,
 }
+
+lazyeye_json::impl_json_struct!(Table {
+    title,
+    headers,
+    rows,
+});
 
 impl Table {
     /// Creates an empty table.
@@ -91,7 +97,7 @@ impl Table {
 
     /// Renders as JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        ToJson::to_json(self).to_string_pretty()
     }
 }
 
@@ -127,7 +133,7 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let json = sample().to_json();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v = lazyeye_json::Json::parse(&json).unwrap();
         assert_eq!(v["title"], "Demo");
         assert_eq!(v["rows"][0][0], "Chrome");
     }

@@ -86,7 +86,10 @@ pub fn deploy(seed: u64, conditions: WebConditions) -> WebToolDeployment {
     let sim = Sim::new(seed);
     let net = Network::new();
 
-    let mut server_builder = net.host("webtool").v4("198.51.100.53").v6("2001:db8:77::53");
+    let mut server_builder = net
+        .host("webtool")
+        .v4("198.51.100.53")
+        .v6("2001:db8:77::53");
     for i in 0..TIERS_MS.len() {
         server_builder = server_builder.addr(tier_v4(i)).addr(tier_v6(i));
     }
@@ -149,13 +152,14 @@ pub fn deploy(seed: u64, conditions: WebConditions) -> WebToolDeployment {
     sim.enter(|| {
         spawn(serve_dns(server.udp_bind_any(53).unwrap(), auth));
         let listener = server.tcp_listen_any(80).unwrap();
-        let handler: Handler = Rc::new(|req: &HttpRequest, peer: SocketAddr| {
-            match req.path.as_str() {
-                "/ip" => HttpResponse::ok(format!("{}", peer.ip())),
-                "/ua" => HttpResponse::ok(req.header("user-agent").unwrap_or("").to_string()),
-                _ => HttpResponse::not_found(),
-            }
-        });
+        let handler: Handler =
+            Rc::new(
+                |req: &HttpRequest, peer: SocketAddr| match req.path.as_str() {
+                    "/ip" => HttpResponse::ok(format!("{}", peer.ip())),
+                    "/ua" => HttpResponse::ok(req.header("user-agent").unwrap_or("").to_string()),
+                    _ => HttpResponse::not_found(),
+                },
+            );
         spawn(serve_http(listener, handler));
     });
 
@@ -247,11 +251,13 @@ mod tests {
         let (a, aaaa) = d.sim.block_on(async move {
             let sock = client.udp_bind_any(0).unwrap();
             let q = lazyeye_dns::Message::query(1, tier_domain(250), lazyeye_dns::RrType::A);
-            sock.send_to(q.encode().into(), web_resolver_addr()).unwrap();
+            sock.send_to(q.encode().into(), web_resolver_addr())
+                .unwrap();
             let (p, _) = sock.recv_from().await.unwrap();
             let a = lazyeye_dns::Message::decode(&p).unwrap();
             let q6 = lazyeye_dns::Message::query(2, tier_domain(250), lazyeye_dns::RrType::Aaaa);
-            sock.send_to(q6.encode().into(), web_resolver_addr()).unwrap();
+            sock.send_to(q6.encode().into(), web_resolver_addr())
+                .unwrap();
             let (p6, _) = sock.recv_from().await.unwrap();
             (a, lazyeye_dns::Message::decode(&p6).unwrap())
         });

@@ -66,11 +66,19 @@ pub fn check_resolver(
             .build(),
         ResolverStack::V4Only => net.host("resolver").v4("192.0.2.10").build(),
     };
-    let user = net.host("user").v4("192.0.2.200").v6("2001:db8::200").build();
+    let user = net
+        .host("user")
+        .v4("192.0.2.200")
+        .v6("2001:db8::200")
+        .build();
 
     // Root: delegate v6check.test with ONLY AAAA glue.
     let mut root_zone = Zone::new(Name::root());
-    root_zone.ns(&Name::parse("v6check.test").unwrap(), &Name::parse("ns1.v6check.test").unwrap(), 3600);
+    root_zone.ns(
+        &Name::parse("v6check.test").unwrap(),
+        &Name::parse("ns1.v6check.test").unwrap(),
+        3600,
+    );
     root_zone.aaaa(
         &Name::parse("ns1.v6check.test").unwrap(),
         "2001:db8:66::53".parse().unwrap(),
@@ -191,8 +199,10 @@ mod tests {
     #[test]
     fn query_order_matches_policy() {
         use lazyeye_resolver::NsQueryStyle;
-        let mut policy = SelectionPolicy::default();
-        policy.ns_query_style = NsQueryStyle::AaaaBeforeA;
+        let policy = SelectionPolicy {
+            ns_query_style: NsQueryStyle::AaaaBeforeA,
+            ..SelectionPolicy::default()
+        };
         let r = check_resolver(ResolverStack::DualStack, policy, 3);
         // With dual-stack glue present the resolver may not need extra NS
         // address queries at all; when it does, AAAA leads.

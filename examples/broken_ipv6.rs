@@ -6,9 +6,7 @@
 //! cargo run --example broken_ipv6
 //! ```
 
-use lazy_eye_inspection::testbed::{
-    run_rd_case, DelayedRecord, RdCaseConfig, SweepSpec,
-};
+use lazy_eye_inspection::testbed::{run_rd_case, DelayedRecord, RdCaseConfig, SweepSpec};
 
 fn main() {
     let chrome = lazy_eye_inspection::clients::figure2_clients()

@@ -18,8 +18,7 @@ fn main() {
     for name in ["Chrome", "Firefox", "curl", "wget"] {
         let profile = lazy_eye_inspection::clients::figure2_clients()
             .into_iter()
-            .filter(|c| c.name == name)
-            .next_back()
+            .rfind(|c| c.name == name)
             .unwrap();
         let samples = run_cad_case(&profile, &cfg, 1);
         let strip: String = samples

@@ -13,50 +13,218 @@
 //! lazyeye resolver --profile Unbound
 //! lazyeye config                        # print a default JSON config
 //! lazyeye run --config testbed.json    # run every enabled case
+//! lazyeye campaign --print-spec        # print the default campaign spec
+//! lazyeye campaign --config spec.json --jobs 8 --seed 7 --out results
 //! ```
+//!
+//! Unknown flags are hard errors — a typo must never silently run a
+//! different measurement than asked for.
 
+use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use lazy_eye_inspection::clients::{figure2_clients, safari_clients, ClientProfile};
+use lazy_eye_inspection::campaign::{run_campaign, CampaignSpec};
+use lazy_eye_inspection::clients::{all_measured_clients, ClientProfile};
 use lazy_eye_inspection::net::Family;
 use lazy_eye_inspection::resolver::all_profiles;
 use lazy_eye_inspection::testbed::{
-    run_cad_case, run_rd_case, run_resolver_case, run_selection_case, summarize_cad,
-    summarize_rd, summarize_resolver, CadCaseConfig, DelayedRecord, RdCaseConfig,
-    ResolverCaseConfig, SelectionCaseConfig, SweepSpec, Table, TestbedConfig,
+    run_cad_case, run_rd_case, run_resolver_case, run_selection_case, summarize_cad, summarize_rd,
+    summarize_resolver, CadCaseConfig, DelayedRecord, RdCaseConfig, ResolverCaseConfig,
+    SelectionCaseConfig, SweepSpec, Table, TestbedConfig,
 };
 
-fn all_clients() -> Vec<ClientProfile> {
-    let mut v = figure2_clients();
-    v.extend(safari_clients());
-    v.push(lazy_eye_inspection::clients::chromium_hev3_flag());
-    v
-}
-
 fn find_client(id: &str) -> Option<ClientProfile> {
-    all_clients().into_iter().find(|c| c.id() == id)
+    all_measured_clients().into_iter().find(|c| c.id() == id)
 }
 
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+/// One flag's shape: name and whether it takes a value.
+struct Flag {
+    name: &'static str,
+    takes_value: bool,
+}
+
+const fn val(name: &'static str) -> Flag {
+    Flag {
+        name,
+        takes_value: true,
+    }
+}
+
+const fn switch(name: &'static str) -> Flag {
+    Flag {
+        name,
+        takes_value: false,
+    }
+}
+
+/// Parses `args` against an allowlist. Unknown flags, missing values and
+/// stray positionals are errors — never silently ignored.
+fn parse_flags(args: &[String], allowed: &[Flag]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(spec) = allowed.iter().find(|f| f.name == arg) else {
+            return Err(format!("unknown flag {arg:?}"));
+        };
+        if spec.takes_value {
+            let Some(value) = args.get(i + 1) else {
+                return Err(format!("flag {arg} requires a value"));
+            };
+            out.insert(arg.clone(), value.clone());
+            i += 2;
+        } else {
+            out.insert(arg.clone(), String::new());
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("flag {name}: invalid value {v:?}")),
+    }
+}
+
+/// Output format shared by the table-printing commands.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
+
+fn parse_format(flags: &HashMap<String, String>) -> Result<Format, String> {
+    match flags.get("--format").map(String::as_str) {
+        None | Some("text") => Ok(Format::Text),
+        Some("json") => Ok(Format::Json),
+        Some("csv") => Ok(Format::Csv),
+        Some(other) => Err(format!(
+            "flag --format: expected text|json|csv, got {other:?}"
+        )),
+    }
+}
+
+fn print_table(t: &Table, format: Format) {
+    match format {
+        Format::Text => println!("{}", t.render()),
+        Format::Json => println!("{}", t.to_json()),
+        Format::Csv => print!("{}", t.to_csv()),
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: lazyeye <command> [options]\n\
          commands:\n\
-           clients                         list client profiles (ids)\n\
-           resolvers                       list resolver profiles\n\
-           cad       --client <id> [--from ms --to ms --step ms --reps n]\n\
-           rd        --client <id> [--record aaaa|a] [--delay ms]\n\
-           selection --client <id>\n\
-           resolver  --profile <name> [--reps n]\n\
-           config                          print a default JSON config\n\
-           run       --config <file.json>  run all enabled cases\n"
+           clients   [--format text|json|csv]        list client profiles (ids)\n\
+           resolvers [--format text|json|csv]        list resolver profiles\n\
+           cad       --client <id> [--from ms --to ms --step ms --reps n --seed s]\n\
+           rd        --client <id> [--record aaaa|a] [--delay ms] [--seed s]\n\
+           selection --client <id> [--seed s]\n\
+           resolver  --profile <name> [--reps n] [--seed s]\n\
+           config                                    print a default JSON config\n\
+           run       --config <file.json>            run all enabled cases\n\
+           campaign  --config <spec.json> [--jobs n --seed s --format text|json|csv\n\
+                     --out <basename>] | --print-spec\n\
+                                                     run a full measurement campaign"
     );
     ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("lazyeye: {msg}");
+    ExitCode::FAILURE
+}
+
+fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
+    if flags.contains_key("--print-spec") {
+        println!("{}", CampaignSpec::default().to_json());
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = flags.get("--config") else {
+        return fail("campaign needs --config <spec.json> (or --print-spec)");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let mut spec = match CampaignSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("bad spec: {e}")),
+    };
+    if let Some(seed) = flags.get("--seed") {
+        match seed.parse() {
+            Ok(s) => spec.seed = s,
+            Err(_) => return fail(&format!("flag --seed: invalid value {seed:?}")),
+        }
+    }
+    let default_jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs = match parse_num(&flags, "--jobs", default_jobs) {
+        Ok(j) if j >= 1 => j,
+        Ok(_) => return fail("flag --jobs: must be at least 1"),
+        Err(e) => return fail(&e),
+    };
+    let format = match parse_format(&flags) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+
+    // Progress + ETA to stderr (never into the report: the report must be
+    // byte-identical across --jobs, wall clock included).
+    let started = Instant::now();
+    let mut last_percent = 0;
+    let progress = |done: usize, total: usize| {
+        let percent = done * 100 / total.max(1);
+        if percent > last_percent || done == total {
+            last_percent = percent;
+            let elapsed = started.elapsed().as_secs_f64();
+            let eta = if done > 0 {
+                elapsed / done as f64 * (total - done) as f64
+            } else {
+                0.0
+            };
+            eprint!(
+                "\r[campaign] {done}/{total} runs ({percent:3}%), {elapsed:.1}s elapsed, ETA {eta:.1}s   "
+            );
+            if done == total {
+                eprintln!();
+            }
+        }
+    };
+    let report = match run_campaign(&spec, jobs, progress) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("campaign failed: {e}")),
+    };
+
+    match format {
+        Format::Text => print!("{}", report.render_text()),
+        Format::Json => print!("{}", report.to_json()),
+        Format::Csv => print!("{}", report.to_csv()),
+    }
+    if let Some(base) = flags.get("--out") {
+        let json_path = format!("{base}.json");
+        let csv_path = format!("{base}.csv");
+        if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+            return fail(&format!("cannot write {json_path}: {e}"));
+        }
+        if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
+            return fail(&format!("cannot write {csv_path}: {e}"));
+        }
+        eprintln!("[campaign] wrote {json_path} and {csv_path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -64,10 +232,19 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
+    let rest = &args[1..];
     match cmd.as_str() {
         "clients" => {
+            let flags = match parse_flags(rest, &[val("--format")]) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            let format = match parse_format(&flags) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
             let mut t = Table::new("Client profiles", vec!["id", "engine", "CAD", "RD"]);
-            for c in all_clients() {
+            for c in all_measured_clients() {
                 t.row(vec![
                     c.id(),
                     format!("{:?}", c.engine),
@@ -79,10 +256,18 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| "-".into()),
                 ]);
             }
-            println!("{}", t.render());
+            print_table(&t, format);
             ExitCode::SUCCESS
         }
         "resolvers" => {
+            let flags = match parse_flags(rest, &[val("--format")]) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            let format = match parse_format(&flags) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
             let mut t = Table::new(
                 "Resolver profiles",
                 vec!["name", "kind", "timeout", "v6 pref", "notes"],
@@ -96,26 +281,61 @@ fn main() -> ExitCode {
                     p.notes.into(),
                 ]);
             }
-            println!("{}", t.render());
+            print_table(&t, format);
             ExitCode::SUCCESS
         }
         "cad" => {
-            let Some(id) = arg_value(&args, "--client") else {
+            let flags = match parse_flags(
+                rest,
+                &[
+                    val("--client"),
+                    val("--from"),
+                    val("--to"),
+                    val("--step"),
+                    val("--reps"),
+                    val("--seed"),
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            let Some(id) = flags.get("--client") else {
                 return usage();
             };
-            let Some(profile) = find_client(&id) else {
-                eprintln!("unknown client {id:?} (try `lazyeye clients`)");
-                return ExitCode::FAILURE;
+            let Some(profile) = find_client(id) else {
+                return fail(&format!("unknown client {id:?} (try `lazyeye clients`)"));
             };
-            let from = arg_value(&args, "--from").and_then(|v| v.parse().ok()).unwrap_or(0);
-            let to = arg_value(&args, "--to").and_then(|v| v.parse().ok()).unwrap_or(400);
-            let step = arg_value(&args, "--step").and_then(|v| v.parse().ok()).unwrap_or(25);
-            let reps = arg_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(1);
+            let (from, to, step, reps, seed) = match (
+                parse_num(&flags, "--from", 0),
+                parse_num(&flags, "--to", 400),
+                parse_num(&flags, "--step", 25),
+                parse_num(&flags, "--reps", 1),
+                parse_num(&flags, "--seed", 1u64),
+            ) {
+                (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e)) => (a, b, c, d, e),
+                (a, b, c, d, e) => {
+                    let err = [
+                        a.err(),
+                        b.err(),
+                        c.err(),
+                        d.map(|_| ()).err(),
+                        e.map(|_| ()).err(),
+                    ]
+                    .into_iter()
+                    .flatten()
+                    .next()
+                    .unwrap();
+                    return fail(&err);
+                }
+            };
+            if step == 0 {
+                return fail("flag --step: must be > 0");
+            }
             let cfg = CadCaseConfig {
                 sweep: SweepSpec::new(from, to, step),
                 repetitions: reps,
             };
-            let samples = run_cad_case(&profile, &cfg, 1);
+            let samples = run_cad_case(&profile, &cfg, seed);
             let strip: String = samples
                 .iter()
                 .map(|s| match s.family {
@@ -133,24 +353,45 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "rd" => {
-            let Some(id) = arg_value(&args, "--client") else {
+            let flags = match parse_flags(
+                rest,
+                &[
+                    val("--client"),
+                    val("--record"),
+                    val("--delay"),
+                    val("--seed"),
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            let Some(id) = flags.get("--client") else {
                 return usage();
             };
-            let Some(profile) = find_client(&id) else {
-                eprintln!("unknown client {id:?}");
-                return ExitCode::FAILURE;
+            let Some(profile) = find_client(id) else {
+                return fail(&format!("unknown client {id:?}"));
             };
-            let record = match arg_value(&args, "--record").as_deref() {
+            let record = match flags.get("--record").map(String::as_str) {
                 Some("a") => DelayedRecord::A,
-                _ => DelayedRecord::Aaaa,
+                Some("aaaa") | None => DelayedRecord::Aaaa,
+                Some(other) => {
+                    return fail(&format!("flag --record: expected aaaa|a, got {other:?}"))
+                }
             };
-            let delay = arg_value(&args, "--delay").and_then(|v| v.parse().ok()).unwrap_or(400);
+            let delay = match parse_num(&flags, "--delay", 400) {
+                Ok(d) => d,
+                Err(e) => return fail(&e),
+            };
+            let seed = match parse_num(&flags, "--seed", 1u64) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
             let cfg = RdCaseConfig {
                 delayed: record,
                 sweep: SweepSpec::new(delay, delay, 1),
                 repetitions: 3,
             };
-            let samples = run_rd_case(&profile, &cfg, 1);
+            let samples = run_rd_case(&profile, &cfg, seed);
             for s in &samples {
                 println!(
                     "delay {} ms rep {}: family {:?}, first SYN at {:?} ms, RD used: {}",
@@ -162,14 +403,21 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "selection" => {
-            let Some(id) = arg_value(&args, "--client") else {
+            let flags = match parse_flags(rest, &[val("--client"), val("--seed")]) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            let Some(id) = flags.get("--client") else {
                 return usage();
             };
-            let Some(profile) = find_client(&id) else {
-                eprintln!("unknown client {id:?}");
-                return ExitCode::FAILURE;
+            let Some(profile) = find_client(id) else {
+                return fail(&format!("unknown client {id:?}"));
             };
-            let r = run_selection_case(&profile, &SelectionCaseConfig::default(), 1);
+            let seed = match parse_num(&flags, "--seed", 1u64) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            let r = run_selection_case(&profile, &SelectionCaseConfig::default(), seed);
             let order: String = r
                 .order
                 .iter()
@@ -180,19 +428,35 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "resolver" => {
-            let Some(name) = arg_value(&args, "--profile") else {
+            let flags = match parse_flags(rest, &[val("--profile"), val("--reps"), val("--seed")]) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            let Some(name) = flags.get("--profile") else {
                 return usage();
             };
             let Some(profile) = all_profiles().into_iter().find(|p| p.name == name) else {
-                eprintln!("unknown resolver {name:?} (try `lazyeye resolvers`)");
-                return ExitCode::FAILURE;
+                return fail(&format!(
+                    "unknown resolver {name:?} (try `lazyeye resolvers`)"
+                ));
             };
-            let reps = arg_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(20);
+            let reps = match parse_num(&flags, "--reps", 20) {
+                Ok(r) => r,
+                Err(e) => return fail(&e),
+            };
+            let seed = match parse_num(&flags, "--seed", 1u64) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
             let cfg = ResolverCaseConfig {
-                sweep: SweepSpec::new(0, profile.policy.server_timeout.as_millis() as u64 + 400, 200),
+                sweep: SweepSpec::new(
+                    0,
+                    profile.policy.server_timeout.as_millis() as u64 + 400,
+                    200,
+                ),
                 repetitions: reps,
             };
-            let stats = summarize_resolver(&run_resolver_case(&profile, &cfg, 1));
+            let stats = summarize_resolver(&run_resolver_case(&profile, &cfg, seed));
             println!(
                 "{}: IPv6 share {:.1} %, max v6 delay {:?} ms, per-try timeout {:?} ms, max v6 packets {}",
                 profile.name,
@@ -204,28 +468,28 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "config" => {
+            if let Err(e) = parse_flags(rest, &[]) {
+                return fail(&e);
+            }
             println!("{}", TestbedConfig::default().to_json());
             ExitCode::SUCCESS
         }
         "run" => {
-            let Some(path) = arg_value(&args, "--config") else {
+            let flags = match parse_flags(rest, &[val("--config")]) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            let Some(path) = flags.get("--config") else {
                 return usage();
             };
-            let Ok(text) = std::fs::read_to_string(&path) else {
-                eprintln!("cannot read {path}");
-                return ExitCode::FAILURE;
+            let Ok(text) = std::fs::read_to_string(path) else {
+                return fail(&format!("cannot read {path}"));
             };
             let cfg = match TestbedConfig::from_json(&text) {
                 Ok(c) => c,
-                Err(e) => {
-                    eprintln!("bad config: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return fail(&format!("bad config: {e}")),
             };
-            let chrome = figure2_clients()
-                .into_iter()
-                .find(|c| c.name == "Chrome" && c.version == "130.0")
-                .unwrap();
+            let chrome = find_client("chrome-130.0").expect("builtin profile");
             if let Some(c) = &cfg.cad {
                 let s = summarize_cad(&run_cad_case(&chrome, c, cfg.seed));
                 println!("[cad] switchover at {:?} ms", s.first_v4_delay_ms);
@@ -244,6 +508,23 @@ fn main() -> ExitCode {
                 println!("[resolver] Unbound v6 share {:.1} %", s.v6_share_pct);
             }
             ExitCode::SUCCESS
+        }
+        "campaign" => {
+            let flags = match parse_flags(
+                rest,
+                &[
+                    val("--config"),
+                    val("--jobs"),
+                    val("--seed"),
+                    val("--format"),
+                    val("--out"),
+                    switch("--print-spec"),
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            cmd_campaign(flags)
         }
         _ => usage(),
     }

@@ -18,7 +18,9 @@
 //! | [`he`] | `lazyeye-core` | the Happy Eyeballs v1/v2/v3 engine |
 //! | [`clients`] | `lazyeye-clients` | browser/tool behaviour models, HTTP, iCPR |
 //! | [`testbed`] | `lazyeye-testbed` | test cases, runners, analyzers, tables |
+//! | [`campaign`] | `lazyeye-campaign` | sharded, deterministic campaign orchestration |
 //! | [`webtool`] | `lazyeye-webtool` | the 18-tier web-based testing tool |
+//! | [`json`] | `lazyeye-json` | dependency-free JSON layer used throughout |
 //!
 //! ## Quickstart
 //!
@@ -51,9 +53,11 @@
 #![forbid(unsafe_code)]
 
 pub use lazyeye_authns as authns;
+pub use lazyeye_campaign as campaign;
 pub use lazyeye_clients as clients;
 pub use lazyeye_core as he;
 pub use lazyeye_dns as dns;
+pub use lazyeye_json as json;
 pub use lazyeye_net as net;
 pub use lazyeye_resolver as resolver;
 pub use lazyeye_sim as sim;
@@ -62,6 +66,7 @@ pub use lazyeye_webtool as webtool;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use lazyeye_campaign::{run_campaign, CampaignReport, CampaignSpec};
     pub use lazyeye_clients::{Client, ClientProfile};
     pub use lazyeye_core::{
         CadMode, HappyEyeballs, HeConfig, HeError, HeLog, HeVersion, HistoryStore,
@@ -69,8 +74,8 @@ pub mod prelude {
     };
     pub use lazyeye_dns::{Message, Name, RData, Record, RrType, Zone, ZoneSet};
     pub use lazyeye_net::{
-        Capture, ClosedPortPolicy, Family, Host, Netem, NetemRule, Network, TcpListener,
-        TcpStream, UdpSocket,
+        Capture, ClosedPortPolicy, Family, Host, Netem, NetemRule, Network, TcpListener, TcpStream,
+        UdpSocket,
     };
     pub use lazyeye_resolver::{
         RecursiveConfig, RecursiveResolver, ResolverProfile, StubConfig, StubResolver,

@@ -32,10 +32,26 @@ struct FullChain {
 fn build_full_chain(seed: u64) -> FullChain {
     let sim = Sim::new(seed);
     let net = Network::new();
-    let root = net.host("root").v4("198.41.0.4").v6("2001:503:ba3e::2:30").build();
-    let auth = net.host("auth").v4("192.0.2.53").v6("2001:db8:53::53").build();
-    let rec = net.host("recursive").v4("192.0.2.10").v6("2001:db8::10").build();
-    let web = net.host("web").v4("203.0.113.80").v6("2001:db8:80::80").build();
+    let root = net
+        .host("root")
+        .v4("198.41.0.4")
+        .v6("2001:503:ba3e::2:30")
+        .build();
+    let auth = net
+        .host("auth")
+        .v4("192.0.2.53")
+        .v6("2001:db8:53::53")
+        .build();
+    let rec = net
+        .host("recursive")
+        .v4("192.0.2.10")
+        .v6("2001:db8::10")
+        .build();
+    let web = net
+        .host("web")
+        .v4("203.0.113.80")
+        .v6("2001:db8:80::80")
+        .build();
     let browser = net
         .host("browser")
         .v4("192.0.2.200")
@@ -46,7 +62,11 @@ fn build_full_chain(seed: u64) -> FullChain {
     let mut root_zone = Zone::new(Name::root());
     root_zone.ns(&n("corp.test"), &n("ns1.corp.test"), 3600);
     root_zone.a(&n("ns1.corp.test"), "192.0.2.53".parse().unwrap(), 3600);
-    root_zone.aaaa(&n("ns1.corp.test"), "2001:db8:53::53".parse().unwrap(), 3600);
+    root_zone.aaaa(
+        &n("ns1.corp.test"),
+        "2001:db8:53::53".parse().unwrap(),
+        3600,
+    );
     let mut root_zones = ZoneSet::new();
     root_zones.add(root_zone);
 
@@ -127,7 +147,11 @@ fn broken_v6_transport_still_serves_via_v4_end_to_end() {
         .sim
         .block_on(async move { client.fetch(&n("www.corp.test"), 80, "/x").await });
     assert_eq!(result.family(), Some(Family::V4));
-    assert!(result.response.unwrap().text().starts_with("src=192.0.2.200"));
+    assert!(result
+        .response
+        .unwrap()
+        .text()
+        .starts_with("src=192.0.2.200"));
 }
 
 #[test]
@@ -151,7 +175,10 @@ fn resolver_timeout_propagates_to_client_experience() {
     let (family, elapsed_ms) = chain.sim.block_on(async move {
         let t0 = lazy_eye_inspection::sim::now();
         let r = client.fetch(&n("www.corp.test"), 80, "/x").await;
-        (r.family(), (lazy_eye_inspection::sim::now() - t0).as_millis())
+        (
+            r.family(),
+            (lazy_eye_inspection::sim::now() - t0).as_millis(),
+        )
     });
     assert_eq!(family, Some(Family::V6));
     // Full chain (root + delegation + connect + HTTP) in well under a
@@ -177,7 +204,9 @@ fn hev3_client_races_quic_through_full_chain() {
         let listener = web.tcp_listen_any(443).unwrap();
         spawn(async move {
             loop {
-                let Ok((s, _)) = listener.accept().await else { break };
+                let Ok((s, _)) = listener.accept().await else {
+                    break;
+                };
                 std::mem::forget(s);
             }
         });

@@ -11,8 +11,7 @@ use lazy_eye_inspection::testbed::{
 fn by_name(name: &str) -> lazy_eye_inspection::clients::ClientProfile {
     lazy_eye_inspection::clients::figure2_clients()
         .into_iter()
-        .filter(|c| c.name == name)
-        .next_back()
+        .rfind(|c| c.name == name)
         .unwrap()
 }
 
@@ -110,10 +109,16 @@ fn finding_a_record_stall_factor() {
     let chrome = run_rd_case(&by_name("Chrome"), &cfg, 26)[0]
         .first_attempt_ms
         .unwrap();
-    let safari_t = run_rd_case(&safari(), &cfg, 26)[0].first_attempt_ms.unwrap();
-    let fixed = run_rd_case(&lazy_eye_inspection::clients::chromium_hev3_flag(), &cfg, 26)[0]
+    let safari_t = run_rd_case(&safari(), &cfg, 26)[0]
         .first_attempt_ms
         .unwrap();
+    let fixed = run_rd_case(
+        &lazy_eye_inspection::clients::chromium_hev3_flag(),
+        &cfg,
+        26,
+    )[0]
+    .first_attempt_ms
+    .unwrap();
     assert!(
         chrome / safari_t > 100.0,
         "stall factor: Chrome {chrome} ms vs Safari {safari_t} ms"
@@ -152,5 +157,8 @@ fn finding_resolver_extremes() {
         28,
     ));
     let cad = bind.observed_cad_ms.unwrap();
-    assert!((795.0..815.0).contains(&cad), "BIND timeout ≈ 800 ms, got {cad}");
+    assert!(
+        (795.0..815.0).contains(&cad),
+        "BIND timeout ≈ 800 ms, got {cad}"
+    );
 }
