@@ -32,6 +32,7 @@ fn bench_spec() -> CampaignSpec {
             sweep: SweepSpec::new(0, 600, 200),
             repetitions: 2,
         }),
+        refine_step_ms: Some(5),
     }
 }
 

@@ -64,7 +64,10 @@ fn main() {
         t.row(vec![
             profile.name.to_string(),
             profile.aaaa_marker().symbol().to_string(),
-            format!("{:.1} %", share_stats.v6_share_pct),
+            share_stats
+                .v6_share_pct
+                .map(|s| format!("{s:.1} %"))
+                .unwrap_or_else(|| "-".into()),
             sweep_stats
                 .max_v6_delay_ms
                 .map(|d| format!("{d} ms"))

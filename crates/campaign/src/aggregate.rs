@@ -430,11 +430,20 @@ impl Aggregator {
                 if s.family.is_some() {
                     cell.ok_runs += 1;
                 }
-                if s.family == Some(Family::V6) {
-                    cell.last_v6_delay_ms = Some(
-                        cell.last_v6_delay_ms
-                            .map_or(*delay_ms, |d| d.max(*delay_ms)),
-                    );
+                match s.family {
+                    Some(Family::V6) => {
+                        cell.last_v6_delay_ms = Some(
+                            cell.last_v6_delay_ms
+                                .map_or(*delay_ms, |d| d.max(*delay_ms)),
+                        );
+                    }
+                    Some(Family::V4) => {
+                        cell.first_v4_delay_ms = Some(
+                            cell.first_v4_delay_ms
+                                .map_or(*delay_ms, |d| d.min(*delay_ms)),
+                        );
+                    }
+                    None => {}
                 }
                 if s.used_rd {
                     cell.used_rd = true;
@@ -635,6 +644,7 @@ mod tests {
                 delay_ms: 100,
                 rep: 0,
             },
+            refined: false,
         };
         let sample = RunOutput::Cad(CadSample {
             configured_delay_ms: 100,

@@ -190,7 +190,22 @@ pub fn execute(
     ctx: &RunContext,
     runs: &[RunSpec],
     jobs: usize,
+    progress: impl FnMut(usize, usize),
+) -> Vec<RunOutput> {
+    execute_with(ctx, runs, jobs, progress, |_, _| {})
+}
+
+/// [`execute`] with a per-result hook: `on_result(position, output)` fires
+/// on the calling thread as each run finishes, where `position` is the
+/// run's position in the `runs` slice. Completion order is
+/// scheduling-dependent — the hook is for side channels (checkpoints,
+/// logs), never for anything that feeds the report.
+pub fn execute_with(
+    ctx: &RunContext,
+    runs: &[RunSpec],
+    jobs: usize,
     mut progress: impl FnMut(usize, usize),
+    mut on_result: impl FnMut(usize, &RunOutput),
 ) -> Vec<RunOutput> {
     let total = runs.len();
     let jobs = jobs.max(1).min(total.max(1));
@@ -200,6 +215,7 @@ pub fn execute(
             .enumerate()
             .map(|(done, run)| {
                 let out = run_one(ctx, run);
+                on_result(done, &out);
                 progress(done + 1, total);
                 out
             })
@@ -238,6 +254,7 @@ pub fn execute(
         drop(tx);
         let mut done = 0;
         while let Ok((idx, out)) = rx.recv() {
+            on_result(idx, &out);
             results[idx] = Some(out);
             done += 1;
             progress(done, total);
@@ -298,5 +315,108 @@ mod tests {
             last = done;
         });
         assert_eq!(last, runs.len());
+    }
+
+    fn assert_matches_sequential(spec: &CampaignSpec, jobs: usize) {
+        let runs = crate::plan::expand(spec).unwrap();
+        let ctx = RunContext::new(spec).unwrap();
+        let seq = execute(&ctx, &runs, 1, |_, _| {});
+        let par = execute(&ctx, &runs, jobs, |_, _| {});
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            match (a, b) {
+                (RunOutput::Cad(x), RunOutput::Cad(y)) => {
+                    assert_eq!(x.family, y.family);
+                    assert_eq!(x.observed_cad_ms, y.observed_cad_ms);
+                }
+                _ => panic!("unexpected output kind"),
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_runs() {
+        // 3 runs across 64 requested workers: the pool clamps to the run
+        // count and every run still executes exactly once.
+        let spec = CampaignSpec {
+            clients: vec!["curl-7.88.1".to_string()],
+            cad: Some(lazyeye_testbed::CadCaseConfig {
+                sweep: lazyeye_testbed::SweepSpec::new(0, 300, 150),
+                repetitions: 1,
+            }),
+            rd: None,
+            selection: None,
+            resolver: None,
+            ..CampaignSpec::default()
+        };
+        assert_matches_sequential(&spec, 64);
+    }
+
+    #[test]
+    fn zero_runs_executes_to_empty() {
+        let spec = CampaignSpec {
+            cad: None,
+            rd: None,
+            selection: None,
+            resolver: None,
+            ..CampaignSpec::default()
+        };
+        let runs = crate::plan::expand(&spec).unwrap();
+        assert!(runs.is_empty());
+        let ctx = RunContext::new(&spec).unwrap();
+        let mut calls = 0;
+        let outputs = execute(&ctx, &runs, 8, |_, _| calls += 1);
+        assert!(outputs.is_empty());
+        assert_eq!(calls, 0, "no progress callbacks for an empty campaign");
+    }
+
+    #[test]
+    fn steal_path_with_single_run_stripes() {
+        // total == jobs gives every worker a 1-run stripe (nothing to
+        // steal); total == jobs + 1 forces exactly one steal attempt race.
+        let mut spec = small_spec();
+        spec.clients = vec![
+            "chrome-130.0".to_string(),
+            "firefox-132.0".to_string(),
+            "curl-7.88.1".to_string(),
+        ];
+        let runs = crate::plan::expand(&spec).unwrap();
+        assert_eq!(runs.len(), 9);
+        assert_matches_sequential(&spec, 9);
+        assert_matches_sequential(&spec, 8);
+        // Heavily oversubscribed stealing: 2-run stripes, many thieves.
+        assert_matches_sequential(&spec, 5);
+    }
+
+    #[test]
+    fn on_result_fires_once_per_run_with_matching_positions() {
+        let spec = small_spec();
+        let runs = crate::plan::expand(&spec).unwrap();
+        let ctx = RunContext::new(&spec).unwrap();
+        let mut seen = vec![0u32; runs.len()];
+        let outputs = execute_with(
+            &ctx,
+            &runs,
+            4,
+            |_, _| {},
+            |pos, out| {
+                seen[pos] += 1;
+                // The hook's output must be the one the result vector keeps.
+                match out {
+                    RunOutput::Cad(s) => {
+                        assert_eq!(
+                            s.configured_delay_ms,
+                            match &runs[pos].kind {
+                                crate::plan::RunKind::Cad { delay_ms, .. } => *delay_ms,
+                                _ => unreachable!(),
+                            }
+                        );
+                    }
+                    _ => panic!("unexpected output kind"),
+                }
+            },
+        );
+        assert_eq!(outputs.len(), runs.len());
+        assert!(seen.iter().all(|&c| c == 1), "hook fired {seen:?}");
     }
 }

@@ -1,4 +1,4 @@
-//! # lazyeye-campaign — sharded, deterministic campaign orchestration
+//! # lazyeye-campaign — adaptive, sharded, deterministic campaigns
 //!
 //! Turns the testbed from a one-case runner into a campaign engine, the
 //! paper's measurement methodology at matrix scale:
@@ -11,16 +11,25 @@
 //! 3. **[`executor`]** — a work-stealing thread pool; every run gets a
 //!    fresh simulation (the paper's container reset) and reduces its raw
 //!    capture to a small [`RunOutput`] on the worker.
-//! 4. **[`aggregate`]** — a streaming fold into per-cell summaries
+//! 4. **[`refine`]** — the paper's coarse→fine workflow (§5.1): every
+//!    CAD/RD cell whose first pass detected a switchover bracket gets a
+//!    second, fine sweep inside the bracket at `refine_step_ms`
+//!    resolution.
+//! 5. **[`aggregate`]** — a streaming fold into per-cell summaries
 //!    (exact min/max/mean, P² median/p95, switchover detection, feature
 //!    flags) in run-index order.
-//! 5. **[`report`]** — JSON/CSV/text emitters plus a Table-2 style
+//! 6. **[`report`]** — JSON/CSV/text emitters plus a Table-2 style
 //!    feature-matrix roll-up.
+//! 7. **[`checkpoint`]** — resumable progress (`--checkpoint`/
+//!    `--resume`) and multi-machine sharding (`--shard i/n` +
+//!    `--merge`): completed run outputs serialise to JSON and fold back
+//!    losslessly.
 //!
 //! **Determinism contract:** the report is a pure function of
-//! `(CampaignSpec, seed)`. Worker count, scheduling and steal patterns
-//! never leak into it — `--jobs 1` and `--jobs 8` yield byte-identical
-//! JSON and CSV.
+//! `(CampaignSpec, seed)`. Worker count, scheduling, steal patterns,
+//! kills/resumes and shard splits never leak into it — `--jobs 1`,
+//! `--jobs 8`, a resumed run and a merged shard set all yield
+//! byte-identical JSON and CSV.
 //!
 //! ```
 //! use lazyeye_campaign::{run_campaign, CampaignSpec};
@@ -35,49 +44,223 @@
 //! spec.selection = None;
 //! spec.resolver = None;
 //! let report = run_campaign(&spec, 2, |_done, _total| {}).unwrap();
-//! assert_eq!(report.total_runs, 3);
-//! assert_eq!(report.cells[0].first_v4_delay_ms, Some(250), "curl CAD = 200 ms");
+//! // Coarse pass: 150/200/250 brackets curl's 200 ms CAD at (200, 250);
+//! // the automatic 5 ms fine pass pins the switchover to 205.
+//! assert_eq!(report.total_runs, 3 + 9);
+//! assert_eq!(report.refined_runs, 9);
+//! assert_eq!(report.cells[0].last_v6_delay_ms, Some(200));
+//! assert_eq!(report.cells[0].first_v4_delay_ms, Some(205));
 //! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod executor;
 pub mod plan;
+pub mod refine;
 pub mod report;
 pub mod spec;
 
+use std::collections::BTreeMap;
+
 pub use aggregate::{Aggregator, CellReport, FeatureSummary, P2Quantile, StreamStats};
-pub use executor::{execute, run_one, RunContext, RunOutput};
+pub use checkpoint::{merge_checkpoints, Checkpoint, Shard};
+pub use executor::{execute, execute_with, run_one, RunContext, RunOutput};
 pub use plan::{derive_seed, expand, RunKind, RunSpec, SpecError};
+pub use refine::{derive_refine_seed, plan_refinement};
 pub use report::CampaignReport;
 pub use spec::{CampaignSpec, NetemSpec, RdPlan, SelectionPlan};
 
-/// Expands, executes and aggregates a campaign in one call.
+/// Expands, executes (both passes) and aggregates a campaign in one call.
 ///
 /// `jobs` is the worker-thread count (clamped to at least 1); `progress`
 /// receives `(finished, total)` after every run, on the calling thread.
+/// The total grows once the first pass completes and the refinement pass
+/// is planned.
 pub fn run_campaign(
     spec: &CampaignSpec,
     jobs: usize,
     progress: impl FnMut(usize, usize),
 ) -> Result<CampaignReport, SpecError> {
-    let runs = expand(spec)?;
+    let (runs, outputs) =
+        run_campaign_resumable(spec, jobs, &BTreeMap::new(), progress, |_, _| {})?;
+    Ok(build_report(spec, &runs, &outputs))
+}
+
+/// Runs both campaign passes, skipping every run whose output is already
+/// present in `completed` (keyed by run index — a loaded [`Checkpoint`]'s
+/// [`Checkpoint::completed`] map, or empty for a fresh campaign).
+///
+/// Returns all runs and their outputs **in run-index order**, pass 1
+/// followed by the refinement pass. `on_result` fires on the calling
+/// thread for each *newly executed* run (completion order is
+/// scheduling-dependent) — wire periodic checkpoint saves here.
+///
+/// Because the refinement plan is a pure function of the first pass's
+/// outputs, resuming from any checkpoint reproduces the exact run list —
+/// and therefore a byte-identical report — of an uninterrupted campaign.
+pub fn run_campaign_resumable(
+    spec: &CampaignSpec,
+    jobs: usize,
+    completed: &BTreeMap<u64, RunOutput>,
+    mut progress: impl FnMut(usize, usize),
+    mut on_result: impl FnMut(&RunSpec, &RunOutput),
+) -> Result<(Vec<RunSpec>, Vec<RunOutput>), SpecError> {
+    let pass1 = expand(spec)?;
     let ctx = RunContext::new(spec)?;
-    let outputs = execute(&ctx, &runs, jobs, progress);
+
+    let pending1: Vec<RunSpec> = pass1
+        .iter()
+        .filter(|r| !completed.contains_key(&r.index))
+        .cloned()
+        .collect();
+    let mut total = pending1.len();
+    let out1 = execute_with(
+        &ctx,
+        &pending1,
+        jobs,
+        |done, _| progress(done, total),
+        |pos, out| on_result(&pending1[pos], out),
+    );
+    let outputs1 = stitch(&pass1, completed, out1);
+
+    let pass2 = refine::plan_refinement(spec, &pass1, &outputs1);
+    let pending2: Vec<RunSpec> = pass2
+        .iter()
+        .filter(|r| !completed.contains_key(&r.index))
+        .cloned()
+        .collect();
+    total += pending2.len();
+    let base = pending1.len();
+    let out2 = execute_with(
+        &ctx,
+        &pending2,
+        jobs,
+        |done, _| progress(base + done, total),
+        |pos, out| on_result(&pending2[pos], out),
+    );
+    let outputs2 = stitch(&pass2, completed, out2);
+
+    let mut runs = pass1;
+    runs.extend(pass2);
+    let mut outputs = outputs1;
+    outputs.extend(outputs2);
+    Ok((runs, outputs))
+}
+
+/// Interleaves stored outputs with freshly executed ones, restoring run
+/// order: `fresh` holds outputs for exactly the runs absent from
+/// `completed`, in run order.
+fn stitch(
+    runs: &[RunSpec],
+    completed: &BTreeMap<u64, RunOutput>,
+    fresh: Vec<RunOutput>,
+) -> Vec<RunOutput> {
+    let mut fresh = fresh.into_iter();
+    runs.iter()
+        .map(|r| match completed.get(&r.index) {
+            Some(stored) => stored.clone(),
+            None => fresh.next().expect("one fresh output per pending run"),
+        })
+        .collect()
+}
+
+/// Folds `(run, output)` pairs — as returned by
+/// [`run_campaign_resumable`] — into the final report.
+pub fn build_report(
+    spec: &CampaignSpec,
+    runs: &[RunSpec],
+    outputs: &[RunOutput],
+) -> CampaignReport {
     let mut agg = Aggregator::new();
-    for (run, output) in runs.iter().zip(&outputs) {
+    for (run, output) in runs.iter().zip(outputs) {
         agg.fold(run, output);
     }
     let (cells, features) = agg.finish();
-    Ok(CampaignReport {
+    CampaignReport {
         name: spec.name.clone(),
         seed: spec.seed,
         total_runs: runs.len() as u64,
+        refined_runs: runs.iter().filter(|r| r.refined).count() as u64,
         cells,
         features,
-    })
+    }
+}
+
+/// Executes one shard of a campaign's **first pass** — runs with
+/// `index % shard.count == shard.index` — and returns the partial state
+/// for [`merge_checkpoints`]. Prior progress in `resume_from` (a partial
+/// checkpoint of the *same* shard) is kept and skipped over.
+///
+/// Shards deliberately stop before the refinement pass: the refinement
+/// plan needs every first-pass cell, which no single shard has. The merge
+/// side ([`finish_from_checkpoint`]) runs it — the fine pass is a few
+/// dozen runs where the coarse pass is hundreds, so distributing it buys
+/// nothing.
+pub fn run_shard(
+    spec: &CampaignSpec,
+    jobs: usize,
+    shard: Shard,
+    resume_from: Option<Checkpoint>,
+    mut progress: impl FnMut(usize, usize),
+    mut on_result: impl FnMut(&Checkpoint),
+) -> Result<Checkpoint, SpecError> {
+    let pass1 = expand(spec)?;
+    let ctx = RunContext::new(spec)?;
+    let mut ckpt = match resume_from {
+        Some(c) => {
+            if &c.spec != spec {
+                return Err(SpecError::new("resume: checkpoint is for a different spec"));
+            }
+            if c.shard != Some(shard) {
+                return Err(SpecError::new(
+                    "resume: checkpoint was produced under a different shard",
+                ));
+            }
+            c
+        }
+        None => Checkpoint::new(spec.clone(), pass1.len() as u64, Some(shard)),
+    };
+    let pending: Vec<RunSpec> = pass1
+        .iter()
+        .filter(|r| shard.owns(r.index) && !ckpt.completed().contains_key(&r.index))
+        .cloned()
+        .collect();
+    let total = pending.len();
+    let _ = execute_with(
+        &ctx,
+        &pending,
+        jobs,
+        |done, _| progress(done, total),
+        |pos, out| {
+            ckpt.record(pending[pos].index, out.clone());
+            on_result(&ckpt);
+        },
+    );
+    Ok(ckpt)
+}
+
+/// Finishes a campaign from stored state: executes whatever the
+/// checkpoint is missing (first pass and refinement pass), and builds the
+/// canonical report — byte-identical to an uninterrupted run.
+///
+/// This is both `--resume` (an interrupted checkpoint) and the tail of
+/// `--merge` (a union of shard partials). Missing first-pass runs are
+/// executed locally, so a merge of incomplete partials still produces the
+/// canonical report — check [`Checkpoint::missing_pass1`] first if you
+/// want to warn instead.
+pub fn finish_from_checkpoint(
+    ckpt: &Checkpoint,
+    jobs: usize,
+    progress: impl FnMut(usize, usize),
+    on_result: impl FnMut(&RunSpec, &RunOutput),
+) -> Result<CampaignReport, SpecError> {
+    let spec = ckpt.spec.clone();
+    let (runs, outputs) =
+        run_campaign_resumable(&spec, jobs, ckpt.completed(), progress, on_result)?;
+    Ok(build_report(&spec, &runs, &outputs))
 }
 
 // Send-safety audit: the executor moves run specs into worker threads and
@@ -126,18 +309,23 @@ mod tests {
                 sweep: lazyeye_testbed::SweepSpec::new(0, 0, 1),
                 repetitions: 2,
             }),
+            refine_step_ms: Some(5),
         };
         let report = run_campaign(&spec, 4, |_, _| {}).unwrap();
-        assert_eq!(report.total_runs, 6 + 2 + 2 + 2);
+        // Chrome's coarse CAD bracket (300, 320) refines at 5 ms: 3 extra
+        // runs (305/310/315); wget never falls back, so nothing else does.
+        assert_eq!(report.refined_runs, 3);
+        assert_eq!(report.total_runs, 6 + 2 + 2 + 2 + 3);
 
-        // Chromium's 300 ms CAD: v6 still wins at 300, v4 at 320.
+        // Chromium's 300 ms CAD: v6 still wins at 300; the fine pass pins
+        // the first v4 fallback to 305 (the coarse pass alone said 320).
         let chrome_cad = report
             .cells
             .iter()
             .find(|c| c.case == "cad" && c.subject == "chrome-130.0")
             .unwrap();
         assert_eq!(chrome_cad.last_v6_delay_ms, Some(300));
-        assert_eq!(chrome_cad.first_v4_delay_ms, Some(320));
+        assert_eq!(chrome_cad.first_v4_delay_ms, Some(305));
         assert_eq!(chrome_cad.implements_cad, Some(true));
 
         // wget never falls back.

@@ -85,17 +85,28 @@ pub enum RunKind {
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunSpec {
     /// Position in the expanded matrix (also the aggregation fold order).
+    /// Refinement runs continue the numbering after the first pass.
     pub index: u64,
-    /// The run's simulation seed, derived from the campaign seed and the
-    /// index via [`derive_seed`].
+    /// The run's simulation seed: derived from the campaign seed and the
+    /// index via [`derive_seed`] for first-pass runs, and from
+    /// `(campaign_seed, "refine", refine_index)` via
+    /// [`crate::refine::derive_refine_seed`] for second-pass runs.
     pub seed: u64,
     /// What to measure.
     pub kind: RunKind,
+    /// `true` for runs scheduled by the second, fine refinement pass.
+    pub refined: bool,
 }
 
 /// Derives the seed of run `index` from the campaign seed: a SplitMix64
 /// mix, so neighbouring indices get statistically independent streams
 /// while the mapping stays a pure function of `(campaign_seed, index)`.
+///
+/// Deliberately *not* routed through [`rand::mix_words`]: these exact
+/// outputs are pinned by tests (changing them invalidates every archived
+/// campaign report), whereas the newer derivers
+/// ([`crate::refine::derive_refine_seed`],
+/// `lazyeye_testbed::derive_case_seed`) share the helper.
 pub fn derive_seed(campaign_seed: u64, index: u64) -> u64 {
     let mut state = campaign_seed ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let first = rand::splitmix64(&mut state);
@@ -181,6 +192,9 @@ fn validate(spec: &CampaignSpec) -> Result<(), SpecError> {
             return Err(SpecError::new("rd: records list is empty"));
         }
     }
+    if spec.refine_step_ms == Some(0) {
+        return Err(SpecError::new("refine_step_ms must be > 0 when set"));
+    }
     Ok(())
 }
 
@@ -211,6 +225,7 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunSpec>, SpecError> {
             index,
             seed: derive_seed(spec.seed, index),
             kind,
+            refined: false,
         });
     };
 

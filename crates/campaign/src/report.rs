@@ -15,8 +15,11 @@ pub struct CampaignReport {
     pub name: String,
     /// Campaign seed.
     pub seed: u64,
-    /// Total runs executed.
+    /// Total runs executed (both passes).
     pub total_runs: u64,
+    /// Runs scheduled by the second, fine refinement pass (included in
+    /// `total_runs`).
+    pub refined_runs: u64,
     /// Folded per-cell summaries, sorted by (case, subject, condition).
     pub cells: Vec<CellReport>,
     /// The Table-2 style feature matrix derived from the cells.
@@ -27,6 +30,7 @@ lazyeye_json::impl_json_struct!(CampaignReport {
     name,
     seed,
     total_runs,
+    refined_runs,
     cells,
     features,
 });
@@ -115,10 +119,11 @@ impl CampaignReport {
     /// the feature matrix.
     pub fn render_text(&self) -> String {
         let mut out = format!(
-            "campaign {:?}: seed {}, {} runs, {} cells\n\n",
+            "campaign {:?}: seed {}, {} runs ({} refined), {} cells\n\n",
             self.name,
             self.seed,
             self.total_runs,
+            self.refined_runs,
             self.cells.len()
         );
         for case in ["cad", "rd", "selection", "resolver"] {
@@ -262,6 +267,7 @@ mod tests {
             name: "t".into(),
             seed: 1,
             total_runs: 1,
+            refined_runs: 0,
             cells: vec![CellReport {
                 case: "cad".into(),
                 subject: "chrome-130.0".into(),
@@ -313,5 +319,44 @@ mod tests {
         let text = tiny_report().render_text();
         assert!(text.contains("chrome-130.0"));
         assert!(text.contains("CAD"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes_in_conditions() {
+        // A netem label is free-form text; commas and quotes must not
+        // break the row structure.
+        let mut report = tiny_report();
+        report.cells[0].condition = "lossy, 10% \"burst\"".into();
+        report.cells[0].subject = "plain".into();
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(
+            lines[1].contains(r#""lossy, 10% ""burst""""#),
+            "quoted+doubled, got: {}",
+            lines[1]
+        );
+        // Unquoting the row restores the original cell and keeps the
+        // column count aligned with the header.
+        let mut fields = Vec::new();
+        let mut rest = lines[1];
+        while !rest.is_empty() {
+            if let Some(stripped) = rest.strip_prefix('"') {
+                let end = stripped.find("\",").unwrap_or(stripped.len() - 1);
+                fields.push(stripped[..end].replace("\"\"", "\""));
+                rest = stripped.get(end + 2..).unwrap_or("");
+            } else {
+                let end = rest.find(',').unwrap_or(rest.len());
+                fields.push(rest[..end].to_string());
+                rest = rest.get(end + 1..).unwrap_or("");
+            }
+        }
+        assert_eq!(fields.len(), lines[0].split(',').count());
+        assert_eq!(fields[2], "lossy, 10% \"burst\"");
+    }
+
+    #[test]
+    fn csv_leaves_plain_cells_unquoted() {
+        let csv = tiny_report().to_csv();
+        assert!(!csv.contains('"'), "no spurious quoting: {csv}");
     }
 }

@@ -133,6 +133,10 @@ pub struct CampaignSpec {
     pub selection: Option<SelectionPlan>,
     /// Resolver block (resolvers × sweep × reps), if enabled.
     pub resolver: Option<ResolverCaseConfig>,
+    /// Step of the second, fine sweep scheduled inside every detected
+    /// CAD/RD switchover bracket (ms) — the paper's coarse→fine workflow
+    /// (§5.1). `None` (or absent in JSON) disables the refinement pass.
+    pub refine_step_ms: Option<u64>,
 }
 
 lazyeye_json::impl_json_struct!(CampaignSpec {
@@ -145,6 +149,7 @@ lazyeye_json::impl_json_struct!(CampaignSpec {
     rd,
     selection,
     resolver,
+    refine_step_ms,
 });
 
 impl Default for CampaignSpec {
@@ -178,6 +183,7 @@ impl Default for CampaignSpec {
                 sweep: SweepSpec::new(0, 800, 200),
                 repetitions: 2,
             }),
+            refine_step_ms: Some(5),
         }
     }
 }
@@ -215,6 +221,10 @@ mod tests {
         )
         .unwrap();
         assert!(spec.rd.is_none() && spec.selection.is_none() && spec.resolver.is_none());
+        assert!(
+            spec.refine_step_ms.is_none(),
+            "absent refine_step_ms = single-pass campaign"
+        );
         assert_eq!(spec.cad.unwrap().sweep.values(), vec![0, 50, 100]);
     }
 

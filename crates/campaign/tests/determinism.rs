@@ -45,6 +45,7 @@ fn test_spec(seed: u64) -> CampaignSpec {
             sweep: SweepSpec::new(0, 400, 400),
             repetitions: 2,
         }),
+        refine_step_ms: Some(5),
     }
 }
 
@@ -97,7 +98,9 @@ fn expansion_seeds_are_stable_across_processes() {
 #[test]
 fn headline_findings_survive_the_campaign_path() {
     // The same physics the single-case runners measure must come out of
-    // the sharded path: Chrome switches over at 300 ms, curl at 200 ms.
+    // the sharded two-pass path: Chrome switches over at 300 ms, curl at
+    // 200 ms — and the automatic fine pass pins each switchover to the
+    // 5 ms refinement step.
     let report = run_campaign(&test_spec(1), 4, |_, _| {}).unwrap();
     let cell = |subject: &str, condition: &str| {
         report
@@ -106,14 +109,20 @@ fn headline_findings_survive_the_campaign_path() {
             .find(|c| c.case == "cad" && c.subject == subject && c.condition == condition)
             .unwrap()
     };
-    // Sweep 180/250/320: Chrome (CAD 300) falls back only at 320.
+    // Coarse sweep 180/250/320 brackets Chrome (CAD 300) at (250, 320);
+    // the 5 ms fine pass narrows that to (300, 305).
     assert_eq!(
         cell("chrome-130.0", "baseline").first_v4_delay_ms,
-        Some(320)
+        Some(305)
     );
-    assert_eq!(cell("chrome-130.0", "baseline").last_v6_delay_ms, Some(250));
-    // curl (CAD 200) already falls back at 250.
-    assert_eq!(cell("curl-7.88.1", "baseline").first_v4_delay_ms, Some(250));
-    // Firefox (CAD 250): v6 at 180/250(?) — at least fallback by 320.
-    assert!(cell("firefox-132.0", "baseline").first_v4_delay_ms.unwrap() <= 320);
+    assert_eq!(cell("chrome-130.0", "baseline").last_v6_delay_ms, Some(300));
+    // curl (CAD 200): coarse bracket (180, 250) refines to (200, 205).
+    assert_eq!(cell("curl-7.88.1", "baseline").last_v6_delay_ms, Some(200));
+    assert_eq!(cell("curl-7.88.1", "baseline").first_v4_delay_ms, Some(205));
+    // Firefox (CAD 250): refined to (250, 255).
+    assert_eq!(
+        cell("firefox-132.0", "baseline").first_v4_delay_ms,
+        Some(255)
+    );
+    assert!(report.refined_runs > 0);
 }

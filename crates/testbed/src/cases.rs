@@ -37,6 +37,25 @@ impl SweepSpec {
         SweepSpec::new(0, 2500, 250)
     }
 
+    /// A fine sweep strictly inside the open switchover bracket
+    /// `(last_v6, first_v4)`: values `last_v6 + step, last_v6 + 2·step, …`
+    /// up to (excluding) `first_v4`. Returns `None` when the bracket is
+    /// already no wider than one step — there is nothing left to refine.
+    ///
+    /// This is the paper's coarse→fine workflow (§5.1): a coarse sweep
+    /// locates the bracket, then this sweep pins the switchover down to
+    /// `step_ms` resolution.
+    pub fn refine_within(last_v6: u64, first_v4: u64, step_ms: u64) -> Option<SweepSpec> {
+        if step_ms == 0 || first_v4 <= last_v6 {
+            return None;
+        }
+        let start = last_v6.checked_add(step_ms)?;
+        if start >= first_v4 {
+            return None;
+        }
+        Some(SweepSpec::new(start, first_v4 - 1, step_ms))
+    }
+
     /// Materialises the delay values. A zero step (possible only via
     /// deserialized configs, [`SweepSpec::new`] rejects it) yields just the
     /// start value instead of looping forever.
@@ -221,6 +240,26 @@ mod tests {
         assert_eq!(SweepSpec::new(0, 20, 5).values(), vec![0, 5, 10, 15, 20]);
         assert_eq!(SweepSpec::new(10, 10, 5).values(), vec![10]);
         assert_eq!(SweepSpec::new(0, 9, 5).values(), vec![0, 5]);
+    }
+
+    #[test]
+    fn refine_within_stays_inside_the_bracket() {
+        // Coarse bracket (200, 300) at 5 ms: strictly between the ends.
+        let sweep = SweepSpec::refine_within(200, 300, 5).unwrap();
+        let values = sweep.values();
+        assert_eq!(values.first(), Some(&205));
+        assert_eq!(values.last(), Some(&295));
+        assert!(values.iter().all(|&v| v > 200 && v < 300));
+
+        // A bracket exactly one coarse step wide at the same step: nothing
+        // between the ends.
+        assert!(SweepSpec::refine_within(200, 205, 5).is_none());
+        // Degenerate and inverted brackets refine to nothing.
+        assert!(SweepSpec::refine_within(200, 200, 5).is_none());
+        assert!(SweepSpec::refine_within(300, 200, 5).is_none());
+        assert!(SweepSpec::refine_within(200, 300, 0).is_none());
+        // Near-overflow start must not panic.
+        assert!(SweepSpec::refine_within(u64::MAX - 2, u64::MAX, 5).is_none());
     }
 
     #[test]

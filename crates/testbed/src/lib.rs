@@ -23,9 +23,10 @@ pub use cases::{
 };
 pub use features::{evaluate_client_features, FeatureRow};
 pub use runner::{
-    run_cad_case, run_cad_once, run_rd_case, run_rd_once, run_resolver_case, run_resolver_once,
-    run_selection_case, summarize_cad, summarize_rd, summarize_resolver, CadSample, CadSummary,
-    RdSample, RdSummary, ResolverSample, ResolverStats, SelectionResult,
+    derive_case_seed, run_cad_case, run_cad_once, run_rd_case, run_rd_once, run_resolver_case,
+    run_resolver_once, run_selection_case, summarize_cad, summarize_rd, summarize_resolver,
+    switchover_bracket, CadSample, CadSummary, RdSample, RdSummary, ResolverSample, ResolverStats,
+    SelectionResult, CAD_SEED_TAG, RD_SEED_TAG, RESOLVER_SEED_TAG,
 };
 pub use table::Table;
 
@@ -203,11 +204,7 @@ mod tests {
             repetitions: 4,
         };
         let stats = summarize_resolver(&run_resolver_case(&bind9(), &cfg, 11));
-        assert!(
-            (stats.v6_share_pct - 100.0).abs() < f64::EPSILON,
-            "BIND always prefers IPv6 (got {})",
-            stats.v6_share_pct
-        );
+        assert_eq!(stats.v6_share_pct, Some(100.0), "BIND always prefers IPv6");
         // 800 ms timeout: still served over v6 at 750, not at 1000.
         assert_eq!(stats.max_v6_delay_ms, Some(750));
         let cad = stats.observed_cad_ms.unwrap();
@@ -230,7 +227,7 @@ mod tests {
             repetitions: 4,
         };
         let stats = summarize_resolver(&run_resolver_case(&profile, &cfg, 12));
-        assert!((stats.v6_share_pct - 100.0).abs() < f64::EPSILON);
+        assert_eq!(stats.v6_share_pct, Some(100.0));
         let cad = stats.observed_cad_ms.unwrap();
         assert!(
             (49.0..60.0).contains(&cad),
@@ -245,10 +242,10 @@ mod tests {
             repetitions: 60,
         };
         let stats = summarize_resolver(&run_resolver_case(&unbound(), &cfg, 13));
+        let share = stats.v6_share_pct.unwrap();
         assert!(
-            (30.0..70.0).contains(&stats.v6_share_pct),
-            "Unbound ≈ 50/50 preference, got {}",
-            stats.v6_share_pct
+            (30.0..70.0).contains(&share),
+            "Unbound ≈ 50/50 preference, got {share}"
         );
         // Backoff: with a dead v6 path Unbound sometimes sends 2 v6 packets.
         let cfg2 = ResolverCaseConfig {
@@ -266,11 +263,8 @@ mod tests {
             repetitions: 80,
         };
         let stats = summarize_resolver(&run_resolver_case(&knot(), &cfg, 15));
-        assert!(
-            (12.0..45.0).contains(&stats.v6_share_pct),
-            "Knot ≈ 25-28 %, got {}",
-            stats.v6_share_pct
-        );
+        let share = stats.v6_share_pct.unwrap();
+        assert!((12.0..45.0).contains(&share), "Knot ≈ 25-28 %, got {share}");
     }
 
     #[test]
@@ -284,7 +278,7 @@ mod tests {
             repetitions: 10,
         };
         let stats = summarize_resolver(&run_resolver_case(&profile, &cfg, 16));
-        assert_eq!(stats.v6_share_pct, 0.0);
+        assert_eq!(stats.v6_share_pct, Some(0.0));
         assert_eq!(stats.max_v6_packets, 0);
     }
 }

@@ -18,6 +18,54 @@ use crate::topology::{
 };
 
 // ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Domain-separation tag for CAD sweep seeds.
+pub const CAD_SEED_TAG: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Domain-separation tag for RD sweep seeds.
+pub const RD_SEED_TAG: u64 = 0x2545_F491_4F6C_DD1D;
+/// Domain-separation tag for resolver sweep seeds.
+pub const RESOLVER_SEED_TAG: u64 = 0xDA94_2042_E4DD_58B5;
+
+/// Derives the seed of one `(delay, rep)` run in a sweep from the case
+/// seed via SplitMix64 mixing.
+///
+/// The legacy packing `delay_ms * 1000 + rep` overflow-panicked in debug
+/// builds for delays near `u64::MAX` and collided across `(delay, rep)`
+/// pairs once repetitions reached 1000 (`(0 ms, rep 1000)` = `(1 ms,
+/// rep 0)`). Mixing each word through SplitMix64 with wrapping arithmetic
+/// only removes both failure modes.
+pub fn derive_case_seed(seed: u64, case_tag: u64, delay_ms: u64, rep: u32) -> u64 {
+    rand::mix_words(seed ^ case_tag, &[delay_ms, u64::from(rep)])
+}
+
+/// Median of an ascending-sorted slice, averaging the two middle elements
+/// for even sizes. Taking `v[len / 2]` alone — the upper-middle element —
+/// biased even-sized medians upward by up to one inter-sample gap.
+fn median_of_sorted(v: &[f64]) -> Option<f64> {
+    match v.len() {
+        0 => None,
+        n if n % 2 == 1 => Some(v[n / 2]),
+        n => Some((v[n / 2 - 1] + v[n / 2]) / 2.0),
+    }
+}
+
+/// The open switchover bracket `(last_v6, first_v4)` of a sweep, when the
+/// sweep detected one: the switchover lies strictly between the largest
+/// delay won by IPv6 and the smallest delay at which IPv4 was used. The
+/// campaign engine's second, fine pass sweeps inside this bracket.
+pub fn switchover_bracket(
+    last_v6_delay_ms: Option<u64>,
+    first_v4_delay_ms: Option<u64>,
+) -> Option<(u64, u64)> {
+    match (last_v6_delay_ms, first_v4_delay_ms) {
+        (Some(lo), Some(hi)) if lo < hi => Some((lo, hi)),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // CAD case
 // ---------------------------------------------------------------------------
 
@@ -92,9 +140,7 @@ pub fn run_cad_case(profile: &ClientProfile, cfg: &CadCaseConfig, seed: u64) -> 
     let mut out = Vec::new();
     for delay_ms in cfg.sweep.values() {
         for rep in 0..cfg.repetitions {
-            let run_seed = seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(delay_ms * 1000 + u64::from(rep));
+            let run_seed = derive_case_seed(seed, CAD_SEED_TAG, delay_ms, rep);
             out.push(run_cad_once(profile, delay_ms, rep, run_seed, &[]));
         }
     }
@@ -116,6 +162,14 @@ pub struct CadSummary {
     pub always_connected: bool,
 }
 
+impl CadSummary {
+    /// The open switchover bracket `(last_v6, first_v4)`, when detected —
+    /// see [`switchover_bracket`].
+    pub fn switchover_bracket(&self) -> Option<(u64, u64)> {
+        switchover_bracket(self.last_v6_delay_ms, self.first_v4_delay_ms)
+    }
+}
+
 /// Summarises CAD samples.
 pub fn summarize_cad(samples: &[CadSample]) -> CadSummary {
     let last_v6_delay_ms = samples
@@ -130,11 +184,7 @@ pub fn summarize_cad(samples: &[CadSample]) -> CadSummary {
         .min();
     let mut cads: Vec<f64> = samples.iter().filter_map(|s| s.observed_cad_ms).collect();
     cads.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let measured_cad_ms = if cads.is_empty() {
-        None
-    } else {
-        Some(cads[cads.len() / 2])
-    };
+    let measured_cad_ms = median_of_sorted(&cads);
     CadSummary {
         last_v6_delay_ms,
         first_v4_delay_ms,
@@ -217,9 +267,7 @@ pub fn run_rd_case(profile: &ClientProfile, cfg: &RdCaseConfig, seed: u64) -> Ve
     let mut out = Vec::new();
     for delay_ms in cfg.sweep.values() {
         for rep in 0..cfg.repetitions {
-            let run_seed = seed
-                .wrapping_mul(0x2545_F491_4F6C_DD1D)
-                .wrapping_add(delay_ms * 1000 + u64::from(rep));
+            let run_seed = derive_case_seed(seed, RD_SEED_TAG, delay_ms, rep);
             out.push(run_rd_once(profile, cfg.delayed, delay_ms, rep, run_seed));
         }
     }
@@ -254,11 +302,7 @@ pub fn summarize_rd(samples: &[RdSample]) -> RdSummary {
             .filter_map(|s| s.first_attempt_ms)
             .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        if v.is_empty() {
-            None
-        } else {
-            Some(v[v.len() / 2])
-        }
+        median_of_sorted(&v)
     });
     RdSummary {
         implements_rd,
@@ -420,9 +464,7 @@ pub fn run_resolver_case(
     let mut out = Vec::new();
     for delay_ms in cfg.sweep.values() {
         for rep in 0..cfg.repetitions {
-            let run_seed = seed
-                .wrapping_mul(0xDA94_2042_E4DD_58B5)
-                .wrapping_add(delay_ms * 1000 + u64::from(rep));
+            let run_seed = derive_case_seed(seed, RESOLVER_SEED_TAG, delay_ms, rep);
             out.push(run_resolver_once(rprofile, delay_ms, rep, run_seed));
         }
     }
@@ -432,9 +474,12 @@ pub fn run_resolver_case(
 /// Aggregate resolver statistics — one row of the paper's Table 3.
 #[derive(Clone, Debug)]
 pub struct ResolverStats {
-    /// Share of runs whose first auth query used IPv6 (%), measured at
-    /// zero added delay (pure preference).
-    pub v6_share_pct: f64,
+    /// Share of runs whose first auth query used IPv6 (%), measured at the
+    /// *smallest* configured delay in the sweep (pure preference when the
+    /// sweep includes delay 0). `None` when the sweep produced no samples
+    /// at all — previously this collapsed to `0.0`, indistinguishable
+    /// from a resolver that genuinely never prefers IPv6.
+    pub v6_share_pct: Option<f64>,
     /// Largest configured delay at which resolution was still served over
     /// IPv6 (the "Max. IPv6 Delay Used" column).
     pub max_v6_delay_ms: Option<u64>,
@@ -450,20 +495,19 @@ pub struct ResolverStats {
 
 /// Summarises resolver samples.
 pub fn summarize_resolver(samples: &[ResolverSample]) -> ResolverStats {
-    let zero_delay: Vec<&ResolverSample> = samples
-        .iter()
-        .filter(|s| s.configured_delay_ms == 0)
-        .collect();
-    let v6_share_pct = if zero_delay.is_empty() {
-        0.0
-    } else {
+    let min_delay = samples.iter().map(|s| s.configured_delay_ms).min();
+    let v6_share_pct = min_delay.map(|d| {
+        let at_min: Vec<&ResolverSample> = samples
+            .iter()
+            .filter(|s| s.configured_delay_ms == d)
+            .collect();
         100.0
-            * zero_delay
+            * at_min
                 .iter()
                 .filter(|s| s.first_query_family == Some(Family::V6))
                 .count() as f64
-            / zero_delay.len() as f64
-    };
+            / at_min.len() as f64
+    });
     let max_v6_delay_ms = samples
         .iter()
         .filter(|s| s.served_over_v6)
@@ -476,11 +520,7 @@ pub fn summarize_resolver(samples: &[ResolverSample]) -> ResolverStats {
         cads = samples.iter().filter_map(|s| s.observed_cad_ms).collect();
     }
     cads.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let observed_cad_ms = if cads.is_empty() {
-        None
-    } else {
-        Some(cads[cads.len() / 2])
-    };
+    let observed_cad_ms = median_of_sorted(&cads);
     ResolverStats {
         v6_share_pct,
         max_v6_delay_ms,
@@ -512,4 +552,137 @@ pub fn distinct_families(order: &[Family]) -> (usize, usize) {
 /// Helper for tests that need an address list.
 pub fn dead_addr(i: usize) -> IpAddr {
     format!("203.0.113.{i}").parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cad_sample(delay_ms: u64, cad: Option<f64>) -> CadSample {
+        CadSample {
+            configured_delay_ms: delay_ms,
+            rep: 0,
+            family: Some(Family::V4),
+            observed_cad_ms: cad,
+            aaaa_first: None,
+        }
+    }
+
+    fn resolver_sample(delay_ms: u64, v6_first: bool) -> ResolverSample {
+        ResolverSample {
+            configured_delay_ms: delay_ms,
+            rep: 0,
+            first_query_family: Some(if v6_first { Family::V6 } else { Family::V4 }),
+            v6_packets: 1,
+            observed_cad_ms: None,
+            v6_retry_gap_ms: None,
+            resolved: true,
+            served_over_v6: v6_first,
+        }
+    }
+
+    #[test]
+    fn median_averages_even_sample_counts() {
+        // Odd count: the middle element, exactly.
+        let odd: Vec<CadSample> = [100.0, 200.0, 300.0]
+            .iter()
+            .map(|&c| cad_sample(0, Some(c)))
+            .collect();
+        assert_eq!(summarize_cad(&odd).measured_cad_ms, Some(200.0));
+
+        // Even count: the average of the two middle elements — the old
+        // upper-middle pick reported 300 here, biased a full gap upward.
+        let even: Vec<CadSample> = [100.0, 200.0, 300.0, 400.0]
+            .iter()
+            .map(|&c| cad_sample(0, Some(c)))
+            .collect();
+        assert_eq!(summarize_cad(&even).measured_cad_ms, Some(250.0));
+
+        // Two samples: plain midpoint.
+        let two: Vec<CadSample> = [100.0, 200.0]
+            .iter()
+            .map(|&c| cad_sample(0, Some(c)))
+            .collect();
+        assert_eq!(summarize_cad(&two).measured_cad_ms, Some(150.0));
+    }
+
+    #[test]
+    fn rd_stall_median_averages_even_counts() {
+        let sample = |stall: f64| RdSample {
+            configured_delay_ms: 400,
+            rep: 0,
+            family: Some(Family::V6),
+            first_attempt_ms: Some(stall),
+            used_rd: false,
+        };
+        let samples: Vec<RdSample> = [10.0, 20.0, 30.0, 40.0]
+            .iter()
+            .map(|&s| sample(s))
+            .collect();
+        assert_eq!(summarize_rd(&samples).stall_at_max_delay_ms, Some(25.0));
+    }
+
+    #[test]
+    fn resolver_share_is_none_without_samples_and_measured_at_min_delay() {
+        // No samples at all: absent, not a fake 0.0.
+        assert_eq!(summarize_resolver(&[]).v6_share_pct, None);
+
+        // Sweep without a zero-delay cell: the share comes from the
+        // smallest configured delay instead of silently reporting 0.0.
+        let samples = vec![
+            resolver_sample(200, true),
+            resolver_sample(200, true),
+            resolver_sample(400, false),
+        ];
+        assert_eq!(summarize_resolver(&samples).v6_share_pct, Some(100.0));
+
+        // A genuine never-IPv6 resolver still reads 0.0 — now
+        // distinguishable from the no-data case.
+        let never = vec![resolver_sample(0, false), resolver_sample(0, false)];
+        assert_eq!(summarize_resolver(&never).v6_share_pct, Some(0.0));
+
+        // Even-sized CAD lists are averaged here too.
+        let mut gaps = vec![resolver_sample(0, true), resolver_sample(0, true)];
+        gaps[0].v6_retry_gap_ms = Some(100.0);
+        gaps[1].v6_retry_gap_ms = Some(300.0);
+        assert_eq!(summarize_resolver(&gaps).observed_cad_ms, Some(200.0));
+    }
+
+    #[test]
+    fn case_seed_mixing_has_no_overflow_and_no_collisions() {
+        // The legacy packing panicked in debug builds on delay_ms * 1000
+        // overflow; the SplitMix64 mix must not.
+        let _ = derive_case_seed(7, CAD_SEED_TAG, u64::MAX, u32::MAX);
+
+        // The legacy packing collided: (0 ms, rep 1000) == (1 ms, rep 0).
+        let mut seen = std::collections::BTreeSet::new();
+        for delay_ms in [0u64, 1, 2, 5, 200, 1000, 100_000, u64::MAX / 1000] {
+            for rep in [0u32, 1, 2, 999, 1000, 1001, 50_000] {
+                assert!(
+                    seen.insert(derive_case_seed(42, CAD_SEED_TAG, delay_ms, rep)),
+                    "seed collision at ({delay_ms}, {rep})"
+                );
+            }
+        }
+        // Case tags separate the sweeps even for identical (delay, rep).
+        assert_ne!(
+            derive_case_seed(42, CAD_SEED_TAG, 100, 0),
+            derive_case_seed(42, RD_SEED_TAG, 100, 0)
+        );
+        assert_ne!(
+            derive_case_seed(42, RD_SEED_TAG, 100, 0),
+            derive_case_seed(42, RESOLVER_SEED_TAG, 100, 0)
+        );
+    }
+
+    #[test]
+    fn switchover_bracket_requires_both_ends_in_order() {
+        assert_eq!(switchover_bracket(Some(200), Some(300)), Some((200, 300)));
+        assert_eq!(switchover_bracket(Some(300), Some(300)), None);
+        assert_eq!(switchover_bracket(Some(300), Some(200)), None);
+        assert_eq!(switchover_bracket(None, Some(300)), None);
+        assert_eq!(switchover_bracket(Some(200), None), None);
+        let summary = summarize_cad(&[cad_sample(300, None)]);
+        assert_eq!(summary.switchover_bracket(), None, "v4-only sweep");
+    }
 }

@@ -27,9 +27,12 @@ fn main() {
         };
         let stats = summarize_resolver(&run_resolver_case(&profile, &cfg, 17));
         println!(
-            "{:<16} {:>10.1}% {:>12} ms {:>9} ms {:>13}",
+            "{:<16} {:>11} {:>12} ms {:>9} ms {:>13}",
             profile.name,
-            stats.v6_share_pct,
+            stats
+                .v6_share_pct
+                .map(|v| format!("{v:.1}%"))
+                .unwrap_or_else(|| "-".into()),
             stats
                 .max_v6_delay_ms
                 .map(|v| v.to_string())

@@ -15,6 +15,10 @@
 //! lazyeye run --config testbed.json    # run every enabled case
 //! lazyeye campaign --print-spec        # print the default campaign spec
 //! lazyeye campaign --config spec.json --jobs 8 --seed 7 --out results
+//! lazyeye campaign --config spec.json --checkpoint ckpt.json
+//! lazyeye campaign --resume ckpt.json  # continue a killed campaign
+//! lazyeye campaign --config spec.json --shard 0/4 --out part0
+//! lazyeye campaign --merge part0.json part1.json part2.json part3.json
 //! ```
 //!
 //! Unknown flags are hard errors — a typo must never silently run a
@@ -24,7 +28,10 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use lazy_eye_inspection::campaign::{run_campaign, CampaignSpec};
+use lazy_eye_inspection::campaign::{
+    build_report, expand, finish_from_checkpoint, merge_checkpoints, run_campaign_resumable,
+    run_shard, CampaignReport, CampaignSpec, Checkpoint, RunOutput, RunSpec, Shard,
+};
 use lazy_eye_inspection::clients::{all_measured_clients, ClientProfile};
 use lazy_eye_inspection::net::Family;
 use lazy_eye_inspection::resolver::all_profiles;
@@ -34,59 +41,103 @@ use lazy_eye_inspection::testbed::{
     SelectionCaseConfig, SweepSpec, Table, TestbedConfig,
 };
 
+/// Completed runs between periodic checkpoint saves.
+const CHECKPOINT_EVERY: u64 = 32;
+
 fn find_client(id: &str) -> Option<ClientProfile> {
     all_measured_clients().into_iter().find(|c| c.id() == id)
 }
 
-/// One flag's shape: name and whether it takes a value.
+/// How a flag consumes arguments.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FlagKind {
+    /// Boolean presence flag.
+    Switch,
+    /// Takes one value; a repeat overrides (last wins).
+    Value,
+    /// Takes one value per occurrence; repeats accumulate.
+    Multi,
+}
+
+/// One flag's shape: name and how it consumes arguments.
 struct Flag {
     name: &'static str,
-    takes_value: bool,
+    kind: FlagKind,
 }
 
 const fn val(name: &'static str) -> Flag {
     Flag {
         name,
-        takes_value: true,
+        kind: FlagKind::Value,
     }
 }
 
 const fn switch(name: &'static str) -> Flag {
     Flag {
         name,
-        takes_value: false,
+        kind: FlagKind::Switch,
+    }
+}
+
+const fn multi(name: &'static str) -> Flag {
+    Flag {
+        name,
+        kind: FlagKind::Multi,
+    }
+}
+
+/// Parsed command-line flags.
+struct Flags(HashMap<String, Vec<String>>);
+
+impl Flags {
+    /// The flag's value (last occurrence), if present.
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// Every occurrence of a `Multi` flag, in order.
+    fn get_all(&self, name: &str) -> &[String] {
+        self.0.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the flag appeared at all.
+    fn contains(&self, name: &str) -> bool {
+        self.0.contains_key(name)
     }
 }
 
 /// Parses `args` against an allowlist. Unknown flags, missing values and
 /// stray positionals are errors — never silently ignored.
-fn parse_flags(args: &[String], allowed: &[Flag]) -> Result<HashMap<String, String>, String> {
-    let mut out = HashMap::new();
+fn parse_flags(args: &[String], allowed: &[Flag]) -> Result<Flags, String> {
+    let mut out: HashMap<String, Vec<String>> = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
         let Some(spec) = allowed.iter().find(|f| f.name == arg) else {
             return Err(format!("unknown flag {arg:?}"));
         };
-        if spec.takes_value {
-            let Some(value) = args.get(i + 1) else {
-                return Err(format!("flag {arg} requires a value"));
-            };
-            out.insert(arg.clone(), value.clone());
-            i += 2;
-        } else {
-            out.insert(arg.clone(), String::new());
-            i += 1;
+        match spec.kind {
+            FlagKind::Switch => {
+                out.entry(arg.clone()).or_default();
+                i += 1;
+            }
+            FlagKind::Value | FlagKind::Multi => {
+                let Some(value) = args.get(i + 1) else {
+                    return Err(format!("flag {arg} requires a value"));
+                };
+                let entry = out.entry(arg.clone()).or_default();
+                if spec.kind == FlagKind::Value {
+                    entry.clear();
+                }
+                entry.push(value.clone());
+                i += 2;
+            }
         }
     }
-    Ok(out)
+    Ok(Flags(out))
 }
 
-fn parse_num<T: std::str::FromStr>(
-    flags: &HashMap<String, String>,
-    name: &str,
-    default: T,
-) -> Result<T, String> {
+fn parse_num<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v
@@ -103,8 +154,8 @@ enum Format {
     Csv,
 }
 
-fn parse_format(flags: &HashMap<String, String>) -> Result<Format, String> {
-    match flags.get("--format").map(String::as_str) {
+fn parse_format(flags: &Flags) -> Result<Format, String> {
+    match flags.get("--format") {
         None | Some("text") => Ok(Format::Text),
         Some("json") => Ok(Format::Json),
         Some("csv") => Ok(Format::Csv),
@@ -135,8 +186,11 @@ fn usage() -> ExitCode {
            config                                    print a default JSON config\n\
            run       --config <file.json>            run all enabled cases\n\
            campaign  --config <spec.json> [--jobs n --seed s --format text|json|csv\n\
-                     --out <basename>] | --print-spec\n\
-                                                     run a full measurement campaign"
+                     --out <basename> --checkpoint <ckpt.json> --shard i/n]\n\
+                   | --resume <ckpt.json> [--jobs n --format ... --out ... --checkpoint ...]\n\
+                   | --merge <part.json> [--merge <part.json> ...] [--jobs n --format ... --out ...]\n\
+                   | --print-spec\n\
+                                                     run a full two-pass measurement campaign"
     );
     ExitCode::from(2)
 }
@@ -146,46 +200,23 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
-    if flags.contains_key("--print-spec") {
-        println!("{}", CampaignSpec::default().to_json());
-        return ExitCode::SUCCESS;
-    }
-    let Some(path) = flags.get("--config") else {
-        return fail("campaign needs --config <spec.json> (or --print-spec)");
-    };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => return fail(&format!("cannot read {path}: {e}")),
-    };
-    let mut spec = match CampaignSpec::from_json(&text) {
-        Ok(s) => s,
-        Err(e) => return fail(&format!("bad spec: {e}")),
-    };
-    if let Some(seed) = flags.get("--seed") {
-        match seed.parse() {
-            Ok(s) => spec.seed = s,
-            Err(_) => return fail(&format!("flag --seed: invalid value {seed:?}")),
-        }
-    }
-    let default_jobs = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let jobs = match parse_num(&flags, "--jobs", default_jobs) {
-        Ok(j) if j >= 1 => j,
-        Ok(_) => return fail("flag --jobs: must be at least 1"),
-        Err(e) => return fail(&e),
-    };
-    let format = match parse_format(&flags) {
-        Ok(f) => f,
-        Err(e) => return fail(&e),
-    };
+fn fmt_share(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.1} %")).unwrap_or_else(|| "-".into())
+}
 
-    // Progress + ETA to stderr (never into the report: the report must be
-    // byte-identical across --jobs, wall clock included).
+/// Progress + ETA to stderr (never into the report: the report must be
+/// byte-identical across --jobs, wall clock included).
+fn progress_meter() -> impl FnMut(usize, usize) {
     let started = Instant::now();
     let mut last_percent = 0;
-    let progress = |done: usize, total: usize| {
+    let mut last_total = 0;
+    move |done: usize, total: usize| {
+        if total != last_total {
+            // The total grows when the refinement pass is planned; the
+            // percentage threshold must restart or pass 2 prints nothing.
+            last_total = total;
+            last_percent = 0;
+        }
         let percent = done * 100 / total.max(1);
         if percent > last_percent || done == total {
             last_percent = percent;
@@ -202,29 +233,295 @@ fn cmd_campaign(flags: HashMap<String, String>) -> ExitCode {
                 eprintln!();
             }
         }
-    };
-    let report = match run_campaign(&spec, jobs, progress) {
-        Ok(r) => r,
-        Err(e) => return fail(&format!("campaign failed: {e}")),
-    };
+    }
+}
 
+/// Saves a checkpoint, downgrading failure to a warning: losing a
+/// checkpoint must not kill the campaign producing it.
+fn save_checkpoint(ckpt: &Checkpoint, path: &Option<String>) {
+    if let Some(path) = path {
+        if let Err(e) = ckpt.save(path) {
+            eprintln!("lazyeye: warning: cannot write checkpoint {path}: {e}");
+        }
+    }
+}
+
+/// A closure that saves the checkpoint every [`CHECKPOINT_EVERY`] calls —
+/// the shared cadence for both whole-campaign and shard runs.
+fn periodic_save(path: Option<String>) -> impl FnMut(&Checkpoint) {
+    let mut unsaved = 0u64;
+    move |ckpt| {
+        unsaved += 1;
+        if unsaved >= CHECKPOINT_EVERY {
+            unsaved = 0;
+            save_checkpoint(ckpt, &path);
+        }
+    }
+}
+
+/// Accumulates completed runs into a checkpoint with the
+/// [`periodic_save`] cadence (plus a final [`Saver::flush`]).
+struct Saver {
+    ckpt: Checkpoint,
+    path: Option<String>,
+    unsaved: u64,
+}
+
+impl Saver {
+    fn new(ckpt: Checkpoint, path: Option<String>) -> Saver {
+        Saver {
+            ckpt,
+            path,
+            unsaved: 0,
+        }
+    }
+
+    fn record(&mut self, run: &RunSpec, output: &RunOutput) {
+        self.ckpt.record(run.index, output.clone());
+        self.unsaved += 1;
+        if self.unsaved >= CHECKPOINT_EVERY {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.unsaved = 0;
+        save_checkpoint(&self.ckpt, &self.path);
+    }
+}
+
+fn emit_report(report: &CampaignReport, format: Format, out: Option<&str>) -> Result<(), String> {
     match format {
         Format::Text => print!("{}", report.render_text()),
         Format::Json => print!("{}", report.to_json()),
         Format::Csv => print!("{}", report.to_csv()),
     }
-    if let Some(base) = flags.get("--out") {
+    if let Some(base) = out {
         let json_path = format!("{base}.json");
         let csv_path = format!("{base}.csv");
-        if let Err(e) = std::fs::write(&json_path, report.to_json()) {
-            return fail(&format!("cannot write {json_path}: {e}"));
-        }
-        if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
-            return fail(&format!("cannot write {csv_path}: {e}"));
-        }
+        std::fs::write(&json_path, report.to_json())
+            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        std::fs::write(&csv_path, report.to_csv())
+            .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
         eprintln!("[campaign] wrote {json_path} and {csv_path}");
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+/// Writes a shard's partial state to `--out` (as `<base>.json`) or stdout.
+fn emit_partial(part: &Checkpoint, out: Option<&str>) -> Result<(), String> {
+    let shard = part.shard.expect("partials carry their shard");
+    match out {
+        Some(base) => {
+            let path = format!("{base}.json");
+            std::fs::write(&path, part.to_json_string())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "[campaign] shard {}/{}: {} first-pass runs completed, wrote {path}",
+                shard.index,
+                shard.count,
+                part.completed_runs()
+            );
+        }
+        None => print!("{}", part.to_json_string()),
+    }
+    Ok(())
+}
+
+fn cmd_campaign_merge(flags: &Flags, jobs: usize, format: Format) -> ExitCode {
+    for conflicting in ["--config", "--seed", "--shard", "--resume", "--checkpoint"] {
+        if flags.contains(conflicting) {
+            return fail(&format!("--merge cannot be combined with {conflicting}"));
+        }
+    }
+    let mut parts = Vec::new();
+    for path in flags.get_all("--merge") {
+        match Checkpoint::load(path) {
+            Ok(p) => parts.push(p),
+            Err(e) => return fail(&e),
+        }
+    }
+    let merged = match merge_checkpoints(parts) {
+        Ok(m) => m,
+        Err(e) => return fail(&format!("merge failed: {e}")),
+    };
+    let missing = merged.missing_pass1().len();
+    if missing > 0 {
+        eprintln!(
+            "[campaign] warning: {missing} first-pass runs missing from the partials; \
+             executing them locally"
+        );
+    }
+    let report = match finish_from_checkpoint(&merged, jobs, progress_meter(), |_, _| {}) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("campaign failed: {e}")),
+    };
+    match emit_report(&report, format, flags.get("--out")) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+/// Executes one shard's slice (fresh or resumed) with periodic checkpoint
+/// saves, then emits the partial.
+fn cmd_campaign_shard(
+    spec: CampaignSpec,
+    jobs: usize,
+    shard: Shard,
+    resume_from: Option<Checkpoint>,
+    ckpt_path: Option<String>,
+    out: Option<&str>,
+) -> ExitCode {
+    let result = run_shard(
+        &spec,
+        jobs,
+        shard,
+        resume_from,
+        progress_meter(),
+        periodic_save(ckpt_path.clone()),
+    );
+    let part = match result {
+        Ok(p) => p,
+        Err(e) => return fail(&format!("campaign failed: {e}")),
+    };
+    save_checkpoint(&part, &ckpt_path);
+    match emit_partial(&part, out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+/// Runs (or resumes) a full two-pass campaign with optional periodic
+/// checkpointing, then reports.
+fn cmd_campaign_full(
+    spec: CampaignSpec,
+    jobs: usize,
+    format: Format,
+    resume_from: Option<Checkpoint>,
+    ckpt_path: Option<String>,
+    out: Option<&str>,
+) -> ExitCode {
+    let pass1_runs = match expand(&spec) {
+        Ok(runs) => runs.len() as u64,
+        Err(e) => return fail(&format!("bad spec: {e}")),
+    };
+    let ckpt = resume_from.unwrap_or_else(|| Checkpoint::new(spec.clone(), pass1_runs, None));
+    let completed = ckpt.completed().clone();
+    if !completed.is_empty() {
+        eprintln!(
+            "[campaign] resuming: {} runs already completed",
+            completed.len()
+        );
+    }
+    let mut saver = Saver::new(ckpt, ckpt_path);
+    let outcome = run_campaign_resumable(&spec, jobs, &completed, progress_meter(), |run, out| {
+        saver.record(run, out)
+    });
+    let (runs, outputs) = match outcome {
+        Ok(pair) => pair,
+        Err(e) => return fail(&format!("campaign failed: {e}")),
+    };
+    saver.flush();
+    let report = build_report(&spec, &runs, &outputs);
+    match emit_report(&report, format, out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_campaign(flags: Flags) -> ExitCode {
+    if flags.contains("--print-spec") {
+        println!("{}", CampaignSpec::default().to_json());
+        return ExitCode::SUCCESS;
+    }
+    let default_jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs = match parse_num(&flags, "--jobs", default_jobs) {
+        Ok(j) if j >= 1 => j,
+        Ok(_) => return fail("flag --jobs: must be at least 1"),
+        Err(e) => return fail(&e),
+    };
+    let format = match parse_format(&flags) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+
+    if flags.contains("--merge") {
+        return cmd_campaign_merge(&flags, jobs, format);
+    }
+
+    let ckpt_path = flags.get("--checkpoint").map(String::from);
+    let out = flags.get("--out");
+
+    if let Some(resume_path) = flags.get("--resume") {
+        if flags.contains("--config") || flags.contains("--seed") {
+            return fail("--resume reads spec and seed from the checkpoint; drop --config/--seed");
+        }
+        let ckpt = match Checkpoint::load(resume_path) {
+            Ok(c) => c,
+            Err(e) => return fail(&e),
+        };
+        // Keep checkpointing where we left off unless redirected.
+        let ckpt_path = ckpt_path.or_else(|| Some(resume_path.to_string()));
+        let spec = ckpt.spec.clone();
+        return match ckpt.shard {
+            Some(shard) => {
+                if let Some(flag) = flags.get("--shard") {
+                    match Shard::parse(flag) {
+                        Ok(s) if s == shard => {}
+                        Ok(s) => {
+                            return fail(&format!(
+                                "--shard {}/{} disagrees with the checkpoint's {}/{}",
+                                s.index, s.count, shard.index, shard.count
+                            ))
+                        }
+                        Err(e) => return fail(&e),
+                    }
+                }
+                if flags.contains("--format") {
+                    return fail("--format does not apply to shard runs; partials are always JSON");
+                }
+                cmd_campaign_shard(spec, jobs, shard, Some(ckpt), ckpt_path, out)
+            }
+            None => {
+                if flags.contains("--shard") {
+                    return fail("--shard cannot be added to a whole-campaign checkpoint");
+                }
+                cmd_campaign_full(spec, jobs, format, Some(ckpt), ckpt_path, out)
+            }
+        };
+    }
+
+    let Some(path) = flags.get("--config") else {
+        return fail("campaign needs --config <spec.json> (or --print-spec / --resume / --merge)");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let mut spec = match CampaignSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("bad spec: {e}")),
+    };
+    if let Some(seed) = flags.get("--seed") {
+        match seed.parse() {
+            Ok(s) => spec.seed = s,
+            Err(_) => return fail(&format!("flag --seed: invalid value {seed:?}")),
+        }
+    }
+
+    if let Some(shard_flag) = flags.get("--shard") {
+        let shard = match Shard::parse(shard_flag) {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        };
+        if flags.contains("--format") {
+            return fail("--format does not apply to --shard runs; partials are always JSON");
+        }
+        return cmd_campaign_shard(spec, jobs, shard, None, ckpt_path, out);
+    }
+    cmd_campaign_full(spec, jobs, format, None, ckpt_path, out)
 }
 
 fn main() -> ExitCode {
@@ -371,7 +668,7 @@ fn main() -> ExitCode {
             let Some(profile) = find_client(id) else {
                 return fail(&format!("unknown client {id:?}"));
             };
-            let record = match flags.get("--record").map(String::as_str) {
+            let record = match flags.get("--record") {
                 Some("a") => DelayedRecord::A,
                 Some("aaaa") | None => DelayedRecord::Aaaa,
                 Some(other) => {
@@ -458,9 +755,9 @@ fn main() -> ExitCode {
             };
             let stats = summarize_resolver(&run_resolver_case(&profile, &cfg, seed));
             println!(
-                "{}: IPv6 share {:.1} %, max v6 delay {:?} ms, per-try timeout {:?} ms, max v6 packets {}",
+                "{}: IPv6 share {}, max v6 delay {:?} ms, per-try timeout {:?} ms, max v6 packets {}",
                 profile.name,
-                stats.v6_share_pct,
+                fmt_share(stats.v6_share_pct),
                 stats.max_v6_delay_ms,
                 stats.observed_cad_ms,
                 stats.max_v6_packets
@@ -505,7 +802,7 @@ fn main() -> ExitCode {
             if let Some(c) = &cfg.resolver {
                 let p = lazy_eye_inspection::resolver::unbound();
                 let s = summarize_resolver(&run_resolver_case(&p, c, cfg.seed));
-                println!("[resolver] Unbound v6 share {:.1} %", s.v6_share_pct);
+                println!("[resolver] Unbound v6 share {}", fmt_share(s.v6_share_pct));
             }
             ExitCode::SUCCESS
         }
@@ -518,6 +815,10 @@ fn main() -> ExitCode {
                     val("--seed"),
                     val("--format"),
                     val("--out"),
+                    val("--checkpoint"),
+                    val("--resume"),
+                    val("--shard"),
+                    multi("--merge"),
                     switch("--print-spec"),
                 ],
             ) {

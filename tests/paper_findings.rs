@@ -143,9 +143,9 @@ fn finding_resolver_extremes() {
         repetitions: 6,
     };
     let opendns = summarize_resolver(&run_resolver_case(&find("OpenDNS"), &cfg, 27));
-    assert_eq!(opendns.v6_share_pct, 100.0);
+    assert_eq!(opendns.v6_share_pct, Some(100.0));
     let google = summarize_resolver(&run_resolver_case(&find("Google P. DNS"), &cfg, 27));
-    assert_eq!(google.v6_share_pct, 0.0);
+    assert_eq!(google.v6_share_pct, Some(0.0));
     assert_eq!(google.max_v6_packets, 0);
 
     let bind = summarize_resolver(&run_resolver_case(
