@@ -1,0 +1,96 @@
+//! Criterion: inference-layer throughput — changepoint fitting over a
+//! sweep grid, full profile inference from observations, and trace
+//! (de)serialisation, isolating the analysis cost from the simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazyeye_infer::{detect_switchover, infer_profile, CaseKind, Observation};
+use lazyeye_net::Family;
+use lazyeye_trace::{Trace, TraceEvent, TraceEventKind, TraceMeta, TraceSet};
+
+/// A clean 500-point sweep with the switchover at 250 ms.
+fn sweep_points() -> Vec<(u64, Family)> {
+    (0..500u64)
+        .map(|i| {
+            let delay = i * 2;
+            (delay, if delay <= 250 { Family::V6 } else { Family::V4 })
+        })
+        .collect()
+}
+
+fn observations(n: u64) -> Vec<Observation> {
+    (0..n)
+        .map(|i| {
+            let delay = (i % 100) * 5;
+            let mut o = Observation::shell(CaseKind::Cad, "bench-client", "baseline", delay, 0);
+            let v4 = delay > 250;
+            o.family = Some(if v4 { Family::V4 } else { Family::V6 });
+            o.observed_cad_ms = v4.then_some(250.0 + (i % 3) as f64);
+            o.aaaa_first = Some(true);
+            o
+        })
+        .collect()
+}
+
+fn trace_set(traces: usize, events_per_trace: usize) -> TraceSet {
+    let mut set = TraceSet::default();
+    for t in 0..traces {
+        let events = (0..events_per_trace)
+            .map(|i| TraceEvent {
+                at_ns: i as u64 * 1_000_000,
+                kind: TraceEventKind::AttemptStarted {
+                    index: i as u64,
+                    addr: format!("2001:db8::{i}"),
+                    family: Family::V6,
+                    proto: "tcp".into(),
+                },
+            })
+            .collect();
+        set.push(Trace {
+            meta: TraceMeta {
+                subject: "bench-client".into(),
+                case: "cad".into(),
+                condition: "baseline".into(),
+                configured_delay_ms: t as u64,
+                rep: 0,
+                seed: 7,
+            },
+            events,
+        });
+    }
+    set
+}
+
+fn bench(c: &mut Criterion) {
+    let points = sweep_points();
+    c.bench_function("changepoint_500_points", |b| {
+        b.iter(|| std::hint::black_box(detect_switchover(&points)))
+    });
+
+    let obs = observations(1000);
+    c.bench_function("infer_profile_1000_observations", |b| {
+        b.iter(|| std::hint::black_box(infer_profile("bench-client", &obs)))
+    });
+
+    let set = trace_set(50, 20);
+    let text = set.to_json_string();
+    c.bench_function("trace_emit_50x20", |b| {
+        b.iter(|| std::hint::black_box(set.to_json_string().len()))
+    });
+    c.bench_function("trace_parse_50x20", |b| {
+        b.iter(|| std::hint::black_box(TraceSet::from_json_str(&text).unwrap().traces.len()))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

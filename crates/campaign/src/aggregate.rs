@@ -12,7 +12,6 @@
 use std::collections::BTreeMap;
 
 use lazyeye_net::Family;
-use lazyeye_testbed::DelayedRecord;
 
 use crate::executor::RunOutput;
 use crate::plan::{RunKind, RunSpec};
@@ -411,20 +410,13 @@ impl Aggregator {
             }
             (
                 RunKind::Rd {
-                    client,
-                    record,
-                    delay_ms,
-                    ..
+                    client, delay_ms, ..
                 },
                 RunOutput::Rd(s),
             ) => {
-                let condition = match record {
-                    DelayedRecord::Aaaa => "delayed-aaaa",
-                    DelayedRecord::A => "delayed-a",
-                };
                 let cell = self
                     .cells
-                    .entry((case_rank("rd"), client.clone(), condition.to_string()))
+                    .entry((case_rank("rd"), client.clone(), run.kind.condition()))
                     .or_default();
                 cell.runs += 1;
                 if s.family.is_some() {
@@ -455,7 +447,7 @@ impl Aggregator {
             (RunKind::Selection { client, .. }, RunOutput::Selection(r)) => {
                 let cell = self
                     .cells
-                    .entry((case_rank("selection"), client.clone(), "-".to_string()))
+                    .entry((case_rank("selection"), client.clone(), run.kind.condition()))
                     .or_default();
                 cell.runs += 1;
                 if !r.order.is_empty() {
@@ -474,7 +466,11 @@ impl Aggregator {
             ) => {
                 let cell = self
                     .cells
-                    .entry((case_rank("resolver"), resolver.clone(), "-".to_string()))
+                    .entry((
+                        case_rank("resolver"),
+                        resolver.clone(),
+                        run.kind.condition(),
+                    ))
                     .or_default();
                 cell.runs += 1;
                 if s.resolved {

@@ -103,6 +103,24 @@ impl Checkpoint {
         self.outputs.len() as u64
     }
 
+    /// Checks the stored first-pass shape against the current expansion
+    /// of the checkpoint's spec. A mismatch means the binary's expansion
+    /// rules changed since the checkpoint was written (e.g. an axis was
+    /// added to the matrix): stored outputs are keyed by run index, so
+    /// stitching them onto a reindexed run list would silently corrupt
+    /// the report — refuse instead.
+    pub fn validate_shape(&self, pass1_runs: u64) -> Result<(), SpecError> {
+        if self.pass1_runs != pass1_runs {
+            return Err(SpecError::new(format!(
+                "checkpoint was written for a {}-run first pass but the spec now expands \
+                 to {} runs (expansion rules changed since it was saved); re-run the \
+                 campaign instead of resuming",
+                self.pass1_runs, pass1_runs
+            )));
+        }
+        Ok(())
+    }
+
     /// First-pass indices (0..pass1_runs) not yet completed, honouring the
     /// shard restriction when set.
     pub fn missing_pass1(&self) -> Vec<u64> {
@@ -385,6 +403,21 @@ mod tests {
                 }),
             ),
         ]
+    }
+
+    #[test]
+    fn shape_mismatch_refuses_to_resume() {
+        // A checkpoint written when the spec expanded to 10 first-pass
+        // runs must not stitch onto a matrix that now expands differently
+        // (e.g. after an expansion-rule change added an axis).
+        let ckpt = Checkpoint::new(CampaignSpec::default(), 10, None);
+        assert!(ckpt.validate_shape(10).is_ok());
+        let err = ckpt.validate_shape(20).unwrap_err();
+        assert!(err.message.contains("10-run"), "{err}");
+        assert!(
+            crate::finish_from_checkpoint(&ckpt, 1, |_, _| {}, |_, _| {}).is_err(),
+            "finish must reject the stale shape (default spec expands to 100s of runs)"
+        );
     }
 
     #[test]

@@ -17,8 +17,8 @@ use lazyeye_clients::ClientProfile;
 use lazyeye_net::NetemRule;
 use lazyeye_resolver::ResolverProfile;
 use lazyeye_testbed::{
-    run_cad_once, run_rd_once, run_resolver_once, run_selection_case, CadSample, RdSample,
-    ResolverSample, SelectionCaseConfig, SelectionResult,
+    run_cad_once, run_rd_once_netem, run_resolver_once_netem, run_selection_once_netem, CadSample,
+    RdSample, ResolverSample, SelectionCaseConfig, SelectionResult,
 };
 
 use crate::plan::{resolve_clients, resolve_resolvers, RunKind, RunSpec, SpecError};
@@ -89,6 +89,12 @@ impl RunContext {
             .get(id)
             .unwrap_or_else(|| panic!("run references unresolved client {id:?}"))
     }
+
+    fn netem(&self, label: &str) -> &[NetemRule] {
+        self.netem
+            .get(label)
+            .unwrap_or_else(|| panic!("run references unresolved netem {label:?}"))
+    }
 }
 
 /// Executes a single run in a fresh simulation.
@@ -99,38 +105,40 @@ pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
             netem,
             delay_ms,
             rep,
-        } => {
-            let extra = ctx
-                .netem
-                .get(netem)
-                .unwrap_or_else(|| panic!("run references unresolved netem {netem:?}"));
-            RunOutput::Cad(run_cad_once(
-                ctx.client(client),
-                *delay_ms,
-                *rep,
-                run.seed,
-                extra,
-            ))
-        }
+        } => RunOutput::Cad(run_cad_once(
+            ctx.client(client),
+            *delay_ms,
+            *rep,
+            run.seed,
+            ctx.netem(netem),
+        )),
         RunKind::Rd {
             client,
+            netem,
             record,
             delay_ms,
             rep,
-        } => RunOutput::Rd(run_rd_once(
+        } => RunOutput::Rd(run_rd_once_netem(
             ctx.client(client),
             *record,
             *delay_ms,
             *rep,
             run.seed,
+            ctx.netem(netem),
         )),
-        RunKind::Selection { client, rep: _ } => RunOutput::Selection(run_selection_case(
+        RunKind::Selection {
+            client,
+            netem,
+            rep: _,
+        } => RunOutput::Selection(run_selection_once_netem(
             ctx.client(client),
             &ctx.selection,
             run.seed,
+            ctx.netem(netem),
         )),
         RunKind::Resolver {
             resolver,
+            netem,
             delay_ms,
             rep,
         } => {
@@ -138,7 +146,13 @@ pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
                 .resolvers
                 .get(resolver)
                 .unwrap_or_else(|| panic!("run references unresolved resolver {resolver:?}"));
-            RunOutput::Resolver(run_resolver_once(profile, *delay_ms, *rep, run.seed))
+            RunOutput::Resolver(run_resolver_once_netem(
+                profile,
+                *delay_ms,
+                *rep,
+                run.seed,
+                ctx.netem(netem),
+            ))
         }
     }
 }

@@ -58,6 +58,7 @@
 pub mod aggregate;
 pub mod checkpoint;
 pub mod executor;
+pub mod inference;
 pub mod plan;
 pub mod refine;
 pub mod report;
@@ -68,9 +69,10 @@ use std::collections::BTreeMap;
 pub use aggregate::{Aggregator, CellReport, FeatureSummary, P2Quantile, StreamStats};
 pub use checkpoint::{merge_checkpoints, Checkpoint, Shard};
 pub use executor::{execute, execute_with, run_one, RunContext, RunOutput};
-pub use plan::{derive_seed, expand, RunKind, RunSpec, SpecError};
+pub use inference::{build_inference, InferenceSection, InferredClientReport};
+pub use plan::{derive_seed, expand, split_rd_condition, RunKind, RunSpec, SpecError};
 pub use refine::{derive_refine_seed, plan_refinement};
-pub use report::CampaignReport;
+pub use report::{diff_reports, CampaignReport, ReportDiff};
 pub use spec::{CampaignSpec, NetemSpec, RdPlan, SelectionPlan};
 
 /// Expands, executes (both passes) and aggregates a campaign in one call.
@@ -174,11 +176,26 @@ pub fn build_report(
     runs: &[RunSpec],
     outputs: &[RunOutput],
 ) -> CampaignReport {
+    build_report_with(spec, runs, outputs, false)
+}
+
+/// [`build_report`] with the inference section toggled by `classify`:
+/// when set, the report additionally carries the changepoint-inferred
+/// per-client profiles, their RFC 8305 conformance verdicts, and the
+/// agreement diff between the inference-derived and the summary-derived
+/// feature matrices.
+pub fn build_report_with(
+    spec: &CampaignSpec,
+    runs: &[RunSpec],
+    outputs: &[RunOutput],
+    classify: bool,
+) -> CampaignReport {
     let mut agg = Aggregator::new();
     for (run, output) in runs.iter().zip(outputs) {
         agg.fold(run, output);
     }
     let (cells, features) = agg.finish();
+    let inference = classify.then(|| build_inference(runs, outputs, &features));
     CampaignReport {
         name: spec.name.clone(),
         seed: spec.seed,
@@ -186,6 +203,7 @@ pub fn build_report(
         refined_runs: runs.iter().filter(|r| r.refined).count() as u64,
         cells,
         features,
+        inference,
     }
 }
 
@@ -219,6 +237,7 @@ pub fn run_shard(
                     "resume: checkpoint was produced under a different shard",
                 ));
             }
+            c.validate_shape(pass1.len() as u64)?;
             c
         }
         None => Checkpoint::new(spec.clone(), pass1.len() as u64, Some(shard)),
@@ -257,10 +276,23 @@ pub fn finish_from_checkpoint(
     progress: impl FnMut(usize, usize),
     on_result: impl FnMut(&RunSpec, &RunOutput),
 ) -> Result<CampaignReport, SpecError> {
+    finish_from_checkpoint_with(ckpt, jobs, false, progress, on_result)
+}
+
+/// [`finish_from_checkpoint`] with the inference section toggled by
+/// `classify` (see [`build_report_with`]).
+pub fn finish_from_checkpoint_with(
+    ckpt: &Checkpoint,
+    jobs: usize,
+    classify: bool,
+    progress: impl FnMut(usize, usize),
+    on_result: impl FnMut(&RunSpec, &RunOutput),
+) -> Result<CampaignReport, SpecError> {
     let spec = ckpt.spec.clone();
+    ckpt.validate_shape(expand(&spec)?.len() as u64)?;
     let (runs, outputs) =
         run_campaign_resumable(&spec, jobs, ckpt.completed(), progress, on_result)?;
-    Ok(build_report(&spec, &runs, &outputs))
+    Ok(build_report_with(&spec, &runs, &outputs, classify))
 }
 
 // Send-safety audit: the executor moves run specs into worker threads and

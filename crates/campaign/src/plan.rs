@@ -52,10 +52,13 @@ pub enum RunKind {
         /// Repetition index.
         rep: u32,
     },
-    /// One RD measurement: client × delayed record × DNS delay × rep.
+    /// One RD measurement: client × netem × delayed record × DNS delay ×
+    /// rep.
     Rd {
         /// Client profile id.
         client: String,
+        /// Netem condition label (resolved via the spec).
+        netem: String,
         /// Which record type is delayed.
         record: DelayedRecord,
         /// Configured DNS answer delay (ms).
@@ -63,22 +66,62 @@ pub enum RunKind {
         /// Repetition index.
         rep: u32,
     },
-    /// One address-selection measurement: client × rep.
+    /// One address-selection measurement: client × netem × rep.
     Selection {
         /// Client profile id.
         client: String,
+        /// Netem condition label.
+        netem: String,
         /// Repetition index.
         rep: u32,
     },
-    /// One resolver measurement: resolver × IPv6-path delay × rep.
+    /// One resolver measurement: resolver × netem × IPv6-path delay × rep.
     Resolver {
         /// Resolver profile name.
         resolver: String,
+        /// Netem condition label.
+        netem: String,
         /// Configured IPv6-path delay towards the auth NS (ms).
         delay_ms: u64,
         /// Repetition index.
         rep: u32,
     },
+}
+
+impl RunKind {
+    /// The cell condition this run folds into: the netem label for CAD
+    /// cells, the delayed-record label (suffixed with `+netem` for shaped
+    /// conditions) for RD cells, the netem label (or `"-"` for baseline)
+    /// for selection and resolver cells.
+    pub fn condition(&self) -> String {
+        match self {
+            RunKind::Cad { netem, .. } => netem.clone(),
+            RunKind::Rd { netem, record, .. } => {
+                let base = lazyeye_testbed::delayed_record_label(*record);
+                if netem == "baseline" {
+                    base.to_string()
+                } else {
+                    format!("{base}+{netem}")
+                }
+            }
+            RunKind::Selection { netem, .. } | RunKind::Resolver { netem, .. } => {
+                if netem == "baseline" {
+                    "-".to_string()
+                } else {
+                    netem.clone()
+                }
+            }
+        }
+    }
+}
+
+/// Splits an RD cell condition back into `(delayed-record label, netem
+/// label)` — the inverse of [`RunKind::condition`] for RD cells.
+pub fn split_rd_condition(condition: &str) -> (&str, &str) {
+    match condition.split_once('+') {
+        Some((record, netem)) => (record, netem),
+        None => (condition, "baseline"),
+    }
 }
 
 /// One concrete run of the campaign matrix.
@@ -250,18 +293,21 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunSpec>, SpecError> {
     }
     if let Some(rd) = &spec.rd {
         for client in &clients {
-            for record in &rd.records {
-                for delay_ms in rd.sweep.values() {
-                    for rep in 0..rd.repetitions {
-                        push(
-                            RunKind::Rd {
-                                client: client.id(),
-                                record: *record,
-                                delay_ms,
-                                rep,
-                            },
-                            &mut runs,
-                        );
+            for cond in &conditions {
+                for record in &rd.records {
+                    for delay_ms in rd.sweep.values() {
+                        for rep in 0..rd.repetitions {
+                            push(
+                                RunKind::Rd {
+                                    client: client.id(),
+                                    netem: cond.label.clone(),
+                                    record: *record,
+                                    delay_ms,
+                                    rep,
+                                },
+                                &mut runs,
+                            );
+                        }
                     }
                 }
             }
@@ -269,29 +315,35 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunSpec>, SpecError> {
     }
     if let Some(sel) = &spec.selection {
         for client in &clients {
-            for rep in 0..sel.repetitions {
-                push(
-                    RunKind::Selection {
-                        client: client.id(),
-                        rep,
-                    },
-                    &mut runs,
-                );
+            for cond in &conditions {
+                for rep in 0..sel.repetitions {
+                    push(
+                        RunKind::Selection {
+                            client: client.id(),
+                            netem: cond.label.clone(),
+                            rep,
+                        },
+                        &mut runs,
+                    );
+                }
             }
         }
     }
     if let Some(resolver) = &spec.resolver {
         for rprofile in &resolvers {
-            for delay_ms in resolver.sweep.values() {
-                for rep in 0..resolver.repetitions {
-                    push(
-                        RunKind::Resolver {
-                            resolver: rprofile.name.to_string(),
-                            delay_ms,
-                            rep,
-                        },
-                        &mut runs,
-                    );
+            for cond in &conditions {
+                for delay_ms in resolver.sweep.values() {
+                    for rep in 0..resolver.repetitions {
+                        push(
+                            RunKind::Resolver {
+                                resolver: rprofile.name.to_string(),
+                                netem: cond.label.clone(),
+                                delay_ms,
+                                rep,
+                            },
+                            &mut runs,
+                        );
+                    }
                 }
             }
         }

@@ -97,17 +97,20 @@ pub fn plan_refinement(
                 }
             }
             "rd" => {
-                let record = match cell.condition.as_str() {
+                let (record_label, netem) = crate::plan::split_rd_condition(&cell.condition);
+                let record = match record_label {
                     "delayed-aaaa" => DelayedRecord::Aaaa,
                     "delayed-a" => DelayedRecord::A,
                     other => unreachable!("unknown rd condition {other:?}"),
                 };
+                let netem = netem.to_string();
                 let repetitions = spec.rd.as_ref().map_or(1, |r| r.repetitions);
                 for delay_ms in sweep.values() {
                     for rep in 0..repetitions {
                         push(
                             RunKind::Rd {
                                 client: cell.subject.clone(),
+                                netem: netem.clone(),
                                 record,
                                 delay_ms,
                                 rep,

@@ -1,10 +1,13 @@
 //! Campaign reports: deterministic JSON / CSV / text renderings of the
-//! folded cells plus the Table-2 style feature roll-up.
+//! folded cells plus the Table-2 style feature roll-up, the optional
+//! inference section, and report-to-report diffing.
 
-use lazyeye_json::ToJson;
+use lazyeye_infer::{fmt_opt as delta_fmt_opt, push_delta, FieldDelta, Verdict};
+use lazyeye_json::{FromJson, Json, JsonError, ToJson};
 use lazyeye_testbed::Table;
 
 use crate::aggregate::{CellReport, FeatureSummary};
+use crate::inference::InferenceSection;
 
 /// The complete result of one campaign. Contains nothing dependent on
 /// worker count or wall-clock time, so a `(spec, seed)` pair renders to
@@ -24,6 +27,9 @@ pub struct CampaignReport {
     pub cells: Vec<CellReport>,
     /// The Table-2 style feature matrix derived from the cells.
     pub features: Vec<FeatureSummary>,
+    /// The inference section (`--classify`): changepoint-derived profiles,
+    /// RFC 8305 verdicts, and the agreement diff against `features`.
+    pub inference: Option<InferenceSection>,
 }
 
 lazyeye_json::impl_json_struct!(CampaignReport {
@@ -33,6 +39,7 @@ lazyeye_json::impl_json_struct!(CampaignReport {
     refined_runs,
     cells,
     features,
+    inference,
 });
 
 fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
@@ -69,6 +76,12 @@ impl CampaignReport {
         let mut out = ToJson::to_json(self).to_string_pretty();
         out.push('\n');
         out
+    }
+
+    /// Parses a report back from its JSON rendering (reports without an
+    /// `inference` key — pre-classify archives — parse with `None`).
+    pub fn from_json_str(s: &str) -> Result<CampaignReport, JsonError> {
+        FromJson::from_json(&Json::parse(s)?)
     }
 
     /// CSV rendering of the cells (one row per cell; `-` for
@@ -246,8 +259,288 @@ impl CampaignReport {
             }
             out.push_str(&t.render());
         }
+        if let Some(inference) = &self.inference {
+            out.push('\n');
+            out.push_str(&inference.render_text());
+        }
         out
     }
+}
+
+impl InferenceSection {
+    /// Text rendering of the inference section: inferred parameters, the
+    /// conformance matrix, deviation reasons, and the agreement line.
+    pub fn render_text(&self) -> String {
+        render_inference(self)
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = ToJson::to_json(self).to_string_pretty();
+        out.push('\n');
+        out
+    }
+}
+
+/// Text rendering of the inference section: inferred parameters, the
+/// conformance matrix, deviation reasons, and the agreement line.
+fn render_inference(section: &InferenceSection) -> String {
+    let mut out = String::new();
+    let mut t = Table::new(
+        "Inferred profiles (changepoint over the sweep grid)",
+        vec![
+            "client", "CAD est", "last v6", "first v4", "misfits", "RD", "stalls", "sorting",
+        ],
+    );
+    for p in &section.profiles {
+        let prof = &p.profile;
+        t.row(vec![
+            prof.subject.clone(),
+            opt(&prof.cad.estimate_ms),
+            opt(&prof.cad.last_v6_delay_ms),
+            opt(&prof.cad.first_v4_delay_ms),
+            prof.cad.misfits.to_string(),
+            opt(&prof.rd.implemented),
+            opt(&prof.rd.waits_for_all_answers),
+            format!("{:?}", prof.sorting),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    if let Some(first) = section.profiles.first() {
+        let mut columns = vec!["client".to_string()];
+        columns.extend(first.conformance.iter().map(|e| e.feature.clone()));
+        let mut t = Table::new(
+            "RFC 8305 conformance",
+            columns.iter().map(String::as_str).collect(),
+        );
+        for p in &section.profiles {
+            let mut row = vec![p.profile.subject.clone()];
+            row.extend(p.conformance.iter().map(|e| {
+                match e.verdict {
+                    Verdict::Conformant => "ok",
+                    Verdict::Deviates => "DEV",
+                    Verdict::Unmeasurable => "-",
+                }
+                .to_string()
+            }));
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        let mut any = false;
+        for p in &section.profiles {
+            for e in &p.conformance {
+                if e.verdict == Verdict::Deviates {
+                    if !any {
+                        out.push_str("\ndeviations:\n");
+                        any = true;
+                    }
+                    out.push_str(&format!(
+                        "  {} {}: {}\n",
+                        p.profile.subject,
+                        e.feature,
+                        e.render()
+                    ));
+                }
+            }
+        }
+    }
+
+    if section.matrix_agrees {
+        out.push_str("\ninference vs summary feature matrix: agree\n");
+    } else {
+        out.push_str("\ninference vs summary feature matrix: DISAGREE\n");
+        for d in &section.disagreements {
+            out.push_str(&format!("  {d}\n"));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Report diffing
+// ---------------------------------------------------------------------------
+
+/// Per-cell and per-feature differences between two campaign reports —
+/// `lazyeye campaign --diff old.json new.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReportDiff {
+    /// Cell keys (`case/subject/condition`) present only in the new
+    /// report.
+    pub added_cells: Vec<String>,
+    /// Cell keys present only in the old report.
+    pub removed_cells: Vec<String>,
+    /// Field-level changes of cells present in both.
+    pub changed: Vec<FieldDelta>,
+    /// Field-level changes of the feature matrix.
+    pub feature_changes: Vec<FieldDelta>,
+}
+
+lazyeye_json::impl_json_struct!(ReportDiff {
+    added_cells,
+    removed_cells,
+    changed,
+    feature_changes,
+});
+
+impl ReportDiff {
+    /// `true` when the reports describe identical behaviour.
+    pub fn is_empty(&self) -> bool {
+        self.added_cells.is_empty()
+            && self.removed_cells.is_empty()
+            && self.changed.is_empty()
+            && self.feature_changes.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn render_text(&self) -> String {
+        if self.is_empty() {
+            return "no behaviour changes\n".to_string();
+        }
+        let mut out = String::new();
+        for k in &self.removed_cells {
+            out.push_str(&format!("- cell {k}\n"));
+        }
+        for k in &self.added_cells {
+            out.push_str(&format!("+ cell {k}\n"));
+        }
+        for d in &self.changed {
+            out.push_str(&format!("~ {d}\n"));
+        }
+        for d in &self.feature_changes {
+            out.push_str(&format!("~ feature {d}\n"));
+        }
+        out
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = ToJson::to_json(self).to_string_pretty();
+        out.push('\n');
+        out
+    }
+}
+
+fn cell_key(c: &CellReport) -> String {
+    format!("{}/{}/{}", c.case, c.subject, c.condition)
+}
+
+fn diff_cells(key: &str, old: &CellReport, new: &CellReport, out: &mut Vec<FieldDelta>) {
+    let mut field = |name: &str, o: String, n: String| {
+        push_delta(out, format!("{key}.{name}"), o, n);
+    };
+    field("runs", old.runs.to_string(), new.runs.to_string());
+    field("ok_runs", old.ok_runs.to_string(), new.ok_runs.to_string());
+    field(
+        "v6_share_pct",
+        delta_fmt_opt(&old.v6_share_pct),
+        delta_fmt_opt(&new.v6_share_pct),
+    );
+    field(
+        "last_v6_delay_ms",
+        delta_fmt_opt(&old.last_v6_delay_ms),
+        delta_fmt_opt(&new.last_v6_delay_ms),
+    );
+    field(
+        "first_v4_delay_ms",
+        delta_fmt_opt(&old.first_v4_delay_ms),
+        delta_fmt_opt(&new.first_v4_delay_ms),
+    );
+    field(
+        "delay_ms_median",
+        delta_fmt_opt(&old.delay_ms_median),
+        delta_fmt_opt(&new.delay_ms_median),
+    );
+    field(
+        "implements_cad",
+        delta_fmt_opt(&old.implements_cad),
+        delta_fmt_opt(&new.implements_cad),
+    );
+    field(
+        "implements_rd",
+        delta_fmt_opt(&old.implements_rd),
+        delta_fmt_opt(&new.implements_rd),
+    );
+    field(
+        "aaaa_first",
+        delta_fmt_opt(&old.aaaa_first),
+        delta_fmt_opt(&new.aaaa_first),
+    );
+    field(
+        "v6_addrs_used",
+        delta_fmt_opt(&old.v6_addrs_used),
+        delta_fmt_opt(&new.v6_addrs_used),
+    );
+    field(
+        "v4_addrs_used",
+        delta_fmt_opt(&old.v4_addrs_used),
+        delta_fmt_opt(&new.v4_addrs_used),
+    );
+    field(
+        "max_v6_packets",
+        delta_fmt_opt(&old.max_v6_packets),
+        delta_fmt_opt(&new.max_v6_packets),
+    );
+}
+
+/// Diffs two campaign reports cell by cell and feature by feature,
+/// surfacing behaviour changes between client/resolver versions or
+/// campaign configurations.
+pub fn diff_reports(old: &CampaignReport, new: &CampaignReport) -> ReportDiff {
+    let mut diff = ReportDiff::default();
+    for c in &new.cells {
+        if !old.cells.iter().any(|o| cell_key(o) == cell_key(c)) {
+            diff.added_cells.push(cell_key(c));
+        }
+    }
+    for c in &old.cells {
+        match new.cells.iter().find(|n| cell_key(n) == cell_key(c)) {
+            None => diff.removed_cells.push(cell_key(c)),
+            Some(n) => diff_cells(&cell_key(c), c, n, &mut diff.changed),
+        }
+    }
+    for f in &old.features {
+        let Some(n) = new.features.iter().find(|n| n.client == f.client) else {
+            continue;
+        };
+        let mut field = |name: &str, o: String, nv: String| {
+            push_delta(
+                &mut diff.feature_changes,
+                format!("{}.{name}", f.client),
+                o,
+                nv,
+            );
+        };
+        field(
+            "prefers_v6",
+            f.prefers_v6.to_string(),
+            n.prefers_v6.to_string(),
+        );
+        field("cad_impl", f.cad_impl.to_string(), n.cad_impl.to_string());
+        field(
+            "aaaa_first",
+            f.aaaa_first.to_string(),
+            n.aaaa_first.to_string(),
+        );
+        field("rd_impl", f.rd_impl.to_string(), n.rd_impl.to_string());
+        field(
+            "v6_addrs_used",
+            f.v6_addrs_used.to_string(),
+            n.v6_addrs_used.to_string(),
+        );
+        field(
+            "v4_addrs_used",
+            f.v4_addrs_used.to_string(),
+            n.v4_addrs_used.to_string(),
+        );
+        field(
+            "addr_selection",
+            f.addr_selection.to_string(),
+            n.addr_selection.to_string(),
+        );
+    }
+    diff
 }
 
 fn yn(v: bool) -> String {
@@ -288,6 +581,7 @@ mod tests {
                 max_v6_packets: None,
             }],
             features: vec![],
+            inference: None,
         }
     }
 
@@ -358,5 +652,48 @@ mod tests {
     fn csv_leaves_plain_cells_unquoted() {
         let csv = tiny_report().to_csv();
         assert!(!csv.contains('"'), "no spurious quoting: {csv}");
+    }
+
+    #[test]
+    fn report_json_parses_back_including_missing_inference() {
+        let r = tiny_report();
+        let back = CampaignReport::from_json_str(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        // Pre-classify archives have no "inference" key at all.
+        let legacy = r.to_json().replace(",\n  \"inference\": null", "");
+        assert!(!legacy.contains("inference"));
+        let back = CampaignReport::from_json_str(&legacy).unwrap();
+        assert_eq!(back.inference, None);
+        assert_eq!(back.cells, r.cells);
+    }
+
+    #[test]
+    fn diff_reports_finds_cell_and_feature_changes() {
+        let old = tiny_report();
+        let mut new = old.clone();
+        assert!(diff_reports(&old, &new).is_empty());
+
+        new.cells[0].first_v4_delay_ms = Some(205);
+        new.cells[0].implements_cad = Some(true);
+        new.cells.push(CellReport {
+            subject: "firefox-132.0".into(),
+            ..old.cells[0].clone()
+        });
+        let diff = diff_reports(&old, &new);
+        assert_eq!(diff.added_cells, vec!["cad/firefox-132.0/baseline"]);
+        assert!(diff.removed_cells.is_empty());
+        let d = diff
+            .changed
+            .iter()
+            .find(|d| d.field == "cad/chrome-130.0/baseline.first_v4_delay_ms")
+            .unwrap();
+        assert_eq!((d.old.as_str(), d.new.as_str()), ("320", "205"));
+        let text = diff.render_text();
+        assert!(text.contains("+ cell cad/firefox-132.0/baseline"), "{text}");
+        assert!(text.contains("first_v4_delay_ms: 320 -> 205"), "{text}");
+
+        // A removed cell shows up from the old side.
+        let gone = diff_reports(&new, &old);
+        assert_eq!(gone.removed_cells, vec!["cad/firefox-132.0/baseline"]);
     }
 }

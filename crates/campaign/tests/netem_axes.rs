@@ -1,0 +1,91 @@
+//! Netem conditions are cell axes for *every* case family: RD, selection
+//! and resolver blocks multiply across conditions exactly like CAD.
+
+use lazyeye_campaign::{expand, run_campaign, CampaignSpec, NetemSpec, RdPlan, SelectionPlan};
+use lazyeye_testbed::{CadCaseConfig, DelayedRecord, ResolverCaseConfig, SweepSpec};
+
+fn two_condition_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "netem-axes".into(),
+        seed: 5,
+        clients: vec!["curl-7.88.1".into()],
+        resolvers: vec!["BIND".into()],
+        netem: vec![
+            NetemSpec::baseline(),
+            NetemSpec {
+                label: "jittery".into(),
+                loss_pct: 0.0,
+                jitter_ms: 2,
+                duplicate_pct: 0.0,
+            },
+        ],
+        cad: Some(CadCaseConfig {
+            sweep: SweepSpec::new(0, 100, 100),
+            repetitions: 1,
+        }),
+        rd: Some(RdPlan {
+            records: vec![DelayedRecord::Aaaa],
+            sweep: SweepSpec::new(100, 100, 1),
+            repetitions: 2,
+        }),
+        selection: Some(SelectionPlan {
+            repetitions: 1,
+            ..SelectionPlan::default()
+        }),
+        resolver: Some(ResolverCaseConfig {
+            sweep: SweepSpec::new(0, 0, 1),
+            repetitions: 2,
+        }),
+        refine_step_ms: None,
+    }
+}
+
+#[test]
+fn conditions_multiply_every_case_family() {
+    let spec = two_condition_spec();
+    let runs = expand(&spec).unwrap();
+    // cad: 1 client × 2 conditions × 2 delays × 1 rep          = 4
+    // rd: 1 client × 2 conditions × 1 record × 1 delay × 2 reps = 4
+    // selection: 1 client × 2 conditions × 1 rep               = 2
+    // resolver: 1 resolver × 2 conditions × 1 delay × 2 reps   = 4
+    assert_eq!(runs.len(), 4 + 4 + 2 + 4);
+
+    let report = run_campaign(&spec, 4, |_, _| {}).unwrap();
+    let conditions: Vec<(&str, &str, &str)> = report
+        .cells
+        .iter()
+        .map(|c| (c.case.as_str(), c.subject.as_str(), c.condition.as_str()))
+        .collect();
+    for expected in [
+        ("cad", "curl-7.88.1", "baseline"),
+        ("cad", "curl-7.88.1", "jittery"),
+        ("rd", "curl-7.88.1", "delayed-aaaa"),
+        ("rd", "curl-7.88.1", "delayed-aaaa+jittery"),
+        ("selection", "curl-7.88.1", "-"),
+        ("selection", "curl-7.88.1", "jittery"),
+        ("resolver", "BIND", "-"),
+        ("resolver", "BIND", "jittery"),
+    ] {
+        assert!(
+            conditions.contains(&expected),
+            "missing cell {expected:?} in {conditions:?}"
+        );
+    }
+    assert_eq!(report.cells.len(), 8, "{conditions:?}");
+}
+
+#[test]
+fn shaped_conditions_with_refinement_stay_deterministic() {
+    let mut spec = two_condition_spec();
+    spec.cad = Some(CadCaseConfig {
+        sweep: SweepSpec::new(150, 250, 50),
+        repetitions: 1,
+    });
+    spec.refine_step_ms = Some(25);
+    let a = run_campaign(&spec, 1, |_, _| {}).unwrap();
+    let b = run_campaign(&spec, 4, |_, _| {}).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    // The refinement pass fires for both conditions' brackets: curl's
+    // 200 ms CAD on a 50 ms grid leaves a (200, 250) bracket each.
+    assert!(a.refined_runs >= 2, "refined {} runs", a.refined_runs);
+}

@@ -5,8 +5,8 @@
 use std::collections::BTreeMap;
 
 use lazyeye_campaign::{
-    finish_from_checkpoint, merge_checkpoints, run_campaign, run_campaign_resumable, run_shard,
-    CampaignSpec, Checkpoint, NetemSpec, RdPlan, Shard,
+    expand, finish_from_checkpoint, merge_checkpoints, run_campaign, run_campaign_resumable,
+    run_shard, CampaignSpec, Checkpoint, NetemSpec, RdPlan, Shard,
 };
 use lazyeye_testbed::{switchover_bracket, CadCaseConfig, DelayedRecord, SweepSpec};
 
@@ -75,7 +75,8 @@ fn resume_after_kill_reproduces_the_report_byte_for_byte() {
     // CLI would have last written it — after an arbitrary number of runs
     // completed in scheduling (not index) order.
     let kill_after = 7;
-    let mut ckpt = Checkpoint::new(spec.clone(), 0, None);
+    let pass1_runs = expand(&spec).unwrap().len() as u64;
+    let mut ckpt = Checkpoint::new(spec.clone(), pass1_runs, None);
     let _ = run_campaign_resumable(
         &spec,
         4,
@@ -114,7 +115,8 @@ fn resume_can_span_both_passes() {
 
     // Checkpoint containing everything except the last two runs (which
     // are refinement runs, given index order).
-    let mut ckpt = Checkpoint::new(spec.clone(), 0, None);
+    let pass1_runs = expand(&spec).unwrap().len() as u64;
+    let mut ckpt = Checkpoint::new(spec.clone(), pass1_runs, None);
     for (run, out) in runs.iter().zip(&outputs).take(runs.len() - 2) {
         ckpt.record(run.index, out.clone());
     }

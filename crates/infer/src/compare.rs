@@ -1,0 +1,161 @@
+//! Profile/report comparison primitives: typed field-level deltas shared
+//! by the campaign's inference-vs-summary agreement check and the
+//! `lazyeye campaign --diff` report differ.
+
+use lazyeye_json::ToJson;
+
+use crate::profile::InferredProfile;
+
+/// One changed field: `field: old -> new`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDelta {
+    /// Field path (`"cad.estimate_ms"`, `"cells[cad/chrome].v6_share_pct"`).
+    pub field: String,
+    /// Old / left-hand rendering (`"-"` for absent).
+    pub old: String,
+    /// New / right-hand rendering.
+    pub new: String,
+}
+
+lazyeye_json::impl_json_struct!(FieldDelta { field, old, new });
+
+impl std::fmt::Display for FieldDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} -> {}", self.field, self.old, self.new)
+    }
+}
+
+/// Renders an optional value for a delta (`"-"` for `None`).
+pub fn fmt_opt<T: std::fmt::Display>(v: &Option<T>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// Collects a delta when two renderings differ.
+pub fn push_delta(out: &mut Vec<FieldDelta>, field: impl Into<String>, old: String, new: String) {
+    if old != new {
+        out.push(FieldDelta {
+            field: field.into(),
+            old,
+            new,
+        });
+    }
+}
+
+/// Field-level diff of two inferred profiles (same subject or not); used
+/// to compare a client across versions or campaigns.
+pub fn diff_profiles(old: &InferredProfile, new: &InferredProfile) -> Vec<FieldDelta> {
+    let mut out = Vec::new();
+    push_delta(
+        &mut out,
+        "prefers_v6",
+        fmt_opt(&old.prefers_v6),
+        fmt_opt(&new.prefers_v6),
+    );
+    push_delta(
+        &mut out,
+        "aaaa_first",
+        fmt_opt(&old.aaaa_first),
+        fmt_opt(&new.aaaa_first),
+    );
+    push_delta(
+        &mut out,
+        "cad.implemented",
+        fmt_opt(&old.cad.implemented),
+        fmt_opt(&new.cad.implemented),
+    );
+    push_delta(
+        &mut out,
+        "cad.estimate_ms",
+        fmt_opt(&old.cad.estimate_ms),
+        fmt_opt(&new.cad.estimate_ms),
+    );
+    push_delta(
+        &mut out,
+        "cad.last_v6_delay_ms",
+        fmt_opt(&old.cad.last_v6_delay_ms),
+        fmt_opt(&new.cad.last_v6_delay_ms),
+    );
+    push_delta(
+        &mut out,
+        "cad.first_v4_delay_ms",
+        fmt_opt(&old.cad.first_v4_delay_ms),
+        fmt_opt(&new.cad.first_v4_delay_ms),
+    );
+    push_delta(
+        &mut out,
+        "rd.implemented",
+        fmt_opt(&old.rd.implemented),
+        fmt_opt(&new.rd.implemented),
+    );
+    push_delta(
+        &mut out,
+        "rd.delay_ms",
+        fmt_opt(&old.rd.delay_ms),
+        fmt_opt(&new.rd.delay_ms),
+    );
+    push_delta(
+        &mut out,
+        "rd.waits_for_all_answers",
+        fmt_opt(&old.rd.waits_for_all_answers),
+        fmt_opt(&new.rd.waits_for_all_answers),
+    );
+    push_delta(
+        &mut out,
+        "sorting",
+        old.sorting.to_json().to_string_compact(),
+        new.sorting.to_json().to_string_compact(),
+    );
+    push_delta(
+        &mut out,
+        "v6_addrs_used",
+        fmt_opt(&old.v6_addrs_used),
+        fmt_opt(&new.v6_addrs_used),
+    );
+    push_delta(
+        &mut out,
+        "v4_addrs_used",
+        fmt_opt(&old.v4_addrs_used),
+        fmt_opt(&new.v4_addrs_used),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::{CaseKind, Observation};
+    use crate::profile::infer_profile;
+    use lazyeye_net::Family;
+
+    #[test]
+    fn identical_profiles_produce_no_deltas() {
+        let mut v6 = Observation::shell(CaseKind::Cad, "c", "baseline", 0, 0);
+        v6.family = Some(Family::V6);
+        let p = infer_profile("c", &[v6]);
+        assert!(diff_profiles(&p, &p).is_empty());
+    }
+
+    #[test]
+    fn changed_cad_shows_up() {
+        let mk = |fallback: bool| {
+            let mut v6 = Observation::shell(CaseKind::Cad, "c", "baseline", 0, 0);
+            v6.family = Some(Family::V6);
+            let mut far = Observation::shell(CaseKind::Cad, "c", "baseline", 400, 0);
+            far.family = Some(if fallback { Family::V4 } else { Family::V6 });
+            far.observed_cad_ms = fallback.then_some(300.0);
+            infer_profile("c", &[v6, far])
+        };
+        let deltas = diff_profiles(&mk(false), &mk(true));
+        assert!(deltas.iter().any(|d| d.field == "cad.implemented"));
+        let d = deltas
+            .iter()
+            .find(|d| d.field == "cad.estimate_ms")
+            .unwrap();
+        assert_eq!(d.old, "-");
+        assert_eq!(d.new, "300");
+        assert_eq!(d.to_string(), "cad.estimate_ms: - -> 300");
+    }
+}

@@ -1,0 +1,235 @@
+//! RFC 8305 conformance scoring: each inferred feature gets a verdict of
+//! `CONFORMANT`, `DEVIATES(reason)` or `UNMEASURABLE`.
+//!
+//! The recommendations scored against (RFC 8305, "Happy Eyeballs v2"):
+//!
+//! - **§3** Send AAAA before A.
+//! - **§3** Do not block on the slower lookup once the first usable
+//!   answer arrived (the "Resolution Delay" replaces the full wait).
+//! - **§3** If the non-preferred family answers first, wait a Resolution
+//!   Delay (recommended 50 ms) for the preferred one.
+//! - **§4** Prefer IPv6 and interleave address families in the candidate
+//!   list.
+//! - **§5** Stagger connection attempts by a Connection Attempt Delay;
+//!   recommended 250 ms, bounded between 100 ms and 2 s.
+
+use crate::profile::{InferredProfile, SortingPolicy};
+
+/// A per-feature conformance verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Behaviour matches the RFC 8305 recommendation.
+    Conformant,
+    /// Behaviour observably differs (the entry carries the reason).
+    Deviates,
+    /// The input contained no observation that could decide the feature.
+    Unmeasurable,
+}
+
+lazyeye_json::impl_json_unit_enum!(Verdict {
+    Conformant,
+    Deviates,
+    Unmeasurable
+});
+
+impl Verdict {
+    /// The report label: `CONFORMANT` / `DEVIATES` / `UNMEASURABLE`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Conformant => "CONFORMANT",
+            Verdict::Deviates => "DEVIATES",
+            Verdict::Unmeasurable => "UNMEASURABLE",
+        }
+    }
+}
+
+/// One scored feature.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConformanceEntry {
+    /// Feature id (`"query-order"`, `"connection-attempt-delay"`, ...).
+    pub feature: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Why, for `DEVIATES` (and occasionally context for the others).
+    pub reason: Option<String>,
+}
+
+lazyeye_json::impl_json_struct!(ConformanceEntry {
+    feature,
+    verdict,
+    reason,
+});
+
+impl ConformanceEntry {
+    fn conformant(feature: &str) -> ConformanceEntry {
+        ConformanceEntry {
+            feature: feature.to_string(),
+            verdict: Verdict::Conformant,
+            reason: None,
+        }
+    }
+
+    fn deviates(feature: &str, reason: String) -> ConformanceEntry {
+        ConformanceEntry {
+            feature: feature.to_string(),
+            verdict: Verdict::Deviates,
+            reason: Some(reason),
+        }
+    }
+
+    fn unmeasurable(feature: &str) -> ConformanceEntry {
+        ConformanceEntry {
+            feature: feature.to_string(),
+            verdict: Verdict::Unmeasurable,
+            reason: None,
+        }
+    }
+
+    /// Compact rendering: `DEVIATES(reason)` / `CONFORMANT`.
+    pub fn render(&self) -> String {
+        match &self.reason {
+            Some(r) if self.verdict == Verdict::Deviates => {
+                format!("{}({r})", self.verdict.label())
+            }
+            _ => self.verdict.label().to_string(),
+        }
+    }
+}
+
+/// RFC 8305 §5 CAD bounds (ms).
+pub const CAD_MIN_MS: f64 = 100.0;
+/// RFC 8305 §5 CAD upper bound (ms).
+pub const CAD_MAX_MS: f64 = 2000.0;
+
+/// Scores an inferred profile against the RFC 8305 recommendations. The
+/// entry order is fixed (stable report output).
+pub fn score_profile(p: &InferredProfile) -> Vec<ConformanceEntry> {
+    let mut out = Vec::new();
+
+    // §4: prefer IPv6 on a healthy dual-stack path.
+    out.push(match p.prefers_v6 {
+        None => ConformanceEntry::unmeasurable("family-preference"),
+        Some(true) => ConformanceEntry::conformant("family-preference"),
+        Some(false) => ConformanceEntry::deviates(
+            "family-preference",
+            "prefers IPv4 on a healthy dual-stack path".to_string(),
+        ),
+    });
+
+    // §3: AAAA before A.
+    out.push(match p.aaaa_first {
+        None => ConformanceEntry::unmeasurable("query-order"),
+        Some(true) => ConformanceEntry::conformant("query-order"),
+        Some(false) => ConformanceEntry::deviates("query-order", "sends A before AAAA".to_string()),
+    });
+
+    // §3: arm a Resolution Delay instead of connecting on the first
+    // answer of the wrong family.
+    out.push(match p.rd.implemented {
+        None => ConformanceEntry::unmeasurable("resolution-delay"),
+        Some(true) => ConformanceEntry::conformant("resolution-delay"),
+        Some(false) => ConformanceEntry::deviates(
+            "resolution-delay",
+            "connects without arming a Resolution Delay".to_string(),
+        ),
+    });
+
+    // §3: do not block on the slower lookup (the delayed-A stall).
+    out.push(match p.rd.waits_for_all_answers {
+        None => ConformanceEntry::unmeasurable("no-lookup-stall"),
+        Some(false) => ConformanceEntry::conformant("no-lookup-stall"),
+        Some(true) => ConformanceEntry::deviates(
+            "no-lookup-stall",
+            "waits for all DNS answers before the first attempt".to_string(),
+        ),
+    });
+
+    // §5: Connection Attempt Delay within [100 ms, 2 s].
+    out.push(match (p.cad.implemented, p.cad.estimate_ms) {
+        (None, _) => ConformanceEntry::unmeasurable("connection-attempt-delay"),
+        (Some(false), _) => ConformanceEntry::deviates(
+            "connection-attempt-delay",
+            "never falls back to IPv4".to_string(),
+        ),
+        (Some(true), None) => ConformanceEntry::conformant("connection-attempt-delay"),
+        (Some(true), Some(ms)) if (CAD_MIN_MS..=CAD_MAX_MS).contains(&ms) => {
+            ConformanceEntry::conformant("connection-attempt-delay")
+        }
+        (Some(true), Some(ms)) => ConformanceEntry::deviates(
+            "connection-attempt-delay",
+            format!("CAD {ms:.0} ms outside the RFC 8305 100-2000 ms range"),
+        ),
+    });
+
+    // §4: interleave address families across the candidate list.
+    out.push(match p.sorting {
+        SortingPolicy::Unknown => ConformanceEntry::unmeasurable("address-sorting"),
+        SortingPolicy::Interleaved => ConformanceEntry::conformant("address-sorting"),
+        SortingPolicy::NoFallback => ConformanceEntry::deviates(
+            "address-sorting",
+            "attempts a single address family only".to_string(),
+        ),
+        SortingPolicy::SingleFallback => ConformanceEntry::deviates(
+            "address-sorting",
+            "stops after one address per family".to_string(),
+        ),
+        SortingPolicy::Grouped => ConformanceEntry::deviates(
+            "address-sorting",
+            "walks addresses family-grouped instead of interleaved".to_string(),
+        ),
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::{CaseKind, Observation};
+    use crate::profile::infer_profile;
+    use lazyeye_net::Family;
+
+    fn entry<'a>(entries: &'a [ConformanceEntry], feature: &str) -> &'a ConformanceEntry {
+        entries.iter().find(|e| e.feature == feature).unwrap()
+    }
+
+    #[test]
+    fn empty_profile_is_all_unmeasurable() {
+        let p = infer_profile("ghost", &[]);
+        for e in score_profile(&p) {
+            assert_eq!(e.verdict, Verdict::Unmeasurable, "{}", e.feature);
+        }
+    }
+
+    #[test]
+    fn conformant_cad_and_deviating_cad() {
+        let mk = |cadms: f64| {
+            let mut v6 = Observation::shell(CaseKind::Cad, "c", "baseline", 0, 0);
+            v6.family = Some(Family::V6);
+            let mut v4 = Observation::shell(CaseKind::Cad, "c", "baseline", 5000, 0);
+            v4.family = Some(Family::V4);
+            v4.observed_cad_ms = Some(cadms);
+            infer_profile("c", &[v6, v4])
+        };
+        let ok = score_profile(&mk(250.0));
+        assert_eq!(
+            entry(&ok, "connection-attempt-delay").verdict,
+            Verdict::Conformant
+        );
+        let fast = score_profile(&mk(10.0));
+        let e = entry(&fast, "connection-attempt-delay");
+        assert_eq!(e.verdict, Verdict::Deviates);
+        assert!(e.render().contains("10 ms"), "{}", e.render());
+    }
+
+    #[test]
+    fn no_fallback_deviates() {
+        let mut v6 = Observation::shell(CaseKind::Cad, "w", "baseline", 5000, 0);
+        v6.family = Some(Family::V6);
+        let p = infer_profile("w", &[v6]);
+        let s = score_profile(&p);
+        let e = entry(&s, "connection-attempt-delay");
+        assert_eq!(e.verdict, Verdict::Deviates);
+        assert_eq!(e.render(), "DEVIATES(never falls back to IPv4)");
+    }
+}

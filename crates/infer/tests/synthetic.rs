@@ -1,0 +1,231 @@
+//! Acceptance test: on synthetic traces of a client with a configured
+//! CAD/RD, the inference engine recovers the configured values within the
+//! refinement step of the sweep grid.
+
+use lazyeye_infer::{infer_traces, SortingPolicy};
+use lazyeye_net::Family;
+use lazyeye_trace::{Trace, TraceEvent, TraceEventKind, TraceMeta, TraceSet};
+
+const MS: u64 = 1_000_000;
+
+/// A synthetic CAD run: the client starts v6 at 1 ms; if the configured
+/// path delay exceeds its CAD it starts (and wins over) v4 exactly CAD ms
+/// later, else v6 establishes after the path delay.
+fn cad_trace(client: &str, cad_ms: u64, path_delay_ms: u64, rep: u32) -> Trace {
+    let mut events = vec![
+        TraceEvent {
+            at_ns: 0,
+            kind: TraceEventKind::DnsQuerySent {
+                qtype: "AAAA".into(),
+            },
+        },
+        TraceEvent {
+            at_ns: 0,
+            kind: TraceEventKind::QueryArrived {
+                qtype: "AAAA".into(),
+                family: Family::V4,
+            },
+        },
+        TraceEvent {
+            at_ns: 100,
+            kind: TraceEventKind::QueryArrived {
+                qtype: "A".into(),
+                family: Family::V4,
+            },
+        },
+        TraceEvent {
+            at_ns: MS,
+            kind: TraceEventKind::AttemptStarted {
+                index: 0,
+                addr: "2001:db8::1".into(),
+                family: Family::V6,
+                proto: "tcp".into(),
+            },
+        },
+    ];
+    if path_delay_ms > cad_ms {
+        events.push(TraceEvent {
+            at_ns: MS + cad_ms * MS,
+            kind: TraceEventKind::AttemptStarted {
+                index: 1,
+                addr: "192.0.2.1".into(),
+                family: Family::V4,
+                proto: "tcp".into(),
+            },
+        });
+        events.push(TraceEvent {
+            at_ns: MS + cad_ms * MS + MS,
+            kind: TraceEventKind::Established {
+                addr: "192.0.2.1".into(),
+                family: Family::V4,
+                proto: "tcp".into(),
+            },
+        });
+    } else {
+        events.push(TraceEvent {
+            at_ns: MS + path_delay_ms * MS,
+            kind: TraceEventKind::Established {
+                addr: "2001:db8::1".into(),
+                family: Family::V6,
+                proto: "tcp".into(),
+            },
+        });
+    }
+    Trace {
+        meta: TraceMeta {
+            subject: client.to_string(),
+            case: "cad".into(),
+            condition: "baseline".into(),
+            configured_delay_ms: path_delay_ms,
+            rep,
+            seed: 1,
+        },
+        events,
+    }
+}
+
+/// The campaign's coarse→fine grid around a bracket: a coarse sweep plus
+/// a `step`-resolution refinement inside the detected bracket.
+fn two_pass_grid(coarse_step: u64, max: u64, refine_step: u64, cad_ms: u64) -> Vec<u64> {
+    let mut delays: Vec<u64> = (0..=max / coarse_step).map(|i| i * coarse_step).collect();
+    let last_v6 = delays
+        .iter()
+        .copied()
+        .filter(|d| *d <= cad_ms)
+        .max()
+        .unwrap();
+    let first_v4 = delays
+        .iter()
+        .copied()
+        .filter(|d| *d > cad_ms)
+        .min()
+        .unwrap();
+    let mut v = last_v6 + refine_step;
+    while v < first_v4 {
+        delays.push(v);
+        v += refine_step;
+    }
+    delays
+}
+
+#[test]
+fn recovers_configured_cad_within_refine_step() {
+    // The acceptance case: configured CADs across the client spectrum,
+    // measured on the default campaign's 20 ms coarse grid with the
+    // default 5 ms refinement pass.
+    for &cad_ms in &[200u64, 250, 300, 333] {
+        let refine_step = 5;
+        let mut set = TraceSet::default();
+        for delay in two_pass_grid(20, 400, refine_step, cad_ms) {
+            set.push(cad_trace("synthetic", cad_ms, delay, 0));
+        }
+        let profiles = infer_traces(&set);
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.cad.implemented, Some(true), "cad {cad_ms}");
+        assert_eq!(p.cad.misfits, 0, "synthetic step data fits perfectly");
+
+        // The direct estimate (median attempt gap) is exact.
+        let est = p.cad.estimate_ms.unwrap();
+        assert!(
+            (est - cad_ms as f64).abs() < f64::EPSILON,
+            "cad {cad_ms}: estimate {est}"
+        );
+        // The changepoint bracket pins the switchover to the refinement
+        // step: last_v6 ≤ cad < first_v4 and the bracket is ≤ step wide.
+        let last_v6 = p.cad.last_v6_delay_ms.unwrap();
+        let first_v4 = p.cad.first_v4_delay_ms.unwrap();
+        assert!(last_v6 <= cad_ms && cad_ms < first_v4);
+        assert!(
+            first_v4 - last_v6 <= refine_step,
+            "cad {cad_ms}: bracket ({last_v6}, {first_v4}) wider than {refine_step} ms"
+        );
+    }
+}
+
+#[test]
+fn recovers_configured_rd_and_stall() {
+    // Synthetic RD runs: the AAAA answer is delayed, the client arms its
+    // configured 50 ms Resolution Delay; delayed-A runs show no stall.
+    let mut set = TraceSet::default();
+    for (rep, delay) in [(0u32, 200u64), (1, 400)] {
+        set.push(Trace {
+            meta: TraceMeta {
+                subject: "synthetic".into(),
+                case: "rd".into(),
+                condition: "delayed-aaaa".into(),
+                configured_delay_ms: delay,
+                rep,
+                seed: 1,
+            },
+            events: vec![
+                TraceEvent {
+                    at_ns: MS,
+                    kind: TraceEventKind::ResolutionDelayStarted { delay_ms: 50 },
+                },
+                TraceEvent {
+                    at_ns: 51 * MS,
+                    kind: TraceEventKind::ResolutionDelayExpired,
+                },
+                TraceEvent {
+                    at_ns: 52 * MS,
+                    kind: TraceEventKind::AttemptStarted {
+                        index: 0,
+                        addr: "192.0.2.1".into(),
+                        family: Family::V4,
+                        proto: "tcp".into(),
+                    },
+                },
+            ],
+        });
+    }
+    set.push(Trace {
+        meta: TraceMeta {
+            subject: "synthetic".into(),
+            case: "rd".into(),
+            condition: "delayed-a".into(),
+            configured_delay_ms: 800,
+            rep: 0,
+            seed: 1,
+        },
+        events: vec![TraceEvent {
+            at_ns: 2 * MS,
+            kind: TraceEventKind::AttemptStarted {
+                index: 0,
+                addr: "2001:db8::1".into(),
+                family: Family::V6,
+                proto: "tcp".into(),
+            },
+        }],
+    });
+    let profiles = infer_traces(&set);
+    let p = &profiles[0];
+    assert_eq!(p.rd.implemented, Some(true));
+    assert_eq!(p.rd.delay_ms, Some(50), "recovers the configured RD value");
+    assert_eq!(
+        p.rd.waits_for_all_answers,
+        Some(false),
+        "first attempt at 2 ms with an 800 ms A delay is no stall"
+    );
+}
+
+#[test]
+fn noisy_sweep_still_recovers_the_changepoint() {
+    // One flipped run per side of the switchover must not move the fit.
+    let cad_ms = 250;
+    let mut set = TraceSet::default();
+    for delay in two_pass_grid(20, 400, 5, cad_ms) {
+        set.push(cad_trace("noisy", cad_ms, delay, 0));
+    }
+    // Noise: a v4 win at 40 ms (spurious fallback), encoded as a run
+    // whose client fell back immediately.
+    set.push(cad_trace("noisy", 0, 40, 1));
+    let profiles = infer_traces(&set);
+    let p = &profiles[0];
+    assert_eq!(p.cad.misfits, 1, "exactly the flipped run misfits");
+    let last_v6 = p.cad.last_v6_delay_ms.unwrap();
+    let first_v4 = p.cad.first_v4_delay_ms.unwrap();
+    assert!(last_v6 <= cad_ms && cad_ms < first_v4);
+    assert!(first_v4 - last_v6 <= 5);
+    assert_eq!(p.sorting, SortingPolicy::Unknown, "no selection case");
+}

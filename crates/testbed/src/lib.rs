@@ -23,12 +23,16 @@ pub use cases::{
 };
 pub use features::{evaluate_client_features, FeatureRow};
 pub use runner::{
-    derive_case_seed, run_cad_case, run_cad_once, run_rd_case, run_rd_once, run_resolver_case,
-    run_resolver_once, run_selection_case, summarize_cad, summarize_rd, summarize_resolver,
-    switchover_bracket, CadSample, CadSummary, RdSample, RdSummary, ResolverSample, ResolverStats,
-    SelectionResult, CAD_SEED_TAG, RD_SEED_TAG, RESOLVER_SEED_TAG,
+    delayed_record_label, derive_case_seed, run_cad_case, run_cad_case_traced, run_cad_once,
+    run_cad_once_traced, run_rd_case, run_rd_case_traced, run_rd_once, run_rd_once_netem,
+    run_rd_once_traced, run_resolver_case, run_resolver_case_traced, run_resolver_once,
+    run_resolver_once_netem, run_resolver_once_traced, run_selection_case,
+    run_selection_once_netem, run_selection_once_traced, summarize_cad, summarize_rd,
+    summarize_resolver, switchover_bracket, CadSample, CadSummary, RdSample, RdSummary,
+    ResolverSample, ResolverStats, SelectionResult, CAD_SEED_TAG, RD_SEED_TAG, RESOLVER_SEED_TAG,
 };
 pub use table::Table;
+pub use topology::{reset_zone_cache, zone_cache_stats, ZoneCacheStats};
 
 #[cfg(test)]
 mod tests {
@@ -195,6 +199,83 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn zone_cache_hits_on_repeated_tag_delay() {
+        use crate::topology::resolver_topology_for_delay;
+        // A key unique to this test: the first build must miss, the
+        // second must hit. Counters are process-global (other tests add
+        // their own traffic), so assert deltas, not absolutes.
+        let before = zone_cache_stats();
+        let _ = resolver_topology_for_delay(1, "zone-cache-test", 7777);
+        let mid = zone_cache_stats();
+        assert!(mid.misses > before.misses, "first build is a miss");
+        let _ = resolver_topology_for_delay(2, "zone-cache-test", 7777);
+        let after = zone_cache_stats();
+        assert!(
+            after.hits > mid.hits,
+            "rebuilding the same (tag, delay) zones must hit the cache: {after:?} vs {mid:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_resolver_sweeps_reuse_cached_zones() {
+        let cfg = ResolverCaseConfig {
+            sweep: SweepSpec::new(7600, 7600, 1),
+            repetitions: 2,
+        };
+        let _ = run_resolver_case(&bind9(), &cfg, 17);
+        let mid = zone_cache_stats();
+        // A second sweep over the same (delay, rep) grid — as every
+        // additional resolver profile in a campaign produces — must be
+        // all hits, no new zone builds.
+        let _ = run_resolver_case(&unbound(), &cfg, 18);
+        let after = zone_cache_stats();
+        assert!(after.hits >= mid.hits + 2, "{after:?} vs {mid:?}");
+    }
+
+    #[test]
+    fn traced_cad_run_round_trips_and_matches_sample() {
+        use lazyeye_json::{FromJson, Json};
+        let (sample, trace) = run_cad_once_traced(&client("Chrome"), 1000, 0, 21, &[], "baseline");
+        assert_eq!(sample.family, Some(Family::V4), "1 s v6 delay forces v4");
+        assert_eq!(trace.established_family(), Some(Family::V4));
+        let trace_cad = trace.observed_cad_ms().unwrap();
+        let sample_cad = sample.observed_cad_ms.unwrap();
+        assert!(
+            (trace_cad - sample_cad).abs() < 2.0,
+            "trace CAD {trace_cad} vs capture CAD {sample_cad}"
+        );
+        assert_eq!(trace.aaaa_first(), Some(true), "server-side wire order");
+        // Serialisation round-trip is byte-identical.
+        let mut set = lazyeye_trace::TraceSet::default();
+        set.push(trace);
+        let text = set.to_json_string();
+        let back = lazyeye_trace::TraceSet::from_json_str(&text).unwrap();
+        assert_eq!(back.to_json_string(), text);
+        // And parses as plain JSON with the expected metadata.
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(
+            String::from_json(&v["traces"][0]["meta"]["subject"]).unwrap(),
+            "chrome-130.0"
+        );
+    }
+
+    #[test]
+    fn traced_rd_run_records_the_armed_delay() {
+        let safari = safari_clients().into_iter().find(|c| !c.mobile).unwrap();
+        let (sample, trace) = run_rd_once_traced(
+            &safari,
+            DelayedRecord::Aaaa,
+            300,
+            0,
+            22,
+            &[],
+            "delayed-aaaa",
+        );
+        assert!(sample.used_rd);
+        assert_eq!(trace.resolution_delay_ms(), Some(50), "Safari arms 50 ms");
     }
 
     #[test]

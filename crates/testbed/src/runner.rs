@@ -1,20 +1,25 @@
 //! Test runners: execute one case configuration across delays ×
 //! repetitions with a fresh simulation per run (the paper's container
 //! reset), and analyze captures into samples.
+//!
+//! Every single-run entry point has a `*_traced` sibling that additionally
+//! emits a structured [`Trace`]: the client-side engine events merged with
+//! the server-side query arrivals, ready for `lazyeye-infer`.
 
 use std::net::IpAddr;
 
-use lazyeye_authns::DelayTarget;
+use lazyeye_authns::{DelayTarget, QueryLogEntry};
 use lazyeye_clients::{Client, ClientProfile};
 use lazyeye_net::{Family, Netem, NetemRule};
 use lazyeye_resolver::{RecursiveConfig, RecursiveResolver, ResolverProfile};
 use lazyeye_sim::SimTime;
+use lazyeye_trace::{Trace, TraceEvent, TraceEventKind, TraceMeta};
 
 use crate::cases::{
     CadCaseConfig, DelayedRecord, RdCaseConfig, ResolverCaseConfig, SelectionCaseConfig,
 };
 use crate::topology::{
-    default_local_topology, resolver_addr, resolver_topology, test_domain_topology, www,
+    default_local_topology, resolver_addr, resolver_topology_for_delay, test_domain_topology, www,
 };
 
 // ---------------------------------------------------------------------------
@@ -49,6 +54,20 @@ fn median_of_sorted(v: &[f64]) -> Option<f64> {
         n if n % 2 == 1 => Some(v[n / 2]),
         n => Some((v[n / 2 - 1] + v[n / 2]) / 2.0),
     }
+}
+
+/// Server-side query arrivals as trace events (the wire-order vantage
+/// point of Table 2's "AAAA first" and Table 3's family columns).
+fn query_arrival_events(log: &[QueryLogEntry]) -> Vec<TraceEvent> {
+    log.iter()
+        .map(|e| TraceEvent {
+            at_ns: e.time.as_nanos(),
+            kind: TraceEventKind::QueryArrived {
+                qtype: format!("{:?}", e.qtype).to_uppercase(),
+                family: Family::of(e.src.ip()),
+            },
+        })
+        .collect()
 }
 
 /// The open switchover bracket `(last_v6, first_v4)` of a sweep, when the
@@ -92,7 +111,7 @@ pub struct CadSample {
 /// to the server egress alongside the configured IPv6 delay.
 ///
 /// This is the campaign engine's CAD entry point; [`run_cad_case`] wraps
-/// it for sweeps.
+/// it for sweeps, [`run_cad_once_traced`] additionally emits the trace.
 pub fn run_cad_once(
     profile: &ClientProfile,
     delay_ms: u64,
@@ -100,6 +119,20 @@ pub fn run_cad_once(
     seed: u64,
     extra_netem: &[NetemRule],
 ) -> CadSample {
+    run_cad_once_traced(profile, delay_ms, rep, seed, extra_netem, "baseline").0
+}
+
+/// [`run_cad_once`] plus the structured event trace of the run:
+/// client-side engine events merged with server-side query arrivals.
+/// `condition` labels the netem condition in the trace metadata.
+pub fn run_cad_once_traced(
+    profile: &ClientProfile,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+    condition: &str,
+) -> (CadSample, Trace) {
     let mut topo = default_local_topology(seed);
     // The paper shapes IPv6 on the server side with tc-netem.
     topo.server
@@ -126,25 +159,51 @@ pub fn run_cad_once(
         (Some(x), Some(y)) => Some(x < y),
         _ => None,
     };
-    CadSample {
+    let mut trace = Trace::from_he_log(
+        TraceMeta {
+            subject: profile.id(),
+            case: "cad".to_string(),
+            condition: condition.to_string(),
+            configured_delay_ms: delay_ms,
+            rep,
+            seed,
+        },
+        &res.log,
+    );
+    trace.merge_events(query_arrival_events(&log));
+    let sample = CadSample {
         configured_delay_ms: delay_ms,
         rep,
         family,
         observed_cad_ms,
         aaaa_first,
-    }
+    };
+    (sample, trace)
 }
 
 /// Runs the CAD case for one client profile.
 pub fn run_cad_case(profile: &ClientProfile, cfg: &CadCaseConfig, seed: u64) -> Vec<CadSample> {
+    run_cad_case_traced(profile, cfg, seed).0
+}
+
+/// [`run_cad_case`] plus the trace set of every run in the sweep.
+pub fn run_cad_case_traced(
+    profile: &ClientProfile,
+    cfg: &CadCaseConfig,
+    seed: u64,
+) -> (Vec<CadSample>, lazyeye_trace::TraceSet) {
     let mut out = Vec::new();
+    let mut traces = lazyeye_trace::TraceSet::default();
     for delay_ms in cfg.sweep.values() {
         for rep in 0..cfg.repetitions {
             let run_seed = derive_case_seed(seed, CAD_SEED_TAG, delay_ms, rep);
-            out.push(run_cad_once(profile, delay_ms, rep, run_seed, &[]));
+            let (sample, trace) =
+                run_cad_once_traced(profile, delay_ms, rep, run_seed, &[], "baseline");
+            out.push(sample);
+            traces.push(trace);
         }
     }
-    out
+    (out, traces)
 }
 
 /// Aggregate view of a CAD sweep (one Figure 2 row + the Table 2 columns).
@@ -214,11 +273,21 @@ pub struct RdSample {
     pub used_rd: bool,
 }
 
+/// The canonical cell label of a delayed record type (also the trace
+/// metadata condition).
+pub fn delayed_record_label(delayed: DelayedRecord) -> &'static str {
+    match delayed {
+        DelayedRecord::Aaaa => "delayed-aaaa",
+        DelayedRecord::A => "delayed-a",
+    }
+}
+
 /// Runs a single Resolution-Delay measurement: one fresh simulation, one
 /// delayed record type, one configured DNS answer delay.
 ///
-/// This is the campaign engine's RD entry point; [`run_rd_case`] wraps it
-/// for sweeps.
+/// This is the classic RD entry point; [`run_rd_case`] wraps it for
+/// sweeps, [`run_rd_once_netem`] adds path conditions and
+/// [`run_rd_once_traced`] additionally emits the trace.
 pub fn run_rd_once(
     profile: &ClientProfile,
     delayed: DelayedRecord,
@@ -226,6 +295,41 @@ pub fn run_rd_once(
     rep: u32,
     seed: u64,
 ) -> RdSample {
+    run_rd_once_netem(profile, delayed, delay_ms, rep, seed, &[])
+}
+
+/// [`run_rd_once`] with extra netem rules on the server egress — the
+/// campaign engine's RD entry point (netem is a cell axis there).
+pub fn run_rd_once_netem(
+    profile: &ClientProfile,
+    delayed: DelayedRecord,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+) -> RdSample {
+    run_rd_once_traced(
+        profile,
+        delayed,
+        delay_ms,
+        rep,
+        seed,
+        extra_netem,
+        delayed_record_label(delayed),
+    )
+    .0
+}
+
+/// [`run_rd_once_netem`] plus the structured event trace of the run.
+pub fn run_rd_once_traced(
+    profile: &ClientProfile,
+    delayed: DelayedRecord,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+    condition: &str,
+) -> (RdSample, Trace) {
     let target = match delayed {
         DelayedRecord::Aaaa => DelayTarget::Aaaa,
         DelayedRecord::A => DelayTarget::A,
@@ -238,6 +342,9 @@ pub fn run_rd_once(
         vec!["192.0.2.1".parse().unwrap()],
         vec!["2001:db8::1".parse().unwrap()],
     );
+    for rule in extra_netem {
+        topo.server.add_egress(rule.clone());
+    }
     let params = lazyeye_authns::TestParams::delay(delay_ms, target, format!("r{rep}"));
     let qname = lazyeye_dns::Name::parse(&format!("{}.rd.test", params.to_label())).unwrap();
     let client = Client::new(profile.clone(), topo.client.clone(), vec![resolver_addr()]);
@@ -253,25 +360,58 @@ pub fn run_rd_once(
         .chain(topo.client.capture().first_syn(Family::V4))
         .min()
         .map(|t: SimTime| t.as_nanos() as f64 / 1e6);
-    RdSample {
+    let mut trace = Trace::from_he_log(
+        TraceMeta {
+            subject: profile.id(),
+            case: "rd".to_string(),
+            condition: condition.to_string(),
+            configured_delay_ms: delay_ms,
+            rep,
+            seed,
+        },
+        &res.log,
+    );
+    trace.merge_events(query_arrival_events(&topo.auth.query_log()));
+    let sample = RdSample {
         configured_delay_ms: delay_ms,
         rep,
         family,
         first_attempt_ms,
         used_rd: res.log.used_resolution_delay(),
-    }
+    };
+    (sample, trace)
 }
 
 /// Runs the RD case (delaying AAAA or A per config) for one client.
 pub fn run_rd_case(profile: &ClientProfile, cfg: &RdCaseConfig, seed: u64) -> Vec<RdSample> {
+    run_rd_case_traced(profile, cfg, seed).0
+}
+
+/// [`run_rd_case`] plus the trace set of every run in the sweep.
+pub fn run_rd_case_traced(
+    profile: &ClientProfile,
+    cfg: &RdCaseConfig,
+    seed: u64,
+) -> (Vec<RdSample>, lazyeye_trace::TraceSet) {
     let mut out = Vec::new();
+    let mut traces = lazyeye_trace::TraceSet::default();
     for delay_ms in cfg.sweep.values() {
         for rep in 0..cfg.repetitions {
             let run_seed = derive_case_seed(seed, RD_SEED_TAG, delay_ms, rep);
-            out.push(run_rd_once(profile, cfg.delayed, delay_ms, rep, run_seed));
+            let (sample, trace) = run_rd_once_traced(
+                profile,
+                cfg.delayed,
+                delay_ms,
+                rep,
+                run_seed,
+                &[],
+                delayed_record_label(cfg.delayed),
+            );
+            out.push(sample);
+            traces.push(trace);
         }
     }
-    out
+    (out, traces)
 }
 
 /// Aggregate view of an RD sweep.
@@ -333,6 +473,29 @@ pub fn run_selection_case(
     cfg: &SelectionCaseConfig,
     seed: u64,
 ) -> SelectionResult {
+    run_selection_once_traced(profile, cfg, 0, seed, &[], "-").0
+}
+
+/// [`run_selection_case`] with extra netem rules on the server egress —
+/// the campaign engine's selection entry point (netem is a cell axis).
+pub fn run_selection_once_netem(
+    profile: &ClientProfile,
+    cfg: &SelectionCaseConfig,
+    seed: u64,
+    extra_netem: &[NetemRule],
+) -> SelectionResult {
+    run_selection_once_traced(profile, cfg, 0, seed, extra_netem, "-").0
+}
+
+/// [`run_selection_case`] plus the structured event trace of the run.
+pub fn run_selection_once_traced(
+    profile: &ClientProfile,
+    cfg: &SelectionCaseConfig,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+    condition: &str,
+) -> (SelectionResult, Trace) {
     let dead_v4: Vec<std::net::Ipv4Addr> = (1..=cfg.v4_addresses)
         .map(|i| format!("203.0.113.{i}").parse().unwrap())
         .collect();
@@ -340,19 +503,35 @@ pub fn run_selection_case(
         .map(|i| format!("2001:db8:dead::{i}").parse().unwrap())
         .collect();
     let mut topo = test_domain_topology(seed, "sel.test", dead_v4, dead_v6);
-    let mut profile = profile.clone();
-    profile.he.attempt_timeout = std::time::Duration::from_millis(cfg.attempt_timeout_ms);
-    profile.he.overall_deadline = std::time::Duration::from_secs(300);
+    for rule in extra_netem {
+        topo.server.add_egress(rule.clone());
+    }
+    let mut client_profile = profile.clone();
+    client_profile.he.attempt_timeout = std::time::Duration::from_millis(cfg.attempt_timeout_ms);
+    client_profile.he.overall_deadline = std::time::Duration::from_secs(300);
     let qname = lazyeye_dns::Name::parse("d0-tnone-nsel.sel.test").unwrap();
-    let client = Client::new(profile, topo.client.clone(), vec![resolver_addr()]);
+    let client = Client::new(client_profile, topo.client.clone(), vec![resolver_addr()]);
     let res = topo
         .sim
         .block_on(async move { client.connect_only(&qname, 80).await });
-    SelectionResult {
+    let mut trace = Trace::from_he_log(
+        TraceMeta {
+            subject: profile.id(),
+            case: "selection".to_string(),
+            condition: condition.to_string(),
+            configured_delay_ms: 0,
+            rep,
+            seed,
+        },
+        &res.log,
+    );
+    trace.merge_events(query_arrival_events(&topo.auth.query_log()));
+    let result = SelectionResult {
         order: res.log.attempt_families(),
         v6_used: res.log.addrs_used(Family::V6),
         v4_used: res.log.addrs_used(Family::V4),
-    }
+    };
+    (result, trace)
 }
 
 // ---------------------------------------------------------------------------
@@ -384,23 +563,52 @@ pub struct ResolverSample {
 }
 
 /// Runs a single resolver measurement: one fresh simulation with a
-/// per-run unique zone, one configured IPv6-path delay towards the
-/// authoritative NS.
+/// per-run unique zone (served from the `(tag, delay)` zone cache), one
+/// configured IPv6-path delay towards the authoritative NS.
 ///
-/// This is the campaign engine's resolver entry point;
-/// [`run_resolver_case`] wraps it for sweeps.
+/// [`run_resolver_case`] wraps it for sweeps, [`run_resolver_once_netem`]
+/// adds path conditions and [`run_resolver_once_traced`] additionally
+/// emits the trace.
 pub fn run_resolver_once(
     rprofile: &ResolverProfile,
     delay_ms: u64,
     rep: u32,
     seed: u64,
 ) -> ResolverSample {
+    run_resolver_once_netem(rprofile, delay_ms, rep, seed, &[])
+}
+
+/// [`run_resolver_once`] with extra netem rules on the authoritative
+/// server's egress — the campaign engine's resolver entry point.
+pub fn run_resolver_once_netem(
+    rprofile: &ResolverProfile,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+) -> ResolverSample {
+    run_resolver_once_traced(rprofile, delay_ms, rep, seed, extra_netem, "-").0
+}
+
+/// [`run_resolver_once_netem`] plus the server-side event trace of the
+/// run (query arrivals at the authoritative NS).
+pub fn run_resolver_once_traced(
+    rprofile: &ResolverProfile,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+    condition: &str,
+) -> (ResolverSample, Trace) {
     let tag = format!("d{delay_ms}r{rep}");
-    let mut topo = resolver_topology(seed, &tag);
+    let mut topo = resolver_topology_for_delay(seed, &tag, delay_ms);
     // Shape the auth NS's IPv6 responses (the paper applies the
     // shaping to the name server's addresses).
     topo.auth
         .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(delay_ms)));
+    for rule in extra_netem {
+        topo.auth.add_egress(rule.clone());
+    }
     let mut rcfg = RecursiveConfig::new(topo.roots.clone());
     rcfg.policy = rprofile.policy.clone();
     let resolver = RecursiveResolver::new(topo.resolver_host.clone(), rcfg);
@@ -443,7 +651,18 @@ pub fn run_resolver_once(
     };
     let served_over_v6 =
         resolved && first_query_family == Some(Family::V6) && v4_queries.is_empty();
-    ResolverSample {
+    let trace = Trace {
+        meta: TraceMeta {
+            subject: rprofile.name.to_string(),
+            case: "resolver".to_string(),
+            condition: condition.to_string(),
+            configured_delay_ms: delay_ms,
+            rep,
+            seed,
+        },
+        events: query_arrival_events(&topo.auth_server.query_log()),
+    };
+    let sample = ResolverSample {
         configured_delay_ms: delay_ms,
         rep,
         first_query_family,
@@ -452,7 +671,8 @@ pub fn run_resolver_once(
         v6_retry_gap_ms,
         resolved,
         served_over_v6,
-    }
+    };
+    (sample, trace)
 }
 
 /// Runs the resolver case for one resolver profile.
@@ -461,14 +681,27 @@ pub fn run_resolver_case(
     cfg: &ResolverCaseConfig,
     seed: u64,
 ) -> Vec<ResolverSample> {
+    run_resolver_case_traced(rprofile, cfg, seed).0
+}
+
+/// [`run_resolver_case`] plus the trace set of every run in the sweep.
+pub fn run_resolver_case_traced(
+    rprofile: &ResolverProfile,
+    cfg: &ResolverCaseConfig,
+    seed: u64,
+) -> (Vec<ResolverSample>, lazyeye_trace::TraceSet) {
     let mut out = Vec::new();
+    let mut traces = lazyeye_trace::TraceSet::default();
     for delay_ms in cfg.sweep.values() {
         for rep in 0..cfg.repetitions {
             let run_seed = derive_case_seed(seed, RESOLVER_SEED_TAG, delay_ms, rep);
-            out.push(run_resolver_once(rprofile, delay_ms, rep, run_seed));
+            let (sample, trace) =
+                run_resolver_once_traced(rprofile, delay_ms, rep, run_seed, &[], "-");
+            out.push(sample);
+            traces.push(trace);
         }
     }
-    out
+    (out, traces)
 }
 
 /// Aggregate resolver statistics — one row of the paper's Table 3.

@@ -1,7 +1,10 @@
 //! Standard testbed topologies (paper Figure 3): a client node and a
 //! server node on a direct link, plus the resolver testbed used in §5.3.
 
+use std::collections::HashMap;
 use std::net::{IpAddr, SocketAddr};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use lazyeye_authns::{serve as serve_dns, AuthConfig, AuthServer, TestDomain};
 use lazyeye_dns::{Name, Zone, ZoneSet};
@@ -131,6 +134,9 @@ pub struct ResolverTopology {
     pub root: Host,
     /// Authoritative name server host (the shaped target).
     pub auth: Host,
+    /// Handle to the authoritative server instance (query-log access —
+    /// the trace layer's server-side observation point).
+    pub auth_server: AuthServer,
     /// Host the recursive resolver runs on (dual-stack).
     pub resolver_host: Host,
     /// Root hints to configure the resolver with.
@@ -141,26 +147,58 @@ pub struct ResolverTopology {
     pub qname: Name,
 }
 
-/// Builds the resolver testbed for one run. Per the paper, every run uses
-/// a unique zone apex and unique NS names so no caching can interfere.
-pub fn resolver_topology(seed: u64, run_tag: &str) -> ResolverTopology {
-    let sim = Sim::new(seed);
-    let net = Network::new();
-    let root = net
-        .host("root-ns")
-        .v4("198.41.0.4")
-        .v6("2001:503:ba3e::2:30")
-        .build();
-    let auth = net
-        .host("auth-ns")
-        .v4("192.0.2.53")
-        .v6("2001:db8:53::53")
-        .build();
-    let resolver_host = net
-        .host("resolver")
-        .v4("192.0.2.10")
-        .v6("2001:db8::10")
-        .build();
+// ---------------------------------------------------------------------------
+// Zone cache
+// ---------------------------------------------------------------------------
+
+/// Hit/miss counters of the resolver-testbed zone cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ZoneCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the zones.
+    pub misses: u64,
+}
+
+/// Zone-cache key: `(run tag, configured delay)`.
+type ZoneKey = (String, u64);
+/// Cached value: the run's `(root, auth)` zone sets.
+type ZonePair = (ZoneSet, ZoneSet);
+
+static ZONE_CACHE: OnceLock<Mutex<HashMap<ZoneKey, ZonePair>>> = OnceLock::new();
+static ZONE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static ZONE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the zone-cache counters.
+pub fn zone_cache_stats() -> ZoneCacheStats {
+    ZoneCacheStats {
+        hits: ZONE_CACHE_HITS.load(Ordering::Relaxed),
+        misses: ZONE_CACHE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Clears the zone cache and its counters (tests, memory-conscious
+/// long-running processes).
+pub fn reset_zone_cache() {
+    if let Some(cache) = ZONE_CACHE.get() {
+        cache.lock().expect("zone cache poisoned").clear();
+    }
+    ZONE_CACHE_HITS.store(0, Ordering::Relaxed);
+    ZONE_CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// The (root, auth) zone sets of a resolver run, cached by `(tag,
+/// delay)`: zone content is a pure function of the run tag, so repeated
+/// resolver cases — every resolver profile sweeps the same `(delay, rep)`
+/// grid — stop rebuilding identical zones.
+fn resolver_zones(run_tag: &str, delay_ms: u64) -> (ZoneSet, ZoneSet) {
+    let cache = ZONE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (run_tag.to_string(), delay_ms);
+    if let Some(zones) = cache.lock().expect("zone cache poisoned").get(&key) {
+        ZONE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return zones.clone();
+    }
+    ZONE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
 
     let apex = Name::parse(&format!("z{run_tag}.test")).unwrap();
     let ns_name = apex.child("ns1").unwrap();
@@ -180,6 +218,52 @@ pub fn resolver_topology(seed: u64, run_tag: &str) -> ResolverTopology {
     let mut auth_zones = ZoneSet::new();
     auth_zones.add(auth_zone);
 
+    let zones = (root_zones, auth_zones);
+    cache
+        .lock()
+        .expect("zone cache poisoned")
+        .insert(key, zones.clone());
+    zones
+}
+
+/// Builds the resolver testbed for one run. Per the paper, every run uses
+/// a unique zone apex and unique NS names so no caching can interfere —
+/// the zone *objects* come from the `(tag, delay)` cache, the simulation
+/// and server instances stay per-run fresh.
+pub fn resolver_topology(seed: u64, run_tag: &str) -> ResolverTopology {
+    resolver_topology_for_delay(seed, run_tag, 0)
+}
+
+/// [`resolver_topology`] with the configured IPv6-path delay as part of
+/// the zone-cache key (the sweep runners use this entry point).
+pub fn resolver_topology_for_delay(seed: u64, run_tag: &str, delay_ms: u64) -> ResolverTopology {
+    let sim = Sim::new(seed);
+    let net = Network::new();
+    let root = net
+        .host("root-ns")
+        .v4("198.41.0.4")
+        .v6("2001:503:ba3e::2:30")
+        .build();
+    let auth = net
+        .host("auth-ns")
+        .v4("192.0.2.53")
+        .v6("2001:db8:53::53")
+        .build();
+    let resolver_host = net
+        .host("resolver")
+        .v4("192.0.2.10")
+        .v6("2001:db8::10")
+        .build();
+
+    let (root_zones, auth_zones) = resolver_zones(run_tag, delay_ms);
+    let apex = Name::parse(&format!("z{run_tag}.test")).unwrap();
+    let qname = apex.child("www").unwrap();
+
+    let auth_server = AuthServer::new(AuthConfig {
+        zones: auth_zones,
+        ..AuthConfig::default()
+    });
+    let auth_server_task = auth_server.clone();
     sim.enter(|| {
         spawn(serve_dns(
             root.udp_bind_any(53).unwrap(),
@@ -188,13 +272,7 @@ pub fn resolver_topology(seed: u64, run_tag: &str) -> ResolverTopology {
                 ..AuthConfig::default()
             }),
         ));
-        spawn(serve_dns(
-            auth.udp_bind_any(53).unwrap(),
-            AuthServer::new(AuthConfig {
-                zones: auth_zones,
-                ..AuthConfig::default()
-            }),
-        ));
+        spawn(serve_dns(auth.udp_bind_any(53).unwrap(), auth_server_task));
     });
 
     let roots = vec![(
@@ -209,6 +287,7 @@ pub fn resolver_topology(seed: u64, run_tag: &str) -> ResolverTopology {
         sim,
         root,
         auth,
+        auth_server,
         resolver_host,
         roots,
         apex,

@@ -1,0 +1,108 @@
+//! Property test: trace serialization round-trips byte-identically —
+//! emit → parse → re-emit reproduces the exact same text, and the parsed
+//! value equals the original.
+
+use lazyeye_net::Family;
+use lazyeye_trace::{Trace, TraceEvent, TraceEventKind, TraceMeta, TraceSet};
+use proptest::prelude::*;
+
+fn arb_family() -> impl Strategy<Value = Family> {
+    prop_oneof![Just(Family::V6), Just(Family::V4)]
+}
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9._:+-]{1,24}").unwrap()
+}
+
+fn arb_kind() -> impl Strategy<Value = TraceEventKind> {
+    prop_oneof![
+        arb_label().prop_map(|qtype| TraceEventKind::DnsQuerySent { qtype }),
+        (arb_label(), any::<u16>(), arb_label()).prop_map(|(qtype, records, outcome)| {
+            TraceEventKind::DnsAnswer {
+                qtype,
+                records: u64::from(records),
+                outcome,
+            }
+        }),
+        (arb_label(), arb_family())
+            .prop_map(|(qtype, family)| TraceEventKind::QueryArrived { qtype, family }),
+        any::<u16>().prop_map(|d| TraceEventKind::ResolutionDelayStarted {
+            delay_ms: u64::from(d)
+        }),
+        Just(TraceEventKind::ResolutionDelayExpired),
+        proptest::string::string_regex("[64]{0,20}")
+            .unwrap()
+            .prop_map(|families| TraceEventKind::CandidatesBuilt { families }),
+        (any::<u8>(), arb_label(), arb_family(), arb_label()).prop_map(
+            |(index, addr, family, proto)| TraceEventKind::AttemptStarted {
+                index: u64::from(index),
+                addr,
+                family,
+                proto,
+            }
+        ),
+        (any::<u8>(), arb_label()).prop_map(|(index, addr)| TraceEventKind::AttemptSucceeded {
+            index: u64::from(index),
+            addr,
+        }),
+        (any::<u8>(), arb_label(), arb_label()).prop_map(|(index, addr, error)| {
+            TraceEventKind::AttemptFailed {
+                index: u64::from(index),
+                addr,
+                error,
+            }
+        }),
+        (arb_label(), arb_family(), arb_label()).prop_map(|(addr, family, proto)| {
+            TraceEventKind::Established {
+                addr,
+                family,
+                proto,
+            }
+        }),
+        arb_label().prop_map(|addr| TraceEventKind::UsedCachedOutcome { addr }),
+        arb_label().prop_map(|reason| TraceEventKind::Failed { reason }),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (any::<u64>(), arb_kind()).prop_map(|(at_ns, kind)| TraceEvent { at_ns, kind })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        arb_label(),
+        proptest::sample::select(vec!["cad", "rd", "selection", "resolver", "adhoc"]),
+        arb_label(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u64>(),
+        proptest::collection::vec(arb_event(), 0..12),
+    )
+        .prop_map(
+            |(subject, case, condition, delay, rep, seed, events)| Trace {
+                meta: TraceMeta {
+                    subject,
+                    case: case.to_string(),
+                    condition,
+                    configured_delay_ms: u64::from(delay),
+                    rep: u32::from(rep),
+                    seed,
+                },
+                events,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn emit_parse_reemit_is_byte_identical(
+        traces in proptest::collection::vec(arb_trace(), 0..4)
+    ) {
+        let set = TraceSet { traces };
+        let text = set.to_json_string();
+        let parsed = TraceSet::from_json_str(&text).expect("emitted traces must parse");
+        prop_assert_eq!(&parsed, &set, "parse must reproduce the value");
+        let reemitted = parsed.to_json_string();
+        prop_assert_eq!(reemitted, text, "re-emit must be byte-identical");
+    }
+}

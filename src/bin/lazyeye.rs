@@ -29,17 +29,22 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lazy_eye_inspection::campaign::{
-    build_report, expand, finish_from_checkpoint, merge_checkpoints, run_campaign_resumable,
-    run_shard, CampaignReport, CampaignSpec, Checkpoint, RunOutput, RunSpec, Shard,
+    build_report_with, diff_reports, expand, finish_from_checkpoint_with, merge_checkpoints,
+    run_campaign_resumable, run_shard, CampaignReport, CampaignSpec, Checkpoint,
+    InferredClientReport, RunOutput, RunSpec, Shard,
 };
 use lazy_eye_inspection::clients::{all_measured_clients, ClientProfile};
+use lazy_eye_inspection::infer::{fmt_opt, infer_traces, score_profile};
+use lazy_eye_inspection::json::ToJson;
 use lazy_eye_inspection::net::Family;
 use lazy_eye_inspection::resolver::all_profiles;
 use lazy_eye_inspection::testbed::{
-    run_cad_case, run_rd_case, run_resolver_case, run_selection_case, summarize_cad, summarize_rd,
-    summarize_resolver, CadCaseConfig, DelayedRecord, RdCaseConfig, ResolverCaseConfig,
-    SelectionCaseConfig, SweepSpec, Table, TestbedConfig,
+    run_cad_case, run_cad_case_traced, run_rd_case, run_rd_case_traced, run_resolver_case,
+    run_resolver_case_traced, run_selection_case, run_selection_once_traced, summarize_cad,
+    summarize_rd, summarize_resolver, CadCaseConfig, DelayedRecord, RdCaseConfig,
+    ResolverCaseConfig, SelectionCaseConfig, SweepSpec, Table, TestbedConfig,
 };
+use lazy_eye_inspection::trace::TraceSet;
 
 /// Completed runs between periodic checkpoint saves.
 const CHECKPOINT_EVERY: u64 = 32;
@@ -179,16 +184,22 @@ fn usage() -> ExitCode {
          commands:\n\
            clients   [--format text|json|csv]        list client profiles (ids)\n\
            resolvers [--format text|json|csv]        list resolver profiles\n\
-           cad       --client <id> [--from ms --to ms --step ms --reps n --seed s]\n\
+           cad       --client <id> [--from ms --to ms --step ms --reps n --seed s\n\
+                     --emit-trace <file.json>]\n\
            rd        --client <id> [--record aaaa|a] [--delay ms] [--seed s]\n\
-           selection --client <id> [--seed s]\n\
-           resolver  --profile <name> [--reps n] [--seed s]\n\
+                     [--emit-trace <file.json>]\n\
+           selection --client <id> [--seed s] [--emit-trace <file.json>]\n\
+           resolver  --profile <name> [--reps n] [--seed s] [--emit-trace <file.json>]\n\
            config                                    print a default JSON config\n\
            run       --config <file.json>            run all enabled cases\n\
+           infer     --trace <traces.json> [--format text|json]\n\
+                   | --campaign <spec.json> [--jobs n --seed s --format text|json]\n\
+                                                     infer HE state + RFC 8305 verdicts\n\
            campaign  --config <spec.json> [--jobs n --seed s --format text|json|csv\n\
-                     --out <basename> --checkpoint <ckpt.json> --shard i/n]\n\
-                   | --resume <ckpt.json> [--jobs n --format ... --out ... --checkpoint ...]\n\
-                   | --merge <part.json> [--merge <part.json> ...] [--jobs n --format ... --out ...]\n\
+                     --classify --out <basename> --checkpoint <ckpt.json> --shard i/n]\n\
+                   | --resume <ckpt.json> [--jobs n --classify --format ... --out ...]\n\
+                   | --merge <part.json> [--merge <part.json> ...] [--jobs n --classify ...]\n\
+                   | --diff <old.json> <new.json> [--format text|json]\n\
                    | --print-spec\n\
                                                      run a full two-pass measurement campaign"
     );
@@ -202,6 +213,141 @@ fn fail(msg: &str) -> ExitCode {
 
 fn fmt_share(v: Option<f64>) -> String {
     v.map(|x| format!("{x:.1} %")).unwrap_or_else(|| "-".into())
+}
+
+/// Writes a trace set to `path` when `--emit-trace` was given.
+fn emit_trace_set(flags: &Flags, traces: &TraceSet) -> Result<(), String> {
+    if let Some(path) = flags.get("--emit-trace") {
+        std::fs::write(path, traces.to_json_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("[trace] wrote {} trace(s) to {path}", traces.traces.len());
+    }
+    Ok(())
+}
+
+/// Text rendering of inferred profiles + verdicts (the `infer` command).
+fn render_inferred(reports: &[InferredClientReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        let p = &r.profile;
+        out.push_str(&format!("{} ({} runs)\n", p.subject, p.runs));
+        out.push_str(&format!(
+            "  CAD: impl {}, estimate {} ms, bracket ({}, {}), misfits {}\n",
+            fmt_opt(&p.cad.implemented),
+            fmt_opt(&p.cad.estimate_ms),
+            fmt_opt(&p.cad.last_v6_delay_ms),
+            fmt_opt(&p.cad.first_v4_delay_ms),
+            p.cad.misfits,
+        ));
+        out.push_str(&format!(
+            "  RD: impl {}, delay {} ms, waits-for-all {}\n",
+            fmt_opt(&p.rd.implemented),
+            fmt_opt(&p.rd.delay_ms),
+            fmt_opt(&p.rd.waits_for_all_answers),
+        ));
+        out.push_str(&format!(
+            "  preference: v6 share {}, AAAA first {}, sorting {:?}, addrs {}/{}\n",
+            fmt_share(p.v6_share_pct),
+            fmt_opt(&p.aaaa_first),
+            p.sorting,
+            fmt_opt(&p.v6_addrs_used),
+            fmt_opt(&p.v4_addrs_used),
+        ));
+        out.push_str("  RFC 8305:");
+        for e in &r.conformance {
+            out.push_str(&format!(" {}={}", e.feature, e.render()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses `--jobs` (default: available parallelism), rejecting 0.
+fn parse_jobs(flags: &Flags) -> Result<usize, String> {
+    let default_jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match parse_num(flags, "--jobs", default_jobs) {
+        Ok(0) => Err("flag --jobs: must be at least 1".to_string()),
+        other => other,
+    }
+}
+
+/// Loads a campaign spec from `path` and applies a `--seed` override.
+fn load_spec(flags: &Flags, path: &str) -> Result<CampaignSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut spec = CampaignSpec::from_json(&text).map_err(|e| format!("bad spec: {e}"))?;
+    if let Some(seed) = flags.get("--seed") {
+        spec.seed = seed
+            .parse()
+            .map_err(|_| format!("flag --seed: invalid value {seed:?}"))?;
+    }
+    Ok(spec)
+}
+
+fn cmd_infer(flags: Flags) -> ExitCode {
+    let format = match flags.get("--format") {
+        None | Some("text") => Format::Text,
+        Some("json") => Format::Json,
+        Some(other) => return fail(&format!("flag --format: expected text|json, got {other:?}")),
+    };
+    match (flags.get("--trace"), flags.get("--campaign")) {
+        (Some(_), Some(_)) => fail("--trace and --campaign are mutually exclusive"),
+        (Some(path), None) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            };
+            let set = match TraceSet::from_json_str(&text) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("{path}: {e}")),
+            };
+            let reports: Vec<InferredClientReport> = infer_traces(&set)
+                .into_iter()
+                .map(|profile| {
+                    let conformance = score_profile(&profile);
+                    InferredClientReport {
+                        profile,
+                        conformance,
+                    }
+                })
+                .collect();
+            match format {
+                Format::Json => println!("{}", ToJson::to_json(&reports).to_string_pretty()),
+                _ => print!("{}", render_inferred(&reports)),
+            }
+            ExitCode::SUCCESS
+        }
+        (None, Some(path)) => {
+            let spec = match load_spec(&flags, path) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            let jobs = match parse_jobs(&flags) {
+                Ok(j) => j,
+                Err(e) => return fail(&e),
+            };
+            let outcome = run_campaign_resumable(
+                &spec,
+                jobs,
+                &std::collections::BTreeMap::new(),
+                progress_meter(),
+                |_, _| {},
+            );
+            let (runs, outputs) = match outcome {
+                Ok(pair) => pair,
+                Err(e) => return fail(&format!("campaign failed: {e}")),
+            };
+            let report = build_report_with(&spec, &runs, &outputs, true);
+            let section = report.inference.expect("classify builds the section");
+            match format {
+                Format::Json => print!("{}", section.to_json()),
+                _ => print!("{}", section.render_text()),
+            }
+            ExitCode::SUCCESS
+        }
+        (None, None) => fail("infer needs --trace <traces.json> or --campaign <spec.json>"),
+    }
 }
 
 /// Progress + ETA to stderr (never into the report: the report must be
@@ -328,7 +474,7 @@ fn emit_partial(part: &Checkpoint, out: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_campaign_merge(flags: &Flags, jobs: usize, format: Format) -> ExitCode {
+fn cmd_campaign_merge(flags: &Flags, jobs: usize, format: Format, classify: bool) -> ExitCode {
     for conflicting in ["--config", "--seed", "--shard", "--resume", "--checkpoint"] {
         if flags.contains(conflicting) {
             return fail(&format!("--merge cannot be combined with {conflicting}"));
@@ -352,14 +498,37 @@ fn cmd_campaign_merge(flags: &Flags, jobs: usize, format: Format) -> ExitCode {
              executing them locally"
         );
     }
-    let report = match finish_from_checkpoint(&merged, jobs, progress_meter(), |_, _| {}) {
-        Ok(r) => r,
-        Err(e) => return fail(&format!("campaign failed: {e}")),
-    };
+    let report =
+        match finish_from_checkpoint_with(&merged, jobs, classify, progress_meter(), |_, _| {}) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("campaign failed: {e}")),
+        };
     match emit_report(&report, format, flags.get("--out")) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e),
     }
+}
+
+/// `campaign --diff old.json new.json`: load two reports, surface
+/// per-cell and per-feature behaviour changes.
+fn cmd_campaign_diff(paths: &[String], format: Format) -> ExitCode {
+    let mut reports = Vec::new();
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        match CampaignReport::from_json_str(&text) {
+            Ok(r) => reports.push(r),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    let diff = diff_reports(&reports[0], &reports[1]);
+    match format {
+        Format::Json => print!("{}", diff.to_json()),
+        _ => print!("{}", diff.render_text()),
+    }
+    ExitCode::SUCCESS
 }
 
 /// Executes one shard's slice (fresh or resumed) with periodic checkpoint
@@ -397,6 +566,7 @@ fn cmd_campaign_full(
     spec: CampaignSpec,
     jobs: usize,
     format: Format,
+    classify: bool,
     resume_from: Option<Checkpoint>,
     ckpt_path: Option<String>,
     out: Option<&str>,
@@ -405,6 +575,11 @@ fn cmd_campaign_full(
         Ok(runs) => runs.len() as u64,
         Err(e) => return fail(&format!("bad spec: {e}")),
     };
+    if let Some(ckpt) = &resume_from {
+        if let Err(e) = ckpt.validate_shape(pass1_runs) {
+            return fail(&format!("resume: {e}"));
+        }
+    }
     let ckpt = resume_from.unwrap_or_else(|| Checkpoint::new(spec.clone(), pass1_runs, None));
     let completed = ckpt.completed().clone();
     if !completed.is_empty() {
@@ -422,7 +597,7 @@ fn cmd_campaign_full(
         Err(e) => return fail(&format!("campaign failed: {e}")),
     };
     saver.flush();
-    let report = build_report(&spec, &runs, &outputs);
+    let report = build_report_with(&spec, &runs, &outputs, classify);
     match emit_report(&report, format, out) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e),
@@ -434,21 +609,18 @@ fn cmd_campaign(flags: Flags) -> ExitCode {
         println!("{}", CampaignSpec::default().to_json());
         return ExitCode::SUCCESS;
     }
-    let default_jobs = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let jobs = match parse_num(&flags, "--jobs", default_jobs) {
-        Ok(j) if j >= 1 => j,
-        Ok(_) => return fail("flag --jobs: must be at least 1"),
+    let jobs = match parse_jobs(&flags) {
+        Ok(j) => j,
         Err(e) => return fail(&e),
     };
     let format = match parse_format(&flags) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
+    let classify = flags.contains("--classify");
 
     if flags.contains("--merge") {
-        return cmd_campaign_merge(&flags, jobs, format);
+        return cmd_campaign_merge(&flags, jobs, format, classify);
     }
 
     let ckpt_path = flags.get("--checkpoint").map(String::from);
@@ -482,13 +654,16 @@ fn cmd_campaign(flags: Flags) -> ExitCode {
                 if flags.contains("--format") {
                     return fail("--format does not apply to shard runs; partials are always JSON");
                 }
+                if classify {
+                    return fail("--classify does not apply to shard runs; classify at --merge");
+                }
                 cmd_campaign_shard(spec, jobs, shard, Some(ckpt), ckpt_path, out)
             }
             None => {
                 if flags.contains("--shard") {
                     return fail("--shard cannot be added to a whole-campaign checkpoint");
                 }
-                cmd_campaign_full(spec, jobs, format, Some(ckpt), ckpt_path, out)
+                cmd_campaign_full(spec, jobs, format, classify, Some(ckpt), ckpt_path, out)
             }
         };
     }
@@ -496,20 +671,10 @@ fn cmd_campaign(flags: Flags) -> ExitCode {
     let Some(path) = flags.get("--config") else {
         return fail("campaign needs --config <spec.json> (or --print-spec / --resume / --merge)");
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => return fail(&format!("cannot read {path}: {e}")),
-    };
-    let mut spec = match CampaignSpec::from_json(&text) {
+    let spec = match load_spec(&flags, path) {
         Ok(s) => s,
-        Err(e) => return fail(&format!("bad spec: {e}")),
+        Err(e) => return fail(&e),
     };
-    if let Some(seed) = flags.get("--seed") {
-        match seed.parse() {
-            Ok(s) => spec.seed = s,
-            Err(_) => return fail(&format!("flag --seed: invalid value {seed:?}")),
-        }
-    }
 
     if let Some(shard_flag) = flags.get("--shard") {
         let shard = match Shard::parse(shard_flag) {
@@ -519,9 +684,12 @@ fn cmd_campaign(flags: Flags) -> ExitCode {
         if flags.contains("--format") {
             return fail("--format does not apply to --shard runs; partials are always JSON");
         }
+        if classify {
+            return fail("--classify does not apply to shard runs; classify at --merge");
+        }
         return cmd_campaign_shard(spec, jobs, shard, None, ckpt_path, out);
     }
-    cmd_campaign_full(spec, jobs, format, None, ckpt_path, out)
+    cmd_campaign_full(spec, jobs, format, classify, None, ckpt_path, out)
 }
 
 fn main() -> ExitCode {
@@ -591,6 +759,7 @@ fn main() -> ExitCode {
                     val("--step"),
                     val("--reps"),
                     val("--seed"),
+                    val("--emit-trace"),
                 ],
             ) {
                 Ok(f) => f,
@@ -632,7 +801,10 @@ fn main() -> ExitCode {
                 sweep: SweepSpec::new(from, to, step),
                 repetitions: reps,
             };
-            let samples = run_cad_case(&profile, &cfg, seed);
+            let (samples, traces) = run_cad_case_traced(&profile, &cfg, seed);
+            if let Err(e) = emit_trace_set(&flags, &traces) {
+                return fail(&e);
+            }
             let strip: String = samples
                 .iter()
                 .map(|s| match s.family {
@@ -657,6 +829,7 @@ fn main() -> ExitCode {
                     val("--record"),
                     val("--delay"),
                     val("--seed"),
+                    val("--emit-trace"),
                 ],
             ) {
                 Ok(f) => f,
@@ -688,7 +861,10 @@ fn main() -> ExitCode {
                 sweep: SweepSpec::new(delay, delay, 1),
                 repetitions: 3,
             };
-            let samples = run_rd_case(&profile, &cfg, seed);
+            let (samples, traces) = run_rd_case_traced(&profile, &cfg, seed);
+            if let Err(e) = emit_trace_set(&flags, &traces) {
+                return fail(&e);
+            }
             for s in &samples {
                 println!(
                     "delay {} ms rep {}: family {:?}, first SYN at {:?} ms, RD used: {}",
@@ -700,10 +876,11 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "selection" => {
-            let flags = match parse_flags(rest, &[val("--client"), val("--seed")]) {
-                Ok(f) => f,
-                Err(e) => return fail(&e),
-            };
+            let flags =
+                match parse_flags(rest, &[val("--client"), val("--seed"), val("--emit-trace")]) {
+                    Ok(f) => f,
+                    Err(e) => return fail(&e),
+                };
             let Some(id) = flags.get("--client") else {
                 return usage();
             };
@@ -714,7 +891,19 @@ fn main() -> ExitCode {
                 Ok(s) => s,
                 Err(e) => return fail(&e),
             };
-            let r = run_selection_case(&profile, &SelectionCaseConfig::default(), seed);
+            let (r, trace) = run_selection_once_traced(
+                &profile,
+                &SelectionCaseConfig::default(),
+                0,
+                seed,
+                &[],
+                "-",
+            );
+            let mut traces = TraceSet::default();
+            traces.push(trace);
+            if let Err(e) = emit_trace_set(&flags, &traces) {
+                return fail(&e);
+            }
             let order: String = r
                 .order
                 .iter()
@@ -725,7 +914,15 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "resolver" => {
-            let flags = match parse_flags(rest, &[val("--profile"), val("--reps"), val("--seed")]) {
+            let flags = match parse_flags(
+                rest,
+                &[
+                    val("--profile"),
+                    val("--reps"),
+                    val("--seed"),
+                    val("--emit-trace"),
+                ],
+            ) {
                 Ok(f) => f,
                 Err(e) => return fail(&e),
             };
@@ -753,7 +950,11 @@ fn main() -> ExitCode {
                 ),
                 repetitions: reps,
             };
-            let stats = summarize_resolver(&run_resolver_case(&profile, &cfg, seed));
+            let (samples, traces) = run_resolver_case_traced(&profile, &cfg, seed);
+            if let Err(e) = emit_trace_set(&flags, &traces) {
+                return fail(&e);
+            }
+            let stats = summarize_resolver(&samples);
             println!(
                 "{}: IPv6 share {}, max v6 delay {:?} ms, per-try timeout {:?} ms, max v6 packets {}",
                 profile.name,
@@ -806,7 +1007,40 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "infer" => {
+            let flags = match parse_flags(
+                rest,
+                &[
+                    val("--trace"),
+                    val("--campaign"),
+                    val("--jobs"),
+                    val("--seed"),
+                    val("--format"),
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            cmd_infer(flags)
+        }
         "campaign" => {
+            // `--diff old.json new.json` is its own sub-mode with
+            // positional report paths.
+            if rest.first().map(String::as_str) == Some("--diff") {
+                if rest.len() < 3 {
+                    return fail("--diff needs two report files: --diff old.json new.json");
+                }
+                let paths = rest[1..3].to_vec();
+                let flags = match parse_flags(&rest[3..], &[val("--format")]) {
+                    Ok(f) => f,
+                    Err(e) => return fail(&e),
+                };
+                let format = match parse_format(&flags) {
+                    Ok(f) => f,
+                    Err(e) => return fail(&e),
+                };
+                return cmd_campaign_diff(&paths, format);
+            }
             let flags = match parse_flags(
                 rest,
                 &[
@@ -819,6 +1053,7 @@ fn main() -> ExitCode {
                     val("--resume"),
                     val("--shard"),
                     multi("--merge"),
+                    switch("--classify"),
                     switch("--print-spec"),
                 ],
             ) {

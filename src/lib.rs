@@ -19,6 +19,8 @@
 //! | [`clients`] | `lazyeye-clients` | browser/tool behaviour models, HTTP, iCPR |
 //! | [`testbed`] | `lazyeye-testbed` | test cases, runners, analyzers, tables |
 //! | [`campaign`] | `lazyeye-campaign` | sharded, deterministic campaign orchestration |
+//! | [`trace`] | `lazyeye-trace` | structured, serialisable event traces of runs |
+//! | [`infer`] | `lazyeye-infer` | trace → inferred client state + RFC 8305 verdicts |
 //! | [`webtool`] | `lazyeye-webtool` | the 18-tier web-based testing tool |
 //! | [`json`] | `lazyeye-json` | dependency-free JSON layer used throughout |
 //!
@@ -57,11 +59,13 @@ pub use lazyeye_campaign as campaign;
 pub use lazyeye_clients as clients;
 pub use lazyeye_core as he;
 pub use lazyeye_dns as dns;
+pub use lazyeye_infer as infer;
 pub use lazyeye_json as json;
 pub use lazyeye_net as net;
 pub use lazyeye_resolver as resolver;
 pub use lazyeye_sim as sim;
 pub use lazyeye_testbed as testbed;
+pub use lazyeye_trace as trace;
 pub use lazyeye_webtool as webtool;
 
 /// The most commonly used items in one import.
