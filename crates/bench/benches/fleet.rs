@@ -1,0 +1,79 @@
+//! Criterion: fleet throughput — end-to-end web-tool sessions/second at
+//! 1, 4 and 8 workers, the perf anchor for the population-scale service.
+//!
+//! Besides the per-iteration timing (regression tracking via the
+//! criterion stub's IQR-filtered report), each configuration prints an
+//! explicit `sessions/sec` line so the scaling curve is readable straight
+//! off the bench output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazyeye_fleet::{expand, run_fleet, FleetCondition, FleetSpec};
+
+/// A ~14-session fleet over three client families and one condition:
+/// large enough for work stealing to matter, small enough to iterate in
+/// a bench window.
+fn bench_spec() -> FleetSpec {
+    FleetSpec {
+        name: "bench".into(),
+        seed: 7,
+        population: vec![
+            "opera-114.0.0".to_string(),
+            "firefox-130.0".to_string(),
+            "safari-18.0.1".to_string(),
+        ],
+        conditions: vec![FleetCondition {
+            label: "home".into(),
+            base_delay_ms: 8,
+            jitter_ms: 3,
+        }],
+        cad_sessions: 2,
+        rd_sessions: 1,
+        repetitions: 2,
+        resolver_checks: 1,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = bench_spec();
+    let sessions = expand(&spec).unwrap().sessions.len();
+    for jobs in [1usize, 4, 8] {
+        // Explicit throughput line: sessions/sec at this worker count.
+        let started = std::time::Instant::now();
+        let mut executed = 0usize;
+        while started.elapsed() < std::time::Duration::from_millis(600) {
+            let report = run_fleet(&spec, jobs, |_, _| {}).unwrap();
+            executed += report.total_sessions as usize;
+        }
+        let rate = executed as f64 / started.elapsed().as_secs_f64();
+        println!("fleet throughput jobs={jobs}: {rate:.0} sessions/sec");
+
+        c.bench_function(&format!("fleet_{sessions}sessions_jobs{jobs}"), |b| {
+            let spec = bench_spec();
+            b.iter(|| {
+                let report = run_fleet(&spec, jobs, |_, _| {}).unwrap();
+                std::hint::black_box(report.total_sessions)
+            })
+        });
+    }
+
+    // Orchestration-only overhead: plan expansion + report building are
+    // the non-simulation costs the service pays per request.
+    c.bench_function("fleet_expand_default", |b| {
+        let spec = FleetSpec::default();
+        b.iter(|| std::hint::black_box(expand(&spec).unwrap().sessions.len()))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -24,45 +24,14 @@ use lazyeye_json::{FromJson, Json, JsonError, ToJson};
 use lazyeye_net::Family;
 use lazyeye_testbed::{CadSample, RdSample, ResolverSample, SelectionResult};
 
+pub use lazyeye_exec::Shard;
+
 use crate::executor::RunOutput;
 use crate::plan::SpecError;
 use crate::spec::CampaignSpec;
 
 /// Checkpoint format version; bumped on incompatible layout changes.
 const VERSION: u64 = 1;
-
-/// A `--shard i/n` restriction: this process executes only first-pass runs
-/// with `index % count == index_mod`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Shard {
-    /// Shard position, `0 ≤ index < count`.
-    pub index: u64,
-    /// Total shard count.
-    pub count: u64,
-}
-
-lazyeye_json::impl_json_struct!(Shard { index, count });
-
-impl Shard {
-    /// Parses the CLI form `i/n` (e.g. `"0/4"`).
-    pub fn parse(s: &str) -> Result<Shard, String> {
-        let Some((i, n)) = s.split_once('/') else {
-            return Err(format!("shard {s:?}: expected i/n (e.g. 0/4)"));
-        };
-        let (Ok(index), Ok(count)) = (i.parse::<u64>(), n.parse::<u64>()) else {
-            return Err(format!("shard {s:?}: expected two integers i/n"));
-        };
-        if count == 0 || index >= count {
-            return Err(format!("shard {s:?}: need 0 <= i < n"));
-        }
-        Ok(Shard { index, count })
-    }
-
-    /// Whether this shard owns first-pass run `index`.
-    pub fn owns(&self, index: u64) -> bool {
-        index % self.count == self.index
-    }
-}
 
 /// Serialisable campaign progress: spec identity + completed run outputs.
 #[derive(Clone, Debug)]
@@ -448,17 +417,6 @@ mod tests {
             }
             _ => panic!("kind mismatch"),
         }
-    }
-
-    #[test]
-    fn shard_parsing_and_ownership() {
-        let s = Shard::parse("2/4").unwrap();
-        assert!(s.owns(2) && s.owns(6));
-        assert!(!s.owns(0) && !s.owns(3));
-        assert!(Shard::parse("4/4").is_err());
-        assert!(Shard::parse("0/0").is_err());
-        assert!(Shard::parse("1").is_err());
-        assert!(Shard::parse("a/b").is_err());
     }
 
     #[test]

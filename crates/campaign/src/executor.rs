@@ -2,18 +2,16 @@
 //!
 //! Each worker owns fresh `Sim` instances per run — the in-process
 //! equivalent of the paper's container reset — so runs are isolated and
-//! their outputs independent of scheduling. Work distribution is a
-//! work-stealing scheme: runs are striped across per-worker deques up
-//! front; a worker drains its own deque from the front and, when empty,
-//! steals the back half of the longest other deque. Results are keyed by
-//! run index, so the output vector — and everything derived from it — is
-//! byte-identical whatever the worker count.
+//! their outputs independent of scheduling. The scheduling itself (the
+//! work-stealing pool with index-ordered results) is the shared
+//! [`lazyeye_exec`] layer; this module contributes the campaign-specific
+//! glue: resolving spec ids into profiles once ([`RunContext`]) and
+//! reducing each run to a small [`RunOutput`] on the worker.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::collections::HashMap;
 
 use lazyeye_clients::ClientProfile;
+use lazyeye_exec::execute_indexed_with;
 use lazyeye_net::NetemRule;
 use lazyeye_resolver::ResolverProfile;
 use lazyeye_testbed::{
@@ -157,43 +155,6 @@ pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
     }
 }
 
-/// Steals the back half of the longest foreign deque into `mine`,
-/// returning one job to run immediately. Returns `None` only once every
-/// foreign deque has been observed empty in a single scan — a victim
-/// drained between the length snapshot and the lock triggers a re-scan,
-/// so a worker never retires while runs are still queued elsewhere.
-fn steal(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
-    loop {
-        // Pick the victim with the most remaining work (a snapshot;
-        // rechecked under the victim's lock).
-        let (victim, snapshot_len) = queues
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != me)
-            .map(|(i, q)| (i, q.lock().map(|g| g.len()).unwrap_or(0)))
-            .max_by_key(|&(_, len)| len)?;
-        if snapshot_len == 0 {
-            return None;
-        }
-        let mut stolen = {
-            let mut v = queues[victim].lock().ok()?;
-            if v.is_empty() {
-                // Lost the race to the victim's owner; look again.
-                continue;
-            }
-            let keep = v.len() / 2;
-            v.split_off(keep)
-        };
-        let job = stolen.pop_front();
-        if !stolen.is_empty() {
-            if let Ok(mut mine) = queues[me].lock() {
-                mine.extend(stolen);
-            }
-        }
-        return job;
-    }
-}
-
 /// Executes every run, fanning out over `jobs` worker threads, and
 /// returns the outputs **in run-index order**.
 ///
@@ -218,67 +179,16 @@ pub fn execute_with(
     ctx: &RunContext,
     runs: &[RunSpec],
     jobs: usize,
-    mut progress: impl FnMut(usize, usize),
-    mut on_result: impl FnMut(usize, &RunOutput),
+    progress: impl FnMut(usize, usize),
+    on_result: impl FnMut(usize, &RunOutput),
 ) -> Vec<RunOutput> {
-    let total = runs.len();
-    let jobs = jobs.max(1).min(total.max(1));
-    if jobs == 1 {
-        return runs
-            .iter()
-            .enumerate()
-            .map(|(done, run)| {
-                let out = run_one(ctx, run);
-                on_result(done, &out);
-                progress(done + 1, total);
-                out
-            })
-            .collect();
-    }
-
-    // Stripe runs across workers so early indices start immediately on
-    // every thread; stealing rebalances the tail.
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
-        .map(|w| Mutex::new((w..total).step_by(jobs).collect()))
-        .collect();
-
-    let mut results: Vec<Option<RunOutput>> = (0..total).map(|_| None).collect();
-    let (tx, rx) = mpsc::channel::<(usize, RunOutput)>();
-    std::thread::scope(|scope| {
-        for me in 0..jobs {
-            let tx = tx.clone();
-            let queues = &queues;
-            scope.spawn(move || loop {
-                let job = {
-                    let popped = queues[me].lock().ok().and_then(|mut q| q.pop_front());
-                    match popped {
-                        Some(j) => j,
-                        None => match steal(queues, me) {
-                            Some(j) => j,
-                            None => break,
-                        },
-                    }
-                };
-                let out = run_one(ctx, &runs[job]);
-                if tx.send((job, out)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        let mut done = 0;
-        while let Ok((idx, out)) = rx.recv() {
-            on_result(idx, &out);
-            results[idx] = Some(out);
-            done += 1;
-            progress(done, total);
-        }
-    });
-    results
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("run {i} produced no output")))
-        .collect()
+    execute_indexed_with(
+        runs.len(),
+        jobs,
+        |position| run_one(ctx, &runs[position]),
+        progress,
+        on_result,
+    )
 }
 
 #[cfg(test)]

@@ -6,6 +6,9 @@
 //! The statistics are intentionally simple — warm up, time a run window,
 //! report min / mean / max per iteration — because the workspace uses
 //! benches for regression *tracking*, not for publishable measurements.
+//! To keep that tracking stable, samples outside the Tukey fences
+//! (1.5 × IQR beyond the quartiles) are rejected before the report line:
+//! one scheduler hiccup must not move a regression baseline.
 
 #![forbid(unsafe_code)]
 
@@ -80,17 +83,57 @@ impl Criterion {
     }
 }
 
+/// Linear-interpolated quantile of an ascending-sorted slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The Tukey fences `[q1 - 1.5·IQR, q3 + 1.5·IQR]` of an
+/// ascending-sorted sample set.
+fn iqr_fences(sorted: &[f64]) -> (f64, f64) {
+    let q1 = quantile_sorted(sorted, 0.25);
+    let q3 = quantile_sorted(sorted, 0.75);
+    let iqr = q3 - q1;
+    (q1 - 1.5 * iqr, q3 + 1.5 * iqr)
+}
+
+/// Rejects samples outside the Tukey fences. Sample sets too small for
+/// meaningful quartiles (fewer than 5) pass through untouched.
+fn reject_outliers(ns: &[f64]) -> Vec<f64> {
+    if ns.len() < 5 {
+        return ns.to_vec();
+    }
+    let mut sorted = ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let (lo, hi) = iqr_fences(&sorted);
+    ns.iter().copied().filter(|&x| x >= lo && x <= hi).collect()
+}
+
 fn report(name: &str, samples: &[Duration]) {
     if samples.is_empty() {
         println!("{name:<40} (no samples)");
         return;
     }
     let ns: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e9).collect();
-    let min = ns.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = ns.iter().copied().fold(0.0f64, f64::max);
-    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    let kept = reject_outliers(&ns);
+    let rejected = ns.len() - kept.len();
+    let min = kept.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = kept.iter().copied().fold(0.0f64, f64::max);
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+    let note = if rejected > 0 {
+        format!(
+            "  ({rejected} outlier{} rejected)",
+            if rejected == 1 { "" } else { "s" }
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "{name:<40} time: [{} {} {}]",
+        "{name:<40} time: [{} {} {}]{note}",
         fmt_ns(min),
         fmt_ns(mean),
         fmt_ns(max)
@@ -206,6 +249,33 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn iqr_rejection_drops_the_hiccup_and_keeps_clean_sets() {
+        // A tight cluster with one scheduler hiccup: the hiccup goes,
+        // the cluster stays.
+        let mut ns: Vec<f64> = (0..19).map(|i| 100.0 + i as f64).collect();
+        ns.push(10_000.0);
+        let kept = reject_outliers(&ns);
+        assert_eq!(kept.len(), 19);
+        assert!(kept.iter().all(|&x| x < 1000.0));
+
+        // A clean set survives intact.
+        let clean: Vec<f64> = (0..20).map(|i| 200.0 + i as f64).collect();
+        assert_eq!(reject_outliers(&clean), clean);
+
+        // Too few samples for quartiles: untouched.
+        let few = vec![1.0, 2.0, 1e9];
+        assert_eq!(reject_outliers(&few), few);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [0.0, 10.0, 20.0, 30.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 30.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 15.0);
+    }
 
     #[test]
     fn bench_function_produces_samples() {

@@ -1,0 +1,267 @@
+//! # lazyeye-exec — the shared deterministic fan-out layer
+//!
+//! Both measurement engines — the local-testbed campaign
+//! (`lazyeye-campaign`) and the population-scale web-tool fleet
+//! (`lazyeye-fleet`) — need the same thing: execute `N` independent,
+//! index-addressed jobs across worker threads and get the outputs back
+//! **in index order**, so everything derived from them is byte-identical
+//! whatever the worker count. This crate is that extracted common core:
+//!
+//! - [`execute_indexed`] / [`execute_indexed_with`] — a work-stealing
+//!   thread pool over jobs `0..total`. Jobs are striped across per-worker
+//!   deques up front; a worker drains its own deque from the front and,
+//!   when empty, steals the back half of the longest other deque. Results
+//!   are keyed by job index, so the output vector is independent of
+//!   scheduling.
+//! - [`Shard`] — the `--shard i/n` arithmetic (`index % n == i`) both
+//!   CLIs use for multi-machine splits, with its JSON mapping.
+//!
+//! The engines keep their domain glue (run specs, checkpoints, reports);
+//! only the scheduling-neutral machinery lives here.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// A `--shard i/n` restriction: this process executes only jobs whose
+/// `job_index % count == shard.index`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard position, `0 ≤ index < count`.
+    pub index: u64,
+    /// Total shard count.
+    pub count: u64,
+}
+
+lazyeye_json::impl_json_struct!(Shard { index, count });
+
+impl Shard {
+    /// Parses the CLI form `i/n` (e.g. `"0/4"`).
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let Some((i, n)) = s.split_once('/') else {
+            return Err(format!("shard {s:?}: expected i/n (e.g. 0/4)"));
+        };
+        let (Ok(index), Ok(count)) = (i.parse::<u64>(), n.parse::<u64>()) else {
+            return Err(format!("shard {s:?}: expected two integers i/n"));
+        };
+        if count == 0 || index >= count {
+            return Err(format!("shard {s:?}: need 0 <= i < n"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns job `index`.
+    pub fn owns(&self, index: u64) -> bool {
+        index % self.count == self.index
+    }
+}
+
+/// Steals the back half of the longest foreign deque into `mine`,
+/// returning one job to run immediately. Returns `None` only once every
+/// foreign deque has been observed empty in a single scan — a victim
+/// drained between the length snapshot and the lock triggers a re-scan,
+/// so a worker never retires while jobs are still queued elsewhere.
+fn steal(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    loop {
+        // Pick the victim with the most remaining work (a snapshot;
+        // rechecked under the victim's lock).
+        let (victim, snapshot_len) = queues
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != me)
+            .map(|(i, q)| (i, q.lock().map(|g| g.len()).unwrap_or(0)))
+            .max_by_key(|&(_, len)| len)?;
+        if snapshot_len == 0 {
+            return None;
+        }
+        let mut stolen = {
+            let mut v = queues[victim].lock().ok()?;
+            if v.is_empty() {
+                // Lost the race to the victim's owner; look again.
+                continue;
+            }
+            let keep = v.len() / 2;
+            v.split_off(keep)
+        };
+        let job = stolen.pop_front();
+        if !stolen.is_empty() {
+            if let Ok(mut mine) = queues[me].lock() {
+                mine.extend(stolen);
+            }
+        }
+        return job;
+    }
+}
+
+/// Executes jobs `0..total` with `run(index)`, fanning out over `jobs`
+/// worker threads, and returns the outputs **in index order**.
+///
+/// `progress` is invoked on the calling thread after every finished job
+/// with `(finished_so_far, total)` — wire it to a progress bar or ETA
+/// display; it has no effect on the results.
+pub fn execute_indexed<O: Send>(
+    total: usize,
+    jobs: usize,
+    run: impl Fn(usize) -> O + Sync,
+    progress: impl FnMut(usize, usize),
+) -> Vec<O> {
+    execute_indexed_with(total, jobs, run, progress, |_, _| {})
+}
+
+/// [`execute_indexed`] with a per-result hook: `on_result(index, output)`
+/// fires on the calling thread as each job finishes. Completion order is
+/// scheduling-dependent — the hook is for side channels (checkpoints,
+/// logs), never for anything that feeds a deterministic report.
+pub fn execute_indexed_with<O: Send>(
+    total: usize,
+    jobs: usize,
+    run: impl Fn(usize) -> O + Sync,
+    mut progress: impl FnMut(usize, usize),
+    mut on_result: impl FnMut(usize, &O),
+) -> Vec<O> {
+    let jobs = jobs.max(1).min(total.max(1));
+    if jobs == 1 {
+        return (0..total)
+            .map(|index| {
+                let out = run(index);
+                on_result(index, &out);
+                progress(index + 1, total);
+                out
+            })
+            .collect();
+    }
+
+    // Stripe jobs across workers so early indices start immediately on
+    // every thread; stealing rebalances the tail.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..total).step_by(jobs).collect()))
+        .collect();
+
+    let mut results: Vec<Option<O>> = (0..total).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    std::thread::scope(|scope| {
+        for me in 0..jobs {
+            let tx = tx.clone();
+            let queues = &queues;
+            let run = &run;
+            scope.spawn(move || loop {
+                let job = {
+                    let popped = queues[me].lock().ok().and_then(|mut q| q.pop_front());
+                    match popped {
+                        Some(j) => j,
+                        None => match steal(queues, me) {
+                            Some(j) => j,
+                            None => break,
+                        },
+                    }
+                };
+                let out = run(job);
+                if tx.send((job, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut done = 0;
+        while let Ok((idx, out)) = rx.recv() {
+            on_result(idx, &out);
+            results[idx] = Some(out);
+            done += 1;
+            progress(done, total);
+        }
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} produced no output")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_come_back_in_index_order() {
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = execute_indexed(37, jobs, |i| i * i, |_, _| {});
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "{jobs}");
+        }
+    }
+
+    #[test]
+    fn progress_reaches_total_exactly_once_per_job() {
+        let mut last = 0;
+        let mut calls = 0;
+        let _ = execute_indexed(
+            11,
+            3,
+            |i| i,
+            |done, total| {
+                assert!(done <= total);
+                last = done;
+                calls += 1;
+            },
+        );
+        assert_eq!(last, 11);
+        assert_eq!(calls, 11);
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_total() {
+        let out: Vec<usize> = execute_indexed(0, 8, |i| i, |_, _| panic!("no progress"));
+        assert!(out.is_empty());
+        // jobs = 0 clamps to 1.
+        let out = execute_indexed(3, 0, |i| i + 1, |_, _| {});
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn on_result_fires_once_per_job_with_matching_output() {
+        let mut seen = vec![0u32; 23];
+        let out = execute_indexed_with(
+            23,
+            4,
+            |i| i * 10,
+            |_, _| {},
+            |idx, o| {
+                seen[idx] += 1;
+                assert_eq!(*o, idx * 10);
+            },
+        );
+        assert_eq!(out.len(), 23);
+        assert!(seen.iter().all(|&c| c == 1), "hook fired {seen:?}");
+    }
+
+    #[test]
+    fn heavy_oversubscription_still_runs_everything() {
+        // total barely above jobs forces steal races; total below jobs
+        // clamps the pool.
+        for (total, jobs) in [(9, 8), (9, 9), (3, 64), (100, 7)] {
+            let out = execute_indexed(total, jobs, |i| i, |_, _| {});
+            assert_eq!(out, (0..total).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn shard_parsing_and_ownership() {
+        let s = Shard::parse("2/4").unwrap();
+        assert!(s.owns(2) && s.owns(6));
+        assert!(!s.owns(0) && !s.owns(3));
+        assert!(Shard::parse("4/4").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("1").is_err());
+        assert!(Shard::parse("a/b").is_err());
+    }
+
+    #[test]
+    fn shard_json_roundtrip() {
+        use lazyeye_json::{FromJson, ToJson};
+        let s = Shard { index: 1, count: 3 };
+        let back = Shard::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+}

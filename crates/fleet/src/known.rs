@@ -1,0 +1,239 @@
+//! Known-profile baselines: what the fleet *should* see for each
+//! population member, derived from the client's configured Happy
+//! Eyeballs engine — and the agreement check between the measured
+//! verdicts and those baselines.
+//!
+//! The fleet's per-client inference is black-box (it only sees which
+//! family answered per tier); the client profiles are white-box (the
+//! `HeConfig` that drives the engine). Projecting the config into an
+//! [`InferredProfile`] and scoring it with the *same*
+//! [`lazyeye_infer::score_profile`] yields the member's known-profile
+//! conformance verdicts; a population-scale run is healthy when every
+//! measurable inferred verdict matches its known counterpart.
+
+use lazyeye_clients::ClientProfile;
+use lazyeye_core::{CadMode, InterlaceStrategy};
+use lazyeye_infer::{
+    score_profile, CadEstimate, ConformanceEntry, FieldDelta, InferredProfile, RdEstimate,
+    SortingPolicy, Verdict,
+};
+use lazyeye_net::Family;
+use lazyeye_resolver::QueryOrder;
+
+/// Projects a client's configured engine into the inferred-profile shape,
+/// so the known behaviour can be scored by the same conformance rules as
+/// the measured one.
+pub fn expected_profile(subject: &str, client: &ClientProfile) -> InferredProfile {
+    let he = &client.he;
+    let implements_fallback = !matches!(he.interlace, InterlaceStrategy::NoFallback);
+    let estimate_ms = match he.cad {
+        CadMode::Fixed(d) => Some(d.as_secs_f64() * 1000.0),
+        CadMode::Dynamic { .. } => None,
+    };
+    InferredProfile {
+        subject: subject.to_string(),
+        runs: 0,
+        v6_share_pct: Some(if he.prefer == Family::V6 { 100.0 } else { 0.0 }),
+        prefers_v6: Some(he.prefer == Family::V6),
+        aaaa_first: Some(client.stub_order == QueryOrder::AaaaThenA),
+        cad: CadEstimate {
+            implemented: Some(implements_fallback),
+            last_v6_delay_ms: None,
+            first_v4_delay_ms: None,
+            estimate_ms,
+            misfits: 0,
+        },
+        rd: RdEstimate {
+            implemented: Some(he.resolution_delay.is_some()),
+            delay_ms: he.resolution_delay.map(|d| d.as_millis() as u64),
+            waits_for_all_answers: Some(he.quirks.wait_for_all_answers),
+        },
+        sorting: match he.interlace {
+            InterlaceStrategy::NoFallback => SortingPolicy::NoFallback,
+            InterlaceStrategy::Hev1SingleFallback => SortingPolicy::SingleFallback,
+            InterlaceStrategy::SafariStyle | InterlaceStrategy::Rfc8305 { .. } => {
+                SortingPolicy::Interleaved
+            }
+        },
+        v6_addrs_used: None,
+        v4_addrs_used: None,
+    }
+}
+
+/// The known CAD interval of a client: `(cad, cad)` for fixed CADs,
+/// `(min, max)` for dynamic ones.
+pub fn known_cad_range_ms(client: &ClientProfile) -> (u64, u64) {
+    match client.he.cad {
+        CadMode::Fixed(d) => (d.as_millis() as u64, d.as_millis() as u64),
+        CadMode::Dynamic { min, max, .. } => (min.as_millis() as u64, max.as_millis() as u64),
+    }
+}
+
+/// The agreement between a member's measured verdicts and its
+/// known-profile verdicts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KnownAgreement {
+    /// `true` when every measurable inferred verdict matches the known
+    /// one and the CAD bracket covers the configured CAD.
+    pub agrees: bool,
+    /// Whether the measured `(last v6, first v4]` bracket contains the
+    /// client's configured CAD (range for dynamic CADs). `None` when no
+    /// bracket was measured.
+    pub cad_bracket_contains_known: Option<bool>,
+    /// Verdict-level differences (`old` = known profile, `new` =
+    /// measured).
+    pub deltas: Vec<FieldDelta>,
+}
+
+lazyeye_json::impl_json_struct!(KnownAgreement {
+    agrees,
+    cad_bracket_contains_known,
+    deltas,
+});
+
+/// Diffs measured verdicts against known-profile verdicts, feature by
+/// feature, skipping features the fleet could not measure.
+pub fn check_agreement(
+    client: &ClientProfile,
+    inferred: &InferredProfile,
+    inferred_verdicts: &[ConformanceEntry],
+    known_verdicts: &[ConformanceEntry],
+) -> KnownAgreement {
+    let (known_min, known_max) = known_cad_range_ms(client);
+    let dynamic_cad = known_min < known_max;
+    let mut deltas = Vec::new();
+    for measured in inferred_verdicts {
+        if measured.verdict == Verdict::Unmeasurable {
+            continue;
+        }
+        let Some(known) = known_verdicts
+            .iter()
+            .find(|k| k.feature == measured.feature)
+        else {
+            continue;
+        };
+        if known.verdict == measured.verdict {
+            continue;
+        }
+        // A dynamic CAD has no known point verdict: the configured
+        // envelope may legitimately cross the RFC's [100 ms, 2 s] bounds
+        // (Safari's floor is 10 ms), so a measured in-envelope point that
+        // flips the RFC verdict is not a disagreement with the *known
+        // profile* — the bracket check below covers the envelope.
+        if measured.feature == "connection-attempt-delay"
+            && dynamic_cad
+            && inferred
+                .cad
+                .estimate_ms
+                .is_none_or(|ms| ms <= known_max as f64)
+        {
+            continue;
+        }
+        deltas.push(FieldDelta {
+            field: measured.feature.clone(),
+            old: known.render(),
+            new: measured.render(),
+        });
+    }
+
+    let cad_bracket_contains_known = match (
+        inferred.cad.last_v6_delay_ms,
+        inferred.cad.first_v4_delay_ms,
+    ) {
+        (_, None) => None,
+        (last_v6, Some(first_v4)) => {
+            // Interval semantics: the true CAD lies in (last_v6, first_v4]
+            // on a clean grid. A dynamic CAD only needs to overlap its
+            // configured [min, max] envelope.
+            let lo = last_v6.unwrap_or(0);
+            Some(known_max >= lo && known_min <= first_v4)
+        }
+    };
+
+    KnownAgreement {
+        agrees: deltas.is_empty() && cad_bracket_contains_known != Some(false),
+        cad_bracket_contains_known,
+        deltas,
+    }
+}
+
+/// Convenience: the known-profile verdicts of a client.
+pub fn known_verdicts(subject: &str, client: &ClientProfile) -> Vec<ConformanceEntry> {
+    score_profile(&expected_profile(subject, client))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyeye_clients::table5_population;
+
+    fn by_name(name: &str) -> ClientProfile {
+        table5_population()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn chromium_expected_profile_conforms_on_cad_but_not_rd() {
+        let c = by_name("Chrome");
+        let verdicts = known_verdicts("chrome", &c);
+        let get = |f: &str| verdicts.iter().find(|e| e.feature == f).unwrap();
+        assert_eq!(get("connection-attempt-delay").verdict, Verdict::Conformant);
+        assert_eq!(get("resolution-delay").verdict, Verdict::Deviates);
+        assert_eq!(get("no-lookup-stall").verdict, Verdict::Deviates);
+        assert_eq!(get("family-preference").verdict, Verdict::Conformant);
+    }
+
+    #[test]
+    fn safari_expected_profile_is_the_full_hev2_story() {
+        let c = by_name("Safari");
+        let p = expected_profile("safari", &c);
+        assert_eq!(p.cad.estimate_ms, None, "dynamic CAD has no point");
+        assert_eq!(p.rd.implemented, Some(true));
+        assert_eq!(p.sorting, SortingPolicy::Interleaved);
+        let verdicts = score_profile(&p);
+        assert!(
+            verdicts
+                .iter()
+                .all(|e| e.verdict != Verdict::Unmeasurable
+                    || e.feature == "connection-attempt-delay"),
+            "known profiles are fully measurable: {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn agreement_flags_verdict_mismatches_and_bracket_misses() {
+        let c = by_name("Chrome");
+        let known = known_verdicts("chrome", &c);
+        // A measured profile that (wrongly) saw an RD.
+        let mut measured = expected_profile("chrome", &c);
+        measured.rd.implemented = Some(true);
+        measured.cad.last_v6_delay_ms = Some(250);
+        measured.cad.first_v4_delay_ms = Some(300);
+        let verdicts = score_profile(&measured);
+        let agreement = check_agreement(&c, &measured, &verdicts, &known);
+        assert!(!agreement.agrees);
+        assert!(agreement
+            .deltas
+            .iter()
+            .any(|d| d.field == "resolution-delay"));
+        assert_eq!(agreement.cad_bracket_contains_known, Some(true));
+
+        // A bracket that misses the configured 300 ms CAD entirely.
+        let mut measured = expected_profile("chrome", &c);
+        measured.cad.last_v6_delay_ms = Some(400);
+        measured.cad.first_v4_delay_ms = Some(500);
+        let verdicts = score_profile(&measured);
+        let agreement = check_agreement(&c, &measured, &verdicts, &known);
+        assert_eq!(agreement.cad_bracket_contains_known, Some(false));
+        assert!(!agreement.agrees);
+    }
+
+    #[test]
+    fn known_cad_ranges() {
+        assert_eq!(known_cad_range_ms(&by_name("Chrome")), (300, 300));
+        let (lo, hi) = known_cad_range_ms(&by_name("Safari"));
+        assert!(lo < hi, "dynamic CAD is a range");
+    }
+}

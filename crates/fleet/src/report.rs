@@ -1,0 +1,599 @@
+//! Fleet reports: deterministic JSON / CSV / text renderings of the
+//! collector's aggregates — the population-scale App. Figure 4 grids,
+//! per-member inference with RFC 8305 verdicts, the known-profile
+//! agreement matrix, and the resolver-check roll-up.
+//!
+//! Like the campaign report, the fleet report contains nothing dependent
+//! on worker count or wall-clock time: a `(spec, seed)` pair renders to
+//! byte-identical output at any `--jobs` and across shard/merge.
+
+use lazyeye_infer::{
+    infer_profile, infer_resolver_profile, merge_capability, score_profile, score_resolver,
+    CaseKind, ConformanceEntry, InferredProfile, InferredResolverProfile, Observation, RdEstimate,
+    Verdict,
+};
+use lazyeye_json::{Json, ToJson};
+use lazyeye_testbed::Table;
+use lazyeye_webtool::ResolverStack;
+
+use crate::collect::{CaseAggregate, Collector, ResolverCheckAggregate, TierCell};
+use crate::known::{check_agreement, KnownAgreement};
+use crate::plan::FleetPlan;
+use crate::session::SessionOutput;
+use crate::spec::{FleetSpec, Member};
+
+/// An RD timer must fire within this configured DNS delay to count as
+/// armed (RFC 8305 recommends 50 ms; the web grid's next tier is 100 ms).
+const RD_ARMED_MAX_MS: u64 = 100;
+
+/// Keeping majority-IPv6 past this AAAA delay means the client stalled
+/// waiting for the answer instead of arming an RD (§5.2).
+const RD_STALL_MIN_MS: u64 = 2000;
+
+/// One population member's aggregated, inferred and judged results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemberReport {
+    /// Member key (`<client id>@<os>`).
+    pub member: String,
+    /// Browser product + version.
+    pub browser: String,
+    /// OS (+ version when the UA carries one).
+    pub os: String,
+    /// Condition label.
+    pub condition: String,
+    /// CAD sessions folded in.
+    pub cad_sessions: u64,
+    /// RD sessions folded in.
+    pub rd_sessions: u64,
+    /// Figure-4 grid row: one char per tier (`6`/`4`/`m`/`x`/`.`).
+    pub grid: String,
+    /// RD grid row (AAAA answers delayed).
+    pub rd_grid: String,
+    /// Aggregate CAD bracket: last majority-IPv6 tier.
+    pub cad_last_v6_ms: Option<u64>,
+    /// Aggregate CAD bracket: first majority-IPv4 tier.
+    pub cad_first_v4_ms: Option<u64>,
+    /// CAD point estimate — only for stable (non-dynamic) switchovers;
+    /// dynamic-CAD clients get a bracket, never a point.
+    pub cad_point_ms: Option<f64>,
+    /// Whether the member's CAD looks history-driven (Safari-style).
+    pub cad_dynamic: bool,
+    /// Total mixed tiers across CAD sessions.
+    pub mixed_tiers: u64,
+    /// RD verdict: `armed` / `stall` / `-` (unmeasured).
+    pub rd_verdict: String,
+    /// Per-tier CAD aggregates.
+    pub tiers: Vec<TierCell>,
+    /// The black-box inferred profile (changepoint over the tier grid).
+    pub inferred: InferredProfile,
+    /// RFC 8305 verdicts of the inferred profile.
+    pub conformance: Vec<ConformanceEntry>,
+    /// RFC 8305 verdicts of the client's known (configured) profile.
+    pub known_conformance: Vec<ConformanceEntry>,
+    /// Agreement between measured and known verdicts.
+    pub agreement: KnownAgreement,
+}
+
+lazyeye_json::impl_json_struct!(MemberReport {
+    member,
+    browser,
+    os,
+    condition,
+    cad_sessions,
+    rd_sessions,
+    grid,
+    rd_grid,
+    cad_last_v6_ms,
+    cad_first_v4_ms,
+    cad_point_ms,
+    cad_dynamic,
+    mixed_tiers,
+    rd_verdict,
+    tiers,
+    inferred,
+    conformance,
+    known_conformance,
+    agreement,
+});
+
+/// The resolver-check roll-up for one resolver stack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResolverCheckReport {
+    /// Stack label (`dual-stack` / `v4-only`).
+    pub stack: String,
+    /// Checks run.
+    pub runs: u64,
+    /// Checks that resolved the IPv6-only delegation.
+    pub capable: u64,
+    /// Share (%) of observable runs whose NS AAAA query led.
+    pub aaaa_first_share_pct: Option<f64>,
+    /// The scored resolver profile.
+    pub profile: InferredResolverProfile,
+    /// Conformance verdicts ([`score_resolver`] order).
+    pub conformance: Vec<ConformanceEntry>,
+}
+
+lazyeye_json::impl_json_struct!(ResolverCheckReport {
+    stack,
+    runs,
+    capable,
+    aaaa_first_share_pct,
+    profile,
+    conformance,
+});
+
+/// Population-level roll-up, the CI-checkable health bits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetSummary {
+    /// Population members measured (client × condition).
+    pub members: u64,
+    /// Members whose client has a fixed, configured CAD.
+    pub fixed_cad_members: u64,
+    /// Fixed-CAD members whose measured bracket contains the configured
+    /// CAD.
+    pub fixed_cad_bracketed: u64,
+    /// `fixed_cad_members == fixed_cad_bracketed`.
+    pub all_fixed_cad_bracketed: bool,
+    /// Members whose client has a dynamic (history-driven) CAD.
+    pub dynamic_cad_members: u64,
+    /// Dynamic-CAD members the fleet flagged as dynamic (bracket, not
+    /// point).
+    pub dynamic_cad_flagged: u64,
+    /// `dynamic_cad_members == dynamic_cad_flagged`.
+    pub all_dynamic_cad_flagged: bool,
+    /// Members whose measured verdicts agree with the known profile.
+    pub agreeing_members: u64,
+    /// `members == agreeing_members`.
+    pub all_members_agree: bool,
+}
+
+lazyeye_json::impl_json_struct!(FleetSummary {
+    members,
+    fixed_cad_members,
+    fixed_cad_bracketed,
+    all_fixed_cad_bracketed,
+    dynamic_cad_members,
+    dynamic_cad_flagged,
+    all_dynamic_cad_flagged,
+    agreeing_members,
+    all_members_agree,
+});
+
+/// The complete result of one fleet run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetReport {
+    /// Fleet name (from the spec).
+    pub name: String,
+    /// Fleet seed.
+    pub seed: u64,
+    /// Total sessions executed.
+    pub total_sessions: u64,
+    /// Tier delays (ms) the grids index, ascending.
+    pub tiers_ms: Vec<u64>,
+    /// Condition labels, in spec order.
+    pub conditions: Vec<String>,
+    /// Per-member reports, in population × condition order.
+    pub members: Vec<MemberReport>,
+    /// Resolver-check roll-ups.
+    pub resolver_checks: Vec<ResolverCheckReport>,
+    /// Population-level health summary.
+    pub summary: FleetSummary,
+}
+
+lazyeye_json::impl_json_struct!(FleetReport {
+    name,
+    seed,
+    total_sessions,
+    tiers_ms,
+    conditions,
+    members,
+    resolver_checks,
+    summary,
+});
+
+/// Synthesizes the inference observations a member's CAD aggregate
+/// stands for: one observation per counted fetch, reconstructed from the
+/// per-tier counts (the collector kept no raw sessions).
+fn cad_observations(member: &Member, cad: &CaseAggregate) -> Vec<Observation> {
+    let mut out = Vec::new();
+    for cell in &cad.tiers {
+        let mut rep = 0u32;
+        let mut push = |family, n: u64, out: &mut Vec<Observation>| {
+            for _ in 0..n {
+                let mut o = Observation::shell(
+                    CaseKind::Cad,
+                    &member.key,
+                    &member.condition,
+                    cell.delay_ms,
+                    rep,
+                );
+                o.family = family;
+                out.push(o);
+                rep += 1;
+            }
+        };
+        push(Some(lazyeye_net::Family::V6), cell.v6, &mut out);
+        push(Some(lazyeye_net::Family::V4), cell.v4, &mut out);
+        push(None, cell.failed, &mut out);
+    }
+    out
+}
+
+/// The web-side RD reduction: bracket semantics instead of the local
+/// testbed's timer visibility. An early fall to IPv4 under a delayed
+/// AAAA answer means an armed Resolution Delay; holding IPv6 through
+/// multi-second delays means the client stalled for the answer (§5.2).
+fn rd_estimate(rd: &CaseAggregate) -> (RdEstimate, String) {
+    if rd.sessions == 0 {
+        return (
+            RdEstimate {
+                implemented: None,
+                delay_ms: None,
+                waits_for_all_answers: None,
+            },
+            "-".to_string(),
+        );
+    }
+    let (last_v6, first_v4) = rd.bracket();
+    if first_v4.is_some_and(|d| d <= RD_ARMED_MAX_MS) {
+        (
+            RdEstimate {
+                implemented: Some(true),
+                delay_ms: None,
+                waits_for_all_answers: Some(false),
+            },
+            "armed".to_string(),
+        )
+    } else if last_v6.is_some_and(|d| d >= RD_STALL_MIN_MS) {
+        (
+            RdEstimate {
+                implemented: Some(false),
+                delay_ms: None,
+                waits_for_all_answers: Some(true),
+            },
+            "stall".to_string(),
+        )
+    } else {
+        (
+            RdEstimate {
+                implemented: None,
+                delay_ms: None,
+                waits_for_all_answers: None,
+            },
+            "-".to_string(),
+        )
+    }
+}
+
+use lazyeye_infer::round3;
+
+fn resolver_check_report(
+    stack: ResolverStack,
+    agg: &ResolverCheckAggregate,
+) -> ResolverCheckReport {
+    let label = match stack {
+        ResolverStack::DualStack => "dual-stack",
+        ResolverStack::V4Only => "v4-only",
+    };
+    let profile = merge_capability(infer_resolver_profile(label, &[]), agg.capable, agg.runs);
+    let conformance = score_resolver(&profile);
+    ResolverCheckReport {
+        stack: label.to_string(),
+        runs: agg.runs,
+        capable: agg.capable,
+        aaaa_first_share_pct: (agg.aaaa_known > 0)
+            .then(|| round3(100.0 * agg.aaaa_first as f64 / agg.aaaa_known as f64)),
+        profile,
+        conformance,
+    }
+}
+
+/// Builds the canonical fleet report: folds the session outputs (in
+/// session-index order) through the collector, runs per-member inference
+/// over the aggregates, scores everything, and checks agreement against
+/// the known profiles.
+pub fn build_report(spec: &FleetSpec, plan: &FleetPlan, outputs: &[SessionOutput]) -> FleetReport {
+    assert_eq!(
+        plan.sessions.len(),
+        outputs.len(),
+        "one output per planned session"
+    );
+    let mut collector = Collector::new(plan.members.len());
+    for (session, output) in plan.sessions.iter().zip(outputs) {
+        collector.ingest(&session.kind, output);
+    }
+
+    let mut members = Vec::new();
+    let mut summary = FleetSummary {
+        members: plan.members.len() as u64,
+        fixed_cad_members: 0,
+        fixed_cad_bracketed: 0,
+        all_fixed_cad_bracketed: false,
+        dynamic_cad_members: 0,
+        dynamic_cad_flagged: 0,
+        all_dynamic_cad_flagged: false,
+        agreeing_members: 0,
+        all_members_agree: false,
+    };
+    for (member, agg) in plan.members.iter().zip(&collector.members) {
+        let observations = cad_observations(member, &agg.cad);
+        let mut inferred = infer_profile(&member.key, &observations);
+        let dynamic = agg.cad.is_dynamic();
+        let (last_v6, first_v4) = agg.cad.bracket();
+        // The aggregate bracket is the report's CAD statement; the
+        // changepoint fit stays in `inferred` (misfits included). A
+        // dynamic CAD gets no point estimate — the web method can only
+        // bracket it (the paper's fundamental resolution limit).
+        if dynamic {
+            inferred.cad.estimate_ms = None;
+        }
+        let (rd, rd_verdict) = rd_estimate(&agg.rd);
+        inferred.rd = rd;
+        let conformance = score_profile(&inferred);
+        let known_conformance = crate::known::known_verdicts(&member.key, &member.profile);
+        let agreement =
+            check_agreement(&member.profile, &inferred, &conformance, &known_conformance);
+
+        let fixed = member.profile.fixed_cad().is_some();
+        if fixed {
+            summary.fixed_cad_members += 1;
+            if agreement.cad_bracket_contains_known == Some(true) {
+                summary.fixed_cad_bracketed += 1;
+            }
+        } else {
+            summary.dynamic_cad_members += 1;
+            if dynamic {
+                summary.dynamic_cad_flagged += 1;
+            }
+        }
+        if agreement.agrees {
+            summary.agreeing_members += 1;
+        }
+
+        members.push(MemberReport {
+            member: member.key.clone(),
+            browser: format!("{} {}", member.profile.name, member.profile.version),
+            os: if member.profile.os_version.is_empty() {
+                member.profile.os.to_string()
+            } else {
+                format!("{} {}", member.profile.os, member.profile.os_version)
+            },
+            condition: member.condition.clone(),
+            cad_sessions: agg.cad.sessions,
+            rd_sessions: agg.rd.sessions,
+            grid: agg.cad.grid_row(),
+            rd_grid: agg.rd.grid_row(),
+            cad_last_v6_ms: last_v6,
+            cad_first_v4_ms: first_v4,
+            cad_point_ms: inferred.cad.estimate_ms,
+            cad_dynamic: dynamic,
+            mixed_tiers: agg.cad.mixed_tiers,
+            rd_verdict,
+            tiers: agg.cad.tiers.clone(),
+            inferred,
+            conformance,
+            known_conformance,
+            agreement,
+        });
+    }
+    summary.all_fixed_cad_bracketed = summary.fixed_cad_bracketed == summary.fixed_cad_members;
+    summary.all_dynamic_cad_flagged = summary.dynamic_cad_flagged == summary.dynamic_cad_members;
+    summary.all_members_agree = summary.agreeing_members == summary.members;
+
+    FleetReport {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        total_sessions: plan.sessions.len() as u64,
+        tiers_ms: lazyeye_webtool::TIERS_MS.to_vec(),
+        conditions: spec.conditions.iter().map(|c| c.label.clone()).collect(),
+        members,
+        resolver_checks: vec![
+            resolver_check_report(ResolverStack::DualStack, &collector.dual_stack),
+            resolver_check_report(ResolverStack::V4Only, &collector.v4_only),
+        ],
+        summary,
+    }
+}
+
+fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// The fixed CSV column set, shared by header and rows.
+const CSV_COLUMNS: [&str; 15] = [
+    "member",
+    "browser",
+    "os",
+    "condition",
+    "cad_sessions",
+    "rd_sessions",
+    "grid",
+    "cad_last_v6_ms",
+    "cad_first_v4_ms",
+    "cad_point_ms",
+    "cad_dynamic",
+    "mixed_tiers",
+    "rd_verdict",
+    "agrees_with_known",
+    "deviations",
+];
+
+impl FleetReport {
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = ToJson::to_json(self).to_string_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// Parses a report back from its JSON rendering.
+    pub fn from_json_str(s: &str) -> Result<FleetReport, lazyeye_json::JsonError> {
+        lazyeye_json::FromJson::from_json(&Json::parse(s)?)
+    }
+
+    /// CSV rendering: one row per member.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&CSV_COLUMNS.join(","));
+        out.push('\n');
+        for m in &self.members {
+            let deviations = m
+                .conformance
+                .iter()
+                .filter(|e| e.verdict == Verdict::Deviates)
+                .count();
+            let row = [
+                m.member.clone(),
+                m.browser.clone(),
+                m.os.clone(),
+                m.condition.clone(),
+                m.cad_sessions.to_string(),
+                m.rd_sessions.to_string(),
+                m.grid.clone(),
+                opt(&m.cad_last_v6_ms),
+                opt(&m.cad_first_v4_ms),
+                opt(&m.cad_point_ms),
+                m.cad_dynamic.to_string(),
+                m.mixed_tiers.to_string(),
+                m.rd_verdict.clone(),
+                m.agreement.agrees.to_string(),
+                deviations.to_string(),
+            ];
+            let quoted: Vec<String> = row
+                .iter()
+                .map(|cell| {
+                    if cell.contains(',') || cell.contains('"') {
+                        format!("\"{}\"", cell.replace('"', "\"\""))
+                    } else {
+                        cell.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&quoted.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable summary: the Figure-4 grid, the conformance
+    /// matrix, resolver checks and the agreement roll-up.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "fleet {:?}: seed {}, {} sessions, {} members ({} conditions)\n\n",
+            self.name,
+            self.seed,
+            self.total_sessions,
+            self.members.len(),
+            self.conditions.len(),
+        );
+
+        // The App. Figure 4 grid: one row per member, one column per
+        // tier. `6`/`4` clean, `m` mixed, `x` failed, `.` no data.
+        let mut t = Table::new(
+            "Figure 4 (web CAD grid: one column per tier, 0 ms - 5 s)",
+            vec!["member", "cond", "grid", "bracket", "CAD", "RD"],
+        );
+        for m in &self.members {
+            let bracket = match (m.cad_last_v6_ms, m.cad_first_v4_ms) {
+                (Some(lo), Some(hi)) => format!("({lo}, {hi}]"),
+                (Some(lo), None) => format!("({lo}, -"),
+                (None, Some(hi)) => format!("(-, {hi}]"),
+                (None, None) => "-".to_string(),
+            };
+            let cad = if m.cad_dynamic {
+                "dynamic".to_string()
+            } else {
+                opt(&m.cad_point_ms)
+            };
+            t.row(vec![
+                m.member.clone(),
+                m.condition.clone(),
+                m.grid.clone(),
+                bracket,
+                cad,
+                m.rd_verdict.clone(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        if let Some(first) = self.members.first() {
+            let mut columns = vec!["member".to_string(), "cond".to_string()];
+            columns.extend(first.conformance.iter().map(|e| e.feature.clone()));
+            columns.push("agrees".to_string());
+            let mut t = Table::new(
+                "RFC 8305 conformance (measured vs known profile)",
+                columns.iter().map(String::as_str).collect(),
+            );
+            for m in &self.members {
+                let mut row = vec![m.member.clone(), m.condition.clone()];
+                row.extend(m.conformance.iter().map(|e| {
+                    match e.verdict {
+                        Verdict::Conformant => "ok",
+                        Verdict::Deviates => "DEV",
+                        Verdict::Unmeasurable => "-",
+                    }
+                    .to_string()
+                }));
+                row.push(if m.agreement.agrees { "yes" } else { "NO" }.to_string());
+                t.row(row);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+
+        let mut t = Table::new(
+            "Resolver checks (IPv6-only delegation)",
+            vec!["stack", "runs", "capable", "AAAA 1st %", "verdict"],
+        );
+        for r in &self.resolver_checks {
+            let verdict = r
+                .conformance
+                .iter()
+                .find(|e| e.feature == "ipv6-only-delegation")
+                .map(|e| e.render())
+                .unwrap_or_else(|| "-".to_string());
+            t.row(vec![
+                r.stack.clone(),
+                r.runs.to_string(),
+                r.capable.to_string(),
+                opt(&r.aaaa_first_share_pct),
+                verdict,
+            ]);
+        }
+        out.push_str(&t.render());
+
+        let s = &self.summary;
+        out.push_str(&format!(
+            "\nfixed-CAD brackets: {}/{} contain the configured CAD; \
+             dynamic CADs flagged: {}/{}; agreement: {}/{} members\n",
+            s.fixed_cad_bracketed,
+            s.fixed_cad_members,
+            s.dynamic_cad_flagged,
+            s.dynamic_cad_members,
+            s.agreeing_members,
+            s.members,
+        ));
+        for m in &self.members {
+            for d in &m.agreement.deltas {
+                out.push_str(&format!(
+                    "  disagreement {} [{}] {}: known {} vs measured {}\n",
+                    m.member, m.condition, d.field, d.old, d.new
+                ));
+            }
+            if m.agreement.cad_bracket_contains_known == Some(false) {
+                out.push_str(&format!(
+                    "  bracket miss {} [{}]: ({}, {}] misses the configured CAD\n",
+                    m.member,
+                    m.condition,
+                    opt(&m.cad_last_v6_ms),
+                    opt(&m.cad_first_v4_ms),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,243 @@
+//! Declarative fleet specifications: the population-scale analogue of the
+//! campaign spec — {client population × network conditions × session
+//! counts} as one JSON value.
+
+use lazyeye_clients::{table5_population, ClientProfile};
+use lazyeye_json::{FromJson, Json, JsonError, ToJson};
+use lazyeye_webtool::WebConditions;
+use std::time::Duration;
+
+/// One emulated last-mile condition between a population slice and the
+/// deployment (the web tool measures through real networks, so every
+/// member is measured under every condition).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetCondition {
+    /// Condition name, used as a report axis.
+    pub label: String,
+    /// Base one-way propagation delay (ms).
+    pub base_delay_ms: u64,
+    /// Uniform jitter applied to every packet (ms).
+    pub jitter_ms: u64,
+}
+
+lazyeye_json::impl_json_struct!(FleetCondition {
+    label,
+    base_delay_ms,
+    jitter_ms,
+});
+
+impl FleetCondition {
+    /// The web-tool shaping this condition materialises to.
+    pub fn web_conditions(&self) -> WebConditions {
+        WebConditions {
+            base_delay: Duration::from_millis(self.base_delay_ms),
+            jitter: Duration::from_millis(self.jitter_ms),
+        }
+    }
+}
+
+/// A complete fleet campaign: which clients visit the tool, under which
+/// network conditions, and how many sessions of each kind they run.
+///
+/// Empty `population` means the paper's full Table 5 population (33
+/// browser × OS combinations); otherwise each entry is a client profile
+/// id (`lazyeye clients`) and selects **every** Table 5 member with that
+/// id (the same browser version ships on several OSes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetSpec {
+    /// Fleet name (report metadata).
+    pub name: String,
+    /// Fleet seed: every session's seed derives deterministically from it.
+    pub seed: u64,
+    /// Client profile ids; empty = the full Table 5 population.
+    pub population: Vec<String>,
+    /// Network conditions; every member is measured under each.
+    pub conditions: Vec<FleetCondition>,
+    /// CAD web sessions per (member, condition).
+    pub cad_sessions: u32,
+    /// RD web sessions (AAAA answer delayed) per (member, condition).
+    pub rd_sessions: u32,
+    /// Page-fetch repetitions per tier within one session.
+    pub repetitions: u32,
+    /// Resolver checks per resolver stack (dual-stack and IPv4-only).
+    pub resolver_checks: u32,
+}
+
+lazyeye_json::impl_json_struct!(FleetSpec {
+    name,
+    seed,
+    population,
+    conditions,
+    cad_sessions,
+    rd_sessions,
+    repetitions,
+    resolver_checks,
+});
+
+impl Default for FleetSpec {
+    /// The default fleet: the full Table 5 population under two last-mile
+    /// conditions — a close "home" uplink and a slower "dsl" one. Both
+    /// keep the path RTT well under one tier step, so fixed-CAD clients
+    /// still bracket their configured CAD between neighbouring tiers (the
+    /// App. Figure 4 semantics).
+    fn default() -> FleetSpec {
+        FleetSpec {
+            name: "default".to_string(),
+            seed: 42,
+            population: Vec::new(),
+            conditions: vec![
+                FleetCondition {
+                    label: "home".to_string(),
+                    base_delay_ms: 8,
+                    jitter_ms: 3,
+                },
+                FleetCondition {
+                    label: "dsl".to_string(),
+                    base_delay_ms: 15,
+                    jitter_ms: 5,
+                },
+            ],
+            cad_sessions: 2,
+            rd_sessions: 1,
+            repetitions: 3,
+            resolver_checks: 2,
+        }
+    }
+}
+
+impl FleetSpec {
+    /// Loads a spec from JSON.
+    pub fn from_json(s: &str) -> Result<FleetSpec, JsonError> {
+        FromJson::from_json(&Json::parse(s)?)
+    }
+
+    /// Serialises the spec to pretty JSON.
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).to_string_pretty()
+    }
+}
+
+/// One population member: a client profile measured under one condition.
+/// The key is unique across the Table 5 population (browser + version +
+/// OS + OS version) and doubles as the inference subject id.
+#[derive(Clone, Debug)]
+pub struct Member {
+    /// Stable member key: `<client id>@<os>[-<os version>]`, lowercased.
+    pub key: String,
+    /// The client's behaviour profile.
+    pub profile: ClientProfile,
+    /// The condition label this member is measured under.
+    pub condition: String,
+}
+
+/// The member key of a client profile (without the condition axis).
+pub fn client_key(c: &ClientProfile) -> String {
+    let os = c.os.to_lowercase().replace(' ', "-");
+    if c.os_version.is_empty() {
+        format!("{}@{}", c.id(), os)
+    } else {
+        format!("{}@{}-{}", c.id(), os, c.os_version)
+    }
+}
+
+/// Resolves the spec's population selector into concrete members, in
+/// Table 5 order × condition order. Unknown ids are errors.
+pub fn resolve_members(spec: &FleetSpec) -> Result<Vec<Member>, String> {
+    let universe = table5_population();
+    let selected: Vec<ClientProfile> = if spec.population.is_empty() {
+        universe
+    } else {
+        for id in &spec.population {
+            if !universe.iter().any(|c| &c.id() == id) {
+                return Err(format!(
+                    "unknown population client id {id:?} (ids come from the Table 5 population)"
+                ));
+            }
+        }
+        universe
+            .into_iter()
+            .filter(|c| spec.population.contains(&c.id()))
+            .collect()
+    };
+    if spec.conditions.is_empty() {
+        return Err("fleet spec needs at least one condition".to_string());
+    }
+    let mut labels = std::collections::BTreeSet::new();
+    for cond in &spec.conditions {
+        if !labels.insert(cond.label.as_str()) {
+            return Err(format!("duplicate condition label {:?}", cond.label));
+        }
+    }
+    let mut members = Vec::new();
+    for client in &selected {
+        for cond in &spec.conditions {
+            members.push(Member {
+                key: client_key(client),
+                profile: client.clone(),
+                condition: cond.label.clone(),
+            });
+        }
+    }
+    Ok(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let spec = FleetSpec::default();
+        let back = FleetSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn default_population_is_table5_times_conditions() {
+        let members = resolve_members(&FleetSpec::default()).unwrap();
+        assert_eq!(members.len(), 33 * 2);
+    }
+
+    #[test]
+    fn member_keys_are_unique_per_condition() {
+        let members = resolve_members(&FleetSpec::default()).unwrap();
+        let keys: std::collections::BTreeSet<(String, String)> = members
+            .iter()
+            .map(|m| (m.key.clone(), m.condition.clone()))
+            .collect();
+        assert_eq!(keys.len(), members.len(), "member keys collide");
+    }
+
+    #[test]
+    fn population_selector_picks_every_os_variant() {
+        let spec = FleetSpec {
+            population: vec!["firefox-131.0".to_string()],
+            ..FleetSpec::default()
+        };
+        let members = resolve_members(&spec).unwrap();
+        // Desktop firefox-131.0 ships on Linux, Mac OS X and Ubuntu in
+        // Table 5 (the Android builds are "Firefox Mobile") — times two
+        // conditions.
+        assert_eq!(members.len(), 3 * 2);
+        assert!(members.iter().all(|m| m.profile.id() == "firefox-131.0"));
+    }
+
+    #[test]
+    fn unknown_ids_and_broken_conditions_are_errors() {
+        let spec = FleetSpec {
+            population: vec!["netscape-4.0".to_string()],
+            ..FleetSpec::default()
+        };
+        assert!(resolve_members(&spec).unwrap_err().contains("netscape"));
+
+        let mut spec = FleetSpec::default();
+        spec.conditions.clear();
+        assert!(resolve_members(&spec)
+            .unwrap_err()
+            .contains("at least one condition"));
+
+        let mut spec = FleetSpec::default();
+        spec.conditions[1].label = spec.conditions[0].label.clone();
+        assert!(resolve_members(&spec).unwrap_err().contains("duplicate"));
+    }
+}

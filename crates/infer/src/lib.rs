@@ -32,6 +32,7 @@ pub mod compare;
 pub mod conformance;
 pub mod observe;
 pub mod profile;
+pub mod resolver;
 
 pub use changepoint::{detect_switchover, Changepoint};
 pub use compare::{diff_profiles, fmt_opt, push_delta, FieldDelta};
@@ -40,3 +41,14 @@ pub use observe::{CaseKind, Observation};
 pub use profile::{
     infer_profile, infer_traces, CadEstimate, InferredProfile, RdEstimate, SortingPolicy,
 };
+pub use resolver::{
+    infer_resolver_profile, infer_resolver_traces, merge_capability, score_resolver,
+    InferredResolverProfile, InferredResolverReport,
+};
+
+/// Rounds to 3 decimals — the shared precision of every percentage and
+/// millisecond estimate in inferred profiles and reports (one definition,
+/// so derivations that must agree byte-for-byte cannot drift).
+pub fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}

@@ -127,9 +127,7 @@ fn canonical_condition<'a>(obs: &'a [&Observation], preferred: &'a str) -> Optio
     }
 }
 
-fn round3(x: f64) -> f64 {
-    (x * 1000.0).round() / 1000.0
-}
+use crate::round3;
 
 fn median_sorted(v: &mut [f64]) -> Option<f64> {
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));

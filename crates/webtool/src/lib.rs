@@ -89,6 +89,52 @@ mod tests {
     }
 
     #[test]
+    fn safari_cad_bracket_drifts_as_state_persists_between_fetches() {
+        // Within one session the client is never reset: every fetch adds
+        // RTT history, and Safari's CAD is a function of that history. So
+        // the per-repetition switchover tier must *drift across the
+        // session* — the first-IPv4 tier seen by later repetitions (more
+        // history) differs from the first repetition's — and not just
+        // flip at one boundary tier.
+        let last_v6_of_rep = |result: &WebSessionResult, rep: usize| {
+            result
+                .tiers
+                .iter()
+                .filter(|t| t.families.get(rep).copied().flatten() == Some(Family::V6))
+                .map(|t| t.delay_ms)
+                .max()
+        };
+        let tier_pos = |ms: u64| TIERS_MS.iter().position(|&t| t == ms).unwrap();
+        let drifted = (1..10).any(|seed| {
+            let mut d = deploy(seed, WebConditions::default());
+            let result = d.run_cad_session(&safari_desktop(), 3);
+            match (last_v6_of_rep(&result, 0), last_v6_of_rep(&result, 2)) {
+                (Some(a), Some(b)) => tier_pos(a).abs_diff(tier_pos(b)) > 1,
+                _ => false,
+            }
+        });
+        assert!(
+            drifted,
+            "Safari's per-repetition CAD bracket drifts beyond boundary flips"
+        );
+
+        // A fixed-CAD client shows no such drift under the same seeds:
+        // whatever history accumulates, the bracket stays within one
+        // boundary tier of the configured 300 ms.
+        for seed in 1..10 {
+            let mut d = deploy(seed, WebConditions::default());
+            let result = d.run_cad_session(&chrome(), 3);
+            if let (Some(a), Some(b)) = (last_v6_of_rep(&result, 0), last_v6_of_rep(&result, 2)) {
+                assert!(
+                    tier_pos(a).abs_diff(tier_pos(b)) <= 1,
+                    "fixed CAD must not drift (seed {seed}): rep0 {a} ms vs rep2 {b} ms\n{}",
+                    result.grid()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn chromium_web_results_are_consistent() {
         let mut d = deploy(3, WebConditions::default());
         let result = d.run_cad_session(&chrome(), 5);

@@ -14,7 +14,7 @@ use crate::deploy::{rd_apex, tier_domain, web_resolver_addr, TIERS_MS};
 
 /// Per-tier outcome: the family observed in each repetition (None when the
 /// fetch failed).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TierObservation {
     /// Configured tier delay (ms).
     pub delay_ms: u64,
@@ -51,7 +51,7 @@ impl TierObservation {
 }
 
 /// The result of a full CAD web session.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WebSessionResult {
     /// Per-tier observations (ascending delay).
     pub tiers: Vec<TierObservation>,

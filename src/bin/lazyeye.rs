@@ -34,8 +34,14 @@ use lazy_eye_inspection::campaign::{
     InferredClientReport, RunOutput, RunSpec, Shard,
 };
 use lazy_eye_inspection::clients::{all_measured_clients, ClientProfile};
-use lazy_eye_inspection::infer::{fmt_opt, infer_traces, score_profile};
-use lazy_eye_inspection::json::ToJson;
+use lazy_eye_inspection::fleet::{
+    self, merge_partials, run_fleet, run_fleet_shard, FleetCheckpoint, FleetSpec,
+};
+use lazy_eye_inspection::infer::{
+    diff_profiles, fmt_opt, infer_resolver_traces, infer_traces, score_profile, InferredProfile,
+    InferredResolverReport,
+};
+use lazy_eye_inspection::json::{FromJson, Json, ToJson};
 use lazy_eye_inspection::net::Family;
 use lazy_eye_inspection::resolver::all_profiles;
 use lazy_eye_inspection::testbed::{
@@ -194,6 +200,7 @@ fn usage() -> ExitCode {
            run       --config <file.json>            run all enabled cases\n\
            infer     --trace <traces.json> [--format text|json]\n\
                    | --campaign <spec.json> [--jobs n --seed s --format text|json]\n\
+                   | --diff <old.json> <new.json> [--format text|json]\n\
                                                      infer HE state + RFC 8305 verdicts\n\
            campaign  --config <spec.json> [--jobs n --seed s --format text|json|csv\n\
                      --classify --out <basename> --checkpoint <ckpt.json> --shard i/n]\n\
@@ -201,7 +208,12 @@ fn usage() -> ExitCode {
                    | --merge <part.json> [--merge <part.json> ...] [--jobs n --classify ...]\n\
                    | --diff <old.json> <new.json> [--format text|json]\n\
                    | --print-spec\n\
-                                                     run a full two-pass measurement campaign"
+                                                     run a full two-pass measurement campaign\n\
+           fleet     --spec <fleet.json> | --default [--sessions n --reps n --jobs n\n\
+                     --seed s --format text|json|csv --out <basename> --shard i/n]\n\
+                   | --merge <part.json> [--merge <part.json> ...] [--jobs n ...]\n\
+                   | --print-spec\n\
+                                                     population-scale web-tool fleet"
     );
     ExitCode::from(2)
 }
@@ -262,6 +274,126 @@ fn render_inferred(reports: &[InferredClientReport]) -> String {
     out
 }
 
+/// Text rendering of inferred resolver profiles + verdicts.
+fn render_inferred_resolvers(reports: &[InferredResolverReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        let p = &r.profile;
+        out.push_str(&format!("{} ({} runs, resolver)\n", p.subject, p.runs));
+        out.push_str(&format!(
+            "  v6 first: {} %, last v6 {} ms, first v4 {} ms, falls back {}, v6-only capable {}\n",
+            fmt_opt(&p.v6_first_share_pct),
+            fmt_opt(&p.last_v6_delay_ms),
+            fmt_opt(&p.first_v4_delay_ms),
+            fmt_opt(&p.falls_back),
+            fmt_opt(&p.ipv6_only_capable),
+        ));
+        out.push_str("  verdicts:");
+        for e in &r.conformance {
+            out.push_str(&format!(" {}={}", e.feature, e.render()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts inferred client profiles from any of the JSON shapes the
+/// tool emits: a bare array of profiles, an array of
+/// `{profile, conformance}` reports, or an object carrying a
+/// `clients`/`profiles` array (the `infer --trace` and `--campaign`
+/// outputs respectively).
+fn extract_profiles(v: &Json) -> Result<Vec<InferredProfile>, String> {
+    match v {
+        Json::Arr(entries) => entries
+            .iter()
+            .map(|entry| {
+                let body = match entry.get("profile") {
+                    Some(p) => p,
+                    None => entry,
+                };
+                InferredProfile::from_json(body).map_err(|e| format!("bad profile entry: {e}"))
+            })
+            .collect(),
+        Json::Obj(_) => {
+            for key in ["clients", "profiles"] {
+                if let Some(inner) = v.get(key) {
+                    return extract_profiles(inner);
+                }
+            }
+            Err("expected a profile array or an object with a clients/profiles key".to_string())
+        }
+        _ => Err("expected a profile array or object".to_string()),
+    }
+}
+
+/// `infer --diff old.json new.json`: field-level behaviour deltas
+/// between two sets of inferred profiles, matched by subject.
+fn cmd_infer_diff(paths: &[String], format: Format) -> ExitCode {
+    let mut sets = Vec::new();
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        let v = match Json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        match extract_profiles(&v) {
+            Ok(profiles) => sets.push(profiles),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    let (old, new) = (&sets[0], &sets[1]);
+    let mut added: Vec<String> = Vec::new();
+    let mut removed: Vec<String> = Vec::new();
+    let mut changed = Vec::new();
+    for p in new {
+        if !old.iter().any(|o| o.subject == p.subject) {
+            added.push(p.subject.clone());
+        }
+    }
+    for o in old {
+        match new.iter().find(|p| p.subject == o.subject) {
+            None => removed.push(o.subject.clone()),
+            Some(p) => {
+                for delta in diff_profiles(o, p) {
+                    changed.push(lazy_eye_inspection::infer::FieldDelta {
+                        field: format!("{}.{}", o.subject, delta.field),
+                        ..delta
+                    });
+                }
+            }
+        }
+    }
+    match format {
+        Format::Json => {
+            let doc = Json::obj(vec![
+                ("added", ToJson::to_json(&added)),
+                ("removed", ToJson::to_json(&removed)),
+                ("changed", ToJson::to_json(&changed)),
+            ]);
+            println!("{}", doc.to_string_pretty());
+        }
+        _ => {
+            if added.is_empty() && removed.is_empty() && changed.is_empty() {
+                println!("no behaviour changes");
+            } else {
+                for s in &removed {
+                    println!("- profile {s}");
+                }
+                for s in &added {
+                    println!("+ profile {s}");
+                }
+                for d in &changed {
+                    println!("~ {d}");
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Parses `--jobs` (default: available parallelism), rejecting 0.
 fn parse_jobs(flags: &Flags) -> Result<usize, String> {
     let default_jobs = std::thread::available_parallelism()
@@ -302,8 +434,14 @@ fn cmd_infer(flags: Flags) -> ExitCode {
                 Ok(s) => s,
                 Err(e) => return fail(&format!("{path}: {e}")),
             };
+            let resolvers = infer_resolver_traces(&set);
+            let resolver_subjects: std::collections::BTreeSet<&str> = resolvers
+                .iter()
+                .map(|r| r.profile.subject.as_str())
+                .collect();
             let reports: Vec<InferredClientReport> = infer_traces(&set)
                 .into_iter()
+                .filter(|profile| !resolver_subjects.contains(profile.subject.as_str()))
                 .map(|profile| {
                     let conformance = score_profile(&profile);
                     InferredClientReport {
@@ -313,8 +451,17 @@ fn cmd_infer(flags: Flags) -> ExitCode {
                 })
                 .collect();
             match format {
-                Format::Json => println!("{}", ToJson::to_json(&reports).to_string_pretty()),
-                _ => print!("{}", render_inferred(&reports)),
+                Format::Json => {
+                    let doc = Json::obj(vec![
+                        ("clients", ToJson::to_json(&reports)),
+                        ("resolvers", ToJson::to_json(&resolvers)),
+                    ]);
+                    println!("{}", doc.to_string_pretty());
+                }
+                _ => {
+                    print!("{}", render_inferred(&reports));
+                    print!("{}", render_inferred_resolvers(&resolvers));
+                }
             }
             ExitCode::SUCCESS
         }
@@ -331,7 +478,7 @@ fn cmd_infer(flags: Flags) -> ExitCode {
                 &spec,
                 jobs,
                 &std::collections::BTreeMap::new(),
-                progress_meter(),
+                progress_meter("campaign", "runs"),
                 |_, _| {},
             );
             let (runs, outputs) = match outcome {
@@ -351,8 +498,10 @@ fn cmd_infer(flags: Flags) -> ExitCode {
 }
 
 /// Progress + ETA to stderr (never into the report: the report must be
-/// byte-identical across --jobs, wall clock included).
-fn progress_meter() -> impl FnMut(usize, usize) {
+/// byte-identical across --jobs, wall clock included). `label`/`unit`
+/// name the engine and its work item (`campaign`/`runs`,
+/// `fleet`/`sessions`).
+fn progress_meter(label: &'static str, unit: &'static str) -> impl FnMut(usize, usize) {
     let started = Instant::now();
     let mut last_percent = 0;
     let mut last_total = 0;
@@ -373,7 +522,7 @@ fn progress_meter() -> impl FnMut(usize, usize) {
                 0.0
             };
             eprint!(
-                "\r[campaign] {done}/{total} runs ({percent:3}%), {elapsed:.1}s elapsed, ETA {eta:.1}s   "
+                "\r[{label}] {done}/{total} {unit} ({percent:3}%), {elapsed:.1}s elapsed, ETA {eta:.1}s   "
             );
             if done == total {
                 eprintln!();
@@ -498,11 +647,16 @@ fn cmd_campaign_merge(flags: &Flags, jobs: usize, format: Format, classify: bool
              executing them locally"
         );
     }
-    let report =
-        match finish_from_checkpoint_with(&merged, jobs, classify, progress_meter(), |_, _| {}) {
-            Ok(r) => r,
-            Err(e) => return fail(&format!("campaign failed: {e}")),
-        };
+    let report = match finish_from_checkpoint_with(
+        &merged,
+        jobs,
+        classify,
+        progress_meter("campaign", "runs"),
+        |_, _| {},
+    ) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("campaign failed: {e}")),
+    };
     match emit_report(&report, format, flags.get("--out")) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e),
@@ -546,7 +700,7 @@ fn cmd_campaign_shard(
         jobs,
         shard,
         resume_from,
-        progress_meter(),
+        progress_meter("campaign", "runs"),
         periodic_save(ckpt_path.clone()),
     );
     let part = match result {
@@ -589,9 +743,13 @@ fn cmd_campaign_full(
         );
     }
     let mut saver = Saver::new(ckpt, ckpt_path);
-    let outcome = run_campaign_resumable(&spec, jobs, &completed, progress_meter(), |run, out| {
-        saver.record(run, out)
-    });
+    let outcome = run_campaign_resumable(
+        &spec,
+        jobs,
+        &completed,
+        progress_meter("campaign", "runs"),
+        |run, out| saver.record(run, out),
+    );
     let (runs, outputs) = match outcome {
         Ok(pair) => pair,
         Err(e) => return fail(&format!("campaign failed: {e}")),
@@ -690,6 +848,190 @@ fn cmd_campaign(flags: Flags) -> ExitCode {
         return cmd_campaign_shard(spec, jobs, shard, None, ckpt_path, out);
     }
     cmd_campaign_full(spec, jobs, format, classify, None, ckpt_path, out)
+}
+
+/// Emits a fleet report in the chosen format (and to `--out` files).
+fn emit_fleet_report(
+    report: &fleet::FleetReport,
+    format: Format,
+    out: Option<&str>,
+) -> Result<(), String> {
+    match format {
+        Format::Text => print!("{}", report.render_text()),
+        Format::Json => print!("{}", report.to_json()),
+        Format::Csv => print!("{}", report.to_csv()),
+    }
+    if let Some(base) = out {
+        let json_path = format!("{base}.json");
+        let csv_path = format!("{base}.csv");
+        std::fs::write(&json_path, report.to_json())
+            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        std::fs::write(&csv_path, report.to_csv())
+            .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+        eprintln!("[fleet] wrote {json_path} and {csv_path}");
+    }
+    Ok(())
+}
+
+/// Loads a fleet spec from `--spec`/`--default` and applies `--seed`,
+/// `--sessions` and `--reps` overrides.
+fn load_fleet_spec(flags: &Flags) -> Result<FleetSpec, String> {
+    let mut spec = match (flags.get("--spec"), flags.contains("--default")) {
+        (Some(_), true) => return Err("--spec and --default are mutually exclusive".to_string()),
+        (Some(path), false) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            FleetSpec::from_json(&text).map_err(|e| format!("bad fleet spec: {e}"))?
+        }
+        (None, true) => FleetSpec::default(),
+        (None, false) => {
+            return Err(
+                "fleet needs --spec <fleet.json> or --default (or --print-spec / --merge)"
+                    .to_string(),
+            )
+        }
+    };
+    if let Some(seed) = flags.get("--seed") {
+        spec.seed = seed
+            .parse()
+            .map_err(|_| format!("flag --seed: invalid value {seed:?}"))?;
+    }
+    if flags.contains("--sessions") {
+        spec.cad_sessions = parse_num(flags, "--sessions", spec.cad_sessions)?;
+        if spec.cad_sessions == 0 {
+            return Err("flag --sessions: must be at least 1".to_string());
+        }
+    }
+    if flags.contains("--reps") {
+        spec.repetitions = parse_num(flags, "--reps", spec.repetitions)?;
+        if spec.repetitions == 0 {
+            return Err("flag --reps: must be at least 1".to_string());
+        }
+    }
+    Ok(spec)
+}
+
+fn cmd_fleet(flags: Flags) -> ExitCode {
+    if flags.contains("--print-spec") {
+        println!("{}", FleetSpec::default().to_json());
+        return ExitCode::SUCCESS;
+    }
+    let jobs = match parse_jobs(&flags) {
+        Ok(j) => j,
+        Err(e) => return fail(&e),
+    };
+    let format = match parse_format(&flags) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let out = flags.get("--out");
+
+    if flags.contains("--merge") {
+        for conflicting in [
+            "--spec",
+            "--default",
+            "--seed",
+            "--sessions",
+            "--reps",
+            "--shard",
+        ] {
+            if flags.contains(conflicting) {
+                return fail(&format!("--merge cannot be combined with {conflicting}"));
+            }
+        }
+        let mut parts = Vec::new();
+        for path in flags.get_all("--merge") {
+            match FleetCheckpoint::load(path) {
+                Ok(p) => parts.push(p),
+                Err(e) => return fail(&e),
+            }
+        }
+        let merged = match merge_partials(parts) {
+            Ok(m) => m,
+            Err(e) => return fail(&format!("merge failed: {e}")),
+        };
+        let missing = merged.missing().len();
+        if missing > 0 {
+            eprintln!(
+                "[fleet] warning: {missing} sessions missing from the partials; \
+                 executing them locally"
+            );
+        }
+        let report =
+            match fleet::finish_from_partial(&merged, jobs, progress_meter("fleet", "sessions")) {
+                Ok(r) => r,
+                Err(e) => return fail(&format!("fleet failed: {e}")),
+            };
+        return match emit_fleet_report(&report, format, out) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        };
+    }
+
+    let spec = match load_fleet_spec(&flags) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+
+    if let Some(shard_flag) = flags.get("--shard") {
+        let shard = match fleet::Shard::parse(shard_flag) {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        };
+        if flags.contains("--format") {
+            return fail("--format does not apply to --shard runs; partials are always JSON");
+        }
+        // Save the partial periodically while the shard runs (atomic
+        // temp-file + rename), so a kill loses at most CHECKPOINT_EVERY
+        // sessions — the same crash contract as campaign shards.
+        let partial_path = out.map(|base| format!("{base}.json"));
+        let mut unsaved = 0u64;
+        let outcome = run_fleet_shard(
+            &spec,
+            jobs,
+            shard,
+            progress_meter("fleet", "sessions"),
+            |ckpt| {
+                unsaved += 1;
+                if unsaved >= CHECKPOINT_EVERY {
+                    unsaved = 0;
+                    if let Some(path) = &partial_path {
+                        if let Err(e) = ckpt.save(path) {
+                            eprintln!("lazyeye: warning: cannot write partial {path}: {e}");
+                        }
+                    }
+                }
+            },
+        );
+        let part = match outcome {
+            Ok(p) => p,
+            Err(e) => return fail(&format!("fleet failed: {e}")),
+        };
+        match &partial_path {
+            Some(path) => {
+                if let Err(e) = part.save(path) {
+                    return fail(&format!("cannot write {path}: {e}"));
+                }
+                eprintln!(
+                    "[fleet] shard {}/{}: {} sessions completed, wrote {path}",
+                    shard.index,
+                    shard.count,
+                    part.completed_sessions()
+                );
+            }
+            None => print!("{}", part.to_json_string()),
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match run_fleet(&spec, jobs, progress_meter("fleet", "sessions")) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("fleet failed: {e}")),
+    };
+    match emit_fleet_report(&report, format, out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
 }
 
 fn main() -> ExitCode {
@@ -1008,6 +1350,26 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "infer" => {
+            // `--diff old.json new.json` is its own sub-mode with
+            // positional profile-set paths, like `campaign --diff`.
+            if rest.first().map(String::as_str) == Some("--diff") {
+                if rest.len() < 3 {
+                    return fail("--diff needs two profile files: --diff old.json new.json");
+                }
+                let paths = rest[1..3].to_vec();
+                let flags = match parse_flags(&rest[3..], &[val("--format")]) {
+                    Ok(f) => f,
+                    Err(e) => return fail(&e),
+                };
+                let format = match flags.get("--format") {
+                    None | Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some(other) => {
+                        return fail(&format!("flag --format: expected text|json, got {other:?}"))
+                    }
+                };
+                return cmd_infer_diff(&paths, format);
+            }
             let flags = match parse_flags(
                 rest,
                 &[
@@ -1022,6 +1384,28 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             };
             cmd_infer(flags)
+        }
+        "fleet" => {
+            let flags = match parse_flags(
+                rest,
+                &[
+                    val("--spec"),
+                    val("--sessions"),
+                    val("--reps"),
+                    val("--jobs"),
+                    val("--seed"),
+                    val("--format"),
+                    val("--out"),
+                    val("--shard"),
+                    multi("--merge"),
+                    switch("--default"),
+                    switch("--print-spec"),
+                ],
+            ) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            cmd_fleet(flags)
         }
         "campaign" => {
             // `--diff old.json new.json` is its own sub-mode with

@@ -19,9 +19,11 @@
 //! | [`clients`] | `lazyeye-clients` | browser/tool behaviour models, HTTP, iCPR |
 //! | [`testbed`] | `lazyeye-testbed` | test cases, runners, analyzers, tables |
 //! | [`campaign`] | `lazyeye-campaign` | sharded, deterministic campaign orchestration |
+//! | [`exec`] | `lazyeye-exec` | shared work-stealing executor + shard arithmetic |
 //! | [`trace`] | `lazyeye-trace` | structured, serialisable event traces of runs |
 //! | [`infer`] | `lazyeye-infer` | trace → inferred client state + RFC 8305 verdicts |
 //! | [`webtool`] | `lazyeye-webtool` | the 18-tier web-based testing tool |
+//! | [`fleet`] | `lazyeye-fleet` | population-scale web-tool service + Figure 4 grids |
 //! | [`json`] | `lazyeye-json` | dependency-free JSON layer used throughout |
 //!
 //! ## Quickstart
@@ -59,6 +61,8 @@ pub use lazyeye_campaign as campaign;
 pub use lazyeye_clients as clients;
 pub use lazyeye_core as he;
 pub use lazyeye_dns as dns;
+pub use lazyeye_exec as exec;
+pub use lazyeye_fleet as fleet;
 pub use lazyeye_infer as infer;
 pub use lazyeye_json as json;
 pub use lazyeye_net as net;
@@ -77,6 +81,7 @@ pub mod prelude {
         InterlaceStrategy, Quirks,
     };
     pub use lazyeye_dns::{Message, Name, RData, Record, RrType, Zone, ZoneSet};
+    pub use lazyeye_fleet::{run_fleet, FleetReport, FleetSpec};
     pub use lazyeye_net::{
         Capture, ClosedPortPolicy, Family, Host, Netem, NetemRule, Network, TcpListener, TcpStream,
         UdpSocket,
