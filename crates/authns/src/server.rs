@@ -9,7 +9,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use lazyeye_dns::{Message, Name, RData, Rcode, Record, RrType, ZoneAnswer, ZoneSet};
 use lazyeye_net::UdpSocket;
-use lazyeye_sim::{now, sleep, spawn, SimTime};
+use lazyeye_sim::{now, sleep, spawn_detached, SimTime};
 
 use crate::params::{parse_test_label, TestParams};
 
@@ -211,7 +211,7 @@ pub async fn serve(sock: UdpSocket, server: AuthServer) {
             entry.delayed_by = delay;
         }
         let sock = Rc::clone(&sock);
-        spawn(async move {
+        spawn_detached(async move {
             if !delay.is_zero() {
                 sleep(delay).await;
             }

@@ -1,10 +1,51 @@
 //! Criterion: campaign orchestrator throughput — end-to-end runs/second
 //! at 1, 4 and 8 workers, tracking scheduler + aggregation overhead
 //! against the single-run baseline.
+//!
+//! Also emits the `campaign` section of `BENCH.json`: end-to-end
+//! runs/sec of the fixed bench campaign plus the deterministic scheduler
+//! counters of one fixed-seed `--jobs 1` execution (CI-gated against the
+//! checked-in baseline).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use lazyeye_bench::bench_json;
 use lazyeye_campaign::{run_campaign, CampaignSpec, NetemSpec, SelectionPlan};
+use lazyeye_json::Json;
 use lazyeye_testbed::{CadCaseConfig, ResolverCaseConfig, SweepSpec};
+
+/// Emits the `campaign` section of `BENCH.json`.
+fn emit_json(_c: &mut Criterion) {
+    let spec = bench_spec();
+    // Throughput: sequential (jobs=1) end-to-end runs/sec — the per-run
+    // cost every campaign cell pays, with worker-pool arena reuse.
+    for _ in 0..20 {
+        std::hint::black_box(run_campaign(&spec, 1, |_, _| {}).unwrap().total_runs);
+    }
+    let t0 = std::time::Instant::now();
+    let mut total_runs = 0u64;
+    let iters = 200;
+    for _ in 0..iters {
+        total_runs += run_campaign(&spec, 1, |_, _| {}).unwrap().total_runs;
+    }
+    let runs_per_sec = total_runs as f64 / t0.elapsed().as_secs_f64();
+    println!("campaign throughput jobs=1: {runs_per_sec:.0} runs/sec");
+
+    // Counters: one fixed-seed campaign at --jobs 1 (deterministic).
+    // Per-sim tallies flush on each run's Sim drop (back into the
+    // worker pool), so the globals are complete at read time.
+    lazyeye_sim::reset_sim_stats();
+    let report = run_campaign(&spec, 1, |_, _| {}).unwrap();
+    let stats = lazyeye_sim::sim_stats();
+
+    bench_json::merge_section(
+        "campaign",
+        Json::obj(vec![
+            ("runs_per_sec_jobs1", Json::Int(runs_per_sec as i64)),
+            ("smoke_total_runs", Json::UInt(report.total_runs)),
+            ("counters", bench_json::counters(stats)),
+        ]),
+    );
+}
 
 /// A ~100-run matrix across all four case families: large enough for the
 /// stealing to matter, small enough to iterate in a bench window.
@@ -65,6 +106,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench
+    targets = emit_json, bench
 }
 criterion_main!(benches);

@@ -7,7 +7,41 @@
 //! off the bench output.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use lazyeye_bench::bench_json;
 use lazyeye_fleet::{expand, run_fleet, FleetCondition, FleetSpec};
+use lazyeye_json::Json;
+
+/// Emits the `fleet` section of `BENCH.json`: sessions/sec plus the
+/// deterministic scheduler counters of one fixed-seed `--jobs 1` fleet.
+fn emit_json(_c: &mut Criterion) {
+    let spec = bench_spec();
+    for _ in 0..5 {
+        std::hint::black_box(run_fleet(&spec, 1, |_, _| {}).unwrap().total_sessions);
+    }
+    let t0 = std::time::Instant::now();
+    let mut sessions = 0u64;
+    let iters = 40;
+    for _ in 0..iters {
+        sessions += run_fleet(&spec, 1, |_, _| {}).unwrap().total_sessions;
+    }
+    let sessions_per_sec = sessions as f64 / t0.elapsed().as_secs_f64();
+    println!("fleet throughput jobs=1: {sessions_per_sec:.0} sessions/sec");
+
+    // Per-sim tallies flush on each run's Sim drop (back into the
+    // worker pool), so the globals are complete at read time.
+    lazyeye_sim::reset_sim_stats();
+    let report = run_fleet(&spec, 1, |_, _| {}).unwrap();
+    let stats = lazyeye_sim::sim_stats();
+
+    bench_json::merge_section(
+        "fleet",
+        Json::obj(vec![
+            ("sessions_per_sec_jobs1", Json::Int(sessions_per_sec as i64)),
+            ("smoke_total_sessions", Json::UInt(report.total_sessions)),
+            ("counters", bench_json::counters(stats)),
+        ]),
+    );
+}
 
 /// A ~14-session fleet over three client families and one condition:
 /// large enough for work stealing to matter, small enough to iterate in
@@ -74,6 +108,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench
+    targets = emit_json, bench
 }
 criterion_main!(benches);

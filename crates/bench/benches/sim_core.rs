@@ -1,8 +1,82 @@
 //! Criterion: simulator core throughput — how fast virtual time runs.
+//!
+//! Besides the criterion timings, this bench emits the `sim` section of
+//! `BENCH.json`: a per-run executor-lifecycle runs/sec figure (the cost
+//! the slab/wheel/arena overhaul targets — one simulated measurement
+//! run's worth of spawn/timer/channel traffic, through the worker pool)
+//! plus the deterministic scheduler counters of that fixed workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use lazyeye_bench::bench_json;
+use lazyeye_json::Json;
 use lazyeye_sim::{sleep, spawn, Sim};
 use std::time::Duration;
+
+/// One measurement-run-shaped executor workload: a pooled sim, a fan of
+/// racing timer tasks and a channel ping stream — the per-run shape the
+/// campaign engine drives a few hundred thousand times.
+fn lifecycle_run(seed: u64) -> u64 {
+    let mut sim = lazyeye_sim::pooled(seed);
+    let t = sim.block_on(async {
+        let mut handles = Vec::new();
+        for i in 0..32u64 {
+            handles.push(spawn(async move {
+                lazyeye_sim::race(
+                    sleep(Duration::from_millis(i % 7)),
+                    sleep(Duration::from_millis(3)),
+                )
+                .await;
+            }));
+        }
+        let (tx, mut rx) = lazyeye_sim::sync::mpsc::unbounded::<u32>();
+        spawn(async move {
+            for i in 0..64u32 {
+                if tx.send(i).is_err() {
+                    break;
+                }
+                sleep(Duration::from_micros(500)).await;
+            }
+        });
+        while rx.recv().await.is_some() {}
+        for h in handles {
+            let _ = h.await;
+        }
+        lazyeye_sim::now()
+    });
+    t.as_nanos()
+}
+
+/// Emits the `sim` section of `BENCH.json`.
+fn emit_json(_c: &mut Criterion) {
+    // Throughput (machine-dependent, informational).
+    for i in 0..200 {
+        std::hint::black_box(lifecycle_run(i));
+    }
+    let n = 3000u64;
+    let t0 = std::time::Instant::now();
+    for i in 0..n {
+        std::hint::black_box(lifecycle_run(i));
+    }
+    let runs_per_sec = n as f64 / t0.elapsed().as_secs_f64();
+    println!("sim lifecycle throughput: {runs_per_sec:.0} runs/sec");
+
+    // Counters (deterministic, CI-gated): 100 fixed-seed lifecycle runs.
+    // Per-sim tallies flush on each run's Sim drop (back into the
+    // worker pool), so the globals are complete at read time.
+    lazyeye_sim::reset_sim_stats();
+    for i in 0..100 {
+        std::hint::black_box(lifecycle_run(i));
+    }
+    let stats = lazyeye_sim::sim_stats();
+
+    bench_json::merge_section(
+        "sim",
+        Json::obj(vec![
+            ("run_lifecycle_runs_per_sec", Json::Int(runs_per_sec as i64)),
+            ("counters", bench_json::counters(stats)),
+        ]),
+    );
+}
 
 fn bench(c: &mut Criterion) {
     c.bench_function("sim_10k_timers", |b| {
@@ -101,6 +175,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench
+    targets = emit_json, bench
 }
 criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! `bench_check <baseline BENCH.json> <current BENCH.json>` — the CI
+//! perf-smoke gate.
+//!
+//! * **Counters** (`<section>.counters.*`): must match the baseline
+//!   exactly. They are deterministic functions of the fixed-seed smoke
+//!   workloads (scheduler polls, timers, tasks), so any drift means the
+//!   executor's schedule changed — exactly the regression the golden
+//!   report hashes guard, caught here from the scheduling side.
+//! * **Throughput** (`*_per_sec`): machine-dependent, reported as a ratio
+//!   against the baseline for the log, never gated.
+
+use std::process::ExitCode;
+
+use lazyeye_json::Json;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_check <baseline BENCH.json> <current BENCH.json>");
+        return ExitCode::from(2);
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Json::Obj(base_sections) = &baseline else {
+        eprintln!("bench_check: baseline is not an object");
+        return ExitCode::FAILURE;
+    };
+
+    let mut drift = 0usize;
+    for (section, base_val) in base_sections {
+        if section == "schema" || section == "note" {
+            continue;
+        }
+        let Some(cur_val) = current.get(section) else {
+            eprintln!("bench_check: section {section:?} missing from {current_path}");
+            drift += 1;
+            continue;
+        };
+        // Gate: counters must match exactly.
+        if let Some(Json::Obj(base_counters)) = base_val.get("counters") {
+            for (name, base_n) in base_counters {
+                let cur_n = cur_val.get("counters").and_then(|c| c.get(name));
+                if cur_n != Some(base_n) {
+                    eprintln!(
+                        "bench_check: DRIFT {section}.counters.{name}: baseline {base_n}, current {}",
+                        cur_n.map(|v| v.to_string()).unwrap_or_else(|| "-".into())
+                    );
+                    drift += 1;
+                }
+            }
+        }
+        // Report: throughput ratios.
+        if let Json::Obj(fields) = base_val {
+            for (name, v) in fields {
+                if !name.contains("_per_sec") {
+                    continue;
+                }
+                let (Some(base_r), Some(cur_r)) =
+                    (v.as_f64(), cur_val.get(name).and_then(|x| x.as_f64()))
+                else {
+                    continue;
+                };
+                if base_r > 0.0 {
+                    println!(
+                        "bench_check: {section}.{name}: {cur_r:.0} vs baseline {base_r:.0} ({:.2}x)",
+                        cur_r / base_r
+                    );
+                }
+            }
+        }
+    }
+
+    if drift > 0 {
+        eprintln!("bench_check: {drift} counter(s) drifted from the pinned baseline");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: counters match the pinned baseline");
+    ExitCode::SUCCESS
+}

@@ -80,3 +80,67 @@ pub fn fast_mode() -> bool {
         .map(|v| v == "1")
         .unwrap_or(false)
 }
+
+/// Machine-readable bench output (`BENCH.json`).
+///
+/// Each bench binary contributes one top-level section (`sim`,
+/// `campaign`, `fleet`) holding throughput numbers (`*_per_sec`,
+/// machine-dependent, informational) and a `counters` object (scheduler
+/// polls, timers, tasks for a fixed-seed smoke workload — deterministic
+/// across machines and worker counts, pinned by the checked-in baseline
+/// and gated in CI by `bench_check`).
+pub mod bench_json {
+    use lazyeye_json::Json;
+    use std::path::PathBuf;
+
+    /// Where the generated `BENCH.json` goes: `$LAZYEYE_BENCH_JSON`
+    /// (absolute paths recommended — cargo runs benches with the package
+    /// directory as cwd), or `<workspace>/target/BENCH.json` by default.
+    pub fn path() -> PathBuf {
+        if let Ok(p) = std::env::var("LAZYEYE_BENCH_JSON") {
+            return PathBuf::from(p);
+        }
+        PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH.json"
+        ))
+    }
+
+    /// Loads the current file (or an empty object), replaces `section`,
+    /// and writes it back pretty-printed.
+    pub fn merge_section(section: &str, value: Json) {
+        let p = path();
+        let mut doc = std::fs::read_to_string(&p)
+            .ok()
+            .and_then(|t| Json::parse(&t).ok())
+            .unwrap_or_else(|| Json::Obj(Vec::new()));
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "schema" && k != section);
+            pairs.insert(
+                0,
+                ("schema".to_string(), Json::Str("lazyeye-bench/1".into())),
+            );
+            pairs.push((section.to_string(), value));
+        }
+        let mut text = doc.to_string_pretty();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&p, text) {
+            eprintln!("[bench] warning: cannot write {}: {e}", p.display());
+        } else {
+            println!("[bench] wrote section {section:?} to {}", p.display());
+        }
+    }
+
+    /// The scheduler-counter object for a section, from a
+    /// [`lazyeye_sim::SimStats`] delta of a fixed workload.
+    pub fn counters(stats: lazyeye_sim::SimStats) -> Json {
+        Json::obj(vec![
+            ("polls", Json::UInt(stats.polls)),
+            ("timers_armed", Json::UInt(stats.timers_armed)),
+            ("timers_fired", Json::UInt(stats.timers_fired)),
+            ("tasks_spawned", Json::UInt(stats.tasks_spawned)),
+            ("slots_allocated", Json::UInt(stats.slots_allocated)),
+            ("slots_reused", Json::UInt(stats.slots_reused)),
+        ])
+    }
+}

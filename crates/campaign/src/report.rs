@@ -73,9 +73,18 @@ const CSV_COLUMNS: [&str; 17] = [
 impl CampaignReport {
     /// Pretty JSON rendering.
     pub fn to_json(&self) -> String {
-        let mut out = ToJson::to_json(self).to_string_pretty();
-        out.push('\n');
+        let mut out = String::new();
+        self.to_json_into(&mut out);
         out
+    }
+
+    /// Pretty JSON rendering appended to a reusable caller buffer — the
+    /// CLI renders one report to stdout *and* to `--out` files, and the
+    /// periodic checkpoint saver re-renders every few dozen runs; both
+    /// now reuse one allocation instead of rebuilding the string.
+    pub fn to_json_into(&self, out: &mut String) {
+        ToJson::to_json(self).write_pretty_into(out);
+        out.push('\n');
     }
 
     /// Parses a report back from its JSON rendering (reports without an
@@ -88,6 +97,13 @@ impl CampaignReport {
     /// not-applicable columns).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
+        self.to_csv_into(&mut out);
+        out
+    }
+
+    /// CSV rendering appended to a reusable caller buffer.
+    pub fn to_csv_into(&self, out: &mut String) {
+        out.reserve(64 + self.cells.len() * 128);
         out.push_str(&CSV_COLUMNS.join(","));
         out.push('\n');
         for c in &self.cells {
@@ -112,20 +128,8 @@ impl CampaignReport {
             ];
             // Subjects/conditions are ids without commas or quotes, but
             // quote defensively anyway.
-            let quoted: Vec<String> = row
-                .iter()
-                .map(|cell| {
-                    if cell.contains(',') || cell.contains('"') {
-                        format!("\"{}\"", cell.replace('"', "\"\""))
-                    } else {
-                        cell.clone()
-                    }
-                })
-                .collect();
-            out.push_str(&quoted.join(","));
-            out.push('\n');
+            lazyeye_json::push_csv_row(out, &row);
         }
-        out
     }
 
     /// Human-readable summary: one table per case family present, plus

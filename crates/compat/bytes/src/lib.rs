@@ -13,9 +13,15 @@ use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
+///
+/// The backing store is `Arc<Vec<u8>>` rather than `Arc<[u8]>`: converting
+/// a `Vec` into `Arc<[u8]>` re-allocates and copies the buffer, and
+/// `Bytes::from(Vec<u8>)` sits on the simulator's per-packet hot path —
+/// wrapping the existing vec keeps construction to one small `Arc`
+/// allocation with zero payload copies.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -41,7 +47,7 @@ impl Bytes {
     fn from_vec(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }

@@ -166,7 +166,7 @@ impl Message {
     /// Encodes to wire format with name compression in owner names.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(128);
-        let mut compress = std::collections::HashMap::new();
+        let mut compress = crate::name::CompressMap::new();
         out.extend_from_slice(&self.header.id.to_be_bytes());
         let mut flags: u16 = 0;
         if self.header.qr {
@@ -210,10 +210,13 @@ impl Message {
             out.extend_from_slice(&r.rtype().code().to_be_bytes());
             out.extend_from_slice(&r.class.code().to_be_bytes());
             out.extend_from_slice(&r.ttl.to_be_bytes());
-            let mut rdata = Vec::new();
-            r.rdata.encode(&mut rdata);
-            out.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
-            out.extend_from_slice(&rdata);
+            // RDATA goes straight into the message buffer; the 2-byte
+            // length prefix is back-patched (no per-record scratch vec).
+            let len_pos = out.len();
+            out.extend_from_slice(&[0, 0]);
+            r.rdata.encode(&mut out);
+            let rdata_len = out.len() - len_pos - 2;
+            out[len_pos..len_pos + 2].copy_from_slice(&(rdata_len as u16).to_be_bytes());
         }
         out
     }

@@ -1,6 +1,7 @@
 //! Domain names: labels, comparison, wire encoding with compression.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::DnsError;
 
@@ -8,15 +9,88 @@ use crate::error::DnsError;
 /// trailing root label in storage; the root name has zero labels).
 ///
 /// Comparison and hashing are case-insensitive, per RFC 1035 §2.3.3.
+///
+/// The label storage sits behind an `Arc`: names are cloned on the
+/// simulator's packet path (query logs, record clones, question echoes),
+/// and sharing the immutable labels turns each of those clones from
+/// `1 + label_count` heap allocations into one reference-count bump.
+/// `Arc` (not `Rc`) because zone sets holding names cross threads via the
+/// process-wide resolver zone cache.
 #[derive(Clone, Eq)]
 pub struct Name {
-    labels: Vec<Vec<u8>>,
+    labels: Arc<Vec<Vec<u8>>>,
+}
+
+/// Name-compression state for one message encode: the offsets where label
+/// runs were written. Lookup compares a candidate suffix against the wire
+/// bytes already in the buffer (following pointers), so no per-suffix
+/// `String` key is ever built — the previous `HashMap<String, u16>`
+/// allocated and SipHashed one key per label per name, a top cost of the
+/// simulator's packet path.
+#[derive(Default)]
+pub struct CompressMap {
+    offsets: Vec<u16>,
+}
+
+impl CompressMap {
+    /// An empty compression map (one per message encode).
+    pub fn new() -> CompressMap {
+        CompressMap::default()
+    }
+
+    /// The offset of the first previously written name suffix equal
+    /// (case-insensitively) to `labels`, if any — matching the
+    /// first-insert-wins semantics of the old keyed map.
+    fn find(&self, msg: &[u8], labels: &[Vec<u8>]) -> Option<u16> {
+        self.offsets
+            .iter()
+            .copied()
+            .find(|&off| suffix_matches(msg, usize::from(off), labels))
+    }
+}
+
+/// Whether the wire name starting at `msg[pos]` (following compression
+/// pointers) equals exactly the label sequence `labels` + root.
+fn suffix_matches(msg: &[u8], mut pos: usize, labels: &[Vec<u8>]) -> bool {
+    let mut jumps = 0;
+    let mut next_label = |pos: &mut usize| -> Option<(usize, usize)> {
+        loop {
+            let len = *msg.get(*pos)? as usize;
+            if len & 0xC0 == 0xC0 {
+                // A pointer: the tail of this stored name was itself
+                // compressed. Bounded by the jump budget decoders use.
+                jumps += 1;
+                if jumps > 32 {
+                    return None;
+                }
+                let lo = *msg.get(*pos + 1)? as usize;
+                *pos = ((len & 0x3F) << 8) | lo;
+                continue;
+            }
+            let start = *pos + 1;
+            *pos = start + len;
+            return Some((start, len));
+        }
+    };
+    for label in labels {
+        let Some((start, len)) = next_label(&mut pos) else {
+            return false;
+        };
+        if len != label.len() || !msg[start..start + len].eq_ignore_ascii_case(label) {
+            return false;
+        }
+    }
+    // The stored suffix must end here too (root label), or it is longer
+    // than the candidate.
+    matches!(next_label(&mut pos), Some((_, 0)))
 }
 
 impl Name {
     /// The root name `.`.
     pub fn root() -> Name {
-        Name { labels: Vec::new() }
+        Name {
+            labels: Arc::new(Vec::new()),
+        }
     }
 
     /// Parses a dotted name (`"www.example.com"` / `"www.example.com."`).
@@ -36,7 +110,9 @@ impl Name {
             }
             labels.push(part.as_bytes().to_vec());
         }
-        let name = Name { labels };
+        let name = Name {
+            labels: Arc::new(labels),
+        };
         if name.encoded_len() > 255 {
             return Err(DnsError::NameTooLong);
         }
@@ -53,7 +129,9 @@ impl Name {
                 return Err(DnsError::LabelTooLong);
             }
         }
-        let name = Name { labels };
+        let name = Name {
+            labels: Arc::new(labels),
+        };
         if name.encoded_len() > 255 {
             return Err(DnsError::NameTooLong);
         }
@@ -98,7 +176,7 @@ impl Name {
             None
         } else {
             Some(Name {
-                labels: self.labels[1..].to_vec(),
+                labels: Arc::new(self.labels[1..].to_vec()),
             })
         }
     }
@@ -119,7 +197,7 @@ impl Name {
     /// Encodes without compression (used inside SVCB RDATA, where RFC 9460
     /// forbids compressed targets).
     pub fn encode_uncompressed(&self, out: &mut Vec<u8>) {
-        for l in &self.labels {
+        for l in self.labels.iter() {
             out.push(l.len() as u8);
             out.extend_from_slice(l);
         }
@@ -128,17 +206,12 @@ impl Name {
 
     /// Encodes with message compression into `out`, which must be the
     /// *entire message buffer so far* (offsets are `out.len()`-relative).
-    /// `compress` maps previously written name suffixes (lowercased
-    /// presentation) to their absolute message offsets.
-    pub fn encode_compressed(
-        &self,
-        out: &mut Vec<u8>,
-        compress: &mut std::collections::HashMap<String, u16>,
-    ) {
+    /// `compress` remembers previously written name suffixes by message
+    /// offset.
+    pub fn encode_compressed(&self, out: &mut Vec<u8>, compress: &mut CompressMap) {
         let mut idx = 0;
         while idx < self.labels.len() {
-            let suffix = self.suffix_key(idx);
-            if let Some(&off) = compress.get(&suffix) {
+            if let Some(off) = compress.find(out, &self.labels[idx..]) {
                 out.push(0xC0 | ((off >> 8) as u8));
                 out.push((off & 0xFF) as u8);
                 return;
@@ -146,7 +219,7 @@ impl Name {
             let here = out.len();
             // Only offsets representable in 14 bits are reusable.
             if here <= 0x3FFF {
-                compress.insert(suffix, here as u16);
+                compress.offsets.push(here as u16);
             }
             let l = &self.labels[idx];
             out.push(l.len() as u8);
@@ -154,17 +227,6 @@ impl Name {
             idx += 1;
         }
         out.push(0);
-    }
-
-    fn suffix_key(&self, from: usize) -> String {
-        let mut s = String::new();
-        for l in &self.labels[from..] {
-            for &b in l {
-                s.push(b.to_ascii_lowercase() as char);
-            }
-            s.push('.');
-        }
-        s
     }
 
     /// Decodes a name from `msg` starting at `*pos`, following compression
@@ -182,7 +244,9 @@ impl Name {
                 if !jumped {
                     *pos = cursor + 1;
                 }
-                return Ok(Name { labels });
+                return Ok(Name {
+                    labels: Arc::new(labels),
+                });
             }
             if len & 0xC0 == 0xC0 {
                 let b2 = *msg.get(cursor + 1).ok_or(DnsError::Truncated)? as usize;
@@ -239,7 +303,7 @@ impl PartialEq for Name {
 
 impl std::hash::Hash for Name {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        for l in &self.labels {
+        for l in self.labels.iter() {
             for &b in l {
                 state.write_u8(b.to_ascii_lowercase());
             }
@@ -370,7 +434,7 @@ mod tests {
     #[test]
     fn compressed_roundtrip_shares_suffix() {
         let mut buf = Vec::new();
-        let mut table = std::collections::HashMap::new();
+        let mut table = CompressMap::new();
         let a = n("www.example.com");
         let b = n("mail.example.com");
         a.encode_compressed(&mut buf, &mut table);

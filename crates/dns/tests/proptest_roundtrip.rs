@@ -143,7 +143,7 @@ proptest! {
     #[test]
     fn compressed_names_decode_identically(names in proptest::collection::vec(arb_name(), 1..8)) {
         let mut buf = Vec::new();
-        let mut table = std::collections::HashMap::new();
+        let mut table = lazyeye_dns::CompressMap::new();
         for n in &names {
             n.encode_compressed(&mut buf, &mut table);
         }

@@ -19,10 +19,20 @@
 //! The engines keep their domain glue (run specs, checkpoints, reports);
 //! only the scheduling-neutral machinery lives here.
 
+//! **Arena reuse.** Worker threads live for the whole `execute_indexed`
+//! call, and the simulator keeps a per-thread `lazyeye_sim::SimPool`:
+//! the first run on a worker allocates a simulation arena (task slab,
+//! timer wheel, queues), and every subsequent run on that worker recycles
+//! it via `Sim::reset` — one allocation storm per *worker* instead of one
+//! per *run*. This file only needs to keep threads alive across jobs
+//! (which `std::thread::scope` does); the pooling itself lives in
+//! `lazyeye-sim` and the testbed topologies.
+
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 
@@ -59,37 +69,69 @@ impl Shard {
     }
 }
 
+/// A worker's job deque plus a lock-free length hint, so victim selection
+/// reads one atomic per queue instead of taking every lock per steal
+/// attempt (the old scan serialized all workers through all locks exactly
+/// when the pool was busiest — the end-of-campaign tail).
+struct WorkQueue {
+    jobs: Mutex<VecDeque<usize>>,
+    /// Advisory length, maintained under `jobs`' lock; may lag reads.
+    len: AtomicUsize,
+}
+
+impl WorkQueue {
+    fn new(jobs: VecDeque<usize>) -> WorkQueue {
+        let len = AtomicUsize::new(jobs.len());
+        WorkQueue {
+            jobs: Mutex::new(jobs),
+            len,
+        }
+    }
+
+    fn pop_front(&self) -> Option<usize> {
+        let mut q = self.jobs.lock().ok()?;
+        let job = q.pop_front();
+        self.len.store(q.len(), Ordering::Relaxed);
+        job
+    }
+}
+
 /// Steals the back half of the longest foreign deque into `mine`,
-/// returning one job to run immediately. Returns `None` only once every
-/// foreign deque has been observed empty in a single scan — a victim
-/// drained between the length snapshot and the lock triggers a re-scan,
-/// so a worker never retires while jobs are still queued elsewhere.
-fn steal(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+/// returning one job to run immediately. Returns `None` once every
+/// foreign length hint reads zero — a worker may then retire while a
+/// lagging owner still holds jobs, but owners always drain their own
+/// deque before retiring, so every job still runs exactly once. A victim
+/// drained between the snapshot and the lock triggers a re-scan.
+fn steal(queues: &[WorkQueue], me: usize) -> Option<usize> {
     loop {
-        // Pick the victim with the most remaining work (a snapshot;
-        // rechecked under the victim's lock).
+        // Pick the victim with the most remaining work (an atomic
+        // snapshot; rechecked under the victim's lock).
         let (victim, snapshot_len) = queues
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != me)
-            .map(|(i, q)| (i, q.lock().map(|g| g.len()).unwrap_or(0)))
+            .map(|(i, q)| (i, q.len.load(Ordering::Relaxed)))
             .max_by_key(|&(_, len)| len)?;
         if snapshot_len == 0 {
             return None;
         }
         let mut stolen = {
-            let mut v = queues[victim].lock().ok()?;
+            let mut v = queues[victim].jobs.lock().ok()?;
             if v.is_empty() {
                 // Lost the race to the victim's owner; look again.
+                queues[victim].len.store(0, Ordering::Relaxed);
                 continue;
             }
             let keep = v.len() / 2;
-            v.split_off(keep)
+            let stolen = v.split_off(keep);
+            queues[victim].len.store(v.len(), Ordering::Relaxed);
+            stolen
         };
         let job = stolen.pop_front();
         if !stolen.is_empty() {
-            if let Ok(mut mine) = queues[me].lock() {
+            if let Ok(mut mine) = queues[me].jobs.lock() {
                 mine.extend(stolen);
+                queues[me].len.store(mine.len(), Ordering::Relaxed);
             }
         }
         return job;
@@ -136,8 +178,8 @@ pub fn execute_indexed_with<O: Send>(
 
     // Stripe jobs across workers so early indices start immediately on
     // every thread; stealing rebalances the tail.
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
-        .map(|w| Mutex::new((w..total).step_by(jobs).collect()))
+    let queues: Vec<WorkQueue> = (0..jobs)
+        .map(|w| WorkQueue::new((w..total).step_by(jobs).collect()))
         .collect();
 
     let mut results: Vec<Option<O>> = (0..total).map(|_| None).collect();
@@ -149,8 +191,7 @@ pub fn execute_indexed_with<O: Send>(
             let run = &run;
             scope.spawn(move || loop {
                 let job = {
-                    let popped = queues[me].lock().ok().and_then(|mut q| q.pop_front());
-                    match popped {
+                    match queues[me].pop_front() {
                         Some(j) => j,
                         None => match steal(queues, me) {
                             Some(j) => j,

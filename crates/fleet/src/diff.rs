@@ -1,0 +1,405 @@
+//! Fleet-report diffing for longitudinal population tracking — the
+//! QUIC-tracker use case ("Observing the Evolution of QUIC
+//! Implementations") applied to the Happy Eyeballs population: run the
+//! fleet periodically, keep the reports, and diff neighbouring snapshots
+//! to see which members changed behaviour.
+//!
+//! Reuses `lazyeye-infer`'s typed [`FieldDelta`] machinery, like
+//! `lazyeye campaign --diff` does for campaign reports.
+
+use lazyeye_infer::{diff_profiles, fmt_opt, push_delta, FieldDelta};
+use lazyeye_json::ToJson;
+
+use crate::report::{FleetReport, MemberReport, ResolverCheckReport};
+
+/// The behaviour changes between two fleet reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetDiff {
+    /// Member keys (`member [condition]`) present only in the new report.
+    pub added: Vec<String>,
+    /// Member keys present only in the old report.
+    pub removed: Vec<String>,
+    /// Field-level changes of members present in both, prefixed with the
+    /// member key.
+    pub changed: Vec<FieldDelta>,
+    /// Field-level changes of the resolver checks, prefixed with the
+    /// stack label.
+    pub resolver_changed: Vec<FieldDelta>,
+    /// Changes in the population-level summary booleans/counters.
+    pub summary_changed: Vec<FieldDelta>,
+}
+
+lazyeye_json::impl_json_struct!(FleetDiff {
+    added,
+    removed,
+    changed,
+    resolver_changed,
+    summary_changed,
+});
+
+fn member_key(m: &MemberReport) -> String {
+    format!("{} [{}]", m.member, m.condition)
+}
+
+/// Per-member behaviour deltas: the Figure-4 grid, the CAD bracket/point,
+/// the RD verdict, the inferred profile (via [`diff_profiles`]) and the
+/// per-feature RFC 8305 verdicts.
+fn diff_members(old: &MemberReport, new: &MemberReport) -> Vec<FieldDelta> {
+    let mut out = Vec::new();
+    push_delta(&mut out, "grid", old.grid.clone(), new.grid.clone());
+    push_delta(
+        &mut out,
+        "rd_grid",
+        old.rd_grid.clone(),
+        new.rd_grid.clone(),
+    );
+    push_delta(
+        &mut out,
+        "cad_last_v6_ms",
+        fmt_opt(&old.cad_last_v6_ms),
+        fmt_opt(&new.cad_last_v6_ms),
+    );
+    push_delta(
+        &mut out,
+        "cad_first_v4_ms",
+        fmt_opt(&old.cad_first_v4_ms),
+        fmt_opt(&new.cad_first_v4_ms),
+    );
+    push_delta(
+        &mut out,
+        "cad_point_ms",
+        fmt_opt(&old.cad_point_ms),
+        fmt_opt(&new.cad_point_ms),
+    );
+    push_delta(
+        &mut out,
+        "cad_dynamic",
+        old.cad_dynamic.to_string(),
+        new.cad_dynamic.to_string(),
+    );
+    push_delta(
+        &mut out,
+        "rd_verdict",
+        old.rd_verdict.clone(),
+        new.rd_verdict.clone(),
+    );
+    push_delta(
+        &mut out,
+        "agrees_with_known",
+        old.agreement.agrees.to_string(),
+        new.agreement.agrees.to_string(),
+    );
+    for delta in diff_profiles(&old.inferred, &new.inferred) {
+        out.push(FieldDelta {
+            field: format!("inferred.{}", delta.field),
+            ..delta
+        });
+    }
+    // Conformance verdicts, matched by feature name (symmetric: a
+    // feature present on either side only still produces a delta).
+    diff_conformance(&mut out, &old.conformance, &new.conformance);
+    out
+}
+
+/// Pushes a delta per conformance feature that changed, appeared (`-` →
+/// verdict) or disappeared (verdict → `-`).
+fn diff_conformance(
+    out: &mut Vec<FieldDelta>,
+    old: &[lazyeye_infer::ConformanceEntry],
+    new: &[lazyeye_infer::ConformanceEntry],
+) {
+    for e_new in new {
+        let old_v = old
+            .iter()
+            .find(|e| e.feature == e_new.feature)
+            .map(|e| e.render())
+            .unwrap_or_else(|| "-".to_string());
+        push_delta(
+            out,
+            format!("conformance.{}", e_new.feature),
+            old_v,
+            e_new.render(),
+        );
+    }
+    for e_old in old {
+        if !new.iter().any(|e| e.feature == e_old.feature) {
+            push_delta(
+                out,
+                format!("conformance.{}", e_old.feature),
+                e_old.render(),
+                "-".to_string(),
+            );
+        }
+    }
+}
+
+fn diff_resolver_checks(old: &ResolverCheckReport, new: &ResolverCheckReport) -> Vec<FieldDelta> {
+    let mut out = Vec::new();
+    push_delta(
+        &mut out,
+        "capable_share",
+        format!("{}/{}", old.capable, old.runs),
+        format!("{}/{}", new.capable, new.runs),
+    );
+    push_delta(
+        &mut out,
+        "aaaa_first_share_pct",
+        fmt_opt(&old.aaaa_first_share_pct),
+        fmt_opt(&new.aaaa_first_share_pct),
+    );
+    diff_conformance(&mut out, &old.conformance, &new.conformance);
+    out
+}
+
+/// Diffs two fleet reports: membership changes, per-member behaviour
+/// deltas, resolver-check deltas and summary deltas.
+pub fn diff_fleet_reports(old: &FleetReport, new: &FleetReport) -> FleetDiff {
+    let mut diff = FleetDiff {
+        added: Vec::new(),
+        removed: Vec::new(),
+        changed: Vec::new(),
+        resolver_changed: Vec::new(),
+        summary_changed: Vec::new(),
+    };
+    for m in &new.members {
+        if !old
+            .members
+            .iter()
+            .any(|o| o.member == m.member && o.condition == m.condition)
+        {
+            diff.added.push(member_key(m));
+        }
+    }
+    for o in &old.members {
+        match new
+            .members
+            .iter()
+            .find(|m| m.member == o.member && m.condition == o.condition)
+        {
+            None => diff.removed.push(member_key(o)),
+            Some(m) => {
+                for delta in diff_members(o, m) {
+                    diff.changed.push(FieldDelta {
+                        field: format!("{}.{}", member_key(o), delta.field),
+                        ..delta
+                    });
+                }
+            }
+        }
+    }
+    for o in &old.resolver_checks {
+        match new.resolver_checks.iter().find(|n| n.stack == o.stack) {
+            Some(n) => {
+                for delta in diff_resolver_checks(o, n) {
+                    diff.resolver_changed.push(FieldDelta {
+                        field: format!("{}.{}", o.stack, delta.field),
+                        ..delta
+                    });
+                }
+            }
+            // A stack that stopped being checked is itself a change.
+            None => push_delta(
+                &mut diff.resolver_changed,
+                format!("{}.present", o.stack),
+                "true".to_string(),
+                "-".to_string(),
+            ),
+        }
+    }
+    for n in &new.resolver_checks {
+        if !old.resolver_checks.iter().any(|o| o.stack == n.stack) {
+            push_delta(
+                &mut diff.resolver_changed,
+                format!("{}.present", n.stack),
+                "-".to_string(),
+                "true".to_string(),
+            );
+        }
+    }
+    let s_old = &old.summary;
+    let s_new = &new.summary;
+    push_delta(
+        &mut diff.summary_changed,
+        "all_fixed_cad_bracketed",
+        s_old.all_fixed_cad_bracketed.to_string(),
+        s_new.all_fixed_cad_bracketed.to_string(),
+    );
+    push_delta(
+        &mut diff.summary_changed,
+        "all_dynamic_cad_flagged",
+        s_old.all_dynamic_cad_flagged.to_string(),
+        s_new.all_dynamic_cad_flagged.to_string(),
+    );
+    push_delta(
+        &mut diff.summary_changed,
+        "agreeing_members",
+        format!("{}/{}", s_old.agreeing_members, s_old.members),
+        format!("{}/{}", s_new.agreeing_members, s_new.members),
+    );
+    diff
+}
+
+impl FleetDiff {
+    /// `true` when the two reports describe identical population
+    /// behaviour.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+            && self.removed.is_empty()
+            && self.changed.is_empty()
+            && self.resolver_changed.is_empty()
+            && self.summary_changed.is_empty()
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = ToJson::to_json(self).to_string_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// Human-readable rendering, `campaign --diff` style.
+    pub fn render_text(&self) -> String {
+        if self.is_empty() {
+            return "no behaviour changes\n".to_string();
+        }
+        let mut out = String::new();
+        for s in &self.removed {
+            out.push_str(&format!("- member {s}\n"));
+        }
+        for s in &self.added {
+            out.push_str(&format!("+ member {s}\n"));
+        }
+        for d in &self.changed {
+            out.push_str(&format!("~ {d}\n"));
+        }
+        for d in &self.resolver_changed {
+            out.push_str(&format!("~ resolver {d}\n"));
+        }
+        for d in &self.summary_changed {
+            out.push_str(&format!("~ summary {d}\n"));
+        }
+        out
+    }
+}
+
+/// Parses a fleet report from JSON text (shared by the CLI's `--diff`).
+pub fn parse_report(text: &str) -> Result<FleetReport, String> {
+    FleetReport::from_json_str(text).map_err(|e| e.to_string())
+}
+
+/// Convenience: parse two JSON reports and diff them.
+pub fn diff_report_strs(old: &str, new: &str) -> Result<FleetDiff, String> {
+    let old = parse_report(old).map_err(|e| format!("old report: {e}"))?;
+    let new = parse_report(new).map_err(|e| format!("new report: {e}"))?;
+    Ok(diff_fleet_reports(&old, &new))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_fleet, FleetSpec};
+
+    fn small_spec(seed: u64) -> FleetSpec {
+        FleetSpec {
+            population: vec!["firefox-131.0".to_string()],
+            seed,
+            cad_sessions: 1,
+            rd_sessions: 1,
+            repetitions: 1,
+            resolver_checks: 1,
+            ..FleetSpec::default()
+        }
+    }
+
+    #[test]
+    fn identical_reports_diff_empty() {
+        let report = run_fleet(&small_spec(5), 2, |_, _| {}).unwrap();
+        let diff = diff_fleet_reports(&report, &report);
+        assert!(diff.is_empty(), "self-diff must be empty: {diff:?}");
+        assert_eq!(diff.render_text(), "no behaviour changes\n");
+        // JSON round trip of the diff itself.
+        let back: FleetDiff =
+            lazyeye_json::FromJson::from_json(&lazyeye_json::Json::parse(&diff.to_json()).unwrap())
+                .unwrap();
+        assert_eq!(back, diff);
+    }
+
+    #[test]
+    fn changed_member_behaviour_is_surfaced() {
+        let report = run_fleet(&small_spec(5), 2, |_, _| {}).unwrap();
+        let mut tweaked = report.clone();
+        // Pick a verdict different from whatever was measured.
+        let flipped = if tweaked.members[0].rd_verdict == "stall" {
+            "armed"
+        } else {
+            "stall"
+        };
+        tweaked.members[0].rd_verdict = flipped.to_string();
+        tweaked.members[0].agreement.agrees = false;
+        let diff = diff_fleet_reports(&report, &tweaked);
+        assert!(diff
+            .changed
+            .iter()
+            .any(|d| d.field.ends_with(".rd_verdict") && d.new == flipped));
+        assert!(diff
+            .changed
+            .iter()
+            .any(|d| d.field.ends_with(".agrees_with_known")));
+        let text = diff.render_text();
+        assert!(text.contains("rd_verdict"), "{text}");
+    }
+
+    #[test]
+    fn resolver_stack_membership_changes_are_surfaced() {
+        let report = run_fleet(&small_spec(5), 2, |_, _| {}).unwrap();
+        let mut shrunk = report.clone();
+        let gone = shrunk.resolver_checks.pop().unwrap();
+        let diff = diff_fleet_reports(&report, &shrunk);
+        assert!(
+            diff.resolver_changed
+                .iter()
+                .any(|d| d.field == format!("{}.present", gone.stack) && d.new == "-"),
+            "dropped stack must show: {diff:?}"
+        );
+        let diff = diff_fleet_reports(&shrunk, &report);
+        assert!(diff
+            .resolver_changed
+            .iter()
+            .any(|d| d.field == format!("{}.present", gone.stack) && d.new == "true"));
+    }
+
+    #[test]
+    fn disappeared_conformance_feature_is_surfaced() {
+        let report = run_fleet(&small_spec(5), 2, |_, _| {}).unwrap();
+        let mut shrunk = report.clone();
+        let gone = shrunk.members[0].conformance.pop().unwrap();
+        let diff = diff_fleet_reports(&report, &shrunk);
+        assert!(
+            diff.changed
+                .iter()
+                .any(
+                    |d| d.field.ends_with(&format!("conformance.{}", gone.feature)) && d.new == "-"
+                ),
+            "a verdict that stopped being emitted must show as a delta: {diff:?}"
+        );
+    }
+
+    #[test]
+    fn membership_changes_are_listed() {
+        let report = run_fleet(&small_spec(5), 2, |_, _| {}).unwrap();
+        let mut shrunk = report.clone();
+        let gone = shrunk.members.pop().unwrap();
+        let diff = diff_fleet_reports(&report, &shrunk);
+        assert_eq!(diff.removed, vec![member_key(&gone)]);
+        let diff = diff_fleet_reports(&shrunk, &report);
+        assert_eq!(diff.added, vec![member_key(&gone)]);
+    }
+
+    #[test]
+    fn json_report_strings_roundtrip_through_diff() {
+        let report = run_fleet(&small_spec(5), 2, |_, _| {}).unwrap();
+        let text = report.to_json();
+        let diff = diff_report_strs(&text, &text).unwrap();
+        assert!(diff.is_empty());
+    }
+}

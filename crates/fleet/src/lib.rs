@@ -35,6 +35,7 @@
 
 pub mod checkpoint;
 pub mod collect;
+pub mod diff;
 pub mod known;
 pub mod plan;
 pub mod report;
@@ -45,6 +46,7 @@ use std::collections::BTreeMap;
 
 pub use checkpoint::{merge_partials, FleetCheckpoint};
 pub use collect::{CaseAggregate, Collector, TierCell};
+pub use diff::{diff_fleet_reports, diff_report_strs, FleetDiff};
 pub use known::{check_agreement, expected_profile, known_verdicts, KnownAgreement};
 pub use lazyeye_exec::Shard;
 pub use plan::{derive_session_seed, expand, FleetPlan, SessionKind, SessionSpec};

@@ -424,9 +424,16 @@ const CSV_COLUMNS: [&str; 15] = [
 impl FleetReport {
     /// Pretty JSON rendering.
     pub fn to_json(&self) -> String {
-        let mut out = ToJson::to_json(self).to_string_pretty();
-        out.push('\n');
+        let mut out = String::new();
+        self.to_json_into(&mut out);
         out
+    }
+
+    /// Pretty JSON rendering appended to a reusable caller buffer (the
+    /// CLI renders once and reuses the bytes for stdout and `--out`).
+    pub fn to_json_into(&self, out: &mut String) {
+        ToJson::to_json(self).write_pretty_into(out);
+        out.push('\n');
     }
 
     /// Parses a report back from its JSON rendering.
@@ -437,6 +444,13 @@ impl FleetReport {
     /// CSV rendering: one row per member.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
+        self.to_csv_into(&mut out);
+        out
+    }
+
+    /// CSV rendering appended to a reusable caller buffer.
+    pub fn to_csv_into(&self, out: &mut String) {
+        out.reserve(64 + self.members.len() * 160);
         out.push_str(&CSV_COLUMNS.join(","));
         out.push('\n');
         for m in &self.members {
@@ -462,20 +476,8 @@ impl FleetReport {
                 m.agreement.agrees.to_string(),
                 deviations.to_string(),
             ];
-            let quoted: Vec<String> = row
-                .iter()
-                .map(|cell| {
-                    if cell.contains(',') || cell.contains('"') {
-                        format!("\"{}\"", cell.replace('"', "\"\""))
-                    } else {
-                        cell.clone()
-                    }
-                })
-                .collect();
-            out.push_str(&quoted.join(","));
-            out.push('\n');
+            lazyeye_json::push_csv_row(out, &row);
         }
-        out
     }
 
     /// Human-readable summary: the Figure-4 grid, the conformance

@@ -187,6 +187,13 @@ impl PartialEq<bool> for Json {
 // ---------------------------------------------------------------------------
 
 fn escape_into(s: &str, out: &mut String) {
+    // Fast path: almost every key and value in a report is escape-free.
+    if !s.bytes().any(|b| b == b'"' || b == b'\\' || b < 0x20) {
+        out.push('"');
+        out.push_str(s);
+        out.push('"');
+        return;
+    }
     out.push('"');
     for c in s.chars() {
         match c {
@@ -214,7 +221,45 @@ fn number_to_string(f: f64) -> String {
     format!("{f}")
 }
 
+/// Appends `n` spaces without allocating (the pretty printer previously
+/// built a fresh `String` per indented line via `" ".repeat(..)`).
+fn push_spaces(out: &mut String, n: usize) {
+    const SPACES: &str = "                                                                ";
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(SPACES.len());
+        out.push_str(&SPACES[..take]);
+        left -= take;
+    }
+}
+
 impl Json {
+    /// A close upper-bound estimate of the compact rendering's byte
+    /// length, used to pre-size output buffers (reports are built from
+    /// thousands of small values; growing a `String` through repeated
+    /// doublings showed up in the campaign writer's profile).
+    pub fn estimate_compact_len(&self) -> usize {
+        match self {
+            Json::Null | Json::Bool(_) => 5,
+            Json::Int(_) | Json::UInt(_) => 20,
+            Json::Float(_) => 24,
+            // `+ 8` leaves headroom for escapes.
+            Json::Str(s) => s.len() + 8,
+            Json::Arr(items) => {
+                2 + items
+                    .iter()
+                    .map(|v| v.estimate_compact_len() + 1)
+                    .sum::<usize>()
+            }
+            Json::Obj(pairs) => {
+                2 + pairs
+                    .iter()
+                    .map(|(k, v)| k.len() + 4 + v.estimate_compact_len() + 1)
+                    .sum::<usize>()
+            }
+        }
+    }
+
     fn write_compact(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -262,11 +307,11 @@ impl Json {
                     if i > 0 {
                         out.push_str(",\n");
                     }
-                    out.push_str(&" ".repeat(indent + STEP));
+                    push_spaces(out, indent + STEP);
                     v.write_pretty(out, indent + STEP);
                 }
                 out.push('\n');
-                out.push_str(&" ".repeat(indent));
+                push_spaces(out, indent);
                 out.push(']');
             }
             Json::Obj(pairs) if !pairs.is_empty() => {
@@ -275,13 +320,13 @@ impl Json {
                     if i > 0 {
                         out.push_str(",\n");
                     }
-                    out.push_str(&" ".repeat(indent + STEP));
+                    push_spaces(out, indent + STEP);
                     escape_into(k, out);
                     out.push_str(": ");
                     v.write_pretty(out, indent + STEP);
                 }
                 out.push('\n');
-                out.push_str(&" ".repeat(indent));
+                push_spaces(out, indent);
                 out.push('}');
             }
             other => other.write_compact(out),
@@ -290,16 +335,32 @@ impl Json {
 
     /// Compact rendering (no whitespace).
     pub fn to_string_compact(&self) -> String {
-        let mut out = String::new();
+        let mut out = String::with_capacity(self.estimate_compact_len());
         self.write_compact(&mut out);
         out
     }
 
+    /// Compact rendering appended to a caller-owned buffer — lets report
+    /// writers and periodic checkpoint savers reuse one allocation.
+    pub fn write_compact_into(&self, out: &mut String) {
+        out.reserve(self.estimate_compact_len());
+        self.write_compact(out);
+    }
+
     /// Pretty rendering, two-space indent.
     pub fn to_string_pretty(&self) -> String {
-        let mut out = String::new();
+        // Indentation roughly doubles the compact size for report-shaped
+        // documents (one scalar per line).
+        let mut out = String::with_capacity(self.estimate_compact_len() * 2);
         self.write_pretty(&mut out, 0);
         out
+    }
+
+    /// Pretty rendering appended to a caller-owned buffer; see
+    /// [`Json::write_compact_into`].
+    pub fn write_pretty_into(&self, out: &mut String) {
+        out.reserve(self.estimate_compact_len() * 2);
+        self.write_pretty(out, 0);
     }
 }
 
@@ -848,6 +909,26 @@ macro_rules! impl_json_unit_enum {
             }
         }
     };
+}
+
+/// Appends one CSV row to `out`: cells comma-joined, a cell quoted (with
+/// `"` doubled) when it contains a comma or a quote, plus a trailing
+/// newline. Shared by the campaign and fleet report writers so their
+/// escaping can never diverge.
+pub fn push_csv_row(out: &mut String, cells: &[String]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if cell.contains(',') || cell.contains('"') {
+            out.push('"');
+            out.push_str(&cell.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(cell);
+        }
+    }
+    out.push('\n');
 }
 
 #[cfg(test)]

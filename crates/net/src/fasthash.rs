@@ -1,0 +1,111 @@
+//! A fast, deterministic hasher for the simulator's per-packet maps.
+//!
+//! `std`'s default SipHash showed up as one of the top costs in the
+//! packet path profile: every routed packet hashes an `IpAddr` (routes),
+//! a `(SocketAddr, SocketAddr, Proto)` flow key and a socket key. These
+//! maps are in-process, keyed by trusted simulation state, and never face
+//! attacker-chosen keys, so HashDoS resistance buys nothing here. This is
+//! the FxHash multiply-rotate scheme (rustc's internal hasher): one
+//! wrapping multiply per 8-byte chunk.
+//!
+//! Determinism note: unlike `RandomState`, the hash is identical across
+//! processes — map *iteration* order (which no report-visible code path
+//! relies on, as the byte-identical golden reports prove) becomes
+//! reproducible too, which can only help the determinism story.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word-at-a-time multiplicative hasher.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, SocketAddr};
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let key: SocketAddr = "192.0.2.1:53".parse().unwrap();
+        let h = |k: &SocketAddr| {
+            use std::hash::BuildHasher;
+            FxBuildHasher::default().hash_one(k)
+        };
+        assert_eq!(h(&key), h(&key));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<IpAddr, usize> = FxHashMap::default();
+        m.insert("2001:db8::1".parse().unwrap(), 7);
+        m.insert("192.0.2.1".parse().unwrap(), 9);
+        assert_eq!(m[&"2001:db8::1".parse::<IpAddr>().unwrap()], 7);
+        assert_eq!(m.len(), 2);
+    }
+}

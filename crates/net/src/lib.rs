@@ -30,6 +30,7 @@
 
 pub mod addr;
 mod error;
+pub mod fasthash;
 mod host;
 mod netem;
 mod packet;

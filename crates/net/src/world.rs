@@ -8,15 +8,15 @@
 //! configurable per-class delay — the same model `tc-netem` imposes.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 use std::net::{IpAddr, SocketAddr};
 use std::rc::Rc;
 use std::time::Duration;
 
-use lazyeye_sim::{sleep_until, spawn, with_rng, SimTime};
+use lazyeye_sim::{sleep_until, spawn_detached, with_rng, SimTime};
 use rand::Rng;
 
 use crate::addr::Family;
+use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::netem::{first_match, Netem, NetemRule};
 use crate::packet::{Direction, Packet, PacketRecord, Proto};
 use crate::tcp;
@@ -42,14 +42,14 @@ pub(crate) struct HostState {
     pub addrs: Vec<IpAddr>,
     pub egress: Vec<NetemRule>,
     pub ingress: Vec<NetemRule>,
-    pub udp_bound: HashMap<(IpAddr, u16), Rc<RefCell<udp::UdpSockState>>>,
-    pub udp_any: HashMap<u16, Rc<RefCell<udp::UdpSockState>>>,
-    pub tcp_listeners: HashMap<(IpAddr, u16), Rc<RefCell<tcp::ListenerState>>>,
-    pub tcp_listeners_any: HashMap<u16, Rc<RefCell<tcp::ListenerState>>>,
-    pub tcp_conns: HashMap<ConnKey, Rc<RefCell<tcp::ConnState>>>,
+    pub udp_bound: FxHashMap<(IpAddr, u16), Rc<RefCell<udp::UdpSockState>>>,
+    pub udp_any: FxHashMap<u16, Rc<RefCell<udp::UdpSockState>>>,
+    pub tcp_listeners: FxHashMap<(IpAddr, u16), Rc<RefCell<tcp::ListenerState>>>,
+    pub tcp_listeners_any: FxHashMap<u16, Rc<RefCell<tcp::ListenerState>>>,
+    pub tcp_conns: FxHashMap<ConnKey, Rc<RefCell<tcp::ConnState>>>,
     pub next_ephemeral: u16,
     pub closed_port_policy: ClosedPortPolicy,
-    pub blackholes: HashSet<IpAddr>,
+    pub blackholes: FxHashSet<IpAddr>,
     pub capture_on: bool,
 }
 
@@ -60,14 +60,14 @@ impl HostState {
             addrs: Vec::new(),
             egress: Vec::new(),
             ingress: Vec::new(),
-            udp_bound: HashMap::new(),
-            udp_any: HashMap::new(),
-            tcp_listeners: HashMap::new(),
-            tcp_listeners_any: HashMap::new(),
-            tcp_conns: HashMap::new(),
+            udp_bound: FxHashMap::default(),
+            udp_any: FxHashMap::default(),
+            tcp_listeners: FxHashMap::default(),
+            tcp_listeners_any: FxHashMap::default(),
+            tcp_conns: FxHashMap::default(),
             next_ephemeral: 49152,
             closed_port_policy: ClosedPortPolicy::default(),
-            blackholes: HashSet::new(),
+            blackholes: FxHashSet::default(),
             capture_on: true,
         }
     }
@@ -91,8 +91,8 @@ type FlowKey = (SocketAddr, SocketAddr, Proto);
 
 pub(crate) struct World {
     pub hosts: Vec<HostState>,
-    pub routes: HashMap<IpAddr, usize>,
-    pub flows: HashMap<FlowKey, SimTime>,
+    pub routes: FxHashMap<IpAddr, usize>,
+    pub flows: FxHashMap<FlowKey, SimTime>,
     pub captures: Vec<Vec<PacketRecord>>,
     pub seq: u64,
     /// Base one-way propagation delay of the fabric (default 200 µs — a
@@ -108,8 +108,8 @@ impl World {
     pub fn new() -> World {
         World {
             hosts: Vec::new(),
-            routes: HashMap::new(),
-            flows: HashMap::new(),
+            routes: FxHashMap::default(),
+            flows: FxHashMap::default(),
             captures: Vec::new(),
             seq: 0,
             base_delay: Duration::from_micros(200),
@@ -120,7 +120,9 @@ impl World {
 
     pub fn add_host(&mut self, name: &str) -> usize {
         self.hosts.push(HostState::new(name.to_string()));
-        self.captures.push(Vec::new());
+        // A measurement run captures a few dozen records per host;
+        // pre-sizing skips the doubling reallocations on the packet path.
+        self.captures.push(Vec::with_capacity(64));
         self.hosts.len() - 1
     }
 
@@ -228,10 +230,13 @@ pub(crate) fn send_packet(world: &WorldRc, from: usize, pkt: Packet) {
         }
     }
 
+    // Fire-and-forget delivery tasks: one per surviving copy, spawned on
+    // the no-JoinHandle fast path (these are the most frequent spawns in
+    // the whole simulator — several per measured packet).
     for at in deliveries {
         let world = Rc::clone(world);
         let pkt = pkt.clone();
-        spawn(async move {
+        spawn_detached(async move {
             sleep_until(at).await;
             deliver(&world, pkt);
         });

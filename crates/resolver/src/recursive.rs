@@ -10,7 +10,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use lazyeye_dns::{Message, Name, RData, Rcode, Record, RrType};
 use lazyeye_net::{Family, Host};
-use lazyeye_sim::{now, spawn, timeout, with_rng};
+use lazyeye_sim::{now, timeout, with_rng};
 use rand::Rng;
 
 use crate::cache::DnsCache;
@@ -345,7 +345,7 @@ impl RecursiveResolver {
             // after the resolver is already talking to the zone over IPv4.
             let this = Rc::clone(self);
             let nsname2 = nsname.clone();
-            spawn(async move {
+            lazyeye_sim::spawn_detached(async move {
                 let _ = this.resolve_depth(nsname2, RrType::Aaaa, depth + 1).await;
             });
         }

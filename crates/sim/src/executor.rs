@@ -1,22 +1,42 @@
 //! The deterministic single-threaded executor driving virtual time.
 //!
-//! Design (following the async-book executor recipe, adapted to virtual
-//! time): tasks are plain `Pin<Box<dyn Future>>` values stored in a
-//! [`Sim`]-owned slab. Wakers push task ids onto a shared ready queue.
-//! When the ready queue drains, the executor pops the earliest timer from a
-//! binary heap, *jumps* the clock to its deadline and fires it. A run ends
-//! when no tasks are ready and no timers are pending ("quiescent").
+//! Design (hot-path overhaul of the original async-book-style executor):
 //!
-//! Everything that wakers touch lives behind `Arc<parking_lot::Mutex<..>>`
-//! so the `Waker` contract (thread-safety) is met without `unsafe`; the
-//! futures themselves are `!Send` and never leave the driving thread.
+//! * **Task slab** — tasks live in a generation-indexed free-list `Vec`
+//!   slab instead of a `HashMap`. A [`TaskId`] packs `(slot, generation)`;
+//!   freeing a slot bumps its generation, so a stale id (a timer or waker
+//!   outliving its task) can never reach a recycled task.
+//! * **Ready queue** — wakes dedup through a per-slot generation tag
+//!   (`gen + 1`, 0 = not queued) instead of a `HashSet`: O(1) array reads,
+//!   no hashing, and stale-generation wakes are dropped at the door (they
+//!   were provable no-ops in the old executor too).
+//! * **Timers** — a hierarchical timer wheel ([`crate::wheel`]) stores
+//!   24-byte `(deadline, seq, TaskId)` records. The old binary heap cloned
+//!   a `Waker` (an `Arc` bump + 16 bytes) per armed timer; the wheel wakes
+//!   tasks by id through the one pooled waker allocated per *task* at
+//!   spawn.
+//! * **Lock split** — only the waker-reachable [`WakeQueue`] stays behind
+//!   `Arc<parking_lot::Mutex>` (the `Waker` contract demands `Send +
+//!   Sync`). The clock, RNG, slab and wheel live in a driving-thread-only
+//!   `Rc<RefCell<ExecCore>>`, so `now()`/`with_rng`/timer arming stop
+//!   paying lock + `Arc` traffic.
+//! * **Arena reuse** — [`Sim::reset`] returns a simulation to its freshly
+//!   seeded state while keeping every allocation (slab, wheel slots, ready
+//!   queue); [`SimPool`]/[`pooled`] recycle whole `Sim`s per worker thread
+//!   so a measurement campaign stops paying a full allocation storm per
+//!   run.
+//!
+//! The observable schedule is bit-identical to the original executor:
+//! ready tasks run in FIFO wake order, timers fire in strict
+//! `(deadline, registration-seq)` order, and one timer fires per clock
+//! advance before the ready queue drains again. The workspace's golden
+//! report hashes (`tests/golden_pin.rs`) pin this equivalence.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::Duration;
@@ -26,66 +46,172 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 
-/// Identifier of a spawned task, unique within one [`Sim`].
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+/// Identifier of a spawned task, unique within one [`Sim`] *lifetime*:
+/// the low 32 bits index the task slab, the high 32 bits carry the slot's
+/// generation (bumped whenever a slot is freed), so recycled slots never
+/// alias old ids.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(u64);
+
+impl TaskId {
+    pub(crate) fn pack(slot: u32, generation: u32) -> TaskId {
+        TaskId((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+impl std::fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaskId({}v{})", self.slot(), self.generation())
+    }
+}
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 
-/// A timer waiting in the heap: fires `waker` once the clock reaches `at`.
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
-    waker: Waker,
+// ---------------------------------------------------------------------------
+// Global scheduler statistics (benchmark + CI counters)
+// ---------------------------------------------------------------------------
+
+static G_POLLS: AtomicU64 = AtomicU64::new(0);
+static G_TIMERS_FIRED: AtomicU64 = AtomicU64::new(0);
+static G_TIMERS_ARMED: AtomicU64 = AtomicU64::new(0);
+static G_TASKS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+static G_SLOTS_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static G_SLOTS_REUSED: AtomicU64 = AtomicU64::new(0);
+static G_SIMS_CREATED: AtomicU64 = AtomicU64::new(0);
+static G_SIMS_RESET: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide scheduler counters, aggregated across every [`Sim`] as it
+/// is reset or dropped. Deterministic for a fixed workload (whatever the
+/// worker count), which is what lets CI pin them in `BENCH.json`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// `Future::poll` calls.
+    pub polls: u64,
+    /// Timers popped from the wheel.
+    pub timers_fired: u64,
+    /// Timers armed (wheel inserts).
+    pub timers_armed: u64,
+    /// Tasks spawned.
+    pub tasks_spawned: u64,
+    /// Fresh slab slots allocated (each costs one waker + slot alloc).
+    pub slots_allocated: u64,
+    /// Slab slots recycled through the free list (alloc-free spawns).
+    pub slots_reused: u64,
+    /// Simulations created from scratch.
+    pub sims_created: u64,
+    /// Simulations reused via [`Sim::reset`] / [`SimPool`].
+    pub sims_reset: u64,
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+/// Snapshot of the process-wide scheduler counters. Per-`Sim` tallies are
+/// flushed here on [`Sim::reset`] and on drop, so read this after the
+/// workload's sims are done (or pooled).
+pub fn sim_stats() -> SimStats {
+    SimStats {
+        polls: G_POLLS.load(Ordering::Relaxed),
+        timers_fired: G_TIMERS_FIRED.load(Ordering::Relaxed),
+        timers_armed: G_TIMERS_ARMED.load(Ordering::Relaxed),
+        tasks_spawned: G_TASKS_SPAWNED.load(Ordering::Relaxed),
+        slots_allocated: G_SLOTS_ALLOCATED.load(Ordering::Relaxed),
+        slots_reused: G_SLOTS_REUSED.load(Ordering::Relaxed),
+        sims_created: G_SIMS_CREATED.load(Ordering::Relaxed),
+        sims_reset: G_SIMS_RESET.load(Ordering::Relaxed),
     }
 }
 
-/// The waker-reachable scheduler state. Must be `Send + Sync`-compatible.
-pub(crate) struct SchedInner {
-    now: SimTime,
-    ready: VecDeque<TaskId>,
-    /// Tasks currently sitting in `ready`, to de-duplicate wakes.
-    enqueued: std::collections::HashSet<TaskId>,
-    timers: BinaryHeap<Reverse<TimerEntry>>,
-    timer_seq: u64,
-    next_task: u64,
-    pub(crate) rng: SmallRng,
-    /// Counters exposed for benchmarking and diagnostics.
-    polls: u64,
-    timers_fired: u64,
+/// Zeroes the process-wide scheduler counters (bench harness setup).
+pub fn reset_sim_stats() {
+    for g in [
+        &G_POLLS,
+        &G_TIMERS_FIRED,
+        &G_TIMERS_ARMED,
+        &G_TASKS_SPAWNED,
+        &G_SLOTS_ALLOCATED,
+        &G_SLOTS_REUSED,
+        &G_SIMS_CREATED,
+        &G_SIMS_RESET,
+    ] {
+        g.store(0, Ordering::Relaxed);
+    }
 }
 
-impl SchedInner {
+// ---------------------------------------------------------------------------
+// Waker-reachable side: the wake queue
+// ---------------------------------------------------------------------------
+
+/// The only scheduler state wakers can reach. Everything else lives in
+/// [`ExecCore`] behind a driving-thread-only `RefCell`.
+struct WakeQueue {
+    ready: std::collections::VecDeque<TaskId>,
+    /// Per-slot dedup tag: `generation + 1` of the queued id, 0 = none.
+    /// The tag only ratchets upward, so a stale (older-generation) wake
+    /// arriving while a newer task occupies the slot is dropped — it was
+    /// a no-op in the old executor too (popped, looked up, skipped).
+    queued: Vec<u64>,
+}
+
+impl WakeQueue {
     fn enqueue(&mut self, id: TaskId) {
-        if self.enqueued.insert(id) {
-            self.ready.push_back(id);
+        let slot = id.slot();
+        if self.queued.len() <= slot {
+            self.queued.resize(slot + 1, 0);
         }
+        let tag = u64::from(id.generation()) + 1;
+        if self.queued[slot] >= tag {
+            // Already queued (==), or a newer generation holds the slot
+            // (>): either way this wake cannot change the schedule.
+            return;
+        }
+        self.queued[slot] = tag;
+        self.ready.push_back(id);
+    }
+
+    fn pop(&mut self) -> Option<TaskId> {
+        let id = self.ready.pop_front()?;
+        let slot = id.slot();
+        if self.queued[slot] == u64::from(id.generation()) + 1 {
+            self.queued[slot] = 0;
+        }
+        Some(id)
+    }
+
+    fn clear(&mut self) {
+        self.ready.clear();
+        self.queued.iter_mut().for_each(|q| *q = 0);
     }
 }
 
-pub(crate) type Sched = Arc<Mutex<SchedInner>>;
+type SharedWake = Arc<Mutex<WakeQueue>>;
 
-/// Waker implementation: waking re-queues the task on its scheduler.
+/// Waker implementation: waking re-queues the task on its wake queue. One
+/// of these is allocated per *task* at spawn; timers don't touch it at
+/// all (the wheel stores bare [`TaskId`]s). It doubles as the task's
+/// abort flag so a spawn costs one shared allocation, not two.
 struct TaskWaker {
     id: TaskId,
-    sched: Weak<Mutex<SchedInner>>,
+    wake: Weak<Mutex<WakeQueue>>,
+    abort: AtomicBool,
+}
+
+impl TaskWaker {
+    /// Sets the abort flag and schedules the task so the executor drops
+    /// its future promptly.
+    fn abort(&self) {
+        self.abort.store(true, Ordering::Relaxed);
+        if let Some(wake) = self.wake.upgrade() {
+            wake.lock().enqueue(self.id);
+        }
+    }
 }
 
 impl Wake for TaskWaker {
@@ -93,22 +219,170 @@ impl Wake for TaskWaker {
         self.wake_by_ref();
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        if let Some(sched) = self.sched.upgrade() {
-            sched.lock().enqueue(self.id);
+        if let Some(wake) = self.wake.upgrade() {
+            wake.lock().enqueue(self.id);
         }
     }
 }
 
+// ---------------------------------------------------------------------------
+// Driving-thread side: slab + core
+// ---------------------------------------------------------------------------
+
 struct TaskEntry {
     fut: BoxFuture,
-    abort: Arc<AtomicBool>,
+    /// The task's pooled waker (id + wake queue + abort flag): cloned (an
+    /// `Arc` bump, no allocation) by every primitive that parks this task.
+    tw: Arc<TaskWaker>,
 }
 
-/// The non-`Send` side of the executor: the futures themselves.
-struct TaskStore {
-    tasks: HashMap<TaskId, TaskEntry>,
-    /// Spawns performed while the executor is polling a task.
-    pending: Vec<(TaskId, TaskEntry)>,
+enum SlotState {
+    Vacant,
+    /// The entry is out being polled; the slot keeps its generation so
+    /// re-entrant wakes still target a live task.
+    Polling,
+    Occupied(TaskEntry),
+}
+
+struct Slot {
+    generation: u32,
+    state: SlotState,
+}
+
+/// Generation-indexed free-list slab of live tasks.
+struct Slab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Reserves a slot and builds its entry from the resulting id.
+    /// Returns the id and whether the slot was recycled.
+    fn alloc(&mut self, make: impl FnOnce(TaskId) -> TaskEntry) -> (TaskId, bool) {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let id = TaskId::pack(slot, self.slots[slot as usize].generation);
+            self.slots[slot as usize].state = SlotState::Occupied(make(id));
+            (id, true)
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("task slab exceeds u32 slots");
+            let id = TaskId::pack(slot, 0);
+            self.slots.push(Slot {
+                generation: 0,
+                state: SlotState::Occupied(make(id)),
+            });
+            (id, false)
+        }
+    }
+
+    /// Whether `id` names a live (not freed, not recycled) task.
+    fn is_live(&self, id: TaskId) -> bool {
+        self.slots.get(id.slot()).is_some_and(|s| {
+            s.generation == id.generation()
+                && matches!(s.state, SlotState::Occupied(_) | SlotState::Polling)
+        })
+    }
+
+    /// Takes the entry out for polling (slot parks in `Polling`), or
+    /// `None` when the id is stale or the slot vacant.
+    fn begin_poll(&mut self, id: TaskId) -> Option<TaskEntry> {
+        let slot = self.slots.get_mut(id.slot())?;
+        if slot.generation != id.generation() || !matches!(slot.state, SlotState::Occupied(_)) {
+            return None;
+        }
+        match std::mem::replace(&mut slot.state, SlotState::Polling) {
+            SlotState::Occupied(entry) => Some(entry),
+            _ => unreachable!("checked occupied above"),
+        }
+    }
+
+    /// Returns a still-pending entry after its poll.
+    fn end_poll_pending(&mut self, id: TaskId, entry: TaskEntry) {
+        let slot = &mut self.slots[id.slot()];
+        debug_assert!(matches!(slot.state, SlotState::Polling));
+        slot.state = SlotState::Occupied(entry);
+    }
+
+    /// Frees the slot of a finished/aborted task: generation bump + free
+    /// list push, so stale timers and wakers can never reach a successor.
+    fn free_after_poll(&mut self, id: TaskId) {
+        let slot = &mut self.slots[id.slot()];
+        debug_assert!(matches!(slot.state, SlotState::Polling));
+        slot.state = SlotState::Vacant;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.slot() as u32);
+        self.live -= 1;
+    }
+
+    fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Pulls every live entry out (freeing its slot), for cancellation
+    /// drops during [`Sim::reset`]. Keeps all allocations.
+    fn drain_entries(&mut self) -> Vec<TaskEntry> {
+        let mut out = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if matches!(slot.state, SlotState::Occupied(_)) {
+                let SlotState::Occupied(entry) =
+                    std::mem::replace(&mut slot.state, SlotState::Vacant)
+                else {
+                    unreachable!()
+                };
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(i as u32);
+                out.push(entry);
+            }
+        }
+        self.live -= out.len();
+        out
+    }
+}
+
+/// The driving-thread scheduler core: clock, RNG, timers, tasks,
+/// counters. Wakers never touch this, so it needs no lock.
+pub(crate) struct ExecCore {
+    now: SimTime,
+    timers: TimerWheel,
+    slab: Slab,
+    /// The task currently being polled (timer registration target).
+    current_task: Option<TaskId>,
+    pub(crate) rng: SmallRng,
+    /// Counters exposed for benchmarking and diagnostics (flushed to the
+    /// process-wide [`sim_stats`] on reset/drop).
+    polls: u64,
+    timers_fired: u64,
+    timers_armed: u64,
+    tasks_spawned: u64,
+    slots_allocated: u64,
+    slots_reused: u64,
+}
+
+impl ExecCore {
+    /// Adds this sim's tallies to the global counters and zeroes them.
+    fn flush_stats(&mut self) {
+        G_POLLS.fetch_add(self.polls, Ordering::Relaxed);
+        G_TIMERS_FIRED.fetch_add(self.timers_fired, Ordering::Relaxed);
+        G_TIMERS_ARMED.fetch_add(self.timers_armed, Ordering::Relaxed);
+        G_TASKS_SPAWNED.fetch_add(self.tasks_spawned, Ordering::Relaxed);
+        G_SLOTS_ALLOCATED.fetch_add(self.slots_allocated, Ordering::Relaxed);
+        G_SLOTS_REUSED.fetch_add(self.slots_reused, Ordering::Relaxed);
+        self.polls = 0;
+        self.timers_fired = 0;
+        self.timers_armed = 0;
+        self.tasks_spawned = 0;
+        self.slots_allocated = 0;
+        self.slots_reused = 0;
+    }
 }
 
 /// Handle that free functions ([`crate::spawn`], [`crate::sleep`], ...) use
@@ -116,8 +390,8 @@ struct TaskStore {
 /// [`Sim::block_on`]/[`Sim::run`], or explicitly via [`Sim::enter`].
 #[derive(Clone)]
 pub struct SimHandle {
-    pub(crate) sched: Sched,
-    tasks: std::rc::Rc<RefCell<TaskStore>>,
+    pub(crate) core: Rc<RefCell<ExecCore>>,
+    wake: SharedWake,
 }
 
 thread_local! {
@@ -190,30 +464,68 @@ pub enum RunOutcome {
 /// ```
 pub struct Sim {
     handle: SimHandle,
+    /// When set, dropping the `Sim` returns its arenas to this pool.
+    pool: Option<Rc<PoolInner>>,
 }
 
 impl Sim {
     /// Creates a simulation whose RNG is seeded with `seed`. Two `Sim`s with
     /// the same seed and the same program produce bit-identical schedules.
     pub fn new(seed: u64) -> Self {
-        let sched = Arc::new(Mutex::new(SchedInner {
+        G_SIMS_CREATED.fetch_add(1, Ordering::Relaxed);
+        let core = Rc::new(RefCell::new(ExecCore {
             now: SimTime::ZERO,
-            ready: VecDeque::new(),
-            enqueued: std::collections::HashSet::new(),
-            timers: BinaryHeap::new(),
-            timer_seq: 0,
-            next_task: 0,
+            timers: TimerWheel::new(),
+            slab: Slab::new(),
+            current_task: None,
             rng: SmallRng::seed_from_u64(seed),
             polls: 0,
             timers_fired: 0,
+            timers_armed: 0,
+            tasks_spawned: 0,
+            slots_allocated: 0,
+            slots_reused: 0,
         }));
-        let tasks = std::rc::Rc::new(RefCell::new(TaskStore {
-            tasks: HashMap::new(),
-            pending: Vec::new(),
+        let wake = Arc::new(Mutex::new(WakeQueue {
+            ready: std::collections::VecDeque::new(),
+            queued: Vec::new(),
         }));
         Sim {
-            handle: SimHandle { sched, tasks },
+            handle: SimHandle { core, wake },
+            pool: None,
         }
+    }
+
+    /// Returns the simulation to its initial state — fresh clock, RNG
+    /// reseeded with `seed`, no tasks, no timers — while keeping every
+    /// allocation (task slab, wheel slots, queues) for the next run. A
+    /// reset `Sim` is observably indistinguishable from `Sim::new(seed)`;
+    /// the per-sim counters flush into [`sim_stats`] first.
+    ///
+    /// Live tasks are cancelled by dropping their futures (inside the sim
+    /// context, so graceful-close drop paths still work); anything those
+    /// drops spawn or wake is discarded with them.
+    pub fn reset(&mut self, seed: u64) {
+        G_SIMS_RESET.fetch_add(1, Ordering::Relaxed);
+        {
+            // Drops may re-entrantly spawn/wake; iterate until quiet.
+            let _g = enter(self.handle.clone());
+            loop {
+                let entries = self.handle.core.borrow_mut().slab.drain_entries();
+                if entries.is_empty() {
+                    break;
+                }
+                drop(entries);
+            }
+        }
+        let mut core = self.handle.core.borrow_mut();
+        core.flush_stats();
+        core.now = SimTime::ZERO;
+        core.timers.clear();
+        core.current_task = None;
+        core.rng = SmallRng::seed_from_u64(seed);
+        drop(core);
+        self.handle.wake.lock().clear();
     }
 
     /// The handle used by spawned tasks; also usable directly.
@@ -231,7 +543,7 @@ impl Sim {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.handle.sched.lock().now
+        self.handle.core.borrow().now
     }
 
     /// Spawns a task onto the simulation. See [`crate::spawn`].
@@ -292,14 +604,16 @@ impl Sim {
         }
     }
 
-    /// Number of `Future::poll` calls performed so far (diagnostics).
+    /// Number of `Future::poll` calls performed since creation or the last
+    /// [`Sim::reset`] (diagnostics).
     pub fn poll_count(&self) -> u64 {
-        self.handle.sched.lock().polls
+        self.handle.core.borrow().polls
     }
 
-    /// Number of timers fired so far (diagnostics).
+    /// Number of timers fired since creation or the last [`Sim::reset`]
+    /// (diagnostics).
     pub fn timers_fired(&self) -> u64 {
-        self.handle.sched.lock().timers_fired
+        self.handle.core.borrow().timers_fired
     }
 
     fn run_inner(&mut self, deadline: SimTime, stop_when: Option<&dyn Fn() -> bool>) -> RunOutcome {
@@ -312,16 +626,7 @@ impl Sim {
         loop {
             // Drain every task that is ready at the current instant.
             loop {
-                let next = {
-                    let mut sched = self.handle.sched.lock();
-                    match sched.ready.pop_front() {
-                        Some(id) => {
-                            sched.enqueued.remove(&id);
-                            Some(id)
-                        }
-                        None => None,
-                    }
-                };
+                let next = self.handle.wake.lock().pop();
                 let Some(id) = next else { break };
                 self.poll_task(id);
                 if let Some(stop) = stop_when {
@@ -331,54 +636,81 @@ impl Sim {
                 }
             }
 
-            // Nothing ready: advance the clock to the next timer.
-            let mut sched = self.handle.sched.lock();
-            match sched.timers.peek() {
-                Some(Reverse(entry)) if entry.at <= deadline => {
-                    let Reverse(entry) = sched.timers.pop().expect("peeked");
-                    debug_assert!(entry.at >= sched.now, "timer scheduled in the past");
-                    sched.now = sched.now.max(entry.at);
-                    sched.timers_fired += 1;
-                    drop(sched);
-                    entry.waker.wake();
+            // Nothing ready: advance the clock to the next timer (a
+            // single wheel scan pops or reports why it cannot).
+            let mut core = self.handle.core.borrow_mut();
+            match core.timers.pop_earliest_before(deadline.as_nanos()) {
+                crate::wheel::PopOutcome::Fired(entry) => {
+                    let at = SimTime::from_nanos(entry.at);
+                    debug_assert!(at >= core.now, "timer scheduled in the past");
+                    core.now = core.now.max(at);
+                    core.timers_fired += 1;
+                    // A stale id (its task finished) is dropped here — the
+                    // old executor enqueued the dead id and skipped it at
+                    // poll time, which was observably identical.
+                    let alive = core.slab.is_live(entry.task);
+                    drop(core);
+                    if alive {
+                        self.handle.wake.lock().enqueue(entry.task);
+                    }
                 }
-                Some(_) => {
+                crate::wheel::PopOutcome::Beyond => {
                     // Earliest timer is beyond the deadline.
-                    sched.now = sched.now.max(deadline);
+                    core.now = core.now.max(deadline);
                     return RunOutcome::DeadlineReached;
                 }
-                None => {
-                    let pending_tasks = self.handle.tasks.borrow().tasks.len();
-                    return RunOutcome::Quiescent { pending_tasks };
+                crate::wheel::PopOutcome::Empty => {
+                    return RunOutcome::Quiescent {
+                        pending_tasks: core.slab.live_count(),
+                    };
                 }
             }
         }
     }
 
     fn poll_task(&self, id: TaskId) {
-        // Remove the task while polling so re-entrant spawn()/wake() can
-        // borrow the store.
-        let entry = self.handle.tasks.borrow_mut().tasks.remove(&id);
-        let Some(mut entry) = entry else { return };
-        if entry.abort.load(Ordering::Relaxed) {
+        // Take the task out of the slab while polling so re-entrant
+        // spawn()/wake()/now() can borrow the core freely.
+        let mut core = self.handle.core.borrow_mut();
+        let Some(mut entry) = core.slab.begin_poll(id) else {
+            return; // stale id or vacant slot
+        };
+        if entry.tw.abort.load(Ordering::Relaxed) {
+            core.slab.free_after_poll(id);
+            drop(core);
             // Dropping the future cancels everything it owns.
+            drop(entry);
             return;
         }
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            sched: Arc::downgrade(&self.handle.sched),
-        }));
-        let mut cx = Context::from_waker(&waker);
-        self.handle.sched.lock().polls += 1;
-        let poll = entry.fut.as_mut().poll(&mut cx);
-        let mut store = self.handle.tasks.borrow_mut();
+        core.polls += 1;
+        core.current_task = Some(id);
+        drop(core);
+        let poll = {
+            let waker = Waker::from(Arc::clone(&entry.tw));
+            let mut cx = Context::from_waker(&waker);
+            entry.fut.as_mut().poll(&mut cx)
+        };
+        let mut core = self.handle.core.borrow_mut();
+        core.current_task = None;
         if poll.is_pending() {
-            store.tasks.insert(id, entry);
+            core.slab.end_poll_pending(id, entry);
+        } else {
+            core.slab.free_after_poll(id);
+            drop(core);
+            // Drop the finished future outside the core borrow: its drop
+            // may spawn or wake re-entrantly.
+            drop(entry);
         }
-        // Adopt tasks spawned during this poll.
-        let pending = std::mem::take(&mut store.pending);
-        for (pid, pentry) in pending {
-            store.tasks.insert(pid, pentry);
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Flush per-sim counters even for never-reset sims, then hand the
+        // arenas back to the pool (if any) for the next acquire.
+        self.handle.core.borrow_mut().flush_stats();
+        if let Some(pool) = self.pool.take() {
+            pool.idle.borrow_mut().push(self.handle.clone());
         }
     }
 }
@@ -386,7 +718,7 @@ impl Sim {
 impl SimHandle {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.sched.lock().now
+        self.core.borrow().now
     }
 
     /// Spawns a future as a new task; see [`crate::spawn`].
@@ -395,63 +727,176 @@ impl SimHandle {
         F: Future + 'static,
         F::Output: 'static,
     {
-        let id = {
-            let mut sched = self.sched.lock();
-            let id = TaskId(sched.next_task);
-            sched.next_task += 1;
-            id
-        };
-        let state = Arc::new(Mutex::new(JoinState {
-            result: None,
-            waker: None,
-            finished: false,
-        }));
-        let abort = Arc::new(AtomicBool::new(false));
-        let state2 = Arc::clone(&state);
+        let state = Rc::new(JoinState {
+            finished: std::cell::Cell::new(false),
+            inner: RefCell::new(JoinInner {
+                result: None,
+                waker: None,
+            }),
+        });
+        let state2 = Rc::clone(&state);
         let wrapped: BoxFuture = Box::pin(async move {
             let out = fut.await;
-            let mut st = state2.lock();
+            let mut st = state2.inner.borrow_mut();
             st.result = Some(out);
-            st.finished = true;
+            state2.finished.set(true);
             if let Some(w) = st.waker.take() {
                 w.wake();
             }
         });
-        let entry = TaskEntry {
-            fut: wrapped,
-            abort: Arc::clone(&abort),
-        };
-        self.tasks.borrow_mut().pending.push((id, entry));
-        // Immediately runnable.
-        self.sched.lock().enqueue(id);
-        // If we are *not* inside poll_task (e.g. spawning before run()),
-        // adopt pending tasks right away.
-        if let Ok(mut store) = self.tasks.try_borrow_mut() {
-            let pending = std::mem::take(&mut store.pending);
-            for (pid, pentry) in pending {
-                store.tasks.insert(pid, pentry);
-            }
-        }
-        JoinHandle { id, state, abort }
+        let tw = self.insert_task(wrapped);
+        JoinHandle { state, tw }
     }
 
-    /// Registers a timer waking `waker` at instant `at`. Returns a
-    /// monotonically increasing sequence number (timers at the same instant
-    /// fire in registration order).
-    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) -> u64 {
-        let mut sched = self.sched.lock();
-        let seq = sched.timer_seq;
-        sched.timer_seq += 1;
-        let at = at.max(sched.now);
-        sched.timers.push(Reverse(TimerEntry { at, seq, waker }));
-        seq
+    /// Spawns a fire-and-forget task: no [`JoinHandle`], no result
+    /// storage, no wrapper future — just the boxed future and its pooled
+    /// waker. The cheap path for the simulator's own plumbing tasks
+    /// (packet deliveries, server accept loops), which spawn by the
+    /// hundred per measurement run and never get awaited.
+    pub fn spawn_detached<F>(&self, fut: F)
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        self.insert_task(Box::pin(fut));
+    }
+
+    /// Slab-inserts a boxed task and enqueues its first poll, returning
+    /// the task's pooled waker.
+    fn insert_task(&self, fut: BoxFuture) -> Arc<TaskWaker> {
+        let mut core = self.core.borrow_mut();
+        let wake = Arc::downgrade(&self.wake);
+        let mut waker = None;
+        let (id, reused) = core.slab.alloc(|id| {
+            let tw = Arc::new(TaskWaker {
+                id,
+                wake,
+                abort: AtomicBool::new(false),
+            });
+            waker = Some(Arc::clone(&tw));
+            TaskEntry { fut, tw }
+        });
+        core.tasks_spawned += 1;
+        if reused {
+            core.slots_reused += 1;
+        } else {
+            core.slots_allocated += 1;
+        }
+        drop(core);
+        // Immediately runnable.
+        self.wake.lock().enqueue(id);
+        waker.expect("alloc ran the constructor")
+    }
+
+    /// Registers a timer waking the *currently polled task* at instant
+    /// `at`. Returns a monotonically increasing sequence number (timers at
+    /// the same instant fire in registration order).
+    ///
+    /// # Panics
+    /// Panics when no task is being polled: timer futures ([`crate::Sleep`],
+    /// [`crate::Timeout`]) only ever run inside a task, which is what lets
+    /// the wheel store bare task ids instead of a cloned waker per timer.
+    pub(crate) fn register_timer(&self, at: SimTime) -> u64 {
+        let mut core = self.core.borrow_mut();
+        let task = core
+            .current_task
+            .expect("timers can only be armed from within a polled task");
+        let at = at.max(core.now);
+        core.timers_armed += 1;
+        core.timers.insert(at.as_nanos(), task)
     }
 }
 
-struct JoinState<T> {
+// ---------------------------------------------------------------------------
+// Sim pooling
+// ---------------------------------------------------------------------------
+
+struct PoolInner {
+    idle: RefCell<Vec<SimHandle>>,
+}
+
+/// A per-thread arena pool of [`Sim`]s: [`SimPool::acquire`] hands out a
+/// reset simulation, and dropping the `Sim` returns its arenas (task
+/// slab, timer wheel, queues, RNG state cell) to the pool instead of
+/// freeing them. One pool per worker thread means a measurement campaign
+/// allocates one simulation per *worker* instead of one per *run*.
+///
+/// Pooled sims must not have [`SimHandle`]s outliving the `Sim` value —
+/// the next acquire would alias them. The testbed topologies satisfy this
+/// by dropping the whole topology (hosts, sockets, sim) together.
+pub struct SimPool {
+    inner: Rc<PoolInner>,
+}
+
+impl Default for SimPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimPool {
+    /// Creates an empty pool.
+    pub fn new() -> SimPool {
+        SimPool {
+            inner: Rc::new(PoolInner {
+                idle: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Acquires a simulation seeded with `seed`: a recycled arena when one
+    /// is idle (reset first), a fresh `Sim` otherwise. Observably
+    /// identical to `Sim::new(seed)` either way.
+    pub fn acquire(&self, seed: u64) -> Sim {
+        let recycled = self.inner.idle.borrow_mut().pop();
+        match recycled {
+            Some(handle) => {
+                let mut sim = Sim { handle, pool: None };
+                sim.reset(seed);
+                sim.pool = Some(Rc::clone(&self.inner));
+                sim
+            }
+            None => {
+                let mut sim = Sim::new(seed);
+                sim.pool = Some(Rc::clone(&self.inner));
+                sim
+            }
+        }
+    }
+
+    /// Number of idle simulations currently held.
+    pub fn idle(&self) -> usize {
+        self.inner.idle.borrow().len()
+    }
+}
+
+thread_local! {
+    static THREAD_POOL: SimPool = SimPool::new();
+}
+
+/// Acquires a simulation from the calling thread's [`SimPool`] — the
+/// arena-reuse entry point the testbed topologies use so campaign and
+/// fleet workers recycle one simulation per worker thread instead of
+/// allocating a fresh one per run.
+pub fn pooled(seed: u64) -> Sim {
+    THREAD_POOL.with(|p| p.acquire(seed))
+}
+
+// ---------------------------------------------------------------------------
+// Join handles
+// ---------------------------------------------------------------------------
+
+struct JoinInner<T> {
     result: Option<T>,
     waker: Option<Waker>,
-    finished: bool,
+}
+
+/// Join state is driving-thread-only (the executor is single-threaded and
+/// handles never cross threads), so it needs no lock at all.
+struct JoinState<T> {
+    /// Completion flag outside the `RefCell`: [`Sim::block_on`] checks it
+    /// after every poll, which must not cost a borrow.
+    finished: std::cell::Cell<bool>,
+    inner: RefCell<JoinInner<T>>,
 }
 
 /// Error returned when awaiting a [`JoinHandle`] whose task was aborted.
@@ -469,43 +914,39 @@ impl std::error::Error for Aborted {}
 /// [`JoinHandle::abort`] it to cancel. Dropping the handle detaches the task
 /// (it keeps running).
 pub struct JoinHandle<T> {
-    id: TaskId,
-    state: Arc<Mutex<JoinState<T>>>,
-    abort: Arc<AtomicBool>,
+    state: Rc<JoinState<T>>,
+    /// The task's pooled waker: carries the id, the wake queue and the
+    /// abort flag, so aborting needs no thread-local lookup.
+    tw: Arc<TaskWaker>,
 }
 
 impl<T> JoinHandle<T> {
     /// The task's id (diagnostics).
     pub fn id(&self) -> TaskId {
-        self.id
+        self.tw.id
     }
 
     /// Requests cancellation: the task's future is dropped before its next
     /// poll, which cancels any I/O it owns. Awaiting the handle afterwards
     /// yields `Err(Aborted)` unless the task already finished.
     pub fn abort(&self) {
-        self.abort.store(true, Ordering::Relaxed);
-        if has_current() {
-            // Schedule the task so the executor notices the abort flag and
-            // drops the future promptly.
-            current().sched.lock().enqueue(self.id);
-        }
+        self.tw.abort();
     }
 
     /// `true` once the task has produced its output (not aborted).
     pub fn is_finished(&self) -> bool {
-        self.state.lock().finished
+        self.state.finished.get()
     }
 
     /// Takes the output if the task has finished; `Err(Aborted)` if it was
     /// aborted before finishing; `None`-like (inner `Option`) semantics are
     /// folded into `Option<Result<..>>`: `None` means still running.
     pub fn try_take(&self) -> Option<Result<T, Aborted>> {
-        let mut st = self.state.lock();
+        let mut st = self.state.inner.borrow_mut();
         if let Some(v) = st.result.take() {
             return Some(Ok(v));
         }
-        if self.abort.load(Ordering::Relaxed) && !st.finished {
+        if self.tw.abort.load(Ordering::Relaxed) && !self.is_finished() {
             return Some(Err(Aborted));
         }
         None
@@ -516,11 +957,11 @@ impl<T> Future for JoinHandle<T> {
     type Output = Result<T, Aborted>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut st = self.state.lock();
+        let mut st = self.state.inner.borrow_mut();
         if let Some(v) = st.result.take() {
             return Poll::Ready(Ok(v));
         }
-        if self.abort.load(Ordering::Relaxed) && !st.finished {
+        if self.tw.abort.load(Ordering::Relaxed) && !self.state.finished.get() {
             return Poll::Ready(Err(Aborted));
         }
         st.waker = Some(cx.waker().clone());
@@ -538,6 +979,16 @@ where
     current().spawn(fut)
 }
 
+/// Spawns a fire-and-forget task onto the current simulation — the cheap
+/// path for plumbing tasks that are never awaited or aborted. See
+/// [`SimHandle::spawn_detached`].
+pub fn spawn_detached<F>(fut: F)
+where
+    F: Future<Output = ()> + 'static,
+{
+    current().spawn_detached(fut)
+}
+
 /// Current virtual time of the running simulation.
 pub fn now() -> SimTime {
     current().now()
@@ -546,14 +997,15 @@ pub fn now() -> SimTime {
 /// Runs `f` with mutable access to the simulation's deterministic RNG.
 pub fn with_rng<T>(f: impl FnOnce(&mut SmallRng) -> T) -> T {
     let handle = current();
-    let mut sched = handle.sched.lock();
-    f(&mut sched.rng)
+    let mut core = handle.core.borrow_mut();
+    f(&mut core.rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::timer::sleep;
+    use std::cell::RefCell;
 
     #[test]
     fn block_on_returns_value() {
@@ -686,24 +1138,164 @@ mod tests {
         sim.block_on(std::future::pending::<()>());
     }
 
+    fn random_sleep_run(sim: &mut Sim) -> (u64, Vec<u64>) {
+        let out = std::rc::Rc::new(RefCell::new(Vec::new()));
+        let o = out.clone();
+        sim.block_on(async move {
+            for _ in 0..10 {
+                let ms = with_rng(|r| rand::Rng::gen_range(r, 1..50));
+                sleep(Duration::from_millis(ms)).await;
+                o.borrow_mut().push(now().as_nanos());
+            }
+        });
+        let events = out.borrow().clone();
+        (sim.now().as_nanos(), events)
+    }
+
     #[test]
     fn identical_seeds_identical_schedules() {
         fn run(seed: u64) -> (u64, Vec<u64>) {
-            let mut sim = Sim::new(seed);
-            let out = std::rc::Rc::new(RefCell::new(Vec::new()));
-            let o = out.clone();
-            sim.block_on(async move {
-                for _ in 0..10 {
-                    let ms = with_rng(|r| rand::Rng::gen_range(r, 1..50));
-                    sleep(Duration::from_millis(ms)).await;
-                    o.borrow_mut().push(now().as_nanos());
-                }
-            });
-            let events = out.borrow().clone();
-            (sim.now().as_nanos(), events)
+            random_sleep_run(&mut Sim::new(seed))
         }
         assert_eq!(run(99), run(99));
         assert_ne!(run(99).0, run(100).0);
+    }
+
+    #[test]
+    fn reset_is_observably_a_fresh_sim() {
+        let mut sim = Sim::new(99);
+        let fresh = random_sleep_run(&mut sim);
+        // Leave junk behind: a blocked task and a pending timer.
+        sim.spawn(async {
+            sleep(Duration::from_secs(5000)).await;
+            std::future::pending::<()>().await;
+        });
+        sim.run_until(SimTime::from_secs(1));
+
+        sim.reset(99);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.poll_count(), 0);
+        assert_eq!(random_sleep_run(&mut sim), fresh, "reset != Sim::new(seed)");
+
+        sim.reset(100);
+        assert_ne!(random_sleep_run(&mut sim).0, fresh.0);
+    }
+
+    #[test]
+    fn pool_recycles_arenas_with_identical_schedules() {
+        let pool = SimPool::new();
+        let a = {
+            let mut sim = pool.acquire(7);
+            random_sleep_run(&mut sim)
+        };
+        assert_eq!(pool.idle(), 1, "dropped sim returns to the pool");
+        let b = {
+            let mut sim = pool.acquire(7);
+            random_sleep_run(&mut sim)
+        };
+        assert_eq!(a, b, "recycled arena must not leak schedule state");
+        assert_eq!(pool.idle(), 1);
+
+        // The thread-local entry point behaves the same.
+        let c = random_sleep_run(&mut pooled(7));
+        let d = random_sleep_run(&mut pooled(7));
+        assert_eq!(c, a);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn slab_recycles_slots_with_generation_bump() {
+        let mut sim = Sim::new(1);
+        let (first, second) = sim.block_on(async {
+            let h1 = spawn(async {});
+            let id1 = h1.id();
+            h1.await.unwrap(); // task finished, slot freed
+            let h2 = spawn(async {});
+            let id2 = h2.id();
+            h2.await.unwrap();
+            (id1, id2)
+        });
+        assert_eq!(first.slot(), second.slot(), "free list must recycle");
+        assert_eq!(
+            second.generation(),
+            first.generation() + 1,
+            "recycled slot must bump its generation"
+        );
+        assert_ne!(first, second);
+    }
+
+    /// A future that counts how often it is polled before completing at
+    /// its deadline.
+    struct CountedSleep {
+        inner: crate::timer::Sleep,
+        polls: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl Future for CountedSleep {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let this = self.get_mut();
+            this.polls.set(this.polls.get() + 1);
+            Pin::new(&mut this.inner).poll(cx)
+        }
+    }
+
+    #[test]
+    fn stale_timer_never_fires_a_recycled_slot() {
+        // Task A arms a far timer (the losing side of a race) and
+        // completes early; task B recycles A's slot. When A's stale timer
+        // deadline passes, B must not observe a spurious poll.
+        let mut sim = Sim::new(1);
+        let polls = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let p = polls.clone();
+        sim.block_on(async move {
+            let a = spawn(async {
+                crate::race(
+                    sleep(Duration::from_millis(100)),
+                    sleep(Duration::from_millis(10)),
+                )
+                .await;
+            });
+            a.await.unwrap(); // A done at t=10ms; its 100ms timer is stale
+            let b = spawn(CountedSleep {
+                inner: crate::timer::sleep(Duration::from_millis(500)),
+                polls: p,
+            });
+            b.await.unwrap();
+        });
+        assert_eq!(sim.now(), SimTime::from_millis(510));
+        assert_eq!(
+            polls.get(),
+            2,
+            "B must see exactly first poll + own deadline, no stale fire at 100ms"
+        );
+    }
+
+    #[test]
+    fn duplicate_wakes_dedup_to_one_poll() {
+        // A future whose waker is woken three times while queued: the
+        // epoch tag must collapse them into a single poll.
+        struct WakeStorm {
+            fired: bool,
+        }
+        impl Future for WakeStorm {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.fired {
+                    return Poll::Ready(());
+                }
+                self.fired = true;
+                cx.waker().wake_by_ref();
+                cx.waker().wake_by_ref();
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+        let mut sim = Sim::new(1);
+        sim.block_on(WakeStorm { fired: false });
+        // Root wrapper task: 2 polls (pending, then ready). No extra polls
+        // from the duplicate wakes.
+        assert_eq!(sim.poll_count(), 2);
     }
 
     #[test]
@@ -733,5 +1325,28 @@ mod tests {
             assert_eq!(now(), SimTime::ZERO);
             let _h = spawn(async {});
         });
+    }
+
+    #[test]
+    fn stats_flush_on_reset_and_drop() {
+        // The counters are process-wide atomics and other tests in this
+        // binary create/drop sims concurrently, so every assertion is a
+        // monotonic lower bound on *this* sim's contribution — exact
+        // equality would flake under parallel test scheduling.
+        let before = sim_stats();
+        let mut sim = Sim::new(3);
+        sim.block_on(async {
+            sleep(Duration::from_millis(1)).await;
+        });
+        sim.reset(3);
+        let after_reset = sim_stats();
+        assert!(
+            after_reset.polls >= before.polls + 2,
+            "reset must flush this sim's polls"
+        );
+        assert!(after_reset.timers_fired > before.timers_fired);
+        assert!(after_reset.sims_reset > before.sims_reset);
+        drop(sim);
+        assert!(sim_stats().sims_created > before.sims_created);
     }
 }

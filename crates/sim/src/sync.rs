@@ -1,13 +1,12 @@
 //! Task-to-task synchronisation: oneshot channels, unbounded mpsc channels
 //! and a notification cell, mirroring the tokio::sync API shape.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::Arc;
+use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
-
-use parking_lot::Mutex;
 
 // ---------------------------------------------------------------------------
 // oneshot
@@ -25,12 +24,12 @@ pub mod oneshot {
 
     /// Sending half; consumed on send.
     pub struct Sender<T> {
-        inner: Arc<Mutex<Inner<T>>>,
+        inner: Rc<RefCell<Inner<T>>>,
     }
 
     /// Receiving half; awaits the value.
     pub struct Receiver<T> {
-        inner: Arc<Mutex<Inner<T>>>,
+        inner: Rc<RefCell<Inner<T>>>,
     }
 
     /// Error: the sender was dropped without sending.
@@ -46,14 +45,14 @@ pub mod oneshot {
 
     /// Creates a oneshot channel.
     pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
-        let inner = Arc::new(Mutex::new(Inner {
+        let inner = Rc::new(RefCell::new(Inner {
             value: None,
             waker: None,
             closed: false,
         }));
         (
             Sender {
-                inner: Arc::clone(&inner),
+                inner: Rc::clone(&inner),
             },
             Receiver { inner },
         )
@@ -62,7 +61,7 @@ pub mod oneshot {
     impl<T> Sender<T> {
         /// Sends the value; `Err(v)` if the receiver is gone.
         pub fn send(self, v: T) -> Result<(), T> {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.borrow_mut();
             if inner.closed {
                 return Err(v);
             }
@@ -76,7 +75,7 @@ pub mod oneshot {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.borrow_mut();
             inner.closed = true;
             if let Some(w) = inner.waker.take() {
                 w.wake();
@@ -86,14 +85,14 @@ pub mod oneshot {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.lock().closed = true;
+            self.inner.borrow_mut().closed = true;
         }
     }
 
     impl<T> Future for Receiver<T> {
         type Output = Result<T, RecvError>;
         fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.borrow_mut();
             if let Some(v) = inner.value.take() {
                 return Poll::Ready(Ok(v));
             }
@@ -123,12 +122,12 @@ pub mod mpsc {
 
     /// Cloneable sending half.
     pub struct Sender<T> {
-        inner: Arc<Mutex<Inner<T>>>,
+        inner: Rc<RefCell<Inner<T>>>,
     }
 
     /// Receiving half.
     pub struct Receiver<T> {
-        inner: Arc<Mutex<Inner<T>>>,
+        inner: Rc<RefCell<Inner<T>>>,
     }
 
     /// Error: the receiver was dropped.
@@ -144,7 +143,7 @@ pub mod mpsc {
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let inner = Arc::new(Mutex::new(Inner {
+        let inner = Rc::new(RefCell::new(Inner {
             queue: VecDeque::new(),
             recv_waker: None,
             senders: 1,
@@ -152,7 +151,7 @@ pub mod mpsc {
         }));
         (
             Sender {
-                inner: Arc::clone(&inner),
+                inner: Rc::clone(&inner),
             },
             Receiver { inner },
         )
@@ -160,16 +159,16 @@ pub mod mpsc {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.inner.lock().senders += 1;
+            self.inner.borrow_mut().senders += 1;
             Sender {
-                inner: Arc::clone(&self.inner),
+                inner: Rc::clone(&self.inner),
             }
         }
     }
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.borrow_mut();
             inner.senders -= 1;
             if inner.senders == 0 {
                 if let Some(w) = inner.recv_waker.take() {
@@ -181,14 +180,14 @@ pub mod mpsc {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.lock().receiver_alive = false;
+            self.inner.borrow_mut().receiver_alive = false;
         }
     }
 
     impl<T> Sender<T> {
         /// Enqueues a value; `Err` if the receiver is gone.
         pub fn send(&self, v: T) -> Result<(), SendError<T>> {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.borrow_mut();
             if !inner.receiver_alive {
                 return Err(SendError(v));
             }
@@ -209,12 +208,12 @@ pub mod mpsc {
 
         /// Non-blocking pop.
         pub fn try_recv(&mut self) -> Option<T> {
-            self.inner.lock().queue.pop_front()
+            self.inner.borrow_mut().queue.pop_front()
         }
 
         /// Number of queued values.
         pub fn len(&self) -> usize {
-            self.inner.lock().queue.len()
+            self.inner.borrow_mut().queue.len()
         }
 
         /// `true` when no values are queued.
@@ -231,7 +230,7 @@ pub mod mpsc {
     impl<T> Future for Recv<'_, T> {
         type Output = Option<T>;
         fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-            let mut inner = self.rx.inner.lock();
+            let mut inner = self.rx.inner.borrow_mut();
             if let Some(v) = inner.queue.pop_front() {
                 return Poll::Ready(Some(v));
             }
@@ -252,7 +251,7 @@ pub mod mpsc {
 /// [`Notify::notify_one`] has been called (permits do not accumulate beyond
 /// one, like `tokio::sync::Notify`).
 pub struct Notify {
-    inner: Mutex<NotifyInner>,
+    inner: RefCell<NotifyInner>,
 }
 
 struct NotifyInner {
@@ -270,7 +269,7 @@ impl Notify {
     /// Creates an un-notified cell.
     pub fn new() -> Self {
         Notify {
-            inner: Mutex::new(NotifyInner {
+            inner: RefCell::new(NotifyInner {
                 permit: false,
                 waiters: Vec::new(),
             }),
@@ -281,7 +280,7 @@ impl Notify {
     /// one will consume the permit, others re-park — adequate for the
     /// simulator's single-threaded determinism).
     pub fn notify_one(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.borrow_mut();
         inner.permit = true;
         for w in inner.waiters.drain(..) {
             w.wake();
@@ -302,7 +301,7 @@ pub struct Notified<'a> {
 impl Future for Notified<'_> {
     type Output = ();
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        let mut inner = self.notify.inner.lock();
+        let mut inner = self.notify.inner.borrow_mut();
         if inner.permit {
             inner.permit = false;
             return Poll::Ready(());

@@ -24,18 +24,25 @@ impl Sleep {
 impl Future for Sleep {
     type Output = ();
 
-    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
         let handle = current();
-        // Even an already-expired sleep yields to the scheduler once: a
-        // zero-duration sleep is the deterministic yield point, and every
-        // other task ready at this instant runs before we resume.
-        if self.registered && handle.now() >= self.deadline {
-            return Poll::Ready(());
+        if self.registered {
+            // Even an already-expired sleep yields to the scheduler once:
+            // a zero-duration sleep is the deterministic yield point, and
+            // every other task ready at this instant runs before we
+            // resume. The wheel entry armed on the first poll targets the
+            // owning task and fires exactly at the (clamped) deadline, so
+            // re-polls before then (spurious wakes, race siblings) arm
+            // nothing — the old executor pushed a duplicate heap entry
+            // per re-poll, whose only effect was a deduped no-op wake,
+            // and whose cost compounded exponentially under `join_all`.
+            return if handle.now() >= self.deadline {
+                Poll::Ready(())
+            } else {
+                Poll::Pending
+            };
         }
-        // (Re-)register: on the first poll this arms the timer; on re-polls
-        // (e.g. inside a race) it arms a fresh waker for the current task.
-        // Stale duplicates wake a no-op, which the ready-queue de-dups.
-        handle.register_timer(self.deadline, cx.waker().clone());
+        handle.register_timer(self.deadline);
         self.registered = true;
         Poll::Pending
     }

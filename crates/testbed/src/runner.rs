@@ -119,7 +119,7 @@ pub fn run_cad_once(
     seed: u64,
     extra_netem: &[NetemRule],
 ) -> CadSample {
-    run_cad_once_traced(profile, delay_ms, rep, seed, extra_netem, "baseline").0
+    run_cad_once_impl(profile, delay_ms, rep, seed, extra_netem, None).0
 }
 
 /// [`run_cad_once`] plus the structured event trace of the run:
@@ -133,6 +133,23 @@ pub fn run_cad_once_traced(
     extra_netem: &[NetemRule],
     condition: &str,
 ) -> (CadSample, Trace) {
+    let (sample, trace) =
+        run_cad_once_impl(profile, delay_ms, rep, seed, extra_netem, Some(condition));
+    (sample, trace.expect("trace requested"))
+}
+
+/// The measurement itself; the trace (string-heavy event records) is only
+/// materialised when a condition label is supplied — campaign sweeps call
+/// the untraced entry point hundreds of thousands of times and used to
+/// build and immediately discard every trace.
+fn run_cad_once_impl(
+    profile: &ClientProfile,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+    condition: Option<&str>,
+) -> (CadSample, Option<Trace>) {
     let mut topo = default_local_topology(seed);
     // The paper shapes IPv6 on the server side with tc-netem.
     topo.server
@@ -159,18 +176,21 @@ pub fn run_cad_once_traced(
         (Some(x), Some(y)) => Some(x < y),
         _ => None,
     };
-    let mut trace = Trace::from_he_log(
-        TraceMeta {
-            subject: profile.id(),
-            case: "cad".to_string(),
-            condition: condition.to_string(),
-            configured_delay_ms: delay_ms,
-            rep,
-            seed,
-        },
-        &res.log,
-    );
-    trace.merge_events(query_arrival_events(&log));
+    let trace = condition.map(|condition| {
+        let mut trace = Trace::from_he_log(
+            TraceMeta {
+                subject: profile.id(),
+                case: "cad".to_string(),
+                condition: condition.to_string(),
+                configured_delay_ms: delay_ms,
+                rep,
+                seed,
+            },
+            &res.log,
+        );
+        trace.merge_events(query_arrival_events(&log));
+        trace
+    });
     let sample = CadSample {
         configured_delay_ms: delay_ms,
         rep,
@@ -308,16 +328,7 @@ pub fn run_rd_once_netem(
     seed: u64,
     extra_netem: &[NetemRule],
 ) -> RdSample {
-    run_rd_once_traced(
-        profile,
-        delayed,
-        delay_ms,
-        rep,
-        seed,
-        extra_netem,
-        delayed_record_label(delayed),
-    )
-    .0
+    run_rd_once_impl(profile, delayed, delay_ms, rep, seed, extra_netem, None).0
 }
 
 /// [`run_rd_once_netem`] plus the structured event trace of the run.
@@ -330,6 +341,29 @@ pub fn run_rd_once_traced(
     extra_netem: &[NetemRule],
     condition: &str,
 ) -> (RdSample, Trace) {
+    let (sample, trace) = run_rd_once_impl(
+        profile,
+        delayed,
+        delay_ms,
+        rep,
+        seed,
+        extra_netem,
+        Some(condition),
+    );
+    (sample, trace.expect("trace requested"))
+}
+
+/// The RD measurement; the trace is built only when a condition label is
+/// supplied (see `run_cad_once_impl`).
+fn run_rd_once_impl(
+    profile: &ClientProfile,
+    delayed: DelayedRecord,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+    condition: Option<&str>,
+) -> (RdSample, Option<Trace>) {
     let target = match delayed {
         DelayedRecord::Aaaa => DelayTarget::Aaaa,
         DelayedRecord::A => DelayTarget::A,
@@ -360,18 +394,21 @@ pub fn run_rd_once_traced(
         .chain(topo.client.capture().first_syn(Family::V4))
         .min()
         .map(|t: SimTime| t.as_nanos() as f64 / 1e6);
-    let mut trace = Trace::from_he_log(
-        TraceMeta {
-            subject: profile.id(),
-            case: "rd".to_string(),
-            condition: condition.to_string(),
-            configured_delay_ms: delay_ms,
-            rep,
-            seed,
-        },
-        &res.log,
-    );
-    trace.merge_events(query_arrival_events(&topo.auth.query_log()));
+    let trace = condition.map(|condition| {
+        let mut trace = Trace::from_he_log(
+            TraceMeta {
+                subject: profile.id(),
+                case: "rd".to_string(),
+                condition: condition.to_string(),
+                configured_delay_ms: delay_ms,
+                rep,
+                seed,
+            },
+            &res.log,
+        );
+        trace.merge_events(query_arrival_events(&topo.auth.query_log()));
+        trace
+    });
     let sample = RdSample {
         configured_delay_ms: delay_ms,
         rep,
@@ -473,7 +510,7 @@ pub fn run_selection_case(
     cfg: &SelectionCaseConfig,
     seed: u64,
 ) -> SelectionResult {
-    run_selection_once_traced(profile, cfg, 0, seed, &[], "-").0
+    run_selection_once_impl(profile, cfg, 0, seed, &[], None).0
 }
 
 /// [`run_selection_case`] with extra netem rules on the server egress —
@@ -484,7 +521,7 @@ pub fn run_selection_once_netem(
     seed: u64,
     extra_netem: &[NetemRule],
 ) -> SelectionResult {
-    run_selection_once_traced(profile, cfg, 0, seed, extra_netem, "-").0
+    run_selection_once_impl(profile, cfg, 0, seed, extra_netem, None).0
 }
 
 /// [`run_selection_case`] plus the structured event trace of the run.
@@ -496,6 +533,21 @@ pub fn run_selection_once_traced(
     extra_netem: &[NetemRule],
     condition: &str,
 ) -> (SelectionResult, Trace) {
+    let (result, trace) =
+        run_selection_once_impl(profile, cfg, rep, seed, extra_netem, Some(condition));
+    (result, trace.expect("trace requested"))
+}
+
+/// The selection measurement; the trace is built only when a condition
+/// label is supplied (see `run_cad_once_impl`).
+fn run_selection_once_impl(
+    profile: &ClientProfile,
+    cfg: &SelectionCaseConfig,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+    condition: Option<&str>,
+) -> (SelectionResult, Option<Trace>) {
     let dead_v4: Vec<std::net::Ipv4Addr> = (1..=cfg.v4_addresses)
         .map(|i| format!("203.0.113.{i}").parse().unwrap())
         .collect();
@@ -514,18 +566,21 @@ pub fn run_selection_once_traced(
     let res = topo
         .sim
         .block_on(async move { client.connect_only(&qname, 80).await });
-    let mut trace = Trace::from_he_log(
-        TraceMeta {
-            subject: profile.id(),
-            case: "selection".to_string(),
-            condition: condition.to_string(),
-            configured_delay_ms: 0,
-            rep,
-            seed,
-        },
-        &res.log,
-    );
-    trace.merge_events(query_arrival_events(&topo.auth.query_log()));
+    let trace = condition.map(|condition| {
+        let mut trace = Trace::from_he_log(
+            TraceMeta {
+                subject: profile.id(),
+                case: "selection".to_string(),
+                condition: condition.to_string(),
+                configured_delay_ms: 0,
+                rep,
+                seed,
+            },
+            &res.log,
+        );
+        trace.merge_events(query_arrival_events(&topo.auth.query_log()));
+        trace
+    });
     let result = SelectionResult {
         order: res.log.attempt_families(),
         v6_used: res.log.addrs_used(Family::V6),
@@ -587,7 +642,7 @@ pub fn run_resolver_once_netem(
     seed: u64,
     extra_netem: &[NetemRule],
 ) -> ResolverSample {
-    run_resolver_once_traced(rprofile, delay_ms, rep, seed, extra_netem, "-").0
+    run_resolver_once_impl(rprofile, delay_ms, rep, seed, extra_netem, None).0
 }
 
 /// [`run_resolver_once_netem`] plus the server-side event trace of the
@@ -600,6 +655,21 @@ pub fn run_resolver_once_traced(
     extra_netem: &[NetemRule],
     condition: &str,
 ) -> (ResolverSample, Trace) {
+    let (sample, trace) =
+        run_resolver_once_impl(rprofile, delay_ms, rep, seed, extra_netem, Some(condition));
+    (sample, trace.expect("trace requested"))
+}
+
+/// The resolver measurement; the trace is built only when a condition
+/// label is supplied (see `run_cad_once_impl`).
+fn run_resolver_once_impl(
+    rprofile: &ResolverProfile,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+    extra_netem: &[NetemRule],
+    condition: Option<&str>,
+) -> (ResolverSample, Option<Trace>) {
     let tag = format!("d{delay_ms}r{rep}");
     let mut topo = resolver_topology_for_delay(seed, &tag, delay_ms);
     // Shape the auth NS's IPv6 responses (the paper applies the
@@ -651,7 +721,7 @@ pub fn run_resolver_once_traced(
     };
     let served_over_v6 =
         resolved && first_query_family == Some(Family::V6) && v4_queries.is_empty();
-    let trace = Trace {
+    let trace = condition.map(|condition| Trace {
         meta: TraceMeta {
             subject: rprofile.name.to_string(),
             case: "resolver".to_string(),
@@ -661,7 +731,7 @@ pub fn run_resolver_once_traced(
             seed,
         },
         events: query_arrival_events(&topo.auth_server.query_log()),
-    };
+    });
     let sample = ResolverSample {
         configured_delay_ms: delay_ms,
         rep,

@@ -9,7 +9,7 @@ use std::sync::{Mutex, OnceLock};
 use lazyeye_authns::{serve as serve_dns, AuthConfig, AuthServer, TestDomain};
 use lazyeye_dns::{Name, Zone, ZoneSet};
 use lazyeye_net::{Host, Network};
-use lazyeye_sim::{spawn, Sim};
+use lazyeye_sim::{spawn_detached, Sim};
 
 /// The two-host local testbed: `server` runs DNS (port 53) and a web
 /// server (port 80); `client` runs the client under test.
@@ -47,20 +47,35 @@ pub fn www() -> Name {
 }
 
 /// Builds the dual-stack zone for `www.hetest` pointing at the server.
+/// Built once per process and cloned per run — the zone content is
+/// constant, and the name parses + zone assembly were pure per-run
+/// overhead in the CAD hot path.
 pub fn default_zone() -> ZoneSet {
-    let mut zone = Zone::new(Name::parse("hetest").unwrap());
-    zone.a(&www(), "192.0.2.1".parse().unwrap(), 300);
-    zone.aaaa(&www(), "2001:db8::1".parse().unwrap(), 300);
-    let mut zones = ZoneSet::new();
-    zones.add(zone);
-    zones
+    static DEFAULT_ZONE: OnceLock<ZoneSet> = OnceLock::new();
+    DEFAULT_ZONE
+        .get_or_init(|| {
+            let mut zone = Zone::new(Name::parse("hetest").unwrap());
+            zone.a(&www(), "192.0.2.1".parse().unwrap(), 300);
+            zone.aaaa(&www(), "2001:db8::1".parse().unwrap(), 300);
+            let mut zones = ZoneSet::new();
+            zones.add(zone);
+            zones
+        })
+        .clone()
 }
 
 /// Builds the local testbed with the given authoritative configuration.
 /// The web server accepts (and holds) connections on port 80 — Happy
 /// Eyeballs measurements only need the handshake.
+///
+/// The simulation comes from the calling thread's [`lazyeye_sim::SimPool`]:
+/// sweep runners and campaign/fleet workers recycle one executor arena
+/// (task slab, timer wheel, queues) per worker thread instead of paying a
+/// fresh allocation storm per run. A pooled sim is observably identical
+/// to `Sim::new(seed)` — the paper's per-run container reset, without the
+/// allocator bill.
 pub fn local_topology(seed: u64, auth_cfg: AuthConfig) -> LocalTopology {
-    let sim = Sim::new(seed);
+    let sim = lazyeye_sim::pooled(seed);
     let net = Network::new();
     let server = net.host("server").v4("192.0.2.1").v6("2001:db8::1").build();
     let client = net
@@ -70,9 +85,9 @@ pub fn local_topology(seed: u64, auth_cfg: AuthConfig) -> LocalTopology {
         .build();
     let auth = AuthServer::new(auth_cfg);
     sim.enter(|| {
-        spawn(serve_dns(server.udp_bind_any(53).unwrap(), auth.clone()));
+        spawn_detached(serve_dns(server.udp_bind_any(53).unwrap(), auth.clone()));
         let listener = server.tcp_listen_any(80).unwrap();
-        spawn(async move {
+        spawn_detached(async move {
             loop {
                 let Ok((stream, _)) = listener.accept().await else {
                     break;
@@ -237,7 +252,7 @@ pub fn resolver_topology(seed: u64, run_tag: &str) -> ResolverTopology {
 /// [`resolver_topology`] with the configured IPv6-path delay as part of
 /// the zone-cache key (the sweep runners use this entry point).
 pub fn resolver_topology_for_delay(seed: u64, run_tag: &str, delay_ms: u64) -> ResolverTopology {
-    let sim = Sim::new(seed);
+    let sim = lazyeye_sim::pooled(seed);
     let net = Network::new();
     let root = net
         .host("root-ns")
@@ -265,14 +280,14 @@ pub fn resolver_topology_for_delay(seed: u64, run_tag: &str, delay_ms: u64) -> R
     });
     let auth_server_task = auth_server.clone();
     sim.enter(|| {
-        spawn(serve_dns(
+        spawn_detached(serve_dns(
             root.udp_bind_any(53).unwrap(),
             AuthServer::new(AuthConfig {
                 zones: root_zones,
                 ..AuthConfig::default()
             }),
         ));
-        spawn(serve_dns(auth.udp_bind_any(53).unwrap(), auth_server_task));
+        spawn_detached(serve_dns(auth.udp_bind_any(53).unwrap(), auth_server_task));
     });
 
     let roots = vec![(

@@ -10,7 +10,7 @@ use lazyeye_authns::{serve as serve_dns, AuthConfig, AuthServer, TestDomain};
 use lazyeye_clients::http::{serve_http, Handler, HttpRequest, HttpResponse};
 use lazyeye_dns::{Name, Zone, ZoneSet};
 use lazyeye_net::{Host, IpPrefix, Netem, NetemRule, Network};
-use lazyeye_sim::{spawn, Sim};
+use lazyeye_sim::{spawn, spawn_detached, Sim};
 use std::time::Duration;
 
 /// The web tool's fixed delay tiers (ms): 18 values between 0 and 5 s, as
@@ -83,7 +83,7 @@ pub fn rd_apex() -> Name {
 /// address, and the RD test domain (parameter-encoded names resolving to
 /// the tier-0 addresses).
 pub fn deploy(seed: u64, conditions: WebConditions) -> WebToolDeployment {
-    let sim = Sim::new(seed);
+    let sim = lazyeye_sim::pooled(seed);
     let net = Network::new();
 
     let mut server_builder = net
@@ -150,7 +150,7 @@ pub fn deploy(seed: u64, conditions: WebConditions) -> WebToolDeployment {
     });
 
     sim.enter(|| {
-        spawn(serve_dns(server.udp_bind_any(53).unwrap(), auth));
+        spawn_detached(serve_dns(server.udp_bind_any(53).unwrap(), auth));
         let listener = server.tcp_listen_any(80).unwrap();
         let handler: Handler =
             Rc::new(

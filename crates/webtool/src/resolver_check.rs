@@ -18,7 +18,7 @@ use lazyeye_resolver::{
     serve_recursive, AnswerOutcome, RecursiveConfig, RecursiveResolver, SelectionPolicy,
     StubConfig, StubResolver,
 };
-use lazyeye_sim::{spawn, Sim};
+use lazyeye_sim::{spawn, spawn_detached};
 
 /// What the user's resolver turned out to support.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,7 +49,7 @@ pub fn check_resolver(
     policy: SelectionPolicy,
     seed: u64,
 ) -> ResolverCheckResult {
-    let mut sim = Sim::new(seed);
+    let mut sim = lazyeye_sim::pooled(seed);
     let net = lazyeye_net::Network::new();
     let root = net
         .host("root")
@@ -97,14 +97,14 @@ pub fn check_resolver(
     zones.add(zone);
 
     sim.enter(|| {
-        spawn(serve_dns(
+        spawn_detached(serve_dns(
             root.udp_bind_any(53).unwrap(),
             AuthServer::new(AuthConfig {
                 zones: root_zones,
                 ..AuthConfig::default()
             }),
         ));
-        spawn(serve_dns(
+        spawn_detached(serve_dns(
             v6ns.udp_bind_any(53).unwrap(),
             AuthServer::new(AuthConfig {
                 zones,

@@ -212,6 +212,7 @@ fn usage() -> ExitCode {
            fleet     --spec <fleet.json> | --default [--sessions n --reps n --jobs n\n\
                      --seed s --format text|json|csv --out <basename> --shard i/n]\n\
                    | --merge <part.json> [--merge <part.json> ...] [--jobs n ...]\n\
+                   | --diff <old.json> <new.json> [--format text|json]\n\
                    | --print-spec\n\
                                                      population-scale web-tool fleet"
     );
@@ -532,24 +533,27 @@ fn progress_meter(label: &'static str, unit: &'static str) -> impl FnMut(usize, 
 }
 
 /// Saves a checkpoint, downgrading failure to a warning: losing a
-/// checkpoint must not kill the campaign producing it.
-fn save_checkpoint(ckpt: &Checkpoint, path: &Option<String>) {
+/// checkpoint must not kill the campaign producing it. `buf` is the
+/// reusable serialisation buffer.
+fn save_checkpoint(ckpt: &Checkpoint, path: &Option<String>, buf: &mut String) {
     if let Some(path) = path {
-        if let Err(e) = ckpt.save(path) {
+        if let Err(e) = ckpt.save_with_buf(path, buf) {
             eprintln!("lazyeye: warning: cannot write checkpoint {path}: {e}");
         }
     }
 }
 
 /// A closure that saves the checkpoint every [`CHECKPOINT_EVERY`] calls —
-/// the shared cadence for both whole-campaign and shard runs.
+/// the shared cadence for both whole-campaign and shard runs. One
+/// serialisation buffer is reused across all saves.
 fn periodic_save(path: Option<String>) -> impl FnMut(&Checkpoint) {
     let mut unsaved = 0u64;
+    let mut buf = String::new();
     move |ckpt| {
         unsaved += 1;
         if unsaved >= CHECKPOINT_EVERY {
             unsaved = 0;
-            save_checkpoint(ckpt, &path);
+            save_checkpoint(ckpt, &path, &mut buf);
         }
     }
 }
@@ -560,6 +564,7 @@ struct Saver {
     ckpt: Checkpoint,
     path: Option<String>,
     unsaved: u64,
+    buf: String,
 }
 
 impl Saver {
@@ -568,6 +573,7 @@ impl Saver {
             ckpt,
             path,
             unsaved: 0,
+            buf: String::new(),
         }
     }
 
@@ -581,23 +587,30 @@ impl Saver {
 
     fn flush(&mut self) {
         self.unsaved = 0;
-        save_checkpoint(&self.ckpt, &self.path);
+        save_checkpoint(&self.ckpt, &self.path, &mut self.buf);
     }
 }
 
 fn emit_report(report: &CampaignReport, format: Format, out: Option<&str>) -> Result<(), String> {
+    // Render each format at most once; stdout and --out reuse the bytes.
+    let mut json = String::new();
+    let mut csv = String::new();
+    if format == Format::Json || out.is_some() {
+        report.to_json_into(&mut json);
+    }
+    if format == Format::Csv || out.is_some() {
+        report.to_csv_into(&mut csv);
+    }
     match format {
         Format::Text => print!("{}", report.render_text()),
-        Format::Json => print!("{}", report.to_json()),
-        Format::Csv => print!("{}", report.to_csv()),
+        Format::Json => print!("{json}"),
+        Format::Csv => print!("{csv}"),
     }
     if let Some(base) = out {
         let json_path = format!("{base}.json");
         let csv_path = format!("{base}.csv");
-        std::fs::write(&json_path, report.to_json())
-            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
-        std::fs::write(&csv_path, report.to_csv())
-            .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+        std::fs::write(&json_path, &json).map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        std::fs::write(&csv_path, &csv).map_err(|e| format!("cannot write {csv_path}: {e}"))?;
         eprintln!("[campaign] wrote {json_path} and {csv_path}");
     }
     Ok(())
@@ -707,7 +720,7 @@ fn cmd_campaign_shard(
         Ok(p) => p,
         Err(e) => return fail(&format!("campaign failed: {e}")),
     };
-    save_checkpoint(&part, &ckpt_path);
+    save_checkpoint(&part, &ckpt_path, &mut String::new());
     match emit_partial(&part, out) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e),
@@ -856,18 +869,25 @@ fn emit_fleet_report(
     format: Format,
     out: Option<&str>,
 ) -> Result<(), String> {
+    // Render each format at most once; stdout and --out reuse the bytes.
+    let mut json = String::new();
+    let mut csv = String::new();
+    if format == Format::Json || out.is_some() {
+        report.to_json_into(&mut json);
+    }
+    if format == Format::Csv || out.is_some() {
+        report.to_csv_into(&mut csv);
+    }
     match format {
         Format::Text => print!("{}", report.render_text()),
-        Format::Json => print!("{}", report.to_json()),
-        Format::Csv => print!("{}", report.to_csv()),
+        Format::Json => print!("{json}"),
+        Format::Csv => print!("{csv}"),
     }
     if let Some(base) = out {
         let json_path = format!("{base}.json");
         let csv_path = format!("{base}.csv");
-        std::fs::write(&json_path, report.to_json())
-            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
-        std::fs::write(&csv_path, report.to_csv())
-            .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+        std::fs::write(&json_path, &json).map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        std::fs::write(&csv_path, &csv).map_err(|e| format!("cannot write {csv_path}: {e}"))?;
         eprintln!("[fleet] wrote {json_path} and {csv_path}");
     }
     Ok(())
@@ -909,6 +929,28 @@ fn load_fleet_spec(flags: &Flags) -> Result<FleetSpec, String> {
         }
     }
     Ok(spec)
+}
+
+/// `fleet --diff old.json new.json`: load two fleet reports, surface
+/// membership changes and per-member/resolver/summary behaviour deltas —
+/// the longitudinal population-tracking view.
+fn cmd_fleet_diff(paths: &[String], format: Format) -> ExitCode {
+    let mut texts = Vec::new();
+    for path in paths {
+        match std::fs::read_to_string(path) {
+            Ok(t) => texts.push(t),
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        }
+    }
+    let diff = match fleet::diff_report_strs(&texts[0], &texts[1]) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    match format {
+        Format::Json => print!("{}", diff.to_json()),
+        _ => print!("{}", diff.render_text()),
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_fleet(flags: Flags) -> ExitCode {
@@ -1386,6 +1428,26 @@ fn main() -> ExitCode {
             cmd_infer(flags)
         }
         "fleet" => {
+            // `--diff old.json new.json` is its own sub-mode with
+            // positional report paths, like `campaign --diff`.
+            if rest.first().map(String::as_str) == Some("--diff") {
+                if rest.len() < 3 {
+                    return fail("--diff needs two report files: --diff old.json new.json");
+                }
+                let paths = rest[1..3].to_vec();
+                let flags = match parse_flags(&rest[3..], &[val("--format")]) {
+                    Ok(f) => f,
+                    Err(e) => return fail(&e),
+                };
+                let format = match flags.get("--format") {
+                    None | Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some(other) => {
+                        return fail(&format!("flag --format: expected text|json, got {other:?}"))
+                    }
+                };
+                return cmd_fleet_diff(&paths, format);
+            }
             let flags = match parse_flags(
                 rest,
                 &[
