@@ -31,18 +31,18 @@ fn emit_json(_c: &mut Criterion) {
     println!("campaign throughput jobs=1: {runs_per_sec:.0} runs/sec");
 
     // Counters: one fixed-seed campaign at --jobs 1 (deterministic).
-    // Per-sim tallies flush on each run's Sim drop (back into the
-    // worker pool), so the globals are complete at read time.
-    lazyeye_sim::reset_sim_stats();
+    // Per-sim tallies flush into the obs registry on each run's Sim drop
+    // (back into the worker pool), so the registry is complete at read
+    // time.
+    bench_json::reset_counters();
     let report = run_campaign(&spec, 1, |_, _| {}).unwrap();
-    let stats = lazyeye_sim::sim_stats();
 
     bench_json::merge_section(
         "campaign",
         Json::obj(vec![
             ("runs_per_sec_jobs1", Json::Int(runs_per_sec as i64)),
             ("smoke_total_runs", Json::UInt(report.total_runs)),
-            ("counters", bench_json::counters(stats)),
+            ("counters", bench_json::counters()),
         ]),
     );
 }

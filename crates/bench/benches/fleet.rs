@@ -27,18 +27,18 @@ fn emit_json(_c: &mut Criterion) {
     let sessions_per_sec = sessions as f64 / t0.elapsed().as_secs_f64();
     println!("fleet throughput jobs=1: {sessions_per_sec:.0} sessions/sec");
 
-    // Per-sim tallies flush on each run's Sim drop (back into the
-    // worker pool), so the globals are complete at read time.
-    lazyeye_sim::reset_sim_stats();
+    // Per-sim tallies flush into the obs registry on each run's Sim drop
+    // (back into the worker pool), so the registry is complete at read
+    // time.
+    bench_json::reset_counters();
     let report = run_fleet(&spec, 1, |_, _| {}).unwrap();
-    let stats = lazyeye_sim::sim_stats();
 
     bench_json::merge_section(
         "fleet",
         Json::obj(vec![
             ("sessions_per_sec_jobs1", Json::Int(sessions_per_sec as i64)),
             ("smoke_total_sessions", Json::UInt(report.total_sessions)),
-            ("counters", bench_json::counters(stats)),
+            ("counters", bench_json::counters()),
         ]),
     );
 }
@@ -62,6 +62,7 @@ fn bench_spec() -> FleetSpec {
         }],
         cad_sessions: 2,
         rd_sessions: 1,
+        rd_a_sessions: 0,
         repetitions: 2,
         resolver_checks: 1,
     }

@@ -61,19 +61,19 @@ fn emit_json(_c: &mut Criterion) {
     println!("sim lifecycle throughput: {runs_per_sec:.0} runs/sec");
 
     // Counters (deterministic, CI-gated): 100 fixed-seed lifecycle runs.
-    // Per-sim tallies flush on each run's Sim drop (back into the
-    // worker pool), so the globals are complete at read time.
-    lazyeye_sim::reset_sim_stats();
+    // Per-sim tallies flush into the obs registry on each run's Sim drop
+    // (back into the worker pool), so the registry is complete at read
+    // time.
+    bench_json::reset_counters();
     for i in 0..100 {
         std::hint::black_box(lifecycle_run(i));
     }
-    let stats = lazyeye_sim::sim_stats();
 
     bench_json::merge_section(
         "sim",
         Json::obj(vec![
             ("run_lifecycle_runs_per_sec", Json::Int(runs_per_sec as i64)),
-            ("counters", bench_json::counters(stats)),
+            ("counters", bench_json::counters()),
         ]),
     );
 }

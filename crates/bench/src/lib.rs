@@ -131,16 +131,45 @@ pub mod bench_json {
         }
     }
 
-    /// The scheduler-counter object for a section, from a
-    /// [`lazyeye_sim::SimStats`] delta of a fixed workload.
-    pub fn counters(stats: lazyeye_sim::SimStats) -> Json {
+    /// Zeroes every registered metric before a fixed bench workload, so
+    /// [`counters`] reads a clean per-workload tally.
+    pub fn reset_counters() {
+        lazyeye_obs::registry::reset_all();
+    }
+
+    /// The scheduler-counter object for a section, read straight from
+    /// the `lazyeye-obs` registry (`sim.*` metric names). The poll,
+    /// timer and task counters live in the virtual clock domain, so the
+    /// values are deterministic for a fixed-seed workload; the slab-slot
+    /// counters are wall-domain but still fixed at `--jobs 1`, which is
+    /// how every bench emitter runs its pinned workload.
+    pub fn counters() -> Json {
+        use lazyeye_obs::Clock::{Virtual, Wall};
         Json::obj(vec![
-            ("polls", Json::UInt(stats.polls)),
-            ("timers_armed", Json::UInt(stats.timers_armed)),
-            ("timers_fired", Json::UInt(stats.timers_fired)),
-            ("tasks_spawned", Json::UInt(stats.tasks_spawned)),
-            ("slots_allocated", Json::UInt(stats.slots_allocated)),
-            ("slots_reused", Json::UInt(stats.slots_reused)),
+            (
+                "polls",
+                Json::UInt(lazyeye_obs::counter("sim.polls", Virtual).get()),
+            ),
+            (
+                "timers_armed",
+                Json::UInt(lazyeye_obs::counter("sim.timers_armed", Virtual).get()),
+            ),
+            (
+                "timers_fired",
+                Json::UInt(lazyeye_obs::counter("sim.timers_fired", Virtual).get()),
+            ),
+            (
+                "tasks_spawned",
+                Json::UInt(lazyeye_obs::counter("sim.tasks_spawned", Virtual).get()),
+            ),
+            (
+                "slots_allocated",
+                Json::UInt(lazyeye_obs::counter("sim.slots_allocated", Wall).get()),
+            ),
+            (
+                "slots_reused",
+                Json::UInt(lazyeye_obs::counter("sim.slots_reused", Wall).get()),
+            ),
         ])
     }
 }

@@ -22,6 +22,50 @@ use lazyeye_testbed::{
 use crate::plan::{resolve_clients, resolve_resolvers, RunKind, RunSpec, SpecError};
 use crate::spec::CampaignSpec;
 
+/// Registry handles for campaign-level metrics. Run counts are a pure
+/// function of `(spec, seed)` and live on the virtual clock; the per-run
+/// latency histogram is host timing and stays on the wall clock.
+struct CampaignMetrics {
+    runs: &'static lazyeye_obs::Counter,
+    runs_refined: &'static lazyeye_obs::Counter,
+    run_wall_us: &'static lazyeye_obs::Histogram,
+}
+
+fn metrics() -> &'static CampaignMetrics {
+    static METRICS: std::sync::OnceLock<CampaignMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| CampaignMetrics {
+        runs: lazyeye_obs::counter("campaign.runs", lazyeye_obs::Clock::Virtual),
+        runs_refined: lazyeye_obs::counter("campaign.runs_refined", lazyeye_obs::Clock::Virtual),
+        run_wall_us: lazyeye_obs::histogram("campaign.run_wall_us", lazyeye_obs::Clock::Wall),
+    })
+}
+
+/// Human-readable cell label for progress display and timeline spans.
+fn run_label(run: &RunSpec) -> String {
+    match &run.kind {
+        RunKind::Cad {
+            client,
+            delay_ms,
+            rep,
+            ..
+        } => format!("cad {client} delay={delay_ms}ms rep={rep}"),
+        RunKind::Rd {
+            client,
+            record,
+            delay_ms,
+            rep,
+            ..
+        } => format!("rd {client} {record:?} delay={delay_ms}ms rep={rep}"),
+        RunKind::Selection { client, .. } => format!("selection {client}"),
+        RunKind::Resolver {
+            resolver,
+            delay_ms,
+            rep,
+            ..
+        } => format!("resolver {resolver} delay={delay_ms}ms rep={rep}"),
+    }
+}
+
 /// The measured outcome of one run (a per-run reduction of the raw packet
 /// capture — raw samples never leave the worker).
 #[derive(Clone, Debug)]
@@ -97,7 +141,19 @@ impl RunContext {
 
 /// Executes a single run in a fresh simulation.
 pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
-    match &run.kind {
+    let m = metrics();
+    m.runs.inc();
+    if run.refined {
+        m.runs_refined.inc();
+    }
+    lazyeye_obs::progress::annotate(|| run_label(run));
+    let _span = if lazyeye_obs::trace::enabled() {
+        lazyeye_obs::trace::wall_span(run_label(run))
+    } else {
+        None
+    };
+    let started = std::time::Instant::now();
+    let out = match &run.kind {
         RunKind::Cad {
             client,
             netem,
@@ -152,7 +208,10 @@ pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
                 ctx.netem(netem),
             ))
         }
-    }
+    };
+    m.run_wall_us
+        .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    out
 }
 
 /// Executes every run, fanning out over `jobs` worker threads, and

@@ -119,6 +119,7 @@ pub fn run_campaign_resumable(
         .cloned()
         .collect();
     let mut total = pending1.len();
+    let pass1_span = lazyeye_obs::trace::wall_span("campaign.pass1");
     let out1 = execute_with(
         &ctx,
         &pending1,
@@ -127,6 +128,7 @@ pub fn run_campaign_resumable(
         |pos, out| on_result(&pending1[pos], out),
     );
     let outputs1 = stitch(&pass1, completed, out1);
+    drop(pass1_span);
 
     let pass2 = refine::plan_refinement(spec, &pass1, &outputs1);
     let pending2: Vec<RunSpec> = pass2
@@ -136,6 +138,7 @@ pub fn run_campaign_resumable(
         .collect();
     total += pending2.len();
     let base = pending1.len();
+    let _refine_span = lazyeye_obs::trace::wall_span("campaign.refine");
     let out2 = execute_with(
         &ctx,
         &pending2,
@@ -195,6 +198,7 @@ pub fn build_report_with(
         agg.fold(run, output);
     }
     let (cells, features) = agg.finish();
+    lazyeye_obs::counter("campaign.cells", lazyeye_obs::Clock::Virtual).add(cells.len() as u64);
     let inference = classify.then(|| build_inference(runs, outputs, &features));
     CampaignReport {
         name: spec.name.clone(),

@@ -9,9 +9,13 @@
 //! the `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from real proptest, by design:
-//! - **No shrinking.** A failing case panics with the assertion message;
-//!   inputs are reproducible because each test's RNG is seeded from the
-//!   test's module path (override with `PROPTEST_SEED`).
+//! - **Minimal shrinking.** On failure, integer inputs shrink toward the
+//!   low end of their range and collections shrink toward their minimum
+//!   length (greedily, re-running the body on each candidate), and the
+//!   panic reports the minimal failing input. Strategies without a
+//!   shrinker (`prop_map`, `string_regex`, ...) keep the original
+//!   failing value. Inputs are reproducible because each test's RNG is
+//!   seeded from the test's module path (override with `PROPTEST_SEED`).
 //! - **Default case count is 256**, matching upstream (override with
 //!   `PROPTEST_CASES`, or per test via `ProptestConfig::with_cases`).
 
@@ -114,6 +118,14 @@ pub trait Strategy {
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, simplest first.
+    /// Every candidate must be a value this strategy could generate and
+    /// strictly "smaller" than `value`, so greedy re-shrinking
+    /// terminates. The default is no candidates (no shrinking).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
     where
@@ -150,12 +162,18 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for std::rc::Rc<S> {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -189,6 +207,13 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter rejected 1000 candidates in a row");
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|c| (self.f)(c))
+            .collect()
+    }
 }
 
 /// A type-erased strategy.
@@ -206,11 +231,15 @@ impl<V> Clone for BoxedStrategy<V> {
 
 trait DynStrategy<V> {
     fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    fn dyn_shrink(&self, value: &V) -> Vec<V>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -218,6 +247,9 @@ impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
     fn generate(&self, rng: &mut TestRng) -> V {
         self.inner.dyn_generate(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.inner.dyn_shrink(value)
     }
 }
 
@@ -256,12 +288,22 @@ pub fn one_of<V>(arms: Vec<BoxedStrategy<V>>) -> OneOf<V> {
 // Primitive strategies
 // ---------------------------------------------------------------------------
 
-macro_rules! range_strategy {
-    ($($t:ty),*) => {$(
+macro_rules! int_range_strategy {
+    ($(($t:ty, $ut:ty)),*) => {$(
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (self.start, *value);
+                if v <= lo {
+                    return Vec::new();
+                }
+                // Overflow-safe midpoint: the unsigned distance halves
+                // cleanly even when `lo` is negative.
+                let half = lo.wrapping_add((v.wrapping_sub(lo) as $ut / 2) as $t);
+                int_shrink_candidates(lo, half, v - 1)
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
@@ -269,37 +311,130 @@ macro_rules! range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (*self.start(), *value);
+                if v <= lo {
+                    return Vec::new();
+                }
+                let half = lo.wrapping_add((v.wrapping_sub(lo) as $ut / 2) as $t);
+                int_shrink_candidates(lo, half, v - 1)
+            }
         }
     )*};
 }
-range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+int_range_strategy!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+/// Shared integer-range shrink ordering: the range's low end first (the
+/// biggest jump), then the midpoint, then the predecessor — deduplicated.
+/// Callers guarantee `lo <= half <= pred`, all below the failing value.
+fn int_shrink_candidates<T: Copy + Ord>(lo: T, half: T, pred: T) -> Vec<T> {
+    let mut out = vec![lo];
+    if half > lo {
+        out.push(half);
+    }
+    if pred > lo && pred != half {
+        out.push(pred);
+    }
+    out
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Generates one arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Simplifications of a failing value (see [`Strategy::shrink`]);
+    /// integers shrink toward zero. Default: none.
+    fn arbitrary_shrink(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
-macro_rules! arbitrary_uniform {
+macro_rules! arbitrary_uint {
     ($($t:ty),*) => {$(
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.gen()
             }
+            fn arbitrary_shrink(value: &$t) -> Vec<$t> {
+                if *value == 0 {
+                    return Vec::new();
+                }
+                int_shrink_candidates(0, *value / 2, *value - 1)
+            }
         }
     )*};
 }
-arbitrary_uniform!(u8, u16, u32, u64, u128, usize, bool, f64);
+arbitrary_uint!(u8, u16, u32, u64, u128, usize);
 
-impl Arbitrary for i32 {
-    fn arbitrary(rng: &mut TestRng) -> i32 {
-        rng.gen::<u32>() as i32
+macro_rules! arbitrary_int {
+    ($(($t:ty, $ut:ty)),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<$ut>() as $t
+            }
+            fn arbitrary_shrink(value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                // Toward zero from either side: zero, half, one step in.
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                let mut out = vec![0];
+                if v / 2 != 0 {
+                    out.push(v / 2);
+                }
+                if step != 0 && step != v / 2 {
+                    out.push(step);
+                }
+                out
+            }
+        }
+    )*};
+}
+arbitrary_int!((i32, u32), (i64, u64));
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+    fn arbitrary_shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
-impl Arbitrary for i64 {
-    fn arbitrary(rng: &mut TestRng) -> i64 {
-        rng.gen::<u64>() as i64
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen()
     }
 }
 
@@ -313,6 +448,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::arbitrary_shrink(value)
+    }
 }
 
 /// `any::<T>()` — the canonical strategy for `T`.
@@ -324,10 +462,25 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 
 macro_rules! tuple_strategy {
     ($(($($S:ident . $idx:tt),+))*) => {$(
-        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
             type Value = ($($S::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One coordinate at a time, the rest held fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -407,11 +560,38 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.size.sample(rng);
             (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Length shrinks first (largest simplification): minimum
+            // size, halfway down, one element shorter.
+            if value.len() > self.size.lo {
+                let lo = self.size.lo;
+                let mut lens = Vec::new();
+                for n in [lo, lo + (value.len() - lo) / 2, value.len() - 1] {
+                    if n < value.len() && !lens.contains(&n) {
+                        lens.push(n);
+                        out.push(value[..n].to_vec());
+                    }
+                }
+            }
+            // Then element shrinks, one position at a time.
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.elem.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -470,6 +650,14 @@ pub mod option {
                 None
             }
         }
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                None => Vec::new(),
+                Some(v) => std::iter::once(None)
+                    .chain(self.inner.shrink(v).into_iter().map(Some))
+                    .collect(),
+            }
+        }
     }
 }
 
@@ -513,6 +701,13 @@ pub mod bool {
         type Value = bool;
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.gen()
+        }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -722,6 +917,124 @@ pub mod string {
 }
 
 // ---------------------------------------------------------------------------
+// Case running + shrinking
+// ---------------------------------------------------------------------------
+
+/// Ceiling on test-body re-runs spent shrinking one failure.
+const MAX_SHRINK_RUNS: u32 = 512;
+
+/// What happened to one generated case, after any shrinking.
+pub enum CaseOutcome {
+    /// The body passed.
+    Pass,
+    /// `prop_assume!` rejected the inputs.
+    Reject,
+    /// The body failed; `message` is from the minimal failing input.
+    Fail {
+        /// Assertion message of the final (shrunkest) failing run.
+        message: String,
+        /// `Debug` rendering of the minimal failing input, when the
+        /// input type supports shrinking (`Clone + Debug`).
+        witness: Option<String>,
+        /// Number of shrink candidates that were run.
+        shrink_runs: u32,
+    },
+}
+
+/// Runs generated cases against a test body for one strategy. The
+/// [`proptest!`] macro calls `(&runner).run_case(...)`: when the input
+/// type is `Clone + Debug` the inherent method below (with shrinking)
+/// wins method resolution; otherwise the [`RunCaseNoShrink`] trait impl
+/// on `&CaseRunner` applies and failures report unshrunk.
+pub struct CaseRunner<'a, S> {
+    strategy: &'a S,
+}
+
+impl<'a, S: Strategy> CaseRunner<'a, S> {
+    /// A runner over `strategy`.
+    pub fn new(strategy: &'a S) -> CaseRunner<'a, S> {
+        CaseRunner { strategy }
+    }
+}
+
+impl<S: Strategy> CaseRunner<'_, S>
+where
+    S::Value: Clone + std::fmt::Debug,
+{
+    /// Runs `f` on `value`; on failure, greedily walks shrink candidates
+    /// (restarting from each smaller failing input) until no candidate
+    /// fails or the run budget is spent.
+    pub fn run_case<F>(&self, value: S::Value, f: F) -> CaseOutcome
+    where
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut best_msg = match f(value.clone()) {
+            Ok(()) => return CaseOutcome::Pass,
+            Err(TestCaseError::Reject(_)) => return CaseOutcome::Reject,
+            Err(TestCaseError::Fail(msg)) => msg,
+        };
+        let mut best = value;
+        let mut runs = 0u32;
+        'shrinking: while runs < MAX_SHRINK_RUNS {
+            for cand in self.strategy.shrink(&best) {
+                runs += 1;
+                if let Err(TestCaseError::Fail(msg)) = f(cand.clone()) {
+                    best = cand;
+                    best_msg = msg;
+                    continue 'shrinking;
+                }
+                if runs >= MAX_SHRINK_RUNS {
+                    break;
+                }
+            }
+            break;
+        }
+        CaseOutcome::Fail {
+            message: best_msg,
+            witness: Some(format!("{best:?}")),
+            shrink_runs: runs,
+        }
+    }
+}
+
+/// Pins a test-body closure's argument type to `S::Value` so the
+/// [`proptest!`] expansion type-checks (closure parameter inference
+/// needs the constraint at the definition site). Not public API.
+#[doc(hidden)]
+pub fn tie_case_fn<S: Strategy, F>(_strategy: &S, f: F) -> F
+where
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    f
+}
+
+/// Fallback for input types that cannot shrink (not `Clone + Debug`):
+/// run once, report the failure as-is.
+pub trait RunCaseNoShrink<S: Strategy> {
+    /// Runs `f` on `value` without shrinking.
+    fn run_case<F>(&self, value: S::Value, f: F) -> CaseOutcome
+    where
+        F: Fn(S::Value) -> Result<(), TestCaseError>;
+}
+
+impl<S: Strategy> RunCaseNoShrink<S> for &CaseRunner<'_, S> {
+    fn run_case<F>(&self, value: S::Value, f: F) -> CaseOutcome
+    where
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        match f(value) {
+            Ok(()) => CaseOutcome::Pass,
+            Err(TestCaseError::Reject(_)) => CaseOutcome::Reject,
+            Err(TestCaseError::Fail(message)) => CaseOutcome::Fail {
+                message,
+                witness: None,
+                shrink_runs: 0,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Macros
 // ---------------------------------------------------------------------------
 
@@ -749,18 +1062,37 @@ macro_rules! __proptest_fns {
                 let mut __rng =
                     $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
                 let __strategy = ($($strat,)*);
+                let __run = $crate::tie_case_fn(&__strategy, |__input| {
+                    let ($($arg,)*) = __input;
+                    (move || {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+                let __runner = $crate::CaseRunner::new(&__strategy);
+                #[allow(unused_imports)]
+                use $crate::RunCaseNoShrink as _;
                 for __case in 0..__cfg.cases {
-                    let ($($arg,)*) = $crate::Strategy::generate(&__strategy, &mut __rng);
-                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                        (move || {
-                            { $body }
-                            ::std::result::Result::Ok(())
-                        })();
-                    match __outcome {
-                        ::std::result::Result::Ok(()) => {}
-                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
-                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                            panic!("proptest case {} of {}: {}", __case, stringify!($name), msg)
+                    let __value = $crate::Strategy::generate(&__strategy, &mut __rng);
+                    match (&__runner).run_case(__value, &__run) {
+                        $crate::CaseOutcome::Pass => {}
+                        $crate::CaseOutcome::Reject => continue,
+                        $crate::CaseOutcome::Fail {
+                            message,
+                            witness: ::std::option::Option::Some(witness),
+                            shrink_runs,
+                        } => {
+                            panic!(
+                                "proptest case {} of {} ({} shrink runs)\nminimal failing input: {}\n{}",
+                                __case,
+                                stringify!($name),
+                                shrink_runs,
+                                witness,
+                                message
+                            )
+                        }
+                        $crate::CaseOutcome::Fail { message, .. } => {
+                            panic!("proptest case {} of {}: {}", __case, stringify!($name), message)
                         }
                     }
                 }
@@ -876,6 +1208,92 @@ mod tests {
                 .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
             let first = s.chars().next().unwrap();
             assert!(first != '-', "{s:?} must not start with a dash");
+        }
+    }
+
+    #[test]
+    fn seeded_integer_failure_shrinks_to_the_boundary_witness() {
+        // Property under test: `v < 20` over 0..1000. Whatever failing
+        // value is generated, greedy shrinking must land exactly on the
+        // smallest counterexample, 20.
+        let strategy = (0u64..1000,);
+        let runner = crate::CaseRunner::new(&strategy);
+        let run = |(v,): (u64,)| -> Result<(), crate::TestCaseError> {
+            if v < 20 {
+                Ok(())
+            } else {
+                Err(crate::TestCaseError::fail(format!("{v} is not < 20")))
+            }
+        };
+        match runner.run_case((999,), run) {
+            crate::CaseOutcome::Fail {
+                message,
+                witness,
+                shrink_runs,
+            } => {
+                assert_eq!(witness.as_deref(), Some("(20,)"));
+                assert_eq!(message, "20 is not < 20");
+                assert!(
+                    (1..crate::MAX_SHRINK_RUNS).contains(&shrink_runs),
+                    "shrinking should take a few runs, took {shrink_runs}"
+                );
+            }
+            _ => panic!("a failing case must report Fail"),
+        }
+        // A passing input never shrinks.
+        assert!(matches!(
+            runner.run_case((3,), run),
+            crate::CaseOutcome::Pass
+        ));
+    }
+
+    #[test]
+    fn seeded_collection_failure_shrinks_to_minimal_length() {
+        // Property: fewer than 5 elements. The minimal counterexample is
+        // five zeros — length shrinks walk down to the boundary, element
+        // shrinks then clear the (irrelevant) values.
+        let strategy = (crate::collection::vec(0u64..100, 0..20),);
+        let runner = crate::CaseRunner::new(&strategy);
+        let run = |(v,): (Vec<u64>,)| -> Result<(), crate::TestCaseError> {
+            if v.len() < 5 {
+                Ok(())
+            } else {
+                Err(crate::TestCaseError::fail(format!("len {}", v.len())))
+            }
+        };
+        let seed: Vec<u64> = (0..17).map(|i| 90 + i % 10).collect();
+        match runner.run_case((seed,), run) {
+            crate::CaseOutcome::Fail { witness, .. } => {
+                assert_eq!(witness.as_deref(), Some("([0, 0, 0, 0, 0],)"));
+            }
+            _ => panic!("a failing case must report Fail"),
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_respect_range_and_filter() {
+        let r = 10u64..100;
+        assert_eq!(crate::Strategy::shrink(&r, &10), Vec::<u64>::new());
+        assert_eq!(crate::Strategy::shrink(&r, &11), vec![10]);
+        assert_eq!(crate::Strategy::shrink(&r, &60), vec![10, 35, 59]);
+        let even = crate::Strategy::prop_filter(8i32..50, "even", |v| v % 2 == 0);
+        for c in crate::Strategy::shrink(&even, &40) {
+            assert_eq!(c % 2, 0, "filtered shrink candidates obey the filter");
+        }
+        let opt = crate::option::of(0u8..10);
+        assert_eq!(
+            crate::Strategy::shrink(&opt, &Some(2)),
+            vec![None, Some(0), Some(1)]
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        #[should_panic(expected = "minimal failing input: (20,)")]
+        fn macro_level_failures_report_the_shrunk_witness(v in 0u64..1000) {
+            prop_assert!(v < 20, "{} is not < 20", v);
         }
     }
 

@@ -34,7 +34,51 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Registry handles for the executor's scheduling metrics. Everything
+/// here is wall-clock: steal outcomes and job latencies depend on host
+/// scheduling and worker count, so none of it may feed report bytes.
+struct ExecMetrics {
+    steal_attempts: &'static lazyeye_obs::Counter,
+    steal_hits: &'static lazyeye_obs::Counter,
+    jobs_completed: &'static lazyeye_obs::Counter,
+    worker_busy_us: &'static lazyeye_obs::Counter,
+    job_wall_us: &'static lazyeye_obs::Histogram,
+    steal_queue_depth: &'static lazyeye_obs::Histogram,
+}
+
+fn metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        use lazyeye_obs::Clock::Wall;
+        ExecMetrics {
+            steal_attempts: lazyeye_obs::counter("exec.steal_attempts", Wall),
+            steal_hits: lazyeye_obs::counter("exec.steal_hits", Wall),
+            jobs_completed: lazyeye_obs::counter("exec.jobs_completed", Wall),
+            worker_busy_us: lazyeye_obs::counter("exec.worker_busy_us", Wall),
+            job_wall_us: lazyeye_obs::histogram("exec.job_wall_us", Wall),
+            steal_queue_depth: lazyeye_obs::histogram("exec.steal_queue_depth", Wall),
+        }
+    })
+}
+
+/// Runs one job with per-item progress attribution and wall-clock
+/// scheduling metrics (busy time, latency histogram, completion count).
+fn timed<O>(worker: u32, run: impl FnOnce() -> O) -> O {
+    lazyeye_obs::progress::item_start(worker);
+    let _job_span = lazyeye_obs::trace::wall_span("exec.job");
+    let started = Instant::now();
+    let out = run();
+    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let m = metrics();
+    m.worker_busy_us.add(elapsed_us);
+    m.job_wall_us.record(elapsed_us);
+    m.jobs_completed.inc();
+    lazyeye_obs::progress::item_done(worker);
+    out
+}
 
 /// A `--shard i/n` restriction: this process executes only jobs whose
 /// `job_index % count == shard.index`.
@@ -103,6 +147,8 @@ impl WorkQueue {
 /// deque before retiring, so every job still runs exactly once. A victim
 /// drained between the snapshot and the lock triggers a re-scan.
 fn steal(queues: &[WorkQueue], me: usize) -> Option<usize> {
+    let m = metrics();
+    m.steal_attempts.inc();
     loop {
         // Pick the victim with the most remaining work (an atomic
         // snapshot; rechecked under the victim's lock).
@@ -112,6 +158,7 @@ fn steal(queues: &[WorkQueue], me: usize) -> Option<usize> {
             .filter(|(i, _)| *i != me)
             .map(|(i, q)| (i, q.len.load(Ordering::Relaxed)))
             .max_by_key(|&(_, len)| len)?;
+        m.steal_queue_depth.record(snapshot_len as u64);
         if snapshot_len == 0 {
             return None;
         }
@@ -133,6 +180,9 @@ fn steal(queues: &[WorkQueue], me: usize) -> Option<usize> {
                 mine.extend(stolen);
                 queues[me].len.store(mine.len(), Ordering::Relaxed);
             }
+        }
+        if job.is_some() {
+            m.steal_hits.inc();
         }
         return job;
     }
@@ -166,14 +216,20 @@ pub fn execute_indexed_with<O: Send>(
 ) -> Vec<O> {
     let jobs = jobs.max(1).min(total.max(1));
     if jobs == 1 {
-        return (0..total)
+        // The caller thread IS worker 0 for the duration of the loop, so
+        // spans and progress annotations attribute to its track.
+        let prev_worker = lazyeye_obs::trace::worker();
+        lazyeye_obs::trace::set_worker(0);
+        let out = (0..total)
             .map(|index| {
-                let out = run(index);
+                let out = timed(0, || run(index));
                 on_result(index, &out);
                 progress(index + 1, total);
                 out
             })
             .collect();
+        lazyeye_obs::trace::set_worker(prev_worker);
+        return out;
     }
 
     // Stripe jobs across workers so early indices start immediately on
@@ -189,19 +245,24 @@ pub fn execute_indexed_with<O: Send>(
             let tx = tx.clone();
             let queues = &queues;
             let run = &run;
-            scope.spawn(move || loop {
-                let job = {
-                    match queues[me].pop_front() {
-                        Some(j) => j,
-                        None => match steal(queues, me) {
+            scope.spawn(move || {
+                let me32 = u32::try_from(me).unwrap_or(u32::MAX - 1);
+                lazyeye_obs::trace::set_worker(me32);
+                let _worker_span = lazyeye_obs::trace::wall_span(format!("exec.worker-{me}"));
+                loop {
+                    let job = {
+                        match queues[me].pop_front() {
                             Some(j) => j,
-                            None => break,
-                        },
+                            None => match steal(queues, me) {
+                                Some(j) => j,
+                                None => break,
+                            },
+                        }
+                    };
+                    let out = timed(me32, || run(job));
+                    if tx.send((job, out)).is_err() {
+                        break;
                     }
-                };
-                let out = run(job);
-                if tx.send((job, out)).is_err() {
-                    break;
                 }
             });
         }

@@ -198,6 +198,7 @@ mod tests {
                     tiers: vec![TierObservation {
                         delay_ms: 300,
                         families: vec![Some(Family::V6), Some(Family::V4), None],
+                        fetch_us: vec![700, 950, 5_000_000],
                     }],
                 }),
             ),

@@ -66,6 +66,11 @@ impl TierCell {
     }
 }
 
+/// Keeping majority-IPv6 past this answer delay, with fetch times
+/// tracking the delay, means the client stalled waiting for the answer
+/// instead of arming an RD (§5.2).
+pub const RD_STALL_MIN_MS: u64 = 2000;
+
 /// The streamed aggregate of one case family (CAD or RD sessions) for
 /// one member.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -84,6 +89,12 @@ pub struct CaseAggregate {
     pub max_first_v4: Option<u64>,
     /// Total mixed tiers across all sessions.
     pub mixed_tiers: u64,
+    /// Sessions whose fetch **timing** exposed the §5.2
+    /// wait-for-all-answers stall: some tier at or past
+    /// [`RD_STALL_MIN_MS`] took ≈ its configured delay to fetch. Family
+    /// grids cannot show this — a stalled client still connects over
+    /// IPv6 once the withheld answer arrives.
+    pub stall_sessions: u64,
 }
 
 lazyeye_json::impl_json_struct!(CaseAggregate {
@@ -94,6 +105,7 @@ lazyeye_json::impl_json_struct!(CaseAggregate {
     min_first_v4,
     max_first_v4,
     mixed_tiers,
+    stall_sessions,
 });
 
 fn fold_min(slot: &mut Option<u64>, v: Option<u64>) {
@@ -140,6 +152,12 @@ impl CaseAggregate {
         fold_min(&mut self.min_first_v4, first_v4);
         fold_max(&mut self.max_first_v4, first_v4);
         self.mixed_tiers += result.mixed_tiers() as u64;
+        let stalled = result.tiers.iter().any(|t| {
+            t.delay_ms >= RD_STALL_MIN_MS && t.max_fetch_us() >= t.delay_ms.saturating_mul(900)
+        });
+        if stalled {
+            self.stall_sessions += 1;
+        }
         self.sessions += 1;
     }
 
@@ -223,6 +241,8 @@ pub struct MemberAggregate {
     pub cad: CaseAggregate,
     /// RD web sessions (AAAA answers delayed).
     pub rd: CaseAggregate,
+    /// Delayed-**A** web sessions (the §5.2 wait-for-all-answers probe).
+    pub rd_a: CaseAggregate,
 }
 
 /// The fleet's streaming collector: one [`MemberAggregate`] per
@@ -248,12 +268,16 @@ impl Collector {
 
     /// Folds one session's submission in.
     pub fn ingest(&mut self, kind: &SessionKind, output: &SessionOutput) {
+        lazyeye_obs::counter("fleet.submissions", lazyeye_obs::Clock::Virtual).inc();
         match (kind, output) {
             (SessionKind::Cad { member }, SessionOutput::Web(result)) => {
                 self.members[*member].cad.ingest(result);
             }
             (SessionKind::Rd { member }, SessionOutput::Web(result)) => {
                 self.members[*member].rd.ingest(result);
+            }
+            (SessionKind::RdA { member }, SessionOutput::Web(result)) => {
+                self.members[*member].rd_a.ingest(result);
             }
             (SessionKind::ResolverCheck { stack }, SessionOutput::Resolver(r)) => {
                 let agg = match stack {
@@ -295,6 +319,7 @@ mod tests {
                             _ => None,
                         })
                         .collect(),
+                    fetch_us: Vec::new(),
                 })
                 .collect(),
         }
@@ -347,6 +372,63 @@ mod tests {
         agg.ingest(&session(&[(0, "xx"), (100, "66")]));
         assert_eq!(agg.grid_row(), "x6");
         assert_eq!(TierCell::default().grid_char(), '.');
+    }
+
+    #[test]
+    fn stall_detection_needs_both_a_deep_tier_and_tracking_fetch_times() {
+        let stalled = WebSessionResult {
+            tiers: vec![
+                TierObservation {
+                    delay_ms: 250,
+                    families: vec![Some(Family::V6)],
+                    fetch_us: vec![900],
+                },
+                TierObservation {
+                    delay_ms: 2000,
+                    families: vec![Some(Family::V6)],
+                    fetch_us: vec![2_000_400],
+                },
+            ],
+        };
+        let mut agg = CaseAggregate::default();
+        agg.ingest(&stalled);
+        assert_eq!(agg.stall_sessions, 1);
+
+        // Fast fetches at a deep tier (an armed RD): no stall.
+        let armed = WebSessionResult {
+            tiers: vec![TierObservation {
+                delay_ms: 2000,
+                families: vec![Some(Family::V6)],
+                fetch_us: vec![1200],
+            }],
+        };
+        let mut agg = CaseAggregate::default();
+        agg.ingest(&armed);
+        assert_eq!(agg.stall_sessions, 0);
+
+        // A slow fetch at a shallow tier (just a laggy page): no stall.
+        let shallow = WebSessionResult {
+            tiers: vec![TierObservation {
+                delay_ms: 500,
+                families: vec![Some(Family::V6)],
+                fetch_us: vec![480_000],
+            }],
+        };
+        let mut agg = CaseAggregate::default();
+        agg.ingest(&shallow);
+        assert_eq!(agg.stall_sessions, 0);
+    }
+
+    #[test]
+    fn collector_routes_rd_a_sessions_to_their_own_aggregate() {
+        let mut c = Collector::new(1);
+        c.ingest(
+            &SessionKind::RdA { member: 0 },
+            &SessionOutput::Web(session(&[(0, "6")])),
+        );
+        assert_eq!(c.members[0].rd_a.sessions, 1);
+        assert_eq!(c.members[0].rd.sessions, 0);
+        assert_eq!(c.members[0].cad.sessions, 0);
     }
 
     #[test]

@@ -177,6 +177,7 @@ mod tests {
             }],
             cad_sessions: 1,
             rd_sessions: 1,
+            rd_a_sessions: 0,
             repetitions: 2,
             resolver_checks: 1,
         }
@@ -238,5 +239,49 @@ mod tests {
         let report = run_fleet(&tiny_spec(), 2, |_, _| {}).unwrap();
         let back = FleetReport::from_json_str(&report.to_json()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn delayed_a_probe_flags_the_stall_and_matches_known_quirks() {
+        // With the probe off, none of the new report surface appears.
+        let off = run_fleet(&tiny_spec(), 2, |_, _| {}).unwrap();
+        assert_eq!(off.members[0].rd_a_stall, None);
+        assert_eq!(off.summary.rd_a_members, 0);
+        assert!(!off.to_json().contains("rd_a"));
+
+        // Opera is Chromium: wait_for_all_answers, so the delayed-A probe
+        // must observe the §5.2 stall — and agree with the known quirk.
+        let spec = FleetSpec {
+            rd_a_sessions: 1,
+            ..tiny_spec()
+        };
+        let report = run_fleet(&spec, 2, |_, _| {}).unwrap();
+        let m = &report.members[0];
+        assert_eq!(m.rd_a_sessions, 1);
+        assert_eq!(m.rd_a_stall, Some(true), "{m:?}");
+        assert_eq!(report.summary.rd_a_members, 1);
+        assert!(report.summary.all_rd_a_stalls_match_known);
+        assert!(report.to_json().contains("rd_a_stall"));
+        assert!(report.render_text().contains("delayed-A stall probe"));
+        let back = FleetReport::from_json_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+
+        // Safari arms a 50 ms RD instead of stalling: probe runs, no stall.
+        let safari = FleetSpec {
+            population: vec!["safari-18.0.1".to_string()],
+            rd_a_sessions: 1,
+            ..tiny_spec()
+        };
+        let report = run_fleet(&safari, 2, |_, _| {}).unwrap();
+        assert!(
+            report.members.iter().all(|m| m.rd_a_stall == Some(false)),
+            "{:?}",
+            report
+                .members
+                .iter()
+                .map(|m| (&m.member, m.rd_a_stall))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.summary.all_rd_a_stalls_match_known);
     }
 }

@@ -23,6 +23,12 @@ pub enum SessionKind {
         /// Index into the resolved member list.
         member: usize,
     },
+    /// One delayed-**A** web session (the §5.2 wait-for-all-answers
+    /// probe) for `members[member]`.
+    RdA {
+        /// Index into the resolved member list.
+        member: usize,
+    },
     /// One resolver check behind the given resolver stack.
     ResolverCheck {
         /// The recursive resolver's network stack.
@@ -81,6 +87,9 @@ pub fn expand(spec: &FleetSpec) -> Result<FleetPlan, String> {
         for _ in 0..spec.rd_sessions {
             push(SessionKind::Rd { member }, &mut sessions);
         }
+        for _ in 0..spec.rd_a_sessions {
+            push(SessionKind::RdA { member }, &mut sessions);
+        }
     }
     for stack in [ResolverStack::DualStack, ResolverStack::V4Only] {
         for _ in 0..spec.resolver_checks {
@@ -124,6 +133,27 @@ mod tests {
             (0..1000).map(|i| derive_session_seed(42, i)).collect();
         assert_eq!(seeds.len(), 1000);
         assert_ne!(derive_session_seed(1, 7), derive_session_seed(2, 7));
+    }
+
+    #[test]
+    fn rd_a_sessions_extend_the_plan_without_moving_existing_indices() {
+        let base = expand(&tiny_spec()).unwrap();
+        let with_rd_a = expand(&FleetSpec {
+            rd_a_sessions: 1,
+            ..tiny_spec()
+        })
+        .unwrap();
+        // Per member the RdA sessions slot in after that member's Rd
+        // sessions, so the plan grows — but a spec with the probe off
+        // expands to the exact sessions (indices AND seeds) it always did.
+        assert_eq!(with_rd_a.sessions.len(), base.sessions.len() + 2);
+        assert_eq!(with_rd_a.sessions[3].kind, SessionKind::RdA { member: 0 });
+        let rd_a_count = with_rd_a
+            .sessions
+            .iter()
+            .filter(|s| matches!(s.kind, SessionKind::RdA { .. }))
+            .count();
+        assert_eq!(rd_a_count, 2);
     }
 
     #[test]

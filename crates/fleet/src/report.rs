@@ -12,11 +12,11 @@ use lazyeye_infer::{
     CaseKind, ConformanceEntry, InferredProfile, InferredResolverProfile, Observation, RdEstimate,
     Verdict,
 };
-use lazyeye_json::{Json, ToJson};
+use lazyeye_json::{FromJson, Json, JsonError, ToJson};
 use lazyeye_testbed::Table;
 use lazyeye_webtool::ResolverStack;
 
-use crate::collect::{CaseAggregate, Collector, ResolverCheckAggregate, TierCell};
+use crate::collect::{CaseAggregate, Collector, ResolverCheckAggregate, TierCell, RD_STALL_MIN_MS};
 use crate::known::{check_agreement, KnownAgreement};
 use crate::plan::FleetPlan;
 use crate::session::SessionOutput;
@@ -25,10 +25,6 @@ use crate::spec::{FleetSpec, Member};
 /// An RD timer must fire within this configured DNS delay to count as
 /// armed (RFC 8305 recommends 50 ms; the web grid's next tier is 100 ms).
 const RD_ARMED_MAX_MS: u64 = 100;
-
-/// Keeping majority-IPv6 past this AAAA delay means the client stalled
-/// waiting for the answer instead of arming an RD (§5.2).
-const RD_STALL_MIN_MS: u64 = 2000;
 
 /// One population member's aggregated, inferred and judged results.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,6 +41,8 @@ pub struct MemberReport {
     pub cad_sessions: u64,
     /// RD sessions folded in.
     pub rd_sessions: u64,
+    /// Delayed-**A** probe sessions folded in (0 when the probe is off).
+    pub rd_a_sessions: u64,
     /// Figure-4 grid row: one char per tier (`6`/`4`/`m`/`x`/`.`).
     pub grid: String,
     /// RD grid row (AAAA answers delayed).
@@ -62,6 +60,10 @@ pub struct MemberReport {
     pub mixed_tiers: u64,
     /// RD verdict: `armed` / `stall` / `-` (unmeasured).
     pub rd_verdict: String,
+    /// Whether the delayed-**A** probe observed the §5.2
+    /// wait-for-all-answers stall through fetch timing. `None` when the
+    /// probe did not run for this member.
+    pub rd_a_stall: Option<bool>,
     /// Per-tier CAD aggregates.
     pub tiers: Vec<TierCell>,
     /// The black-box inferred profile (changepoint over the tier grid).
@@ -74,27 +76,83 @@ pub struct MemberReport {
     pub agreement: KnownAgreement,
 }
 
-lazyeye_json::impl_json_struct!(MemberReport {
-    member,
-    browser,
-    os,
-    condition,
-    cad_sessions,
-    rd_sessions,
-    grid,
-    rd_grid,
-    cad_last_v6_ms,
-    cad_first_v4_ms,
-    cad_point_ms,
-    cad_dynamic,
-    mixed_tiers,
-    rd_verdict,
-    tiers,
-    inferred,
-    conformance,
-    known_conformance,
-    agreement,
-});
+// Hand-written (not `impl_json_struct!`) so the delayed-A probe fields
+// appear only when the probe ran: with the probe off, a report renders
+// to the exact bytes it did before the fields existed (the golden pin
+// depends on this), and pre-probe reports keep parsing.
+impl ToJson for MemberReport {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("member", ToJson::to_json(&self.member)),
+            ("browser", ToJson::to_json(&self.browser)),
+            ("os", ToJson::to_json(&self.os)),
+            ("condition", ToJson::to_json(&self.condition)),
+            ("cad_sessions", ToJson::to_json(&self.cad_sessions)),
+            ("rd_sessions", ToJson::to_json(&self.rd_sessions)),
+        ];
+        if self.rd_a_sessions > 0 {
+            pairs.push(("rd_a_sessions", ToJson::to_json(&self.rd_a_sessions)));
+        }
+        pairs.push(("grid", ToJson::to_json(&self.grid)));
+        pairs.push(("rd_grid", ToJson::to_json(&self.rd_grid)));
+        pairs.push(("cad_last_v6_ms", ToJson::to_json(&self.cad_last_v6_ms)));
+        pairs.push(("cad_first_v4_ms", ToJson::to_json(&self.cad_first_v4_ms)));
+        pairs.push(("cad_point_ms", ToJson::to_json(&self.cad_point_ms)));
+        pairs.push(("cad_dynamic", ToJson::to_json(&self.cad_dynamic)));
+        pairs.push(("mixed_tiers", ToJson::to_json(&self.mixed_tiers)));
+        pairs.push(("rd_verdict", ToJson::to_json(&self.rd_verdict)));
+        if let Some(stall) = self.rd_a_stall {
+            pairs.push(("rd_a_stall", ToJson::to_json(&stall)));
+        }
+        pairs.push(("tiers", ToJson::to_json(&self.tiers)));
+        pairs.push(("inferred", ToJson::to_json(&self.inferred)));
+        pairs.push(("conformance", ToJson::to_json(&self.conformance)));
+        pairs.push((
+            "known_conformance",
+            ToJson::to_json(&self.known_conformance),
+        ));
+        pairs.push(("agreement", ToJson::to_json(&self.agreement)));
+        Json::obj(pairs)
+    }
+}
+
+impl FromJson for MemberReport {
+    fn from_json(v: &Json) -> Result<MemberReport, JsonError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| JsonError::new(format!("MemberReport: missing field {name:?}")))
+        };
+        Ok(MemberReport {
+            member: FromJson::from_json(field("member")?)?,
+            browser: FromJson::from_json(field("browser")?)?,
+            os: FromJson::from_json(field("os")?)?,
+            condition: FromJson::from_json(field("condition")?)?,
+            cad_sessions: FromJson::from_json(field("cad_sessions")?)?,
+            rd_sessions: FromJson::from_json(field("rd_sessions")?)?,
+            rd_a_sessions: match v.get("rd_a_sessions") {
+                Some(fv) => FromJson::from_json(fv)?,
+                None => 0,
+            },
+            grid: FromJson::from_json(field("grid")?)?,
+            rd_grid: FromJson::from_json(field("rd_grid")?)?,
+            cad_last_v6_ms: FromJson::from_json(field("cad_last_v6_ms")?)?,
+            cad_first_v4_ms: FromJson::from_json(field("cad_first_v4_ms")?)?,
+            cad_point_ms: FromJson::from_json(field("cad_point_ms")?)?,
+            cad_dynamic: FromJson::from_json(field("cad_dynamic")?)?,
+            mixed_tiers: FromJson::from_json(field("mixed_tiers")?)?,
+            rd_verdict: FromJson::from_json(field("rd_verdict")?)?,
+            rd_a_stall: match v.get("rd_a_stall") {
+                Some(fv) => FromJson::from_json(fv)?,
+                None => None,
+            },
+            tiers: FromJson::from_json(field("tiers")?)?,
+            inferred: FromJson::from_json(field("inferred")?)?,
+            conformance: FromJson::from_json(field("conformance")?)?,
+            known_conformance: FromJson::from_json(field("known_conformance")?)?,
+            agreement: FromJson::from_json(field("agreement")?)?,
+        })
+    }
+}
 
 /// The resolver-check roll-up for one resolver stack.
 #[derive(Clone, Debug, PartialEq)]
@@ -145,19 +203,88 @@ pub struct FleetSummary {
     pub agreeing_members: u64,
     /// `members == agreeing_members`.
     pub all_members_agree: bool,
+    /// Members the delayed-**A** probe measured (0 when the probe is off).
+    pub rd_a_members: u64,
+    /// Every probed member's observed stall (or its absence) matches the
+    /// client's known `wait_for_all_answers` quirk. Vacuously true when
+    /// the probe is off.
+    pub all_rd_a_stalls_match_known: bool,
 }
 
-lazyeye_json::impl_json_struct!(FleetSummary {
-    members,
-    fixed_cad_members,
-    fixed_cad_bracketed,
-    all_fixed_cad_bracketed,
-    dynamic_cad_members,
-    dynamic_cad_flagged,
-    all_dynamic_cad_flagged,
-    agreeing_members,
-    all_members_agree,
-});
+// Hand-written for the same reason as [`MemberReport`]: the delayed-A
+// probe fields stay out of the bytes entirely when the probe is off.
+impl ToJson for FleetSummary {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("members", ToJson::to_json(&self.members)),
+            (
+                "fixed_cad_members",
+                ToJson::to_json(&self.fixed_cad_members),
+            ),
+            (
+                "fixed_cad_bracketed",
+                ToJson::to_json(&self.fixed_cad_bracketed),
+            ),
+            (
+                "all_fixed_cad_bracketed",
+                ToJson::to_json(&self.all_fixed_cad_bracketed),
+            ),
+            (
+                "dynamic_cad_members",
+                ToJson::to_json(&self.dynamic_cad_members),
+            ),
+            (
+                "dynamic_cad_flagged",
+                ToJson::to_json(&self.dynamic_cad_flagged),
+            ),
+            (
+                "all_dynamic_cad_flagged",
+                ToJson::to_json(&self.all_dynamic_cad_flagged),
+            ),
+            ("agreeing_members", ToJson::to_json(&self.agreeing_members)),
+            (
+                "all_members_agree",
+                ToJson::to_json(&self.all_members_agree),
+            ),
+        ];
+        if self.rd_a_members > 0 {
+            pairs.push(("rd_a_members", ToJson::to_json(&self.rd_a_members)));
+            pairs.push((
+                "all_rd_a_stalls_match_known",
+                ToJson::to_json(&self.all_rd_a_stalls_match_known),
+            ));
+        }
+        Json::obj(pairs)
+    }
+}
+
+impl FromJson for FleetSummary {
+    fn from_json(v: &Json) -> Result<FleetSummary, JsonError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| JsonError::new(format!("FleetSummary: missing field {name:?}")))
+        };
+        Ok(FleetSummary {
+            members: FromJson::from_json(field("members")?)?,
+            fixed_cad_members: FromJson::from_json(field("fixed_cad_members")?)?,
+            fixed_cad_bracketed: FromJson::from_json(field("fixed_cad_bracketed")?)?,
+            all_fixed_cad_bracketed: FromJson::from_json(field("all_fixed_cad_bracketed")?)?,
+            dynamic_cad_members: FromJson::from_json(field("dynamic_cad_members")?)?,
+            dynamic_cad_flagged: FromJson::from_json(field("dynamic_cad_flagged")?)?,
+            all_dynamic_cad_flagged: FromJson::from_json(field("all_dynamic_cad_flagged")?)?,
+            agreeing_members: FromJson::from_json(field("agreeing_members")?)?,
+            all_members_agree: FromJson::from_json(field("all_members_agree")?)?,
+            rd_a_members: match v.get("rd_a_members") {
+                Some(fv) => FromJson::from_json(fv)?,
+                None => 0,
+            },
+            all_rd_a_stalls_match_known: match v.get("all_rd_a_stalls_match_known") {
+                Some(fv) => FromJson::from_json(fv)?,
+                None => true,
+            },
+        })
+    }
+}
 
 /// The complete result of one fleet run.
 #[derive(Clone, Debug, PartialEq)]
@@ -314,7 +441,10 @@ pub fn build_report(spec: &FleetSpec, plan: &FleetPlan, outputs: &[SessionOutput
         all_dynamic_cad_flagged: false,
         agreeing_members: 0,
         all_members_agree: false,
+        rd_a_members: 0,
+        all_rd_a_stalls_match_known: true,
     };
+    let mut rd_a_mismatches = 0u64;
     for (member, agg) in plan.members.iter().zip(&collector.members) {
         let observations = cad_observations(member, &agg.cad);
         let mut inferred = infer_profile(&member.key, &observations);
@@ -329,6 +459,17 @@ pub fn build_report(spec: &FleetSpec, plan: &FleetPlan, outputs: &[SessionOutput
         }
         let (rd, rd_verdict) = rd_estimate(&agg.rd);
         inferred.rd = rd;
+        // The delayed-A probe (§5.2): a wait-for-all-answers client still
+        // connects over IPv6 under a withheld A answer — only the fetch
+        // *timing* betrays the stall, so the verdict comes from the
+        // collector's timing fold, not the family grid.
+        let rd_a_stall = (agg.rd_a.sessions > 0).then_some(agg.rd_a.stall_sessions > 0);
+        if let Some(stalled) = rd_a_stall {
+            summary.rd_a_members += 1;
+            if stalled != member.profile.he.quirks.wait_for_all_answers {
+                rd_a_mismatches += 1;
+            }
+        }
         let conformance = score_profile(&inferred);
         let known_conformance = crate::known::known_verdicts(&member.key, &member.profile);
         let agreement =
@@ -361,6 +502,7 @@ pub fn build_report(spec: &FleetSpec, plan: &FleetPlan, outputs: &[SessionOutput
             condition: member.condition.clone(),
             cad_sessions: agg.cad.sessions,
             rd_sessions: agg.rd.sessions,
+            rd_a_sessions: agg.rd_a.sessions,
             grid: agg.cad.grid_row(),
             rd_grid: agg.rd.grid_row(),
             cad_last_v6_ms: last_v6,
@@ -369,6 +511,7 @@ pub fn build_report(spec: &FleetSpec, plan: &FleetPlan, outputs: &[SessionOutput
             cad_dynamic: dynamic,
             mixed_tiers: agg.cad.mixed_tiers,
             rd_verdict,
+            rd_a_stall,
             tiers: agg.cad.tiers.clone(),
             inferred,
             conformance,
@@ -379,6 +522,7 @@ pub fn build_report(spec: &FleetSpec, plan: &FleetPlan, outputs: &[SessionOutput
     summary.all_fixed_cad_bracketed = summary.fixed_cad_bracketed == summary.fixed_cad_members;
     summary.all_dynamic_cad_flagged = summary.dynamic_cad_flagged == summary.dynamic_cad_members;
     summary.all_members_agree = summary.agreeing_members == summary.members;
+    summary.all_rd_a_stalls_match_known = rd_a_mismatches == 0;
 
     FleetReport {
         name: spec.name.clone(),
@@ -579,6 +723,25 @@ impl FleetReport {
             s.agreeing_members,
             s.members,
         ));
+        if s.rd_a_members > 0 {
+            out.push_str(&format!(
+                "delayed-A stall probe: {} members measured; stalls match known quirks: {}\n",
+                s.rd_a_members,
+                if s.all_rd_a_stalls_match_known {
+                    "yes"
+                } else {
+                    "NO"
+                },
+            ));
+            for m in &self.members {
+                if let Some(true) = m.rd_a_stall {
+                    out.push_str(&format!(
+                        "  stall {} [{}]: fetch times tracked the withheld A answer\n",
+                        m.member, m.condition,
+                    ));
+                }
+            }
+        }
         for m in &self.members {
             for d in &m.agreement.deltas {
                 out.push_str(&format!(

@@ -84,8 +84,31 @@ impl<'a> SessionContext<'a> {
     }
 }
 
+/// Registry handles for fleet session metrics. Session counts are a pure
+/// function of the plan and live on the virtual clock.
+struct FleetMetrics {
+    sessions: &'static lazyeye_obs::Counter,
+    sessions_rd_a: &'static lazyeye_obs::Counter,
+}
+
+fn metrics() -> &'static FleetMetrics {
+    static METRICS: std::sync::OnceLock<FleetMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| FleetMetrics {
+        sessions: lazyeye_obs::counter("fleet.sessions", lazyeye_obs::Clock::Virtual),
+        sessions_rd_a: lazyeye_obs::counter("fleet.sessions_rd_a", lazyeye_obs::Clock::Virtual),
+    })
+}
+
 /// Executes a single session in a fresh deployment.
 pub fn run_session(ctx: &SessionContext<'_>, session: &SessionSpec) -> SessionOutput {
+    let m = metrics();
+    m.sessions.inc();
+    lazyeye_obs::progress::annotate(|| match session.kind {
+        SessionKind::Cad { member } => format!("cad {}", ctx.member(member).key),
+        SessionKind::Rd { member } => format!("rd {}", ctx.member(member).key),
+        SessionKind::RdA { member } => format!("rd-a {}", ctx.member(member).key),
+        SessionKind::ResolverCheck { stack } => format!("resolver-check {stack:?}"),
+    });
     match session.kind {
         SessionKind::Cad { member } => {
             let m = ctx.member(member);
@@ -100,6 +123,12 @@ pub fn run_session(ctx: &SessionContext<'_>, session: &SessionSpec) -> SessionOu
                 ctx.spec.repetitions,
                 DelayTarget::Aaaa,
             ))
+        }
+        SessionKind::RdA { member } => {
+            metrics().sessions_rd_a.inc();
+            let m = ctx.member(member);
+            let mut d = deploy(session.seed, ctx.conditions_of(m));
+            SessionOutput::Web(d.run_rd_session(&m.profile, ctx.spec.repetitions, DelayTarget::A))
         }
         SessionKind::ResolverCheck { stack } => {
             let r = check_resolver(stack, SelectionPolicy::default(), session.seed);
@@ -153,6 +182,7 @@ pub fn output_to_json(output: &SessionOutput) -> Json {
                     Json::obj(vec![
                         ("delay_ms", t.delay_ms.to_json()),
                         ("families", Json::Str(families_to_string(&t.families))),
+                        ("fetch_us", t.fetch_us.to_json()),
                     ])
                 })
                 .collect();
@@ -183,6 +213,13 @@ pub fn output_from_json(v: &Json) -> Result<SessionOutput, JsonError> {
                 tiers.push(TierObservation {
                     delay_ms: u64::from_json(&entry["delay_ms"])?,
                     families: families_from_str(families)?,
+                    // Absent in pre-timing checkpoints: tolerate (the
+                    // family grid still folds; only stall detection needs
+                    // the timings).
+                    fetch_us: match entry.get("fetch_us") {
+                        Some(v) => FromJson::from_json(v)?,
+                        None => Vec::new(),
+                    },
                 });
             }
             Ok(SessionOutput::Web(WebSessionResult { tiers }))
@@ -215,15 +252,27 @@ mod tests {
                 TierObservation {
                     delay_ms: 250,
                     families: vec![Some(Family::V6), Some(Family::V4), None],
+                    fetch_us: vec![800, 1200, 5_000_000],
                 },
                 TierObservation {
                     delay_ms: 300,
                     families: vec![Some(Family::V4)],
+                    fetch_us: vec![950],
                 },
             ],
         });
         let back = output_from_json(&output_to_json(&web)).unwrap();
         assert_eq!(back, web);
+
+        // Pre-timing checkpoints carry no fetch_us: they must keep
+        // parsing, with empty timings.
+        let legacy =
+            Json::parse(r#"{"kind": "web", "tiers": [{"delay_ms": 0, "families": "64"}]}"#)
+                .unwrap();
+        let SessionOutput::Web(parsed) = output_from_json(&legacy).unwrap() else {
+            panic!("expected a web output");
+        };
+        assert!(parsed.tiers[0].fetch_us.is_empty());
 
         let resolver = SessionOutput::Resolver(ResolverCheckOutput {
             capable: true,

@@ -57,22 +57,60 @@ pub struct FleetSpec {
     pub cad_sessions: u32,
     /// RD web sessions (AAAA answer delayed) per (member, condition).
     pub rd_sessions: u32,
+    /// Delayed-**A** web sessions per (member, condition): the §5.2
+    /// wait-for-all-answers probe. Default 0 (off).
+    pub rd_a_sessions: u32,
     /// Page-fetch repetitions per tier within one session.
     pub repetitions: u32,
     /// Resolver checks per resolver stack (dual-stack and IPv4-only).
     pub resolver_checks: u32,
 }
 
-lazyeye_json::impl_json_struct!(FleetSpec {
-    name,
-    seed,
-    population,
-    conditions,
-    cad_sessions,
-    rd_sessions,
-    repetitions,
-    resolver_checks,
-});
+// Hand-written (not `impl_json_struct!`) so `rd_a_sessions` is emitted
+// only when set and tolerated when absent: specs and checkpoints written
+// before the field existed keep parsing, and a spec with the probe off
+// serialises to the exact bytes it always did.
+impl ToJson for FleetSpec {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", ToJson::to_json(&self.name)),
+            ("seed", ToJson::to_json(&self.seed)),
+            ("population", ToJson::to_json(&self.population)),
+            ("conditions", ToJson::to_json(&self.conditions)),
+            ("cad_sessions", ToJson::to_json(&self.cad_sessions)),
+            ("rd_sessions", ToJson::to_json(&self.rd_sessions)),
+        ];
+        if self.rd_a_sessions > 0 {
+            pairs.push(("rd_a_sessions", ToJson::to_json(&self.rd_a_sessions)));
+        }
+        pairs.push(("repetitions", ToJson::to_json(&self.repetitions)));
+        pairs.push(("resolver_checks", ToJson::to_json(&self.resolver_checks)));
+        Json::obj(pairs)
+    }
+}
+
+impl FromJson for FleetSpec {
+    fn from_json(v: &Json) -> Result<FleetSpec, JsonError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| JsonError::new(format!("FleetSpec: missing field {name:?}")))
+        };
+        Ok(FleetSpec {
+            name: FromJson::from_json(field("name")?)?,
+            seed: FromJson::from_json(field("seed")?)?,
+            population: FromJson::from_json(field("population")?)?,
+            conditions: FromJson::from_json(field("conditions")?)?,
+            cad_sessions: FromJson::from_json(field("cad_sessions")?)?,
+            rd_sessions: FromJson::from_json(field("rd_sessions")?)?,
+            rd_a_sessions: match v.get("rd_a_sessions") {
+                Some(fv) => FromJson::from_json(fv)?,
+                None => 0,
+            },
+            repetitions: FromJson::from_json(field("repetitions")?)?,
+            resolver_checks: FromJson::from_json(field("resolver_checks")?)?,
+        })
+    }
+}
 
 impl Default for FleetSpec {
     /// The default fleet: the full Table 5 population under two last-mile
@@ -99,6 +137,7 @@ impl Default for FleetSpec {
             ],
             cad_sessions: 2,
             rd_sessions: 1,
+            rd_a_sessions: 0,
             repetitions: 3,
             resolver_checks: 2,
         }
@@ -190,6 +229,25 @@ mod tests {
         let spec = FleetSpec::default();
         let back = FleetSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn rd_a_sessions_roundtrip_and_back_compat() {
+        // With the probe on, the field round-trips.
+        let spec = FleetSpec {
+            rd_a_sessions: 2,
+            ..FleetSpec::default()
+        };
+        let json = spec.to_json();
+        assert!(json.contains("rd_a_sessions"));
+        assert_eq!(FleetSpec::from_json(&json).unwrap(), spec);
+
+        // With the probe off, the field stays out of the bytes entirely
+        // (pre-existing specs and checkpoints keep their exact encoding).
+        let default_json = FleetSpec::default().to_json();
+        assert!(!default_json.contains("rd_a_sessions"));
+        let back = FleetSpec::from_json(&default_json).unwrap();
+        assert_eq!(back.rd_a_sessions, 0);
     }
 
     #[test]

@@ -97,6 +97,7 @@ fn safari_members_report_a_bracket_not_a_point() {
         }],
         cad_sessions: 3,
         rd_sessions: 1,
+        rd_a_sessions: 0,
         repetitions: 3,
         resolver_checks: 0,
     };
@@ -143,6 +144,7 @@ fn population_scale_memory_is_o_population() {
             tiers: vec![TierObservation {
                 delay_ms: 0,
                 families: vec![Some(Family::V6); 3],
+                fetch_us: vec![600; 3],
             }],
         });
     }

@@ -1,0 +1,355 @@
+//! The process-wide metrics registry: counters, gauges and log-scale
+//! histograms, each tagged with the [`Clock`] domain its values live in.
+//!
+//! Handles are registered once (by `&'static str` name) and returned as
+//! `&'static` references, so hot paths pay one atomic op per update and
+//! never touch the registry lock. Exposition walks the registry in
+//! name order, which makes the rendered snapshot deterministic for a
+//! deterministic workload.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::Clock;
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    clock: Clock,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The counter's clock domain.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+}
+
+/// A gauge: a value that can move in both directions.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    clock: Clock,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (saturating at zero under races only in the sense
+    /// that callers are expected to pair add/sub).
+    pub fn sub(&self, n: u64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Number of log-scale buckets: bucket `i > 0` counts values `v` with
+/// `2^(i-1) <= v <= 2^i - 1`; bucket 0 counts `v == 0`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A lock-free base-2 log-scale histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    clock: Clock,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let idx = Self::bucket_index(v).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (non-cumulative).
+    pub fn buckets(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Zeroes every bucket and the count/sum.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, &'static Counter>,
+    gauges: BTreeMap<&'static str, &'static Gauge>,
+    histograms: BTreeMap<&'static str, &'static Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+        counters: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+        histograms: BTreeMap::new(),
+    });
+    &REGISTRY
+}
+
+/// Registers (or fetches) the counter `name` in the given clock domain.
+/// The first registration fixes the clock domain; later callers get the
+/// existing handle.
+pub fn counter(name: &'static str, clock: Clock) -> &'static Counter {
+    let mut reg = registry().lock().unwrap();
+    reg.counters.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Counter {
+            name,
+            clock,
+            value: AtomicU64::new(0),
+        }))
+    })
+}
+
+/// Registers (or fetches) the gauge `name`.
+pub fn gauge(name: &'static str, clock: Clock) -> &'static Gauge {
+    let mut reg = registry().lock().unwrap();
+    reg.gauges.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Gauge {
+            name,
+            clock,
+            value: AtomicU64::new(0),
+        }))
+    })
+}
+
+/// Registers (or fetches) the histogram `name`.
+pub fn histogram(name: &'static str, clock: Clock) -> &'static Histogram {
+    let mut reg = registry().lock().unwrap();
+    reg.histograms.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Histogram {
+            name,
+            clock,
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    })
+}
+
+/// Zeroes every registered metric (test isolation between workloads
+/// sharing one process).
+pub fn reset_all() {
+    let reg = registry().lock().unwrap();
+    for c in reg.counters.values() {
+        c.reset();
+    }
+    for g in reg.gauges.values() {
+        g.reset();
+    }
+    for h in reg.histograms.values() {
+        h.reset();
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("lazyeye_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Renders a Prometheus-style text exposition of every registered metric,
+/// optionally restricted to one clock domain.
+///
+/// Lines are emitted in metric-name order; for a deterministic workload
+/// the `Clock::Virtual` subset is byte-identical whatever the worker
+/// count (CI pins this across `--jobs 1/4/8`).
+pub fn render_prometheus(filter: Option<Clock>) -> String {
+    struct Block {
+        name: String,
+        text: String,
+    }
+    let keep = |clock: Clock| filter.is_none() || filter == Some(clock);
+    let mut blocks: Vec<Block> = Vec::new();
+    {
+        let reg = registry().lock().unwrap();
+        for c in reg.counters.values() {
+            if !keep(c.clock) {
+                continue;
+            }
+            let pname = prom_name(c.name);
+            let mut text = String::new();
+            let _ = writeln!(text, "# TYPE {pname} counter");
+            let _ = writeln!(text, "{pname}{{clock=\"{}\"}} {}", c.clock.label(), c.get());
+            blocks.push(Block { name: pname, text });
+        }
+        for g in reg.gauges.values() {
+            if !keep(g.clock) {
+                continue;
+            }
+            let pname = prom_name(g.name);
+            let mut text = String::new();
+            let _ = writeln!(text, "# TYPE {pname} gauge");
+            let _ = writeln!(text, "{pname}{{clock=\"{}\"}} {}", g.clock.label(), g.get());
+            blocks.push(Block { name: pname, text });
+        }
+        for h in reg.histograms.values() {
+            if !keep(h.clock) {
+                continue;
+            }
+            let pname = prom_name(h.name);
+            let clock = h.clock.label();
+            let buckets = h.buckets();
+            let highest = buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+            let mut text = String::new();
+            let _ = writeln!(text, "# TYPE {pname} histogram");
+            let mut cumulative = 0u64;
+            for (i, &b) in buckets.iter().enumerate().take(highest + 1) {
+                cumulative += b;
+                // Bucket i holds v <= 2^i - 1 (v == 0 lands in bucket 0).
+                let le = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                let _ = writeln!(
+                    text,
+                    "{pname}_bucket{{clock=\"{clock}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                text,
+                "{pname}_bucket{{clock=\"{clock}\",le=\"+Inf\"}} {}",
+                h.count()
+            );
+            let _ = writeln!(text, "{pname}_sum{{clock=\"{clock}\"}} {}", h.sum());
+            let _ = writeln!(text, "{pname}_count{{clock=\"{clock}\"}} {}", h.count());
+            blocks.push(Block { name: pname, text });
+        }
+    }
+    blocks.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    for b in blocks {
+        out.push_str(&b.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registration_is_idempotent() {
+        let a = counter("test.reg.counter", Clock::Virtual);
+        let b = counter("test.reg.counter", Clock::Wall);
+        assert!(std::ptr::eq(a, b), "same name must yield the same handle");
+        assert_eq!(b.clock(), Clock::Virtual, "first registration wins");
+        a.reset();
+        a.add(3);
+        a.inc();
+        assert_eq!(b.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = histogram("test.reg.hist", Clock::Wall);
+        h.reset();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        let b = h.buckets();
+        assert_eq!(b[0], 1, "v=0");
+        assert_eq!(b[1], 1, "v=1");
+        assert_eq!(b[2], 2, "v in 2..=3");
+        assert_eq!(b[3], 1, "v in 4..=7");
+        assert_eq!(b[10], 1, "v in 512..=1023");
+    }
+
+    #[test]
+    fn exposition_filters_by_clock_domain() {
+        counter("test.expo.virtual", Clock::Virtual).add(7);
+        counter("test.expo.wall", Clock::Wall).add(9);
+        let all = render_prometheus(None);
+        assert!(all.contains("lazyeye_test_expo_virtual{clock=\"virtual\"}"));
+        assert!(all.contains("lazyeye_test_expo_wall{clock=\"wall\"}"));
+        let virt = render_prometheus(Some(Clock::Virtual));
+        assert!(virt.contains("lazyeye_test_expo_virtual"));
+        assert!(!virt.contains("lazyeye_test_expo_wall"));
+    }
+
+    #[test]
+    fn exposition_is_sorted_by_metric_name() {
+        counter("test.sorted.b", Clock::Wall).inc();
+        counter("test.sorted.a", Clock::Wall).inc();
+        let out = render_prometheus(None);
+        let a = out.find("lazyeye_test_sorted_a").unwrap();
+        let b = out.find("lazyeye_test_sorted_b").unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,225 @@
+//! Chrome trace-event JSON export (loadable in Perfetto or
+//! `chrome://tracing`).
+//!
+//! The two clock domains become two trace "processes": pid 1 carries one
+//! track per worker thread plus the orchestrator track (wall clock), pid
+//! 2 carries one track per sampled simulation run (virtual time). Spans
+//! are `"X"` complete events, instants are `"i"` events, and `"M"`
+//! metadata events name every process and thread. Events are sorted
+//! deterministically before writing, so for a deterministic workload the
+//! virtual-time half of the file is byte-identical across worker counts.
+
+use std::fmt::Write as _;
+
+use crate::trace::{TraceEvent, ORCHESTRATOR_TRACK};
+use crate::Clock;
+
+/// The trace-event `pid` used for the wall-clock (orchestration) domain.
+pub const WALL_PID: u32 = 1;
+/// The trace-event `pid` used for the virtual-time (sampled run) domain.
+pub const VIRTUAL_PID: u32 = 2;
+
+fn pid_of(clock: Clock) -> u32 {
+    match clock {
+        Clock::Wall => WALL_PID,
+        Clock::Virtual => VIRTUAL_PID,
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn meta_event(out: &mut String, name: &str, pid: u32, tid: u32, value: &str) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\""
+    );
+    escape_into(out, value);
+    out.push_str("\"}},\n");
+}
+
+/// Renders `events` as a Chrome trace-event JSON document.
+pub fn render_chrome_trace(mut events: Vec<TraceEvent>) -> String {
+    // Deterministic order: domain, then track, then time, then name.
+    events.sort_by(|a, b| {
+        (pid_of(a.clock), a.track, a.ts_us, &a.name, a.dur_us).cmp(&(
+            pid_of(b.clock),
+            b.track,
+            b.ts_us,
+            &b.name,
+            b.dur_us,
+        ))
+    });
+
+    let mut out = String::with_capacity(events.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    meta_event(
+        &mut out,
+        "process_name",
+        WALL_PID,
+        0,
+        "wall clock (orchestration)",
+    );
+    meta_event(
+        &mut out,
+        "process_name",
+        VIRTUAL_PID,
+        0,
+        "virtual time (sampled runs)",
+    );
+
+    // Name every track that actually carries events.
+    let mut tracks: Vec<(u32, u32)> = events
+        .iter()
+        .map(|e| (pid_of(e.clock), e.track))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    tracks.sort_unstable();
+    for (pid, tid) in tracks {
+        let label = match (pid, tid) {
+            (WALL_PID, ORCHESTRATOR_TRACK) => "orchestrator".to_string(),
+            (WALL_PID, i) => format!("worker-{i}"),
+            (_, i) => format!("run-{i}"),
+        };
+        meta_event(&mut out, "thread_name", pid, tid, &label);
+    }
+
+    for (i, e) in events.iter().enumerate() {
+        let pid = pid_of(e.clock);
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, &e.name);
+        let _ = match e.dur_us {
+            Some(dur) => write!(
+                out,
+                "\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{},\"dur\":{dur},\"args\":{{\"clock\":\"{}\"}}}}",
+                e.track,
+                e.ts_us,
+                e.clock.label()
+            ),
+            None => write!(
+                out,
+                "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{},\"ts\":{},\"args\":{{\"clock\":\"{}\"}}}}",
+                e.track,
+                e.ts_us,
+                e.clock.label()
+            ),
+        };
+        out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn ev(
+        name: &'static str,
+        track: u32,
+        clock: Clock,
+        ts_us: u64,
+        dur_us: Option<u64>,
+    ) -> TraceEvent {
+        TraceEvent {
+            name: Cow::Borrowed(name),
+            track,
+            clock,
+            ts_us,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_round_trips_nesting_and_domains() {
+        let events = vec![
+            ev("outer", 0, Clock::Wall, 100, Some(900)),
+            ev("inner", 0, Clock::Wall, 200, Some(300)),
+            ev("mark", 1, Clock::Wall, 50, None),
+            ev("sim.run", 0, Clock::Virtual, 0, Some(5000)),
+            ev("timer", 0, Clock::Virtual, 1250, None),
+            ev(
+                "orchestrate",
+                ORCHESTRATOR_TRACK,
+                Clock::Wall,
+                0,
+                Some(2000),
+            ),
+        ];
+        let json = render_chrome_trace(events);
+        let doc = lazyeye_json::Json::parse(&json).expect("trace JSON must parse");
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+
+        // Every X/i event carries a clock arg; both domains are present.
+        let clock_of = |e: &lazyeye_json::Json| {
+            e.get("args")
+                .and_then(|a| a.get("clock"))
+                .and_then(|c| c.as_str().map(str::to_string))
+        };
+        let spans: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert!(spans.iter().any(|e| clock_of(e).as_deref() == Some("wall")));
+        assert!(spans
+            .iter()
+            .any(|e| clock_of(e).as_deref() == Some("virtual")));
+
+        // Nesting survives: inner sits fully inside outer on the same
+        // worker track.
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(name))
+                .unwrap()
+        };
+        let as_u64 = |e: &lazyeye_json::Json, k: &str| e.get(k).unwrap().as_u64().unwrap();
+        let (outer, inner) = (find("outer"), find("inner"));
+        assert_eq!(as_u64(outer, "tid"), as_u64(inner, "tid"));
+        assert!(as_u64(inner, "ts") >= as_u64(outer, "ts"));
+        assert!(
+            as_u64(inner, "ts") + as_u64(inner, "dur")
+                <= as_u64(outer, "ts") + as_u64(outer, "dur")
+        );
+
+        // Track assignment: the wall pid carries worker + orchestrator
+        // tracks, the virtual pid carries the run track.
+        assert_eq!(as_u64(find("outer"), "pid"), u64::from(WALL_PID));
+        assert_eq!(as_u64(find("sim.run"), "pid"), u64::from(VIRTUAL_PID));
+        let names: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_string))
+            .collect();
+        assert!(names.iter().any(|n| n == "worker-0"));
+        assert!(names.iter().any(|n| n == "worker-1"));
+        assert!(names.iter().any(|n| n == "run-0"));
+        assert!(names.iter().any(|n| n == "orchestrator"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic_under_input_order() {
+        let a = vec![
+            ev("b", 1, Clock::Wall, 10, Some(5)),
+            ev("a", 0, Clock::Virtual, 0, None),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(render_chrome_trace(a), render_chrome_trace(b));
+    }
+}

@@ -1,0 +1,286 @@
+//! Span/event recording.
+//!
+//! Recording is **off by default** (a single relaxed atomic load on the
+//! fast path) and enabled by the CLI's `--timeline` flag. Events land in
+//! a per-thread buffer (no lock on the record path) that flushes into a
+//! process-wide sink when the thread exits or when [`take_events`] runs
+//! on that thread — which matches the executor's scoped worker threads:
+//! by the time the caller exports a timeline, every worker has exited
+//! and flushed.
+//!
+//! Two clock domains exist side by side (see [`Clock`]): wall-clock
+//! spans describe the orchestration (workers, cells, passes) in
+//! microseconds since [`enable`] was called; virtual-time spans describe
+//! the inside of sampled simulation runs in simulated microseconds.
+//! They are kept on separate process tracks by the timeline exporter and
+//! never enter report bytes.
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::registry;
+use crate::Clock;
+
+/// One recorded event: a complete span (`dur_us` set) or an instant
+/// event (`dur_us == None`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (span or instant label).
+    pub name: Cow<'static, str>,
+    /// Track the event belongs to: the worker index for wall-clock
+    /// events, the sampled-run index for virtual-time events.
+    pub track: u32,
+    /// Clock domain of `ts_us`/`dur_us`.
+    pub clock: Clock,
+    /// Start timestamp in microseconds (wall: since [`enable`]; virtual:
+    /// simulated time since the run's t=0).
+    pub ts_us: u64,
+    /// Span duration in microseconds, `None` for instant events.
+    pub dur_us: Option<u64>,
+}
+
+/// Hard cap on buffered events; past it, events are dropped and counted
+/// in the `obs.trace.dropped` metric (no silent truncation).
+pub const EVENT_CAP: usize = 1 << 20;
+
+/// The wall-clock track index used for orchestration (non-worker) spans.
+pub const ORCHESTRATOR_TRACK: u32 = u32::MAX;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TOTAL_BUFFERED: AtomicUsize = AtomicUsize::new(0);
+static VIRTUAL_TRACK_BUDGET: AtomicU32 = AtomicU32::new(0);
+static NEXT_VIRTUAL_TRACK: AtomicU32 = AtomicU32::new(0);
+
+fn sink() -> &'static Mutex<Vec<TraceEvent>> {
+    static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+    &SINK
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct LocalBuf {
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        let events = self.events.get_mut();
+        if !events.is_empty() {
+            sink().lock().unwrap().append(events);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalBuf = const {
+        LocalBuf {
+            events: RefCell::new(Vec::new()),
+        }
+    };
+    static WORKER: Cell<u32> = const { Cell::new(ORCHESTRATOR_TRACK) };
+}
+
+/// Turns recording on, with a budget of `sampled_runs` virtual-time run
+/// tracks, and pins the wall-clock epoch.
+pub fn enable(sampled_runs: u32) {
+    epoch();
+    VIRTUAL_TRACK_BUDGET.store(sampled_runs, Ordering::Relaxed);
+    NEXT_VIRTUAL_TRACK.store(0, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether recording is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording off (buffered events stay until [`take_events`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Microseconds of wall clock since [`enable`].
+pub fn wall_now_us() -> u64 {
+    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Tags the calling thread as worker `id`; wall-clock spans and progress
+/// annotations recorded on this thread attach to that worker's track.
+pub fn set_worker(id: u32) {
+    WORKER.with(|w| w.set(id));
+}
+
+/// The calling thread's worker track ([`ORCHESTRATOR_TRACK`] when the
+/// thread was never tagged).
+pub fn worker() -> u32 {
+    WORKER.with(|w| w.get())
+}
+
+fn push(ev: TraceEvent) {
+    if TOTAL_BUFFERED.fetch_add(1, Ordering::Relaxed) >= EVENT_CAP {
+        TOTAL_BUFFERED.fetch_sub(1, Ordering::Relaxed);
+        registry::counter("obs.trace.dropped", Clock::Wall).inc();
+        return;
+    }
+    LOCAL.with(|l| l.events.borrow_mut().push(ev));
+}
+
+/// Claims one of the sampled-run virtual tracks, or `None` when tracing
+/// is off or the sample budget is spent.
+pub fn claim_virtual_track() -> Option<u32> {
+    if !enabled() {
+        return None;
+    }
+    if VIRTUAL_TRACK_BUDGET
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+        .is_err()
+    {
+        return None;
+    }
+    Some(NEXT_VIRTUAL_TRACK.fetch_add(1, Ordering::Relaxed))
+}
+
+/// RAII guard for a wall-clock span: records on drop.
+pub struct SpanGuard {
+    name: Cow<'static, str>,
+    track: u32,
+    start_us: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = wall_now_us();
+        push(TraceEvent {
+            name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+            track: self.track,
+            clock: Clock::Wall,
+            ts_us: self.start_us,
+            dur_us: Some(end.saturating_sub(self.start_us)),
+        });
+    }
+}
+
+/// Opens a wall-clock span on the calling thread's worker track. Returns
+/// `None` (and records nothing) when tracing is off.
+pub fn wall_span(name: impl Into<Cow<'static, str>>) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name: name.into(),
+        track: worker(),
+        start_us: wall_now_us(),
+    })
+}
+
+/// Records an instant wall-clock event on the calling thread's worker
+/// track.
+pub fn wall_event(name: impl Into<Cow<'static, str>>) {
+    if !enabled() {
+        return;
+    }
+    push(TraceEvent {
+        name: name.into(),
+        track: worker(),
+        clock: Clock::Wall,
+        ts_us: wall_now_us(),
+        dur_us: None,
+    });
+}
+
+/// Records a complete virtual-time span on a sampled-run track. The
+/// caller supplies simulated-time microsecond bounds.
+pub fn virtual_span(track: u32, name: impl Into<Cow<'static, str>>, start_us: u64, end_us: u64) {
+    if !enabled() {
+        return;
+    }
+    push(TraceEvent {
+        name: name.into(),
+        track,
+        clock: Clock::Virtual,
+        ts_us: start_us,
+        dur_us: Some(end_us.saturating_sub(start_us)),
+    });
+}
+
+/// Records an instant virtual-time event on a sampled-run track.
+pub fn virtual_event(track: u32, name: impl Into<Cow<'static, str>>, ts_us: u64) {
+    if !enabled() {
+        return;
+    }
+    push(TraceEvent {
+        name: name.into(),
+        track,
+        clock: Clock::Virtual,
+        ts_us,
+        dur_us: None,
+    });
+}
+
+/// Drains every buffered event: the calling thread's local buffer plus
+/// everything already flushed by exited threads. Buffers of *other live*
+/// threads are not visible — export after workers have joined.
+pub fn take_events() -> Vec<TraceEvent> {
+    LOCAL.with(|l| {
+        let mut local = l.events.borrow_mut();
+        if !local.is_empty() {
+            sink().lock().unwrap().append(&mut local);
+        }
+    });
+    let mut out = Vec::new();
+    std::mem::swap(&mut out, &mut sink().lock().unwrap());
+    TOTAL_BUFFERED.store(0, Ordering::Relaxed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_free_and_empty() {
+        let _g = crate::test_lock().lock().unwrap();
+        disable();
+        assert!(wall_span("noop").is_none());
+        wall_event("noop");
+        virtual_span(0, "noop", 0, 5);
+        assert!(claim_virtual_track().is_none());
+    }
+
+    #[test]
+    fn spans_and_events_round_trip_through_the_buffers() {
+        let _g = crate::test_lock().lock().unwrap();
+        enable(2);
+        let _ = take_events(); // isolate from other tests in this binary
+        set_worker(3);
+        {
+            let _outer = wall_span("outer");
+            wall_event("mark");
+        }
+        let t = claim_virtual_track().unwrap();
+        virtual_span(t, "sim.run", 0, 1000);
+        virtual_event(t, "timer", 250);
+        assert!(claim_virtual_track().is_some());
+        assert!(claim_virtual_track().is_none(), "budget of 2 exhausted");
+        let events = take_events();
+        disable();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(outer.clock, Clock::Wall);
+        assert_eq!(outer.track, 3);
+        assert!(outer.dur_us.is_some());
+        let mark = events.iter().find(|e| e.name == "mark").unwrap();
+        assert_eq!(mark.dur_us, None);
+        let run = events.iter().find(|e| e.name == "sim.run").unwrap();
+        assert_eq!(run.clock, Clock::Virtual);
+        assert_eq!((run.ts_us, run.dur_us), (0, Some(1000)));
+        let timer = events.iter().find(|e| e.name == "timer").unwrap();
+        assert_eq!(timer.track, run.track);
+        assert_eq!(timer.ts_us, 250);
+    }
+}

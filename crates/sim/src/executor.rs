@@ -36,7 +36,7 @@ use std::cell::RefCell;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::Duration;
@@ -78,21 +78,54 @@ impl std::fmt::Debug for TaskId {
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 
 // ---------------------------------------------------------------------------
-// Global scheduler statistics (benchmark + CI counters)
+// Scheduler metrics (lazyeye-obs registry)
 // ---------------------------------------------------------------------------
 
-static G_POLLS: AtomicU64 = AtomicU64::new(0);
-static G_TIMERS_FIRED: AtomicU64 = AtomicU64::new(0);
-static G_TIMERS_ARMED: AtomicU64 = AtomicU64::new(0);
-static G_TASKS_SPAWNED: AtomicU64 = AtomicU64::new(0);
-static G_SLOTS_ALLOCATED: AtomicU64 = AtomicU64::new(0);
-static G_SLOTS_REUSED: AtomicU64 = AtomicU64::new(0);
-static G_SIMS_CREATED: AtomicU64 = AtomicU64::new(0);
-static G_SIMS_RESET: AtomicU64 = AtomicU64::new(0);
+/// The scheduler's registry handles. Poll/timer/task counters live in the
+/// virtual clock domain (their totals are functions of the simulated
+/// workload alone); slot and sim lifecycle counters live in the wall
+/// domain because arena/pool reuse depends on the worker count.
+struct SimMetrics {
+    polls: &'static lazyeye_obs::Counter,
+    timers_fired: &'static lazyeye_obs::Counter,
+    timers_armed: &'static lazyeye_obs::Counter,
+    tasks_spawned: &'static lazyeye_obs::Counter,
+    slots_allocated: &'static lazyeye_obs::Counter,
+    slots_reused: &'static lazyeye_obs::Counter,
+    sims_created: &'static lazyeye_obs::Counter,
+    sims_reset: &'static lazyeye_obs::Counter,
+    /// Final virtual time of each completed run, in simulated µs.
+    run_virtual_us: &'static lazyeye_obs::Histogram,
+}
+
+fn metrics() -> &'static SimMetrics {
+    use lazyeye_obs::Clock::{Virtual, Wall};
+    static METRICS: std::sync::OnceLock<SimMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| SimMetrics {
+        polls: lazyeye_obs::counter("sim.polls", Virtual),
+        timers_fired: lazyeye_obs::counter("sim.timers_fired", Virtual),
+        timers_armed: lazyeye_obs::counter("sim.timers_armed", Virtual),
+        tasks_spawned: lazyeye_obs::counter("sim.tasks_spawned", Virtual),
+        slots_allocated: lazyeye_obs::counter("sim.slots_allocated", Wall),
+        slots_reused: lazyeye_obs::counter("sim.slots_reused", Wall),
+        sims_created: lazyeye_obs::counter("sim.sims_created", Wall),
+        sims_reset: lazyeye_obs::counter("sim.sims_reset", Wall),
+        run_virtual_us: lazyeye_obs::histogram("sim.run_virtual_us", Virtual),
+    })
+}
+
+/// Per-run trace budget: at most this many instant events (timer fires,
+/// task spawns) are recorded on a sampled run's virtual track.
+const RUN_TRACE_EVENT_CAP: u32 = 512;
 
 /// Process-wide scheduler counters, aggregated across every [`Sim`] as it
-/// is reset or dropped. Deterministic for a fixed workload (whatever the
-/// worker count), which is what lets CI pin them in `BENCH.json`.
+/// is reset or dropped. The poll/timer/task counters are deterministic
+/// for a fixed workload (whatever the worker count), which is what lets
+/// CI pin them in `BENCH.json`.
+///
+/// This is a compatibility view over the `lazyeye-obs` registry (metric
+/// names `sim.polls`, `sim.timers_fired`, ...); new code should read the
+/// registry directly.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// `Future::poll` calls.
@@ -114,35 +147,34 @@ pub struct SimStats {
 }
 
 /// Snapshot of the process-wide scheduler counters. Per-`Sim` tallies are
-/// flushed here on [`Sim::reset`] and on drop, so read this after the
+/// flushed on [`Sim::reset`] and on drop, so read this after the
 /// workload's sims are done (or pooled).
 pub fn sim_stats() -> SimStats {
+    let m = metrics();
     SimStats {
-        polls: G_POLLS.load(Ordering::Relaxed),
-        timers_fired: G_TIMERS_FIRED.load(Ordering::Relaxed),
-        timers_armed: G_TIMERS_ARMED.load(Ordering::Relaxed),
-        tasks_spawned: G_TASKS_SPAWNED.load(Ordering::Relaxed),
-        slots_allocated: G_SLOTS_ALLOCATED.load(Ordering::Relaxed),
-        slots_reused: G_SLOTS_REUSED.load(Ordering::Relaxed),
-        sims_created: G_SIMS_CREATED.load(Ordering::Relaxed),
-        sims_reset: G_SIMS_RESET.load(Ordering::Relaxed),
+        polls: m.polls.get(),
+        timers_fired: m.timers_fired.get(),
+        timers_armed: m.timers_armed.get(),
+        tasks_spawned: m.tasks_spawned.get(),
+        slots_allocated: m.slots_allocated.get(),
+        slots_reused: m.slots_reused.get(),
+        sims_created: m.sims_created.get(),
+        sims_reset: m.sims_reset.get(),
     }
 }
 
-/// Zeroes the process-wide scheduler counters (bench harness setup).
+/// Zeroes the scheduler counters in the registry (bench harness setup).
 pub fn reset_sim_stats() {
-    for g in [
-        &G_POLLS,
-        &G_TIMERS_FIRED,
-        &G_TIMERS_ARMED,
-        &G_TASKS_SPAWNED,
-        &G_SLOTS_ALLOCATED,
-        &G_SLOTS_REUSED,
-        &G_SIMS_CREATED,
-        &G_SIMS_RESET,
-    ] {
-        g.store(0, Ordering::Relaxed);
-    }
+    let m = metrics();
+    m.polls.reset();
+    m.timers_fired.reset();
+    m.timers_armed.reset();
+    m.tasks_spawned.reset();
+    m.slots_allocated.reset();
+    m.slots_reused.reset();
+    m.sims_created.reset();
+    m.sims_reset.reset();
+    m.run_virtual_us.reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -365,23 +397,50 @@ pub(crate) struct ExecCore {
     tasks_spawned: u64,
     slots_allocated: u64,
     slots_reused: u64,
+    /// Virtual-time timeline track claimed for this run when `--timeline`
+    /// sampling is on; `None` otherwise.
+    trace_track: Option<u32>,
+    /// Remaining per-run budget of instant trace events.
+    trace_events_left: u32,
 }
 
 impl ExecCore {
-    /// Adds this sim's tallies to the global counters and zeroes them.
+    /// Adds this sim's tallies to the registry counters and zeroes them.
+    /// A run that actually polled something also records its final
+    /// virtual time and closes its sampled timeline track (if any).
     fn flush_stats(&mut self) {
-        G_POLLS.fetch_add(self.polls, Ordering::Relaxed);
-        G_TIMERS_FIRED.fetch_add(self.timers_fired, Ordering::Relaxed);
-        G_TIMERS_ARMED.fetch_add(self.timers_armed, Ordering::Relaxed);
-        G_TASKS_SPAWNED.fetch_add(self.tasks_spawned, Ordering::Relaxed);
-        G_SLOTS_ALLOCATED.fetch_add(self.slots_allocated, Ordering::Relaxed);
-        G_SLOTS_REUSED.fetch_add(self.slots_reused, Ordering::Relaxed);
+        let m = metrics();
+        m.polls.add(self.polls);
+        m.timers_fired.add(self.timers_fired);
+        m.timers_armed.add(self.timers_armed);
+        m.tasks_spawned.add(self.tasks_spawned);
+        m.slots_allocated.add(self.slots_allocated);
+        m.slots_reused.add(self.slots_reused);
+        if self.polls > 0 {
+            m.run_virtual_us.record(self.now.as_nanos() / 1_000);
+        }
+        if let Some(track) = self.trace_track.take() {
+            if self.polls > 0 {
+                lazyeye_obs::trace::virtual_span(track, "sim.run", 0, self.now.as_nanos() / 1_000);
+            }
+        }
         self.polls = 0;
         self.timers_fired = 0;
         self.timers_armed = 0;
         self.tasks_spawned = 0;
         self.slots_allocated = 0;
         self.slots_reused = 0;
+    }
+
+    /// Records an instant event on this run's sampled virtual track,
+    /// within the per-run budget.
+    fn trace_instant(&mut self, name: &'static str) {
+        if let Some(track) = self.trace_track {
+            if self.trace_events_left > 0 {
+                self.trace_events_left -= 1;
+                lazyeye_obs::trace::virtual_event(track, name, self.now.as_nanos() / 1_000);
+            }
+        }
     }
 }
 
@@ -472,7 +531,7 @@ impl Sim {
     /// Creates a simulation whose RNG is seeded with `seed`. Two `Sim`s with
     /// the same seed and the same program produce bit-identical schedules.
     pub fn new(seed: u64) -> Self {
-        G_SIMS_CREATED.fetch_add(1, Ordering::Relaxed);
+        metrics().sims_created.inc();
         let core = Rc::new(RefCell::new(ExecCore {
             now: SimTime::ZERO,
             timers: TimerWheel::new(),
@@ -485,6 +544,8 @@ impl Sim {
             tasks_spawned: 0,
             slots_allocated: 0,
             slots_reused: 0,
+            trace_track: lazyeye_obs::trace::claim_virtual_track(),
+            trace_events_left: RUN_TRACE_EVENT_CAP,
         }));
         let wake = Arc::new(Mutex::new(WakeQueue {
             ready: std::collections::VecDeque::new(),
@@ -506,7 +567,7 @@ impl Sim {
     /// context, so graceful-close drop paths still work); anything those
     /// drops spawn or wake is discarded with them.
     pub fn reset(&mut self, seed: u64) {
-        G_SIMS_RESET.fetch_add(1, Ordering::Relaxed);
+        metrics().sims_reset.inc();
         {
             // Drops may re-entrantly spawn/wake; iterate until quiet.
             let _g = enter(self.handle.clone());
@@ -524,6 +585,8 @@ impl Sim {
         core.timers.clear();
         core.current_task = None;
         core.rng = SmallRng::seed_from_u64(seed);
+        core.trace_track = lazyeye_obs::trace::claim_virtual_track();
+        core.trace_events_left = RUN_TRACE_EVENT_CAP;
         drop(core);
         self.handle.wake.lock().clear();
     }
@@ -645,6 +708,7 @@ impl Sim {
                     debug_assert!(at >= core.now, "timer scheduled in the past");
                     core.now = core.now.max(at);
                     core.timers_fired += 1;
+                    core.trace_instant("timer.fire");
                     // A stale id (its task finished) is dropped here — the
                     // old executor enqueued the dead id and skipped it at
                     // poll time, which was observably identical.
@@ -776,6 +840,7 @@ impl SimHandle {
             TaskEntry { fut, tw }
         });
         core.tasks_spawned += 1;
+        core.trace_instant("task.spawn");
         if reused {
             core.slots_reused += 1;
         } else {

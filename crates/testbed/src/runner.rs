@@ -206,12 +206,20 @@ pub fn run_cad_case(profile: &ClientProfile, cfg: &CadCaseConfig, seed: u64) -> 
     run_cad_case_traced(profile, cfg, seed).0
 }
 
+/// Counts one testbed case sweep in the metrics registry and opens a
+/// wall-clock span over it when the span recorder is armed.
+fn case_span(case: &'static str) -> Option<lazyeye_obs::trace::SpanGuard> {
+    lazyeye_obs::counter("testbed.cases", lazyeye_obs::Clock::Virtual).inc();
+    lazyeye_obs::trace::wall_span(format!("testbed.{case}"))
+}
+
 /// [`run_cad_case`] plus the trace set of every run in the sweep.
 pub fn run_cad_case_traced(
     profile: &ClientProfile,
     cfg: &CadCaseConfig,
     seed: u64,
 ) -> (Vec<CadSample>, lazyeye_trace::TraceSet) {
+    let _span = case_span("cad");
     let mut out = Vec::new();
     let mut traces = lazyeye_trace::TraceSet::default();
     for delay_ms in cfg.sweep.values() {
@@ -430,6 +438,7 @@ pub fn run_rd_case_traced(
     cfg: &RdCaseConfig,
     seed: u64,
 ) -> (Vec<RdSample>, lazyeye_trace::TraceSet) {
+    let _span = case_span("rd");
     let mut out = Vec::new();
     let mut traces = lazyeye_trace::TraceSet::default();
     for delay_ms in cfg.sweep.values() {
@@ -510,6 +519,7 @@ pub fn run_selection_case(
     cfg: &SelectionCaseConfig,
     seed: u64,
 ) -> SelectionResult {
+    let _span = case_span("selection");
     run_selection_once_impl(profile, cfg, 0, seed, &[], None).0
 }
 
@@ -760,6 +770,7 @@ pub fn run_resolver_case_traced(
     cfg: &ResolverCaseConfig,
     seed: u64,
 ) -> (Vec<ResolverSample>, lazyeye_trace::TraceSet) {
+    let _span = case_span("resolver");
     let mut out = Vec::new();
     let mut traces = lazyeye_trace::TraceSet::default();
     for delay_ms in cfg.sweep.values() {

@@ -198,18 +198,51 @@ mod tests {
         let t = TierObservation {
             delay_ms: 100,
             families: vec![Some(Family::V6), Some(Family::V4), Some(Family::V6)],
+            fetch_us: vec![400, 90_000, 700],
         };
         assert_eq!(t.majority(), Some(Family::V6));
         assert!(t.is_mixed());
+        assert_eq!(t.max_fetch_us(), 90_000);
         let clean = TierObservation {
             delay_ms: 100,
             families: vec![Some(Family::V4); 3],
+            fetch_us: Vec::new(),
         };
         assert!(!clean.is_mixed());
+        assert_eq!(clean.max_fetch_us(), 0);
         let dead = TierObservation {
             delay_ms: 100,
             families: vec![None, None],
+            fetch_us: vec![5_000_000, 5_000_000],
         };
         assert_eq!(dead.majority(), None);
+    }
+
+    #[test]
+    fn delayed_a_session_exposes_the_stall_only_through_timing() {
+        // Delay the A answer: wait-for-all-answers clients (Chromium)
+        // postpone their first connection attempt until it arrives, then
+        // still connect over IPv6 — so the family grid alone cannot show
+        // the §5.2 stall. The per-fetch timing can: fetch duration tracks
+        // the configured DNS delay on the stalled tiers.
+        let mut d = deploy(7, WebConditions::default());
+        let chromium = d.run_rd_session(&chrome(), 2, DelayTarget::A);
+        let stalled = chromium
+            .tiers
+            .iter()
+            .filter(|t| t.delay_ms >= 2000 && t.delay_ms < 5000)
+            .all(|t| t.majority() == Some(Family::V6) && t.max_fetch_us() >= t.delay_ms * 900);
+        assert!(stalled, "grid:\n{}", chromium.grid());
+
+        // Safari arms a 50 ms resolution delay instead: once the A answer
+        // misses it, the fetch proceeds over IPv6 without waiting.
+        let mut d2 = deploy(8, WebConditions::default());
+        let safari = d2.run_rd_session(&safari_desktop(), 2, DelayTarget::A);
+        let waited = safari
+            .tiers
+            .iter()
+            .filter(|t| t.delay_ms >= 2000 && t.delay_ms < 5000)
+            .any(|t| t.max_fetch_us() >= t.delay_ms * 900);
+        assert!(!waited, "Safari must not stall on delayed A answers");
     }
 }

@@ -20,9 +20,20 @@ pub struct TierObservation {
     pub delay_ms: u64,
     /// Family per repetition, from the echoed source address.
     pub families: Vec<Option<Family>>,
+    /// Fetch duration per repetition in **virtual** microseconds (page
+    /// `performance.now()` deltas in the real tool). This is what exposes
+    /// the §5.2 wait-for-all-answers stall from the population side: a
+    /// client that delays its first connection attempt until a withheld A
+    /// answer arrives still connects over IPv6 — the family grid looks
+    /// clean — but its fetch time tracks the configured DNS delay.
+    pub fetch_us: Vec<u64>,
 }
 
 impl TierObservation {
+    /// Largest fetch duration across this tier's repetitions (µs).
+    pub fn max_fetch_us(&self) -> u64 {
+        self.fetch_us.iter().copied().max().unwrap_or(0)
+    }
     /// Majority family of this tier, if any fetch succeeded.
     pub fn majority(&self) -> Option<Family> {
         let v6 = self
@@ -125,16 +136,20 @@ pub async fn cad_session(
     let mut tiers = Vec::new();
     for &ms in TIERS_MS.iter() {
         let mut families = Vec::new();
+        let mut fetch_us = Vec::new();
         for _rep in 0..repetitions {
             // Each repetition is a fresh page visit: the HE outcome cache
             // does not pin it, but RTT history carries over.
             client.new_page_visit();
+            let started_us = lazyeye_sim::now().as_nanos() / 1_000;
             let fetched = client.fetch(&tier_domain(ms), 80, "/ip").await;
+            fetch_us.push(lazyeye_sim::now().as_nanos() / 1_000 - started_us);
             families.push(family_of_response(&fetched));
         }
         tiers.push(TierObservation {
             delay_ms: ms,
             families,
+            fetch_us,
         });
     }
     WebSessionResult { tiers }
@@ -152,6 +167,7 @@ pub async fn rd_session(
     let mut tiers = Vec::new();
     for &ms in TIERS_MS.iter() {
         let mut families = Vec::new();
+        let mut fetch_us = Vec::new();
         for rep in 0..repetitions {
             client.new_page_visit();
             let params = TestParams::delay(ms, delayed, format!("w{rep}"));
@@ -161,12 +177,15 @@ pub async fn rd_session(
                 rd_apex().to_string().trim_end_matches('.')
             ))
             .unwrap();
+            let started_us = lazyeye_sim::now().as_nanos() / 1_000;
             let fetched = client.fetch(&qname, 80, "/ip").await;
+            fetch_us.push(lazyeye_sim::now().as_nanos() / 1_000 - started_us);
             families.push(family_of_response(&fetched));
         }
         tiers.push(TierObservation {
             delay_ms: ms,
             families,
+            fetch_us,
         });
     }
     WebSessionResult { tiers }

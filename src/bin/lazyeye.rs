@@ -19,6 +19,7 @@
 //! lazyeye campaign --resume ckpt.json  # continue a killed campaign
 //! lazyeye campaign --config spec.json --shard 0/4 --out part0
 //! lazyeye campaign --merge part0.json part1.json part2.json part3.json
+//! lazyeye campaign --default --timeline t.json --metrics-out m.prom --progress
 //! ```
 //!
 //! Unknown flags are hard errors — a typo must never silently run a
@@ -202,8 +203,9 @@ fn usage() -> ExitCode {
                    | --campaign <spec.json> [--jobs n --seed s --format text|json]\n\
                    | --diff <old.json> <new.json> [--format text|json]\n\
                                                      infer HE state + RFC 8305 verdicts\n\
-           campaign  --config <spec.json> [--jobs n --seed s --format text|json|csv\n\
-                     --classify --out <basename> --checkpoint <ckpt.json> --shard i/n]\n\
+           campaign  --config <spec.json> | --default [--jobs n --seed s\n\
+                     --format text|json|csv --classify --out <basename>\n\
+                     --checkpoint <ckpt.json> --shard i/n]\n\
                    | --resume <ckpt.json> [--jobs n --classify --format ... --out ...]\n\
                    | --merge <part.json> [--merge <part.json> ...] [--jobs n --classify ...]\n\
                    | --diff <old.json> <new.json> [--format text|json]\n\
@@ -214,7 +216,11 @@ fn usage() -> ExitCode {
                    | --merge <part.json> [--merge <part.json> ...] [--jobs n ...]\n\
                    | --diff <old.json> <new.json> [--format text|json]\n\
                    | --print-spec\n\
-                                                     population-scale web-tool fleet"
+                                                     population-scale web-tool fleet\n\
+         observability (campaign and fleet):\n\
+           --timeline <trace.json>     Chrome trace-event / Perfetto timeline\n\
+           --metrics-out <m.prom>      Prometheus text exposition of all metrics\n\
+           --progress                  live status line (rate, ETA, idle %, slowest)"
     );
     ExitCode::from(2)
 }
@@ -498,6 +504,80 @@ fn cmd_infer(flags: Flags) -> ExitCode {
     }
 }
 
+/// CLI-side observability session: arms the span recorder and the live
+/// progress reporter per the `--timeline`/`--metrics-out`/`--progress`
+/// flags, and writes the exporter files when the run finishes. Everything
+/// here goes to side files or stderr — never into report bytes.
+struct Obs {
+    timeline: Option<String>,
+    metrics_out: Option<String>,
+    reporter: Option<(
+        std::sync::Arc<std::sync::atomic::AtomicBool>,
+        std::thread::JoinHandle<()>,
+    )>,
+}
+
+/// Virtual-time tracks exported per timeline: the first N runs each get
+/// their own Perfetto track of poll/timer/spawn instants.
+const TIMELINE_SAMPLED_RUNS: u32 = 16;
+
+impl Obs {
+    fn start(flags: &Flags, jobs: usize, unit: &'static str) -> Obs {
+        let timeline = flags.get("--timeline").map(String::from);
+        let metrics_out = flags.get("--metrics-out").map(String::from);
+        if timeline.is_some() {
+            lazy_eye_inspection::obs::trace::enable(TIMELINE_SAMPLED_RUNS);
+        }
+        let reporter = flags.contains("--progress").then(|| {
+            lazy_eye_inspection::obs::progress::begin(0, jobs as u64);
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let seen = std::sync::Arc::clone(&stop);
+            let handle = std::thread::spawn(move || {
+                let mut ticks = 0u32;
+                while !seen.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    ticks += 1;
+                    if !ticks.is_multiple_of(5) {
+                        continue;
+                    }
+                    if let Some(snap) = lazy_eye_inspection::obs::progress::snapshot() {
+                        eprintln!("[progress] {}", snap.status_line(unit));
+                    }
+                }
+            });
+            (stop, handle)
+        });
+        Obs {
+            timeline,
+            metrics_out,
+            reporter,
+        }
+    }
+
+    /// Stops the reporter and writes the timeline / metrics files.
+    fn finish(self) -> Result<(), String> {
+        if let Some((stop, handle)) = self.reporter {
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let _ = handle.join();
+            lazy_eye_inspection::obs::progress::end();
+        }
+        if let Some(path) = &self.timeline {
+            let events = lazy_eye_inspection::obs::trace::take_events();
+            lazy_eye_inspection::obs::trace::disable();
+            let n = events.len();
+            let doc = lazy_eye_inspection::obs::timeline::render_chrome_trace(events);
+            std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("[obs] wrote timeline {path} ({n} events)");
+        }
+        if let Some(path) = &self.metrics_out {
+            let doc = lazy_eye_inspection::obs::registry::render_prometheus(None);
+            std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("[obs] wrote metrics {path}");
+        }
+        Ok(())
+    }
+}
+
 /// Progress + ETA to stderr (never into the report: the report must be
 /// byte-identical across --jobs, wall clock included). `label`/`unit`
 /// name the engine and its work item (`campaign`/`runs`,
@@ -507,6 +587,9 @@ fn progress_meter(label: &'static str, unit: &'static str) -> impl FnMut(usize, 
     let mut last_percent = 0;
     let mut last_total = 0;
     move |done: usize, total: usize| {
+        // Keep the `--progress` reporter's denominator current (the
+        // refinement pass grows it); a relaxed store, free when off.
+        lazy_eye_inspection::obs::progress::set_total(total as u64);
         if total != last_total {
             // The total grows when the refinement pass is planned; the
             // percentage threshold must restart or pass 2 prints nothing.
@@ -637,7 +720,14 @@ fn emit_partial(part: &Checkpoint, out: Option<&str>) -> Result<(), String> {
 }
 
 fn cmd_campaign_merge(flags: &Flags, jobs: usize, format: Format, classify: bool) -> ExitCode {
-    for conflicting in ["--config", "--seed", "--shard", "--resume", "--checkpoint"] {
+    for conflicting in [
+        "--config",
+        "--default",
+        "--seed",
+        "--shard",
+        "--resume",
+        "--checkpoint",
+    ] {
         if flags.contains(conflicting) {
             return fail(&format!("--merge cannot be combined with {conflicting}"));
         }
@@ -784,22 +874,33 @@ fn cmd_campaign(flags: Flags) -> ExitCode {
         Ok(j) => j,
         Err(e) => return fail(&e),
     };
-    let format = match parse_format(&flags) {
+    let obs = Obs::start(&flags, jobs, "runs");
+    let code = cmd_campaign_dispatch(&flags, jobs);
+    match obs.finish() {
+        Ok(()) => code,
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_campaign_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
+    let format = match parse_format(flags) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
     let classify = flags.contains("--classify");
 
     if flags.contains("--merge") {
-        return cmd_campaign_merge(&flags, jobs, format, classify);
+        return cmd_campaign_merge(flags, jobs, format, classify);
     }
 
     let ckpt_path = flags.get("--checkpoint").map(String::from);
     let out = flags.get("--out");
 
     if let Some(resume_path) = flags.get("--resume") {
-        if flags.contains("--config") || flags.contains("--seed") {
-            return fail("--resume reads spec and seed from the checkpoint; drop --config/--seed");
+        if flags.contains("--config") || flags.contains("--seed") || flags.contains("--default") {
+            return fail(
+                "--resume reads spec and seed from the checkpoint; drop --config/--default/--seed",
+            );
         }
         let ckpt = match Checkpoint::load(resume_path) {
             Ok(c) => c,
@@ -839,12 +940,29 @@ fn cmd_campaign(flags: Flags) -> ExitCode {
         };
     }
 
-    let Some(path) = flags.get("--config") else {
-        return fail("campaign needs --config <spec.json> (or --print-spec / --resume / --merge)");
-    };
-    let spec = match load_spec(&flags, path) {
-        Ok(s) => s,
-        Err(e) => return fail(&e),
+    let spec = if flags.contains("--default") {
+        if flags.contains("--config") {
+            return fail("--config and --default are mutually exclusive");
+        }
+        let mut spec = CampaignSpec::default();
+        if let Some(seed) = flags.get("--seed") {
+            match seed.parse() {
+                Ok(s) => spec.seed = s,
+                Err(_) => return fail(&format!("flag --seed: invalid value {seed:?}")),
+            }
+        }
+        spec
+    } else {
+        let Some(path) = flags.get("--config") else {
+            return fail(
+                "campaign needs --config <spec.json> or --default \
+                 (or --print-spec / --resume / --merge)",
+            );
+        };
+        match load_spec(flags, path) {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        }
     };
 
     if let Some(shard_flag) = flags.get("--shard") {
@@ -962,7 +1080,16 @@ fn cmd_fleet(flags: Flags) -> ExitCode {
         Ok(j) => j,
         Err(e) => return fail(&e),
     };
-    let format = match parse_format(&flags) {
+    let obs = Obs::start(&flags, jobs, "sessions");
+    let code = cmd_fleet_dispatch(&flags, jobs);
+    match obs.finish() {
+        Ok(()) => code,
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_fleet_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
+    let format = match parse_format(flags) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
@@ -1010,7 +1137,7 @@ fn cmd_fleet(flags: Flags) -> ExitCode {
         };
     }
 
-    let spec = match load_fleet_spec(&flags) {
+    let spec = match load_fleet_spec(flags) {
         Ok(s) => s,
         Err(e) => return fail(&e),
     };
@@ -1459,8 +1586,11 @@ fn main() -> ExitCode {
                     val("--format"),
                     val("--out"),
                     val("--shard"),
+                    val("--timeline"),
+                    val("--metrics-out"),
                     multi("--merge"),
                     switch("--default"),
+                    switch("--progress"),
                     switch("--print-spec"),
                 ],
             ) {
@@ -1498,8 +1628,12 @@ fn main() -> ExitCode {
                     val("--checkpoint"),
                     val("--resume"),
                     val("--shard"),
+                    val("--timeline"),
+                    val("--metrics-out"),
                     multi("--merge"),
+                    switch("--default"),
                     switch("--classify"),
+                    switch("--progress"),
                     switch("--print-spec"),
                 ],
             ) {

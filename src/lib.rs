@@ -24,6 +24,7 @@
 //! | [`infer`] | `lazyeye-infer` | trace → inferred client state + RFC 8305 verdicts |
 //! | [`webtool`] | `lazyeye-webtool` | the 18-tier web-based testing tool |
 //! | [`fleet`] | `lazyeye-fleet` | population-scale web-tool service + Figure 4 grids |
+//! | [`obs`] | `lazyeye-obs` | spans, metrics registry, timeline/Prometheus exporters |
 //! | [`json`] | `lazyeye-json` | dependency-free JSON layer used throughout |
 //!
 //! ## Quickstart
@@ -66,6 +67,7 @@ pub use lazyeye_fleet as fleet;
 pub use lazyeye_infer as infer;
 pub use lazyeye_json as json;
 pub use lazyeye_net as net;
+pub use lazyeye_obs as obs;
 pub use lazyeye_resolver as resolver;
 pub use lazyeye_sim as sim;
 pub use lazyeye_testbed as testbed;

@@ -1,0 +1,91 @@
+//! Observability determinism: every metric in the virtual clock domain
+//! must be a pure function of (spec, seed) — byte-identical Prometheus
+//! exposition whatever the worker count. Wall-domain metrics (pool
+//! behaviour, host timings) are allowed to move; that is exactly why the
+//! exporter can filter by clock.
+
+use std::sync::Mutex;
+
+use lazy_eye_inspection::campaign::{run_campaign, CampaignSpec};
+use lazy_eye_inspection::fleet::{run_fleet, FleetSpec};
+use lazy_eye_inspection::obs::registry;
+use lazy_eye_inspection::obs::Clock;
+
+/// The obs registry is process-global; serialize the tests in this
+/// binary so one test's reset does not clobber another's reading.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn virtual_snapshot(run: impl Fn()) -> String {
+    registry::reset_all();
+    run();
+    registry::render_prometheus(Some(Clock::Virtual))
+}
+
+#[test]
+fn campaign_virtual_metrics_are_byte_identical_across_jobs() {
+    let _g = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = CampaignSpec {
+        seed: 0xE7E5EED,
+        ..CampaignSpec::default()
+    };
+    let baseline = virtual_snapshot(|| {
+        run_campaign(&spec, 1, |_, _| {}).unwrap();
+    });
+    assert!(
+        baseline.contains("lazyeye_campaign_runs{clock=\"virtual\"}"),
+        "campaign run counter missing from the virtual exposition:\n{baseline}"
+    );
+    assert!(
+        baseline.contains("lazyeye_sim_polls{clock=\"virtual\"}"),
+        "scheduler poll counter missing from the virtual exposition:\n{baseline}"
+    );
+    assert!(
+        !baseline.contains("clock=\"wall\""),
+        "wall-domain metric leaked through the virtual filter:\n{baseline}"
+    );
+    for jobs in [4usize, 8] {
+        let snap = virtual_snapshot(|| {
+            run_campaign(&spec, jobs, |_, _| {}).unwrap();
+        });
+        assert_eq!(
+            snap, baseline,
+            "virtual-domain metrics moved between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn fleet_virtual_metrics_are_byte_identical_across_jobs() {
+    let _g = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = FleetSpec {
+        name: "obs-pin".into(),
+        seed: 0xF1EE7,
+        population: vec!["firefox-131.0".into(), "opera-114.0.0".into()],
+        cad_sessions: 1,
+        rd_sessions: 1,
+        rd_a_sessions: 1,
+        repetitions: 1,
+        resolver_checks: 1,
+        ..FleetSpec::default()
+    };
+    let baseline = virtual_snapshot(|| {
+        run_fleet(&spec, 1, |_, _| {}).unwrap();
+    });
+    assert!(
+        baseline.contains("lazyeye_fleet_sessions{clock=\"virtual\"}"),
+        "fleet session counter missing from the virtual exposition:\n{baseline}"
+    );
+    assert!(
+        baseline.contains("lazyeye_fleet_sessions_rd_a{clock=\"virtual\"}"),
+        "delayed-A session counter missing from the virtual exposition:\n{baseline}"
+    );
+    for jobs in [4usize, 8] {
+        let snap = virtual_snapshot(|| {
+            run_fleet(&spec, jobs, |_, _| {}).unwrap();
+        });
+        assert_eq!(
+            snap, baseline,
+            "virtual-domain metrics moved between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
