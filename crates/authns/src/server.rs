@@ -108,10 +108,10 @@ impl AuthServer {
             if qname.is_subdomain_of(&td.apex) && qname != td.apex {
                 // The parameter label is the leftmost label below the apex.
                 let rel_depth = qname.label_count() - td.apex.label_count();
-                let label_bytes = &qname.labels()[rel_depth - 1.min(rel_depth)];
+                let label_bytes = qname.label(rel_depth - 1.min(rel_depth)).unwrap_or(b"");
                 let label = String::from_utf8_lossy(label_bytes).to_string();
                 // Parameters live in the *first* label of the name.
-                let first = String::from_utf8_lossy(&qname.labels()[0]).to_string();
+                let first = String::from_utf8_lossy(qname.label(0).unwrap_or(b"")).to_string();
                 let params = parse_test_label(&first).or_else(|| parse_test_label(&label));
                 if let Some(p) = params {
                     let (resp, extra) = self.answer_test(query, &qname, qtype, td, &p);

@@ -1,7 +1,77 @@
-//! Criterion: DNS wire-format encode/decode throughput.
+//! Criterion: DNS wire-format encode/decode throughput, plus heap
+//! allocation counts per message (deterministic for the fixed
+//! workloads, pinned in `BENCH.json` and gated by `bench_check`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lazyeye_bench::bench_json;
 use lazyeye_dns::{Message, Name, RData, Rcode, Record, RrType, SvcParam, SvcParams};
+use lazyeye_json::Json;
+
+/// `System`, counting every allocation — the codec's per-message alloc
+/// count is a correctness-adjacent metric here (the flat `Name` storage
+/// exists to keep it flat across label counts).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations per run of `f`, averaged over a fixed iteration count so
+/// one-off warmup allocations wash out of the integer division.
+fn allocs_per_run<T>(mut f: impl FnMut() -> T) -> u64 {
+    const ITERS: u64 = 1000;
+    std::hint::black_box(f());
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..ITERS {
+        std::hint::black_box(f());
+    }
+    (ALLOCS.load(Ordering::Relaxed) - before) / ITERS
+}
+
+/// Emits the `dns` section of `BENCH.json`: per-message allocation
+/// counts for the fixed codec workloads.
+fn emit_json(_c: &mut Criterion) {
+    let small = small_query().encode();
+    let large = large_response().encode();
+    let decode_small = allocs_per_run(|| Message::decode(&small).unwrap());
+    let decode_large = allocs_per_run(|| Message::decode(&large).unwrap());
+    let encode_large = {
+        let msg = large_response();
+        allocs_per_run(|| msg.encode())
+    };
+    println!(
+        "dns codec allocs/message: decode small {decode_small}, decode large {decode_large}, encode large {encode_large}"
+    );
+    bench_json::merge_section(
+        "dns",
+        Json::obj(vec![(
+            "counters",
+            Json::obj(vec![
+                ("decode_allocs_small_query", Json::UInt(decode_small)),
+                ("decode_allocs_large_response", Json::UInt(decode_large)),
+                ("encode_allocs_large_response", Json::UInt(encode_large)),
+            ]),
+        )]),
+    );
+}
 
 fn n(s: &str) -> Name {
     Name::parse(s).unwrap()
@@ -76,6 +146,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench
+    targets = emit_json, bench
 }
 criterion_main!(benches);

@@ -81,6 +81,28 @@ fn main() -> ExitCode {
         }
     }
 
+    // Gate: the compiled fast path must hold ≥ 2× over full simulation.
+    // Both series come from the same run of the same workload in the
+    // current file, so the ratio is machine-independent even though the
+    // absolute numbers are not.
+    if let Some(fp) = current.get("fastpath") {
+        let rate = |name: &str| fp.get(name).and_then(|v| v.as_f64());
+        if let (Some(fast), Some(sim)) = (rate("fast_runs_per_sec"), rate("sim_runs_per_sec")) {
+            if sim > 0.0 && fast / sim < 2.0 {
+                eprintln!(
+                    "bench_check: FAIL fastpath speedup {:.2}x < 2.00x (fast {fast:.0} vs sim {sim:.0} runs/sec)",
+                    fast / sim
+                );
+                drift += 1;
+            } else if sim > 0.0 {
+                println!(
+                    "bench_check: fastpath speedup {:.2}x over full simulation (gate: >= 2.00x)",
+                    fast / sim
+                );
+            }
+        }
+    }
+
     if drift > 0 {
         eprintln!("bench_check: {drift} counter(s) drifted from the pinned baseline");
         return ExitCode::FAILURE;

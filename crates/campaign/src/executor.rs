@@ -15,8 +15,9 @@ use lazyeye_exec::execute_indexed_with;
 use lazyeye_net::NetemRule;
 use lazyeye_resolver::ResolverProfile;
 use lazyeye_testbed::{
-    run_cad_once, run_rd_once_netem, run_resolver_once_netem, run_selection_once_netem, CadSample,
-    RdSample, ResolverSample, SelectionCaseConfig, SelectionResult,
+    run_cad_once, run_rd_once_netem, run_resolver_once_netem, run_selection_once_netem,
+    CadFastPath, CadSample, DelayedRecord, RdFastPath, RdSample, ResolverSample,
+    SelectionCaseConfig, SelectionResult,
 };
 
 use crate::plan::{resolve_clients, resolve_resolvers, RunKind, RunSpec, SpecError};
@@ -87,12 +88,112 @@ pub struct RunContext {
     resolvers: HashMap<String, ResolverProfile>,
     netem: HashMap<String, Vec<NetemRule>>,
     selection: SelectionCaseConfig,
+    fast: FastCache,
+}
+
+/// Calibrated fast-path models, one per client (CAD) and per
+/// `(client, delayed record)` (RD). Empty unless the campaign opted into
+/// `--fast-path`. Calibration runs eagerly at context build time — before
+/// workers exist — so the cache is shared immutably afterwards (the
+/// models hold only owned data; `RunContext` must stay `Sync`).
+#[derive(Default)]
+struct FastCache {
+    cad: HashMap<String, CadFastPath>,
+    rd: HashMap<(String, DelayedRecord), RdFastPath>,
+}
+
+impl FastCache {
+    /// Calibrates a model per baseline cell of the expanded plan,
+    /// verifying each against the real first-pass runs at the sweep
+    /// endpoints (rep 0, the runs' own seeds). A client whose model fails
+    /// verification simply stays out of the cache and simulates normally.
+    fn build(ctx: &RunContext, spec: &CampaignSpec, runs: &[RunSpec]) -> FastCache {
+        // (delay -> seed) per subject, baseline netem and rep 0 only.
+        let mut cad_cells: HashMap<&str, std::collections::BTreeMap<u64, u64>> = HashMap::new();
+        let mut rd_cells: HashMap<(&str, DelayedRecord), std::collections::BTreeMap<u64, u64>> =
+            HashMap::new();
+        for run in runs {
+            match &run.kind {
+                RunKind::Cad {
+                    client,
+                    netem,
+                    delay_ms,
+                    rep: 0,
+                } if ctx.netem(netem).is_empty() => {
+                    cad_cells
+                        .entry(client)
+                        .or_default()
+                        .insert(*delay_ms, run.seed);
+                }
+                RunKind::Rd {
+                    client,
+                    netem,
+                    record,
+                    delay_ms,
+                    rep: 0,
+                } if ctx.netem(netem).is_empty() => {
+                    rd_cells
+                        .entry((client, *record))
+                        .or_default()
+                        .insert(*delay_ms, run.seed);
+                }
+                _ => {}
+            }
+        }
+        let endpoints = |m: &std::collections::BTreeMap<u64, u64>| -> Vec<(u64, u64)> {
+            let mut v: Vec<(u64, u64)> = m
+                .first_key_value()
+                .into_iter()
+                .chain(m.last_key_value())
+                .map(|(d, s)| (*d, *s))
+                .collect();
+            v.dedup();
+            v
+        };
+        let mut fast = FastCache::default();
+        for (client, cells) in cad_cells {
+            let profile = ctx.client(client);
+            if let Some(fp) = CadFastPath::calibrate(profile, spec.seed, &endpoints(&cells)) {
+                fast.cad.insert(client.to_string(), fp);
+            }
+        }
+        for ((client, record), cells) in rd_cells {
+            let profile = ctx.client(client);
+            if let Some(fp) = RdFastPath::calibrate(profile, record, spec.seed, &endpoints(&cells))
+            {
+                fast.rd.insert((client.to_string(), record), fp);
+            }
+        }
+        fast
+    }
 }
 
 impl RunContext {
     /// Builds the context for a spec (resolving ids up front so workers
     /// never fail on lookups).
     pub fn new(spec: &CampaignSpec) -> Result<RunContext, SpecError> {
+        Self::build(spec)
+    }
+
+    /// [`RunContext::new`], optionally with the analytic fast path: when
+    /// `fast_path` is set, CAD/RD models are calibrated against the
+    /// expanded plan's own endpoint runs and used for every baseline-netem
+    /// cell they verify on. Cells the models refuse (ties, QUIC profiles,
+    /// shaped netem, failed verification) simulate as usual, so the
+    /// resulting report stays byte-identical either way.
+    pub fn new_with(
+        spec: &CampaignSpec,
+        runs: &[RunSpec],
+        fast_path: bool,
+    ) -> Result<RunContext, SpecError> {
+        let mut ctx = Self::build(spec)?;
+        if fast_path {
+            ctx.fast = FastCache::build(&ctx, spec, runs);
+        }
+        Ok(ctx)
+    }
+
+    fn build(spec: &CampaignSpec) -> Result<RunContext, SpecError> {
         let clients = resolve_clients(spec)?
             .into_iter()
             .map(|c| (c.id(), c))
@@ -123,6 +224,7 @@ impl RunContext {
             resolvers,
             netem,
             selection,
+            fast: FastCache::default(),
         })
     }
 
@@ -159,27 +261,41 @@ pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
             netem,
             delay_ms,
             rep,
-        } => RunOutput::Cad(run_cad_once(
-            ctx.client(client),
-            *delay_ms,
-            *rep,
-            run.seed,
-            ctx.netem(netem),
-        )),
+        } => {
+            let rules = ctx.netem(netem);
+            let fast = rules
+                .is_empty()
+                .then(|| ctx.fast.cad.get(client.as_str()))
+                .flatten()
+                .and_then(|fp| fp.run(*delay_ms, *rep));
+            RunOutput::Cad(fast.unwrap_or_else(|| {
+                run_cad_once(ctx.client(client), *delay_ms, *rep, run.seed, rules)
+            }))
+        }
         RunKind::Rd {
             client,
             netem,
             record,
             delay_ms,
             rep,
-        } => RunOutput::Rd(run_rd_once_netem(
-            ctx.client(client),
-            *record,
-            *delay_ms,
-            *rep,
-            run.seed,
-            ctx.netem(netem),
-        )),
+        } => {
+            let rules = ctx.netem(netem);
+            let fast = rules
+                .is_empty()
+                .then(|| ctx.fast.rd.get(&(client.clone(), *record)))
+                .flatten()
+                .and_then(|fp| fp.run(*delay_ms, *rep));
+            RunOutput::Rd(fast.unwrap_or_else(|| {
+                run_rd_once_netem(
+                    ctx.client(client),
+                    *record,
+                    *delay_ms,
+                    *rep,
+                    run.seed,
+                    rules,
+                )
+            }))
+        }
         RunKind::Selection {
             client,
             netem,

@@ -86,8 +86,23 @@ pub fn run_campaign(
     jobs: usize,
     progress: impl FnMut(usize, usize),
 ) -> Result<CampaignReport, SpecError> {
+    run_campaign_with(spec, jobs, false, progress)
+}
+
+/// [`run_campaign`] with the analytic fast path toggled by `fast_path`:
+/// when set, baseline-netem CAD/RD cells run through calibrated
+/// [`lazyeye_core::fastpath`] models instead of full simulation wherever
+/// the models verify (see [`RunContext::new_with`]). The report is
+/// byte-identical either way — the fast path only changes how fast it is
+/// computed.
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    jobs: usize,
+    fast_path: bool,
+    progress: impl FnMut(usize, usize),
+) -> Result<CampaignReport, SpecError> {
     let (runs, outputs) =
-        run_campaign_resumable(spec, jobs, &BTreeMap::new(), progress, |_, _| {})?;
+        run_campaign_resumable_with(spec, jobs, fast_path, &BTreeMap::new(), progress, |_, _| {})?;
     Ok(build_report(spec, &runs, &outputs))
 }
 
@@ -107,11 +122,24 @@ pub fn run_campaign_resumable(
     spec: &CampaignSpec,
     jobs: usize,
     completed: &BTreeMap<u64, RunOutput>,
+    progress: impl FnMut(usize, usize),
+    on_result: impl FnMut(&RunSpec, &RunOutput),
+) -> Result<(Vec<RunSpec>, Vec<RunOutput>), SpecError> {
+    run_campaign_resumable_with(spec, jobs, false, completed, progress, on_result)
+}
+
+/// [`run_campaign_resumable`] with the analytic fast path toggled by
+/// `fast_path` (see [`run_campaign_with`]).
+pub fn run_campaign_resumable_with(
+    spec: &CampaignSpec,
+    jobs: usize,
+    fast_path: bool,
+    completed: &BTreeMap<u64, RunOutput>,
     mut progress: impl FnMut(usize, usize),
     mut on_result: impl FnMut(&RunSpec, &RunOutput),
 ) -> Result<(Vec<RunSpec>, Vec<RunOutput>), SpecError> {
     let pass1 = expand(spec)?;
-    let ctx = RunContext::new(spec)?;
+    let ctx = RunContext::new_with(spec, &pass1, fast_path)?;
 
     let pending1: Vec<RunSpec> = pass1
         .iter()
@@ -319,6 +347,38 @@ fn send_audit() {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The ISSUE's agreement gate: the default CAD-sweep campaign must
+    /// produce a byte-identical report with the fast path on. Every
+    /// divergence between the analytic model and the simulator — timing,
+    /// ordering, sample conversion — surfaces here as a JSON diff.
+    #[test]
+    fn fast_path_report_byte_identical_cad() {
+        let spec = CampaignSpec {
+            rd: None,
+            selection: None,
+            resolver: None,
+            ..CampaignSpec::default()
+        };
+        let slow = run_campaign(&spec, 4, |_, _| {}).unwrap();
+        let fast = run_campaign_with(&spec, 4, true, |_, _| {}).unwrap();
+        assert_eq!(slow.to_json(), fast.to_json());
+        assert_eq!(slow.to_csv(), fast.to_csv());
+    }
+
+    /// Same gate for the RD plan (both delayed-record variants).
+    #[test]
+    fn fast_path_report_byte_identical_rd() {
+        let spec = CampaignSpec {
+            cad: None,
+            selection: None,
+            resolver: None,
+            ..CampaignSpec::default()
+        };
+        let slow = run_campaign(&spec, 4, |_, _| {}).unwrap();
+        let fast = run_campaign_with(&spec, 4, true, |_, _| {}).unwrap();
+        assert_eq!(slow.to_json(), fast.to_json());
+    }
 
     #[test]
     fn tiny_campaign_end_to_end() {

@@ -1,50 +1,28 @@
-//! The Happy Eyeballs engine: resolution phase (with Resolution Delay),
-//! address selection, and staggered connection racing with the Connection
-//! Attempt Delay.
+//! The simulator driver for the sans-IO Happy Eyeballs machine.
 //!
-//! The engine is configuration-driven ([`crate::HeConfig`]): the same code
-//! runs RFC-faithful HEv1/v2/v3 *and* reproduces every client deviation
-//! the paper observed (via [`crate::Quirks`]), which is what lets the
-//! testbed re-measure published client behaviour.
+//! [`HappyEyeballs`] owns the I/O half of a run — the stub resolver
+//! channel, connection attempt tasks, timers, the RTT/outcome history —
+//! and drives the pure [`HeMachine`] over the packet simulator. The
+//! await structure mirrors the pre-extraction engine exactly (the same
+//! `race`/`timeout_at` nesting, re-created per wakeup), so both the
+//! `HeLog` traces and the scheduler counters (polls, timers, tasks)
+//! pinned in BENCH.json are byte-identical to the legacy engine.
 
-use std::cell::RefCell;
 use std::net::{IpAddr, SocketAddr};
 use std::rc::Rc;
 use std::time::Duration;
 
-use lazyeye_dns::{Name, RData};
+use lazyeye_dns::Name;
 use lazyeye_net::{quic_connect, Family, Host, NetError, QuicConnectOpts, TcpStream};
-use lazyeye_resolver::{AnswerOutcome, DnsAnswer, StubResolver};
+use lazyeye_resolver::{DnsAnswer, StubResolver};
 use lazyeye_sim::sync::mpsc;
 use lazyeye_sim::{now, race, sleep_until, spawn, timeout_at, Either, JoinHandle, SimTime};
 
-use crate::event::{HeEventKind, HeLog};
+use crate::event::HeLog;
 use crate::history::HistoryStore;
+use crate::machine::{HeError, HeMachine, Input, Output, Waiting};
 use crate::params::HeConfig;
-use crate::select::{expand_protocols, interlace, Candidate, CandidateProto};
-
-/// Why a Happy Eyeballs connect failed.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum HeError {
-    /// DNS produced no usable addresses.
-    NoAddresses,
-    /// Every connection attempt failed.
-    AllAttemptsFailed,
-    /// The overall deadline expired.
-    Deadline,
-}
-
-impl std::fmt::Display for HeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            HeError::NoAddresses => "name resolution yielded no addresses",
-            HeError::AllAttemptsFailed => "all connection attempts failed",
-            HeError::Deadline => "overall deadline exceeded",
-        };
-        f.write_str(s)
-    }
-}
-impl std::error::Error for HeError {}
+use crate::select::{Candidate, CandidateProto};
 
 /// An established connection, whichever transport won the race.
 pub enum HeConnection {
@@ -104,76 +82,12 @@ pub struct HeResult {
     pub log: HeLog,
 }
 
-/// The engine, bound to a host, a stub resolver and a history store.
+/// The sim driver, bound to a host, a stub resolver and a history store.
 pub struct HappyEyeballs {
     cfg: HeConfig,
     host: Host,
     stub: Rc<StubResolver>,
     history: Rc<HistoryStore>,
-}
-
-#[derive(Default)]
-struct Gathered {
-    v6: Vec<IpAddr>,
-    v4: Vec<IpAddr>,
-    h3: bool,
-    ech: bool,
-    pending: usize,
-}
-
-impl Gathered {
-    fn ingest(&mut self, ans: &DnsAnswer, log: &mut HeLog) {
-        self.pending = self.pending.saturating_sub(1);
-        let outcome = match ans.outcome {
-            AnswerOutcome::Ok => "ok",
-            AnswerOutcome::NxDomain => "nxdomain",
-            AnswerOutcome::ServFail => "servfail",
-            AnswerOutcome::Timeout => "timeout",
-        };
-        log.push(
-            ans.at,
-            HeEventKind::DnsAnswer {
-                qtype: ans.qtype,
-                records: ans.records.len(),
-                outcome,
-            },
-        );
-        for r in &ans.records {
-            match &r.rdata {
-                RData::Aaaa(a) => self.v6.push(IpAddr::V6(*a)),
-                RData::A(a) => self.v4.push(IpAddr::V4(*a)),
-                RData::Https(p) | RData::Svcb(p) => {
-                    self.h3 |= p.supports_h3();
-                    self.ech |= p.has_ech();
-                    for a in p.ipv6_hints() {
-                        self.v6.push(IpAddr::V6(a));
-                    }
-                    for a in p.ipv4_hints() {
-                        self.v4.push(IpAddr::V4(a));
-                    }
-                }
-                _ => {}
-            }
-        }
-        dedup_preserving_order(&mut self.v6);
-        dedup_preserving_order(&mut self.v4);
-    }
-
-    fn has_any(&self) -> bool {
-        !self.v6.is_empty() || !self.v4.is_empty()
-    }
-
-    fn has_family(&self, f: Family) -> bool {
-        match f {
-            Family::V6 => !self.v6.is_empty(),
-            Family::V4 => !self.v4.is_empty(),
-        }
-    }
-}
-
-fn dedup_preserving_order(v: &mut Vec<IpAddr>) {
-    let mut seen = std::collections::HashSet::new();
-    v.retain(|a| seen.insert(*a));
 }
 
 impl HappyEyeballs {
@@ -200,315 +114,164 @@ impl HappyEyeballs {
     /// Resolves `name` and races connections to `port` per the configured
     /// Happy Eyeballs semantics. Always returns the event log.
     pub async fn connect(&self, name: &Name, port: u16) -> HeResult {
-        let log = Rc::new(RefCell::new(HeLog::default()));
-        let attempts: Rc<RefCell<Vec<JoinHandle<()>>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut log = HeLog::default();
+        let mut attempts: Vec<JoinHandle<()>> = Vec::new();
         let deadline = now() + self.cfg.overall_deadline;
+        let mut machine = HeMachine::new(
+            self.cfg.clone(),
+            self.stub.config().qtypes.clone(),
+            deadline,
+        );
 
-        let inner = self.run(name, port, Rc::clone(&log), Rc::clone(&attempts), deadline);
-        let connection = match timeout_at(deadline, inner).await {
+        let r = timeout_at(
+            deadline,
+            self.drive(&mut machine, name, port, &mut log, &mut attempts, deadline),
+        )
+        .await;
+        let connection = match r {
             Ok(result) => result,
             Err(lazyeye_sim::Elapsed) => {
-                log.borrow_mut()
-                    .push(now(), HeEventKind::Failed { reason: "deadline" });
+                for out in machine.process(Input::DeadlineExpired, now()) {
+                    if let Output::Trace(e) = out {
+                        log.push(e.at, e.kind);
+                    }
+                }
                 Err(HeError::Deadline)
             }
         };
         // Cancel any attempt still in flight.
-        for h in attempts.borrow().iter() {
+        for h in &attempts {
             h.abort();
         }
-        let log = Rc::try_unwrap(log)
-            .map(RefCell::into_inner)
-            .unwrap_or_else(|rc| rc.borrow().clone());
         HeResult { connection, log }
     }
 
-    async fn run(
+    /// Runs the machine to completion, performing its I/O on the
+    /// simulator. Each [`Waiting`] state maps to the exact combinator
+    /// nesting the legacy engine used at the equivalent point.
+    async fn drive(
         &self,
+        machine: &mut HeMachine,
         name: &Name,
         port: u16,
-        log: Rc<RefCell<HeLog>>,
-        attempts: Rc<RefCell<Vec<JoinHandle<()>>>>,
+        log: &mut HeLog,
+        attempts: &mut Vec<JoinHandle<()>>,
         deadline: SimTime,
     ) -> Result<HeConnection, HeError> {
-        // RFC 6555 §4.2: remember the winner for ~10 minutes and go
-        // straight to it.
-        if let Some(addr) = self.history.cached_outcome(now(), name) {
-            log.borrow_mut()
-                .push(now(), HeEventKind::UsedCachedOutcome { addr });
-            if let Ok(conn) = self.direct_attempt(addr, port).await {
-                log.borrow_mut().push(
-                    now(),
-                    HeEventKind::Established {
-                        addr,
-                        family: Family::of(addr),
-                        proto: CandidateProto::Tcp,
-                    },
-                );
-                return Ok(HeConnection::Tcp(conn));
-            }
-            self.history.invalidate_outcome(name);
-        }
-
-        // --- Resolution phase -------------------------------------------
-        let mut rx = self.stub.resolve_streaming(name);
-        let qtypes = self.stub.config().qtypes.clone();
-        {
-            let mut l = log.borrow_mut();
-            for qt in &qtypes {
-                l.push(now(), HeEventKind::DnsQuerySent { qtype: *qt });
-            }
-        }
-        let mut gathered = Gathered {
-            pending: qtypes.len(),
-            ..Gathered::default()
-        };
-
-        if self.cfg.quirks.wait_for_all_answers {
-            // Chrome/Firefox: nothing connects until every lookup is
-            // terminal — the §5.2 stall.
-            while gathered.pending > 0 {
-                match rx.recv().await {
-                    Some(ans) => gathered.ingest(&ans, &mut log.borrow_mut()),
-                    None => break,
-                }
-            }
-        } else {
-            self.resolution_wait(&mut rx, &mut gathered, &log).await;
-        }
-
-        if !gathered.has_any() {
-            log.borrow_mut().push(
-                now(),
-                HeEventKind::Failed {
-                    reason: "no-addresses",
-                },
-            );
-            return Err(HeError::NoAddresses);
-        }
-
-        // --- Address selection -------------------------------------------
-        let mut candidates = self.build_candidates(&gathered);
-        log.borrow_mut().push(
-            now(),
-            HeEventKind::CandidatesBuilt {
-                families: candidates.iter().map(Candidate::family).collect(),
-            },
-        );
-
-        // --- Staggered connection racing ---------------------------------
+        // RFC 6555 §4.2 winner cache: looked up here because the cache
+        // (and its lazy expiry) is driver-side mutable state.
+        let cached = self.history.cached_outcome(now(), name);
+        let mut rx: Option<mpsc::Receiver<DnsAnswer>> = None;
         let (res_tx, mut res_rx) =
             mpsc::unbounded::<(usize, Candidate, Result<Won, &'static str>)>();
-        let mut next = 0usize;
-        let mut failures = 0usize;
-        let mut dns_done = false;
-
-        self.start_attempt(&candidates, next, port, &res_tx, &log, &attempts);
-        next += 1;
-        let mut last_attempt_at = now();
-
-        /// What woke the racing loop.
-        enum Wake {
-            Result(Option<(usize, Candidate, Result<Won, &'static str>)>),
-            StartNext,
-            Dns(Option<DnsAnswer>),
-        }
+        let mut pending_conn: Option<HeConnection> = None;
+        let mut input = Input::Start { cached };
 
         loop {
-            let cad = self.history.cad_for(
-                self.cfg.cad,
-                candidates.get(next.saturating_sub(1)).map(|c| c.addr),
-            );
-            // The CAD stagger is anchored on the *previous attempt start*,
-            // so intermediate wakeups (late DNS answers) never stretch it.
-            let next_start = last_attempt_at + cad;
-
-            let wake = match (next < candidates.len(), dns_done) {
-                (true, false) => {
-                    // Results vs CAD timer vs late DNS answers (RFC 8305
-                    // §7: new addresses join the race).
-                    match race(res_rx.recv(), race(sleep_until(next_start), rx.recv())).await {
-                        Either::Left(r) => Wake::Result(r),
-                        Either::Right(Either::Left(())) => Wake::StartNext,
-                        Either::Right(Either::Right(ans)) => Wake::Dns(ans),
-                    }
-                }
-                (true, true) => match race(res_rx.recv(), sleep_until(next_start)).await {
-                    Either::Left(r) => Wake::Result(r),
-                    Either::Right(()) => Wake::StartNext,
-                },
-                (false, false) => {
-                    match race(timeout_at(deadline, res_rx.recv()), rx.recv()).await {
-                        Either::Left(Ok(r)) => Wake::Result(r),
-                        Either::Left(Err(lazyeye_sim::Elapsed)) => {
-                            log.borrow_mut()
-                                .push(now(), HeEventKind::Failed { reason: "deadline" });
-                            return Err(HeError::Deadline);
+            let mut established = false;
+            let mut failed: Option<HeError> = None;
+            for out in machine.process(input, now()) {
+                match out {
+                    Output::Trace(e) => log.push(e.at, e.kind),
+                    Output::SendQuery { .. } => {
+                        // The stub resolver sends the whole configured
+                        // query set in one streaming call.
+                        if rx.is_none() {
+                            rx = Some(self.stub.resolve_streaming(name));
                         }
-                        Either::Right(ans) => Wake::Dns(ans),
                     }
-                }
-                (false, true) => match timeout_at(deadline, res_rx.recv()).await {
-                    Ok(r) => Wake::Result(r),
-                    Err(lazyeye_sim::Elapsed) => {
-                        log.borrow_mut()
-                            .push(now(), HeEventKind::Failed { reason: "deadline" });
-                        return Err(HeError::Deadline);
+                    Output::StartAttempt { index, candidate } => {
+                        self.spawn_attempt(candidate, index, port, &res_tx, attempts);
                     }
-                },
-            };
-
-            let got = match wake {
-                Wake::StartNext => {
-                    self.start_attempt(&candidates, next, port, &res_tx, &log, &attempts);
-                    next += 1;
-                    last_attempt_at = now();
-                    continue;
-                }
-                Wake::Dns(Some(ans)) => {
-                    gathered.ingest(&ans, &mut log.borrow_mut());
-                    merge_candidates(&mut candidates, next, self.build_candidates(&gathered));
-                    continue;
-                }
-                Wake::Dns(None) => {
-                    dns_done = true;
-                    continue;
-                }
-                Wake::Result(r) => r,
-            };
-
-            let Some((idx, cand, result)) = got else {
-                return Err(HeError::AllAttemptsFailed);
-            };
-            match result {
-                Ok(won) => {
-                    log.borrow_mut().push(
-                        now(),
-                        HeEventKind::AttemptSucceeded {
-                            index: idx,
-                            addr: cand.addr,
-                        },
-                    );
-                    // Cancel losers.
-                    for h in attempts.borrow().iter() {
-                        h.abort();
+                    Output::ArmTimer(_) => {} // timers live in the waits below
+                    Output::RecordRtt { addr, rtt } => self.history.record_rtt(addr, rtt),
+                    Output::RecordOutcome { addr } => {
+                        self.history
+                            .record_outcome(now(), name.clone(), addr, self.cfg.cache_ttl);
                     }
-                    self.history.record_rtt(cand.addr, won.rtt);
-                    self.history
-                        .record_outcome(now(), name.clone(), cand.addr, self.cfg.cache_ttl);
-                    log.borrow_mut().push(
-                        now(),
-                        HeEventKind::Established {
-                            addr: cand.addr,
-                            family: cand.family(),
-                            proto: cand.proto,
-                        },
-                    );
-                    return Ok(won.conn);
-                }
-                Err(error) => {
-                    failures += 1;
-                    log.borrow_mut().push(
-                        now(),
-                        HeEventKind::AttemptFailed {
-                            index: idx,
-                            addr: cand.addr,
-                            error,
-                        },
-                    );
-                    if next < candidates.len() {
-                        // RFC 8305 §5: a failure starts the next attempt
-                        // immediately, without waiting for the CAD.
-                        self.start_attempt(&candidates, next, port, &res_tx, &log, &attempts);
-                        next += 1;
-                        last_attempt_at = now();
-                    } else if failures >= candidates.len() {
-                        log.borrow_mut().push(
-                            now(),
-                            HeEventKind::Failed {
-                                reason: "all-attempts-failed",
-                            },
-                        );
-                        return Err(HeError::AllAttemptsFailed);
-                    }
+                    Output::InvalidateOutcome => self.history.invalidate_outcome(name),
+                    Output::Established { .. } => established = true,
+                    Output::Failed(e) => failed = Some(e),
                 }
             }
+            if established {
+                // Cancel losers.
+                for h in attempts.iter() {
+                    h.abort();
+                }
+                return Ok(pending_conn.take().expect("established without connection"));
+            }
+            if let Some(e) = failed {
+                return Err(e);
+            }
+
+            input = match machine.waiting() {
+                Waiting::CachedAttempt { addr } => match self.direct_attempt(addr, port).await {
+                    Ok(s) => {
+                        pending_conn = Some(HeConnection::Tcp(s));
+                        Input::CachedResult { ok: true }
+                    }
+                    Err(()) => Input::CachedResult { ok: false },
+                },
+                Waiting::Cad { dst } => Input::Cad(self.history.cad_for(self.cfg.cad, dst)),
+                Waiting::Dns => {
+                    let rx = rx.as_mut().expect("resolution not started");
+                    Input::Dns(rx.recv().await)
+                }
+                Waiting::DnsOrTimer { deadline: rd } => {
+                    let rx = rx.as_mut().expect("resolution not started");
+                    match race(sleep_until(rd), rx.recv()).await {
+                        Either::Left(()) => Input::Timer,
+                        Either::Right(ans) => Input::Dns(ans),
+                    }
+                }
+                Waiting::Race {
+                    next_start,
+                    dns_open,
+                } => match (next_start, dns_open) {
+                    (Some(t), true) => {
+                        // Results vs CAD timer vs late DNS answers.
+                        let rx = rx.as_mut().expect("resolution not started");
+                        match race(res_rx.recv(), race(sleep_until(t), rx.recv())).await {
+                            Either::Left(r) => result_input(r, &mut pending_conn),
+                            Either::Right(Either::Left(())) => Input::Timer,
+                            Either::Right(Either::Right(ans)) => Input::Dns(ans),
+                        }
+                    }
+                    (Some(t), false) => match race(res_rx.recv(), sleep_until(t)).await {
+                        Either::Left(r) => result_input(r, &mut pending_conn),
+                        Either::Right(()) => Input::Timer,
+                    },
+                    (None, true) => {
+                        let rx = rx.as_mut().expect("resolution not started");
+                        match race(timeout_at(deadline, res_rx.recv()), rx.recv()).await {
+                            Either::Left(Ok(r)) => result_input(r, &mut pending_conn),
+                            Either::Left(Err(lazyeye_sim::Elapsed)) => Input::DeadlineExpired,
+                            Either::Right(ans) => Input::Dns(ans),
+                        }
+                    }
+                    (None, false) => match timeout_at(deadline, res_rx.recv()).await {
+                        Ok(r) => result_input(r, &mut pending_conn),
+                        Err(lazyeye_sim::Elapsed) => Input::DeadlineExpired,
+                    },
+                },
+                Waiting::Start | Waiting::Done => {
+                    unreachable!("machine stalled without output")
+                }
+            };
         }
     }
 
-    /// RFC 8305 §3 resolution handling: connect as soon as the preferred
-    /// family answers; if the other family answers first, arm the
-    /// Resolution Delay.
-    async fn resolution_wait(
+    /// Spawns one connection attempt task; the machine has already
+    /// recorded the `AttemptStarted` trace for it.
+    fn spawn_attempt(
         &self,
-        rx: &mut mpsc::Receiver<DnsAnswer>,
-        gathered: &mut Gathered,
-        log: &Rc<RefCell<HeLog>>,
-    ) {
-        loop {
-            if gathered.has_family(self.cfg.prefer) {
-                return;
-            }
-            if gathered.has_family(self.cfg.prefer.other()) {
-                // Other family arrived first.
-                match self.cfg.resolution_delay {
-                    Some(rd) if gathered.pending > 0 => {
-                        log.borrow_mut()
-                            .push(now(), HeEventKind::ResolutionDelayStarted { delay: rd });
-                        let rd_deadline = now() + rd;
-                        loop {
-                            match race(sleep_until(rd_deadline), rx.recv()).await {
-                                Either::Left(()) => {
-                                    log.borrow_mut()
-                                        .push(now(), HeEventKind::ResolutionDelayExpired);
-                                    return;
-                                }
-                                Either::Right(Some(ans)) => {
-                                    gathered.ingest(&ans, &mut log.borrow_mut());
-                                    if gathered.has_family(self.cfg.prefer) {
-                                        return;
-                                    }
-                                    if gathered.pending == 0 {
-                                        return;
-                                    }
-                                }
-                                Either::Right(None) => return,
-                            }
-                        }
-                    }
-                    _ => return,
-                }
-            }
-            if gathered.pending == 0 {
-                return;
-            }
-            match rx.recv().await {
-                Some(ans) => gathered.ingest(&ans, &mut log.borrow_mut()),
-                None => return,
-            }
-        }
-    }
-
-    fn start_attempt(
-        &self,
-        candidates: &[Candidate],
+        cand: Candidate,
         idx: usize,
         port: u16,
         res_tx: &mpsc::Sender<(usize, Candidate, Result<Won, &'static str>)>,
-        log: &Rc<RefCell<HeLog>>,
-        attempts: &Rc<RefCell<Vec<JoinHandle<()>>>>,
+        attempts: &mut Vec<JoinHandle<()>>,
     ) {
-        let Some(cand) = candidates.get(idx).copied() else {
-            return;
-        };
-        log.borrow_mut().push(
-            now(),
-            HeEventKind::AttemptStarted {
-                index: idx,
-                addr: cand.addr,
-                proto: cand.proto,
-            },
-        );
         let host = self.host.clone();
         let tx = res_tx.clone();
         let attempt_timeout = self.cfg.attempt_timeout;
@@ -544,22 +307,7 @@ impl HappyEyeballs {
             };
             let _ = tx.send((idx, cand, result));
         });
-        attempts.borrow_mut().push(handle);
-    }
-
-    /// Builds the interlaced, protocol-expanded candidate list from the
-    /// currently gathered answers.
-    fn build_candidates(&self, gathered: &Gathered) -> Vec<Candidate> {
-        let mut order = interlace(
-            &gathered.v6,
-            &gathered.v4,
-            self.cfg.prefer,
-            self.cfg.interlace,
-        );
-        if self.cfg.quirks.stop_after_first_pair {
-            truncate_to_first_pair(&mut order);
-        }
-        expand_protocols(&order, gathered.h3, gathered.ech, self.cfg.use_quic)
+        attempts.push(handle);
     }
 
     /// One direct TCP attempt (cached-outcome path), bounded by the
@@ -573,6 +321,28 @@ impl HappyEyeballs {
     }
 }
 
+/// Converts one attempt-channel message into a machine input, parking
+/// the winning connection with the driver.
+fn result_input(
+    r: Option<(usize, Candidate, Result<Won, &'static str>)>,
+    pending_conn: &mut Option<HeConnection>,
+) -> Input {
+    match r {
+        None => Input::AttemptsClosed,
+        Some((idx, _cand, Ok(won))) => {
+            *pending_conn = Some(won.conn);
+            Input::AttemptResult {
+                index: idx,
+                result: Ok(won.rtt),
+            }
+        }
+        Some((idx, _cand, Err(e))) => Input::AttemptResult {
+            index: idx,
+            result: Err(e),
+        },
+    }
+}
+
 struct Won {
     conn: HeConnection,
     rtt: Duration,
@@ -580,58 +350,4 @@ struct Won {
 
 fn net_err_label(e: NetError) -> &'static str {
     e.label()
-}
-
-/// Replaces the un-attempted tail of `candidates` with the freshly rebuilt
-/// order, keeping already-started attempts (indices `< started`) in place
-/// and never re-adding a candidate that already ran.
-fn merge_candidates(candidates: &mut Vec<Candidate>, started: usize, rebuilt: Vec<Candidate>) {
-    let started_set: Vec<Candidate> = candidates[..started.min(candidates.len())].to_vec();
-    candidates.truncate(started.min(candidates.len()));
-    for c in rebuilt {
-        if !started_set.contains(&c) {
-            candidates.push(c);
-        }
-    }
-}
-
-fn truncate_to_first_pair(order: &mut Vec<IpAddr>) {
-    let mut kept_v6 = false;
-    let mut kept_v4 = false;
-    order.retain(|a| match Family::of(*a) {
-        Family::V6 if !kept_v6 => {
-            kept_v6 = true;
-            true
-        }
-        Family::V4 if !kept_v4 => {
-            kept_v4 = true;
-            true
-        }
-        _ => false,
-    });
-}
-
-#[cfg(test)]
-mod truncate_tests {
-    use super::*;
-    use lazyeye_net::addr::{v4, v6};
-
-    #[test]
-    fn keeps_first_of_each_family() {
-        let mut order = vec![
-            v6("2001:db8::1"),
-            v4("192.0.2.1"),
-            v6("2001:db8::2"),
-            v4("192.0.2.2"),
-        ];
-        truncate_to_first_pair(&mut order);
-        assert_eq!(order, vec![v6("2001:db8::1"), v4("192.0.2.1")]);
-    }
-
-    #[test]
-    fn single_family_keeps_one() {
-        let mut order = vec![v6("2001:db8::1"), v6("2001:db8::2")];
-        truncate_to_first_pair(&mut order);
-        assert_eq!(order, vec![v6("2001:db8::1")]);
-    }
 }

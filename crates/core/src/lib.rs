@@ -24,13 +24,16 @@
 
 mod engine;
 mod event;
+pub mod fastpath;
 mod history;
+pub mod machine;
 mod params;
 pub mod select;
 
-pub use engine::{HappyEyeballs, HeConnection, HeError, HeResult};
+pub use engine::{HappyEyeballs, HeConnection, HeResult};
 pub use event::{HeEvent, HeEventKind, HeLog};
 pub use history::HistoryStore;
+pub use machine::{HeError, HeMachine, Input, Output, Waiting};
 pub use params::{
     version_params, CadMode, HeConfig, HeVersion, InterlaceStrategy, Quirks, VersionParams,
 };

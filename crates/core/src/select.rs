@@ -20,7 +20,7 @@ pub struct Candidate {
 }
 
 /// Transport of a candidate.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum CandidateProto {
     /// Plain TCP.
     Tcp,

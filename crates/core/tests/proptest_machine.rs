@@ -1,0 +1,323 @@
+//! Property-based driver for the sans-IO [`HeMachine`]: whatever valid
+//! input ordering a driver produces, the machine must
+//!
+//! * never ask for a timer in the past (`Output::ArmTimer(t)` with
+//!   `t < now` would deadlock or reorder a real driver), and
+//! * never start a connection attempt after the procedure established
+//!   (a driver would leak sockets it has no way to cancel).
+//!
+//! The test plays the role of a chaotic-but-correct driver: at every
+//! [`Waiting`] state it picks one of the inputs a real driver could
+//! legally produce (answers in arbitrary order, arbitrary handshake
+//! outcomes and timings, channel closes, timer fires), advancing a
+//! monotone clock as it goes.
+
+use std::net::IpAddr;
+use std::time::Duration;
+
+use lazyeye_core::{
+    CadMode, HeConfig, HeMachine, HeVersion, Input, InterlaceStrategy, Output, Quirks, Waiting,
+};
+use lazyeye_dns::{Name, RData, Record, RrType, SvcParam, SvcParams};
+use lazyeye_net::Family;
+use lazyeye_resolver::{AnswerOutcome, DnsAnswer};
+use lazyeye_sim::SimTime;
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+fn arb_cad() -> impl Strategy<Value = CadMode> {
+    prop_oneof![
+        (10u64..400).prop_map(|ms| CadMode::Fixed(Duration::from_millis(ms))),
+        Just(CadMode::rfc_dynamic()),
+    ]
+}
+
+fn arb_interlace() -> impl Strategy<Value = InterlaceStrategy> {
+    prop_oneof![
+        (1usize..3).prop_map(|n| InterlaceStrategy::Rfc8305 {
+            first_family_count: n
+        }),
+        Just(InterlaceStrategy::SafariStyle),
+        Just(InterlaceStrategy::Hev1SingleFallback),
+        Just(InterlaceStrategy::NoFallback),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = HeConfig> {
+    (
+        prop_oneof![
+            Just(HeVersion::V1),
+            Just(HeVersion::V2),
+            Just(HeVersion::V3)
+        ],
+        arb_cad(),
+        proptest::option::of(0u64..200),
+        arb_interlace(),
+        prop_oneof![Just(Family::V6), Just(Family::V4)],
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        50u64..3000,
+    )
+        .prop_map(
+            |(version, cad, rd_ms, interlace, prefer, use_quic, wait_all, stop_pair, overall)| {
+                HeConfig {
+                    version,
+                    cad,
+                    resolution_delay: rd_ms.map(Duration::from_millis),
+                    interlace,
+                    prefer,
+                    attempt_timeout: Duration::from_millis(800),
+                    overall_deadline: Duration::from_millis(overall),
+                    cache_ttl: Duration::from_secs(600),
+                    use_quic,
+                    quirks: Quirks {
+                        wait_for_all_answers: wait_all,
+                        stop_after_first_pair: stop_pair,
+                    },
+                }
+            },
+        )
+}
+
+/// Per-qtype answer payload: address count and terminal outcome.
+fn arb_payload() -> impl Strategy<Value = (usize, u8)> {
+    (0usize..4, 0u8..4)
+}
+
+fn answer_for(qtype: RrType, payload: (usize, u8), at: SimTime) -> DnsAnswer {
+    let (count, outcome) = payload;
+    let outcome = match outcome {
+        0 => AnswerOutcome::Ok,
+        1 => AnswerOutcome::NxDomain,
+        2 => AnswerOutcome::ServFail,
+        _ => AnswerOutcome::Timeout,
+    };
+    let name = Name::parse("he.test").unwrap();
+    let mut records = Vec::new();
+    if outcome == AnswerOutcome::Ok {
+        for i in 0..count {
+            let rdata = match qtype {
+                RrType::Aaaa => RData::Aaaa(format!("2001:db8::{}", i + 1).parse().unwrap()),
+                RrType::A => RData::A(format!("192.0.2.{}", i + 1).parse().unwrap()),
+                _ => RData::Https(
+                    SvcParams::service(1, Name::root())
+                        .with(SvcParam::Alpn(vec![b"h3".to_vec()]))
+                        .with(SvcParam::Ipv6Hint(vec![format!("2001:db8::f{}", i + 1)
+                            .parse()
+                            .unwrap()])),
+                ),
+            };
+            records.push(Record::new(name.clone(), 300, rdata));
+        }
+    }
+    DnsAnswer {
+        qtype,
+        at,
+        records,
+        outcome,
+    }
+}
+
+const ATTEMPT_ERRORS: [&str; 3] = ["refused", "timeout", "unreachable"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn valid_orderings_never_arm_past_timers_or_attempt_after_established(
+        cfg in arb_config(),
+        cached in proptest::option::of(proptest::bool::ANY),
+        payloads in proptest::collection::vec(arb_payload(), 3),
+        start_ms in 0u64..1000,
+        script in proptest::collection::vec((any::<u16>(), 0u64..300), 0..250),
+    ) {
+        let qtypes: Vec<RrType> = if cfg.use_quic {
+            vec![RrType::Https, RrType::Aaaa, RrType::A]
+        } else {
+            vec![RrType::Aaaa, RrType::A]
+        };
+        let start = SimTime::from_millis(start_ms);
+        let deadline = start + cfg.overall_deadline;
+        let mut machine = HeMachine::new(cfg, qtypes.clone(), deadline);
+
+        // One pending answer per queried type; the script's choice value
+        // picks which arrives next, so every arrival order is exercised.
+        let mut pending: Vec<(RrType, (usize, u8))> = qtypes
+            .iter()
+            .zip(payloads)
+            .map(|(&q, p)| (q, p))
+            .collect();
+        let mut dns_closed = false;
+
+        let mut now = start;
+        let mut established = false;
+        let mut done = false;
+        // Attempt indices started but not yet resolved.
+        let mut outstanding: Vec<usize> = Vec::new();
+
+        let cached_addr = cached.map(|v6| -> IpAddr {
+            if v6 {
+                "2001:db8::cc".parse().unwrap()
+            } else {
+                "192.0.2.204".parse().unwrap()
+            }
+        });
+
+        let mut script = script.into_iter();
+        let feed = |machine: &mut HeMachine,
+                        input: Input,
+                        now: SimTime,
+                        established: &mut bool,
+                        done: &mut bool,
+                        outstanding: &mut Vec<usize>|
+         -> Result<(), TestCaseError> {
+            for out in machine.process(input, now) {
+                match out {
+                    Output::ArmTimer(t) => {
+                        prop_assert!(
+                            t >= now,
+                            "timer armed in the past: {t:?} < now {now:?}"
+                        );
+                    }
+                    Output::StartAttempt { index, .. } => {
+                        prop_assert!(
+                            !*established,
+                            "attempt {index} started after Established"
+                        );
+                        outstanding.push(index);
+                    }
+                    Output::Established { .. } => {
+                        *established = true;
+                        *done = true;
+                    }
+                    Output::Failed(_) => {
+                        *done = true;
+                    }
+                    _ => {}
+                }
+            }
+            Ok(())
+        };
+
+        while !done {
+            let Some((choice, delta_ms)) = script.next() else {
+                // Script exhausted: a real run would eventually hit the
+                // overall deadline; do exactly that.
+                now = now.max(deadline);
+                feed(&mut machine, Input::DeadlineExpired, now, &mut established, &mut done, &mut outstanding)?;
+                break;
+            };
+            let choice = usize::from(choice);
+            let delta = Duration::from_millis(delta_ms);
+
+            match machine.waiting() {
+                Waiting::Start => {
+                    feed(&mut machine, Input::Start { cached: cached_addr }, now, &mut established, &mut done, &mut outstanding)?;
+                }
+                Waiting::CachedAttempt { .. } => {
+                    now += delta;
+                    let ok = choice % 2 == 0;
+                    feed(&mut machine, Input::CachedResult { ok }, now, &mut established, &mut done, &mut outstanding)?;
+                }
+                Waiting::Cad { .. } => {
+                    // Synchronous answer: no time passes.
+                    let cad = Duration::from_millis((choice % 500) as u64);
+                    feed(&mut machine, Input::Cad(cad), now, &mut established, &mut done, &mut outstanding)?;
+                }
+                Waiting::Dns => {
+                    now += delta;
+                    let input = if pending.is_empty() {
+                        dns_closed = true;
+                        Input::Dns(None)
+                    } else {
+                        let (qtype, payload) = pending.remove(choice % pending.len());
+                        Input::Dns(Some(answer_for(qtype, payload, now)))
+                    };
+                    feed(&mut machine, input, now, &mut established, &mut done, &mut outstanding)?;
+                }
+                Waiting::DnsOrTimer { deadline: rd } => {
+                    let arrival = now + delta;
+                    if arrival >= rd || (pending.is_empty() && dns_closed) {
+                        // The timer fires before the next DNS event.
+                        now = now.max(rd);
+                        feed(&mut machine, Input::Timer, now, &mut established, &mut done, &mut outstanding)?;
+                    } else {
+                        now = arrival;
+                        let input = if pending.is_empty() {
+                            dns_closed = true;
+                            Input::Dns(None)
+                        } else {
+                            let (qtype, payload) = pending.remove(choice % pending.len());
+                            Input::Dns(Some(answer_for(qtype, payload, now)))
+                        };
+                        feed(&mut machine, input, now, &mut established, &mut done, &mut outstanding)?;
+                    }
+                }
+                Waiting::Race { next_start, dns_open } => {
+                    // Candidate events a real driver could deliver next.
+                    let mut options: Vec<u8> = Vec::new();
+                    if !outstanding.is_empty() {
+                        options.push(0); // an attempt resolves
+                    }
+                    if next_start.is_some() {
+                        options.push(1); // the stagger timer fires
+                    }
+                    if dns_open && !dns_closed {
+                        options.push(2); // a DNS event (answer or close)
+                    }
+                    if options.is_empty() {
+                        // Nothing can happen any more: the attempt
+                        // channel closes.
+                        feed(&mut machine, Input::AttemptsClosed, now, &mut established, &mut done, &mut outstanding)?;
+                        continue;
+                    }
+                    match options[choice % options.len()] {
+                        0 => {
+                            let arrival = now + delta;
+                            if let Some(t) = next_start {
+                                if arrival >= t {
+                                    // Timer beats the result.
+                                    now = now.max(t);
+                                    feed(&mut machine, Input::Timer, now, &mut established, &mut done, &mut outstanding)?;
+                                    continue;
+                                }
+                            }
+                            now = arrival;
+                            let slot = choice % outstanding.len();
+                            let index = outstanding.remove(slot);
+                            let result = if delta_ms % 3 == 0 {
+                                Ok(Duration::from_millis(delta_ms))
+                            } else {
+                                Err(ATTEMPT_ERRORS[choice % ATTEMPT_ERRORS.len()])
+                            };
+                            feed(&mut machine, Input::AttemptResult { index, result }, now, &mut established, &mut done, &mut outstanding)?;
+                        }
+                        1 => {
+                            let t = next_start.unwrap();
+                            now = now.max(t);
+                            feed(&mut machine, Input::Timer, now, &mut established, &mut done, &mut outstanding)?;
+                        }
+                        _ => {
+                            now += delta;
+                            let input = if pending.is_empty() {
+                                dns_closed = true;
+                                Input::Dns(None)
+                            } else {
+                                let (qtype, payload) = pending.remove(choice % pending.len());
+                                Input::Dns(Some(answer_for(qtype, payload, now)))
+                            };
+                            feed(&mut machine, input, now, &mut established, &mut done, &mut outstanding)?;
+                        }
+                    }
+                }
+                Waiting::Done => break,
+            }
+        }
+
+        if done {
+            prop_assert!(machine.is_done());
+            prop_assert_eq!(machine.waiting(), Waiting::Done);
+        }
+    }
+}

@@ -45,7 +45,7 @@ mod zone;
 
 pub use error::DnsError;
 pub use message::{Header, Message, Question, Rcode};
-pub use name::{CompressMap, Name};
+pub use name::{CompressMap, Labels, Name};
 pub use rr::{RData, Record, RrClass, RrType, Soa};
 pub use svcb::{SvcParam, SvcParams};
 pub use zone::{Zone, ZoneAnswer, ZoneSet};

@@ -1,7 +1,7 @@
 //! Domain names: labels, comparison, wire encoding with compression.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::DnsError;
 
@@ -10,15 +10,75 @@ use crate::error::DnsError;
 ///
 /// Comparison and hashing are case-insensitive, per RFC 1035 §2.3.3.
 ///
-/// The label storage sits behind an `Arc`: names are cloned on the
-/// simulator's packet path (query logs, record clones, question echoes),
-/// and sharing the immutable labels turns each of those clones from
-/// `1 + label_count` heap allocations into one reference-count bump.
-/// `Arc` (not `Rc`) because zone sets holding names cross threads via the
-/// process-wide resolver zone cache.
+/// Labels are stored flat, in uncompressed wire form (`len · bytes ·
+/// len · bytes …`, no trailing root byte) behind one `Arc`. Decoding or
+/// parsing a name therefore costs exactly one heap allocation however
+/// many labels it has — the previous `Arc<Vec<Vec<u8>>>` layout paid
+/// `1 + label_count` — and cloning on the simulator's packet path
+/// (query logs, record clones, question echoes) stays one
+/// reference-count bump. `Arc` (not `Rc`) because zone sets holding
+/// names cross threads via the process-wide resolver zone cache.
 #[derive(Clone, Eq)]
 pub struct Name {
-    labels: Arc<Vec<Vec<u8>>>,
+    wire: Arc<[u8]>,
+}
+
+/// Iterator over a name's labels, leftmost first.
+pub struct Labels<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for Labels<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let (&len, rest) = self.rest.split_first()?;
+        let (label, rest) = rest.split_at(usize::from(len));
+        self.rest = rest;
+        Some(label)
+    }
+}
+
+/// A name under construction on the stack: wire bytes accumulate in a
+/// fixed 254-byte buffer (the RFC 1035 ceiling) and spill to the heap
+/// exactly once, in [`WireBuf::finish`].
+struct WireBuf {
+    buf: [u8; 254],
+    len: usize,
+}
+
+impl WireBuf {
+    fn new() -> WireBuf {
+        WireBuf {
+            buf: [0; 254],
+            len: 0,
+        }
+    }
+
+    fn push_label(&mut self, label: &[u8]) -> Result<(), DnsError> {
+        if label.is_empty() {
+            return Err(DnsError::BadName("empty label".into()));
+        }
+        if label.len() > 63 {
+            return Err(DnsError::LabelTooLong);
+        }
+        if self.len + 1 + label.len() > self.buf.len() {
+            return Err(DnsError::NameTooLong);
+        }
+        self.buf[self.len] = label.len() as u8;
+        self.buf[self.len + 1..self.len + 1 + label.len()].copy_from_slice(label);
+        self.len += 1 + label.len();
+        Ok(())
+    }
+
+    fn finish(self) -> Name {
+        if self.len == 0 {
+            return Name::root();
+        }
+        Name {
+            wire: Arc::from(&self.buf[..self.len]),
+        }
+    }
 }
 
 /// Name-compression state for one message encode: the offsets where label
@@ -39,19 +99,19 @@ impl CompressMap {
     }
 
     /// The offset of the first previously written name suffix equal
-    /// (case-insensitively) to `labels`, if any — matching the
-    /// first-insert-wins semantics of the old keyed map.
-    fn find(&self, msg: &[u8], labels: &[Vec<u8>]) -> Option<u16> {
+    /// (case-insensitively) to the wire-form label run `suffix`, if any
+    /// — matching the first-insert-wins semantics of the old keyed map.
+    fn find(&self, msg: &[u8], suffix: &[u8]) -> Option<u16> {
         self.offsets
             .iter()
             .copied()
-            .find(|&off| suffix_matches(msg, usize::from(off), labels))
+            .find(|&off| suffix_matches(msg, usize::from(off), suffix))
     }
 }
 
 /// Whether the wire name starting at `msg[pos]` (following compression
-/// pointers) equals exactly the label sequence `labels` + root.
-fn suffix_matches(msg: &[u8], mut pos: usize, labels: &[Vec<u8>]) -> bool {
+/// pointers) equals exactly the label run `suffix` + root.
+fn suffix_matches(msg: &[u8], mut pos: usize, suffix: &[u8]) -> bool {
     let mut jumps = 0;
     let mut next_label = |pos: &mut usize| -> Option<(usize, usize)> {
         loop {
@@ -72,7 +132,7 @@ fn suffix_matches(msg: &[u8], mut pos: usize, labels: &[Vec<u8>]) -> bool {
             return Some((start, len));
         }
     };
-    for label in labels {
+    for label in (Labels { rest: suffix }) {
         let Some((start, len)) = next_label(&mut pos) else {
             return false;
         };
@@ -88,9 +148,11 @@ fn suffix_matches(msg: &[u8], mut pos: usize, labels: &[Vec<u8>]) -> bool {
 impl Name {
     /// The root name `.`.
     pub fn root() -> Name {
-        Name {
-            labels: Arc::new(Vec::new()),
-        }
+        static ROOT: OnceLock<Name> = OnceLock::new();
+        ROOT.get_or_init(|| Name {
+            wire: Arc::from(&[][..]),
+        })
+        .clone()
     }
 
     /// Parses a dotted name (`"www.example.com"` / `"www.example.com."`).
@@ -100,107 +162,94 @@ impl Name {
         if s.is_empty() {
             return Ok(Name::root());
         }
-        let mut labels = Vec::new();
+        let mut buf = WireBuf::new();
         for part in s.split('.') {
             if part.is_empty() {
                 return Err(DnsError::BadName(s.to_string()));
             }
-            if part.len() > 63 {
-                return Err(DnsError::LabelTooLong);
-            }
-            labels.push(part.as_bytes().to_vec());
+            buf.push_label(part.as_bytes())?;
         }
-        let name = Name {
-            labels: Arc::new(labels),
-        };
-        if name.encoded_len() > 255 {
-            return Err(DnsError::NameTooLong);
-        }
-        Ok(name)
+        Ok(buf.finish())
     }
 
     /// Builds a name from raw labels.
     pub fn from_labels(labels: Vec<Vec<u8>>) -> Result<Name, DnsError> {
+        let mut buf = WireBuf::new();
         for l in &labels {
-            if l.is_empty() {
-                return Err(DnsError::BadName("empty label".into()));
-            }
-            if l.len() > 63 {
-                return Err(DnsError::LabelTooLong);
-            }
+            buf.push_label(l)?;
         }
-        let name = Name {
-            labels: Arc::new(labels),
-        };
-        if name.encoded_len() > 255 {
-            return Err(DnsError::NameTooLong);
-        }
-        Ok(name)
+        Ok(buf.finish())
     }
 
     /// The labels, leftmost first.
-    pub fn labels(&self) -> &[Vec<u8>] {
-        &self.labels
+    pub fn labels(&self) -> Labels<'_> {
+        Labels { rest: &self.wire }
+    }
+
+    /// The `i`-th label from the left, if the name has that many.
+    pub fn label(&self, i: usize) -> Option<&[u8]> {
+        self.labels().nth(i)
     }
 
     /// Number of labels.
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        self.labels().count()
     }
 
     /// `true` for the root name.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.wire.is_empty()
     }
 
     /// Wire length when encoded without compression.
     pub fn encoded_len(&self) -> usize {
-        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+        self.wire.len() + 1
     }
 
     /// Prepends a label: `Name("example.com").child("www")` →
     /// `www.example.com`.
     pub fn child(&self, label: &str) -> Result<Name, DnsError> {
-        let mut labels = Vec::with_capacity(self.labels.len() + 1);
         if label.is_empty() || label.len() > 63 {
             return Err(DnsError::BadName(label.to_string()));
         }
-        labels.push(label.as_bytes().to_vec());
-        labels.extend(self.labels.iter().cloned());
-        Name::from_labels(labels)
+        let mut buf = WireBuf::new();
+        buf.push_label(label.as_bytes())?;
+        if buf.len + self.wire.len() > buf.buf.len() {
+            return Err(DnsError::NameTooLong);
+        }
+        buf.buf[buf.len..buf.len + self.wire.len()].copy_from_slice(&self.wire);
+        buf.len += self.wire.len();
+        Ok(buf.finish())
     }
 
     /// The name with the leftmost label removed; `None` at the root.
     pub fn parent(&self) -> Option<Name> {
-        if self.labels.is_empty() {
-            None
-        } else {
-            Some(Name {
-                labels: Arc::new(self.labels[1..].to_vec()),
-            })
-        }
+        let (&len, rest) = self.wire.split_first()?;
+        Some(Name {
+            wire: Arc::from(&rest[usize::from(len)..]),
+        })
     }
 
     /// `true` if `self` equals `other` or is underneath it
     /// (`www.example.com` is a subdomain of `example.com` and of `.`).
     pub fn is_subdomain_of(&self, other: &Name) -> bool {
-        if other.labels.len() > self.labels.len() {
+        if other.wire.len() > self.wire.len() {
             return false;
         }
-        let offset = self.labels.len() - other.labels.len();
-        self.labels[offset..]
-            .iter()
-            .zip(other.labels.iter())
-            .all(|(a, b)| eq_label(a, b))
+        // The candidate suffix must start on a label boundary of `self`
+        // — a bare byte-suffix match could begin mid-label.
+        let offset = self.wire.len() - other.wire.len();
+        let mut pos = 0;
+        while pos < offset {
+            pos += 1 + usize::from(self.wire[pos]);
+        }
+        pos == offset && self.wire[offset..].eq_ignore_ascii_case(&other.wire)
     }
 
     /// Encodes without compression (used inside SVCB RDATA, where RFC 9460
     /// forbids compressed targets).
     pub fn encode_uncompressed(&self, out: &mut Vec<u8>) {
-        for l in self.labels.iter() {
-            out.push(l.len() as u8);
-            out.extend_from_slice(l);
-        }
+        out.extend_from_slice(&self.wire);
         out.push(0);
     }
 
@@ -210,8 +259,8 @@ impl Name {
     /// offset.
     pub fn encode_compressed(&self, out: &mut Vec<u8>, compress: &mut CompressMap) {
         let mut idx = 0;
-        while idx < self.labels.len() {
-            if let Some(off) = compress.find(out, &self.labels[idx..]) {
+        while idx < self.wire.len() {
+            if let Some(off) = compress.find(out, &self.wire[idx..]) {
                 out.push(0xC0 | ((off >> 8) as u8));
                 out.push((off & 0xFF) as u8);
                 return;
@@ -221,10 +270,9 @@ impl Name {
             if here <= 0x3FFF {
                 compress.offsets.push(here as u16);
             }
-            let l = &self.labels[idx];
-            out.push(l.len() as u8);
-            out.extend_from_slice(l);
-            idx += 1;
+            let len = usize::from(self.wire[idx]);
+            out.extend_from_slice(&self.wire[idx..idx + 1 + len]);
+            idx += 1 + len;
         }
         out.push(0);
     }
@@ -233,19 +281,26 @@ impl Name {
     /// pointers. `*pos` advances past the name *in the original stream*
     /// (pointers do not move it further).
     pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Name, DnsError> {
-        let mut labels = Vec::new();
+        // Labels accumulate on the stack and hit the heap exactly once,
+        // at the terminal root label. 255 (not 254) preserves the
+        // decoder's historical acceptance of names whose label run sums
+        // to exactly 255 bytes.
+        let mut buf = [0u8; 255];
+        let mut total = 0usize;
         let mut cursor = *pos;
         let mut jumped = false;
         let mut jumps = 0;
-        let mut total_len = 0usize;
         loop {
             let len = *msg.get(cursor).ok_or(DnsError::Truncated)? as usize;
             if len == 0 {
                 if !jumped {
                     *pos = cursor + 1;
                 }
+                if total == 0 {
+                    return Ok(Name::root());
+                }
                 return Ok(Name {
-                    labels: Arc::new(labels),
+                    wire: Arc::from(&buf[..total]),
                 });
             }
             if len & 0xC0 == 0xC0 {
@@ -273,37 +328,30 @@ impl Name {
             if end > msg.len() {
                 return Err(DnsError::Truncated);
             }
-            total_len += len + 1;
-            if total_len > 255 {
+            if total + len + 1 > buf.len() {
                 return Err(DnsError::NameTooLong);
             }
-            labels.push(msg[start..end].to_vec());
+            buf[total] = len as u8;
+            buf[total + 1..total + 1 + len].copy_from_slice(&msg[start..end]);
+            total += len + 1;
             cursor = end;
         }
     }
 }
 
-fn eq_label(a: &[u8], b: &[u8]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b.iter())
-            .all(|(x, y)| x.eq_ignore_ascii_case(y))
-}
-
 impl PartialEq for Name {
     fn eq(&self, other: &Self) -> bool {
-        self.labels.len() == other.labels.len()
-            && self
-                .labels
-                .iter()
-                .zip(other.labels.iter())
-                .all(|(a, b)| eq_label(a, b))
+        // Case-insensitive comparison over the whole wire run is sound:
+        // length bytes are ≤ 63 (never ASCII letters), so they compare
+        // exactly, and equal length bytes force the label boundaries of
+        // both names to align position by position.
+        self.wire.eq_ignore_ascii_case(&other.wire)
     }
 }
 
 impl std::hash::Hash for Name {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        for l in self.labels.iter() {
+        for l in self.labels() {
             for &b in l {
                 state.write_u8(b.to_ascii_lowercase());
             }
@@ -328,10 +376,10 @@ impl Ord for Name {
 
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.labels.is_empty() {
+        if self.is_root() {
             return f.write_str(".");
         }
-        for (i, l) in self.labels.iter().enumerate() {
+        for (i, l) in self.labels().enumerate() {
             if i > 0 {
                 f.write_str(".")?;
             }
@@ -393,6 +441,26 @@ mod tests {
         assert!(!n("example.com").is_subdomain_of(&n("www.example.com")));
         assert!(!n("anexample.com").is_subdomain_of(&n("example.com")));
         assert!(n("WWW.EXAMPLE.COM").is_subdomain_of(&n("example.com")));
+    }
+
+    #[test]
+    fn subdomain_requires_label_alignment() {
+        // The byte suffix `\x03com` appears inside the single label
+        // `ab\x03com`, but not on a label boundary: no subdomain.
+        let inner = Name::from_labels(vec![b"ab\x03com".to_vec()]).unwrap();
+        assert!(!inner.is_subdomain_of(&n("com")));
+    }
+
+    #[test]
+    fn labels_iterate_leftmost_first() {
+        let name = n("www.example.com");
+        let labels: Vec<&[u8]> = name.labels().collect();
+        assert_eq!(labels, vec![&b"www"[..], &b"example"[..], &b"com"[..]]);
+        assert_eq!(name.label(0), Some(&b"www"[..]));
+        assert_eq!(name.label(2), Some(&b"com"[..]));
+        assert_eq!(name.label(3), None);
+        assert_eq!(name.label_count(), 3);
+        assert_eq!(Name::root().label_count(), 0);
     }
 
     #[test]

@@ -3,9 +3,16 @@
 //! These cover what the Happy Eyeballs engine needs (racing connection
 //! attempts against delays, fanning out parallel DNS queries) without
 //! pulling in the `futures` crate.
+//!
+//! [`race`] and [`join2`] pin their operands on the stack of their own
+//! async state machine (`std::pin::pin!`), so building one costs zero
+//! heap allocations — the engine builds one per state-machine step, and
+//! the earlier `Box::pin`-per-operand layout made the allocator a hot
+//! path. Only [`join_all`] still boxes: a dynamic number of `!Unpin`
+//! futures needs one stable heap slot each.
 
-use std::future::Future;
-use std::pin::Pin;
+use std::future::{poll_fn, Future};
+use std::pin::{pin, Pin};
 use std::task::{Context, Poll};
 
 /// Result of [`race`]: which of the two futures finished first.
@@ -29,79 +36,48 @@ impl<A, B> Either<A, B> {
     }
 }
 
-/// Future returned by [`race`].
-pub struct Race<A, B> {
-    a: Pin<Box<A>>,
-    b: Pin<Box<B>>,
-}
-
-impl<A: Future, B: Future> Future for Race<A, B> {
-    type Output = Either<A::Output, B::Output>;
-
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let this = self.get_mut();
-        if let Poll::Ready(v) = this.a.as_mut().poll(cx) {
+/// Races two futures; the loser is dropped (cancelled). The left future is
+/// polled first on every wake, so ties resolve deterministically to `Left`.
+pub async fn race<A: Future, B: Future>(a: A, b: B) -> Either<A::Output, B::Output> {
+    let mut a = pin!(a);
+    let mut b = pin!(b);
+    poll_fn(move |cx| {
+        if let Poll::Ready(v) = a.as_mut().poll(cx) {
             return Poll::Ready(Either::Left(v));
         }
-        if let Poll::Ready(v) = this.b.as_mut().poll(cx) {
+        if let Poll::Ready(v) = b.as_mut().poll(cx) {
             return Poll::Ready(Either::Right(v));
         }
         Poll::Pending
-    }
+    })
+    .await
 }
 
-/// Races two futures; the loser is dropped (cancelled). The left future is
-/// polled first on every wake, so ties resolve deterministically to `Left`.
-pub fn race<A: Future, B: Future>(a: A, b: B) -> Race<A, B> {
-    Race {
-        a: Box::pin(a),
-        b: Box::pin(b),
-    }
-}
-
-/// Future returned by [`join2`].
-pub struct Join2<A: Future, B: Future> {
-    a: Pin<Box<A>>,
-    b: Pin<Box<B>>,
-    ra: Option<A::Output>,
-    rb: Option<B::Output>,
-}
-
-// Sound: the stored outputs are never pinned-projected; all polling goes
-// through the `Pin<Box<_>>` fields, which are `Unpin` regardless of `A`/`B`.
-impl<A: Future, B: Future> Unpin for Join2<A, B> {}
-
-impl<A: Future, B: Future> Future for Join2<A, B> {
-    type Output = (A::Output, B::Output);
-
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let this = self.get_mut();
-        if this.ra.is_none() {
-            if let Poll::Ready(v) = this.a.as_mut().poll(cx) {
-                this.ra = Some(v);
+/// Awaits both futures concurrently, returning both outputs. The left
+/// future is polled first on every wake.
+pub async fn join2<A: Future, B: Future>(a: A, b: B) -> (A::Output, B::Output) {
+    let mut a = pin!(a);
+    let mut b = pin!(b);
+    let mut ra = None;
+    let mut rb = None;
+    poll_fn(move |cx| {
+        if ra.is_none() {
+            if let Poll::Ready(v) = a.as_mut().poll(cx) {
+                ra = Some(v);
             }
         }
-        if this.rb.is_none() {
-            if let Poll::Ready(v) = this.b.as_mut().poll(cx) {
-                this.rb = Some(v);
+        if rb.is_none() {
+            if let Poll::Ready(v) = b.as_mut().poll(cx) {
+                rb = Some(v);
             }
         }
-        if this.ra.is_some() && this.rb.is_some() {
-            Poll::Ready((this.ra.take().unwrap(), this.rb.take().unwrap()))
+        if ra.is_some() && rb.is_some() {
+            Poll::Ready((ra.take().unwrap(), rb.take().unwrap()))
         } else {
             Poll::Pending
         }
-    }
-}
-
-/// Awaits both futures concurrently, returning both outputs.
-pub fn join2<A: Future, B: Future>(a: A, b: B) -> Join2<A, B> {
-    Join2 {
-        a: Box::pin(a),
-        b: Box::pin(b),
-        ra: None,
-        rb: None,
-    }
+    })
+    .await
 }
 
 /// Future returned by [`join_all`].
@@ -110,7 +86,8 @@ pub struct JoinAll<F: Future> {
     outs: Vec<Option<F::Output>>,
 }
 
-// Sound for the same reason as `Join2`: outputs are plain storage.
+// Sound: the stored outputs are never pinned-projected; all polling goes
+// through the `Pin<Box<_>>` slots, which are `Unpin` regardless of `F`.
 impl<F: Future> Unpin for JoinAll<F> {}
 
 impl<F: Future> Future for JoinAll<F> {

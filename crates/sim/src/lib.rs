@@ -40,10 +40,10 @@ pub mod time;
 mod timer;
 mod wheel;
 
-pub use combinators::{join2, join_all, race, Either, Join2, JoinAll, Race};
+pub use combinators::{join2, join_all, race, Either, JoinAll};
 pub use executor::{
     current, has_current, now, pooled, reset_sim_stats, sim_stats, spawn, spawn_detached, with_rng,
     Aborted, JoinHandle, RunOutcome, Sim, SimHandle, SimPool, SimStats, TaskId,
 };
 pub use time::SimTime;
-pub use timer::{sleep, sleep_until, timeout, timeout_at, yield_now, Elapsed, Sleep, Timeout};
+pub use timer::{sleep, sleep_until, timeout, timeout_at, yield_now, Elapsed, Sleep};

@@ -78,42 +78,34 @@ impl std::fmt::Display for Elapsed {
 }
 impl std::error::Error for Elapsed {}
 
-/// Future returned by [`timeout`].
-pub struct Timeout<F> {
-    fut: Pin<Box<F>>,
-    sleep: Sleep,
-}
-
-impl<F: Future> Future for Timeout<F> {
-    type Output = Result<F::Output, Elapsed>;
-
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let this = self.get_mut();
-        if let Poll::Ready(v) = this.fut.as_mut().poll(cx) {
-            return Poll::Ready(Ok(v));
-        }
-        match Pin::new(&mut this.sleep).poll(cx) {
-            Poll::Ready(()) => Poll::Ready(Err(Elapsed)),
-            Poll::Pending => Poll::Pending,
-        }
-    }
-}
-
 /// Awaits `fut` for at most `d` of virtual time. On timeout the inner future
 /// is dropped (cancelling whatever it owned) and `Err(Elapsed)` is returned.
-pub fn timeout<F: Future>(d: Duration, fut: F) -> Timeout<F> {
-    Timeout {
-        fut: Box::pin(fut),
-        sleep: sleep(d),
-    }
+///
+/// The deadline is `now() + d` at the moment `timeout` is *called* (not
+/// first polled), matching the historical eager-`sleep` construction.
+pub fn timeout<F: Future>(d: Duration, fut: F) -> impl Future<Output = Result<F::Output, Elapsed>> {
+    timeout_at(current().now() + d, fut)
 }
 
 /// Awaits `fut` until the given instant; see [`timeout`].
-pub fn timeout_at<F: Future>(deadline: SimTime, fut: F) -> Timeout<F> {
-    Timeout {
-        fut: Box::pin(fut),
-        sleep: sleep_until(deadline),
-    }
+///
+/// The inner future is pinned on the stack of this combinator's own
+/// state machine — no heap allocation per call. The inner future is
+/// polled before the deadline on every wake, so an exact tie resolves
+/// to the inner result.
+pub async fn timeout_at<F: Future>(deadline: SimTime, fut: F) -> Result<F::Output, Elapsed> {
+    let mut fut = std::pin::pin!(fut);
+    let mut sleep = sleep_until(deadline);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        match Pin::new(&mut sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed)),
+            Poll::Pending => Poll::Pending,
+        }
+    })
+    .await
 }
 
 /// Yields to the scheduler once, letting every other ready task run before

@@ -95,7 +95,7 @@ impl Default for CadCaseConfig {
 }
 
 /// Which DNS record type a Resolution Delay case delays.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DelayedRecord {
     /// Delay the AAAA answer (the classic RD test).
     Aaaa,

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cases;
+pub mod fastpath;
 pub mod features;
 pub mod runner;
 pub mod table;
@@ -21,6 +22,7 @@ pub use cases::{
     CadCaseConfig, DelayedRecord, RdCaseConfig, ResolverCaseConfig, SelectionCaseConfig, SweepSpec,
     TestbedConfig,
 };
+pub use fastpath::{run_cad_case_fast, run_rd_case_fast, CadFastPath, RdFastPath};
 pub use features::{evaluate_client_features, FeatureRow};
 pub use runner::{
     delayed_record_label, derive_case_seed, run_cad_case, run_cad_case_traced, run_cad_once,

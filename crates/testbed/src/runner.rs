@@ -133,9 +133,21 @@ pub fn run_cad_once_traced(
     extra_netem: &[NetemRule],
     condition: &str,
 ) -> (CadSample, Trace) {
-    let (sample, trace) =
+    let (sample, trace, _log) =
         run_cad_once_impl(profile, delay_ms, rep, seed, extra_netem, Some(condition));
     (sample, trace.expect("trace requested"))
+}
+
+/// [`run_cad_once`] plus the raw engine event log — the fast-path
+/// calibrator's ground truth for byte-equality verification.
+pub(crate) fn run_cad_once_log(
+    profile: &ClientProfile,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+) -> (CadSample, lazyeye_core::HeLog) {
+    let (sample, _trace, log) = run_cad_once_impl(profile, delay_ms, rep, seed, &[], None);
+    (sample, log)
 }
 
 /// The measurement itself; the trace (string-heavy event records) is only
@@ -149,7 +161,7 @@ fn run_cad_once_impl(
     seed: u64,
     extra_netem: &[NetemRule],
     condition: Option<&str>,
-) -> (CadSample, Option<Trace>) {
+) -> (CadSample, Option<Trace>, lazyeye_core::HeLog) {
     let mut topo = default_local_topology(seed);
     // The paper shapes IPv6 on the server side with tc-netem.
     topo.server
@@ -198,7 +210,7 @@ fn run_cad_once_impl(
         observed_cad_ms,
         aaaa_first,
     };
-    (sample, trace)
+    (sample, trace, res.log)
 }
 
 /// Runs the CAD case for one client profile.
@@ -339,6 +351,19 @@ pub fn run_rd_once_netem(
     run_rd_once_impl(profile, delayed, delay_ms, rep, seed, extra_netem, None).0
 }
 
+/// [`run_rd_once`] plus the raw engine event log — the fast-path
+/// calibrator's ground truth for byte-equality verification.
+pub(crate) fn run_rd_once_log(
+    profile: &ClientProfile,
+    delayed: DelayedRecord,
+    delay_ms: u64,
+    rep: u32,
+    seed: u64,
+) -> (RdSample, lazyeye_core::HeLog) {
+    let (sample, _trace, log) = run_rd_once_impl(profile, delayed, delay_ms, rep, seed, &[], None);
+    (sample, log)
+}
+
 /// [`run_rd_once_netem`] plus the structured event trace of the run.
 pub fn run_rd_once_traced(
     profile: &ClientProfile,
@@ -349,7 +374,7 @@ pub fn run_rd_once_traced(
     extra_netem: &[NetemRule],
     condition: &str,
 ) -> (RdSample, Trace) {
-    let (sample, trace) = run_rd_once_impl(
+    let (sample, trace, _log) = run_rd_once_impl(
         profile,
         delayed,
         delay_ms,
@@ -371,7 +396,7 @@ fn run_rd_once_impl(
     seed: u64,
     extra_netem: &[NetemRule],
     condition: Option<&str>,
-) -> (RdSample, Option<Trace>) {
+) -> (RdSample, Option<Trace>, lazyeye_core::HeLog) {
     let target = match delayed {
         DelayedRecord::Aaaa => DelayTarget::Aaaa,
         DelayedRecord::A => DelayTarget::A,
@@ -417,14 +442,15 @@ fn run_rd_once_impl(
         trace.merge_events(query_arrival_events(&topo.auth.query_log()));
         trace
     });
+    let used_rd = res.log.used_resolution_delay();
     let sample = RdSample {
         configured_delay_ms: delay_ms,
         rep,
         family,
         first_attempt_ms,
-        used_rd: res.log.used_resolution_delay(),
+        used_rd,
     };
-    (sample, trace)
+    (sample, trace, res.log)
 }
 
 /// Runs the RD case (delaying AAAA or A per config) for one client.

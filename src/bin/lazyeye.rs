@@ -31,8 +31,8 @@ use std::time::Instant;
 
 use lazy_eye_inspection::campaign::{
     build_report_with, diff_reports, expand, finish_from_checkpoint_with, merge_checkpoints,
-    run_campaign_resumable, run_shard, CampaignReport, CampaignSpec, Checkpoint,
-    InferredClientReport, RunOutput, RunSpec, Shard,
+    run_campaign_resumable, run_campaign_resumable_with, run_shard, CampaignReport, CampaignSpec,
+    Checkpoint, InferredClientReport, RunOutput, RunSpec, Shard,
 };
 use lazy_eye_inspection::clients::{all_measured_clients, ClientProfile};
 use lazy_eye_inspection::fleet::{
@@ -204,8 +204,8 @@ fn usage() -> ExitCode {
                    | --diff <old.json> <new.json> [--format text|json]\n\
                                                      infer HE state + RFC 8305 verdicts\n\
            campaign  --config <spec.json> | --default [--jobs n --seed s\n\
-                     --format text|json|csv --classify --out <basename>\n\
-                     --checkpoint <ckpt.json> --shard i/n]\n\
+                     --format text|json|csv --classify --fast-path\n\
+                     --out <basename> --checkpoint <ckpt.json> --shard i/n]\n\
                    | --resume <ckpt.json> [--jobs n --classify --format ... --out ...]\n\
                    | --merge <part.json> [--merge <part.json> ...] [--jobs n --classify ...]\n\
                    | --diff <old.json> <new.json> [--format text|json]\n\
@@ -819,11 +819,13 @@ fn cmd_campaign_shard(
 
 /// Runs (or resumes) a full two-pass campaign with optional periodic
 /// checkpointing, then reports.
+#[allow(clippy::too_many_arguments)]
 fn cmd_campaign_full(
     spec: CampaignSpec,
     jobs: usize,
     format: Format,
     classify: bool,
+    fast_path: bool,
     resume_from: Option<Checkpoint>,
     ckpt_path: Option<String>,
     out: Option<&str>,
@@ -846,9 +848,10 @@ fn cmd_campaign_full(
         );
     }
     let mut saver = Saver::new(ckpt, ckpt_path);
-    let outcome = run_campaign_resumable(
+    let outcome = run_campaign_resumable_with(
         &spec,
         jobs,
+        fast_path,
         &completed,
         progress_meter("campaign", "runs"),
         |run, out| saver.record(run, out),
@@ -888,8 +891,12 @@ fn cmd_campaign_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let classify = flags.contains("--classify");
+    let fast_path = flags.contains("--fast-path");
 
     if flags.contains("--merge") {
+        if fast_path {
+            return fail("--fast-path does not apply to --merge; it only affects local runs");
+        }
         return cmd_campaign_merge(flags, jobs, format, classify);
     }
 
@@ -929,13 +936,25 @@ fn cmd_campaign_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
                 if classify {
                     return fail("--classify does not apply to shard runs; classify at --merge");
                 }
+                if fast_path {
+                    return fail("--fast-path does not apply to shard runs");
+                }
                 cmd_campaign_shard(spec, jobs, shard, Some(ckpt), ckpt_path, out)
             }
             None => {
                 if flags.contains("--shard") {
                     return fail("--shard cannot be added to a whole-campaign checkpoint");
                 }
-                cmd_campaign_full(spec, jobs, format, classify, Some(ckpt), ckpt_path, out)
+                cmd_campaign_full(
+                    spec,
+                    jobs,
+                    format,
+                    classify,
+                    fast_path,
+                    Some(ckpt),
+                    ckpt_path,
+                    out,
+                )
             }
         };
     }
@@ -976,9 +995,14 @@ fn cmd_campaign_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
         if classify {
             return fail("--classify does not apply to shard runs; classify at --merge");
         }
+        if fast_path {
+            return fail("--fast-path does not apply to shard runs");
+        }
         return cmd_campaign_shard(spec, jobs, shard, None, ckpt_path, out);
     }
-    cmd_campaign_full(spec, jobs, format, classify, None, ckpt_path, out)
+    cmd_campaign_full(
+        spec, jobs, format, classify, fast_path, None, ckpt_path, out,
+    )
 }
 
 /// Emits a fleet report in the chosen format (and to `--out` files).
@@ -1633,6 +1657,7 @@ fn main() -> ExitCode {
                     multi("--merge"),
                     switch("--default"),
                     switch("--classify"),
+                    switch("--fast-path"),
                     switch("--progress"),
                     switch("--print-spec"),
                 ],

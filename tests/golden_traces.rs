@@ -1,0 +1,104 @@
+//! Golden `HeLog` traces: the sim driver must reproduce, byte for byte,
+//! the event logs the pre-refactor engine emitted.
+//!
+//! For every Table-2 client profile this runs three fixed-seed scenarios
+//! (healthy dual stack, a 350 ms IPv6 path delay forcing CAD fallback,
+//! and a 120 ms delayed-AAAA answer exercising the resolution phase) and
+//! compares the rendered log against a checked-in fixture recorded from
+//! the engine *before* the sans-IO extraction. Regenerate only on an
+//! intentional behaviour change: `BLESS_TRACES=1 cargo test --test
+//! golden_traces`.
+
+use std::path::PathBuf;
+
+use lazy_eye_inspection::authns::{DelayTarget, TestParams};
+use lazy_eye_inspection::clients::{table2_clients, Client};
+use lazy_eye_inspection::dns::Name;
+use lazy_eye_inspection::net::{Family, Netem, NetemRule};
+use lazy_eye_inspection::testbed::topology::{
+    default_local_topology, resolver_addr, test_domain_topology, www,
+};
+
+const SEED: u64 = 0xA11CE;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/traces"
+    ))
+}
+
+fn blessing() -> bool {
+    std::env::var("BLESS_TRACES")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// One scenario run: returns the rendered `HeLog`.
+fn run_scenario(profile: &lazy_eye_inspection::clients::ClientProfile, scenario: &str) -> String {
+    match scenario {
+        "healthy" | "cad350" => {
+            let mut topo = default_local_topology(SEED);
+            if scenario == "cad350" {
+                topo.server
+                    .add_egress(NetemRule::family(Family::V6, Netem::delay_ms(350)));
+            }
+            let client = Client::new(profile.clone(), topo.client.clone(), vec![resolver_addr()]);
+            let res = topo
+                .sim
+                .block_on(async move { client.connect_only(&www(), 80).await });
+            res.log.dump()
+        }
+        "rd-aaaa120" => {
+            let mut topo = test_domain_topology(
+                SEED,
+                "rd.test",
+                vec!["192.0.2.1".parse().unwrap()],
+                vec!["2001:db8::1".parse().unwrap()],
+            );
+            let params = TestParams::delay(120, DelayTarget::Aaaa, "r0".to_string());
+            let qname = Name::parse(&format!("{}.rd.test", params.to_label())).unwrap();
+            let client = Client::new(profile.clone(), topo.client.clone(), vec![resolver_addr()]);
+            let res = topo
+                .sim
+                .block_on(async move { client.connect_only(&qname, 80).await });
+            res.log.dump()
+        }
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+#[test]
+fn sim_driver_logs_match_pre_refactor_golden_traces() {
+    let dir = fixture_dir();
+    if blessing() {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut blessed = 0usize;
+    for profile in table2_clients() {
+        for scenario in ["healthy", "cad350", "rd-aaaa120"] {
+            let got = run_scenario(&profile, scenario);
+            let path = dir.join(format!("{}__{}.txt", profile.id(), scenario));
+            if blessing() {
+                std::fs::write(&path, &got).unwrap();
+                blessed += 1;
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden trace {} ({e}); run BLESS_TRACES=1 to record",
+                    path.display()
+                )
+            });
+            assert_eq!(
+                got,
+                want,
+                "HeLog drifted from the pre-refactor golden trace for {} / {scenario}",
+                profile.id()
+            );
+        }
+    }
+    if blessed > 0 {
+        println!("blessed {blessed} golden traces into {}", dir.display());
+    }
+}
