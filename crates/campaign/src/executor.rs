@@ -84,6 +84,9 @@ pub enum RunOutput {
 /// Pre-resolved lookup tables the workers need: profile objects and netem
 /// rules by name. Shared immutably across all workers.
 pub struct RunContext {
+    /// The spec the context was built from. The forensics layer needs it
+    /// on the worker to stamp full provenance into trigger bundles.
+    spec: CampaignSpec,
     clients: HashMap<String, ClientProfile>,
     resolvers: HashMap<String, ResolverProfile>,
     netem: HashMap<String, Vec<NetemRule>>,
@@ -220,6 +223,7 @@ impl RunContext {
             })
             .unwrap_or_default();
         Ok(RunContext {
+            spec: spec.clone(),
             clients,
             resolvers,
             netem,
@@ -242,19 +246,42 @@ impl RunContext {
 }
 
 /// Executes a single run in a fresh simulation.
+///
+/// Worker panics are forwarded unchanged, but when the flight recorder's
+/// trigger engine is armed, a `run-panic` bundle (provenance + panic
+/// message, no trace) is written first — the black box survives the
+/// crash it describes.
 pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one_inner(ctx, run))) {
+        Ok(out) => out,
+        Err(payload) => {
+            crate::forensics::on_run_panic(
+                &ctx.spec,
+                run,
+                &crate::forensics::panic_message(payload.as_ref()),
+            );
+            std::panic::resume_unwind(payload)
+        }
+    }
+}
+
+fn run_one_inner(ctx: &RunContext, run: &RunSpec) -> RunOutput {
     let m = metrics();
     m.runs.inc();
     if run.refined {
         m.runs_refined.inc();
     }
     lazyeye_obs::progress::annotate(|| run_label(run));
+    lazyeye_obs::recorder::record(lazyeye_obs::Clock::Virtual, "campaign.run", run_label(run));
     let _span = if lazyeye_obs::trace::enabled() {
         lazyeye_obs::trace::wall_span(run_label(run))
     } else {
         None
     };
     let started = std::time::Instant::now();
+    // Why the fast path refused this run, when it did — feeds the
+    // fastpath-fallback trigger after the run completes.
+    let mut refusal: Option<&'static str> = None;
     let out = match &run.kind {
         RunKind::Cad {
             client,
@@ -267,7 +294,13 @@ pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
                 .is_empty()
                 .then(|| ctx.fast.cad.get(client.as_str()))
                 .flatten()
-                .and_then(|fp| fp.run(*delay_ms, *rep));
+                .and_then(|fp| match fp.run_detailed(*delay_ms, *rep) {
+                    Ok(sample) => Some(sample),
+                    Err(reason) => {
+                        refusal = Some(reason);
+                        None
+                    }
+                });
             RunOutput::Cad(fast.unwrap_or_else(|| {
                 run_cad_once(ctx.client(client), *delay_ms, *rep, run.seed, rules)
             }))
@@ -284,7 +317,13 @@ pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
                 .is_empty()
                 .then(|| ctx.fast.rd.get(&(client.clone(), *record)))
                 .flatten()
-                .and_then(|fp| fp.run(*delay_ms, *rep));
+                .and_then(|fp| match fp.run_detailed(*delay_ms, *rep) {
+                    Ok(sample) => Some(sample),
+                    Err(reason) => {
+                        refusal = Some(reason);
+                        None
+                    }
+                });
             RunOutput::Rd(fast.unwrap_or_else(|| {
                 run_rd_once_netem(
                     ctx.client(client),
@@ -325,6 +364,9 @@ pub fn run_one(ctx: &RunContext, run: &RunSpec) -> RunOutput {
             ))
         }
     };
+    if let Some(reason) = refusal {
+        crate::forensics::on_fastpath_fallback(&ctx.spec, run, reason);
+    }
     m.run_wall_us
         .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
     out

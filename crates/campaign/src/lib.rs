@@ -58,6 +58,7 @@
 pub mod aggregate;
 pub mod checkpoint;
 pub mod executor;
+pub mod forensics;
 pub mod inference;
 pub mod plan;
 pub mod refine;
@@ -69,6 +70,7 @@ use std::collections::BTreeMap;
 pub use aggregate::{Aggregator, CellReport, FeatureSummary, P2Quantile, StreamStats};
 pub use checkpoint::{merge_checkpoints, Checkpoint, Shard};
 pub use executor::{execute, execute_with, run_one, RunContext, RunOutput};
+pub use forensics::{replay, ReplayReport, RunProvenance};
 pub use inference::{build_inference, InferenceSection, InferredClientReport};
 pub use plan::{derive_seed, expand, split_rd_condition, RunKind, RunSpec, SpecError};
 pub use refine::{derive_refine_seed, plan_refinement};
@@ -159,6 +161,7 @@ pub fn run_campaign_resumable_with(
     drop(pass1_span);
 
     let pass2 = refine::plan_refinement(spec, &pass1, &outputs1);
+    forensics::on_refinement_brackets(spec, &pass2);
     let pending2: Vec<RunSpec> = pass2
         .iter()
         .filter(|r| !completed.contains_key(&r.index))
@@ -228,6 +231,9 @@ pub fn build_report_with(
     let (cells, features) = agg.finish();
     lazyeye_obs::counter("campaign.cells", lazyeye_obs::Clock::Virtual).add(cells.len() as u64);
     let inference = classify.then(|| build_inference(runs, outputs, &features));
+    if let Some(section) = &inference {
+        forensics::on_inference(spec, runs, outputs, section);
+    }
     CampaignReport {
         name: spec.name.clone(),
         seed: spec.seed,

@@ -63,6 +63,18 @@ pub enum Refusal {
     CachedPath,
 }
 
+impl Refusal {
+    /// Stable label used for metrics (`fastpath.fallbacks{reason=..}`)
+    /// and flight-recorder events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Refusal::Tie => "tie",
+            Refusal::UnknownCandidate => "unknown_candidate",
+            Refusal::CachedPath => "cached_path",
+        }
+    }
+}
+
 /// The winning endpoint of a fast-path run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Winner {
@@ -96,6 +108,23 @@ struct InFlight {
 /// per-run reset), so dynamic-CAD profiles take their deterministic
 /// no-history value exactly as they do under full simulation.
 pub fn drive(
+    cfg: &HeConfig,
+    qtypes: Vec<lazyeye_dns::RrType>,
+    start: SimTime,
+    timeline: &Timeline,
+) -> Result<FastRun, Refusal> {
+    let result = drive_inner(cfg, qtypes, start, timeline);
+    if let Err(refusal) = &result {
+        lazyeye_obs::recorder::record(
+            lazyeye_obs::Clock::Virtual,
+            "core.fastpath.refusal",
+            refusal.label(),
+        );
+    }
+    result
+}
+
+fn drive_inner(
     cfg: &HeConfig,
     qtypes: Vec<lazyeye_dns::RrType>,
     start: SimTime,

@@ -103,12 +103,16 @@ fn metrics() -> &'static FleetMetrics {
 pub fn run_session(ctx: &SessionContext<'_>, session: &SessionSpec) -> SessionOutput {
     let m = metrics();
     m.sessions.inc();
-    lazyeye_obs::progress::annotate(|| match session.kind {
+    // The flight recorder is always on, so the label is computed
+    // unconditionally and shared with the progress annotation.
+    let label = match session.kind {
         SessionKind::Cad { member } => format!("cad {}", ctx.member(member).key),
         SessionKind::Rd { member } => format!("rd {}", ctx.member(member).key),
         SessionKind::RdA { member } => format!("rd-a {}", ctx.member(member).key),
         SessionKind::ResolverCheck { stack } => format!("resolver-check {stack:?}"),
-    });
+    };
+    lazyeye_obs::progress::annotate(|| label.clone());
+    lazyeye_obs::recorder::record(lazyeye_obs::Clock::Virtual, "fleet.session", label);
     match session.kind {
         SessionKind::Cad { member } => {
             let m = ctx.member(member);

@@ -16,6 +16,9 @@ use lazyeye_net::Family;
 /// The fitted switchover of one sweep.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Changepoint {
+    /// The fitted threshold `t` of the step model (`None` encodes `-∞`,
+    /// i.e. the model says IPv4 from the start).
+    pub threshold_ms: Option<u64>,
     /// Largest configured delay the fitted model still assigns to IPv6 and
     /// at which IPv6 was actually observed. `None` when the model says the
     /// client uses IPv4 from the start (or no IPv6 win exists).
@@ -39,6 +42,21 @@ impl Changepoint {
             _ => None,
         }
     }
+
+    /// The observations (from the same `points` the fit ran on) that the
+    /// fitted model misclassifies, in input order. Empty on clean
+    /// sweeps; forensics uses the first entry as the representative
+    /// misfit run.
+    pub fn misfit_points(&self, points: &[(u64, Family)]) -> Vec<(u64, Family)> {
+        points
+            .iter()
+            .copied()
+            .filter(|(d, f)| match self.threshold_ms {
+                Some(t) => (*f == Family::V4 && *d <= t) || (*f == Family::V6 && *d > t),
+                None => *f == Family::V6,
+            })
+            .collect()
+    }
 }
 
 /// Fits the single-changepoint step model to `(configured_delay_ms,
@@ -50,6 +68,7 @@ pub fn detect_switchover(points: &[(u64, Family)]) -> Changepoint {
     let total = points.len() as u64;
     if points.is_empty() {
         return Changepoint {
+            threshold_ms: None,
             last_v6_delay_ms: None,
             first_v4_delay_ms: None,
             misfits: 0,
@@ -64,10 +83,12 @@ pub fn detect_switchover(points: &[(u64, Family)]) -> Changepoint {
     let v6_total = sorted.iter().filter(|(_, f)| *f == Family::V6).count() as u64;
     let mut best_errors = v6_total; // t = -∞: every v6 win is a misfit.
     let mut best_t: Option<u64> = None; // None encodes -∞.
+    let mut candidates = 1u64; // the -∞ threshold
     let mut v4_below = 0u64;
     let mut v6_below = 0u64;
     let mut i = 0;
     while i < sorted.len() {
+        candidates += 1;
         let t = sorted[i].0;
         // Fold the whole group of equal delays into the prefix counters.
         while i < sorted.len() && sorted[i].0 == t {
@@ -96,7 +117,10 @@ pub fn detect_switchover(points: &[(u64, Family)]) -> Changepoint {
         .filter(|(d, f)| *f == Family::V4 && best_t.is_none_or(|t| *d > t))
         .map(|(d, _)| *d)
         .min();
+    crate::metrics::changepoint_candidates().add(candidates);
+    crate::metrics::misfit_runs().add(best_errors);
     Changepoint {
+        threshold_ms: best_t,
         last_v6_delay_ms,
         first_v4_delay_ms,
         misfits: best_errors,

@@ -179,6 +179,12 @@ pub fn score_profile(p: &InferredProfile) -> Vec<ConformanceEntry> {
         ),
     });
 
+    let unmeasurable = out
+        .iter()
+        .filter(|e| e.verdict == Verdict::Unmeasurable)
+        .count() as u64;
+    crate::metrics::unmeasurable_features().add(unmeasurable);
+
     out
 }
 

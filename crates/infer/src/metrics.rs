@@ -1,0 +1,33 @@
+//! Inference-pipeline metrics.
+//!
+//! Everything here is [`Clock::Virtual`]: the inference fold is a pure
+//! function of its input observations, so these counters are
+//! byte-pinnable in the CI exposition whatever the worker count.
+
+use lazyeye_obs::{counter, Clock, Counter};
+
+/// Observations reduced into the inference fold (one per
+/// [`Observation::shell`](crate::Observation::shell) construction, which
+/// both the trace and the campaign reduction paths go through).
+pub fn observations() -> &'static Counter {
+    counter("infer.observations", Clock::Virtual)
+}
+
+/// Candidate thresholds evaluated by
+/// [`detect_switchover`](crate::detect_switchover) (the `-∞` threshold
+/// plus one per distinct delay).
+pub fn changepoint_candidates() -> &'static Counter {
+    counter("infer.changepoint.candidates", Clock::Virtual)
+}
+
+/// Runs the best-fit step model misclassified (0 on clean sweeps; each
+/// one is an [`InferenceMisfit`](lazyeye_obs::trigger::TriggerKind)
+/// trigger candidate).
+pub fn misfit_runs() -> &'static Counter {
+    counter("infer.misfit.runs", Clock::Virtual)
+}
+
+/// Conformance features scored `UNMEASURABLE`.
+pub fn unmeasurable_features() -> &'static Counter {
+    counter("infer.unmeasurable", Clock::Virtual)
+}

@@ -86,6 +86,7 @@ impl Observation {
         delay_ms: u64,
         rep: u32,
     ) -> Observation {
+        crate::metrics::observations().inc();
         Observation {
             case,
             subject: subject.to_string(),

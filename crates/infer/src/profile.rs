@@ -116,7 +116,8 @@ lazyeye_json::impl_json_struct!(InferredProfile {
 /// Picks the canonical condition of a case for a subject: `preferred`
 /// when present, else the lexicographically smallest — mirroring the
 /// campaign roll-up's cell choice so the two derivations must agree.
-fn canonical_condition<'a>(obs: &'a [&Observation], preferred: &'a str) -> Option<&'a str> {
+/// Public so forensics can locate the exact cell a verdict came from.
+pub fn canonical_condition<'a>(obs: &'a [&Observation], preferred: &'a str) -> Option<&'a str> {
     let mut conditions: Vec<&str> = obs.iter().map(|o| o.condition.as_str()).collect();
     conditions.sort_unstable();
     conditions.dedup();

@@ -7,7 +7,11 @@
 //! * a [`trace`] span/event API ([`span!`], [`event!`]) recording into
 //!   per-thread buffers, exported as Chrome trace-event JSON by
 //!   [`timeline`];
-//! * live [`progress`] state for the CLI's `--progress` reporter.
+//! * live [`progress`] state for the CLI's `--progress` reporter;
+//! * a flight [`recorder`] — an always-on bounded ring of structured
+//!   events — plus a [`trigger`] engine that snapshots it (with full
+//!   run provenance) into self-contained black-box [`bundle`]s on
+//!   anomalies, for `lazyeye replay` forensics.
 //!
 //! **Clock domains.** Every metric and span is tagged [`Clock::Virtual`]
 //! or [`Clock::Wall`]. Virtual-domain values are functions of the
@@ -21,12 +25,15 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bundle;
 pub mod progress;
+pub mod recorder;
 pub mod registry;
 pub mod timeline;
 pub mod trace;
+pub mod trigger;
 
-pub use registry::{counter, gauge, histogram, Counter, Gauge, Histogram};
+pub use registry::{counter, counter_labeled, gauge, histogram, Counter, Gauge, Histogram};
 
 /// The clock domain a metric or span lives in.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -135,6 +135,27 @@ impl Histogram {
             .collect()
     }
 
+    /// Value at quantile `q` (`0 < q <= 1`), reported as the inclusive
+    /// upper bound of the log2 bucket holding the rank-`ceil(q*count)`
+    /// observation; `0` for an empty histogram. Exact when the true
+    /// quantile lands on a bucket boundary, otherwise an overestimate
+    /// by less than 2x (the bucket width).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets().into_iter().enumerate() {
+            cumulative += b;
+            if cumulative >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
     /// Zeroes every bucket and the count/sum.
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -145,9 +166,20 @@ impl Histogram {
     }
 }
 
+/// Inclusive upper bound of log2 bucket `i`: `2^i - 1`, saturating at
+/// `u64::MAX` (bucket 0 holds only `v == 0`).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
 #[derive(Default)]
 struct Registry {
     counters: BTreeMap<&'static str, &'static Counter>,
+    labeled: BTreeMap<(&'static str, &'static str, &'static str), &'static Counter>,
     gauges: BTreeMap<&'static str, &'static Gauge>,
     histograms: BTreeMap<&'static str, &'static Histogram>,
 }
@@ -155,6 +187,7 @@ struct Registry {
 fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
         counters: BTreeMap::new(),
+        labeled: BTreeMap::new(),
         gauges: BTreeMap::new(),
         histograms: BTreeMap::new(),
     });
@@ -173,6 +206,30 @@ pub fn counter(name: &'static str, clock: Clock) -> &'static Counter {
             value: AtomicU64::new(0),
         }))
     })
+}
+
+/// Registers (or fetches) the counter `name` carrying one extra
+/// `label_key="label_value"` exposition label. Labeled counters sharing
+/// a base name render under one `# TYPE` block together with the
+/// unlabeled aggregate (if registered), so e.g.
+/// `fastpath.fallbacks{reason="tie"}` breaks the aggregate down without
+/// changing its meaning.
+pub fn counter_labeled(
+    name: &'static str,
+    label_key: &'static str,
+    label_value: &'static str,
+    clock: Clock,
+) -> &'static Counter {
+    let mut reg = registry().lock().unwrap();
+    reg.labeled
+        .entry((name, label_key, label_value))
+        .or_insert_with(|| {
+            Box::leak(Box::new(Counter {
+                name,
+                clock,
+                value: AtomicU64::new(0),
+            }))
+        })
 }
 
 /// Registers (or fetches) the gauge `name`.
@@ -208,6 +265,9 @@ pub fn reset_all() {
     for c in reg.counters.values() {
         c.reset();
     }
+    for c in reg.labeled.values() {
+        c.reset();
+    }
     for g in reg.gauges.values() {
         g.reset();
     }
@@ -240,15 +300,37 @@ pub fn render_prometheus(filter: Option<Clock>) -> String {
     let mut blocks: Vec<Block> = Vec::new();
     {
         let reg = registry().lock().unwrap();
+        // Plain and labeled counters sharing a base name merge into one
+        // block: the unlabeled aggregate line first, then labeled lines
+        // in (label key, label value) order.
+        let mut counter_blocks: BTreeMap<String, String> = BTreeMap::new();
         for c in reg.counters.values() {
             if !keep(c.clock) {
                 continue;
             }
             let pname = prom_name(c.name);
-            let mut text = String::new();
-            let _ = writeln!(text, "# TYPE {pname} counter");
+            let text = counter_blocks
+                .entry(pname.clone())
+                .or_insert_with(|| format!("# TYPE {pname} counter\n"));
             let _ = writeln!(text, "{pname}{{clock=\"{}\"}} {}", c.clock.label(), c.get());
-            blocks.push(Block { name: pname, text });
+        }
+        for ((_, key, value), c) in &reg.labeled {
+            if !keep(c.clock) {
+                continue;
+            }
+            let pname = prom_name(c.name);
+            let text = counter_blocks
+                .entry(pname.clone())
+                .or_insert_with(|| format!("# TYPE {pname} counter\n"));
+            let _ = writeln!(
+                text,
+                "{pname}{{clock=\"{}\",{key}=\"{value}\"}} {}",
+                c.clock.label(),
+                c.get()
+            );
+        }
+        for (name, text) in counter_blocks {
+            blocks.push(Block { name, text });
         }
         for g in reg.gauges.values() {
             if !keep(g.clock) {
@@ -274,7 +356,7 @@ pub fn render_prometheus(filter: Option<Clock>) -> String {
             for (i, &b) in buckets.iter().enumerate().take(highest + 1) {
                 cumulative += b;
                 // Bucket i holds v <= 2^i - 1 (v == 0 lands in bucket 0).
-                let le = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                let le = bucket_upper_bound(i);
                 let _ = writeln!(
                     text,
                     "{pname}_bucket{{clock=\"{clock}\",le=\"{le}\"}} {cumulative}"
@@ -287,6 +369,13 @@ pub fn render_prometheus(filter: Option<Clock>) -> String {
             );
             let _ = writeln!(text, "{pname}_sum{{clock=\"{clock}\"}} {}", h.sum());
             let _ = writeln!(text, "{pname}_count{{clock=\"{clock}\"}} {}", h.count());
+            for (suffix, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                let _ = writeln!(
+                    text,
+                    "{pname}_{suffix}{{clock=\"{clock}\"}} {}",
+                    h.quantile(q)
+                );
+            }
             blocks.push(Block { name: pname, text });
         }
     }
@@ -341,6 +430,73 @@ mod tests {
         let virt = render_prometheus(Some(Clock::Virtual));
         assert!(virt.contains("lazyeye_test_expo_virtual"));
         assert!(!virt.contains("lazyeye_test_expo_wall"));
+    }
+
+    #[test]
+    fn quantiles_pin_bucket_upper_bounds() {
+        let h = histogram("test.reg.quant", Clock::Wall);
+        h.reset();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 rank 50 -> value 50 -> bucket 32..=63 -> upper bound 63.
+        assert_eq!(h.quantile(0.5), 63);
+        // p90 rank 90 -> value 90 -> bucket 64..=127 -> upper bound 127.
+        assert_eq!(h.quantile(0.9), 127);
+        // p99 rank 99 -> value 99 -> same bucket.
+        assert_eq!(h.quantile(0.99), 127);
+        // p100 rank 100 -> value 100 -> same bucket.
+        assert_eq!(h.quantile(1.0), 127);
+
+        h.reset();
+        for v in [0, 0, 1, 1] {
+            h.record(v);
+        }
+        // rank ceil(0.5*4)=2 is still in the v==0 bucket.
+        assert_eq!(h.quantile(0.5), 0);
+        // rank ceil(0.99*4)=4 -> v==1 bucket, exact boundary.
+        assert_eq!(h.quantile(0.99), 1);
+
+        h.reset();
+        h.record(1000);
+        assert_eq!(h.quantile(0.5), 1023, "single value in 512..=1023");
+    }
+
+    #[test]
+    fn exposition_emits_percentile_lines() {
+        let h = histogram("test.expo.pct", Clock::Wall);
+        h.reset();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let out = render_prometheus(None);
+        assert!(out.contains("lazyeye_test_expo_pct_p50{clock=\"wall\"} 63"));
+        assert!(out.contains("lazyeye_test_expo_pct_p90{clock=\"wall\"} 127"));
+        assert!(out.contains("lazyeye_test_expo_pct_p99{clock=\"wall\"} 127"));
+    }
+
+    #[test]
+    fn labeled_counters_merge_under_one_type_block() {
+        counter("test.lab.fb", Clock::Virtual).add(5);
+        counter_labeled("test.lab.fb", "reason", "tie", Clock::Virtual).add(3);
+        counter_labeled("test.lab.fb", "reason", "quic", Clock::Virtual).add(2);
+        let out = render_prometheus(Some(Clock::Virtual));
+        assert_eq!(
+            out.matches("# TYPE lazyeye_test_lab_fb counter").count(),
+            1,
+            "one TYPE block for aggregate + labels"
+        );
+        let agg = out
+            .find("lazyeye_test_lab_fb{clock=\"virtual\"} 5")
+            .unwrap();
+        let quic = out
+            .find("lazyeye_test_lab_fb{clock=\"virtual\",reason=\"quic\"} 2")
+            .unwrap();
+        let tie = out
+            .find("lazyeye_test_lab_fb{clock=\"virtual\",reason=\"tie\"} 3")
+            .unwrap();
+        assert!(agg < quic && quic < tie, "aggregate first, labels sorted");
     }
 
     #[test]

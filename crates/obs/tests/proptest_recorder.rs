@@ -1,0 +1,111 @@
+//! Property-based tests for the flight-recorder ring: bounded memory
+//! under arbitrary event floods, FIFO eviction order, and snapshots
+//! that stay internally consistent while writers are running.
+
+use std::sync::Arc;
+
+use lazyeye_obs::recorder::Recorder;
+use lazyeye_obs::Clock;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// However many events flood in, the ring holds at most `capacity`
+    /// of them and they are exactly the most recent ones, in order.
+    #[test]
+    fn flood_is_bounded_and_fifo(
+        capacity in 1usize..64,
+        flood in 0usize..512,
+    ) {
+        let r = Recorder::new(capacity);
+        for i in 0..flood {
+            r.record(Clock::Virtual, "prop.flood", format!("{i}"));
+        }
+        let snap = r.snapshot();
+        prop_assert_eq!(snap.len(), flood.min(capacity), "bounded");
+        prop_assert_eq!(r.written(), flood as u64);
+        // FIFO eviction: the survivors are the last min(flood, cap)
+        // writes, in sequence order.
+        let first_kept = flood.saturating_sub(capacity);
+        for (offset, event) in snap.iter().enumerate() {
+            let expected = first_kept + offset;
+            prop_assert_eq!(event.seq, expected as u64);
+            let want = format!("{expected}");
+            prop_assert_eq!(event.detail.as_str(), want.as_str());
+        }
+    }
+
+    /// Interleaving floods with clears never violates the bound, and
+    /// sequence numbers stay strictly monotonic across clears.
+    #[test]
+    fn clears_interleaved_with_floods_stay_bounded(
+        capacity in 1usize..32,
+        bursts in proptest::collection::vec((0usize..64, any::<bool>()), 0..8),
+    ) {
+        let r = Recorder::new(capacity);
+        let mut expected_written = 0u64;
+        for (burst, clear) in bursts {
+            for _ in 0..burst {
+                let seq = r.record(Clock::Wall, "prop.burst", "");
+                prop_assert_eq!(seq, expected_written, "sequence is a total order");
+                expected_written += 1;
+            }
+            prop_assert!(r.snapshot().len() <= capacity);
+            if clear {
+                r.clear();
+                prop_assert!(r.snapshot().is_empty());
+            }
+        }
+        prop_assert_eq!(r.written(), expected_written);
+    }
+}
+
+/// A snapshot taken while writer threads are mid-flood is internally
+/// consistent: every event is complete (name/detail intact), sequence
+/// numbers are strictly increasing and unique, and the size bound
+/// holds. The snapshot may legitimately contain gaps where a slot was
+/// overwritten between reads — consistency, not atomicity, is the
+/// contract.
+#[test]
+fn concurrent_snapshot_is_internally_consistent() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 2000;
+    let r = Arc::new(Recorder::new(64));
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let r = Arc::clone(&r);
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    r.record(Clock::Wall, "prop.concurrent", format!("w{w}i{i}"));
+                }
+            });
+        }
+        for _ in 0..50 {
+            let snap = r.snapshot();
+            assert!(snap.len() <= r.capacity(), "bounded during writes");
+            for pair in snap.windows(2) {
+                assert!(
+                    pair[0].seq < pair[1].seq,
+                    "sequence numbers sorted and unique"
+                );
+            }
+            for event in &snap {
+                assert_eq!(event.name, "prop.concurrent");
+                assert!(
+                    event.detail.starts_with('w') && event.detail.contains('i'),
+                    "event payload is complete, got {:?}",
+                    event.detail
+                );
+            }
+        }
+    });
+    assert_eq!(r.written(), (WRITERS * PER_WRITER) as u64);
+    let final_snap = r.snapshot();
+    assert_eq!(final_snap.len(), r.capacity());
+    assert_eq!(
+        final_snap.last().unwrap().seq,
+        (WRITERS * PER_WRITER - 1) as u64,
+        "last write is retained once writers are done"
+    );
+}

@@ -50,6 +50,21 @@ fn counter(name: &'static str) -> &'static lazyeye_obs::Counter {
     lazyeye_obs::counter(name, lazyeye_obs::Clock::Virtual)
 }
 
+/// Books one fallback: the aggregate `fastpath.fallbacks` stays the sum
+/// of the per-reason `fastpath.fallbacks{reason=..}` breakdown, and the
+/// flight recorder gets a `fastpath.fallback` event.
+fn note_fallback(reason: &'static str) {
+    counter("fastpath.fallbacks").inc();
+    lazyeye_obs::counter_labeled(
+        "fastpath.fallbacks",
+        "reason",
+        reason,
+        lazyeye_obs::Clock::Virtual,
+    )
+    .inc();
+    lazyeye_obs::recorder::record(lazyeye_obs::Clock::Virtual, "fastpath.fallback", reason);
+}
+
 /// The delays a sweep's model is verified at: both endpoints. The shift
 /// model is affine in the delay, so agreeing at the extremes (plus the
 /// analytic driver's refusal of every ordering tie in between) covers the
@@ -155,6 +170,7 @@ impl CadFastPath {
         verify: &[(u64, u64)],
     ) -> Option<CadFastPath> {
         if profile.he.use_quic {
+            note_fallback("quic");
             return None;
         }
         counter("fastpath.calibrations").inc();
@@ -175,7 +191,9 @@ impl CadFastPath {
         };
         for &(delay_ms, run_seed) in verify {
             let (actual, actual_log) = run_cad_once_log(profile, delay_ms, 0, run_seed);
-            let (predicted, predicted_log) = fp.run_logged(delay_ms, 0)?;
+            let Ok((predicted, predicted_log)) = fp.run_logged(delay_ms, 0) else {
+                return None;
+            };
             if predicted_log.events != actual_log.events || !cad_samples_agree(&predicted, &actual)
             {
                 return None;
@@ -189,25 +207,34 @@ impl CadFastPath {
     /// DNS exchange rides IPv4 and is untouched). `None` means this cell
     /// must be simulated.
     pub fn run(&self, delay_ms: u64, rep: u32) -> Option<CadSample> {
+        self.run_detailed(delay_ms, rep).ok()
+    }
+
+    /// Like [`CadFastPath::run`], but surfaces *why* the model refused —
+    /// one of `tie`, `unknown_candidate`, `cached_path` — for the
+    /// per-reason fallback counters and the trigger engine.
+    pub fn run_detailed(&self, delay_ms: u64, rep: u32) -> Result<CadSample, &'static str> {
         match self.run_logged(delay_ms, rep) {
-            Some((sample, _)) => {
+            Ok((sample, _)) => {
                 counter("fastpath.runs").inc();
-                Some(sample)
+                Ok(sample)
             }
-            None => {
-                counter("fastpath.fallbacks").inc();
-                None
+            Err(reason) => {
+                note_fallback(reason);
+                Err(reason)
             }
         }
     }
 
-    fn run_logged(&self, delay_ms: u64, rep: u32) -> Option<(CadSample, HeLog)> {
+    fn run_logged(&self, delay_ms: u64, rep: u32) -> Result<(CadSample, HeLog), &'static str> {
         let mut timeline = self.base.clone();
         timeline
             .connect
-            .get_mut(&(server_v6(), CandidateProto::Tcp))?
+            .get_mut(&(server_v6(), CandidateProto::Tcp))
+            .ok_or("unknown_candidate")?
             .duration += Duration::from_millis(delay_ms);
-        let run = drive(&self.cfg, self.qtypes.clone(), SimTime::ZERO, &timeline).ok()?;
+        let run = drive(&self.cfg, self.qtypes.clone(), SimTime::ZERO, &timeline)
+            .map_err(|r| r.label())?;
         let sample = CadSample {
             configured_delay_ms: delay_ms,
             rep,
@@ -215,7 +242,7 @@ impl CadFastPath {
             observed_cad_ms: run.log.observed_cad().map(|d| d.as_secs_f64() * 1000.0),
             aaaa_first: self.aaaa_first,
         };
-        Some((sample, run.log))
+        Ok((sample, run.log))
     }
 }
 
@@ -271,6 +298,7 @@ impl RdFastPath {
         verify: &[(u64, u64)],
     ) -> Option<RdFastPath> {
         if profile.he.use_quic {
+            note_fallback("quic");
             return None;
         }
         counter("fastpath.calibrations").inc();
@@ -300,7 +328,9 @@ impl RdFastPath {
         };
         for &(delay_ms, run_seed) in verify {
             let (actual, actual_log) = run_rd_once_log(profile, delayed, delay_ms, 0, run_seed);
-            let (predicted, predicted_log) = fp.run_logged(delay_ms, 0)?;
+            let Ok((predicted, predicted_log)) = fp.run_logged(delay_ms, 0) else {
+                return None;
+            };
             if predicted_log.events != actual_log.events || !rd_samples_agree(&predicted, &actual) {
                 return None;
             }
@@ -313,19 +343,25 @@ impl RdFastPath {
     /// answer landing at the same instant as an unshifted one makes the
     /// channel order simulator-dependent, so that cell refuses.
     pub fn run(&self, delay_ms: u64, rep: u32) -> Option<RdSample> {
+        self.run_detailed(delay_ms, rep).ok()
+    }
+
+    /// Like [`RdFastPath::run`], but surfaces the refusal reason; see
+    /// [`CadFastPath::run_detailed`].
+    pub fn run_detailed(&self, delay_ms: u64, rep: u32) -> Result<RdSample, &'static str> {
         match self.run_logged(delay_ms, rep) {
-            Some((sample, _)) => {
+            Ok((sample, _)) => {
                 counter("fastpath.runs").inc();
-                Some(sample)
+                Ok(sample)
             }
-            None => {
-                counter("fastpath.fallbacks").inc();
-                None
+            Err(reason) => {
+                note_fallback(reason);
+                Err(reason)
             }
         }
     }
 
-    fn run_logged(&self, delay_ms: u64, rep: u32) -> Option<(RdSample, HeLog)> {
+    fn run_logged(&self, delay_ms: u64, rep: u32) -> Result<(RdSample, HeLog), &'static str> {
         let shift = Duration::from_millis(delay_ms);
         let mut entries: Vec<(SimTime, bool, DnsAnswer)> = self
             .base
@@ -348,13 +384,14 @@ impl RdFastPath {
             .windows(2)
             .any(|w| w[0].0 == w[1].0 && w[0].1 != w[1].1)
         {
-            return None;
+            return Err("tie");
         }
         let timeline = Timeline {
             dns: entries.into_iter().map(|(t, _, ans)| (t, ans)).collect(),
             connect: self.base.connect.clone(),
         };
-        let run = drive(&self.cfg, self.qtypes.clone(), SimTime::ZERO, &timeline).ok()?;
+        let run = drive(&self.cfg, self.qtypes.clone(), SimTime::ZERO, &timeline)
+            .map_err(|r| r.label())?;
         let first_attempt_ms = [Family::V6, Family::V4]
             .iter()
             .filter_map(|f| run.log.first_attempt(*f))
@@ -367,7 +404,7 @@ impl RdFastPath {
             first_attempt_ms,
             used_rd: run.log.used_resolution_delay(),
         };
-        Some((sample, run.log))
+        Ok((sample, run.log))
     }
 }
 
@@ -461,6 +498,16 @@ mod tests {
         // No shipped profile races QUIC by default; flip the knob on one.
         let mut p = table2_clients().remove(0);
         p.he.use_quic = true;
+        let aggregate = counter("fastpath.fallbacks");
+        let quic = lazyeye_obs::counter_labeled(
+            "fastpath.fallbacks",
+            "reason",
+            "quic",
+            lazyeye_obs::Clock::Virtual,
+        );
+        let (agg_before, quic_before) = (aggregate.get(), quic.get());
         assert!(CadFastPath::calibrate(&p, 1, &[]).is_none());
+        assert_eq!(quic.get(), quic_before + 1, "quic refusal labeled");
+        assert_eq!(aggregate.get(), agg_before + 1, "aggregate stays the sum");
     }
 }

@@ -217,9 +217,13 @@ fn usage() -> ExitCode {
                    | --diff <old.json> <new.json> [--format text|json]\n\
                    | --print-spec\n\
                                                      population-scale web-tool fleet\n\
+           replay    <bundle.json|dir> [--format text|json]\n\
+                                                     re-execute flight-recorder bundle(s)\n\
+                                                     and diff against the recording\n\
          observability (campaign and fleet):\n\
            --timeline <trace.json>     Chrome trace-event / Perfetto timeline\n\
            --metrics-out <m.prom>      Prometheus text exposition of all metrics\n\
+           --flight-record <dir>       write anomaly black-box bundles into <dir>\n\
            --progress                  live status line (rate, ETA, idle %, slowest)"
     );
     ExitCode::from(2)
@@ -511,6 +515,7 @@ fn cmd_infer(flags: Flags) -> ExitCode {
 struct Obs {
     timeline: Option<String>,
     metrics_out: Option<String>,
+    flight_record: bool,
     reporter: Option<(
         std::sync::Arc<std::sync::atomic::AtomicBool>,
         std::thread::JoinHandle<()>,
@@ -522,12 +527,20 @@ struct Obs {
 const TIMELINE_SAMPLED_RUNS: u32 = 16;
 
 impl Obs {
-    fn start(flags: &Flags, jobs: usize, unit: &'static str) -> Obs {
+    fn start(flags: &Flags, jobs: usize, unit: &'static str) -> Result<Obs, String> {
         let timeline = flags.get("--timeline").map(String::from);
         let metrics_out = flags.get("--metrics-out").map(String::from);
         if timeline.is_some() {
             lazy_eye_inspection::obs::trace::enable(TIMELINE_SAMPLED_RUNS);
         }
+        let flight_record = match flags.get("--flight-record") {
+            Some(dir) => {
+                lazy_eye_inspection::obs::trigger::arm(std::path::Path::new(dir))
+                    .map_err(|e| format!("cannot arm flight recorder at {dir}: {e}"))?;
+                true
+            }
+            None => false,
+        };
         let reporter = flags.contains("--progress").then(|| {
             lazy_eye_inspection::obs::progress::begin(0, jobs as u64);
             let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -547,15 +560,22 @@ impl Obs {
             });
             (stop, handle)
         });
-        Obs {
+        Ok(Obs {
             timeline,
             metrics_out,
+            flight_record,
             reporter,
-        }
+        })
     }
 
-    /// Stops the reporter and writes the timeline / metrics files.
+    /// Stops the reporter, disarms the flight recorder and writes the
+    /// timeline / metrics files.
     fn finish(self) -> Result<(), String> {
+        if self.flight_record {
+            let n = lazy_eye_inspection::obs::trigger::bundles_written();
+            lazy_eye_inspection::obs::trigger::disarm();
+            eprintln!("[obs] flight recorder wrote {n} bundle(s)");
+        }
         if let Some((stop, handle)) = self.reporter {
             stop.store(true, std::sync::atomic::Ordering::Relaxed);
             let _ = handle.join();
@@ -877,11 +897,79 @@ fn cmd_campaign(flags: Flags) -> ExitCode {
         Ok(j) => j,
         Err(e) => return fail(&e),
     };
-    let obs = Obs::start(&flags, jobs, "runs");
+    let obs = match Obs::start(&flags, jobs, "runs") {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
     let code = cmd_campaign_dispatch(&flags, jobs);
     match obs.finish() {
         Ok(()) => code,
         Err(e) => fail(&e),
+    }
+}
+
+/// `lazyeye replay <bundle.json|dir>`: re-executes the run(s) a flight
+/// recorder bundle captured, from provenance alone, and diffs the
+/// regenerated trace against the recording. A directory replays every
+/// `*.json` bundle in it (sorted by name). Exits non-zero if any replay
+/// diverges — the CI determinism gate.
+fn cmd_replay(path: &str, format: Format) -> ExitCode {
+    let meta = match std::fs::metadata(path) {
+        Ok(m) => m,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    if meta.is_dir() {
+        let entries = match std::fs::read_dir(path) {
+            Ok(it) => it,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.extension().is_some_and(|ext| ext == "json") {
+                files.push(p);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            return fail(&format!("{path}: no bundles (*.json) found"));
+        }
+    } else {
+        files.push(path.into());
+    }
+    let mut reports = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {}: {e}", file.display())),
+        };
+        let bundle = match lazy_eye_inspection::obs::bundle::Bundle::from_json_str(&text) {
+            Ok(b) => b,
+            Err(e) => return fail(&format!("{}: {e}", file.display())),
+        };
+        match lazy_eye_inspection::campaign::replay(&bundle) {
+            Ok(r) => reports.push(r),
+            Err(e) => return fail(&format!("{}: {e}", file.display())),
+        }
+    }
+    let divergent = reports.iter().filter(|r| !r.identical).count();
+    match format {
+        Format::Json => println!("{}", ToJson::to_json(&reports).to_string_pretty()),
+        _ => {
+            for r in &reports {
+                print!("{}", r.render_text());
+            }
+            eprintln!(
+                "[replay] {} bundle(s), {} divergent",
+                reports.len(),
+                divergent
+            );
+        }
+    }
+    if divergent == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -1104,7 +1192,10 @@ fn cmd_fleet(flags: Flags) -> ExitCode {
         Ok(j) => j,
         Err(e) => return fail(&e),
     };
-    let obs = Obs::start(&flags, jobs, "sessions");
+    let obs = match Obs::start(&flags, jobs, "sessions") {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
     let code = cmd_fleet_dispatch(&flags, jobs);
     match obs.finish() {
         Ok(()) => code,
@@ -1612,6 +1703,7 @@ fn main() -> ExitCode {
                     val("--shard"),
                     val("--timeline"),
                     val("--metrics-out"),
+                    val("--flight-record"),
                     multi("--merge"),
                     switch("--default"),
                     switch("--progress"),
@@ -1654,6 +1746,7 @@ fn main() -> ExitCode {
                     val("--shard"),
                     val("--timeline"),
                     val("--metrics-out"),
+                    val("--flight-record"),
                     multi("--merge"),
                     switch("--default"),
                     switch("--classify"),
@@ -1666,6 +1759,23 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             };
             cmd_campaign(flags)
+        }
+        "replay" => {
+            let Some(path) = rest.first() else {
+                return fail("replay needs a bundle file or directory: replay <bundle.json|dir>");
+            };
+            let flags = match parse_flags(&rest[1..], &[val("--format")]) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            let format = match flags.get("--format") {
+                None | Some("text") => Format::Text,
+                Some("json") => Format::Json,
+                Some(other) => {
+                    return fail(&format!("flag --format: expected text|json, got {other:?}"))
+                }
+            };
+            cmd_replay(path, format)
         }
         _ => usage(),
     }

@@ -4,12 +4,17 @@
 //! behaviour, host timings) are allowed to move; that is exactly why the
 //! exporter can filter by clock.
 
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use lazy_eye_inspection::campaign::{run_campaign, CampaignSpec};
+use lazy_eye_inspection::campaign::{
+    build_report_with, run_campaign, run_campaign_resumable_with, CampaignSpec,
+};
 use lazy_eye_inspection::fleet::{run_fleet, FleetSpec};
+use lazy_eye_inspection::obs::bundle::Bundle;
 use lazy_eye_inspection::obs::registry;
-use lazy_eye_inspection::obs::Clock;
+use lazy_eye_inspection::obs::{trigger, Clock};
+use lazy_eye_inspection::testbed::{CadCaseConfig, SweepSpec};
 
 /// The obs registry is process-global; serialize the tests in this
 /// binary so one test's reset does not clobber another's reading.
@@ -50,6 +55,68 @@ fn campaign_virtual_metrics_are_byte_identical_across_jobs() {
         assert_eq!(
             snap, baseline,
             "virtual-domain metrics moved between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+/// The flight recorder's black boxes obey the same contract as the
+/// report: for an armed campaign, the bundle *set* (file names) and
+/// every bundle's virtual section (trigger + provenance + trace) are
+/// byte-identical across worker counts. Only the wall section (ring
+/// snapshot, metrics exposition) may move.
+#[test]
+fn flight_recorder_bundles_are_byte_identical_across_jobs() {
+    let _g = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = CampaignSpec {
+        name: "bundle-pin".into(),
+        seed: 7,
+        clients: vec!["chrome-130.0".into(), "wget-1.21.3".into()],
+        rd: None,
+        selection: None,
+        resolver: None,
+        cad: Some(CadCaseConfig {
+            sweep: SweepSpec::new(280, 320, 20),
+            repetitions: 1,
+        }),
+        refine_step_ms: Some(5),
+        ..CampaignSpec::default()
+    };
+    let bundle_bytes = |jobs: usize| -> BTreeMap<String, String> {
+        let dir =
+            std::env::temp_dir().join(format!("lazyeye-bundle-pin-{}-{jobs}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        trigger::arm(&dir).expect("arm trigger engine");
+        let (runs, outputs) =
+            run_campaign_resumable_with(&spec, jobs, true, &BTreeMap::new(), |_, _| {}, |_, _| {})
+                .unwrap();
+        build_report_with(&spec, &runs, &outputs, true);
+        trigger::disarm();
+        let mut out = BTreeMap::new();
+        for entry in std::fs::read_dir(&dir).expect("bundle dir").flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(entry.path()).expect("read bundle");
+            let bundle = Bundle::from_json_str(&text).expect("parse bundle");
+            out.insert(name, bundle.virtual_json_string());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    };
+    let baseline = bundle_bytes(1);
+    assert!(
+        baseline.keys().any(|k| k.starts_with("fastpath-fallback")),
+        "expected a fastpath-fallback bundle: {:?}",
+        baseline.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        baseline.keys().any(|k| k.starts_with("refinement-bracket")),
+        "expected a refinement-bracket bundle: {:?}",
+        baseline.keys().collect::<Vec<_>>()
+    );
+    for jobs in [4usize, 8] {
+        assert_eq!(
+            bundle_bytes(jobs),
+            baseline,
+            "bundle set or virtual bytes moved between --jobs 1 and --jobs {jobs}"
         );
     }
 }
