@@ -387,6 +387,30 @@ pub(crate) fn on_inference(
             });
         }
     }
+
+    // --- §5.2 stall verdicts vs. causal attribution ------------------
+    // The profiler re-derives "does this client stall?" from the
+    // attributed stall phase of a representative delayed-A run; a
+    // disagreement with the inference verdict is a bug in one of the
+    // two layers and gets its own black box.
+    for check in crate::profile::stall_cross_checks(spec, runs, section) {
+        if check.agrees() {
+            continue;
+        }
+        let p = provenance(spec, &runs[check.run_index]);
+        let key = format!("no-lookup-stall:{}", check.subject);
+        let detail = check.detail();
+        trigger::fire(TriggerKind::AttributionMismatch, &key, || {
+            let trace = capture_trace(&p);
+            Bundle::new(
+                TriggerKind::AttributionMismatch.label(),
+                key.clone(),
+                detail.clone(),
+                ToJson::to_json(&p),
+                ToJson::to_json(&trace),
+            )
+        });
+    }
 }
 
 /// Fires the inference-misfit trigger for one subject's canonical CAD

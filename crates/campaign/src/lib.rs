@@ -61,6 +61,7 @@ pub mod executor;
 pub mod forensics;
 pub mod inference;
 pub mod plan;
+pub mod profile;
 pub mod refine;
 pub mod report;
 pub mod spec;
@@ -73,6 +74,10 @@ pub use executor::{execute, execute_with, run_one, RunContext, RunOutput};
 pub use forensics::{replay, ReplayReport, RunProvenance};
 pub use inference::{build_inference, InferenceSection, InferredClientReport};
 pub use plan::{derive_seed, expand, split_rd_condition, RunKind, RunSpec, SpecError};
+pub use profile::{
+    fold_row, profile_campaign, profile_runs, stall_cross_checks, BudgetRow, LatencyBudget,
+    StallCrossCheck,
+};
 pub use refine::{derive_refine_seed, plan_refinement};
 pub use report::{diff_reports, CampaignReport, ReportDiff};
 pub use spec::{CampaignSpec, NetemSpec, RdPlan, SelectionPlan};

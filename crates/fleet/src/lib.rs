@@ -38,6 +38,7 @@ pub mod collect;
 pub mod diff;
 pub mod known;
 pub mod plan;
+pub mod profile;
 pub mod report;
 pub mod session;
 pub mod spec;
@@ -50,6 +51,7 @@ pub use diff::{diff_fleet_reports, diff_report_strs, FleetDiff};
 pub use known::{check_agreement, expected_profile, known_verdicts, KnownAgreement};
 pub use lazyeye_exec::Shard;
 pub use plan::{derive_session_seed, expand, FleetPlan, SessionKind, SessionSpec};
+pub use profile::{profile_fleet, profile_fleet_plan, FleetBudget, MemberBudgetRow};
 pub use report::{build_report, FleetReport, FleetSummary, MemberReport, ResolverCheckReport};
 pub use session::{run_session, SessionContext, SessionOutput};
 pub use spec::{client_key, resolve_members, FleetCondition, FleetSpec, Member};

@@ -11,7 +11,9 @@
 //! * a flight [`recorder`] — an always-on bounded ring of structured
 //!   events — plus a [`trigger`] engine that snapshots it (with full
 //!   run provenance) into self-contained black-box [`bundle`]s on
-//!   anomalies, for `lazyeye replay` forensics.
+//!   anomalies, for `lazyeye replay` forensics;
+//! * a [`profile`] collapsed-stack [`profile::FlameGraph`] builder —
+//!   the deterministic export surface of the causal latency profiler.
 //!
 //! **Clock domains.** Every metric and span is tagged [`Clock::Virtual`]
 //! or [`Clock::Wall`]. Virtual-domain values are functions of the
@@ -26,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bundle;
+pub mod profile;
 pub mod progress;
 pub mod recorder;
 pub mod registry;

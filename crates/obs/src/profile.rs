@@ -1,0 +1,146 @@
+//! Collapsed-stack flame-graph export.
+//!
+//! The collapsed ("folded") format is the lingua franca of flame-graph
+//! tooling — one line per unique stack, `frame;frame;frame weight` —
+//! loadable by speedscope, inferno and Brendan Gregg's original
+//! `flamegraph.pl`. Stacks live in a [`BTreeMap`], so rendering is
+//! deterministic: same samples in, byte-identical text out, whatever
+//! the insertion order. That keeps flame graphs inside the virtual
+//! clock's purity contract (byte-comparable across `--jobs`).
+
+use std::collections::BTreeMap;
+
+/// An accumulating collapsed-stack flame graph.
+///
+/// Frames never contain `;` (the stack separator) or newlines; offending
+/// characters are replaced with `_` on insertion.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlameGraph {
+    stacks: BTreeMap<String, u64>,
+}
+
+fn clean(frame: &str) -> String {
+    frame
+        .chars()
+        .map(|c| {
+            if c == ';' || c == '\n' || c == '\r' {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+impl FlameGraph {
+    /// An empty flame graph.
+    pub fn new() -> FlameGraph {
+        FlameGraph::default()
+    }
+
+    /// Adds `weight` samples of the stack `frames` (root first).
+    /// Zero-weight samples are dropped so the output only lists stacks
+    /// that actually accumulated time.
+    pub fn add<I, S>(&mut self, frames: I, weight: u64)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        if weight == 0 {
+            return;
+        }
+        let stack = frames
+            .into_iter()
+            .map(|f| clean(f.as_ref()))
+            .collect::<Vec<_>>()
+            .join(";");
+        if stack.is_empty() {
+            return;
+        }
+        *self.stacks.entry(stack).or_insert(0) += weight;
+    }
+
+    /// Merges another flame graph into this one.
+    pub fn merge(&mut self, other: &FlameGraph) {
+        for (stack, w) in &other.stacks {
+            *self.stacks.entry(stack.clone()).or_insert(0) += *w;
+        }
+    }
+
+    /// Number of distinct stacks.
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Whether no stack has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// Total accumulated weight across all stacks.
+    pub fn total_weight(&self) -> u64 {
+        self.stacks.values().sum()
+    }
+
+    /// Renders the collapsed-stack text: one `stack weight` line per
+    /// stack, lexicographically sorted, newline-terminated.
+    pub fn render_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (stack, w) in &self.stacks {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&w.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sorted_collapsed_lines() {
+        let mut fg = FlameGraph::new();
+        fg.add(["cad", "chrome-130.0", "connect"], 20);
+        fg.add(["cad", "chrome-130.0", "cad"], 300);
+        fg.add(["cad", "chrome-130.0", "cad"], 100);
+        assert_eq!(
+            fg.render_collapsed(),
+            "cad;chrome-130.0;cad 400\ncad;chrome-130.0;connect 20\n"
+        );
+        assert_eq!(fg.total_weight(), 420);
+        assert_eq!(fg.len(), 2);
+    }
+
+    #[test]
+    fn zero_weight_and_empty_stacks_are_dropped() {
+        let mut fg = FlameGraph::new();
+        fg.add(["a"], 0);
+        fg.add(Vec::<&str>::new(), 5);
+        assert!(fg.is_empty());
+    }
+
+    #[test]
+    fn frames_are_sanitized() {
+        let mut fg = FlameGraph::new();
+        fg.add(["we;ird\nframe"], 1);
+        assert_eq!(fg.render_collapsed(), "we_ird_frame 1\n");
+    }
+
+    #[test]
+    fn merge_accumulates_and_stays_deterministic() {
+        let mut a = FlameGraph::new();
+        a.add(["x", "y"], 1);
+        let mut b = FlameGraph::new();
+        b.add(["x", "y"], 2);
+        b.add(["x", "z"], 3);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.render_collapsed(), ba.render_collapsed());
+        assert_eq!(ab.render_collapsed(), "x;y 3\nx;z 3\n");
+    }
+}

@@ -43,7 +43,8 @@ pub struct TraceEvent {
 }
 
 /// Hard cap on buffered events; past it, events are dropped and counted
-/// in the `obs.trace.dropped` metric (no silent truncation).
+/// in the `timeline.dropped_spans` metric, with a one-line stderr note
+/// under `--progress` (no silent truncation of `--timeline` export).
 pub const EVENT_CAP: usize = 1 << 20;
 
 /// The wall-clock track index used for orchestration (non-worker) spans.
@@ -122,10 +123,18 @@ pub fn worker() -> u32 {
     WORKER.with(|w| w.get())
 }
 
+static DROP_NOTED: AtomicBool = AtomicBool::new(false);
+
 fn push(ev: TraceEvent) {
     if TOTAL_BUFFERED.fetch_add(1, Ordering::Relaxed) >= EVENT_CAP {
         TOTAL_BUFFERED.fetch_sub(1, Ordering::Relaxed);
-        registry::counter("obs.trace.dropped", Clock::Wall).inc();
+        registry::counter("timeline.dropped_spans", Clock::Virtual).inc();
+        if !DROP_NOTED.swap(true, Ordering::Relaxed) && crate::progress::enabled() {
+            eprintln!(
+                "[progress] timeline span buffer saturated ({EVENT_CAP} events); \
+                 further spans are dropped and counted in timeline.dropped_spans"
+            );
+        }
         return;
     }
     LOCAL.with(|l| l.events.borrow_mut().push(ev));

@@ -41,6 +41,9 @@ pub enum TriggerKind {
     RefinementBracket,
     /// A run panicked inside a campaign worker.
     RunPanic,
+    /// The causal profiler's attributed stall phase disagreed with the
+    /// inference layer's wait-for-all-answers verdict for a subject.
+    AttributionMismatch,
 }
 
 impl TriggerKind {
@@ -52,6 +55,7 @@ impl TriggerKind {
             TriggerKind::Deviates => "deviates",
             TriggerKind::RefinementBracket => "refinement-bracket",
             TriggerKind::RunPanic => "run-panic",
+            TriggerKind::AttributionMismatch => "attribution-mismatch",
         }
     }
 
@@ -63,6 +67,7 @@ impl TriggerKind {
             "deviates" => TriggerKind::Deviates,
             "refinement-bracket" => TriggerKind::RefinementBracket,
             "run-panic" => TriggerKind::RunPanic,
+            "attribution-mismatch" => TriggerKind::AttributionMismatch,
             _ => return None,
         })
     }
@@ -170,6 +175,7 @@ mod tests {
             TriggerKind::Deviates,
             TriggerKind::RefinementBracket,
             TriggerKind::RunPanic,
+            TriggerKind::AttributionMismatch,
         ] {
             assert_eq!(TriggerKind::parse(kind.label()), Some(kind));
         }

@@ -26,6 +26,8 @@ use lazyeye_net::Family;
 /// Trace format version; bumped on incompatible layout changes.
 pub const TRACE_VERSION: u64 = 1;
 
+pub mod profile;
+
 /// The identity of the run a trace records.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceMeta {

@@ -1,0 +1,353 @@
+//! Property-based check of the causal profiler: drive the sans-IO
+//! [`HeMachine`] through arbitrary valid input orderings (the same
+//! chaotic-but-correct driver as the core machine proptest), convert the
+//! emitted event log into a [`Trace`], and assert the attribution
+//! invariants hold for *every* reachable timeline:
+//!
+//! * an established run always attributes, and its five phases sum
+//!   **exactly** to `ms(established)` — no residual, no overlap;
+//! * the critical path is a real path through the causal DAG (every
+//!   consecutive pair is an edge) and ends at `established`;
+//! * a run that never establishes yields no attribution.
+
+use std::net::IpAddr;
+use std::time::Duration;
+
+use lazyeye_core::{
+    CadMode, HeConfig, HeLog, HeMachine, HeVersion, Input, InterlaceStrategy, Output, Quirks,
+    Waiting,
+};
+use lazyeye_dns::{Name, RData, Record, RrType, SvcParam, SvcParams};
+use lazyeye_net::Family;
+use lazyeye_resolver::{AnswerOutcome, DnsAnswer};
+use lazyeye_sim::SimTime;
+use lazyeye_trace::profile::{attribute, CausalDag};
+use lazyeye_trace::{Trace, TraceMeta};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+fn arb_cad() -> impl Strategy<Value = CadMode> {
+    prop_oneof![
+        (10u64..400).prop_map(|ms| CadMode::Fixed(Duration::from_millis(ms))),
+        Just(CadMode::rfc_dynamic()),
+    ]
+}
+
+fn arb_interlace() -> impl Strategy<Value = InterlaceStrategy> {
+    prop_oneof![
+        (1usize..3).prop_map(|n| InterlaceStrategy::Rfc8305 {
+            first_family_count: n
+        }),
+        Just(InterlaceStrategy::SafariStyle),
+        Just(InterlaceStrategy::Hev1SingleFallback),
+        Just(InterlaceStrategy::NoFallback),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = HeConfig> {
+    (
+        prop_oneof![
+            Just(HeVersion::V1),
+            Just(HeVersion::V2),
+            Just(HeVersion::V3)
+        ],
+        arb_cad(),
+        proptest::option::of(0u64..200),
+        arb_interlace(),
+        prop_oneof![Just(Family::V6), Just(Family::V4)],
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        50u64..3000,
+    )
+        .prop_map(
+            |(version, cad, rd_ms, interlace, prefer, use_quic, wait_all, stop_pair, overall)| {
+                HeConfig {
+                    version,
+                    cad,
+                    resolution_delay: rd_ms.map(Duration::from_millis),
+                    interlace,
+                    prefer,
+                    attempt_timeout: Duration::from_millis(800),
+                    overall_deadline: Duration::from_millis(overall),
+                    cache_ttl: Duration::from_secs(600),
+                    use_quic,
+                    quirks: Quirks {
+                        wait_for_all_answers: wait_all,
+                        stop_after_first_pair: stop_pair,
+                    },
+                }
+            },
+        )
+}
+
+/// Per-qtype answer payload: address count and terminal outcome.
+fn arb_payload() -> impl Strategy<Value = (usize, u8)> {
+    (0usize..4, 0u8..4)
+}
+
+fn answer_for(qtype: RrType, payload: (usize, u8), at: SimTime) -> DnsAnswer {
+    let (count, outcome) = payload;
+    let outcome = match outcome {
+        0 => AnswerOutcome::Ok,
+        1 => AnswerOutcome::NxDomain,
+        2 => AnswerOutcome::ServFail,
+        _ => AnswerOutcome::Timeout,
+    };
+    let name = Name::parse("he.test").unwrap();
+    let mut records = Vec::new();
+    if outcome == AnswerOutcome::Ok {
+        for i in 0..count {
+            let rdata = match qtype {
+                RrType::Aaaa => RData::Aaaa(format!("2001:db8::{}", i + 1).parse().unwrap()),
+                RrType::A => RData::A(format!("192.0.2.{}", i + 1).parse().unwrap()),
+                _ => RData::Https(
+                    SvcParams::service(1, Name::root())
+                        .with(SvcParam::Alpn(vec![b"h3".to_vec()]))
+                        .with(SvcParam::Ipv6Hint(vec![format!("2001:db8::f{}", i + 1)
+                            .parse()
+                            .unwrap()])),
+                ),
+            };
+            records.push(Record::new(name.clone(), 300, rdata));
+        }
+    }
+    DnsAnswer {
+        qtype,
+        at,
+        records,
+        outcome,
+    }
+}
+
+const ATTEMPT_ERRORS: [&str; 3] = ["refused", "timeout", "unreachable"];
+
+fn meta() -> TraceMeta {
+    TraceMeta {
+        subject: "proptest-client".into(),
+        case: "proptest".into(),
+        condition: "-".into(),
+        configured_delay_ms: 0,
+        rep: 0,
+        seed: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_reachable_timeline_attributes_exactly(
+        cfg in arb_config(),
+        cached in proptest::option::of(proptest::bool::ANY),
+        payloads in proptest::collection::vec(arb_payload(), 3),
+        script in proptest::collection::vec((any::<u16>(), 0u64..300), 0..250),
+    ) {
+        let qtypes: Vec<RrType> = if cfg.use_quic {
+            vec![RrType::Https, RrType::Aaaa, RrType::A]
+        } else {
+            vec![RrType::Aaaa, RrType::A]
+        };
+        let start = SimTime::from_millis(0);
+        let deadline = start + cfg.overall_deadline;
+        let mut machine = HeMachine::new(cfg, qtypes.clone(), deadline);
+
+        let mut pending: Vec<(RrType, (usize, u8))> = qtypes
+            .iter()
+            .zip(payloads)
+            .map(|(&q, p)| (q, p))
+            .collect();
+        let mut dns_closed = false;
+
+        let mut now = start;
+        let mut established = false;
+        let mut done = false;
+        let mut outstanding: Vec<usize> = Vec::new();
+        let mut log = HeLog::default();
+
+        let cached_addr = cached.map(|v6| -> IpAddr {
+            if v6 {
+                "2001:db8::cc".parse().unwrap()
+            } else {
+                "192.0.2.204".parse().unwrap()
+            }
+        });
+
+        let mut script = script.into_iter();
+        let feed = |machine: &mut HeMachine,
+                        input: Input,
+                        now: SimTime,
+                        log: &mut HeLog,
+                        established: &mut bool,
+                        done: &mut bool,
+                        outstanding: &mut Vec<usize>|
+         -> Result<(), TestCaseError> {
+            for out in machine.process(input, now) {
+                match out {
+                    Output::Trace(ev) => log.events.push(ev),
+                    Output::StartAttempt { index, .. } => outstanding.push(index),
+                    Output::Established { .. } => {
+                        *established = true;
+                        *done = true;
+                    }
+                    Output::Failed(_) => {
+                        *done = true;
+                    }
+                    _ => {}
+                }
+            }
+            Ok(())
+        };
+
+        while !done {
+            let Some((choice, delta_ms)) = script.next() else {
+                now = now.max(deadline);
+                feed(&mut machine, Input::DeadlineExpired, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                break;
+            };
+            let choice = usize::from(choice);
+            let delta = Duration::from_millis(delta_ms);
+
+            match machine.waiting() {
+                Waiting::Start => {
+                    feed(&mut machine, Input::Start { cached: cached_addr }, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                }
+                Waiting::CachedAttempt { .. } => {
+                    now += delta;
+                    let ok = choice % 2 == 0;
+                    feed(&mut machine, Input::CachedResult { ok }, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                }
+                Waiting::Cad { .. } => {
+                    let cad = Duration::from_millis((choice % 500) as u64);
+                    feed(&mut machine, Input::Cad(cad), now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                }
+                Waiting::Dns => {
+                    now += delta;
+                    let input = if pending.is_empty() {
+                        dns_closed = true;
+                        Input::Dns(None)
+                    } else {
+                        let (qtype, payload) = pending.remove(choice % pending.len());
+                        Input::Dns(Some(answer_for(qtype, payload, now)))
+                    };
+                    feed(&mut machine, input, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                }
+                Waiting::DnsOrTimer { deadline: rd } => {
+                    let arrival = now + delta;
+                    if arrival >= rd || (pending.is_empty() && dns_closed) {
+                        now = now.max(rd);
+                        feed(&mut machine, Input::Timer, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                    } else {
+                        now = arrival;
+                        let input = if pending.is_empty() {
+                            dns_closed = true;
+                            Input::Dns(None)
+                        } else {
+                            let (qtype, payload) = pending.remove(choice % pending.len());
+                            Input::Dns(Some(answer_for(qtype, payload, now)))
+                        };
+                        feed(&mut machine, input, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                    }
+                }
+                Waiting::Race { next_start, dns_open } => {
+                    let mut options: Vec<u8> = Vec::new();
+                    if !outstanding.is_empty() {
+                        options.push(0);
+                    }
+                    if next_start.is_some() {
+                        options.push(1);
+                    }
+                    if dns_open && !dns_closed {
+                        options.push(2);
+                    }
+                    if options.is_empty() {
+                        feed(&mut machine, Input::AttemptsClosed, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                        continue;
+                    }
+                    match options[choice % options.len()] {
+                        0 => {
+                            let arrival = now + delta;
+                            if let Some(t) = next_start {
+                                if arrival >= t {
+                                    now = now.max(t);
+                                    feed(&mut machine, Input::Timer, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                                    continue;
+                                }
+                            }
+                            now = arrival;
+                            let slot = choice % outstanding.len();
+                            let index = outstanding.remove(slot);
+                            let result = if delta_ms % 3 == 0 {
+                                Ok(Duration::from_millis(delta_ms))
+                            } else {
+                                Err(ATTEMPT_ERRORS[choice % ATTEMPT_ERRORS.len()])
+                            };
+                            feed(&mut machine, Input::AttemptResult { index, result }, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                        }
+                        1 => {
+                            let t = next_start.unwrap();
+                            now = now.max(t);
+                            feed(&mut machine, Input::Timer, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                        }
+                        _ => {
+                            now += delta;
+                            let input = if pending.is_empty() {
+                                dns_closed = true;
+                                Input::Dns(None)
+                            } else {
+                                let (qtype, payload) = pending.remove(choice % pending.len());
+                                Input::Dns(Some(answer_for(qtype, payload, now)))
+                            };
+                            feed(&mut machine, input, now, &mut log, &mut established, &mut done, &mut outstanding)?;
+                        }
+                    }
+                }
+                Waiting::Done => break,
+            }
+        }
+
+        let trace = Trace::from_he_log(meta(), &log);
+        let attr = attribute(&trace);
+        if established {
+            let attr = attr.expect("established run must attribute");
+            // Exact, exhaustive, non-overlapping: the five phases
+            // telescope to the measured total with no residual.
+            prop_assert_eq!(
+                attr.phase_values().iter().sum::<u64>(),
+                attr.total_ms,
+                "phases must sum exactly: {:?}",
+                attr
+            );
+            let established_ns = trace
+                .events
+                .iter()
+                .find_map(|e| {
+                    matches!(e.kind, lazyeye_trace::TraceEventKind::Established { .. })
+                        .then_some(e.at_ns)
+                })
+                .expect("trace records establishment");
+            prop_assert_eq!(attr.total_ms, established_ns / 1_000_000);
+
+            // The critical path is a real path through the causal DAG.
+            let dag = CausalDag::from_trace(&trace);
+            let path = dag.critical_path();
+            prop_assert!(!path.is_empty());
+            prop_assert_eq!(dag.nodes[*path.last().unwrap()].label.as_str(), "established");
+            for w in path.windows(2) {
+                prop_assert!(
+                    dag.has_edge(w[0], w[1]),
+                    "critical path step {} -> {} is not a DAG edge",
+                    dag.nodes[w[0]].label,
+                    dag.nodes[w[1]].label
+                );
+            }
+            prop_assert_eq!(attr.critical_path.len(), path.len());
+        } else {
+            prop_assert!(
+                attr.is_none(),
+                "non-established run must not attribute: {:?}",
+                attr
+            );
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //! lazyeye campaign --config spec.json --shard 0/4 --out part0
 //! lazyeye campaign --merge part0.json part1.json part2.json part3.json
 //! lazyeye campaign --default --timeline t.json --metrics-out m.prom --progress
+//! lazyeye campaign --default --classify --flamegraph flame.collapsed
+//! lazyeye profile traces.json --flamegraph flame.collapsed
 //! ```
 //!
 //! Unknown flags are hard errors — a typo must never silently run a
@@ -30,9 +32,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lazy_eye_inspection::campaign::{
-    build_report_with, diff_reports, expand, finish_from_checkpoint_with, merge_checkpoints,
-    run_campaign_resumable, run_campaign_resumable_with, run_shard, CampaignReport, CampaignSpec,
-    Checkpoint, InferredClientReport, RunOutput, RunSpec, Shard,
+    build_report_with, diff_reports, expand, finish_from_checkpoint_with, fold_row,
+    merge_checkpoints, profile_runs, run_campaign_resumable, run_campaign_resumable_with,
+    run_shard, CampaignReport, CampaignSpec, Checkpoint, InferredClientReport, LatencyBudget,
+    RunOutput, RunSpec, Shard,
 };
 use lazy_eye_inspection::clients::{all_measured_clients, ClientProfile};
 use lazy_eye_inspection::fleet::{
@@ -44,6 +47,7 @@ use lazy_eye_inspection::infer::{
 };
 use lazy_eye_inspection::json::{FromJson, Json, ToJson};
 use lazy_eye_inspection::net::Family;
+use lazy_eye_inspection::obs::profile::FlameGraph;
 use lazy_eye_inspection::resolver::all_profiles;
 use lazy_eye_inspection::testbed::{
     run_cad_case, run_cad_case_traced, run_rd_case, run_rd_case_traced, run_resolver_case,
@@ -51,7 +55,8 @@ use lazy_eye_inspection::testbed::{
     summarize_rd, summarize_resolver, CadCaseConfig, DelayedRecord, RdCaseConfig,
     ResolverCaseConfig, SelectionCaseConfig, SweepSpec, Table, TestbedConfig,
 };
-use lazy_eye_inspection::trace::TraceSet;
+use lazy_eye_inspection::trace::profile::{attribute, Attribution, PHASES};
+use lazy_eye_inspection::trace::{Trace, TraceSet};
 
 /// Completed runs between periodic checkpoint saves.
 const CHECKPOINT_EVERY: u64 = 32;
@@ -220,11 +225,16 @@ fn usage() -> ExitCode {
            replay    <bundle.json|dir> [--format text|json]\n\
                                                      re-execute flight-recorder bundle(s)\n\
                                                      and diff against the recording\n\
-         observability (campaign and fleet):\n\
+           profile   <traces.json|bundle.json|dir> [--format text|json]\n\
+                     [--flamegraph <file>]           causal latency attribution: critical\n\
+                                                     path + exact per-phase budget\n\
+         observability (campaign, fleet, infer, replay):\n\
            --timeline <trace.json>     Chrome trace-event / Perfetto timeline\n\
            --metrics-out <m.prom>      Prometheus text exposition of all metrics\n\
-           --flight-record <dir>       write anomaly black-box bundles into <dir>\n\
-           --progress                  live status line (rate, ETA, idle %, slowest)"
+           --flight-record <dir>       write anomaly black-box bundles (campaign/fleet)\n\
+           --progress                  live status line (rate, ETA, idle %, slowest)\n\
+           --flamegraph <file>         collapsed-stack latency flame graph plus a\n\
+                                       per-cell budget table (campaign/fleet/profile)"
     );
     ExitCode::from(2)
 }
@@ -429,6 +439,22 @@ fn load_spec(flags: &Flags, path: &str) -> Result<CampaignSpec, String> {
 }
 
 fn cmd_infer(flags: Flags) -> ExitCode {
+    let jobs = match parse_jobs(&flags) {
+        Ok(j) => j,
+        Err(e) => return fail(&e),
+    };
+    let obs = match Obs::start(&flags, jobs, "runs") {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let code = cmd_infer_dispatch(&flags, jobs);
+    match obs.finish() {
+        Ok(()) => code,
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_infer_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
     let format = match flags.get("--format") {
         None | Some("text") => Format::Text,
         Some("json") => Format::Json,
@@ -477,12 +503,8 @@ fn cmd_infer(flags: Flags) -> ExitCode {
             ExitCode::SUCCESS
         }
         (None, Some(path)) => {
-            let spec = match load_spec(&flags, path) {
+            let spec = match load_spec(flags, path) {
                 Ok(s) => s,
-                Err(e) => return fail(&e),
-            };
-            let jobs = match parse_jobs(&flags) {
-                Ok(j) => j,
                 Err(e) => return fail(&e),
             };
             let outcome = run_campaign_resumable(
@@ -719,6 +741,29 @@ fn emit_report(report: &CampaignReport, format: Format, out: Option<&str>) -> Re
     Ok(())
 }
 
+/// Writes a collapsed-stack flame graph (one `frame;frame weight` line
+/// per stack) to `path` — the format `flamegraph.pl` / speedscope /
+/// inferno consume. Pure virtual-domain bytes: identical across --jobs.
+fn write_flamegraph(path: &str, flame: &FlameGraph) -> Result<(), String> {
+    std::fs::write(path, flame.render_collapsed())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "[profile] wrote flame graph {path} ({} stacks, {} ms attributed)",
+        flame.len(),
+        flame.total_weight()
+    );
+    Ok(())
+}
+
+/// Prints a latency-budget table: to stdout alongside a text report, to
+/// stderr otherwise so machine-readable stdout stays parseable.
+fn print_budget(text: &str, format: Format) {
+    match format {
+        Format::Text => println!("{text}"),
+        _ => eprintln!("{text}"),
+    }
+}
+
 /// Writes a shard's partial state to `--out` (as `<base>.json`) or stdout.
 fn emit_partial(part: &Checkpoint, out: Option<&str>) -> Result<(), String> {
     let shard = part.shard.expect("partials carry their shard");
@@ -849,6 +894,7 @@ fn cmd_campaign_full(
     resume_from: Option<Checkpoint>,
     ckpt_path: Option<String>,
     out: Option<&str>,
+    flamegraph: Option<&str>,
 ) -> ExitCode {
     let pass1_runs = match expand(&spec) {
         Ok(runs) => runs.len() as u64,
@@ -882,10 +928,20 @@ fn cmd_campaign_full(
     };
     saver.flush();
     let report = build_report_with(&spec, &runs, &outputs, classify);
-    match emit_report(&report, format, out) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => fail(&e),
+    if let Err(e) = emit_report(&report, format, out) {
+        return fail(&e);
     }
+    if let Some(path) = flamegraph {
+        // Attribute the executed run list (first pass + refinement) into
+        // the per-cell latency budget and the flame graph. Both are pure
+        // functions of (spec, run list): byte-identical across --jobs.
+        let (budget, flame) = profile_runs(&spec, &runs);
+        if let Err(e) = write_flamegraph(path, &flame) {
+            return fail(&e);
+        }
+        print_budget(&budget.render_text(), format);
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_campaign(flags: Flags) -> ExitCode {
@@ -973,6 +1029,156 @@ fn cmd_replay(path: &str, format: Format) -> ExitCode {
     }
 }
 
+/// `lazyeye profile <traces.json|bundle.json|dir>`: causal latency
+/// attribution of recorded traces. Each run's establishment latency is
+/// cut into exhaustive phases (resolution / stall / cad / fallback /
+/// connect) that sum exactly to the measured total, alongside the
+/// critical path through the run's causal DAG. Accepts trace-set files
+/// (`--emit-trace` output), flight-recorder bundles, or a directory of
+/// either (`*.json`, sorted by name).
+fn cmd_profile(path: &str, flags: &Flags, format: Format) -> ExitCode {
+    let meta = match std::fs::metadata(path) {
+        Ok(m) => m,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    if meta.is_dir() {
+        let entries = match std::fs::read_dir(path) {
+            Ok(it) => it,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.extension().is_some_and(|ext| ext == "json") {
+                files.push(p);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            return fail(&format!("{path}: no trace files (*.json) found"));
+        }
+    } else {
+        files.push(path.into());
+    }
+    let mut traces: Vec<Trace> = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {}: {e}", file.display())),
+        };
+        match TraceSet::from_json_str(&text) {
+            Ok(set) => traces.extend(set.traces),
+            // Not a trace set — a flight-recorder bundle carries the
+            // run's trace under its "trace" key.
+            Err(set_err) => match lazy_eye_inspection::obs::bundle::Bundle::from_json_str(&text) {
+                Ok(bundle) => match Trace::from_json(&bundle.trace) {
+                    Ok(t) => traces.push(t),
+                    Err(e) => eprintln!(
+                        "[profile] {}: bundle has no usable trace ({e}); skipped",
+                        file.display()
+                    ),
+                },
+                Err(_) => return fail(&format!("{}: {set_err}", file.display())),
+            },
+        }
+    }
+    if traces.is_empty() {
+        return fail(&format!("{path}: no attributable traces found"));
+    }
+    let mut budget = LatencyBudget::default();
+    let mut flame = FlameGraph::new();
+    let mut attributed: Vec<(&Trace, Option<Attribution>)> = Vec::new();
+    for trace in &traces {
+        let attr = attribute(trace);
+        if attr.is_none() {
+            budget.unattributed += 1;
+        }
+        let m = &trace.meta;
+        fold_row(
+            &mut budget.rows,
+            (&m.case, &m.subject, &m.condition, m.configured_delay_ms),
+            attr.as_ref(),
+        );
+        if let Some(a) = &attr {
+            for (phase, weight) in PHASES.iter().zip(a.phase_values()) {
+                flame.add(
+                    [
+                        m.case.as_str(),
+                        m.subject.as_str(),
+                        m.condition.as_str(),
+                        phase,
+                    ],
+                    weight,
+                );
+            }
+        }
+        attributed.push((trace, attr));
+    }
+    match format {
+        Format::Json => {
+            let doc = Json::obj(vec![(
+                "traces",
+                Json::Arr(
+                    attributed
+                        .iter()
+                        .map(|(trace, attr)| {
+                            Json::obj(vec![
+                                ("meta", ToJson::to_json(&trace.meta)),
+                                (
+                                    "attribution",
+                                    match attr {
+                                        Some(a) => ToJson::to_json(a),
+                                        None => Json::Null,
+                                    },
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )]);
+            println!("{}", doc.to_string_pretty());
+        }
+        _ => {
+            for (trace, attr) in &attributed {
+                let m = &trace.meta;
+                match attr {
+                    Some(a) => {
+                        println!(
+                            "{} {} {} d{} r{}: {} ms = resolution {} + stall {} + cad {} \
+                             + fallback {} + connect {} (dominant: {})",
+                            m.case,
+                            m.subject,
+                            m.condition,
+                            m.configured_delay_ms,
+                            m.rep,
+                            a.total_ms,
+                            a.resolution_ms,
+                            a.stall_ms,
+                            a.cad_ms,
+                            a.fallback_ms,
+                            a.connect_ms,
+                            a.dominant_phase(),
+                        );
+                        println!("  critical path: {}", a.critical_path.join(" -> "));
+                    }
+                    None => println!(
+                        "{} {} {} d{} r{}: no establishment timeline (skipped)",
+                        m.case, m.subject, m.condition, m.configured_delay_ms, m.rep
+                    ),
+                }
+            }
+            println!();
+            println!("{}", budget.render_text());
+        }
+    }
+    if let Some(out) = flags.get("--flamegraph") {
+        if let Err(e) = write_flamegraph(out, &flame) {
+            return fail(&e);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_campaign_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
     let format = match parse_format(flags) {
         Ok(f) => f,
@@ -980,10 +1186,14 @@ fn cmd_campaign_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
     };
     let classify = flags.contains("--classify");
     let fast_path = flags.contains("--fast-path");
+    let flamegraph = flags.get("--flamegraph");
 
     if flags.contains("--merge") {
         if fast_path {
             return fail("--fast-path does not apply to --merge; it only affects local runs");
+        }
+        if flamegraph.is_some() {
+            return fail("--flamegraph applies to local full campaign runs, not --merge");
         }
         return cmd_campaign_merge(flags, jobs, format, classify);
     }
@@ -1027,6 +1237,9 @@ fn cmd_campaign_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
                 if fast_path {
                     return fail("--fast-path does not apply to shard runs");
                 }
+                if flamegraph.is_some() {
+                    return fail("--flamegraph does not apply to shard runs; profile the merge");
+                }
                 cmd_campaign_shard(spec, jobs, shard, Some(ckpt), ckpt_path, out)
             }
             None => {
@@ -1042,6 +1255,7 @@ fn cmd_campaign_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
                     Some(ckpt),
                     ckpt_path,
                     out,
+                    flamegraph,
                 )
             }
         };
@@ -1086,10 +1300,13 @@ fn cmd_campaign_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
         if fast_path {
             return fail("--fast-path does not apply to shard runs");
         }
+        if flamegraph.is_some() {
+            return fail("--flamegraph does not apply to shard runs; profile the merge");
+        }
         return cmd_campaign_shard(spec, jobs, shard, None, ckpt_path, out);
     }
     cmd_campaign_full(
-        spec, jobs, format, classify, fast_path, None, ckpt_path, out,
+        spec, jobs, format, classify, fast_path, None, ckpt_path, out, flamegraph,
     )
 }
 
@@ -1209,8 +1426,12 @@ fn cmd_fleet_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let out = flags.get("--out");
+    let flamegraph = flags.get("--flamegraph");
 
     if flags.contains("--merge") {
+        if flamegraph.is_some() {
+            return fail("--flamegraph applies to local full fleet runs, not --merge");
+        }
         for conflicting in [
             "--spec",
             "--default",
@@ -1265,6 +1486,9 @@ fn cmd_fleet_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
         if flags.contains("--format") {
             return fail("--format does not apply to --shard runs; partials are always JSON");
         }
+        if flamegraph.is_some() {
+            return fail("--flamegraph does not apply to shard runs; profile the merge");
+        }
         // Save the partial periodically while the shard runs (atomic
         // temp-file + rename), so a kill loses at most CHECKPOINT_EVERY
         // sessions — the same crash contract as campaign shards.
@@ -1312,10 +1536,22 @@ fn cmd_fleet_dispatch(flags: &Flags, jobs: usize) -> ExitCode {
         Ok(r) => r,
         Err(e) => return fail(&format!("fleet failed: {e}")),
     };
-    match emit_fleet_report(&report, format, out) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => fail(&e),
+    if let Err(e) = emit_fleet_report(&report, format, out) {
+        return fail(&e);
     }
+    if let Some(path) = flamegraph {
+        // Per-member probe attribution: a pure function of (spec, seed),
+        // byte-identical across --jobs like the report itself.
+        let (budget, flame) = match fleet::profile_fleet(&spec) {
+            Ok(pair) => pair,
+            Err(e) => return fail(&format!("fleet profiling failed: {e}")),
+        };
+        if let Err(e) = write_flamegraph(path, &flame) {
+            return fail(&e);
+        }
+        print_budget(&budget.render_text(), format);
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -1662,6 +1898,9 @@ fn main() -> ExitCode {
                     val("--jobs"),
                     val("--seed"),
                     val("--format"),
+                    val("--timeline"),
+                    val("--metrics-out"),
+                    switch("--progress"),
                 ],
             ) {
                 Ok(f) => f,
@@ -1704,6 +1943,7 @@ fn main() -> ExitCode {
                     val("--timeline"),
                     val("--metrics-out"),
                     val("--flight-record"),
+                    val("--flamegraph"),
                     multi("--merge"),
                     switch("--default"),
                     switch("--progress"),
@@ -1747,6 +1987,7 @@ fn main() -> ExitCode {
                     val("--timeline"),
                     val("--metrics-out"),
                     val("--flight-record"),
+                    val("--flamegraph"),
                     multi("--merge"),
                     switch("--default"),
                     switch("--classify"),
@@ -1764,7 +2005,10 @@ fn main() -> ExitCode {
             let Some(path) = rest.first() else {
                 return fail("replay needs a bundle file or directory: replay <bundle.json|dir>");
             };
-            let flags = match parse_flags(&rest[1..], &[val("--format")]) {
+            let flags = match parse_flags(
+                &rest[1..],
+                &[val("--format"), val("--timeline"), val("--metrics-out")],
+            ) {
                 Ok(f) => f,
                 Err(e) => return fail(&e),
             };
@@ -1775,7 +2019,35 @@ fn main() -> ExitCode {
                     return fail(&format!("flag --format: expected text|json, got {other:?}"))
                 }
             };
-            cmd_replay(path, format)
+            let obs = match Obs::start(&flags, 1, "bundles") {
+                Ok(o) => o,
+                Err(e) => return fail(&e),
+            };
+            let code = cmd_replay(path, format);
+            match obs.finish() {
+                Ok(()) => code,
+                Err(e) => fail(&e),
+            }
+        }
+        "profile" => {
+            let Some(path) = rest.first() else {
+                return fail(
+                    "profile needs traces, a bundle or a directory: \
+                     profile <traces.json|bundle.json|dir>",
+                );
+            };
+            let flags = match parse_flags(&rest[1..], &[val("--format"), val("--flamegraph")]) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            let format = match flags.get("--format") {
+                None | Some("text") => Format::Text,
+                Some("json") => Format::Json,
+                Some(other) => {
+                    return fail(&format!("flag --format: expected text|json, got {other:?}"))
+                }
+            };
+            cmd_profile(path, &flags, format)
         }
         _ => usage(),
     }
